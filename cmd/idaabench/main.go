@@ -1,0 +1,56 @@
+// Command idaabench regenerates the evaluation tables of the reproduction
+// (experiments E1–E8 and the architecture figure F1). Each experiment builds
+// its own system instance, generates its workload deterministically and prints
+// the resulting table, so the numbers in EXPERIMENTS.md can be reproduced with
+//
+//	go run ./cmd/idaabench -scale full
+//	go run ./cmd/idaabench -experiment e1 -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"idaax/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment id to run (e1..e8, f1, or 'all')")
+	scaleName := flag.String("scale", "small", "dataset scale: small or full")
+	slices := flag.Int("slices", 0, "accelerator worker slices (0 = number of CPUs)")
+	flag.Parse()
+
+	var scale bench.Scale
+	switch strings.ToLower(*scaleName) {
+	case "small":
+		scale = bench.SmallScale()
+	case "full":
+		scale = bench.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (use small or full)\n", *scaleName)
+		os.Exit(2)
+	}
+	scale.Slices = *slices
+
+	ids := bench.IDs()
+	if strings.ToLower(*experiment) != "all" {
+		ids = []string{strings.ToLower(*experiment)}
+	}
+
+	exitCode := 0
+	for _, id := range ids {
+		start := time.Now()
+		table, err := bench.Run(id, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			exitCode = 1
+			continue
+		}
+		fmt.Println(table.Format())
+		fmt.Printf("  (scale=%s, wall clock %.1fs)\n\n", scale.Name, time.Since(start).Seconds())
+	}
+	os.Exit(exitCode)
+}

@@ -1,0 +1,89 @@
+// Command idaasql is an interactive SQL shell for the federated system: a DB2
+// host engine with one attached accelerator. It demonstrates the full surface
+// of the reproduction — regular tables, ACCEL_* procedures, accelerator-only
+// tables, CALL-based analytics, EXPLAIN routing and SHOW commands — from a
+// terminal.
+//
+//	go run ./cmd/idaasql
+//	idaa> CREATE TABLE t (id BIGINT, v DOUBLE) IN ACCELERATOR IDAA1;
+//	idaa> INSERT INTO t VALUES (1, 2.5);
+//	idaa> EXPLAIN SELECT * FROM t;
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"idaax"
+)
+
+func main() {
+	user := flag.String("user", "SYSADM", "authorization id for the session")
+	slices := flag.Int("slices", 0, "accelerator worker slices (0 = number of CPUs)")
+	script := flag.String("file", "", "execute the SQL script in this file and exit")
+	flag.Parse()
+
+	sys := idaax.New(idaax.Config{AcceleratorSlices: *slices, AnalyticsPublic: true})
+	defer sys.Close()
+	session := sys.Session(*user)
+
+	if *script != "" {
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		results, err := session.ExecScript(string(data))
+		for _, res := range results {
+			fmt.Println(res.FormatTable())
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("idaax SQL shell — DB2 host + accelerator", "(user", *user+")")
+	fmt.Println(`Type SQL statements terminated by ';'. Try "SHOW TABLES;", "SHOW ACCELERATORS;" or "\q" to quit.`)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var buffer strings.Builder
+	prompt := "idaa> "
+	for {
+		fmt.Print(prompt)
+		if !scanner.Scan() {
+			break
+		}
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == `\q` || strings.EqualFold(trimmed, "quit") || strings.EqualFold(trimmed, "exit") {
+			break
+		}
+		if trimmed == "" {
+			continue
+		}
+		buffer.WriteString(line)
+		buffer.WriteString("\n")
+		if !strings.HasSuffix(trimmed, ";") {
+			prompt = "   -> "
+			continue
+		}
+		prompt = "idaa> "
+		sql := buffer.String()
+		buffer.Reset()
+		results, err := session.ExecScript(sql)
+		for _, res := range results {
+			fmt.Println(res.FormatTable())
+			if res.Routed != "" {
+				fmt.Printf("  [routed to %s]\n", res.Routed)
+			}
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Package idaax is a Go implementation of the system described in "Extending
+// Database Accelerators for Data Transformations and Predictive Analytics"
+// (EDBT 2016): a DB2-style host database with an attached analytics
+// accelerator, extended with accelerator-only tables (AOTs), an in-database
+// analytics procedure framework, and a loader that ingests external data
+// directly into the accelerator.
+//
+// The package exposes a small facade over the full system:
+//
+//	sys := idaax.New(idaax.Config{})
+//	defer sys.Close()
+//	session := sys.AdminSession()
+//	session.Exec("CREATE TABLE stage1 (k BIGINT, v DOUBLE) IN ACCELERATOR IDAA1")
+//	session.Exec("INSERT INTO stage1 SELECT ... FROM accelerated_table ...")
+//	session.Query("SELECT ... FROM stage1 ...")
+//
+// Everything below the facade lives in internal/ packages: the row-store DB2
+// engine, the columnar sliced accelerator, the federation/offload layer, the
+// replication pipeline, the loader and the analytics library.
+package idaax
+
+import (
+	"time"
+)
+
+// Config configures a System.
+type Config struct {
+	// AcceleratorName names the default accelerator (default "IDAA1").
+	AcceleratorName string
+	// AcceleratorSlices sets the accelerator's scan/aggregation parallelism
+	// (default: number of CPUs).
+	AcceleratorSlices int
+	// LockTimeout bounds DB2 lock waits (default 2s).
+	LockTimeout time.Duration
+	// RegisterAnalytics installs the IDAX.* analytics procedures (default true
+	// unless DisableAnalytics is set).
+	DisableAnalytics bool
+	// AnalyticsPublic grants EXECUTE on the analytics procedures to PUBLIC.
+	// When false, only SYSADM and explicit grantees may call them.
+	AnalyticsPublic bool
+	// AdminUser overrides the implicit administrator authorization id
+	// (default SYSADM).
+	AdminUser string
+}
+
+func (c Config) withDefaults() Config {
+	if c.AcceleratorName == "" {
+		c.AcceleratorName = "IDAA1"
+	}
+	if c.AdminUser == "" {
+		c.AdminUser = "SYSADM"
+	}
+	return c
+}

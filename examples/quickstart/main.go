@@ -1,0 +1,59 @@
+// Quickstart: create a table in DB2, accelerate it, watch queries get
+// offloaded, then create an accelerator-only table (AOT) and run a
+// transformation that never leaves the accelerator.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"idaax"
+)
+
+func main() {
+	sys := idaax.Open()
+	defer sys.Close()
+	session := sys.AdminSession()
+
+	fmt.Println("== 1. A regular DB2 table ==")
+	session.MustExec("CREATE TABLE sales (id BIGINT NOT NULL, region VARCHAR(16), amount DOUBLE, quantity BIGINT)")
+	session.MustExec(`INSERT INTO sales VALUES
+		(1, 'EMEA', 1200.50, 3), (2, 'AMERICAS', 340.00, 1), (3, 'EMEA', 78.25, 2),
+		(4, 'APAC', 990.10, 5), (5, 'AMERICAS', 1500.00, 4), (6, 'APAC', 42.42, 1)`)
+	res := session.MustExec("SELECT region, COUNT(*) AS orders, SUM(amount) AS revenue FROM sales GROUP BY region ORDER BY revenue DESC")
+	fmt.Printf("query ran on %s:\n%s\n", res.Routed, res.FormatTable())
+
+	fmt.Println("== 2. Accelerate it (ACCEL_ADD_TABLES + ACCEL_LOAD_TABLES) ==")
+	session.MustExec("CALL SYSPROC.ACCEL_ADD_TABLES('IDAA1', 'SALES')")
+	session.MustExec("CALL SYSPROC.ACCEL_LOAD_TABLES('IDAA1', 'SALES')")
+	res = session.MustExec("SELECT region, COUNT(*) AS orders, SUM(amount) AS revenue FROM sales GROUP BY region ORDER BY revenue DESC")
+	fmt.Printf("same query now ran on %s:\n%s\n", res.Routed, res.FormatTable())
+	fmt.Println(session.MustExec("EXPLAIN SELECT SUM(amount) FROM sales").FormatTable())
+
+	fmt.Println("== 3. An accelerator-only table: CREATE TABLE ... IN ACCELERATOR ==")
+	session.MustExec("CREATE TABLE sales_summary (region VARCHAR(16), revenue DOUBLE, avg_ticket DOUBLE) IN ACCELERATOR IDAA1")
+	res = session.MustExec("INSERT INTO sales_summary SELECT region, SUM(amount), AVG(amount) FROM sales GROUP BY region")
+	fmt.Printf("INSERT ... SELECT routed to %s, %d rows materialised on the accelerator\n", res.Routed, res.RowsAffected)
+	fmt.Println(session.MustExec("SELECT * FROM sales_summary ORDER BY revenue DESC").FormatTable())
+
+	fmt.Println("== 4. AOT DML honours the DB2 transaction context ==")
+	if err := session.Begin(); err != nil {
+		panic(err)
+	}
+	session.MustExec("UPDATE sales_summary SET revenue = revenue * 1.1 WHERE region = 'EMEA'")
+	inTxn := session.MustExec("SELECT revenue FROM sales_summary WHERE region = 'EMEA'")
+	fmt.Println("inside the transaction EMEA revenue is", inTxn.Value(0, "REVENUE"))
+	if err := session.Rollback(); err != nil {
+		panic(err)
+	}
+	after := session.MustExec("SELECT revenue FROM sales_summary WHERE region = 'EMEA'")
+	fmt.Println("after ROLLBACK it is back to   ", after.Value(0, "REVENUE"))
+
+	fmt.Println("\n== 5. What the system looks like ==")
+	fmt.Println(session.MustExec("SHOW TABLES").FormatTable())
+	fmt.Println(session.MustExec("SHOW ACCELERATORS").FormatTable())
+	m := sys.Metrics()
+	fmt.Printf("rows moved DB2->accelerator: %d, accelerator->DB2: %d, offloaded statements: %d\n",
+		m.RowsMovedToAccelerator, m.RowsMovedToDB2, m.StatementsOffloaded)
+}

@@ -1,0 +1,346 @@
+package accel
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"idaax/internal/colstore"
+	"idaax/internal/expr"
+	"idaax/internal/sqlparse"
+	"idaax/internal/types"
+)
+
+// Accelerator is one attached accelerator instance ("IDAA server" plus its
+// Netezza backend in the paper's architecture).
+type Accelerator struct {
+	name   string
+	slices int
+
+	mu     sync.RWMutex
+	tables map[string]*colstore.Table
+
+	Registry *Registry
+
+	// internalTxn issues transaction ids for work that originates on the
+	// accelerator itself (replication applies, loader ingestion) rather than
+	// from a DB2 transaction. They are negative so they can never collide with
+	// DB2 transaction ids.
+	internalTxn int64
+
+	queriesRun    int64
+	rowsScanned   int64
+	blocksPruned  int64
+	rowsIngested  int64
+	rowsReturned  int64
+	dmlStatements int64
+}
+
+// Stats is a snapshot of accelerator activity counters.
+type Stats struct {
+	QueriesRun    int64
+	RowsScanned   int64
+	BlocksPruned  int64
+	RowsIngested  int64
+	RowsReturned  int64
+	DMLStatements int64
+	Tables        int
+	Slices        int
+}
+
+// New creates an accelerator with the given number of worker slices
+// (the software stand-in for S-blades / snippet processors).
+func New(name string, slices int) *Accelerator {
+	if slices < 1 {
+		slices = runtime.NumCPU()
+	}
+	return &Accelerator{
+		name:     types.NormalizeName(name),
+		slices:   slices,
+		tables:   make(map[string]*colstore.Table),
+		Registry: NewRegistry(),
+	}
+}
+
+// Name returns the accelerator's name.
+func (a *Accelerator) Name() string { return a.name }
+
+// Slices returns the configured degree of scan parallelism.
+func (a *Accelerator) Slices() int { return a.slices }
+
+// Stats returns activity counters.
+func (a *Accelerator) Stats() Stats {
+	a.mu.RLock()
+	tables := len(a.tables)
+	a.mu.RUnlock()
+	return Stats{
+		QueriesRun:    atomic.LoadInt64(&a.queriesRun),
+		RowsScanned:   atomic.LoadInt64(&a.rowsScanned),
+		BlocksPruned:  atomic.LoadInt64(&a.blocksPruned),
+		RowsIngested:  atomic.LoadInt64(&a.rowsIngested),
+		RowsReturned:  atomic.LoadInt64(&a.rowsReturned),
+		DMLStatements: atomic.LoadInt64(&a.dmlStatements),
+		Tables:        tables,
+		Slices:        a.slices,
+	}
+}
+
+// NextInternalTxn returns a fresh internal (negative) transaction id and
+// registers it as active. Replication and the loader use it for their applies.
+func (a *Accelerator) NextInternalTxn() int64 {
+	id := atomic.AddInt64(&a.internalTxn, 1)
+	txn := -id
+	a.Registry.Ensure(txn)
+	return txn
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+// CreateTable creates a columnar table on the accelerator. It backs both
+// accelerator-only tables and the shadow copies of accelerated DB2 tables.
+func (a *Accelerator) CreateTable(name string, schema types.Schema, distKey string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	name = types.NormalizeName(name)
+	if _, ok := a.tables[name]; ok {
+		return fmt.Errorf("accel: table %s already exists on accelerator %s", name, a.name)
+	}
+	a.tables[name] = colstore.NewTable(name, schema, distKey)
+	return nil
+}
+
+// DropTable removes a table from the accelerator.
+func (a *Accelerator) DropTable(name string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	name = types.NormalizeName(name)
+	if _, ok := a.tables[name]; !ok {
+		return fmt.Errorf("accel: table %s does not exist on accelerator %s", name, a.name)
+	}
+	delete(a.tables, name)
+	return nil
+}
+
+// HasTable reports whether the table exists on this accelerator.
+func (a *Accelerator) HasTable(name string) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	_, ok := a.tables[types.NormalizeName(name)]
+	return ok
+}
+
+// Table returns the columnar table.
+func (a *Accelerator) Table(name string) (*colstore.Table, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	t, ok := a.tables[types.NormalizeName(name)]
+	if !ok {
+		return nil, fmt.Errorf("accel: table %s does not exist on accelerator %s", types.NormalizeName(name), a.name)
+	}
+	return t, nil
+}
+
+// TableNames returns all table names on the accelerator, sorted.
+func (a *Accelerator) TableNames() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]string, 0, len(a.tables))
+	for name := range a.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Transaction coordination (called by the federation layer)
+// ---------------------------------------------------------------------------
+
+// Prepare is phase one of the commit handshake for a DB2 transaction.
+func (a *Accelerator) Prepare(txnID int64) error { return a.Registry.Prepare(txnID) }
+
+// CommitTxn makes a DB2 transaction's accelerator changes durable/visible.
+func (a *Accelerator) CommitTxn(txnID int64) { a.Registry.Commit(txnID) }
+
+// AbortTxn discards a DB2 transaction's accelerator changes.
+func (a *Accelerator) AbortTxn(txnID int64) { a.Registry.Abort(txnID) }
+
+// ---------------------------------------------------------------------------
+// DML (always executed in the context of a DB2 transaction id)
+// ---------------------------------------------------------------------------
+
+// Insert appends rows to a table under the DB2 transaction txnID.
+func (a *Accelerator) Insert(txnID int64, table string, rows []types.Row) (int, error) {
+	t, err := a.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	a.Registry.Ensure(txnID)
+	n, err := t.Insert(txnID, rows)
+	atomic.AddInt64(&a.rowsIngested, int64(n))
+	atomic.AddInt64(&a.dmlStatements, 1)
+	return n, err
+}
+
+// InsertReplicated appends rows mirroring DB2 rows under an internal,
+// immediately committed transaction (the replication apply path).
+func (a *Accelerator) InsertReplicated(table string, rows []types.Row, srcIDs []int64) (int, error) {
+	t, err := a.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	txnID := a.NextInternalTxn()
+	n, err := t.InsertWithSource(txnID, rows, srcIDs)
+	if err != nil {
+		a.Registry.Abort(txnID)
+		return n, err
+	}
+	a.Registry.Commit(txnID)
+	atomic.AddInt64(&a.rowsIngested, int64(n))
+	return n, nil
+}
+
+// ApplyReplicatedDelete removes the shadow row mirroring a DB2 row id.
+func (a *Accelerator) ApplyReplicatedDelete(table string, srcID int64) (bool, error) {
+	t, err := a.Table(table)
+	if err != nil {
+		return false, err
+	}
+	txnID := a.NextInternalTxn()
+	ok := t.DeleteBySource(txnID, srcID)
+	a.Registry.Commit(txnID)
+	return ok, nil
+}
+
+// ApplyReplicatedUpdate replaces the shadow row mirroring a DB2 row id.
+func (a *Accelerator) ApplyReplicatedUpdate(table string, srcID int64, row types.Row) error {
+	t, err := a.Table(table)
+	if err != nil {
+		return err
+	}
+	txnID := a.NextInternalTxn()
+	if err := t.UpdateBySource(txnID, srcID, row); err != nil {
+		a.Registry.Abort(txnID)
+		return err
+	}
+	a.Registry.Commit(txnID)
+	return nil
+}
+
+// Update modifies rows matching where under the DB2 transaction txnID using
+// delete-and-reinsert versioning. It returns the number of rows updated.
+func (a *Accelerator) Update(txnID int64, table string, assignments []sqlparse.Assignment, where sqlparse.Expr) (int, error) {
+	t, err := a.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	a.Registry.Ensure(txnID)
+	atomic.AddInt64(&a.dmlStatements, 1)
+	snap := a.Registry.Snapshot(txnID)
+	schema := t.Schema()
+	env := expr.NewEnv(qualifiedColumns(table, schema))
+
+	type change struct {
+		idx    int
+		newRow types.Row
+	}
+	var changes []change
+	for _, idx := range t.VisibleIndices(snap.Visible) {
+		row := t.ReadRow(idx)
+		ok, err := env.EvalBool(where, row)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			continue
+		}
+		updated := row.Clone()
+		for _, as := range assignments {
+			ci := schema.IndexOf(as.Column)
+			if ci < 0 {
+				return 0, fmt.Errorf("accel: UPDATE references unknown column %s", as.Column)
+			}
+			v, err := env.Eval(as.Value, row)
+			if err != nil {
+				return 0, err
+			}
+			updated[ci] = v
+		}
+		changes = append(changes, change{idx: idx, newRow: updated})
+	}
+	for _, ch := range changes {
+		if !t.MarkDeleted(ch.idx, txnID) {
+			continue
+		}
+		if _, err := t.Insert(txnID, []types.Row{ch.newRow}); err != nil {
+			return 0, err
+		}
+	}
+	return len(changes), nil
+}
+
+// Delete removes rows matching where under the DB2 transaction txnID.
+func (a *Accelerator) Delete(txnID int64, table string, where sqlparse.Expr) (int, error) {
+	t, err := a.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	a.Registry.Ensure(txnID)
+	atomic.AddInt64(&a.dmlStatements, 1)
+	snap := a.Registry.Snapshot(txnID)
+	schema := t.Schema()
+	env := expr.NewEnv(qualifiedColumns(table, schema))
+	count := 0
+	for _, idx := range t.VisibleIndices(snap.Visible) {
+		row := t.ReadRow(idx)
+		ok := true
+		if where != nil {
+			ok, err = env.EvalBool(where, row)
+			if err != nil {
+				return 0, err
+			}
+		}
+		if !ok {
+			continue
+		}
+		if t.MarkDeleted(idx, txnID) {
+			count++
+		}
+	}
+	return count, nil
+}
+
+// Truncate removes all rows visible to the transaction.
+func (a *Accelerator) Truncate(txnID int64, table string) (int, error) {
+	t, err := a.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	a.Registry.Ensure(txnID)
+	atomic.AddInt64(&a.dmlStatements, 1)
+	snap := a.Registry.Snapshot(txnID)
+	return t.TruncateVisible(txnID, snap.Visible), nil
+}
+
+// RowCount returns the number of rows visible to the DB2 transaction (0 for
+// an anonymous snapshot of committed data).
+func (a *Accelerator) RowCount(txnID int64, table string) (int, error) {
+	t, err := a.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	snap := a.Registry.Snapshot(txnID)
+	return t.VisibleRowCount(snap.Visible), nil
+}
+
+func qualifiedColumns(qualifier string, schema types.Schema) []expr.InputColumn {
+	cols := make([]expr.InputColumn, len(schema.Columns))
+	for i, c := range schema.Columns {
+		cols[i] = expr.InputColumn{Qualifier: types.NormalizeName(qualifier), Name: c.Name, Kind: c.Kind}
+	}
+	return cols
+}

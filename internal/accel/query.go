@@ -1,0 +1,208 @@
+package accel
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"idaax/internal/colstore"
+	"idaax/internal/relalg"
+	"idaax/internal/sqlparse"
+	"idaax/internal/types"
+)
+
+// Query executes a SELECT against accelerator-resident tables under a snapshot
+// of the DB2 transaction txnID (0 for an anonymous committed-data snapshot).
+// Simple "column <op> literal" conjuncts of the WHERE clause are pushed into
+// the columnar scans where zone maps can prune blocks; the full predicate is
+// then (re-)applied by the shared relational operators, so pushdown is purely
+// a performance optimisation.
+func (a *Accelerator) Query(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
+	atomic.AddInt64(&a.queriesRun, 1)
+	snap := a.Registry.Snapshot(txnID)
+	from, err := a.buildFrom(txnID, snap, sel)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := relalg.ExecuteSelect(from, sel, relalg.Options{Parallelism: a.slices})
+	if err != nil {
+		return nil, err
+	}
+	atomic.AddInt64(&a.rowsReturned, int64(len(rel.Rows)))
+	return rel, nil
+}
+
+func (a *Accelerator) buildFrom(txnID int64, snap *Snapshot, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
+	if len(sel.From) == 0 {
+		return relalg.JoinAll(nil, nil, a.slices)
+	}
+	rels := make([]*relalg.Relation, len(sel.From))
+	for i, item := range sel.From {
+		if item.Subquery != nil {
+			sub, err := a.Query(txnID, item.Subquery)
+			if err != nil {
+				return nil, err
+			}
+			rels[i] = relalg.Requalify(sub, item.Name())
+			continue
+		}
+		t, err := a.Table(item.Table)
+		if err != nil {
+			return nil, err
+		}
+		preds := a.pushdownPredicates(sel, item, t)
+		rows, stats := t.ParallelScan(a.slices, snap.Visible, preds)
+		atomic.AddInt64(&a.rowsScanned, int64(stats.VersionsConsidered))
+		atomic.AddInt64(&a.blocksPruned, int64(stats.BlocksPruned))
+		rels[i] = relalg.FromTable(item.Name(), t.Schema(), rows)
+	}
+	return relalg.JoinAll(rels, sel.From, a.slices)
+}
+
+// pushdownPredicates extracts the WHERE conjuncts of the form
+// "col <op> literal" that unambiguously reference the given FROM item.
+func (a *Accelerator) pushdownPredicates(sel *sqlparse.SelectStmt, item sqlparse.FromItem, t *colstore.Table) []colstore.SimplePredicate {
+	if sel.Where == nil {
+		return nil
+	}
+	schema := t.Schema()
+	singleTable := len(sel.From) == 1
+	var preds []colstore.SimplePredicate
+
+	var visit func(e sqlparse.Expr)
+	visit = func(e sqlparse.Expr) {
+		b, ok := e.(*sqlparse.BinaryExpr)
+		if !ok {
+			return
+		}
+		if b.Op == sqlparse.OpAnd {
+			visit(b.Left)
+			visit(b.Right)
+			return
+		}
+		ref, lit, op, ok := simpleComparison(b)
+		if !ok {
+			return
+		}
+		// The reference must belong to this FROM item: either it is qualified
+		// with the item's name, or the query has a single table and the column
+		// exists in its schema.
+		colIdx := schema.IndexOf(ref.Name)
+		if colIdx < 0 {
+			return
+		}
+		if ref.Table != "" {
+			if !strings.EqualFold(ref.Table, item.Name()) {
+				return
+			}
+		} else if !singleTable {
+			return
+		}
+		preds = append(preds, colstore.NewSimplePredicate(colIdx, op, lit))
+	}
+	visit(sel.Where)
+	return preds
+}
+
+// simpleComparison recognises "col <op> literal" and "literal <op> col"
+// comparisons, normalising the latter by flipping the operator.
+func simpleComparison(b *sqlparse.BinaryExpr) (*sqlparse.ColumnRef, types.Value, colstore.CompareOp, bool) {
+	op, ok := compareOp(b.Op)
+	if !ok {
+		return nil, types.Null(), 0, false
+	}
+	if ref, isRef := b.Left.(*sqlparse.ColumnRef); isRef {
+		if lit, isLit := b.Right.(*sqlparse.Literal); isLit && !lit.Val.IsNull() {
+			return ref, lit.Val, op, true
+		}
+	}
+	if ref, isRef := b.Right.(*sqlparse.ColumnRef); isRef {
+		if lit, isLit := b.Left.(*sqlparse.Literal); isLit && !lit.Val.IsNull() {
+			return ref, lit.Val, flipOp(op), true
+		}
+	}
+	return nil, types.Null(), 0, false
+}
+
+func compareOp(op sqlparse.BinOp) (colstore.CompareOp, bool) {
+	switch op {
+	case sqlparse.OpEq:
+		return colstore.CmpEq, true
+	case sqlparse.OpNe:
+		return colstore.CmpNe, true
+	case sqlparse.OpLt:
+		return colstore.CmpLt, true
+	case sqlparse.OpLe:
+		return colstore.CmpLe, true
+	case sqlparse.OpGt:
+		return colstore.CmpGt, true
+	case sqlparse.OpGe:
+		return colstore.CmpGe, true
+	default:
+		return 0, false
+	}
+}
+
+func flipOp(op colstore.CompareOp) colstore.CompareOp {
+	switch op {
+	case colstore.CmpLt:
+		return colstore.CmpGt
+	case colstore.CmpLe:
+		return colstore.CmpGe
+	case colstore.CmpGt:
+		return colstore.CmpLt
+	case colstore.CmpGe:
+		return colstore.CmpLe
+	default:
+		return op
+	}
+}
+
+// MaterializeQuery executes a SELECT and inserts its result into the target
+// accelerator table under the same DB2 transaction. It implements the
+// accelerator side of INSERT INTO <aot> SELECT ..., the core operation of
+// multi-stage transformations running entirely inside the accelerator.
+func (a *Accelerator) MaterializeQuery(txnID int64, target string, columns []string, sel *sqlparse.SelectStmt) (int, error) {
+	rel, err := a.Query(txnID, sel)
+	if err != nil {
+		return 0, err
+	}
+	t, err := a.Table(target)
+	if err != nil {
+		return 0, err
+	}
+	rows, err := mapRowsToSchema(columns, rel.Rows, t.Schema())
+	if err != nil {
+		return 0, err
+	}
+	return a.Insert(txnID, target, rows)
+}
+
+func mapRowsToSchema(columns []string, rows []types.Row, schema types.Schema) ([]types.Row, error) {
+	if len(columns) == 0 {
+		return rows, nil
+	}
+	positions := make([]int, len(columns))
+	for i, c := range columns {
+		idx := schema.IndexOf(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("accel: INSERT references unknown column %s", c)
+		}
+		positions[i] = idx
+	}
+	out := make([]types.Row, len(rows))
+	for ri, src := range rows {
+		if len(src) != len(positions) {
+			return nil, fmt.Errorf("accel: SELECT produced %d columns for %d target columns", len(src), len(positions))
+		}
+		row := make(types.Row, schema.Len())
+		for i := range row {
+			row[i] = types.Null()
+		}
+		for i, v := range src {
+			row[positions[i]] = v
+		}
+		out[ri] = row
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+// Package accel implements the analytics accelerator: a columnar,
+// multi-versioned, sliced (MPP-style) query engine that DB2 delegates work to.
+// It models the Netezza-based backend of the IBM DB2 Analytics Accelerator at
+// the level of behaviour the paper relies on: snapshot-isolated queries,
+// awareness of the originating DB2 transaction (so a transaction sees its own
+// uncommitted changes in accelerator-only tables), parallel scan slices and
+// zone-map pruning.
+package accel
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TxnState is the accelerator-side state of a DB2 transaction.
+type TxnState int
+
+const (
+	// TxnActive marks a transaction with in-flight changes.
+	TxnActive TxnState = iota
+	// TxnPrepared marks a transaction that has passed the prepare phase of the
+	// commit handshake with DB2.
+	TxnPrepared
+	// TxnCommitted marks a committed transaction.
+	TxnCommitted
+	// TxnAborted marks a rolled-back transaction; its row versions are never
+	// visible to anyone.
+	TxnAborted
+)
+
+// Registry tracks the accelerator-side status of DB2 transactions. The DB2
+// transaction id is the shared handle: DB2 ships it with every delegated
+// statement, which is how the accelerator knows which uncommitted changes
+// belong to the requesting transaction (paper, Section 2).
+type Registry struct {
+	mu        sync.RWMutex
+	states    map[int64]TxnState
+	commitSeq map[int64]int64
+	nextSeq   int64
+}
+
+// NewRegistry creates an empty transaction registry.
+func NewRegistry() *Registry {
+	return &Registry{states: make(map[int64]TxnState), commitSeq: make(map[int64]int64), nextSeq: 1}
+}
+
+// Ensure registers the DB2 transaction as active if it is not yet known.
+func (r *Registry) Ensure(txnID int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.states[txnID]; !ok {
+		r.states[txnID] = TxnActive
+	}
+}
+
+// State returns the accelerator-side state of the transaction.
+func (r *Registry) State(txnID int64) TxnState {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	st, ok := r.states[txnID]
+	if !ok {
+		return TxnAborted
+	}
+	return st
+}
+
+// Prepare transitions an active transaction to prepared (phase one of the
+// commit handshake). Preparing an unknown transaction is allowed and registers
+// it; preparing an aborted transaction fails.
+func (r *Registry) Prepare(txnID int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch r.states[txnID] {
+	case TxnAborted:
+		return fmt.Errorf("accel: transaction %d is aborted and cannot be prepared", txnID)
+	case TxnCommitted:
+		return fmt.Errorf("accel: transaction %d is already committed", txnID)
+	default:
+		r.states[txnID] = TxnPrepared
+		return nil
+	}
+}
+
+// Commit makes the transaction's changes visible to snapshots taken from now
+// on by assigning it a commit sequence number.
+func (r *Registry) Commit(txnID int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.states[txnID] == TxnCommitted {
+		return
+	}
+	r.states[txnID] = TxnCommitted
+	r.commitSeq[txnID] = r.nextSeq
+	r.nextSeq++
+}
+
+// Abort discards the transaction: its row versions stay in storage but are
+// never visible.
+func (r *Registry) Abort(txnID int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.states[txnID] = TxnAborted
+	delete(r.commitSeq, txnID)
+}
+
+// seqOf returns the commit sequence of txnID (0 when not committed).
+func (r *Registry) seqOf(txnID int64) int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.commitSeq[txnID]
+}
+
+// currentSeq returns the highest commit sequence issued so far.
+func (r *Registry) currentSeq() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.nextSeq - 1
+}
+
+// Snapshot captures a point-in-time view for one statement of a DB2
+// transaction: row versions of transactions committed up to the snapshot
+// sequence are visible, plus every version created by the transaction itself
+// (committed or not), minus versions the transaction itself deleted.
+//
+// The committed-transaction map is copied once at snapshot creation so that
+// visibility checks during parallel scans are lock-free (the scan slices would
+// otherwise serialise on a shared registry lock for every row version).
+type Snapshot struct {
+	own       int64
+	maxSeq    int64
+	committed map[int64]int64 // txn id -> commit sequence at snapshot time
+}
+
+// Snapshot creates a snapshot for the DB2 transaction own (0 = anonymous
+// read-only snapshot with no own changes).
+func (r *Registry) Snapshot(own int64) *Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	committed := make(map[int64]int64, len(r.commitSeq))
+	for id, seq := range r.commitSeq {
+		committed[id] = seq
+	}
+	return &Snapshot{own: own, maxSeq: r.nextSeq - 1, committed: committed}
+}
+
+func (s *Snapshot) committedBefore(txnID int64) bool {
+	if txnID == 0 {
+		return false
+	}
+	seq, ok := s.committed[txnID]
+	return ok && seq > 0 && seq <= s.maxSeq
+}
+
+// Visible implements colstore.Visibility for this snapshot.
+func (s *Snapshot) Visible(createdTxn, deletedTxn int64) bool {
+	createdVisible := createdTxn == s.own || s.committedBefore(createdTxn)
+	if !createdVisible {
+		return false
+	}
+	if deletedTxn == 0 {
+		return true
+	}
+	if deletedTxn == s.own || s.committedBefore(deletedTxn) {
+		return false
+	}
+	return true
+}

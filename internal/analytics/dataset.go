@@ -1,0 +1,225 @@
+// Package analytics implements the in-database analytics operations that run
+// on the accelerator through the procedure framework (paper, Section 3): data
+// preparation transformations (standardisation, imputation, binning, one-hot
+// encoding, train/test splitting) and predictive algorithms (linear and
+// logistic regression, k-means, gaussian naive Bayes, decision trees) together
+// with their scoring counterparts. Models and derived tables are materialised
+// as accelerator-only tables so that multi-stage pipelines never move data
+// back into DB2.
+package analytics
+
+import (
+	"fmt"
+	"math"
+
+	"idaax/internal/relalg"
+	"idaax/internal/types"
+)
+
+// Dataset is a numeric feature matrix extracted from a relation, plus the
+// optional target column (numeric or categorical) and a row identifier column
+// used to join scores back to the input rows.
+type Dataset struct {
+	FeatureNames []string
+	Features     [][]float64 // row-major: Features[i][j] = value of feature j in row i
+	Target       []float64   // numeric target (regression / binary classification)
+	Labels       []string    // categorical target (classification)
+	IDs          []types.Value
+}
+
+// Rows returns the number of observations.
+func (d *Dataset) Rows() int { return len(d.Features) }
+
+// Cols returns the number of features.
+func (d *Dataset) Cols() int { return len(d.FeatureNames) }
+
+// ExtractOptions configures dataset extraction from a relation.
+type ExtractOptions struct {
+	// Features are the feature column names (must be numeric or coercible).
+	Features []string
+	// Target is the optional target column.
+	Target string
+	// TargetCategorical extracts the target as string labels instead of floats.
+	TargetCategorical bool
+	// ID is the optional identifier column carried through to scoring output.
+	ID string
+	// SkipIncomplete drops rows with NULL/non-numeric features instead of
+	// failing the extraction.
+	SkipIncomplete bool
+}
+
+// Extract builds a Dataset from a relation.
+func Extract(rel *relalg.Relation, opts ExtractOptions) (*Dataset, error) {
+	schema := rel.Schema()
+	featIdx := make([]int, len(opts.Features))
+	for i, f := range opts.Features {
+		idx := schema.IndexOf(f)
+		if idx < 0 {
+			return nil, fmt.Errorf("analytics: feature column %s not found", f)
+		}
+		featIdx[i] = idx
+	}
+	targetIdx := -1
+	if opts.Target != "" {
+		targetIdx = schema.IndexOf(opts.Target)
+		if targetIdx < 0 {
+			return nil, fmt.Errorf("analytics: target column %s not found", opts.Target)
+		}
+	}
+	idIdx := -1
+	if opts.ID != "" {
+		idIdx = schema.IndexOf(opts.ID)
+		if idIdx < 0 {
+			return nil, fmt.Errorf("analytics: id column %s not found", opts.ID)
+		}
+	}
+
+	ds := &Dataset{FeatureNames: normalizeNames(opts.Features)}
+	for _, row := range rel.Rows {
+		features := make([]float64, len(featIdx))
+		ok := true
+		for j, idx := range featIdx {
+			f, good := row[idx].AsFloat()
+			if !good {
+				ok = false
+				break
+			}
+			features[j] = f
+		}
+		var targetVal float64
+		var label string
+		if targetIdx >= 0 {
+			if opts.TargetCategorical {
+				if row[targetIdx].IsNull() {
+					ok = false
+				} else {
+					label = row[targetIdx].AsString()
+				}
+			} else {
+				f, good := row[targetIdx].AsFloat()
+				if !good {
+					ok = false
+				}
+				targetVal = f
+			}
+		}
+		if !ok {
+			if opts.SkipIncomplete {
+				continue
+			}
+			return nil, fmt.Errorf("analytics: row contains NULL or non-numeric values in feature/target columns")
+		}
+		ds.Features = append(ds.Features, features)
+		if targetIdx >= 0 {
+			if opts.TargetCategorical {
+				ds.Labels = append(ds.Labels, label)
+			} else {
+				ds.Target = append(ds.Target, targetVal)
+			}
+		}
+		if idIdx >= 0 {
+			ds.IDs = append(ds.IDs, row[idIdx])
+		} else {
+			ds.IDs = append(ds.IDs, types.NewInt(int64(len(ds.IDs))))
+		}
+	}
+	return ds, nil
+}
+
+func normalizeNames(names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = types.NormalizeName(n)
+	}
+	return out
+}
+
+// ColumnStats summarises one numeric column.
+type ColumnStats struct {
+	Name   string
+	Count  int
+	Nulls  int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes per-column statistics of the named numeric columns.
+func Summarize(rel *relalg.Relation, columns []string) ([]ColumnStats, error) {
+	schema := rel.Schema()
+	out := make([]ColumnStats, 0, len(columns))
+	for _, col := range columns {
+		idx := schema.IndexOf(col)
+		if idx < 0 {
+			return nil, fmt.Errorf("analytics: column %s not found", col)
+		}
+		st := ColumnStats{Name: types.NormalizeName(col), Min: math.Inf(1), Max: math.Inf(-1)}
+		var sum, sumSq float64
+		for _, row := range rel.Rows {
+			if row[idx].IsNull() {
+				st.Nulls++
+				continue
+			}
+			f, ok := row[idx].AsFloat()
+			if !ok {
+				st.Nulls++
+				continue
+			}
+			st.Count++
+			sum += f
+			sumSq += f * f
+			if f < st.Min {
+				st.Min = f
+			}
+			if f > st.Max {
+				st.Max = f
+			}
+		}
+		if st.Count > 0 {
+			st.Mean = sum / float64(st.Count)
+			variance := sumSq/float64(st.Count) - st.Mean*st.Mean
+			if variance < 0 {
+				variance = 0
+			}
+			st.StdDev = math.Sqrt(variance)
+		} else {
+			st.Min, st.Max = 0, 0
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// rng is a small deterministic linear congruential generator so that sampling
+// and initialisation are reproducible without math/rand seeding ambiguity.
+type rng struct{ state uint64 }
+
+func newRNG(seed int64) *rng {
+	state := uint64(seed)
+	if state == 0 {
+		state = 0x9E3779B97F4A7C15
+	}
+	return &rng{state: state}
+}
+
+func (r *rng) next() uint64 {
+	// xorshift64*
+	r.state ^= r.state >> 12
+	r.state ^= r.state << 25
+	r.state ^= r.state >> 27
+	return r.state * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a pseudo-random number in [0, 1).
+func (r *rng) Float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// Intn returns a pseudo-random number in [0, n).
+func (r *rng) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}

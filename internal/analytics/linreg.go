@@ -1,0 +1,145 @@
+package analytics
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearModel is a least-squares linear regression model.
+type LinearModel struct {
+	FeatureNames []string
+	Intercept    float64
+	Coefficients []float64
+	// Ridge is the L2 regularisation applied during training (also stabilises
+	// the normal equations numerically).
+	Ridge float64
+	// RMSE and R2 are training-set goodness-of-fit metrics.
+	RMSE float64
+	R2   float64
+	N    int
+}
+
+// TrainLinearRegression fits a linear regression with the normal equations
+// (X'X + ridge*I) beta = X'y solved by Gaussian elimination with partial
+// pivoting. It is exact for the modest feature counts analytics pipelines use.
+func TrainLinearRegression(ds *Dataset, ridge float64) (*LinearModel, error) {
+	n := ds.Rows()
+	p := ds.Cols()
+	if n == 0 {
+		return nil, fmt.Errorf("analytics: linear regression requires at least one row")
+	}
+	if len(ds.Target) != n {
+		return nil, fmt.Errorf("analytics: linear regression requires a numeric target")
+	}
+	if ridge < 0 {
+		ridge = 0
+	}
+	d := p + 1 // intercept term
+
+	// Build the normal equations.
+	xtx := make([][]float64, d)
+	for i := range xtx {
+		xtx[i] = make([]float64, d)
+	}
+	xty := make([]float64, d)
+	xrow := make([]float64, d)
+	for i := 0; i < n; i++ {
+		xrow[0] = 1
+		copy(xrow[1:], ds.Features[i])
+		for a := 0; a < d; a++ {
+			for b := 0; b < d; b++ {
+				xtx[a][b] += xrow[a] * xrow[b]
+			}
+			xty[a] += xrow[a] * ds.Target[i]
+		}
+	}
+	for a := 1; a < d; a++ {
+		xtx[a][a] += ridge
+	}
+
+	beta, err := solveLinearSystem(xtx, xty)
+	if err != nil {
+		return nil, err
+	}
+
+	model := &LinearModel{
+		FeatureNames: append([]string(nil), ds.FeatureNames...),
+		Intercept:    beta[0],
+		Coefficients: beta[1:],
+		Ridge:        ridge,
+		N:            n,
+	}
+
+	// Training metrics.
+	var ssRes, ssTot, mean float64
+	for _, y := range ds.Target {
+		mean += y
+	}
+	mean /= float64(n)
+	for i := 0; i < n; i++ {
+		pred := model.Predict(ds.Features[i])
+		diff := ds.Target[i] - pred
+		ssRes += diff * diff
+		dt := ds.Target[i] - mean
+		ssTot += dt * dt
+	}
+	model.RMSE = math.Sqrt(ssRes / float64(n))
+	if ssTot > 0 {
+		model.R2 = 1 - ssRes/ssTot
+	}
+	return model, nil
+}
+
+// Predict returns the model's prediction for one feature vector.
+func (m *LinearModel) Predict(features []float64) float64 {
+	y := m.Intercept
+	for j, c := range m.Coefficients {
+		if j < len(features) {
+			y += c * features[j]
+		}
+	}
+	return y
+}
+
+// solveLinearSystem solves A x = b with Gaussian elimination and partial
+// pivoting. A is modified in place.
+func solveLinearSystem(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best = v
+				pivot = r
+			}
+		}
+		if best < 1e-12 {
+			return nil, fmt.Errorf("analytics: singular matrix in linear solve (column %d); add regularisation or remove collinear features", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		x[col], x[pivot] = x[pivot], x[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			factor := a[r][col] / a[col][col]
+			if factor == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= factor * a[col][c]
+			}
+			x[r] -= factor * x[col]
+		}
+	}
+	// Back substitution.
+	for col := n - 1; col >= 0; col-- {
+		sum := x[col]
+		for c := col + 1; c < n; c++ {
+			sum -= a[col][c] * x[c]
+		}
+		x[col] = sum / a[col][col]
+	}
+	return x, nil
+}

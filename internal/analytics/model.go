@@ -1,0 +1,108 @@
+package analytics
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"idaax/internal/relalg"
+	"idaax/internal/types"
+)
+
+// Model kinds stored in model tables.
+const (
+	ModelKindLinear       = "LINEAR_REGRESSION"
+	ModelKindLogistic     = "LOGISTIC_REGRESSION"
+	ModelKindKMeans       = "KMEANS"
+	ModelKindNaiveBayes   = "NAIVE_BAYES"
+	ModelKindDecisionTree = "DECISION_TREE"
+)
+
+// ModelSchema is the schema of model tables. Models are persisted as
+// accelerator-only tables so trained models stay inside the accelerator and
+// scoring never needs DB2. The JSON payload row carries the full model; the
+// metric rows make key training metrics queryable with plain SQL.
+func ModelSchema() types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "MODEL_KIND", Kind: types.KindString, NotNull: true},
+		types.Column{Name: "PARAM", Kind: types.KindString, NotNull: true},
+		types.Column{Name: "VALUE", Kind: types.KindFloat},
+		types.Column{Name: "TEXT", Kind: types.KindString},
+	)
+}
+
+// modelEnvelope wraps any concrete model for JSON persistence.
+type modelEnvelope struct {
+	Kind         string             `json:"kind"`
+	Linear       *LinearModel       `json:"linear,omitempty"`
+	Logistic     *LogisticModel     `json:"logistic,omitempty"`
+	KMeans       *KMeansModel       `json:"kmeans,omitempty"`
+	NaiveBayes   *NaiveBayesModel   `json:"naive_bayes,omitempty"`
+	DecisionTree *DecisionTreeModel `json:"decision_tree,omitempty"`
+}
+
+// ModelRows serialises a model into rows of ModelSchema. metrics are appended
+// as additional queryable rows.
+func ModelRows(kind string, model any, metrics map[string]float64) ([]types.Row, error) {
+	env := modelEnvelope{Kind: kind}
+	switch m := model.(type) {
+	case *LinearModel:
+		env.Linear = m
+	case *LogisticModel:
+		env.Logistic = m
+	case *KMeansModel:
+		env.KMeans = m
+	case *NaiveBayesModel:
+		env.NaiveBayes = m
+	case *DecisionTreeModel:
+		env.DecisionTree = m
+	default:
+		return nil, fmt.Errorf("analytics: unsupported model type %T", model)
+	}
+	payload, err := json.Marshal(env)
+	if err != nil {
+		return nil, err
+	}
+	rows := []types.Row{
+		{types.NewString(kind), types.NewString("JSON"), types.NewFloat(0), types.NewString(string(payload))},
+	}
+	for name, value := range metrics {
+		rows = append(rows, types.Row{types.NewString(kind), types.NewString(name), types.NewFloat(value), types.NewString("")})
+	}
+	return rows, nil
+}
+
+// LoadModel reconstructs a model from the rows of a model table (as returned
+// by SELECT * FROM <model table>).
+func LoadModel(rel *relalg.Relation) (string, any, error) {
+	schema := rel.Schema()
+	paramIdx := schema.IndexOf("PARAM")
+	textIdx := schema.IndexOf("TEXT")
+	kindIdx := schema.IndexOf("MODEL_KIND")
+	if paramIdx < 0 || textIdx < 0 || kindIdx < 0 {
+		return "", nil, fmt.Errorf("analytics: relation is not a model table (missing MODEL_KIND/PARAM/TEXT columns)")
+	}
+	for _, row := range rel.Rows {
+		if row[paramIdx].AsString() != "JSON" {
+			continue
+		}
+		var env modelEnvelope
+		if err := json.Unmarshal([]byte(row[textIdx].AsString()), &env); err != nil {
+			return "", nil, fmt.Errorf("analytics: corrupt model payload: %w", err)
+		}
+		switch env.Kind {
+		case ModelKindLinear:
+			return env.Kind, env.Linear, nil
+		case ModelKindLogistic:
+			return env.Kind, env.Logistic, nil
+		case ModelKindKMeans:
+			return env.Kind, env.KMeans, nil
+		case ModelKindNaiveBayes:
+			return env.Kind, env.NaiveBayes, nil
+		case ModelKindDecisionTree:
+			return env.Kind, env.DecisionTree, nil
+		default:
+			return "", nil, fmt.Errorf("analytics: unknown model kind %q", env.Kind)
+		}
+	}
+	return "", nil, fmt.Errorf("analytics: model table has no JSON payload row")
+}

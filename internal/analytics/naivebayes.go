@@ -1,0 +1,116 @@
+package analytics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NaiveBayesModel is a Gaussian naive Bayes classifier over numeric features
+// with categorical class labels.
+type NaiveBayesModel struct {
+	FeatureNames []string
+	Classes      []string
+	Priors       map[string]float64
+	// Means[class][feature] and Variances[class][feature] parameterise the
+	// per-class gaussians.
+	Means     map[string][]float64
+	Variances map[string][]float64
+	N         int
+}
+
+// TrainNaiveBayes fits a Gaussian naive Bayes model. The dataset must carry
+// categorical labels.
+func TrainNaiveBayes(ds *Dataset) (*NaiveBayesModel, error) {
+	n := ds.Rows()
+	p := ds.Cols()
+	if n == 0 {
+		return nil, fmt.Errorf("analytics: naive bayes requires at least one row")
+	}
+	if len(ds.Labels) != n {
+		return nil, fmt.Errorf("analytics: naive bayes requires a categorical target")
+	}
+
+	counts := make(map[string]int)
+	sums := make(map[string][]float64)
+	sumSqs := make(map[string][]float64)
+	for i := 0; i < n; i++ {
+		label := ds.Labels[i]
+		if _, ok := counts[label]; !ok {
+			sums[label] = make([]float64, p)
+			sumSqs[label] = make([]float64, p)
+		}
+		counts[label]++
+		for j := 0; j < p; j++ {
+			v := ds.Features[i][j]
+			sums[label][j] += v
+			sumSqs[label][j] += v * v
+		}
+	}
+
+	model := &NaiveBayesModel{
+		FeatureNames: append([]string(nil), ds.FeatureNames...),
+		Priors:       make(map[string]float64),
+		Means:        make(map[string][]float64),
+		Variances:    make(map[string][]float64),
+		N:            n,
+	}
+	for label, c := range counts {
+		model.Classes = append(model.Classes, label)
+		model.Priors[label] = float64(c) / float64(n)
+		means := make([]float64, p)
+		variances := make([]float64, p)
+		for j := 0; j < p; j++ {
+			means[j] = sums[label][j] / float64(c)
+			v := sumSqs[label][j]/float64(c) - means[j]*means[j]
+			if v < 1e-9 {
+				v = 1e-9 // variance smoothing
+			}
+			variances[j] = v
+		}
+		model.Means[label] = means
+		model.Variances[label] = variances
+	}
+	sort.Strings(model.Classes)
+	return model, nil
+}
+
+// PredictClass returns the most probable class and its log-probability score.
+func (m *NaiveBayesModel) PredictClass(features []float64) (string, float64) {
+	bestClass := ""
+	bestScore := math.Inf(-1)
+	for _, class := range m.Classes {
+		score := math.Log(m.Priors[class])
+		means := m.Means[class]
+		variances := m.Variances[class]
+		for j := range m.FeatureNames {
+			if j >= len(features) {
+				break
+			}
+			x := features[j]
+			mu := means[j]
+			va := variances[j]
+			score += -0.5*math.Log(2*math.Pi*va) - (x-mu)*(x-mu)/(2*va)
+		}
+		if score > bestScore {
+			bestScore = score
+			bestClass = class
+		}
+	}
+	return bestClass, bestScore
+}
+
+// Accuracy computes classification accuracy against a labelled dataset.
+func (m *NaiveBayesModel) Accuracy(ds *Dataset) float64 {
+	if ds.Rows() == 0 || len(ds.Labels) != ds.Rows() {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < ds.Rows(); i++ {
+		pred, _ := m.PredictClass(ds.Features[i])
+		if pred == ds.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Rows())
+}

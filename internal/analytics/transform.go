@@ -1,0 +1,249 @@
+package analytics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"idaax/internal/expr"
+	"idaax/internal/relalg"
+	"idaax/internal/types"
+)
+
+// Standardize z-score-normalises the named numeric columns of a relation and
+// returns a new relation with the same shape (non-selected columns pass
+// through unchanged). Columns with zero variance become 0.
+func Standardize(rel *relalg.Relation, columns []string) (*relalg.Relation, error) {
+	stats, err := Summarize(rel, columns)
+	if err != nil {
+		return nil, err
+	}
+	schema := rel.Schema()
+	colIdx := make([]int, len(columns))
+	for i, c := range columns {
+		colIdx[i] = schema.IndexOf(c)
+	}
+	out := rel.Clone()
+	out.Rows = make([]types.Row, len(rel.Rows))
+	for ri, row := range rel.Rows {
+		newRow := row.Clone()
+		for i, idx := range colIdx {
+			if newRow[idx].IsNull() {
+				continue
+			}
+			f, ok := newRow[idx].AsFloat()
+			if !ok {
+				continue
+			}
+			st := stats[i]
+			if st.StdDev > 0 {
+				newRow[idx] = types.NewFloat((f - st.Mean) / st.StdDev)
+			} else {
+				newRow[idx] = types.NewFloat(0)
+			}
+		}
+		out.Rows[ri] = newRow
+	}
+	// Standardised columns are floating point even if the input was integral.
+	for _, idx := range colIdx {
+		out.Cols[idx].Kind = types.KindFloat
+	}
+	return out, nil
+}
+
+// ImputeStrategy selects how missing values are replaced.
+type ImputeStrategy string
+
+const (
+	// ImputeMean replaces NULLs with the column mean.
+	ImputeMean ImputeStrategy = "MEAN"
+	// ImputeMedian replaces NULLs with the column median.
+	ImputeMedian ImputeStrategy = "MEDIAN"
+	// ImputeZero replaces NULLs with zero.
+	ImputeZero ImputeStrategy = "ZERO"
+)
+
+// Impute replaces NULLs in the named numeric columns.
+func Impute(rel *relalg.Relation, columns []string, strategy ImputeStrategy) (*relalg.Relation, int, error) {
+	schema := rel.Schema()
+	replacements := make(map[int]float64)
+	for _, c := range columns {
+		idx := schema.IndexOf(c)
+		if idx < 0 {
+			return nil, 0, fmt.Errorf("analytics: column %s not found", c)
+		}
+		var value float64
+		switch strategy {
+		case ImputeZero:
+			value = 0
+		case ImputeMedian:
+			var vals []float64
+			for _, row := range rel.Rows {
+				if f, ok := row[idx].AsFloat(); ok && !row[idx].IsNull() {
+					vals = append(vals, f)
+				}
+			}
+			sort.Float64s(vals)
+			if len(vals) > 0 {
+				value = vals[len(vals)/2]
+			}
+		default: // mean
+			stats, err := Summarize(rel, []string{c})
+			if err != nil {
+				return nil, 0, err
+			}
+			value = stats[0].Mean
+		}
+		replacements[idx] = value
+	}
+
+	out := rel.Clone()
+	out.Rows = make([]types.Row, len(rel.Rows))
+	replaced := 0
+	for ri, row := range rel.Rows {
+		newRow := row.Clone()
+		for idx, value := range replacements {
+			if newRow[idx].IsNull() {
+				newRow[idx] = types.NewFloat(value)
+				replaced++
+			}
+		}
+		out.Rows[ri] = newRow
+	}
+	return out, replaced, nil
+}
+
+// Bin performs equal-width binning of a numeric column, appending a new
+// integer column "<col>_BIN" with values 0..bins-1.
+func Bin(rel *relalg.Relation, column string, bins int) (*relalg.Relation, error) {
+	if bins < 2 {
+		return nil, fmt.Errorf("analytics: binning requires at least 2 bins")
+	}
+	schema := rel.Schema()
+	idx := schema.IndexOf(column)
+	if idx < 0 {
+		return nil, fmt.Errorf("analytics: column %s not found", column)
+	}
+	stats, err := Summarize(rel, []string{column})
+	if err != nil {
+		return nil, err
+	}
+	min, max := stats[0].Min, stats[0].Max
+	width := (max - min) / float64(bins)
+	if width <= 0 {
+		width = 1
+	}
+
+	out := rel.Clone()
+	out.Cols = append(out.Cols, relColumn(types.NormalizeName(column)+"_BIN", types.KindInt))
+	out.Rows = make([]types.Row, len(rel.Rows))
+	for ri, row := range rel.Rows {
+		newRow := append(row.Clone(), types.Null())
+		if f, ok := row[idx].AsFloat(); ok && !row[idx].IsNull() {
+			bin := int64(math.Floor((f - min) / width))
+			if bin >= int64(bins) {
+				bin = int64(bins) - 1
+			}
+			if bin < 0 {
+				bin = 0
+			}
+			newRow[len(newRow)-1] = types.NewInt(bin)
+		}
+		out.Rows[ri] = newRow
+	}
+	return out, nil
+}
+
+// OneHot appends one 0/1 integer column per distinct value of a categorical
+// column ("<col>_<value>"). The number of distinct values is capped to avoid
+// exploding schemas.
+func OneHot(rel *relalg.Relation, column string, maxCategories int) (*relalg.Relation, []string, error) {
+	if maxCategories <= 0 {
+		maxCategories = 32
+	}
+	schema := rel.Schema()
+	idx := schema.IndexOf(column)
+	if idx < 0 {
+		return nil, nil, fmt.Errorf("analytics: column %s not found", column)
+	}
+	// Collect distinct values in first-seen order.
+	var categories []string
+	seen := map[string]bool{}
+	for _, row := range rel.Rows {
+		if row[idx].IsNull() {
+			continue
+		}
+		v := row[idx].AsString()
+		if !seen[v] {
+			seen[v] = true
+			categories = append(categories, v)
+			if len(categories) > maxCategories {
+				return nil, nil, fmt.Errorf("analytics: column %s has more than %d distinct values", column, maxCategories)
+			}
+		}
+	}
+	sort.Strings(categories)
+
+	out := rel.Clone()
+	newCols := make([]string, len(categories))
+	for i, cat := range categories {
+		name := types.NormalizeName(column) + "_" + sanitizeIdent(cat)
+		newCols[i] = name
+		out.Cols = append(out.Cols, relColumn(name, types.KindInt))
+	}
+	out.Rows = make([]types.Row, len(rel.Rows))
+	for ri, row := range rel.Rows {
+		newRow := row.Clone()
+		val := ""
+		if !row[idx].IsNull() {
+			val = row[idx].AsString()
+		}
+		for _, cat := range categories {
+			if val == cat {
+				newRow = append(newRow, types.NewInt(1))
+			} else {
+				newRow = append(newRow, types.NewInt(0))
+			}
+		}
+		out.Rows[ri] = newRow
+	}
+	return out, newCols, nil
+}
+
+// SplitData partitions a relation into train and test subsets with a
+// deterministic pseudo-random assignment.
+func SplitData(rel *relalg.Relation, trainFraction float64, seed int64) (train, test *relalg.Relation) {
+	if trainFraction <= 0 || trainFraction >= 1 {
+		trainFraction = 0.8
+	}
+	r := newRNG(seed)
+	train = &relalg.Relation{Cols: rel.Cols}
+	test = &relalg.Relation{Cols: rel.Cols}
+	for _, row := range rel.Rows {
+		if r.Float64() < trainFraction {
+			train.Rows = append(train.Rows, row)
+		} else {
+			test.Rows = append(test.Rows, row)
+		}
+	}
+	return train, test
+}
+
+func relColumn(name string, kind types.Kind) expr.InputColumn {
+	return expr.InputColumn{Name: name, Kind: kind}
+}
+
+func sanitizeIdent(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range types.NormalizeName(s) {
+		if (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') || r == '_' {
+			out = append(out, r)
+		} else {
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "X"
+	}
+	return string(out)
+}

@@ -1,0 +1,186 @@
+// Package bench implements the experiment harness that regenerates every
+// table of the evaluation (DESIGN.md §3, EXPERIMENTS.md). The same experiment
+// code is driven from `go test -bench` (bench_test.go) and from the
+// cmd/idaabench binary, so the numbers in EXPERIMENTS.md can be reproduced
+// either way.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"idaax"
+)
+
+// Scale controls dataset sizes so experiments can run both as quick smoke
+// benchmarks and at full size.
+type Scale struct {
+	// Name labels the scale in reports.
+	Name string
+	// PipelineOrders are the ORDERS sizes for the pipeline experiments (E1, E7).
+	PipelineOrders []int
+	// QueryRows are the ORDERS sizes for the query-acceleration experiment (E2).
+	QueryRows []int
+	// LoadRows is the row count for the load-path experiment (E3).
+	LoadRows int
+	// TxnStatements is the number of transactions for E4.
+	TxnStatements int
+	// ChurnRows is the labelled-row count for E5/E6.
+	ChurnRows int
+	// Slices is the accelerator parallelism (0 = number of CPUs).
+	Slices int
+}
+
+// SmallScale finishes in a few seconds; used by unit tests and -short runs.
+func SmallScale() Scale {
+	return Scale{
+		Name:           "small",
+		PipelineOrders: []int{5000, 20000},
+		QueryRows:      []int{5000, 20000, 60000},
+		LoadRows:       20000,
+		TxnStatements:  200,
+		ChurnRows:      5000,
+	}
+}
+
+// FullScale is the scale EXPERIMENTS.md reports.
+func FullScale() Scale {
+	return Scale{
+		Name:           "full",
+		PipelineOrders: []int{50000, 200000},
+		QueryRows:      []int{10000, 100000, 400000},
+		LoadRows:       200000,
+		TxnStatements:  1000,
+		ChurnRows:      50000,
+	}
+}
+
+// Table is one experiment's result table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a free-text note printed under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if i < len(widths) {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(seps)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, note := range t.Notes {
+		sb.WriteString("  note: " + note + "\n")
+	}
+	return sb.String()
+}
+
+// Experiment is one reproducible experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(scale Scale) (*Table, error)
+}
+
+// Experiments returns all experiments keyed by lower-case id.
+func Experiments() map[string]Experiment {
+	exps := []Experiment{
+		{ID: "E1", Title: "Multi-stage pipeline: DB2 materialisation vs accelerator-only tables", Run: RunE1Pipeline},
+		{ID: "E2", Title: "Analytical query acceleration: DB2 row engine vs accelerator", Run: RunE2QueryAcceleration},
+		{ID: "E3", Title: "Load paths: DB2 insert+replication vs loader vs loader into AOT", Run: RunE3LoadPaths},
+		{ID: "E4", Title: "AOT DML under the DB2 transaction context: correctness and overhead", Run: RunE4Transactions},
+		{ID: "E5", Title: "Scoring: client-side extraction vs in-database procedure", Run: RunE5Scoring},
+		{ID: "E6", Title: "In-database model training on the accelerator", Run: RunE6Training},
+		{ID: "E7", Title: "Ablation: offload and AOT design choices", Run: RunE7Ablation},
+		{ID: "E8", Title: "Governance: privilege enforcement before delegation", Run: RunE8Governance},
+		{ID: "F1", Title: "Architecture inventory and data paths (Figure 1)", Run: RunF1Architecture},
+	}
+	out := make(map[string]Experiment, len(exps))
+	for _, e := range exps {
+		out[strings.ToLower(e.ID)] = e
+	}
+	return out
+}
+
+// IDs returns the experiment ids in order.
+func IDs() []string {
+	var ids []string
+	for id := range Experiments() {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by id.
+func Run(id string, scale Scale) (*Table, error) {
+	exp, ok := Experiments()[strings.ToLower(id)]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return exp.Run(scale)
+}
+
+// ---------------------------------------------------------------------------
+// Shared setup helpers
+// ---------------------------------------------------------------------------
+
+func newSystem(scale Scale) *idaax.System {
+	return idaax.New(idaax.Config{AcceleratorSlices: scale.Slices, AnalyticsPublic: true})
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000.0)
+}
+
+func ratio(a, b time.Duration) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fx", float64(a)/float64(b))
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+func i64(n int64) string { return fmt.Sprintf("%d", n) }

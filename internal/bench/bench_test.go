@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExperimentRegistry checks that every documented experiment is present
+// and runnable at a tiny scale (E4, E8 and F1 are cheap enough to execute in a
+// unit test; the heavier experiments are exercised by bench_test.go at the
+// repository root and by cmd/idaabench).
+func TestExperimentRegistry(t *testing.T) {
+	ids := IDs()
+	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "f1"}
+	if len(ids) != len(want) {
+		t.Fatalf("experiments: %v", ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("experiment list mismatch: %v", ids)
+		}
+	}
+	if _, err := Run("nope", SmallScale()); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestCheapExperimentsRun(t *testing.T) {
+	scale := SmallScale()
+	scale.TxnStatements = 20
+	for _, id := range []string{"e4", "e8", "f1"} {
+		table, err := Run(id, scale)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(table.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+		out := table.Format()
+		if !strings.Contains(out, strings.ToUpper(id)) {
+			t.Fatalf("%s: format missing id header:\n%s", id, out)
+		}
+		// Correctness experiments must not contain FAIL rows.
+		if id == "e4" || id == "e8" {
+			if strings.Contains(out, "FAIL") {
+				t.Fatalf("%s reports FAIL:\n%s", id, out)
+			}
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{ID: "X", Title: "demo", Columns: []string{"A", "LONG_COLUMN"}}
+	tb.AddRow("1", "x")
+	tb.AddRow("22", "yyyy")
+	tb.AddNote("note %d", 1)
+	out := tb.Format()
+	if !strings.Contains(out, "LONG_COLUMN") || !strings.Contains(out, "note 1") {
+		t.Fatalf("format:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("expected 6 lines, got %d:\n%s", len(lines), out)
+	}
+}

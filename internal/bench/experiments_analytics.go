@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"idaax"
+	"idaax/internal/analytics"
+	"idaax/internal/expr"
+	"idaax/internal/federation"
+	"idaax/internal/relalg"
+	"idaax/internal/types"
+)
+
+// RunE4Transactions verifies and measures the transactional behaviour of
+// accelerator-only tables: own-transaction visibility of uncommitted changes,
+// rollback, isolation from concurrent sessions, and the per-statement overhead
+// of running AOT DML inside explicit transactions versus auto-commit.
+func RunE4Transactions(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E4",
+		Title:   "AOT DML under the DB2 transaction context",
+		Columns: []string{"CHECK / WORKLOAD", "RESULT", "DETAIL"},
+	}
+	sys := newSystem(scale)
+	admin := sys.AdminSession()
+	if _, err := admin.Exec("CREATE TABLE txn_aot (id BIGINT, v DOUBLE) IN ACCELERATOR IDAA1"); err != nil {
+		return nil, err
+	}
+
+	// Correctness check 1: own uncommitted changes are visible.
+	if err := admin.Begin(); err != nil {
+		return nil, err
+	}
+	if _, err := admin.Exec("INSERT INTO txn_aot VALUES (1, 1.0), (2, 2.0)"); err != nil {
+		return nil, err
+	}
+	res, err := admin.Query("SELECT COUNT(*) FROM txn_aot")
+	if err != nil {
+		return nil, err
+	}
+	ownSees := res.Rows[0][0] == "2"
+	other := sys.AdminSession()
+	resOther, err := other.Query("SELECT COUNT(*) FROM txn_aot")
+	if err != nil {
+		return nil, err
+	}
+	otherBlind := resOther.Rows[0][0] == "0"
+	if err := admin.Rollback(); err != nil {
+		return nil, err
+	}
+	resAfter, err := admin.Query("SELECT COUNT(*) FROM txn_aot")
+	if err != nil {
+		return nil, err
+	}
+	rolledBack := resAfter.Rows[0][0] == "0"
+	t.AddRow("own transaction sees its uncommitted AOT inserts", passFail(ownSees), "SELECT COUNT(*) inside the inserting transaction")
+	t.AddRow("concurrent session does not see uncommitted inserts", passFail(otherBlind), "snapshot isolation on the accelerator")
+	t.AddRow("ROLLBACK removes delegated AOT changes", passFail(rolledBack), "MVCC versions of the aborted transaction stay invisible")
+
+	// Correctness check 2: multi-statement transaction commits atomically.
+	if err := admin.Begin(); err != nil {
+		return nil, err
+	}
+	if _, err := admin.Exec("INSERT INTO txn_aot VALUES (10, 1.0)"); err != nil {
+		return nil, err
+	}
+	if _, err := admin.Exec("UPDATE txn_aot SET v = v + 1 WHERE id = 10"); err != nil {
+		return nil, err
+	}
+	if _, err := admin.Exec("DELETE FROM txn_aot WHERE id = 10 AND v < 0"); err != nil {
+		return nil, err
+	}
+	if err := admin.Commit(); err != nil {
+		return nil, err
+	}
+	resCommit, err := other.Query("SELECT COUNT(*), MAX(v) FROM txn_aot WHERE id = 10")
+	if err != nil {
+		return nil, err
+	}
+	atomic := resCommit.Rows[0][0] == "1" && resCommit.Rows[0][1] == "2"
+	t.AddRow("multi-statement transaction commits atomically", passFail(atomic), "insert+update+delete visible to other sessions only after COMMIT")
+
+	// Overhead: auto-commit vs explicit transactions per statement batch.
+	n := scale.TxnStatements
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := admin.Exec(fmt.Sprintf("INSERT INTO txn_aot VALUES (%d, %d.5)", 1000+i, i)); err != nil {
+			return nil, err
+		}
+	}
+	autoElapsed := time.Since(start)
+
+	start = time.Now()
+	if err := admin.Begin(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if _, err := admin.Exec(fmt.Sprintf("INSERT INTO txn_aot VALUES (%d, %d.5)", 100000+i, i)); err != nil {
+			return nil, err
+		}
+	}
+	if err := admin.Commit(); err != nil {
+		return nil, err
+	}
+	explicitElapsed := time.Since(start)
+	t.AddRow(fmt.Sprintf("%d AOT inserts, auto-commit", n), ms(autoElapsed)+" ms", fmt.Sprintf("%.1f µs/stmt (one commit handshake per statement)", float64(autoElapsed.Microseconds())/float64(n)))
+	t.AddRow(fmt.Sprintf("%d AOT inserts, one transaction", n), ms(explicitElapsed)+" ms", fmt.Sprintf("%.1f µs/stmt (single commit handshake)", float64(explicitElapsed.Microseconds())/float64(n)))
+	return t, nil
+}
+
+func passFail(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// RunE5Scoring compares client-side scoring (extract the rows to the
+// application, score there, write predictions back) against in-database
+// scoring through the procedure framework (compute on the accelerator,
+// materialise into an AOT).
+func RunE5Scoring(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E5",
+		Title:   "Churn scoring: client-side extraction vs in-database procedure",
+		Columns: []string{"ROWS", "APPROACH", "ELAPSED_MS", "ROWS_TO_CLIENT", "PREDICTIONS_LAND_IN", "SPEEDUP"},
+	}
+	rows := scale.ChurnRows
+	sys := newSystem(scale)
+	if err := setupChurn(sys, rows); err != nil {
+		return nil, err
+	}
+	admin := sys.AdminSession()
+	features := "TENURE_MONTHS,MONTHLY_SPEND,SUPPORT_CALLS,LATE_PAYMENTS,DISCOUNT_RATE"
+
+	// Train once, in-database, into a model AOT.
+	if _, err := admin.Exec(fmt.Sprintf(
+		"CALL IDAX.LOGISTIC_REGRESSION('CHURN', 'CHURNED', '%s', 'CHURN_MODEL', 150, 0.2)", features)); err != nil {
+		return nil, err
+	}
+
+	// Client-side scoring: pull all rows to the client, score locally, write
+	// the predictions back into a DB2 table.
+	coord := sys.Coordinator()
+	sys.ResetMetrics()
+	startClient := time.Now()
+	session := coord.Session(benchUser)
+	resRel, err := session.Query("SELECT * FROM churn")
+	if err != nil {
+		return nil, err
+	}
+	// The application materialises the fetched rows before scoring them.
+	rel := resultToRelation(resRel)
+	modelRes, err := session.Query("SELECT * FROM CHURN_MODEL")
+	if err != nil {
+		return nil, err
+	}
+	kind, model, err := analytics.LoadModel(resultToRelation(modelRes))
+	if err != nil {
+		return nil, err
+	}
+	scored, schema, err := analytics.ScoreRelation(kind, model, rel, "CUSTOMER_ID")
+	if err != nil {
+		return nil, err
+	}
+	if err := createTable(sys, "SCORES_CLIENT", schema, ""); err != nil {
+		return nil, err
+	}
+	if _, err := coord.BulkInsert(benchUser, "SCORES_CLIENT", scored); err != nil {
+		return nil, err
+	}
+	clientElapsed := time.Since(startClient)
+
+	// In-database scoring: one CALL, result lands in an AOT.
+	sys.ResetMetrics()
+	startInDB := time.Now()
+	if _, err := admin.Exec("CALL IDAX.PREDICT('CHURN_MODEL', 'CHURN', 'CUSTOMER_ID', 'SCORES_INDB')"); err != nil {
+		return nil, err
+	}
+	inDBElapsed := time.Since(startInDB)
+
+	t.AddRow(itoa(rows), "client-side (extract, score in app, insert back)", ms(clientElapsed), itoa(len(resRel.Rows)),
+		"DB2 table (application writes them back)", "1.0x")
+	t.AddRow(itoa(rows), "in-database (CALL IDAX.PREDICT into AOT)", ms(inDBElapsed), "0",
+		"accelerator-only table", ratio(clientElapsed, inDBElapsed))
+	t.AddNote("Both approaches apply the same logistic model to the same rows; the in-database path never returns row data to the client and keeps predictions on the accelerator for the next pipeline stage.")
+	return t, nil
+}
+
+// resultToRelation rebuilds a relation from a statement result (simulating an
+// application that fetched the rows to its own address space).
+func resultToRelation(res *federation.Result) *relalg.Relation {
+	rel := &relalg.Relation{}
+	for _, c := range res.Columns {
+		rel.Cols = append(rel.Cols, expr.InputColumn{Name: c, Kind: types.KindString})
+	}
+	for _, row := range res.Rows {
+		rel.Rows = append(rel.Rows, row.Clone())
+	}
+	return rel
+}
+
+// RunE6Training trains every supported algorithm in-database and reports
+// runtime, model size and quality metrics, plus k-means parallel scaling
+// across accelerator slice counts.
+func RunE6Training(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E6",
+		Title:   "In-database model training through the procedure framework",
+		Columns: []string{"ALGORITHM", "ROWS", "ELAPSED_MS", "RESULT"},
+	}
+	rows := scale.ChurnRows
+	sys := newSystem(scale)
+	if err := setupChurn(sys, rows); err != nil {
+		return nil, err
+	}
+	admin := sys.AdminSession()
+	features := "TENURE_MONTHS,MONTHLY_SPEND,SUPPORT_CALLS,LATE_PAYMENTS,DISCOUNT_RATE"
+
+	calls := []struct {
+		name string
+		sql  string
+	}{
+		{"linear regression", fmt.Sprintf("CALL IDAX.LINEAR_REGRESSION('CHURN', 'MONTHLY_SPEND', 'TENURE_MONTHS,SUPPORT_CALLS,LATE_PAYMENTS,DISCOUNT_RATE', 'M_LIN')")},
+		{"logistic regression", fmt.Sprintf("CALL IDAX.LOGISTIC_REGRESSION('CHURN', 'CHURNED', '%s', 'M_LOG', 150, 0.2)", features)},
+		{"k-means (k=4)", fmt.Sprintf("CALL IDAX.KMEANS('CHURN', '%s', 4, 'M_KM', 'KM_ASSIGN', 'CUSTOMER_ID', 25, 7)", features)},
+		{"naive bayes", fmt.Sprintf("CALL IDAX.NAIVE_BAYES('CHURN', 'CHURNED', '%s', 'M_NB')", features)},
+		{"decision tree", fmt.Sprintf("CALL IDAX.DECISION_TREE('CHURN', 'CHURNED', '%s', 'M_DT', 6)", features)},
+	}
+	for _, call := range calls {
+		start := time.Now()
+		res, err := admin.Exec(call.sql)
+		if err != nil {
+			return nil, fmt.Errorf("E6 %s: %w", call.name, err)
+		}
+		t.AddRow(call.name, itoa(rows), ms(time.Since(start)), res.Message)
+	}
+
+	// Parallel scaling of the most compute-bound algorithm (k-means) across
+	// accelerator slice counts.
+	for _, slices := range []int{1, 2, 4} {
+		sysN := idaax.New(idaax.Config{AcceleratorSlices: slices, AnalyticsPublic: true})
+		if err := setupChurn(sysN, rows); err != nil {
+			return nil, err
+		}
+		adminN := sysN.AdminSession()
+		start := time.Now()
+		if _, err := adminN.Exec(fmt.Sprintf("CALL IDAX.KMEANS('CHURN', '%s', 4, 'M_KM', 'KM_ASSIGN', 'CUSTOMER_ID', 25, 7)", features)); err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("k-means scaling, %d slice(s)", slices), itoa(rows), ms(time.Since(start)), fmt.Sprintf("accelerator configured with %d worker slices", slices))
+	}
+	t.AddNote("All models and cluster assignments are materialised as accelerator-only tables and are immediately queryable with SQL (e.g. SELECT * FROM M_LOG WHERE PARAM = 'ACCURACY').")
+	return t, nil
+}

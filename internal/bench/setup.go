@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"idaax"
+	"idaax/internal/types"
+	"idaax/internal/workload"
+)
+
+const benchUser = "SYSADM"
+
+// schemaDDL renders a CREATE TABLE column list for a schema.
+func schemaDDL(schema types.Schema) string {
+	parts := make([]string, len(schema.Columns))
+	for i, c := range schema.Columns {
+		nn := ""
+		if c.NotNull {
+			nn = " NOT NULL"
+		}
+		parts[i] = fmt.Sprintf("%s %s%s", c.Name, c.Kind, nn)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// createTable creates a regular DB2 table (or an AOT when accelerator != "").
+func createTable(sys *idaax.System, table string, schema types.Schema, accelerator string) error {
+	session := sys.AdminSession()
+	ddl := fmt.Sprintf("CREATE TABLE %s (%s)", table, schemaDDL(schema))
+	if accelerator != "" {
+		ddl += " IN ACCELERATOR " + accelerator
+	}
+	_, err := session.Exec(ddl)
+	return err
+}
+
+// fillTable bulk-inserts generated rows.
+func fillTable(sys *idaax.System, table string, rows []types.Row) error {
+	_, err := sys.Coordinator().BulkInsert(benchUser, table, rows)
+	return err
+}
+
+// accelerate adds the table to the default accelerator and performs a full
+// load (ACCEL_ADD_TABLES + ACCEL_LOAD_TABLES).
+func accelerate(sys *idaax.System, table string) error {
+	session := sys.AdminSession()
+	if _, err := session.Exec(fmt.Sprintf("CALL SYSPROC.ACCEL_ADD_TABLES('IDAA1', '%s')", table)); err != nil {
+		return err
+	}
+	if _, err := session.Exec(fmt.Sprintf("CALL SYSPROC.ACCEL_LOAD_TABLES('IDAA1', '%s')", table)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// setupCustomersOrders creates CUSTOMERS and ORDERS in DB2, fills them with
+// generated data, and accelerates both with a full load.
+func setupCustomersOrders(sys *idaax.System, orderCount int) (customers, orders int, err error) {
+	customerCount := orderCount / 10
+	if customerCount < 100 {
+		customerCount = 100
+	}
+	if err := createTable(sys, "CUSTOMERS", workload.CustomerSchema(), ""); err != nil {
+		return 0, 0, err
+	}
+	if err := fillTable(sys, "CUSTOMERS", workload.Customers(customerCount, 1)); err != nil {
+		return 0, 0, err
+	}
+	if err := createTable(sys, "ORDERS", workload.OrderSchema(), ""); err != nil {
+		return 0, 0, err
+	}
+	if err := fillTable(sys, "ORDERS", workload.Orders(orderCount, customerCount, 2)); err != nil {
+		return 0, 0, err
+	}
+	if err := accelerate(sys, "CUSTOMERS"); err != nil {
+		return 0, 0, err
+	}
+	if err := accelerate(sys, "ORDERS"); err != nil {
+		return 0, 0, err
+	}
+	return customerCount, orderCount, nil
+}
+
+// setupChurn creates the labelled churn table, fills and accelerates it.
+func setupChurn(sys *idaax.System, rows int) error {
+	if err := createTable(sys, "CHURN", workload.ChurnSchema(), ""); err != nil {
+		return err
+	}
+	if err := fillTable(sys, "CHURN", workload.Churn(rows, 3)); err != nil {
+		return err
+	}
+	return accelerate(sys, "CHURN")
+}

@@ -1,0 +1,135 @@
+package catalog
+
+import (
+	"errors"
+	"testing"
+
+	"idaax/internal/types"
+)
+
+func schema() types.Schema {
+	return types.NewSchema(types.Column{Name: "ID", Kind: types.KindInt})
+}
+
+func TestTableLifecycle(t *testing.T) {
+	c := New()
+	if err := c.CreateTable(&Table{Name: "t1", Schema: schema(), Owner: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable(&Table{Name: "T1", Schema: schema()}); err == nil {
+		t.Fatal("duplicate (case-insensitive) create should fail")
+	}
+	var exists *ErrExists
+	if err := c.CreateTable(&Table{Name: "t1", Schema: schema()}); !errors.As(err, &exists) {
+		t.Fatalf("expected ErrExists, got %v", err)
+	}
+	meta, err := c.Table("t1")
+	if err != nil || meta.Name != "T1" || meta.Kind != KindRegular {
+		t.Fatalf("lookup: %+v, %v", meta, err)
+	}
+	// Returned entries are copies.
+	meta.Kind = KindAcceleratorOnly
+	again, _ := c.Table("T1")
+	if again.Kind != KindRegular {
+		t.Fatal("catalog entry mutated through returned copy")
+	}
+	if err := c.SetKind("T1", KindAccelerated, "IDAA1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetReplication("T1", true); err != nil {
+		t.Fatal(err)
+	}
+	updated, _ := c.Table("t1")
+	if updated.Kind != KindAccelerated || updated.Accelerator != "IDAA1" || !updated.ReplicationEnabled {
+		t.Fatalf("update lost: %+v", updated)
+	}
+	if len(c.Tables()) != 1 {
+		t.Fatal("tables list")
+	}
+	if err := c.DropTable("t1"); err != nil {
+		t.Fatal(err)
+	}
+	var notFound *ErrNotFound
+	if err := c.DropTable("t1"); !errors.As(err, &notFound) {
+		t.Fatalf("expected ErrNotFound, got %v", err)
+	}
+}
+
+func TestAccelerators(t *testing.T) {
+	c := New()
+	if c.HasAccelerator("IDAA1") {
+		t.Fatal("unexpected accelerator")
+	}
+	c.AddAccelerator("idaa1")
+	c.AddAccelerator("IDAA2")
+	if !c.HasAccelerator("IDAA1") {
+		t.Fatal("accelerator not registered")
+	}
+	if got := c.Accelerators(); len(got) != 2 || got[0] != "IDAA1" {
+		t.Fatalf("accelerators: %v", got)
+	}
+}
+
+func TestPrivileges(t *testing.T) {
+	c := New()
+	_ = c.CreateTable(&Table{Name: "data", Schema: schema(), Owner: "owner1"})
+
+	if c.HasPrivilege("bob", "data", PrivSelect) {
+		t.Fatal("bob should have no privilege yet")
+	}
+	// Admin and owner always pass.
+	if !c.HasPrivilege(AdminUser, "data", PrivDelete) || !c.HasPrivilege("owner1", "data", PrivInsert) {
+		t.Fatal("admin/owner implicit authority missing")
+	}
+	c.Grant("bob", "data", PrivSelect, PrivInsert)
+	if !c.HasPrivilege("BOB", "DATA", "select") {
+		t.Fatal("grant not case-insensitive")
+	}
+	if c.HasPrivilege("bob", "data", PrivDelete) {
+		t.Fatal("ungranted privilege should fail")
+	}
+	c.Revoke("bob", "data", PrivSelect)
+	if c.HasPrivilege("bob", "data", PrivSelect) {
+		t.Fatal("revoke ineffective")
+	}
+	if !c.HasPrivilege("bob", "data", PrivInsert) {
+		t.Fatal("revoke removed too much")
+	}
+	// ALL grant and PUBLIC.
+	c.Grant("carol", "data", PrivAll)
+	if !c.HasPrivilege("carol", "data", PrivUpdate) {
+		t.Fatal("ALL grant should cover UPDATE")
+	}
+	c.Grant(PublicGrantee, "data", PrivSelect)
+	if !c.HasPrivilege("mallory", "data", PrivSelect) {
+		t.Fatal("PUBLIC grant should apply to everyone")
+	}
+	var denied *ErrNotAuthorized
+	if err := c.CheckPrivilege("mallory", "data", PrivDelete); !errors.As(err, &denied) {
+		t.Fatalf("expected ErrNotAuthorized, got %v", err)
+	}
+	// Revoking ALL wipes the object grants.
+	c.Revoke("carol", "data", PrivAll)
+	if c.HasPrivilege("carol", "data", PrivUpdate) {
+		t.Fatal("revoke ALL ineffective")
+	}
+	// Dropping a table removes its grants.
+	c.Grant("dave", "data", PrivSelect)
+	_ = c.DropTable("data")
+	_ = c.CreateTable(&Table{Name: "data", Schema: schema(), Owner: "other"})
+	if c.HasPrivilege("dave", "data", PrivSelect) {
+		t.Fatal("grants should not survive drop/recreate")
+	}
+}
+
+func TestGrantsForAndProcedureObject(t *testing.T) {
+	c := New()
+	c.Grant("eve", ProcedureObject("idax.kmeans"), PrivExecute)
+	got := c.GrantsFor("eve")
+	if len(got) != 1 || got[0] != "PROCEDURE IDAX.KMEANS:EXECUTE" {
+		t.Fatalf("grants for eve: %v", got)
+	}
+	if !c.HasPrivilege("eve", ProcedureObject("IDAX.KMEANS"), PrivExecute) {
+		t.Fatal("procedure grant lookup failed")
+	}
+}

@@ -1,0 +1,173 @@
+// Package colstore implements the accelerator's storage layer: append-only
+// columnar segments with null bitmaps, per-block zone maps for scan pruning,
+// and multi-version rows (create/delete transaction ids) that give the
+// accelerator snapshot-isolation semantics while still exposing a DB2
+// transaction's own uncommitted changes — the behaviour accelerator-only
+// tables require (paper, Section 2).
+package colstore
+
+import (
+	"fmt"
+	"math"
+
+	"idaax/internal/types"
+)
+
+// ZoneBlockSize is the number of rows covered by one zone-map entry.
+const ZoneBlockSize = 4096
+
+// Column stores one column's values in typed vectors. Exactly one of the
+// payload slices is populated, chosen by Kind; nulls[i] marks NULL entries.
+type Column struct {
+	Kind   types.Kind
+	ints   []int64
+	floats []float64
+	strs   []string
+	nulls  []bool
+
+	// Zone maps: per block of ZoneBlockSize rows the minimum and maximum
+	// numeric value (ints and floats; timestamps use their microsecond value).
+	zoneMin []float64
+	zoneMax []float64
+}
+
+// NewColumn creates an empty column of the given kind.
+func NewColumn(kind types.Kind) *Column { return &Column{Kind: kind} }
+
+// Len returns the number of stored values.
+func (c *Column) Len() int { return len(c.nulls) }
+
+// Append adds a value (which must already be coerced to the column kind or be
+// NULL).
+func (c *Column) Append(v types.Value) {
+	idx := len(c.nulls)
+	c.nulls = append(c.nulls, v.IsNull())
+	var numeric float64
+	hasNumeric := false
+	switch c.Kind {
+	case types.KindInt, types.KindTimestamp:
+		val := int64(0)
+		if !v.IsNull() {
+			val = v.Int
+			numeric, hasNumeric = float64(val), true
+		}
+		c.ints = append(c.ints, val)
+	case types.KindFloat:
+		val := 0.0
+		if !v.IsNull() {
+			val = v.Float
+			numeric, hasNumeric = val, true
+		}
+		c.floats = append(c.floats, val)
+	case types.KindBool:
+		val := int64(0)
+		if !v.IsNull() && v.Bool {
+			val = 1
+		}
+		if !v.IsNull() {
+			numeric, hasNumeric = float64(val), true
+		}
+		c.ints = append(c.ints, val)
+	default: // strings and anything else
+		s := ""
+		if !v.IsNull() {
+			s = v.AsString()
+		}
+		c.strs = append(c.strs, s)
+	}
+	c.updateZone(idx, numeric, hasNumeric)
+}
+
+func (c *Column) updateZone(idx int, numeric float64, hasNumeric bool) {
+	block := idx / ZoneBlockSize
+	for len(c.zoneMin) <= block {
+		c.zoneMin = append(c.zoneMin, math.Inf(1))
+		c.zoneMax = append(c.zoneMax, math.Inf(-1))
+	}
+	if !hasNumeric {
+		return
+	}
+	if numeric < c.zoneMin[block] {
+		c.zoneMin[block] = numeric
+	}
+	if numeric > c.zoneMax[block] {
+		c.zoneMax[block] = numeric
+	}
+}
+
+// Value reconstructs the i-th value.
+func (c *Column) Value(i int) types.Value {
+	if c.nulls[i] {
+		return types.Null()
+	}
+	switch c.Kind {
+	case types.KindInt:
+		return types.NewInt(c.ints[i])
+	case types.KindTimestamp:
+		return types.NewTimestampMicros(c.ints[i])
+	case types.KindFloat:
+		return types.NewFloat(c.floats[i])
+	case types.KindBool:
+		return types.NewBool(c.ints[i] != 0)
+	default:
+		return types.NewString(c.strs[i])
+	}
+}
+
+// IsNull reports whether the i-th value is NULL.
+func (c *Column) IsNull(i int) bool { return c.nulls[i] }
+
+// Numeric returns the i-th value as float64 for zone-map comparable kinds.
+func (c *Column) Numeric(i int) (float64, bool) {
+	if c.nulls[i] {
+		return 0, false
+	}
+	switch c.Kind {
+	case types.KindInt, types.KindTimestamp, types.KindBool:
+		return float64(c.ints[i]), true
+	case types.KindFloat:
+		return c.floats[i], true
+	default:
+		return 0, false
+	}
+}
+
+// BlockRange returns the zone-map min/max for the block containing row start.
+// ok is false when the block holds no non-NULL numeric values.
+func (c *Column) BlockRange(block int) (min, max float64, ok bool) {
+	if block < 0 || block >= len(c.zoneMin) {
+		return 0, 0, false
+	}
+	if math.IsInf(c.zoneMin[block], 1) {
+		return 0, 0, false
+	}
+	return c.zoneMin[block], c.zoneMax[block], true
+}
+
+// IsNumeric reports whether zone maps are meaningful for this column.
+func (c *Column) IsNumeric() bool {
+	switch c.Kind {
+	case types.KindInt, types.KindFloat, types.KindTimestamp, types.KindBool:
+		return true
+	default:
+		return false
+	}
+}
+
+// ApproxBytes estimates the in-memory footprint of the column, used by the
+// accelerator's statistics (the paper's system reports per-table sizes).
+func (c *Column) ApproxBytes() int64 {
+	var b int64
+	b += int64(len(c.ints)) * 8
+	b += int64(len(c.floats)) * 8
+	b += int64(len(c.nulls))
+	for _, s := range c.strs {
+		b += int64(len(s)) + 16
+	}
+	b += int64(len(c.zoneMin)+len(c.zoneMax)) * 8
+	return b
+}
+
+func (c *Column) String() string {
+	return fmt.Sprintf("Column{kind=%s, len=%d}", c.Kind, c.Len())
+}

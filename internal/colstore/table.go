@@ -1,0 +1,412 @@
+package colstore
+
+import (
+	"fmt"
+	"sync"
+
+	"idaax/internal/types"
+)
+
+// Visibility decides whether a row version (created by createTxn, deleted by
+// deleteTxn, 0 when not deleted) is visible to the caller's snapshot. The
+// accelerator's transaction registry provides implementations.
+type Visibility func(createdTxn, deletedTxn int64) bool
+
+// CompareOp is the comparison operator of a pushed-down simple predicate.
+type CompareOp int
+
+const (
+	CmpEq CompareOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// SimplePredicate is a "column <op> literal" predicate that the accelerator
+// pushes into the columnar scan so that zone maps can prune whole blocks.
+type SimplePredicate struct {
+	ColIdx  int
+	Op      CompareOp
+	Value   types.Value
+	numeric float64
+	isNum   bool
+}
+
+// NewSimplePredicate builds a pushdown predicate.
+func NewSimplePredicate(colIdx int, op CompareOp, v types.Value) SimplePredicate {
+	p := SimplePredicate{ColIdx: colIdx, Op: op, Value: v}
+	if f, ok := v.AsFloat(); ok && v.Kind != types.KindString {
+		p.numeric = f
+		p.isNum = true
+	}
+	return p
+}
+
+// blockMayMatch consults the zone map of the predicate's column.
+func (p SimplePredicate) blockMayMatch(col *Column, block int) bool {
+	if !p.isNum || !col.IsNumeric() {
+		return true
+	}
+	min, max, ok := col.BlockRange(block)
+	if !ok {
+		// Block contains only NULLs; NULL never satisfies a comparison.
+		return false
+	}
+	switch p.Op {
+	case CmpEq:
+		return p.numeric >= min && p.numeric <= max
+	case CmpLt:
+		return min < p.numeric
+	case CmpLe:
+		return min <= p.numeric
+	case CmpGt:
+		return max > p.numeric
+	case CmpGe:
+		return max >= p.numeric
+	default:
+		return true
+	}
+}
+
+// rowMatches evaluates the predicate for one row.
+func (p SimplePredicate) rowMatches(col *Column, i int) bool {
+	if col.IsNull(i) {
+		return false
+	}
+	v := col.Value(i)
+	c, err := types.Compare(v, p.Value)
+	if err != nil {
+		return false
+	}
+	switch p.Op {
+	case CmpEq:
+		return c == 0
+	case CmpNe:
+		return c != 0
+	case CmpLt:
+		return c < 0
+	case CmpLe:
+		return c <= 0
+	case CmpGt:
+		return c > 0
+	case CmpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// Table is a multi-versioned columnar table.
+type Table struct {
+	mu      sync.RWMutex
+	name    string
+	schema  types.Schema
+	distKey string
+
+	cols    []*Column
+	created []int64
+	deleted []int64
+	srcIDs  []int64       // originating DB2 row id for replicated rows, -1 otherwise
+	bySrc   map[int64]int // live version index per source row id
+}
+
+// NewTable creates an empty columnar table.
+func NewTable(name string, schema types.Schema, distKey string) *Table {
+	cols := make([]*Column, schema.Len())
+	for i, c := range schema.Columns {
+		cols[i] = NewColumn(c.Kind)
+	}
+	return &Table{
+		name:    types.NormalizeName(name),
+		schema:  schema,
+		distKey: types.NormalizeName(distKey),
+		cols:    cols,
+		bySrc:   make(map[int64]int),
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() types.Schema {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.schema
+}
+
+// DistKey returns the distribution column ("" = round robin).
+func (t *Table) DistKey() string { return t.distKey }
+
+// VersionCount returns the total number of row versions (including deleted).
+func (t *Table) VersionCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.created)
+}
+
+// ApproxBytes estimates the table's memory footprint.
+func (t *Table) ApproxBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var b int64
+	for _, c := range t.cols {
+		b += c.ApproxBytes()
+	}
+	b += int64(len(t.created)+len(t.deleted)+len(t.srcIDs)) * 8
+	return b
+}
+
+// Insert appends new row versions created by txnID. Rows are validated and
+// coerced against the schema.
+func (t *Table) Insert(txnID int64, rows []types.Row) (int, error) {
+	return t.insert(txnID, rows, nil)
+}
+
+// InsertWithSource appends rows that mirror DB2 rows (replication); srcIDs
+// aligns with rows and enables later UpdateBySource/DeleteBySource calls.
+func (t *Table) InsertWithSource(txnID int64, rows []types.Row, srcIDs []int64) (int, error) {
+	if len(srcIDs) != len(rows) {
+		return 0, fmt.Errorf("colstore: %d source ids for %d rows", len(srcIDs), len(rows))
+	}
+	return t.insert(txnID, rows, srcIDs)
+}
+
+func (t *Table) insert(txnID int64, rows []types.Row, srcIDs []int64) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	count := 0
+	for ri, row := range rows {
+		validated, err := types.ValidateRow(t.schema, row)
+		if err != nil {
+			return count, err
+		}
+		for ci, col := range t.cols {
+			col.Append(validated[ci])
+		}
+		idx := len(t.created)
+		t.created = append(t.created, txnID)
+		t.deleted = append(t.deleted, 0)
+		src := int64(-1)
+		if srcIDs != nil {
+			src = srcIDs[ri]
+			t.bySrc[src] = idx
+		}
+		t.srcIDs = append(t.srcIDs, src)
+		count++
+	}
+	return count, nil
+}
+
+// ReadRow materialises the idx-th row version.
+func (t *Table) ReadRow(idx int) types.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.readRowLocked(idx)
+}
+
+func (t *Table) readRowLocked(idx int) types.Row {
+	row := make(types.Row, len(t.cols))
+	for ci, col := range t.cols {
+		row[ci] = col.Value(idx)
+	}
+	return row
+}
+
+// VisibleIndices returns the version indices visible under vis.
+func (t *Table) VisibleIndices(vis Visibility) []int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []int
+	for i := range t.created {
+		if vis(t.created[i], t.deleted[i]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// VisibleRowCount counts rows visible under vis.
+func (t *Table) VisibleRowCount(vis Visibility) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for i := range t.created {
+		if vis(t.created[i], t.deleted[i]) {
+			n++
+		}
+	}
+	return n
+}
+
+// MarkDeleted marks a row version deleted by txnID. It reports whether the
+// version was live before the call.
+func (t *Table) MarkDeleted(idx int, txnID int64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx < 0 || idx >= len(t.deleted) || t.deleted[idx] != 0 {
+		return false
+	}
+	t.deleted[idx] = txnID
+	if src := t.srcIDs[idx]; src >= 0 {
+		delete(t.bySrc, src)
+	}
+	return true
+}
+
+// UndoDelete clears a deletion marker set by txnID (rollback support).
+func (t *Table) UndoDelete(idx int, txnID int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx >= 0 && idx < len(t.deleted) && t.deleted[idx] == txnID {
+		t.deleted[idx] = 0
+		if src := t.srcIDs[idx]; src >= 0 {
+			t.bySrc[src] = idx
+		}
+	}
+}
+
+// DeleteBySource marks the live version mirroring the DB2 row srcID deleted.
+func (t *Table) DeleteBySource(txnID, srcID int64) bool {
+	t.mu.Lock()
+	idx, ok := t.bySrc[srcID]
+	t.mu.Unlock()
+	if !ok {
+		return false
+	}
+	return t.MarkDeleted(idx, txnID)
+}
+
+// UpdateBySource replaces the version mirroring srcID with a new image.
+func (t *Table) UpdateBySource(txnID, srcID int64, row types.Row) error {
+	if !t.DeleteBySource(txnID, srcID) {
+		// The row may not have been replicated yet; treat as insert.
+	}
+	_, err := t.InsertWithSource(txnID, []types.Row{row}, []int64{srcID})
+	return err
+}
+
+// TruncateVisible marks every row version visible under vis as deleted by
+// txnID and returns the number of rows affected.
+func (t *Table) TruncateVisible(txnID int64, vis Visibility) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i := range t.created {
+		if t.deleted[i] == 0 && vis(t.created[i], t.deleted[i]) {
+			t.deleted[i] = txnID
+			if src := t.srcIDs[i]; src >= 0 {
+				delete(t.bySrc, src)
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// ScanStats reports what a scan did, for the accelerator's monitoring tables.
+type ScanStats struct {
+	VersionsConsidered int
+	BlocksPruned       int
+	RowsMaterialized   int
+}
+
+// ParallelScan materialises the rows visible under vis that satisfy all
+// pushed-down predicates, scanning with the requested number of worker slices
+// and pruning zone-map blocks that cannot match. The result order is by row
+// position (slices own contiguous ranges and results are concatenated in
+// slice order).
+func (t *Table) ParallelScan(slices int, vis Visibility, preds []SimplePredicate) ([]types.Row, ScanStats) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	n := len(t.created)
+	stats := ScanStats{VersionsConsidered: n}
+	if n == 0 {
+		return nil, stats
+	}
+	if slices < 1 {
+		slices = 1
+	}
+	// Avoid pathological per-slice overhead on small tables: give every slice
+	// at least a reasonable chunk of rows to work on.
+	if maxUseful := (n + 2047) / 2048; slices > maxUseful {
+		slices = maxUseful
+	}
+	if slices > n {
+		slices = n
+	}
+
+	type sliceResult struct {
+		rows   []types.Row
+		pruned int
+	}
+	results := make([]sliceResult, slices)
+	chunk := (n + slices - 1) / slices
+	var wg sync.WaitGroup
+	for s := 0; s < slices; s++ {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			var rows []types.Row
+			pruned := 0
+			blockStart := lo
+			for blockStart < hi {
+				block := blockStart / ZoneBlockSize
+				blockEnd := (block + 1) * ZoneBlockSize
+				if blockEnd > hi {
+					blockEnd = hi
+				}
+				skip := false
+				for _, p := range preds {
+					if !p.blockMayMatch(t.cols[p.ColIdx], block) {
+						skip = true
+						break
+					}
+				}
+				if skip {
+					pruned++
+					blockStart = blockEnd
+					continue
+				}
+				for i := blockStart; i < blockEnd; i++ {
+					if !vis(t.created[i], t.deleted[i]) {
+						continue
+					}
+					match := true
+					for _, p := range preds {
+						if !p.rowMatches(t.cols[p.ColIdx], i) {
+							match = false
+							break
+						}
+					}
+					if !match {
+						continue
+					}
+					rows = append(rows, t.readRowLocked(i))
+				}
+				blockStart = blockEnd
+			}
+			results[s] = sliceResult{rows: rows, pruned: pruned}
+		}(s, lo, hi)
+	}
+	wg.Wait()
+
+	var out []types.Row
+	for _, r := range results {
+		out = append(out, r.rows...)
+		stats.BlocksPruned += r.pruned
+	}
+	stats.RowsMaterialized = len(out)
+	return out, stats
+}

@@ -1,0 +1,230 @@
+package colstore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"idaax/internal/types"
+)
+
+func testSchema() types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "ID", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "V", Kind: types.KindFloat},
+		types.Column{Name: "S", Kind: types.KindString},
+	)
+}
+
+func row(id int64, v float64, s string) types.Row {
+	return types.Row{types.NewInt(id), types.NewFloat(v), types.NewString(s)}
+}
+
+// allVisible is a Visibility treating every non-deleted version as visible.
+func allVisible(created, deleted int64) bool { return deleted == 0 }
+
+func TestInsertAndReadRow(t *testing.T) {
+	tab := NewTable("T", testSchema(), "ID")
+	n, err := tab.Insert(1, []types.Row{row(1, 1.5, "a"), row(2, 2.5, "b")})
+	if err != nil || n != 2 {
+		t.Fatalf("insert: %d, %v", n, err)
+	}
+	if tab.VersionCount() != 2 {
+		t.Fatalf("versions = %d", tab.VersionCount())
+	}
+	r := tab.ReadRow(1)
+	if r[0].Int != 2 || r[1].Float != 2.5 || r[2].Str != "b" {
+		t.Fatalf("read row: %+v", r)
+	}
+	if tab.DistKey() != "ID" || tab.Name() != "T" {
+		t.Error("metadata lost")
+	}
+	if _, err := tab.Insert(1, []types.Row{{types.Null(), types.NewFloat(1), types.NewString("x")}}); err == nil {
+		t.Error("NOT NULL violation should fail")
+	}
+}
+
+func TestMVCCVisibility(t *testing.T) {
+	tab := NewTable("T", testSchema(), "")
+	_, _ = tab.Insert(10, []types.Row{row(1, 1, "a")})
+	_, _ = tab.Insert(20, []types.Row{row(2, 2, "b")})
+
+	// Only txn 10's row committed.
+	vis := func(created, deleted int64) bool {
+		committed := created == 10
+		own := created == 30
+		if !(committed || own) {
+			return false
+		}
+		return deleted == 0
+	}
+	if got := tab.VisibleRowCount(vis); got != 1 {
+		t.Fatalf("visible = %d", got)
+	}
+
+	// Delete by an uncommitted foreign transaction stays invisible to others.
+	if !tab.MarkDeleted(0, 99) {
+		t.Fatal("mark deleted failed")
+	}
+	visIgnoringDelete := func(created, deleted int64) bool {
+		return created == 10 && (deleted == 0 || deleted != 10)
+	}
+	if got := tab.VisibleRowCount(visIgnoringDelete); got != 1 {
+		t.Fatalf("delete by uncommitted txn should not hide the row here, visible = %d", got)
+	}
+	// Undo the delete (rollback).
+	tab.UndoDelete(0, 99)
+	if got := tab.VisibleRowCount(allVisible); got != 2 {
+		t.Fatalf("after undo visible = %d", got)
+	}
+	// Double delete of the same version fails.
+	if !tab.MarkDeleted(0, 99) || tab.MarkDeleted(0, 100) {
+		t.Fatal("second delete of the same version should fail")
+	}
+}
+
+func TestSourceRowTracking(t *testing.T) {
+	tab := NewTable("T", testSchema(), "")
+	_, err := tab.InsertWithSource(1, []types.Row{row(1, 1, "a"), row(2, 2, "b")}, []int64{100, 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.DeleteBySource(2, 100) {
+		t.Fatal("delete by source failed")
+	}
+	if tab.DeleteBySource(2, 100) {
+		t.Fatal("second delete by source should fail")
+	}
+	if err := tab.UpdateBySource(3, 101, row(2, 20, "bb")); err != nil {
+		t.Fatal(err)
+	}
+	live := tab.VisibleIndices(allVisible)
+	if len(live) != 1 {
+		t.Fatalf("live versions = %d", len(live))
+	}
+	if r := tab.ReadRow(live[0]); r[1].Float != 20 {
+		t.Fatalf("updated value = %v", r[1])
+	}
+	// Updating a source id that was never replicated inserts the new image.
+	if err := tab.UpdateBySource(4, 999, row(9, 9, "new")); err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.VisibleRowCount(allVisible); got != 2 {
+		t.Fatalf("after upsert visible = %d", got)
+	}
+}
+
+func TestTruncateVisible(t *testing.T) {
+	tab := NewTable("T", testSchema(), "")
+	_, _ = tab.Insert(1, []types.Row{row(1, 1, "a"), row(2, 2, "b"), row(3, 3, "c")})
+	n := tab.TruncateVisible(2, allVisible)
+	if n != 3 {
+		t.Fatalf("truncated %d", n)
+	}
+	if got := tab.VisibleRowCount(allVisible); got != 0 {
+		t.Fatalf("visible after truncate = %d", got)
+	}
+}
+
+func TestParallelScanWithPredicatesAndZoneMaps(t *testing.T) {
+	tab := NewTable("T", testSchema(), "")
+	var rows []types.Row
+	for i := 0; i < 3*ZoneBlockSize; i++ {
+		rows = append(rows, row(int64(i), float64(i), "s"))
+	}
+	if _, err := tab.Insert(1, rows); err != nil {
+		t.Fatal(err)
+	}
+	// Predicate selecting only the last block's range.
+	pred := NewSimplePredicate(0, CmpGe, types.NewInt(int64(2*ZoneBlockSize+10)))
+	out, stats := tab.ParallelScan(4, allVisible, []SimplePredicate{pred})
+	want := ZoneBlockSize - 10
+	if len(out) != want {
+		t.Fatalf("scan returned %d rows, want %d", len(out), want)
+	}
+	if stats.BlocksPruned == 0 {
+		t.Error("zone maps should have pruned at least one block")
+	}
+	// Equality predicate far outside the data range prunes everything.
+	out, stats = tab.ParallelScan(4, allVisible, []SimplePredicate{NewSimplePredicate(0, CmpEq, types.NewInt(1 << 40))})
+	if len(out) != 0 || stats.BlocksPruned == 0 {
+		t.Fatalf("out-of-range equality: %d rows, %d pruned", len(out), stats.BlocksPruned)
+	}
+}
+
+func TestParallelScanSliceCountsAgree(t *testing.T) {
+	tab := NewTable("T", testSchema(), "")
+	var rows []types.Row
+	for i := 0; i < 10000; i++ {
+		rows = append(rows, row(int64(i), float64(i%7), "x"))
+	}
+	_, _ = tab.Insert(1, rows)
+	pred := []SimplePredicate{NewSimplePredicate(1, CmpLt, types.NewFloat(3))}
+	ref, _ := tab.ParallelScan(1, allVisible, pred)
+	for _, slices := range []int{2, 4, 16} {
+		got, _ := tab.ParallelScan(slices, allVisible, pred)
+		if len(got) != len(ref) {
+			t.Fatalf("slices=%d returned %d rows, want %d", slices, len(got), len(ref))
+		}
+	}
+}
+
+// TestScanEquivalenceProperty: for random data and a random threshold, the
+// pushdown scan returns exactly the rows a naive full scan would.
+func TestScanEquivalenceProperty(t *testing.T) {
+	f := func(vals []int16, threshold int16, slices uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		tab := NewTable("P", testSchema(), "")
+		rows := make([]types.Row, len(vals))
+		for i, v := range vals {
+			rows[i] = row(int64(i), float64(v), "x")
+		}
+		if _, err := tab.Insert(1, rows); err != nil {
+			return false
+		}
+		pred := NewSimplePredicate(1, CmpGt, types.NewFloat(float64(threshold)))
+		got, _ := tab.ParallelScan(int(slices%8)+1, allVisible, []SimplePredicate{pred})
+		want := 0
+		for _, v := range vals {
+			if float64(v) > float64(threshold) {
+				want++
+			}
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColumnKindsAndNulls(t *testing.T) {
+	col := NewColumn(types.KindFloat)
+	col.Append(types.NewFloat(1.5))
+	col.Append(types.Null())
+	if col.Len() != 2 || !col.IsNull(1) || col.Value(0).Float != 1.5 {
+		t.Fatalf("column state wrong")
+	}
+	if _, ok := col.Numeric(1); ok {
+		t.Error("NULL should not be numeric")
+	}
+	min, max, ok := col.BlockRange(0)
+	if !ok || min != 1.5 || max != 1.5 {
+		t.Errorf("zone map: %v %v %v", min, max, ok)
+	}
+	bcol := NewColumn(types.KindBool)
+	bcol.Append(types.NewBool(true))
+	if v := bcol.Value(0); !v.Bool {
+		t.Error("bool round trip")
+	}
+	tcol := NewColumn(types.KindTimestamp)
+	tcol.Append(types.NewTimestampMicros(123456))
+	if v := tcol.Value(0); v.Int != 123456 || v.Kind != types.KindTimestamp {
+		t.Error("timestamp round trip")
+	}
+	scol := NewColumn(types.KindString)
+	scol.Append(types.NewString("hi"))
+	if scol.IsNumeric() || scol.ApproxBytes() == 0 {
+		t.Error("string column properties")
+	}
+}

@@ -1,0 +1,159 @@
+// Package core implements the paper's primary contribution on top of the DB2
+// and accelerator substrates:
+//
+//   - accelerator-only tables (AOTs, Section 2): tables whose data lives only
+//     inside the accelerator while DB2 keeps a catalog proxy ("nickname") that
+//     carries metadata and governance, created with CREATE TABLE ... IN
+//     ACCELERATOR and modified with ordinary INSERT/UPDATE/DELETE statements
+//     that the federation layer delegates together with the DB2 transaction
+//     context; and
+//
+//   - the in-database analytics procedure framework (Section 3): a registry of
+//     named procedures (data transformations, model training, scoring) that
+//     are invoked through SQL CALL, privilege-checked against the DB2 catalog,
+//     and executed on the accelerator with results materialised into AOTs so
+//     they can feed the next pipeline stage without returning to DB2.
+package core
+
+import (
+	"fmt"
+
+	"idaax/internal/accel"
+	"idaax/internal/catalog"
+	"idaax/internal/sqlparse"
+	"idaax/internal/types"
+)
+
+// AcceleratorProvider resolves accelerator names to instances. The federation
+// coordinator implements it; the indirection keeps this package free of a
+// dependency on the router.
+type AcceleratorProvider interface {
+	Accelerator(name string) (*accel.Accelerator, error)
+	DefaultAccelerator() string
+}
+
+// AOTManager creates, drops and describes accelerator-only tables.
+type AOTManager struct {
+	cat    *catalog.Catalog
+	accels AcceleratorProvider
+}
+
+// NewAOTManager creates an AOT manager bound to the DB2 catalog and the set of
+// paired accelerators.
+func NewAOTManager(cat *catalog.Catalog, accels AcceleratorProvider) *AOTManager {
+	return &AOTManager{cat: cat, accels: accels}
+}
+
+// Create creates an accelerator-only table: the columnar table on the chosen
+// accelerator plus the proxy entry in the DB2 catalog. The caller becomes the
+// owner, which gives it full privileges via the catalog's owner rule.
+func (m *AOTManager) Create(user string, stmt *sqlparse.CreateTableStmt) error {
+	if stmt.InAccelerator == "" {
+		return fmt.Errorf("core: table %s is not an accelerator-only table (missing IN ACCELERATOR)", stmt.Table)
+	}
+	accName := types.NormalizeName(stmt.InAccelerator)
+	if !m.cat.HasAccelerator(accName) {
+		return fmt.Errorf("core: accelerator %s is not paired with this DB2 subsystem", accName)
+	}
+	acc, err := m.accels.Accelerator(accName)
+	if err != nil {
+		return err
+	}
+	name := types.NormalizeName(stmt.Table)
+	if m.cat.HasTable(name) {
+		if stmt.IfNotExists {
+			return nil
+		}
+		return &catalog.ErrExists{Table: name}
+	}
+	if len(stmt.Columns) == 0 {
+		return fmt.Errorf("core: accelerator-only table %s requires an explicit column list", name)
+	}
+	schema := schemaFromDefs(stmt.Columns)
+	if err := acc.CreateTable(name, schema, stmt.DistributeBy); err != nil {
+		return err
+	}
+	entry := &catalog.Table{
+		Name:        name,
+		Schema:      schema,
+		Kind:        catalog.KindAcceleratorOnly,
+		Accelerator: accName,
+		DistKey:     types.NormalizeName(stmt.DistributeBy),
+		Owner:       types.NormalizeName(user),
+	}
+	if err := m.cat.CreateTable(entry); err != nil {
+		// Roll the accelerator-side table back so both sides stay consistent.
+		_ = acc.DropTable(name)
+		return err
+	}
+	return nil
+}
+
+// CreateFromSchema creates an AOT directly from a schema (used by the
+// analytics framework to materialise procedure outputs).
+func (m *AOTManager) CreateFromSchema(user, table, acceleratorName string, schema types.Schema, distKey string) error {
+	defs := make([]sqlparse.ColumnDef, len(schema.Columns))
+	for i, c := range schema.Columns {
+		defs[i] = sqlparse.ColumnDef{Name: c.Name, Kind: c.Kind, NotNull: c.NotNull}
+	}
+	if acceleratorName == "" {
+		acceleratorName = m.accels.DefaultAccelerator()
+	}
+	return m.Create(user, &sqlparse.CreateTableStmt{
+		Table:         table,
+		Columns:       defs,
+		InAccelerator: acceleratorName,
+		DistributeBy:  distKey,
+	})
+}
+
+// Drop removes an accelerator-only table from both the accelerator and the
+// DB2 catalog.
+func (m *AOTManager) Drop(table string) error {
+	meta, err := m.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	if meta.Kind != catalog.KindAcceleratorOnly {
+		return fmt.Errorf("core: table %s is not accelerator-only", meta.Name)
+	}
+	acc, err := m.accels.Accelerator(meta.Accelerator)
+	if err != nil {
+		return err
+	}
+	if err := acc.DropTable(meta.Name); err != nil {
+		return err
+	}
+	return m.cat.DropTable(meta.Name)
+}
+
+// IsAOT reports whether the table is an accelerator-only table.
+func (m *AOTManager) IsAOT(table string) bool {
+	meta, err := m.cat.Table(table)
+	return err == nil && meta.Kind == catalog.KindAcceleratorOnly
+}
+
+// AcceleratorFor returns the accelerator instance hosting the (accelerated or
+// accelerator-only) table.
+func (m *AOTManager) AcceleratorFor(table string) (*accel.Accelerator, *catalog.Table, error) {
+	meta, err := m.cat.Table(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	if meta.Kind == catalog.KindRegular {
+		return nil, meta, fmt.Errorf("core: table %s has no accelerator copy", meta.Name)
+	}
+	acc, err := m.accels.Accelerator(meta.Accelerator)
+	if err != nil {
+		return nil, meta, err
+	}
+	return acc, meta, nil
+}
+
+func schemaFromDefs(defs []sqlparse.ColumnDef) types.Schema {
+	cols := make([]types.Column, len(defs))
+	for i, d := range defs {
+		cols[i] = types.Column{Name: d.Name, Kind: d.Kind, NotNull: d.NotNull}
+	}
+	return types.NewSchema(cols...)
+}

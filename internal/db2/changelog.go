@@ -1,0 +1,117 @@
+package db2
+
+import (
+	"sync"
+
+	"idaax/internal/rowstore"
+	"idaax/internal/types"
+)
+
+// ChangeOp enumerates the change-data-capture operations recorded for
+// accelerated tables. The replication component ships them to the
+// accelerator's shadow copies.
+type ChangeOp int
+
+const (
+	// ChangeInsert records a newly committed row.
+	ChangeInsert ChangeOp = iota
+	// ChangeUpdate records a replaced row (new image in Row, addressed by RowID).
+	ChangeUpdate
+	// ChangeDelete records a deleted row (old image in Row, addressed by RowID).
+	ChangeDelete
+	// ChangeTruncate records a full-table truncation.
+	ChangeTruncate
+)
+
+// String names the operation for logs.
+func (o ChangeOp) String() string {
+	switch o {
+	case ChangeInsert:
+		return "INSERT"
+	case ChangeUpdate:
+		return "UPDATE"
+	case ChangeDelete:
+		return "DELETE"
+	case ChangeTruncate:
+		return "TRUNCATE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ChangeRecord is one captured change of a DB2 table.
+type ChangeRecord struct {
+	Seq   int64
+	Table string
+	Op    ChangeOp
+	RowID rowstore.RowID
+	Row   types.Row
+}
+
+// ChangeLog captures committed changes per table. Only changes of tables whose
+// catalog entry has acceleration enabled are recorded; everything else would
+// be wasted work, exactly like the real product's CDC capture scope.
+type ChangeLog struct {
+	mu      sync.Mutex
+	nextSeq int64
+	records map[string][]ChangeRecord
+}
+
+// NewChangeLog creates an empty change log.
+func NewChangeLog() *ChangeLog {
+	return &ChangeLog{nextSeq: 1, records: make(map[string][]ChangeRecord)}
+}
+
+// Append records a change and returns its sequence number.
+func (c *ChangeLog) Append(table string, op ChangeOp, rowID rowstore.RowID, row types.Row) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	table = types.NormalizeName(table)
+	rec := ChangeRecord{Seq: c.nextSeq, Table: table, Op: op, RowID: rowID, Row: row}
+	c.nextSeq++
+	c.records[table] = append(c.records[table], rec)
+	return rec.Seq
+}
+
+// Since returns all records of the table with sequence numbers greater than
+// afterSeq, in order.
+func (c *ChangeLog) Since(table string, afterSeq int64) []ChangeRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []ChangeRecord
+	for _, rec := range c.records[types.NormalizeName(table)] {
+		if rec.Seq > afterSeq {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// PendingCount returns the number of captured records for the table after the
+// given sequence number.
+func (c *ChangeLog) PendingCount(table string, afterSeq int64) int {
+	return len(c.Since(table, afterSeq))
+}
+
+// Discard drops all records of the table up to and including seq. The
+// replicator calls it after a successful apply so memory stays bounded.
+func (c *ChangeLog) Discard(table string, upToSeq int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	table = types.NormalizeName(table)
+	recs := c.records[table]
+	keep := recs[:0]
+	for _, rec := range recs {
+		if rec.Seq > upToSeq {
+			keep = append(keep, rec)
+		}
+	}
+	c.records[table] = keep
+}
+
+// LatestSeq returns the highest sequence number issued so far.
+func (c *ChangeLog) LatestSeq() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nextSeq - 1
+}

@@ -1,0 +1,407 @@
+// Package db2 implements the host database system the accelerator is attached
+// to: a transactional row-store engine with a catalog, table-level locking
+// (cursor stability), undo-based rollback, privilege enforcement and change
+// capture for replication. It stands in for DB2 for z/OS in the paper's
+// architecture; applications connect to it and never talk to the accelerator
+// directly.
+package db2
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"idaax/internal/catalog"
+	"idaax/internal/expr"
+	"idaax/internal/rowstore"
+	"idaax/internal/sqlparse"
+	"idaax/internal/txn"
+	"idaax/internal/types"
+)
+
+// Engine is the DB2 row-store engine.
+type Engine struct {
+	cat *catalog.Catalog
+
+	mu     sync.RWMutex
+	tables map[string]*rowstore.Table
+
+	Locks   *txn.LockManager
+	Txns    *txn.Manager
+	Changes *ChangeLog
+
+	statsMu      sync.Mutex
+	rowsScanned  int64
+	rowsInserted int64
+	queriesRun   int64
+}
+
+// Stats summarises engine activity for the benchmark harness.
+type Stats struct {
+	RowsScanned  int64
+	RowsInserted int64
+	QueriesRun   int64
+}
+
+// New creates an engine bound to the shared catalog.
+func New(cat *catalog.Catalog) *Engine {
+	return &Engine{
+		cat:     cat,
+		tables:  make(map[string]*rowstore.Table),
+		Locks:   txn.NewLockManager(2 * time.Second),
+		Txns:    txn.NewManager(),
+		Changes: NewChangeLog(),
+	}
+}
+
+// Catalog returns the shared catalog (owned by DB2 in the paper's design).
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return Stats{RowsScanned: e.rowsScanned, RowsInserted: e.rowsInserted, QueriesRun: e.queriesRun}
+}
+
+func (e *Engine) addScanned(n int64) {
+	e.statsMu.Lock()
+	e.rowsScanned += n
+	e.statsMu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+// CreateTable creates a regular DB2 table: a catalog entry plus row storage.
+func (e *Engine) CreateTable(name string, schema types.Schema, owner string) error {
+	name = types.NormalizeName(name)
+	if err := e.cat.CreateTable(&catalog.Table{Name: name, Schema: schema, Kind: catalog.KindRegular, Owner: owner}); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.tables[name] = rowstore.NewTable(schema)
+	e.mu.Unlock()
+	return nil
+}
+
+// DropTable removes storage and the catalog entry of a regular table.
+func (e *Engine) DropTable(name string) error {
+	name = types.NormalizeName(name)
+	if err := e.cat.DropTable(name); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	delete(e.tables, name)
+	e.mu.Unlock()
+	return nil
+}
+
+// Storage returns the row store behind a regular or accelerated table.
+func (e *Engine) Storage(name string) (*rowstore.Table, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[types.NormalizeName(name)]
+	if !ok {
+		return nil, fmt.Errorf("db2: table %s has no DB2 storage", types.NormalizeName(name))
+	}
+	return t, nil
+}
+
+// HasStorage reports whether the table has DB2-side row storage (false for
+// accelerator-only tables, which exist in the catalog as proxies only).
+func (e *Engine) HasStorage(name string) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	_, ok := e.tables[types.NormalizeName(name)]
+	return ok
+}
+
+// CreateIndex builds a hash index on a column of a regular table.
+func (e *Engine) CreateIndex(table, column string) error {
+	st, err := e.Storage(table)
+	if err != nil {
+		return err
+	}
+	return st.CreateIndex(column)
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+// Begin starts a DB2 transaction. auto marks an implicit single-statement
+// transaction.
+func (e *Engine) Begin(auto bool) *txn.Txn { return e.Txns.Begin(auto) }
+
+// Commit commits the transaction: locks are released, the undo log dropped.
+func (e *Engine) Commit(t *txn.Txn) {
+	e.Locks.ReleaseAll(t)
+	e.Txns.Finish(t, true)
+}
+
+// Rollback undoes every change the transaction made in reverse order and
+// releases its locks.
+func (e *Engine) Rollback(t *txn.Txn) error {
+	var firstErr error
+	for _, rec := range t.UndoRecords() {
+		st, err := e.Storage(rec.Table)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		switch rec.Op {
+		case txn.UndoInsert:
+			if _, ok := st.Delete(rec.RowID); !ok && firstErr == nil {
+				firstErr = fmt.Errorf("db2: rollback could not remove inserted row %d of %s", rec.RowID, rec.Table)
+			}
+			e.captureChange(rec.Table, ChangeDelete, rec.RowID, rec.OldRow)
+		case txn.UndoDelete:
+			st.InsertRaw(rec.OldRow)
+			e.captureChange(rec.Table, ChangeInsert, rec.RowID, rec.OldRow)
+		case txn.UndoUpdate:
+			if _, err := st.Update(rec.RowID, rec.OldRow); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			e.captureChange(rec.Table, ChangeUpdate, rec.RowID, rec.OldRow)
+		}
+	}
+	e.Locks.ReleaseAll(t)
+	e.Txns.Finish(t, false)
+	return firstErr
+}
+
+// autoTxn wraps fn in an implicit transaction when t is nil.
+func (e *Engine) autoTxn(t *txn.Txn, fn func(t *txn.Txn) error) error {
+	if t != nil {
+		return fn(t)
+	}
+	auto := e.Begin(true)
+	if err := fn(auto); err != nil {
+		_ = e.Rollback(auto)
+		return err
+	}
+	e.Commit(auto)
+	return nil
+}
+
+// captureChange records CDC data for tables that are accelerated with
+// replication enabled.
+func (e *Engine) captureChange(table string, op ChangeOp, rowID rowstore.RowID, row types.Row) {
+	meta, err := e.cat.Table(table)
+	if err != nil || meta.Kind != catalog.KindAccelerated {
+		return
+	}
+	e.Changes.Append(table, op, rowID, row)
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+// Insert appends rows to a regular table under the given transaction (nil for
+// auto-commit). It returns the number of rows inserted.
+func (e *Engine) Insert(t *txn.Txn, table string, rows []types.Row) (int, error) {
+	st, err := e.Storage(table)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	err = e.autoTxn(t, func(tx *txn.Txn) error {
+		if err := e.Locks.Acquire(tx, table, txn.LockExclusive); err != nil {
+			return err
+		}
+		for _, row := range rows {
+			id, err := st.Insert(row)
+			if err != nil {
+				return err
+			}
+			stored, _ := st.Get(id)
+			tx.RecordUndo(txn.UndoRecord{Table: types.NormalizeName(table), Op: txn.UndoInsert, RowID: id, OldRow: stored})
+			e.captureChange(table, ChangeInsert, id, stored)
+			count++
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	e.statsMu.Lock()
+	e.rowsInserted += int64(count)
+	e.statsMu.Unlock()
+	return count, nil
+}
+
+// Update modifies rows matching where. Assignments are evaluated against the
+// current row image.
+func (e *Engine) Update(t *txn.Txn, table string, assignments []sqlparse.Assignment, where sqlparse.Expr) (int, error) {
+	st, err := e.Storage(table)
+	if err != nil {
+		return 0, err
+	}
+	schema := st.Schema()
+	env := expr.NewEnv(tableColumns(table, schema))
+	for _, a := range assignments {
+		if schema.IndexOf(a.Column) < 0 {
+			return 0, fmt.Errorf("db2: UPDATE references unknown column %s", a.Column)
+		}
+	}
+	count := 0
+	err = e.autoTxn(t, func(tx *txn.Txn) error {
+		if err := e.Locks.Acquire(tx, table, txn.LockExclusive); err != nil {
+			return err
+		}
+		ids, err := e.matchRows(st, table, schema, where)
+		if err != nil {
+			return err
+		}
+		for _, id := range ids {
+			old, ok := st.Get(id)
+			if !ok {
+				continue
+			}
+			updated := old.Clone()
+			for _, a := range assignments {
+				idx := schema.IndexOf(a.Column)
+				v, err := env.Eval(a.Value, old)
+				if err != nil {
+					return err
+				}
+				updated[idx] = v
+			}
+			if _, err := st.Update(id, updated); err != nil {
+				return err
+			}
+			stored, _ := st.Get(id)
+			tx.RecordUndo(txn.UndoRecord{Table: types.NormalizeName(table), Op: txn.UndoUpdate, RowID: id, OldRow: old})
+			e.captureChange(table, ChangeUpdate, id, stored)
+			count++
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return count, nil
+}
+
+// Delete removes rows matching where.
+func (e *Engine) Delete(t *txn.Txn, table string, where sqlparse.Expr) (int, error) {
+	st, err := e.Storage(table)
+	if err != nil {
+		return 0, err
+	}
+	schema := st.Schema()
+	count := 0
+	err = e.autoTxn(t, func(tx *txn.Txn) error {
+		if err := e.Locks.Acquire(tx, table, txn.LockExclusive); err != nil {
+			return err
+		}
+		ids, err := e.matchRows(st, table, schema, where)
+		if err != nil {
+			return err
+		}
+		for _, id := range ids {
+			old, ok := st.Delete(id)
+			if !ok {
+				continue
+			}
+			tx.RecordUndo(txn.UndoRecord{Table: types.NormalizeName(table), Op: txn.UndoDelete, RowID: id, OldRow: old})
+			e.captureChange(table, ChangeDelete, id, old)
+			count++
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return count, nil
+}
+
+// Truncate removes all rows of a regular table.
+func (e *Engine) Truncate(t *txn.Txn, table string) (int, error) {
+	st, err := e.Storage(table)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	err = e.autoTxn(t, func(tx *txn.Txn) error {
+		if err := e.Locks.Acquire(tx, table, txn.LockExclusive); err != nil {
+			return err
+		}
+		// Log undo per row so rollback can restore them.
+		if err := st.Scan(func(id rowstore.RowID, row types.Row) error {
+			tx.RecordUndo(txn.UndoRecord{Table: types.NormalizeName(table), Op: txn.UndoDelete, RowID: id, OldRow: row.Clone()})
+			return nil
+		}); err != nil {
+			return err
+		}
+		count = st.Truncate()
+		e.captureChange(table, ChangeTruncate, 0, nil)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return count, nil
+}
+
+// matchRows returns the row ids matching where, using a hash index for simple
+// equality predicates on an indexed column and a scan otherwise.
+func (e *Engine) matchRows(st *rowstore.Table, table string, schema types.Schema, where sqlparse.Expr) ([]rowstore.RowID, error) {
+	if col, val, ok := indexableEquality(where, schema); ok {
+		if ids, found := st.LookupIndex(col, val); found {
+			return ids, nil
+		}
+	}
+	env := expr.NewEnv(tableColumns(table, schema))
+	var ids []rowstore.RowID
+	scanned := int64(0)
+	err := st.Scan(func(id rowstore.RowID, row types.Row) error {
+		scanned++
+		if where == nil {
+			ids = append(ids, id)
+			return nil
+		}
+		ok, err := env.EvalBool(where, row)
+		if err != nil {
+			return err
+		}
+		if ok {
+			ids = append(ids, id)
+		}
+		return nil
+	})
+	e.addScanned(scanned)
+	return ids, err
+}
+
+// indexableEquality recognises "col = literal" predicates.
+func indexableEquality(where sqlparse.Expr, schema types.Schema) (string, types.Value, bool) {
+	b, ok := where.(*sqlparse.BinaryExpr)
+	if !ok || b.Op != sqlparse.OpEq {
+		return "", types.Null(), false
+	}
+	if ref, ok := b.Left.(*sqlparse.ColumnRef); ok {
+		if lit, ok := b.Right.(*sqlparse.Literal); ok && schema.IndexOf(ref.Name) >= 0 {
+			return ref.Name, lit.Val, true
+		}
+	}
+	if ref, ok := b.Right.(*sqlparse.ColumnRef); ok {
+		if lit, ok := b.Left.(*sqlparse.Literal); ok && schema.IndexOf(ref.Name) >= 0 {
+			return ref.Name, lit.Val, true
+		}
+	}
+	return "", types.Null(), false
+}
+
+func tableColumns(qualifier string, schema types.Schema) []expr.InputColumn {
+	cols := make([]expr.InputColumn, len(schema.Columns))
+	for i, c := range schema.Columns {
+		cols[i] = expr.InputColumn{Qualifier: types.NormalizeName(qualifier), Name: c.Name, Kind: c.Kind}
+	}
+	return cols
+}

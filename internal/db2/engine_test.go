@@ -1,0 +1,277 @@
+package db2
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"idaax/internal/catalog"
+	"idaax/internal/sqlparse"
+	"idaax/internal/txn"
+	"idaax/internal/types"
+)
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New(catalog.New())
+	e.Locks.Timeout = 200 * time.Millisecond
+	return e
+}
+
+func exec(t *testing.T, e *Engine, tx *txn.Txn, sql string) (*ExecResult, error) {
+	t.Helper()
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	_, res, err := e.ExecStatement(tx, st, "TESTER")
+	return res, err
+}
+
+func query(t *testing.T, e *Engine, tx *txn.Txn, sql string) [][]types.Value {
+	t.Helper()
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := e.Query(tx, st.(*sqlparse.SelectStmt))
+	if err != nil {
+		t.Fatalf("query %q: %v", sql, err)
+	}
+	out := make([][]types.Value, len(rel.Rows))
+	for i, r := range rel.Rows {
+		out[i] = r
+	}
+	return out
+}
+
+func TestEngineDDLDMLQuery(t *testing.T) {
+	e := newEngine(t)
+	if _, err := exec(t, e, nil, "CREATE TABLE items (id BIGINT NOT NULL, name VARCHAR(20), price DOUBLE)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec(t, e, nil, "CREATE TABLE items (id BIGINT)"); err == nil {
+		t.Fatal("duplicate create should fail")
+	}
+	res, err := exec(t, e, nil, "INSERT INTO items VALUES (1, 'a', 10), (2, 'b', 20), (3, 'c', 30)")
+	if err != nil || res.RowsAffected != 3 {
+		t.Fatalf("insert: %+v, %v", res, err)
+	}
+	rows := query(t, e, nil, "SELECT name FROM items WHERE price > 15 ORDER BY price DESC")
+	if len(rows) != 2 || rows[0][0].Str != "c" {
+		t.Fatalf("query result: %+v", rows)
+	}
+	res, _ = exec(t, e, nil, "UPDATE items SET price = price * 2 WHERE id = 1")
+	if res.RowsAffected != 1 {
+		t.Fatalf("update affected %d", res.RowsAffected)
+	}
+	res, _ = exec(t, e, nil, "DELETE FROM items WHERE id = 3")
+	if res.RowsAffected != 1 {
+		t.Fatalf("delete affected %d", res.RowsAffected)
+	}
+	rows = query(t, e, nil, "SELECT COUNT(*), SUM(price) FROM items")
+	if n, _ := rows[0][0].AsInt(); n != 2 {
+		t.Fatalf("count = %d", n)
+	}
+	if s, _ := rows[0][1].AsFloat(); s != 40 {
+		t.Fatalf("sum = %v", s)
+	}
+	if _, err := exec(t, e, nil, "DROP TABLE items"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec(t, e, nil, "SELECT * FROM items"); err == nil {
+		t.Fatal("query on dropped table should fail")
+	}
+}
+
+func TestEngineConstraintsAndErrors(t *testing.T) {
+	e := newEngine(t)
+	_, _ = exec(t, e, nil, "CREATE TABLE c (id BIGINT NOT NULL, v DOUBLE)")
+	if _, err := exec(t, e, nil, "INSERT INTO c VALUES (NULL, 1)"); err == nil {
+		t.Fatal("NOT NULL violation should fail")
+	}
+	if _, err := exec(t, e, nil, "INSERT INTO c VALUES (1)"); err == nil {
+		t.Fatal("arity mismatch should fail")
+	}
+	if _, err := exec(t, e, nil, "UPDATE c SET nosuch = 1"); err == nil {
+		t.Fatal("unknown column should fail")
+	}
+	if _, err := exec(t, e, nil, "SELECT * FROM nosuch"); err == nil {
+		t.Fatal("unknown table should fail")
+	}
+}
+
+func TestTransactionRollbackRestoresState(t *testing.T) {
+	e := newEngine(t)
+	_, _ = exec(t, e, nil, "CREATE TABLE t (id BIGINT, v DOUBLE)")
+	_, _ = exec(t, e, nil, "INSERT INTO t VALUES (1, 1), (2, 2)")
+
+	tx := e.Begin(false)
+	if _, err := exec(t, e, tx, "INSERT INTO t VALUES (3, 3)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec(t, e, tx, "UPDATE t SET v = 100 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec(t, e, tx, "DELETE FROM t WHERE id = 2"); err != nil {
+		t.Fatal(err)
+	}
+	// Own transaction sees its changes (in-place engine + X locks).
+	rows := query(t, e, tx, "SELECT COUNT(*) FROM t")
+	if n, _ := rows[0][0].AsInt(); n != 2 {
+		t.Fatalf("in-txn count = %d", n)
+	}
+	if err := e.Rollback(tx); err != nil {
+		t.Fatal(err)
+	}
+
+	rows = query(t, e, nil, "SELECT COUNT(*) FROM t")
+	if n, _ := rows[0][0].AsInt(); n != 2 {
+		t.Fatalf("post-rollback count = %d", n)
+	}
+	rows = query(t, e, nil, "SELECT v FROM t WHERE id = 1")
+	if f, _ := rows[0][0].AsFloat(); f != 1 {
+		t.Fatalf("post-rollback value = %v", f)
+	}
+	rows = query(t, e, nil, "SELECT COUNT(*) FROM t WHERE id = 2")
+	if n, _ := rows[0][0].AsInt(); n != 1 {
+		t.Fatal("deleted row should be restored")
+	}
+}
+
+func TestWriterBlocksWriter(t *testing.T) {
+	e := newEngine(t)
+	_, _ = exec(t, e, nil, "CREATE TABLE locked (id BIGINT)")
+	tx1 := e.Begin(false)
+	if _, err := exec(t, e, tx1, "INSERT INTO locked VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	// A concurrent writer times out while tx1 holds the X lock.
+	start := time.Now()
+	_, err := exec(t, e, nil, "INSERT INTO locked VALUES (2)")
+	if err == nil {
+		t.Fatal("expected lock timeout")
+	}
+	if !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if time.Since(start) < 100*time.Millisecond {
+		t.Error("should have waited for the lock timeout")
+	}
+	e.Commit(tx1)
+	if _, err := exec(t, e, nil, "INSERT INTO locked VALUES (3)"); err != nil {
+		t.Fatalf("after commit the lock should be free: %v", err)
+	}
+}
+
+func TestConcurrentReadersDoNotBlock(t *testing.T) {
+	e := newEngine(t)
+	_, _ = exec(t, e, nil, "CREATE TABLE r (id BIGINT)")
+	_, _ = exec(t, e, nil, "INSERT INTO r VALUES (1), (2), (3)")
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, _ := sqlparse.Parse("SELECT COUNT(*) FROM r")
+			if _, err := e.Query(nil, st.(*sqlparse.SelectStmt)); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestChangeCaptureForAcceleratedTables(t *testing.T) {
+	e := newEngine(t)
+	_, _ = exec(t, e, nil, "CREATE TABLE cdc (id BIGINT, v DOUBLE)")
+	_, _ = exec(t, e, nil, "INSERT INTO cdc VALUES (1, 1)")
+	// Not accelerated yet: nothing captured.
+	if got := e.Changes.PendingCount("CDC", 0); got != 0 {
+		t.Fatalf("captured %d changes for non-accelerated table", got)
+	}
+	if err := e.Catalog().SetKind("CDC", catalog.KindAccelerated, "IDAA1"); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = exec(t, e, nil, "INSERT INTO cdc VALUES (2, 2)")
+	_, _ = exec(t, e, nil, "UPDATE cdc SET v = 20 WHERE id = 2")
+	_, _ = exec(t, e, nil, "DELETE FROM cdc WHERE id = 1")
+	recs := e.Changes.Since("CDC", 0)
+	if len(recs) != 3 {
+		t.Fatalf("captured %d records, want 3", len(recs))
+	}
+	if recs[0].Op != ChangeInsert || recs[1].Op != ChangeUpdate || recs[2].Op != ChangeDelete {
+		t.Fatalf("ops: %v %v %v", recs[0].Op, recs[1].Op, recs[2].Op)
+	}
+	e.Changes.Discard("CDC", recs[1].Seq)
+	if got := e.Changes.PendingCount("CDC", 0); got != 1 {
+		t.Fatalf("after discard %d pending", got)
+	}
+}
+
+func TestInsertSelectAndIndexedMatch(t *testing.T) {
+	e := newEngine(t)
+	_, _ = exec(t, e, nil, "CREATE TABLE src (id BIGINT, v DOUBLE)")
+	_, _ = exec(t, e, nil, "CREATE TABLE dst (id BIGINT, v DOUBLE)")
+	_, _ = exec(t, e, nil, "INSERT INTO src VALUES (1,1),(2,2),(3,3),(4,4)")
+	res, err := exec(t, e, nil, "INSERT INTO dst SELECT id, v FROM src WHERE v >= 2")
+	if err != nil || res.RowsAffected != 3 {
+		t.Fatalf("insert-select: %+v, %v", res, err)
+	}
+	if err := e.CreateIndex("dst", "ID"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = exec(t, e, nil, "UPDATE dst SET v = 0 WHERE id = 3")
+	if err != nil || res.RowsAffected != 1 {
+		t.Fatalf("indexed update: %+v, %v", res, err)
+	}
+	rows := query(t, e, nil, "SELECT v FROM dst WHERE id = 3")
+	if f, _ := rows[0][0].AsFloat(); f != 0 {
+		t.Fatalf("indexed update value = %v", f)
+	}
+}
+
+func TestGroupJoinSubqueryQueries(t *testing.T) {
+	e := newEngine(t)
+	_, _ = exec(t, e, nil, "CREATE TABLE o (id BIGINT, cid BIGINT, amount DOUBLE)")
+	_, _ = exec(t, e, nil, "CREATE TABLE c (cid BIGINT, region VARCHAR(8))")
+	_, _ = exec(t, e, nil, "INSERT INTO c VALUES (1,'EU'),(2,'US')")
+	_, _ = exec(t, e, nil, "INSERT INTO o VALUES (1,1,10),(2,1,20),(3,2,5),(4,2,15),(5,9,99)")
+
+	rows := query(t, e, nil, `SELECT c.region, SUM(o.amount) AS total FROM o INNER JOIN c ON o.cid = c.cid GROUP BY c.region ORDER BY total DESC`)
+	if len(rows) != 2 || rows[0][0].Str != "EU" {
+		t.Fatalf("join+group: %+v", rows)
+	}
+	rows = query(t, e, nil, `SELECT region, total FROM (SELECT c.region AS region, SUM(o.amount) AS total FROM o INNER JOIN c ON o.cid = c.cid GROUP BY c.region) sub WHERE total > 25`)
+	if len(rows) != 1 || rows[0][0].Str != "EU" {
+		t.Fatalf("subquery: %+v", rows)
+	}
+	rows = query(t, e, nil, `SELECT o.id FROM o LEFT JOIN c ON o.cid = c.cid WHERE c.cid IS NULL`)
+	if len(rows) != 1 {
+		t.Fatalf("anti-join via LEFT JOIN: %+v", rows)
+	}
+}
+
+func TestTruncateAndRowCounts(t *testing.T) {
+	e := newEngine(t)
+	_, _ = exec(t, e, nil, "CREATE TABLE tr (id BIGINT)")
+	_, _ = exec(t, e, nil, "INSERT INTO tr VALUES (1),(2),(3)")
+	res, err := exec(t, e, nil, "TRUNCATE TABLE tr")
+	if err != nil || res.RowsAffected != 3 {
+		t.Fatalf("truncate: %+v, %v", res, err)
+	}
+	st, _ := e.Storage("TR")
+	if st.RowCount() != 0 {
+		t.Fatalf("row count after truncate = %d", st.RowCount())
+	}
+	stats := e.Stats()
+	if stats.RowsInserted != 3 || stats.QueriesRun != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}

@@ -1,0 +1,183 @@
+package db2
+
+import (
+	"fmt"
+
+	"idaax/internal/expr"
+	"idaax/internal/relalg"
+	"idaax/internal/sqlparse"
+	"idaax/internal/txn"
+	"idaax/internal/types"
+)
+
+// Query executes a SELECT against DB2-resident tables using the row-at-a-time
+// executor. Shared (read) locks are taken per referenced table for the
+// duration of the statement and released afterwards, which is DB2's cursor
+// stability behaviour.
+func (e *Engine) Query(t *txn.Txn, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
+	e.statsMu.Lock()
+	e.queriesRun++
+	e.statsMu.Unlock()
+
+	run := func(tx *txn.Txn) (*relalg.Relation, error) {
+		for _, table := range sqlparse.ReferencedTables(sel) {
+			if !e.HasStorage(table) {
+				return nil, fmt.Errorf("db2: table %s is not stored in DB2 (accelerator-only tables must be queried via the accelerator)", table)
+			}
+			if err := e.Locks.Acquire(tx, table, txn.LockShared); err != nil {
+				return nil, err
+			}
+		}
+		from, err := e.buildFrom(tx, sel.From)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := relalg.ExecuteSelect(from, sel, relalg.Options{Parallelism: 1})
+		if err != nil {
+			return nil, err
+		}
+		// Cursor stability: read locks do not persist past the statement.
+		e.Locks.ReleaseShared(tx)
+		return rel, nil
+	}
+
+	if t != nil {
+		return run(t)
+	}
+	auto := e.Begin(true)
+	rel, err := run(auto)
+	if err != nil {
+		_ = e.Rollback(auto)
+		return nil, err
+	}
+	e.Commit(auto)
+	return rel, nil
+}
+
+// buildFrom materialises and joins the FROM clause.
+func (e *Engine) buildFrom(t *txn.Txn, from []sqlparse.FromItem) (*relalg.Relation, error) {
+	if len(from) == 0 {
+		return relalg.JoinAll(nil, nil, 1)
+	}
+	rels := make([]*relalg.Relation, len(from))
+	for i, item := range from {
+		if item.Subquery != nil {
+			sub, err := e.Query(t, item.Subquery)
+			if err != nil {
+				return nil, err
+			}
+			rels[i] = relalg.Requalify(sub, item.Name())
+			continue
+		}
+		st, err := e.Storage(item.Table)
+		if err != nil {
+			return nil, err
+		}
+		rows := st.SnapshotRows()
+		e.addScanned(int64(len(rows)))
+		rels[i] = relalg.FromTable(item.Name(), st.Schema(), rows)
+	}
+	return relalg.JoinAll(rels, from, 1)
+}
+
+// ---------------------------------------------------------------------------
+// Convenience statement execution (used by unit tests and the SQL shell when
+// no federation layer is in front of the engine)
+// ---------------------------------------------------------------------------
+
+// ExecResult describes the outcome of a non-query statement.
+type ExecResult struct {
+	RowsAffected int
+}
+
+// ExecStatement parses nothing — it executes an already-parsed statement
+// entirely inside DB2. The federation layer performs routing; this method is
+// the "acceleration disabled" path and the engine's test entry point.
+func (e *Engine) ExecStatement(t *txn.Txn, st sqlparse.Statement, user string) (*relalg.Relation, *ExecResult, error) {
+	switch s := st.(type) {
+	case *sqlparse.SelectStmt:
+		rel, err := e.Query(t, s)
+		return rel, nil, err
+	case *sqlparse.CreateTableStmt:
+		if s.InAccelerator != "" {
+			return nil, nil, fmt.Errorf("db2: accelerator-only tables require the federation layer")
+		}
+		schema := SchemaFromColumnDefs(s.Columns)
+		if err := e.CreateTable(s.Table, schema, user); err != nil {
+			if s.IfNotExists && e.cat.HasTable(s.Table) {
+				return nil, &ExecResult{}, nil
+			}
+			return nil, nil, err
+		}
+		return nil, &ExecResult{}, nil
+	case *sqlparse.DropTableStmt:
+		if err := e.DropTable(s.Table); err != nil {
+			if s.IfExists {
+				return nil, &ExecResult{}, nil
+			}
+			return nil, nil, err
+		}
+		return nil, &ExecResult{}, nil
+	case *sqlparse.TruncateStmt:
+		n, err := e.Truncate(t, s.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, &ExecResult{RowsAffected: n}, nil
+	case *sqlparse.InsertStmt:
+		rows, err := e.insertSourceRows(t, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		n, err := e.Insert(t, s.Table, rows)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, &ExecResult{RowsAffected: n}, nil
+	case *sqlparse.UpdateStmt:
+		n, err := e.Update(t, s.Table, s.Assignments, s.Where)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, &ExecResult{RowsAffected: n}, nil
+	case *sqlparse.DeleteStmt:
+		n, err := e.Delete(t, s.Table, s.Where)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, &ExecResult{RowsAffected: n}, nil
+	case *sqlparse.GrantStmt:
+		e.cat.Grant(s.Grantee, s.Table, s.Privileges...)
+		return nil, &ExecResult{}, nil
+	case *sqlparse.RevokeStmt:
+		e.cat.Revoke(s.Grantee, s.Table, s.Privileges...)
+		return nil, &ExecResult{}, nil
+	default:
+		return nil, nil, fmt.Errorf("db2: statement %T must be executed through the federation layer", st)
+	}
+}
+
+// insertSourceRows evaluates VALUES or runs the source SELECT of an INSERT.
+func (e *Engine) insertSourceRows(t *txn.Txn, s *sqlparse.InsertStmt) ([]types.Row, error) {
+	meta, err := e.cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	if s.Select != nil {
+		src, err := e.Query(t, s.Select)
+		if err != nil {
+			return nil, err
+		}
+		return expr.MapSelectRows(s.Columns, src.Rows, meta.Schema)
+	}
+	return expr.BuildInsertRows(s.Columns, s.Rows, meta.Schema)
+}
+
+// SchemaFromColumnDefs converts parsed column definitions into a schema.
+func SchemaFromColumnDefs(defs []sqlparse.ColumnDef) types.Schema {
+	cols := make([]types.Column, len(defs))
+	for i, d := range defs {
+		cols[i] = types.Column{Name: d.Name, Kind: d.Kind, NotNull: d.NotNull}
+	}
+	return types.NewSchema(cols...)
+}

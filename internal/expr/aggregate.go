@@ -1,0 +1,216 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"idaax/internal/sqlparse"
+	"idaax/internal/types"
+)
+
+// AggState accumulates one aggregate function over a group of rows. Both the
+// row engine and the accelerator use it so that aggregate semantics (NULL
+// handling, DISTINCT, empty-group results) are identical on both sides.
+type AggState struct {
+	fn       string
+	distinct bool
+	seen     map[string]bool
+	count    int64
+	sum      float64
+	sumSq    float64
+	min      types.Value
+	max      types.Value
+	sawFloat bool
+	sawValue bool
+}
+
+// NewAggState creates the accumulator for an aggregate function call.
+func NewAggState(fc *sqlparse.FuncCall) (*AggState, error) {
+	name := strings.ToUpper(fc.Name)
+	switch name {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX", "STDDEV", "VARIANCE":
+	default:
+		return nil, fmt.Errorf("expr: %s is not an aggregate function", fc.Name)
+	}
+	s := &AggState{fn: name, distinct: fc.Distinct, min: types.Null(), max: types.Null()}
+	if fc.Distinct {
+		s.seen = make(map[string]bool)
+	}
+	return s, nil
+}
+
+// AddStar accumulates one row for COUNT(*).
+func (s *AggState) AddStar() { s.count++ }
+
+// Add accumulates one argument value. SQL semantics: NULLs are ignored by all
+// aggregates; DISTINCT de-duplicates on the value.
+func (s *AggState) Add(v types.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	if s.distinct {
+		key := v.GroupKey()
+		if s.seen[key] {
+			return nil
+		}
+		s.seen[key] = true
+	}
+	s.sawValue = true
+	s.count++
+	switch s.fn {
+	case "COUNT":
+		return nil
+	case "SUM", "AVG", "STDDEV", "VARIANCE":
+		f, ok := v.AsFloat()
+		if !ok {
+			return fmt.Errorf("expr: %s requires numeric input, got %s", s.fn, v.Kind)
+		}
+		if v.Kind == types.KindFloat {
+			s.sawFloat = true
+		}
+		s.sum += f
+		s.sumSq += f * f
+		return nil
+	case "MIN":
+		if s.min.IsNull() {
+			s.min = v
+			return nil
+		}
+		c, err := types.Compare(v, s.min)
+		if err != nil {
+			return err
+		}
+		if c < 0 {
+			s.min = v
+		}
+		return nil
+	case "MAX":
+		if s.max.IsNull() {
+			s.max = v
+			return nil
+		}
+		c, err := types.Compare(v, s.max)
+		if err != nil {
+			return err
+		}
+		if c > 0 {
+			s.max = v
+		}
+		return nil
+	default:
+		return fmt.Errorf("expr: unknown aggregate %s", s.fn)
+	}
+}
+
+// Merge folds another accumulator of the same aggregate into s. The
+// accelerator uses it to combine per-slice partial aggregates. DISTINCT
+// aggregates merge their seen-sets, which keeps results exact.
+func (s *AggState) Merge(o *AggState) error {
+	if s.fn != o.fn {
+		return fmt.Errorf("expr: cannot merge %s into %s", o.fn, s.fn)
+	}
+	if s.distinct {
+		// Re-add distinct keys: counts/sums were only applied for unique values
+		// in each partial state, so recompute by unioning the seen sets.
+		for k := range o.seen {
+			if !s.seen[k] {
+				s.seen[k] = true
+			}
+		}
+		// Recompute count from the union for COUNT(DISTINCT); SUM(DISTINCT) of
+		// overlapping partitions is not supported by the engines (they hash-
+		// partition groups so a distinct value lands in exactly one slice).
+		s.count = int64(len(s.seen))
+		s.sum += o.sum
+		s.sumSq += o.sumSq
+		s.sawValue = s.sawValue || o.sawValue
+		s.sawFloat = s.sawFloat || o.sawFloat
+		return nil
+	}
+	s.count += o.count
+	s.sum += o.sum
+	s.sumSq += o.sumSq
+	s.sawValue = s.sawValue || o.sawValue
+	s.sawFloat = s.sawFloat || o.sawFloat
+	if !o.min.IsNull() {
+		if err := s.mergeMin(o.min); err != nil {
+			return err
+		}
+	}
+	if !o.max.IsNull() {
+		if err := s.mergeMax(o.max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *AggState) mergeMin(v types.Value) error {
+	if s.min.IsNull() {
+		s.min = v
+		return nil
+	}
+	c, err := types.Compare(v, s.min)
+	if err != nil {
+		return err
+	}
+	if c < 0 {
+		s.min = v
+	}
+	return nil
+}
+
+func (s *AggState) mergeMax(v types.Value) error {
+	if s.max.IsNull() {
+		s.max = v
+		return nil
+	}
+	c, err := types.Compare(v, s.max)
+	if err != nil {
+		return err
+	}
+	if c > 0 {
+		s.max = v
+	}
+	return nil
+}
+
+// Result returns the aggregate's final value.
+func (s *AggState) Result() types.Value {
+	switch s.fn {
+	case "COUNT":
+		return types.NewInt(s.count)
+	case "SUM":
+		if !s.sawValue {
+			return types.Null()
+		}
+		if !s.sawFloat && s.sum == math.Trunc(s.sum) {
+			return types.NewInt(int64(s.sum))
+		}
+		return types.NewFloat(s.sum)
+	case "AVG":
+		if s.count == 0 {
+			return types.Null()
+		}
+		return types.NewFloat(s.sum / float64(s.count))
+	case "MIN":
+		return s.min
+	case "MAX":
+		return s.max
+	case "VARIANCE":
+		if s.count == 0 {
+			return types.Null()
+		}
+		mean := s.sum / float64(s.count)
+		return types.NewFloat(s.sumSq/float64(s.count) - mean*mean)
+	case "STDDEV":
+		if s.count == 0 {
+			return types.Null()
+		}
+		mean := s.sum / float64(s.count)
+		return types.NewFloat(math.Sqrt(math.Max(0, s.sumSq/float64(s.count)-mean*mean)))
+	default:
+		return types.Null()
+	}
+}

@@ -1,0 +1,552 @@
+// Package expr evaluates scalar SQL expressions against rows. Both engines
+// use it: the DB2 engine row-at-a-time, the accelerator per-column-chunk with
+// the same semantics (the accelerator keeps its data columnar but materialises
+// row views for expression evaluation, which preserves result equivalence).
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"idaax/internal/sqlparse"
+	"idaax/internal/types"
+)
+
+// InputColumn describes one column of the row an evaluator operates on.
+// Qualifier is the table name or alias that may prefix references.
+type InputColumn struct {
+	Qualifier string
+	Name      string
+	Kind      types.Kind
+}
+
+// Env maps column references to row positions. It is built once per query
+// operator and reused for every row.
+type Env struct {
+	cols []InputColumn
+	// byName maps NAME -> unique index, or -1 when the name is ambiguous.
+	byName map[string]int
+	// byQualified maps QUALIFIER.NAME -> index.
+	byQualified map[string]int
+	// Overrides maps specific expression nodes (by identity) to precomputed
+	// values. The aggregation operators use it to substitute aggregate
+	// function calls with their group results when evaluating the select list
+	// and HAVING clause.
+	Overrides map[sqlparse.Expr]types.Value
+}
+
+// NewEnv builds an evaluation environment for the given input columns.
+func NewEnv(cols []InputColumn) *Env {
+	e := &Env{
+		cols:        cols,
+		byName:      make(map[string]int, len(cols)),
+		byQualified: make(map[string]int, len(cols)),
+	}
+	for i, c := range cols {
+		name := types.NormalizeName(c.Name)
+		if prev, ok := e.byName[name]; ok && prev != i {
+			e.byName[name] = -1 // ambiguous
+		} else {
+			e.byName[name] = i
+		}
+		if c.Qualifier != "" {
+			e.byQualified[types.NormalizeName(c.Qualifier)+"."+name] = i
+		}
+	}
+	return e
+}
+
+// Columns returns the environment's input columns.
+func (e *Env) Columns() []InputColumn { return e.cols }
+
+// Resolve returns the row index for a column reference.
+func (e *Env) Resolve(ref *sqlparse.ColumnRef) (int, error) {
+	name := types.NormalizeName(ref.Name)
+	if ref.Table != "" {
+		key := types.NormalizeName(ref.Table) + "." + name
+		if idx, ok := e.byQualified[key]; ok {
+			return idx, nil
+		}
+		return 0, fmt.Errorf("expr: unknown column %s.%s", ref.Table, ref.Name)
+	}
+	idx, ok := e.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("expr: unknown column %s", ref.Name)
+	}
+	if idx < 0 {
+		return 0, fmt.Errorf("expr: ambiguous column reference %s", ref.Name)
+	}
+	return idx, nil
+}
+
+// Eval evaluates the expression against the row.
+func (e *Env) Eval(x sqlparse.Expr, row types.Row) (types.Value, error) {
+	if x != nil && e.Overrides != nil {
+		if v, ok := e.Overrides[x]; ok {
+			return v, nil
+		}
+	}
+	switch n := x.(type) {
+	case nil:
+		return types.Null(), nil
+	case *sqlparse.Literal:
+		return n.Val, nil
+	case *sqlparse.ColumnRef:
+		idx, err := e.Resolve(n)
+		if err != nil {
+			return types.Null(), err
+		}
+		if idx >= len(row) {
+			return types.Null(), fmt.Errorf("expr: row too short for column %s", n.Name)
+		}
+		return row[idx], nil
+	case *sqlparse.BinaryExpr:
+		return e.evalBinary(n, row)
+	case *sqlparse.UnaryExpr:
+		return e.evalUnary(n, row)
+	case *sqlparse.FuncCall:
+		return e.evalFunc(n, row)
+	case *sqlparse.CaseExpr:
+		return e.evalCase(n, row)
+	case *sqlparse.IsNullExpr:
+		v, err := e.Eval(n.Operand, row)
+		if err != nil {
+			return types.Null(), err
+		}
+		return types.NewBool(v.IsNull() != n.Negate), nil
+	case *sqlparse.InExpr:
+		return e.evalIn(n, row)
+	case *sqlparse.BetweenExpr:
+		return e.evalBetween(n, row)
+	case *sqlparse.LikeExpr:
+		return e.evalLike(n, row)
+	case *sqlparse.CastExpr:
+		v, err := e.Eval(n.Operand, row)
+		if err != nil {
+			return types.Null(), err
+		}
+		return v.Cast(n.To)
+	default:
+		return types.Null(), fmt.Errorf("expr: unsupported expression node %T", x)
+	}
+}
+
+// EvalBool evaluates a predicate; NULL is treated as false (SQL three-valued
+// logic collapsed at the filter boundary).
+func (e *Env) EvalBool(x sqlparse.Expr, row types.Row) (bool, error) {
+	if x == nil {
+		return true, nil
+	}
+	v, err := e.Eval(x, row)
+	if err != nil {
+		return false, err
+	}
+	if v.IsNull() {
+		return false, nil
+	}
+	b, ok := v.AsBool()
+	if !ok {
+		return false, fmt.Errorf("expr: predicate did not evaluate to a boolean (got %s)", v.Kind)
+	}
+	return b, nil
+}
+
+func (e *Env) evalBinary(n *sqlparse.BinaryExpr, row types.Row) (types.Value, error) {
+	// AND/OR get short-circuit evaluation with NULL-as-false collapse.
+	switch n.Op {
+	case sqlparse.OpAnd:
+		lb, err := e.EvalBool(n.Left, row)
+		if err != nil {
+			return types.Null(), err
+		}
+		if !lb {
+			return types.NewBool(false), nil
+		}
+		rb, err := e.EvalBool(n.Right, row)
+		if err != nil {
+			return types.Null(), err
+		}
+		return types.NewBool(rb), nil
+	case sqlparse.OpOr:
+		lb, err := e.EvalBool(n.Left, row)
+		if err != nil {
+			return types.Null(), err
+		}
+		if lb {
+			return types.NewBool(true), nil
+		}
+		rb, err := e.EvalBool(n.Right, row)
+		if err != nil {
+			return types.Null(), err
+		}
+		return types.NewBool(rb), nil
+	}
+	left, err := e.Eval(n.Left, row)
+	if err != nil {
+		return types.Null(), err
+	}
+	right, err := e.Eval(n.Right, row)
+	if err != nil {
+		return types.Null(), err
+	}
+	return ApplyBinary(n.Op, left, right)
+}
+
+// ApplyBinary applies a non-logical binary operator to two values.
+func ApplyBinary(op sqlparse.BinOp, left, right types.Value) (types.Value, error) {
+	switch op {
+	case sqlparse.OpConcat:
+		if left.IsNull() || right.IsNull() {
+			return types.Null(), nil
+		}
+		return types.NewString(left.AsString() + right.AsString()), nil
+	case sqlparse.OpEq, sqlparse.OpNe, sqlparse.OpLt, sqlparse.OpLe, sqlparse.OpGt, sqlparse.OpGe:
+		if left.IsNull() || right.IsNull() {
+			return types.Null(), nil
+		}
+		c, err := types.Compare(left, right)
+		if err != nil {
+			return types.Null(), err
+		}
+		var result bool
+		switch op {
+		case sqlparse.OpEq:
+			result = c == 0
+		case sqlparse.OpNe:
+			result = c != 0
+		case sqlparse.OpLt:
+			result = c < 0
+		case sqlparse.OpLe:
+			result = c <= 0
+		case sqlparse.OpGt:
+			result = c > 0
+		case sqlparse.OpGe:
+			result = c >= 0
+		}
+		return types.NewBool(result), nil
+	case sqlparse.OpAdd, sqlparse.OpSub, sqlparse.OpMul, sqlparse.OpDiv, sqlparse.OpMod:
+		return applyArithmetic(op, left, right)
+	default:
+		return types.Null(), fmt.Errorf("expr: unsupported binary operator %v", op)
+	}
+}
+
+func applyArithmetic(op sqlparse.BinOp, left, right types.Value) (types.Value, error) {
+	if left.IsNull() || right.IsNull() {
+		return types.Null(), nil
+	}
+	// Integer arithmetic stays integral (except division by zero handling).
+	if left.Kind == types.KindInt && right.Kind == types.KindInt {
+		a, b := left.Int, right.Int
+		switch op {
+		case sqlparse.OpAdd:
+			return types.NewInt(a + b), nil
+		case sqlparse.OpSub:
+			return types.NewInt(a - b), nil
+		case sqlparse.OpMul:
+			return types.NewInt(a * b), nil
+		case sqlparse.OpDiv:
+			if b == 0 {
+				return types.Null(), fmt.Errorf("expr: division by zero")
+			}
+			return types.NewInt(a / b), nil
+		case sqlparse.OpMod:
+			if b == 0 {
+				return types.Null(), fmt.Errorf("expr: division by zero")
+			}
+			return types.NewInt(a % b), nil
+		}
+	}
+	af, aok := left.AsFloat()
+	bf, bok := right.AsFloat()
+	if !aok || !bok {
+		return types.Null(), fmt.Errorf("expr: arithmetic on non-numeric values (%s, %s)", left.Kind, right.Kind)
+	}
+	switch op {
+	case sqlparse.OpAdd:
+		return types.NewFloat(af + bf), nil
+	case sqlparse.OpSub:
+		return types.NewFloat(af - bf), nil
+	case sqlparse.OpMul:
+		return types.NewFloat(af * bf), nil
+	case sqlparse.OpDiv:
+		if bf == 0 {
+			return types.Null(), fmt.Errorf("expr: division by zero")
+		}
+		return types.NewFloat(af / bf), nil
+	case sqlparse.OpMod:
+		if bf == 0 {
+			return types.Null(), fmt.Errorf("expr: division by zero")
+		}
+		return types.NewFloat(math.Mod(af, bf)), nil
+	}
+	return types.Null(), fmt.Errorf("expr: unsupported arithmetic operator %v", op)
+}
+
+func (e *Env) evalUnary(n *sqlparse.UnaryExpr, row types.Row) (types.Value, error) {
+	v, err := e.Eval(n.Operand, row)
+	if err != nil {
+		return types.Null(), err
+	}
+	switch n.Op {
+	case "NOT":
+		if v.IsNull() {
+			return types.Null(), nil
+		}
+		b, ok := v.AsBool()
+		if !ok {
+			return types.Null(), fmt.Errorf("expr: NOT applied to non-boolean %s", v.Kind)
+		}
+		return types.NewBool(!b), nil
+	case "-":
+		if v.IsNull() {
+			return types.Null(), nil
+		}
+		switch v.Kind {
+		case types.KindInt:
+			return types.NewInt(-v.Int), nil
+		case types.KindFloat:
+			return types.NewFloat(-v.Float), nil
+		default:
+			f, ok := v.AsFloat()
+			if !ok {
+				return types.Null(), fmt.Errorf("expr: unary minus on non-numeric %s", v.Kind)
+			}
+			return types.NewFloat(-f), nil
+		}
+	default:
+		return types.Null(), fmt.Errorf("expr: unsupported unary operator %q", n.Op)
+	}
+}
+
+func (e *Env) evalCase(n *sqlparse.CaseExpr, row types.Row) (types.Value, error) {
+	if n.Operand != nil {
+		op, err := e.Eval(n.Operand, row)
+		if err != nil {
+			return types.Null(), err
+		}
+		for _, w := range n.Whens {
+			wv, err := e.Eval(w.Cond, row)
+			if err != nil {
+				return types.Null(), err
+			}
+			if !op.IsNull() && !wv.IsNull() && types.Equal(op, wv) {
+				return e.Eval(w.Result, row)
+			}
+		}
+	} else {
+		for _, w := range n.Whens {
+			ok, err := e.EvalBool(w.Cond, row)
+			if err != nil {
+				return types.Null(), err
+			}
+			if ok {
+				return e.Eval(w.Result, row)
+			}
+		}
+	}
+	if n.Else != nil {
+		return e.Eval(n.Else, row)
+	}
+	return types.Null(), nil
+}
+
+func (e *Env) evalIn(n *sqlparse.InExpr, row types.Row) (types.Value, error) {
+	v, err := e.Eval(n.Operand, row)
+	if err != nil {
+		return types.Null(), err
+	}
+	if v.IsNull() {
+		return types.Null(), nil
+	}
+	for _, item := range n.List {
+		iv, err := e.Eval(item, row)
+		if err != nil {
+			return types.Null(), err
+		}
+		if !iv.IsNull() && types.Equal(v, iv) {
+			return types.NewBool(!n.Negate), nil
+		}
+	}
+	return types.NewBool(n.Negate), nil
+}
+
+func (e *Env) evalBetween(n *sqlparse.BetweenExpr, row types.Row) (types.Value, error) {
+	v, err := e.Eval(n.Operand, row)
+	if err != nil {
+		return types.Null(), err
+	}
+	low, err := e.Eval(n.Low, row)
+	if err != nil {
+		return types.Null(), err
+	}
+	high, err := e.Eval(n.High, row)
+	if err != nil {
+		return types.Null(), err
+	}
+	if v.IsNull() || low.IsNull() || high.IsNull() {
+		return types.Null(), nil
+	}
+	cl, err := types.Compare(v, low)
+	if err != nil {
+		return types.Null(), err
+	}
+	ch, err := types.Compare(v, high)
+	if err != nil {
+		return types.Null(), err
+	}
+	in := cl >= 0 && ch <= 0
+	return types.NewBool(in != n.Negate), nil
+}
+
+func (e *Env) evalLike(n *sqlparse.LikeExpr, row types.Row) (types.Value, error) {
+	v, err := e.Eval(n.Operand, row)
+	if err != nil {
+		return types.Null(), err
+	}
+	pat, err := e.Eval(n.Pattern, row)
+	if err != nil {
+		return types.Null(), err
+	}
+	if v.IsNull() || pat.IsNull() {
+		return types.Null(), nil
+	}
+	matched := MatchLike(v.AsString(), pat.AsString())
+	return types.NewBool(matched != n.Negate), nil
+}
+
+// MatchLike implements SQL LIKE with '%' (any run) and '_' (any single char).
+// Matching is case-sensitive, as in DB2 with default collation.
+func MatchLike(s, pattern string) bool {
+	return likeMatch(s, pattern)
+}
+
+func likeMatch(s, p string) bool {
+	// Iterative matcher with backtracking only on '%'.
+	var si, pi int
+	star := -1
+	match := 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star = pi
+			match = si
+			pi++
+		case star != -1:
+			pi = star + 1
+			match++
+			si = match
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}
+
+// OutputName derives the column name of a select-list expression when no
+// alias is given, mirroring DB2's derived-column naming loosely.
+func OutputName(x sqlparse.Expr, position int) string {
+	switch n := x.(type) {
+	case *sqlparse.ColumnRef:
+		return types.NormalizeName(n.Name)
+	case *sqlparse.FuncCall:
+		return strings.ToUpper(n.Name)
+	default:
+		return fmt.Sprintf("COL%d", position+1)
+	}
+}
+
+// InferKind statically infers the result kind of an expression against an
+// environment, falling back to KindFloat for arithmetic and KindString when
+// unknown. It is used to type derived columns of CREATE TABLE ... AS SELECT
+// and INSERT ... SELECT targets.
+func (e *Env) InferKind(x sqlparse.Expr) types.Kind {
+	switch n := x.(type) {
+	case *sqlparse.Literal:
+		return n.Val.Kind
+	case *sqlparse.ColumnRef:
+		idx, err := e.Resolve(n)
+		if err != nil {
+			return types.KindString
+		}
+		return e.cols[idx].Kind
+	case *sqlparse.CastExpr:
+		return n.To
+	case *sqlparse.BinaryExpr:
+		switch n.Op {
+		case sqlparse.OpAnd, sqlparse.OpOr, sqlparse.OpEq, sqlparse.OpNe, sqlparse.OpLt, sqlparse.OpLe, sqlparse.OpGt, sqlparse.OpGe:
+			return types.KindBool
+		case sqlparse.OpConcat:
+			return types.KindString
+		default:
+			lk := e.InferKind(n.Left)
+			rk := e.InferKind(n.Right)
+			if lk == types.KindInt && rk == types.KindInt {
+				return types.KindInt
+			}
+			return types.KindFloat
+		}
+	case *sqlparse.UnaryExpr:
+		if n.Op == "NOT" {
+			return types.KindBool
+		}
+		return e.InferKind(n.Operand)
+	case *sqlparse.FuncCall:
+		return inferFuncKind(n, e)
+	case *sqlparse.CaseExpr:
+		for _, w := range n.Whens {
+			if k := e.InferKind(w.Result); k != types.KindNull {
+				return k
+			}
+		}
+		if n.Else != nil {
+			return e.InferKind(n.Else)
+		}
+		return types.KindString
+	case *sqlparse.IsNullExpr, *sqlparse.InExpr, *sqlparse.BetweenExpr, *sqlparse.LikeExpr:
+		return types.KindBool
+	default:
+		return types.KindString
+	}
+}
+
+func inferFuncKind(n *sqlparse.FuncCall, e *Env) types.Kind {
+	switch strings.ToUpper(n.Name) {
+	case "COUNT":
+		return types.KindInt
+	case "SUM", "MIN", "MAX":
+		if len(n.Args) == 1 {
+			return e.InferKind(n.Args[0])
+		}
+		return types.KindFloat
+	case "AVG", "STDDEV", "VARIANCE", "SQRT", "LN", "LOG", "EXP", "POWER", "RAND":
+		return types.KindFloat
+	case "ABS", "ROUND", "FLOOR", "CEIL", "CEILING", "MOD":
+		if len(n.Args) >= 1 {
+			return e.InferKind(n.Args[0])
+		}
+		return types.KindFloat
+	case "LENGTH", "INSTR", "SIGN":
+		return types.KindInt
+	case "UPPER", "LOWER", "TRIM", "SUBSTR", "SUBSTRING", "CONCAT", "REPLACE", "LPAD", "RPAD":
+		return types.KindString
+	case "COALESCE", "NULLIF", "IFNULL", "NVL":
+		if len(n.Args) >= 1 {
+			return e.InferKind(n.Args[0])
+		}
+		return types.KindString
+	case "NOW", "CURRENT_TIMESTAMP":
+		return types.KindTimestamp
+	case "YEAR", "MONTH", "DAY", "HOUR", "MINUTE":
+		return types.KindInt
+	default:
+		return types.KindFloat
+	}
+}

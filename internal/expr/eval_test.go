@@ -1,0 +1,353 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"idaax/internal/sqlparse"
+	"idaax/internal/types"
+)
+
+func testEnv() (*Env, types.Row) {
+	cols := []InputColumn{
+		{Qualifier: "T", Name: "A", Kind: types.KindInt},
+		{Qualifier: "T", Name: "B", Kind: types.KindFloat},
+		{Qualifier: "T", Name: "S", Kind: types.KindString},
+		{Qualifier: "T", Name: "FLAG", Kind: types.KindBool},
+		{Qualifier: "T", Name: "N", Kind: types.KindFloat},
+	}
+	row := types.Row{types.NewInt(4), types.NewFloat(2.5), types.NewString("Hello"), types.NewBool(true), types.Null()}
+	return NewEnv(cols), row
+}
+
+func evalSQL(t *testing.T, exprSQL string) types.Value {
+	t.Helper()
+	env, row := testEnv()
+	e, err := sqlparse.ParseExpr(exprSQL)
+	if err != nil {
+		t.Fatalf("parse %q: %v", exprSQL, err)
+	}
+	v, err := env.Eval(e, row)
+	if err != nil {
+		t.Fatalf("eval %q: %v", exprSQL, err)
+	}
+	return v
+}
+
+func TestEvalArithmeticAndComparison(t *testing.T) {
+	cases := map[string]string{
+		"a + 1":             "5",
+		"a * b":             "10",
+		"a / 2":             "2",
+		"a % 3":             "1",
+		"-a":                "-4",
+		"a > 3":             "true",
+		"a >= 5":            "false",
+		"b <> 2.5":          "false",
+		"s = 'Hello'":       "true",
+		"a > 1 AND b < 3":   "true",
+		"a > 10 OR b > 2":   "true",
+		"NOT flag":          "false",
+		"a BETWEEN 1 AND 4": "true",
+		"a IN (1, 2, 4)":    "true",
+		"a NOT IN (1, 2)":   "true",
+		"s LIKE 'He%'":      "true",
+		"s LIKE '%xx%'":     "false",
+		"s NOT LIKE 'H_llo'": "false",
+		"n IS NULL":         "true",
+		"a IS NOT NULL":     "true",
+		"'x' || s":          "xHello",
+		"CAST(a AS DOUBLE) / 8": "0.5",
+	}
+	for sql, want := range cases {
+		if got := evalSQL(t, sql).AsString(); got != want {
+			t.Errorf("%s = %q, want %q", sql, got, want)
+		}
+	}
+}
+
+func TestEvalNullPropagation(t *testing.T) {
+	for _, sql := range []string{"n + 1", "n > 1", "n || 'x'", "-n"} {
+		if v := evalSQL(t, sql); !v.IsNull() {
+			t.Errorf("%s should be NULL, got %v", sql, v)
+		}
+	}
+	// NULL collapses to false at predicate boundaries.
+	env, row := testEnv()
+	e, _ := sqlparse.ParseExpr("n > 1")
+	ok, err := env.EvalBool(e, row)
+	if err != nil || ok {
+		t.Errorf("EvalBool(NULL comparison) = %v, %v", ok, err)
+	}
+}
+
+func TestEvalCase(t *testing.T) {
+	if got := evalSQL(t, "CASE WHEN a > 3 THEN 'big' ELSE 'small' END").AsString(); got != "big" {
+		t.Errorf("searched case: %q", got)
+	}
+	if got := evalSQL(t, "CASE a WHEN 4 THEN 'four' WHEN 5 THEN 'five' END").AsString(); got != "four" {
+		t.Errorf("simple case: %q", got)
+	}
+	if v := evalSQL(t, "CASE WHEN a > 100 THEN 1 END"); !v.IsNull() {
+		t.Errorf("no-match case should be NULL, got %v", v)
+	}
+}
+
+func TestEvalScalarFunctions(t *testing.T) {
+	cases := map[string]string{
+		"ABS(-3)":               "3",
+		"UPPER(s)":              "HELLO",
+		"LOWER(s)":              "hello",
+		"LENGTH(s)":             "5",
+		"SUBSTR(s, 2, 3)":       "ell",
+		"COALESCE(n, a, 99)":    "4",
+		"NULLIF(a, 4)":          "",
+		"ROUND(b)":              "3",
+		"ROUND(2.345, 2)":       "2.35",
+		"FLOOR(b)":              "2",
+		"CEIL(b)":               "3",
+		"SQRT(4)":               "2",
+		"POWER(2, 3)":           "8",
+		"MOD(7, 3)":             "1",
+		"GREATEST(1, 5, 3)":     "5",
+		"LEAST(2, b, 9)":        "2",
+		"REPLACE(s, 'l', 'L')":  "HeLLo",
+		"CONCAT(s, '!', '?')":   "Hello!?",
+		"SIGN(-2.5)":            "-1",
+		"TRIM('  x  ')":         "x",
+		"YEAR(CAST('2016-03-15' AS TIMESTAMP))": "2016",
+	}
+	for sql, want := range cases {
+		got := evalSQL(t, sql).AsString()
+		if got != want {
+			t.Errorf("%s = %q, want %q", sql, got, want)
+		}
+	}
+	if _, err := CallScalar("NO_SUCH_FUNC", nil); err == nil {
+		t.Error("unknown function should fail")
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	env, row := testEnv()
+	for _, sql := range []string{"missing_col + 1", "a / 0", "SUM(a)"} {
+		e, err := sqlparse.ParseExpr(sql)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if _, err := env.Eval(e, row); err == nil {
+			t.Errorf("%s should fail at evaluation", sql)
+		}
+	}
+}
+
+func TestResolveQualifiedAndAmbiguous(t *testing.T) {
+	env := NewEnv([]InputColumn{
+		{Qualifier: "A", Name: "ID", Kind: types.KindInt},
+		{Qualifier: "B", Name: "ID", Kind: types.KindInt},
+		{Qualifier: "B", Name: "V", Kind: types.KindFloat},
+	})
+	if _, err := env.Resolve(&sqlparse.ColumnRef{Name: "ID"}); err == nil {
+		t.Error("unqualified ambiguous reference should fail")
+	}
+	idx, err := env.Resolve(&sqlparse.ColumnRef{Table: "B", Name: "ID"})
+	if err != nil || idx != 1 {
+		t.Errorf("qualified resolve = %d, %v", idx, err)
+	}
+	if _, err := env.Resolve(&sqlparse.ColumnRef{Table: "C", Name: "ID"}); err == nil {
+		t.Error("unknown qualifier should fail")
+	}
+}
+
+func TestOverrides(t *testing.T) {
+	env, row := testEnv()
+	agg, _ := sqlparse.ParseExpr("SUM(a)")
+	env.Overrides = map[sqlparse.Expr]types.Value{agg: types.NewInt(42)}
+	wrapped := &sqlparse.BinaryExpr{Op: sqlparse.OpAdd, Left: agg, Right: &sqlparse.Literal{Val: types.NewInt(1)}}
+	v, err := env.Eval(wrapped, row)
+	if err != nil || v.Int != 43 {
+		t.Fatalf("override eval = %v, %v", v, err)
+	}
+}
+
+func TestMatchLike(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%llo", true},
+		{"hello", "h_llo", true},
+		{"hello", "h__lo", true},
+		{"hello", "h_lo", false},
+		{"hello", "%", true},
+		{"", "%", true},
+		{"", "_", false},
+		{"abc", "%b%", true},
+		{"mississippi", "%iss%ppi", true},
+	}
+	for _, c := range cases {
+		if got := MatchLike(c.s, c.p); got != c.want {
+			t.Errorf("MatchLike(%q, %q) = %v", c.s, c.p, got)
+		}
+	}
+}
+
+func TestMatchLikeProperties(t *testing.T) {
+	// Every string matches '%', and every string matches itself.
+	f := func(s string) bool {
+		return MatchLike(s, "%") && (strings.ContainsAny(s, "%_") || MatchLike(s, s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregateStates(t *testing.T) {
+	mk := func(name string, distinct bool) *AggState {
+		s, err := NewAggState(&sqlparse.FuncCall{Name: name, Distinct: distinct})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	sum := mk("SUM", false)
+	for _, v := range []int64{1, 2, 3} {
+		if err := sum.Add(types.NewInt(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sum.Add(types.Null()); err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Result(); got.Int != 6 {
+		t.Errorf("SUM = %v", got)
+	}
+
+	avg := mk("AVG", false)
+	for _, v := range []float64{1, 2, 3, 4} {
+		_ = avg.Add(types.NewFloat(v))
+	}
+	if got := avg.Result(); got.Float != 2.5 {
+		t.Errorf("AVG = %v", got)
+	}
+
+	cnt := mk("COUNT", true)
+	for _, v := range []int64{1, 1, 2, 2, 3} {
+		_ = cnt.Add(types.NewInt(v))
+	}
+	if got := cnt.Result(); got.Int != 3 {
+		t.Errorf("COUNT DISTINCT = %v", got)
+	}
+
+	mn, mx := mk("MIN", false), mk("MAX", false)
+	for _, s := range []string{"b", "a", "c"} {
+		_ = mn.Add(types.NewString(s))
+		_ = mx.Add(types.NewString(s))
+	}
+	if mn.Result().Str != "a" || mx.Result().Str != "c" {
+		t.Errorf("MIN/MAX = %v/%v", mn.Result(), mx.Result())
+	}
+
+	// Empty-group semantics: COUNT()=0, SUM()=NULL, AVG()=NULL.
+	if mk("COUNT", false).Result().Int != 0 {
+		t.Error("empty COUNT should be 0")
+	}
+	if !mk("SUM", false).Result().IsNull() {
+		t.Error("empty SUM should be NULL")
+	}
+	if !mk("AVG", false).Result().IsNull() {
+		t.Error("empty AVG should be NULL")
+	}
+
+	if _, err := NewAggState(&sqlparse.FuncCall{Name: "UPPER"}); err == nil {
+		t.Error("non-aggregate should be rejected")
+	}
+}
+
+// TestAggregateMergeProperty: merging partial SUM/COUNT/MIN/MAX states is
+// equivalent to accumulating everything in one state (the invariant the
+// accelerator's per-slice partial aggregation relies on).
+func TestAggregateMergeProperty(t *testing.T) {
+	f := func(xs []int16, split uint8) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		cut := int(split) % len(xs)
+		for _, fn := range []string{"SUM", "COUNT", "MIN", "MAX", "AVG"} {
+			whole, _ := NewAggState(&sqlparse.FuncCall{Name: fn})
+			left, _ := NewAggState(&sqlparse.FuncCall{Name: fn})
+			right, _ := NewAggState(&sqlparse.FuncCall{Name: fn})
+			for i, x := range xs {
+				v := types.NewInt(int64(x))
+				_ = whole.Add(v)
+				if i < cut {
+					_ = left.Add(v)
+				} else {
+					_ = right.Add(v)
+				}
+			}
+			if err := left.Merge(right); err != nil {
+				return false
+			}
+			if !types.Equal(whole.Result(), left.Result()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildInsertRows(t *testing.T) {
+	schema := types.NewSchema(
+		types.Column{Name: "A", Kind: types.KindInt},
+		types.Column{Name: "B", Kind: types.KindString},
+		types.Column{Name: "C", Kind: types.KindFloat},
+	)
+	exprs := [][]sqlparse.Expr{{
+		&sqlparse.Literal{Val: types.NewInt(1)},
+		&sqlparse.Literal{Val: types.NewString("x")},
+	}}
+	rows, err := BuildInsertRows([]string{"A", "B"}, exprs, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].Int != 1 || rows[0][1].Str != "x" || !rows[0][2].IsNull() {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if _, err := BuildInsertRows([]string{"A", "MISSING"}, exprs, schema); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if _, err := BuildInsertRows([]string{"A"}, exprs, schema); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+func TestInferKind(t *testing.T) {
+	env, _ := testEnv()
+	cases := map[string]types.Kind{
+		"a":          types.KindInt,
+		"a + 1":      types.KindInt,
+		"a + b":      types.KindFloat,
+		"a > 1":      types.KindBool,
+		"s || 'x'":   types.KindString,
+		"COUNT(*)":   types.KindInt,
+		"AVG(a)":     types.KindFloat,
+		"UPPER(s)":   types.KindString,
+		"CAST(a AS VARCHAR)": types.KindString,
+	}
+	for sql, want := range cases {
+		e, err := sqlparse.ParseExpr(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := env.InferKind(e); got != want {
+			t.Errorf("InferKind(%s) = %v, want %v", sql, got, want)
+		}
+	}
+}

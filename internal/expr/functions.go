@@ -1,0 +1,297 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"idaax/internal/sqlparse"
+	"idaax/internal/types"
+)
+
+// evalFunc dispatches non-aggregate scalar function calls. Aggregate functions
+// reaching this path (outside GROUP BY handling) are an error; the engines
+// evaluate them in their aggregation operators.
+func (e *Env) evalFunc(n *sqlparse.FuncCall, row types.Row) (types.Value, error) {
+	name := strings.ToUpper(n.Name)
+	if n.IsAggregate() {
+		return types.Null(), fmt.Errorf("expr: aggregate function %s used outside of an aggregation context", name)
+	}
+	args := make([]types.Value, len(n.Args))
+	for i, a := range n.Args {
+		v, err := e.Eval(a, row)
+		if err != nil {
+			return types.Null(), err
+		}
+		args[i] = v
+	}
+	return CallScalar(name, args)
+}
+
+// CallScalar evaluates a builtin scalar function on already-evaluated
+// arguments. It is exported so the accelerator's vectorised executor can call
+// builtins directly on column chunks.
+func CallScalar(name string, args []types.Value) (types.Value, error) {
+	switch name {
+	case "ABS":
+		return numericUnary(name, args, func(f float64) float64 { return math.Abs(f) })
+	case "SQRT":
+		return floatUnary(name, args, math.Sqrt)
+	case "LN", "LOG":
+		return floatUnary(name, args, math.Log)
+	case "EXP":
+		return floatUnary(name, args, math.Exp)
+	case "FLOOR":
+		return numericUnary(name, args, math.Floor)
+	case "CEIL", "CEILING":
+		return numericUnary(name, args, math.Ceil)
+	case "SIGN":
+		if err := arity(name, args, 1); err != nil {
+			return types.Null(), err
+		}
+		if args[0].IsNull() {
+			return types.Null(), nil
+		}
+		f, ok := args[0].AsFloat()
+		if !ok {
+			return types.Null(), fmt.Errorf("expr: SIGN requires a numeric argument")
+		}
+		switch {
+		case f > 0:
+			return types.NewInt(1), nil
+		case f < 0:
+			return types.NewInt(-1), nil
+		default:
+			return types.NewInt(0), nil
+		}
+	case "ROUND":
+		if len(args) < 1 || len(args) > 2 {
+			return types.Null(), fmt.Errorf("expr: ROUND takes 1 or 2 arguments")
+		}
+		if args[0].IsNull() {
+			return types.Null(), nil
+		}
+		f, ok := args[0].AsFloat()
+		if !ok {
+			return types.Null(), fmt.Errorf("expr: ROUND requires a numeric argument")
+		}
+		digits := int64(0)
+		if len(args) == 2 && !args[1].IsNull() {
+			digits, _ = args[1].AsInt()
+		}
+		scale := math.Pow(10, float64(digits))
+		return types.NewFloat(math.Round(f*scale) / scale), nil
+	case "POWER", "POW":
+		if err := arity(name, args, 2); err != nil {
+			return types.Null(), err
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return types.Null(), nil
+		}
+		a, aok := args[0].AsFloat()
+		b, bok := args[1].AsFloat()
+		if !aok || !bok {
+			return types.Null(), fmt.Errorf("expr: POWER requires numeric arguments")
+		}
+		return types.NewFloat(math.Pow(a, b)), nil
+	case "MOD":
+		if err := arity(name, args, 2); err != nil {
+			return types.Null(), err
+		}
+		return applyArithmetic(sqlparse.OpMod, args[0], args[1])
+
+	case "UPPER", "UCASE":
+		return stringUnary(name, args, strings.ToUpper)
+	case "LOWER", "LCASE":
+		return stringUnary(name, args, strings.ToLower)
+	case "TRIM":
+		return stringUnary(name, args, strings.TrimSpace)
+	case "LENGTH":
+		if err := arity(name, args, 1); err != nil {
+			return types.Null(), err
+		}
+		if args[0].IsNull() {
+			return types.Null(), nil
+		}
+		return types.NewInt(int64(len(args[0].AsString()))), nil
+	case "SUBSTR", "SUBSTRING":
+		return callSubstr(args)
+	case "REPLACE":
+		if err := arity(name, args, 3); err != nil {
+			return types.Null(), err
+		}
+		if args[0].IsNull() {
+			return types.Null(), nil
+		}
+		return types.NewString(strings.ReplaceAll(args[0].AsString(), args[1].AsString(), args[2].AsString())), nil
+	case "CONCAT":
+		var sb strings.Builder
+		for _, a := range args {
+			if a.IsNull() {
+				return types.Null(), nil
+			}
+			sb.WriteString(a.AsString())
+		}
+		return types.NewString(sb.String()), nil
+	case "INSTR", "POSITION", "LOCATE":
+		if err := arity(name, args, 2); err != nil {
+			return types.Null(), err
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return types.Null(), nil
+		}
+		return types.NewInt(int64(strings.Index(args[0].AsString(), args[1].AsString()) + 1)), nil
+
+	case "COALESCE", "IFNULL", "NVL":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return types.Null(), nil
+	case "NULLIF":
+		if err := arity(name, args, 2); err != nil {
+			return types.Null(), err
+		}
+		if !args[0].IsNull() && !args[1].IsNull() && types.Equal(args[0], args[1]) {
+			return types.Null(), nil
+		}
+		return args[0], nil
+	case "GREATEST":
+		return extremum(args, 1)
+	case "LEAST":
+		return extremum(args, -1)
+
+	case "NOW", "CURRENT_TIMESTAMP":
+		return types.NewTimestamp(time.Now()), nil
+	case "YEAR", "MONTH", "DAY", "HOUR", "MINUTE":
+		if err := arity(name, args, 1); err != nil {
+			return types.Null(), err
+		}
+		if args[0].IsNull() {
+			return types.Null(), nil
+		}
+		ts, err := args[0].Cast(types.KindTimestamp)
+		if err != nil {
+			return types.Null(), err
+		}
+		t := ts.Time()
+		switch name {
+		case "YEAR":
+			return types.NewInt(int64(t.Year())), nil
+		case "MONTH":
+			return types.NewInt(int64(t.Month())), nil
+		case "DAY":
+			return types.NewInt(int64(t.Day())), nil
+		case "HOUR":
+			return types.NewInt(int64(t.Hour())), nil
+		default:
+			return types.NewInt(int64(t.Minute())), nil
+		}
+	default:
+		return types.Null(), fmt.Errorf("expr: unknown function %s", name)
+	}
+}
+
+func arity(name string, args []types.Value, want int) error {
+	if len(args) != want {
+		return fmt.Errorf("expr: %s takes %d argument(s), got %d", name, want, len(args))
+	}
+	return nil
+}
+
+func numericUnary(name string, args []types.Value, fn func(float64) float64) (types.Value, error) {
+	if err := arity(name, args, 1); err != nil {
+		return types.Null(), err
+	}
+	v := args[0]
+	if v.IsNull() {
+		return types.Null(), nil
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return types.Null(), fmt.Errorf("expr: %s requires a numeric argument", name)
+	}
+	res := fn(f)
+	if v.Kind == types.KindInt && res == math.Trunc(res) {
+		return types.NewInt(int64(res)), nil
+	}
+	return types.NewFloat(res), nil
+}
+
+func floatUnary(name string, args []types.Value, fn func(float64) float64) (types.Value, error) {
+	if err := arity(name, args, 1); err != nil {
+		return types.Null(), err
+	}
+	if args[0].IsNull() {
+		return types.Null(), nil
+	}
+	f, ok := args[0].AsFloat()
+	if !ok {
+		return types.Null(), fmt.Errorf("expr: %s requires a numeric argument", name)
+	}
+	return types.NewFloat(fn(f)), nil
+}
+
+func stringUnary(name string, args []types.Value, fn func(string) string) (types.Value, error) {
+	if err := arity(name, args, 1); err != nil {
+		return types.Null(), err
+	}
+	if args[0].IsNull() {
+		return types.Null(), nil
+	}
+	return types.NewString(fn(args[0].AsString())), nil
+}
+
+func callSubstr(args []types.Value) (types.Value, error) {
+	if len(args) < 2 || len(args) > 3 {
+		return types.Null(), fmt.Errorf("expr: SUBSTR takes 2 or 3 arguments")
+	}
+	if args[0].IsNull() || args[1].IsNull() {
+		return types.Null(), nil
+	}
+	s := args[0].AsString()
+	start, _ := args[1].AsInt()
+	if start < 1 {
+		start = 1
+	}
+	if int(start) > len(s) {
+		return types.NewString(""), nil
+	}
+	end := len(s)
+	if len(args) == 3 && !args[2].IsNull() {
+		length, _ := args[2].AsInt()
+		if length < 0 {
+			length = 0
+		}
+		if int(start-1)+int(length) < end {
+			end = int(start-1) + int(length)
+		}
+	}
+	return types.NewString(s[start-1 : end]), nil
+}
+
+func extremum(args []types.Value, dir int) (types.Value, error) {
+	if len(args) == 0 {
+		return types.Null(), fmt.Errorf("expr: GREATEST/LEAST require at least one argument")
+	}
+	best := types.Null()
+	for _, a := range args {
+		if a.IsNull() {
+			return types.Null(), nil
+		}
+		if best.IsNull() {
+			best = a
+			continue
+		}
+		c, err := types.Compare(a, best)
+		if err != nil {
+			return types.Null(), err
+		}
+		if c*dir > 0 {
+			best = a
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,210 @@
+// Package federation is the glue between DB2 and the attached accelerators:
+// it owns statement routing (query offload and DML delegation), propagation of
+// the DB2 transaction context to the accelerator, the commit handshake across
+// both systems, privilege enforcement before any delegation, and the
+// data-movement accounting the evaluation reports.
+package federation
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"idaax/internal/accel"
+	"idaax/internal/catalog"
+	"idaax/internal/core"
+	"idaax/internal/db2"
+	"idaax/internal/replication"
+	"idaax/internal/types"
+)
+
+// Config configures a coordinator and its default accelerator.
+type Config struct {
+	// AcceleratorName is the name of the default accelerator (default "IDAA1").
+	AcceleratorName string
+	// Slices is the accelerator's scan parallelism (default: number of CPUs).
+	Slices int
+	// LockTimeout bounds DB2 lock waits.
+	LockTimeout time.Duration
+	// AdminUser is granted implicit authority (default catalog.AdminUser).
+	AdminUser string
+}
+
+func (c Config) withDefaults() Config {
+	if c.AcceleratorName == "" {
+		c.AcceleratorName = "IDAA1"
+	}
+	if c.AdminUser == "" {
+		c.AdminUser = catalog.AdminUser
+	}
+	return c
+}
+
+// Metrics counts cross-system data movement and routing decisions. They are
+// the quantities experiment E1/E3/E5 report.
+type Metrics struct {
+	RowsMovedToAccel     int64 // rows shipped DB2 -> accelerator by statements
+	RowsMovedToDB2       int64 // rows shipped accelerator -> DB2 by statements
+	RowsReturnedToClient int64
+	StatementsOffloaded  int64
+	StatementsLocal      int64
+	ProcedureCalls       int64
+}
+
+// Coordinator wires the DB2 engine, the accelerators, replication, the AOT
+// manager and the procedure framework together.
+type Coordinator struct {
+	cfg Config
+
+	DB2    *db2.Engine
+	cat    *catalog.Catalog
+	accels map[string]*accel.Accelerator
+
+	AOTs  *core.AOTManager
+	Procs *core.Framework
+	Repl  *replication.Replicator
+
+	metrics Metrics
+
+	// Failpoint, when non-nil, is invoked at named stages of the commit
+	// handshake ("after-prepare", "after-db2-commit") and lets tests inject
+	// coordinator failures between the two systems.
+	Failpoint func(stage string) error
+}
+
+// NewCoordinator builds a complete system: catalog, DB2 engine, one paired
+// accelerator, replication, AOT manager, procedure framework and the built-in
+// SYSPROC.ACCEL_* procedures.
+func NewCoordinator(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	cat := catalog.New()
+	engine := db2.New(cat)
+	if cfg.LockTimeout > 0 {
+		engine.Locks.Timeout = cfg.LockTimeout
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		DB2:    engine,
+		cat:    cat,
+		accels: make(map[string]*accel.Accelerator),
+	}
+	c.AOTs = core.NewAOTManager(cat, c)
+	c.Procs = core.NewFramework(cat)
+	c.Repl = replication.New(engine, c)
+	c.AddAccelerator(cfg.AcceleratorName, cfg.Slices)
+	c.registerBuiltinProcedures()
+	return c
+}
+
+// Catalog returns the shared DB2 catalog.
+func (c *Coordinator) Catalog() *catalog.Catalog { return c.cat }
+
+// AddAccelerator pairs an additional accelerator with the DB2 subsystem.
+func (c *Coordinator) AddAccelerator(name string, slices int) *accel.Accelerator {
+	name = types.NormalizeName(name)
+	if existing, ok := c.accels[name]; ok {
+		return existing
+	}
+	a := accel.New(name, slices)
+	c.accels[name] = a
+	c.cat.AddAccelerator(name)
+	return a
+}
+
+// Accelerator implements core.AcceleratorProvider and
+// replication.AcceleratorProvider.
+func (c *Coordinator) Accelerator(name string) (*accel.Accelerator, error) {
+	if name == "" {
+		name = c.cfg.AcceleratorName
+	}
+	a, ok := c.accels[types.NormalizeName(name)]
+	if !ok {
+		return nil, fmt.Errorf("federation: accelerator %s is not paired", types.NormalizeName(name))
+	}
+	return a, nil
+}
+
+// DefaultAccelerator implements core.AcceleratorProvider.
+func (c *Coordinator) DefaultAccelerator() string { return types.NormalizeName(c.cfg.AcceleratorName) }
+
+// Accelerators returns the paired accelerator names.
+func (c *Coordinator) Accelerators() []string { return c.cat.Accelerators() }
+
+// Metrics returns a snapshot of the movement/routing counters.
+func (c *Coordinator) Metrics() Metrics {
+	return Metrics{
+		RowsMovedToAccel:     atomic.LoadInt64(&c.metrics.RowsMovedToAccel),
+		RowsMovedToDB2:       atomic.LoadInt64(&c.metrics.RowsMovedToDB2),
+		RowsReturnedToClient: atomic.LoadInt64(&c.metrics.RowsReturnedToClient),
+		StatementsOffloaded:  atomic.LoadInt64(&c.metrics.StatementsOffloaded),
+		StatementsLocal:      atomic.LoadInt64(&c.metrics.StatementsLocal),
+		ProcedureCalls:       atomic.LoadInt64(&c.metrics.ProcedureCalls),
+	}
+}
+
+// ResetMetrics zeroes the movement/routing counters (benchmark harness use).
+func (c *Coordinator) ResetMetrics() {
+	atomic.StoreInt64(&c.metrics.RowsMovedToAccel, 0)
+	atomic.StoreInt64(&c.metrics.RowsMovedToDB2, 0)
+	atomic.StoreInt64(&c.metrics.RowsReturnedToClient, 0)
+	atomic.StoreInt64(&c.metrics.StatementsOffloaded, 0)
+	atomic.StoreInt64(&c.metrics.StatementsLocal, 0)
+	atomic.StoreInt64(&c.metrics.ProcedureCalls, 0)
+}
+
+func (c *Coordinator) addMoved(toAccel bool, n int) {
+	if n <= 0 {
+		return
+	}
+	if toAccel {
+		atomic.AddInt64(&c.metrics.RowsMovedToAccel, int64(n))
+	} else {
+		atomic.AddInt64(&c.metrics.RowsMovedToDB2, int64(n))
+	}
+}
+
+func (c *Coordinator) noteRouting(offloaded bool) {
+	if offloaded {
+		atomic.AddInt64(&c.metrics.StatementsOffloaded, 1)
+	} else {
+		atomic.AddInt64(&c.metrics.StatementsLocal, 1)
+	}
+}
+
+// Session opens a new session for the given authorization id. Sessions are not
+// safe for concurrent use; open one per goroutine (like one DB2 thread per
+// connection).
+func (c *Coordinator) Session(user string) *Session {
+	return &Session{
+		coord:        c,
+		user:         types.NormalizeName(user),
+		mode:         AccelerationEnable,
+		participants: make(map[string]*accel.Accelerator),
+	}
+}
+
+func (c *Coordinator) failpoint(stage string) error {
+	if c.Failpoint == nil {
+		return nil
+	}
+	return c.Failpoint(stage)
+}
+
+// BulkInsert writes already-materialised rows into a table on behalf of a user
+// under an auto-commit transaction, with the usual privilege checks and AOT
+// delegation. The loader and the benchmark harness use it as their row sink;
+// rows targeting an accelerator-only table go straight to the accelerator
+// (the loader's "bypass DB2" path), rows targeting DB2 tables take the normal
+// insert path including change capture.
+func (c *Coordinator) BulkInsert(user, table string, rows []types.Row) (int, error) {
+	s := c.Session(user)
+	tx, done := s.stmtTxn()
+	n, err := s.insertMaterialized(tx, table, rows)
+	if ferr := done(err); ferr != nil && err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}

@@ -1,0 +1,205 @@
+package federation
+
+import (
+	"fmt"
+	"strings"
+
+	"idaax/internal/catalog"
+	"idaax/internal/core"
+	"idaax/internal/types"
+)
+
+// registerBuiltinProcedures installs the administrative stored procedures that
+// mirror the SYSPROC.ACCEL_* interface of the real product. They are the
+// supported way for applications to manage acceleration without leaving SQL.
+func (c *Coordinator) registerBuiltinProcedures() {
+	register := func(name, desc string, fn func(ctx *core.ProcContext, args []types.Value) (*core.ProcResult, error)) {
+		c.Procs.MustRegister(&core.FuncProcedure{ProcName: name, Desc: desc, Fn: fn}, true)
+	}
+
+	register("SYSPROC.ACCEL_ADD_TABLES",
+		"Add DB2 tables to an accelerator (creates empty shadow copies): (accelerator, 'T1,T2'[, distKey])",
+		func(ctx *core.ProcContext, args []types.Value) (*core.ProcResult, error) {
+			accName := core.ArgStringDefault(args, 0, c.DefaultAccelerator())
+			list, err := core.ArgString(args, 1, "table list")
+			if err != nil {
+				return nil, err
+			}
+			distKey := core.ArgStringDefault(args, 2, "")
+			var added []string
+			for _, table := range core.SplitList(list) {
+				if err := ctx.Catalog.CheckPrivilege(ctx.User, table, catalog.PrivSelect); err != nil {
+					return nil, err
+				}
+				if err := c.Repl.AddTable(table, accName, distKey); err != nil {
+					return nil, err
+				}
+				added = append(added, table)
+			}
+			return &core.ProcResult{Message: fmt.Sprintf("added %s to %s", strings.Join(added, ","), types.NormalizeName(accName)), OutputTables: added}, nil
+		})
+
+	register("SYSPROC.ACCEL_LOAD_TABLES",
+		"Fully (re)load accelerated tables from DB2: (accelerator, 'T1,T2')",
+		func(ctx *core.ProcContext, args []types.Value) (*core.ProcResult, error) {
+			list, err := core.ArgString(args, 1, "table list")
+			if err != nil {
+				// Allow single-argument form: ACCEL_LOAD_TABLES('T1,T2').
+				list, err = core.ArgString(args, 0, "table list")
+				if err != nil {
+					return nil, err
+				}
+			}
+			total := 0
+			for _, table := range core.SplitList(list) {
+				if err := ctx.Catalog.CheckPrivilege(ctx.User, table, catalog.PrivSelect); err != nil {
+					return nil, err
+				}
+				n, err := c.Repl.FullLoad(table)
+				if err != nil {
+					return nil, err
+				}
+				c.addMoved(true, n)
+				total += n
+			}
+			return &core.ProcResult{RowsAffected: total, Message: fmt.Sprintf("loaded %d rows", total)}, nil
+		})
+
+	register("SYSPROC.ACCEL_REMOVE_TABLES",
+		"Remove tables from an accelerator: (accelerator, 'T1,T2')",
+		func(ctx *core.ProcContext, args []types.Value) (*core.ProcResult, error) {
+			list, err := core.ArgString(args, 1, "table list")
+			if err != nil {
+				list, err = core.ArgString(args, 0, "table list")
+				if err != nil {
+					return nil, err
+				}
+			}
+			for _, table := range core.SplitList(list) {
+				meta, err := ctx.Catalog.Table(table)
+				if err != nil {
+					return nil, err
+				}
+				if types.NormalizeName(meta.Owner) != ctx.User && ctx.User != catalog.AdminUser {
+					return nil, &catalog.ErrNotAuthorized{User: ctx.User, Privilege: "CONTROL", Object: meta.Name}
+				}
+				if err := c.Repl.RemoveTable(table); err != nil {
+					return nil, err
+				}
+			}
+			return &core.ProcResult{Message: "tables removed from accelerator"}, nil
+		})
+
+	register("SYSPROC.ACCEL_SET_TABLES_REPLICATION",
+		"Enable or disable incremental replication: (accelerator, 'T1,T2', 'ON'|'OFF')",
+		func(ctx *core.ProcContext, args []types.Value) (*core.ProcResult, error) {
+			list, err := core.ArgString(args, 1, "table list")
+			if err != nil {
+				return nil, err
+			}
+			mode := strings.ToUpper(core.ArgStringDefault(args, 2, "ON"))
+			for _, table := range core.SplitList(list) {
+				if mode == "ON" || mode == "ENABLE" {
+					if err := c.Repl.EnableReplication(table); err != nil {
+						return nil, err
+					}
+				} else {
+					if err := c.Repl.DisableReplication(table); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return &core.ProcResult{Message: "replication " + mode}, nil
+		})
+
+	register("SYSPROC.ACCEL_SYNC_TABLES",
+		"Apply pending captured changes to accelerated tables: (accelerator[, 'T1,T2'])",
+		func(ctx *core.ProcContext, args []types.Value) (*core.ProcResult, error) {
+			list := core.ArgStringDefault(args, 1, "")
+			total := 0
+			if list == "" {
+				n, err := c.Repl.SyncAll()
+				if err != nil {
+					return nil, err
+				}
+				total = n
+			} else {
+				for _, table := range core.SplitList(list) {
+					n, err := c.Repl.ApplyPending(table)
+					if err != nil {
+						return nil, err
+					}
+					total += n
+				}
+			}
+			c.addMoved(true, total)
+			return &core.ProcResult{RowsAffected: total, Message: fmt.Sprintf("applied %d changes", total)}, nil
+		})
+
+	register("SYSPROC.ACCEL_GRANT_PROCEDURE",
+		"Grant EXECUTE on an analytics procedure: (procedure, user)",
+		func(ctx *core.ProcContext, args []types.Value) (*core.ProcResult, error) {
+			proc, err := core.ArgString(args, 0, "procedure")
+			if err != nil {
+				return nil, err
+			}
+			user, err := core.ArgString(args, 1, "user")
+			if err != nil {
+				return nil, err
+			}
+			if ctx.User != catalog.AdminUser && ctx.User != types.NormalizeName(c.cfg.AdminUser) {
+				return nil, &catalog.ErrNotAuthorized{User: ctx.User, Privilege: catalog.PrivExecute, Object: catalog.ProcedureObject(proc)}
+			}
+			if err := c.Procs.GrantExecute(proc, user); err != nil {
+				return nil, err
+			}
+			return &core.ProcResult{Message: "granted EXECUTE on " + types.NormalizeName(proc) + " to " + types.NormalizeName(user)}, nil
+		})
+
+	register("SYSPROC.ACCEL_REVOKE_PROCEDURE",
+		"Revoke EXECUTE on an analytics procedure: (procedure, user)",
+		func(ctx *core.ProcContext, args []types.Value) (*core.ProcResult, error) {
+			proc, err := core.ArgString(args, 0, "procedure")
+			if err != nil {
+				return nil, err
+			}
+			user, err := core.ArgString(args, 1, "user")
+			if err != nil {
+				return nil, err
+			}
+			if ctx.User != catalog.AdminUser && ctx.User != types.NormalizeName(c.cfg.AdminUser) {
+				return nil, &catalog.ErrNotAuthorized{User: ctx.User, Privilege: catalog.PrivExecute, Object: catalog.ProcedureObject(proc)}
+			}
+			c.Procs.RevokeExecute(proc, user)
+			return &core.ProcResult{Message: "revoked"}, nil
+		})
+
+	register("SYSPROC.ACCEL_TABLE_INFO",
+		"Describe a table's acceleration state: (table)",
+		func(ctx *core.ProcContext, args []types.Value) (*core.ProcResult, error) {
+			table, err := core.ArgString(args, 0, "table")
+			if err != nil {
+				return nil, err
+			}
+			meta, err := ctx.Catalog.Table(table)
+			if err != nil {
+				return nil, err
+			}
+			db2Rows := int64(-1)
+			if st, err := c.DB2.Storage(meta.Name); err == nil {
+				db2Rows = int64(st.RowCount())
+			}
+			accelRows := int64(-1)
+			if meta.Kind != catalog.KindRegular {
+				if a, err := c.Accelerator(meta.Accelerator); err == nil {
+					if n, err := a.RowCount(ctx.TxnID, meta.Name); err == nil {
+						accelRows = int64(n)
+					}
+				}
+			}
+			pending := int64(c.Repl.PendingChanges(meta.Name))
+			msg := fmt.Sprintf("%s kind=%s accelerator=%s db2_rows=%d accel_rows=%d pending_changes=%d",
+				meta.Name, meta.Kind, meta.Accelerator, db2Rows, accelRows, pending)
+			return &core.ProcResult{Message: msg}, nil
+		})
+}

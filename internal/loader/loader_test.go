@@ -1,0 +1,150 @@
+package loader
+
+import (
+	"strings"
+	"testing"
+
+	"idaax/internal/types"
+)
+
+func targetSchema() types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "ID", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "NAME", Kind: types.KindString},
+		types.Column{Name: "SCORE", Kind: types.KindFloat},
+		types.Column{Name: "ACTIVE", Kind: types.KindBool},
+	)
+}
+
+func collectSink(dst *[]types.Row) RowSink {
+	return func(rows []types.Row) (int, error) {
+		for _, r := range rows {
+			*dst = append(*dst, r.Clone())
+		}
+		return len(rows), nil
+	}
+}
+
+func TestLoadCSVPositional(t *testing.T) {
+	csv := "1,alice,2.5,true\n2,bob,3.5,false\n"
+	var got []types.Row
+	l := New(Options{BatchSize: 1})
+	rep, err := l.LoadCSV(strings.NewReader(csv), targetSchema(), collectSink(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsLoaded != 2 || rep.Batches != 2 || len(got) != 2 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if got[0][0].Int != 1 || got[0][1].Str != "alice" || got[0][2].Float != 2.5 || !got[0][3].Bool {
+		t.Fatalf("row: %+v", got[0])
+	}
+}
+
+func TestLoadCSVHeaderMappingAndNulls(t *testing.T) {
+	csv := "SCORE,ID,IGNORED,NAME\n7.5,10,zzz,carol\n\\N,11,zzz,\\N\n"
+	var got []types.Row
+	l := New(Options{HasHeader: true, MapByHeader: true, NullToken: `\N`})
+	rep, err := l.LoadCSV(strings.NewReader(csv), targetSchema(), collectSink(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsLoaded != 2 {
+		t.Fatalf("loaded %d", rep.RowsLoaded)
+	}
+	if got[0][0].Int != 10 || got[0][1].Str != "carol" || got[0][2].Float != 7.5 {
+		t.Fatalf("mapped row: %+v", got[0])
+	}
+	if !got[1][2].IsNull() || !got[1][1].IsNull() {
+		t.Fatalf("null token not honoured: %+v", got[1])
+	}
+	// ACTIVE was never provided: NULL.
+	if !got[0][3].IsNull() {
+		t.Fatal("missing column should be NULL")
+	}
+}
+
+func TestLoadCSVMalformedHandling(t *testing.T) {
+	csv := "1,alice,notanumber,true\n2,bob,1.5,false\n"
+	l := New(Options{})
+	var got []types.Row
+	if _, err := l.LoadCSV(strings.NewReader(csv), targetSchema(), collectSink(&got)); err == nil {
+		t.Fatal("malformed value should fail without SkipMalformed")
+	}
+	got = nil
+	l = New(Options{SkipMalformed: true})
+	rep, err := l.LoadCSV(strings.NewReader(csv), targetSchema(), collectSink(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsLoaded != 1 || rep.RowsSkipped != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestLoadJSONLines(t *testing.T) {
+	jsonl := `{"id": 1, "name": "ann", "score": 4.5, "active": true}
+	{"ID": 2, "NAME": "bea", "extra": "ignored"}
+	`
+	var got []types.Row
+	l := New(Options{})
+	rep, err := l.LoadJSONLines(strings.NewReader(jsonl), targetSchema(), collectSink(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsLoaded != 2 {
+		t.Fatalf("loaded %d", rep.RowsLoaded)
+	}
+	if got[0][2].Float != 4.5 || got[1][0].Int != 2 || !got[1][2].IsNull() {
+		t.Fatalf("rows: %+v", got)
+	}
+}
+
+func TestLoadRowsBatches(t *testing.T) {
+	rows := make([]types.Row, 23)
+	for i := range rows {
+		rows[i] = types.Row{types.NewInt(int64(i)), types.NewString("x"), types.NewFloat(1), types.NewBool(true)}
+	}
+	var got []types.Row
+	l := New(Options{BatchSize: 10})
+	rep, err := l.LoadRows(rows, collectSink(&got))
+	if err != nil || rep.Batches != 3 || rep.RowsLoaded != 23 {
+		t.Fatalf("report: %+v, %v", rep, err)
+	}
+}
+
+func TestSinkErrorStopsLoad(t *testing.T) {
+	csv := "1,a,1.0,true\n2,b,2.0,true\n"
+	l := New(Options{BatchSize: 1})
+	calls := 0
+	sink := func(rows []types.Row) (int, error) {
+		calls++
+		if calls == 2 {
+			return 0, errSink
+		}
+		return len(rows), nil
+	}
+	if _, err := l.LoadCSV(strings.NewReader(csv), targetSchema(), sink); err == nil {
+		t.Fatal("sink error should propagate")
+	}
+}
+
+var errSink = &sinkError{}
+
+type sinkError struct{}
+
+func (*sinkError) Error() string { return "sink failed" }
+
+func TestParseField(t *testing.T) {
+	v, err := ParseField("42", types.KindInt, "")
+	if err != nil || v.Int != 42 {
+		t.Fatalf("%v %v", v, err)
+	}
+	v, err = ParseField("", types.KindInt, "")
+	if err != nil || !v.IsNull() {
+		t.Fatalf("empty as default null token: %v %v", v, err)
+	}
+	if _, err := ParseField("x", types.KindFloat, ""); err == nil {
+		t.Fatal("bad float should fail")
+	}
+}

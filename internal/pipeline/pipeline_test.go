@@ -1,0 +1,103 @@
+package pipeline
+
+import (
+	"testing"
+
+	"idaax/internal/federation"
+	"idaax/internal/workload"
+)
+
+func setupSystem(t *testing.T, orders int) (*federation.Coordinator, *federation.Session) {
+	t.Helper()
+	coord := federation.NewCoordinator(federation.Config{AcceleratorName: "IDAA1", Slices: 2})
+	s := coord.Session("SYSADM")
+	mustExec := func(sql string) {
+		if _, err := s.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	mustExec("CREATE TABLE customers (customer_id BIGINT NOT NULL, name VARCHAR(32), region VARCHAR(16), segment VARCHAR(16), age BIGINT, income DOUBLE, since TIMESTAMP)")
+	mustExec("CREATE TABLE orders (order_id BIGINT NOT NULL, customer_id BIGINT NOT NULL, product VARCHAR(16), quantity BIGINT, amount DOUBLE, order_ts TIMESTAMP)")
+	if _, err := coord.BulkInsert("SYSADM", "CUSTOMERS", workload.Customers(orders/10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.BulkInsert("SYSADM", "ORDERS", workload.Orders(orders, orders/10, 2)); err != nil {
+		t.Fatal(err)
+	}
+	mustExec("CALL SYSPROC.ACCEL_ADD_TABLES('IDAA1', 'CUSTOMERS,ORDERS')")
+	mustExec("CALL SYSPROC.ACCEL_LOAD_TABLES('IDAA1', 'CUSTOMERS,ORDERS')")
+	return coord, s
+}
+
+func TestPipelineModesProduceIdenticalResultsAndDifferentMovement(t *testing.T) {
+	const orders = 3000
+	stages := ChurnFeaturePipeline("P")
+
+	results := map[Materialization]*Report{}
+	finalCounts := map[Materialization]string{}
+	for _, mode := range []Materialization{MaterializeDB2, MaterializeAOT} {
+		coord, session := setupSystem(t, orders)
+		runner := NewRunner(coord, session, "IDAA1")
+		report, err := runner.Run(stages, mode)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if len(report.Stages) != 4 || report.TotalRows == 0 {
+			t.Fatalf("%s: unexpected report %+v", mode, report)
+		}
+		results[mode] = report
+		res, err := session.Query("SELECT COUNT(*) FROM P_STG4_FEATURES")
+		if err != nil {
+			t.Fatal(err)
+		}
+		finalCounts[mode] = res.Rows[0][0].AsString()
+	}
+
+	if finalCounts[MaterializeDB2] != finalCounts[MaterializeAOT] {
+		t.Fatalf("modes disagree on the final result: %v", finalCounts)
+	}
+	db2Rep, aotRep := results[MaterializeDB2], results[MaterializeAOT]
+	if db2Rep.RowsMovedToAcc == 0 || db2Rep.ReplicationRows == 0 {
+		t.Fatalf("DB2-materialised pipeline should move data: %+v", db2Rep)
+	}
+	if aotRep.RowsMovedToAcc != 0 || aotRep.RowsMovedToDB2 != 0 || aotRep.ReplicationRows != 0 {
+		t.Fatalf("AOT pipeline should not move data across systems: %+v", aotRep)
+	}
+	if db2Rep.TotalRows != aotRep.TotalRows {
+		t.Fatalf("intermediate row counts differ: %d vs %d", db2Rep.TotalRows, aotRep.TotalRows)
+	}
+}
+
+func TestPipelineRunLocalOnly(t *testing.T) {
+	coord, session := setupSystem(t, 1000)
+	if _, err := session.Exec("SET CURRENT QUERY ACCELERATION = NONE"); err != nil {
+		t.Fatal(err)
+	}
+	runner := NewRunner(coord, session, "IDAA1")
+	report, err := runner.RunLocalOnly(ChurnFeaturePipeline("L"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ReplicationRows != 0 || report.RowsMovedToAcc != 0 {
+		t.Fatalf("local-only run should not touch the accelerator: %+v", report)
+	}
+	res, err := session.Query("SELECT COUNT(*) FROM L_STG4_FEATURES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Routed != "DB2" {
+		t.Fatalf("final table should be DB2-resident, query ran on %s", res.Routed)
+	}
+}
+
+func TestPipelineIsRerunnable(t *testing.T) {
+	coord, session := setupSystem(t, 1000)
+	runner := NewRunner(coord, session, "IDAA1")
+	if _, err := runner.Run(ChurnFeaturePipeline("R"), MaterializeAOT); err != nil {
+		t.Fatal(err)
+	}
+	// Second run drops and recreates the stage targets.
+	if _, err := runner.Run(ChurnFeaturePipeline("R"), MaterializeAOT); err != nil {
+		t.Fatalf("second run failed: %v", err)
+	}
+}

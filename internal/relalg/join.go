@@ -1,0 +1,226 @@
+package relalg
+
+import (
+	"fmt"
+	"sync"
+
+	"idaax/internal/expr"
+	"idaax/internal/sqlparse"
+	"idaax/internal/types"
+)
+
+// Join combines two relations. Inner equi-joins use a hash join on the
+// equality columns extracted from the ON condition (with the probe phase
+// parallelised across `workers` goroutines, mirroring the accelerator's
+// slices); everything else falls back to a nested-loop join. LEFT joins emit
+// NULL-padded right sides for unmatched left rows. Cross joins have a nil
+// condition.
+func Join(left, right *Relation, jt sqlparse.JoinType, on sqlparse.Expr, workers int) (*Relation, error) {
+	combinedCols := append(append([]expr.InputColumn(nil), left.Cols...), right.Cols...)
+	out := &Relation{Cols: combinedCols}
+	env := expr.NewEnv(combinedCols)
+
+	if on != nil {
+		leftIdx, rightIdx, residualOK := extractEquiKeys(on, left, right)
+		if len(leftIdx) > 0 && (jt == sqlparse.JoinInner || jt == sqlparse.JoinLeft) && residualOK {
+			return hashJoin(left, right, jt, on, leftIdx, rightIdx, out, workers)
+		}
+	}
+	return nestedLoopJoin(left, right, jt, on, out, env)
+}
+
+// extractEquiKeys pulls column-equality pairs "l.col = r.col" out of a
+// conjunction. residualOK is true when the whole condition is usable (it may
+// still contain extra conjuncts which are re-checked per candidate pair).
+func extractEquiKeys(on sqlparse.Expr, left, right *Relation) (leftIdx, rightIdx []int, residualOK bool) {
+	lenv := expr.NewEnv(left.Cols)
+	renv := expr.NewEnv(right.Cols)
+	var conjuncts []sqlparse.Expr
+	var collect func(e sqlparse.Expr)
+	collect = func(e sqlparse.Expr) {
+		if b, ok := e.(*sqlparse.BinaryExpr); ok && b.Op == sqlparse.OpAnd {
+			collect(b.Left)
+			collect(b.Right)
+			return
+		}
+		conjuncts = append(conjuncts, e)
+	}
+	collect(on)
+	for _, c := range conjuncts {
+		b, ok := c.(*sqlparse.BinaryExpr)
+		if !ok || b.Op != sqlparse.OpEq {
+			continue
+		}
+		lref, lok := b.Left.(*sqlparse.ColumnRef)
+		rref, rok := b.Right.(*sqlparse.ColumnRef)
+		if !lok || !rok {
+			continue
+		}
+		// Try left-side/right-side assignment in both orientations.
+		if li, err := lenv.Resolve(lref); err == nil {
+			if ri, err2 := renv.Resolve(rref); err2 == nil {
+				leftIdx = append(leftIdx, li)
+				rightIdx = append(rightIdx, ri)
+				continue
+			}
+		}
+		if li, err := lenv.Resolve(rref); err == nil {
+			if ri, err2 := renv.Resolve(lref); err2 == nil {
+				leftIdx = append(leftIdx, li)
+				rightIdx = append(rightIdx, ri)
+			}
+		}
+	}
+	return leftIdx, rightIdx, true
+}
+
+func hashJoin(left, right *Relation, jt sqlparse.JoinType, on sqlparse.Expr, leftIdx, rightIdx []int, out *Relation, workers int) (*Relation, error) {
+	// Build side: right relation hashed on its key columns.
+	build := make(map[string][]int, len(right.Rows))
+	for ri, row := range right.Rows {
+		key, ok := joinKey(row, rightIdx)
+		if !ok {
+			continue // NULL keys never match
+		}
+		build[key] = append(build[key], ri)
+	}
+	nullRight := make(types.Row, len(right.Cols))
+	for i := range nullRight {
+		nullRight[i] = types.Null()
+	}
+
+	probe := func(env *expr.Env, lrows []types.Row) ([]types.Row, error) {
+		var rows []types.Row
+		for _, lrow := range lrows {
+			key, ok := joinKey(lrow, leftIdx)
+			matched := false
+			if ok {
+				for _, ri := range build[key] {
+					combined := append(append(make(types.Row, 0, len(out.Cols)), lrow...), right.Rows[ri]...)
+					pass, err := env.EvalBool(on, combined)
+					if err != nil {
+						return nil, err
+					}
+					if pass {
+						matched = true
+						rows = append(rows, combined)
+					}
+				}
+			}
+			if !matched && jt == sqlparse.JoinLeft {
+				combined := append(append(make(types.Row, 0, len(out.Cols)), lrow...), nullRight...)
+				rows = append(rows, combined)
+			}
+		}
+		return rows, nil
+	}
+
+	n := len(left.Rows)
+	if workers < 2 || n < 4096 {
+		rows, err := probe(expr.NewEnv(out.Cols), left.Rows)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = rows
+		return out, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	results := make([][]types.Row, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			results[w], errs[w] = probe(expr.NewEnv(out.Cols), left.Rows[lo:hi])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, part := range results {
+		out.Rows = append(out.Rows, part...)
+	}
+	return out, nil
+}
+
+func joinKey(row types.Row, idx []int) (string, bool) {
+	key := ""
+	for _, i := range idx {
+		if row[i].IsNull() {
+			return "", false
+		}
+		key += row[i].GroupKey() + "\x1f"
+	}
+	return key, true
+}
+
+func nestedLoopJoin(left, right *Relation, jt sqlparse.JoinType, on sqlparse.Expr, out *Relation, env *expr.Env) (*Relation, error) {
+	nullRight := make(types.Row, len(right.Cols))
+	for i := range nullRight {
+		nullRight[i] = types.Null()
+	}
+	for _, lrow := range left.Rows {
+		matched := false
+		for _, rrow := range right.Rows {
+			combined := append(append(make(types.Row, 0, len(out.Cols)), lrow...), rrow...)
+			if on != nil {
+				pass, err := env.EvalBool(on, combined)
+				if err != nil {
+					return nil, err
+				}
+				if !pass {
+					continue
+				}
+			}
+			matched = true
+			out.Rows = append(out.Rows, combined)
+		}
+		if !matched && jt == sqlparse.JoinLeft {
+			combined := append(append(make(types.Row, 0, len(out.Cols)), lrow...), nullRight...)
+			out.Rows = append(out.Rows, combined)
+		}
+	}
+	return out, nil
+}
+
+// JoinAll folds a FROM clause's relations left to right using each item's join
+// type and ON condition. rels[i] corresponds to from[i]. workers controls the
+// hash-join probe parallelism (1 for the DB2 row engine, the slice count for
+// the accelerator).
+func JoinAll(rels []*Relation, from []sqlparse.FromItem, workers int) (*Relation, error) {
+	if len(rels) == 0 {
+		// SELECT without FROM: a single empty row so scalar expressions work.
+		return &Relation{Rows: []types.Row{{}}}, nil
+	}
+	if len(rels) != len(from) {
+		return nil, fmt.Errorf("relalg: %d relations for %d FROM items", len(rels), len(from))
+	}
+	acc := rels[0]
+	for i := 1; i < len(rels); i++ {
+		jt := from[i].Join
+		if jt == sqlparse.JoinNone {
+			jt = sqlparse.JoinCross
+		}
+		joined, err := Join(acc, rels[i], jt, from[i].On, workers)
+		if err != nil {
+			return nil, err
+		}
+		acc = joined
+	}
+	return acc, nil
+}

@@ -1,0 +1,70 @@
+// Package relalg implements the relational operators shared by the DB2 row
+// engine and the accelerator: joins, filtering, grouping/aggregation,
+// projection, DISTINCT, ORDER BY and LIMIT over materialised relations.
+//
+// The two engines differ below this layer (row-oriented heap scans with lock
+// checks versus parallel columnar scans with zone-map pruning and MVCC
+// visibility) and above it only in how much parallelism they request.
+package relalg
+
+import (
+	"fmt"
+
+	"idaax/internal/expr"
+	"idaax/internal/types"
+)
+
+// Relation is a fully materialised intermediate result.
+type Relation struct {
+	Cols []expr.InputColumn
+	Rows []types.Row
+}
+
+// Schema converts the relation's columns to a types.Schema (qualifiers are
+// dropped; duplicate names get positional suffixes so the schema stays valid).
+func (r *Relation) Schema() types.Schema {
+	seen := map[string]int{}
+	cols := make([]types.Column, len(r.Cols))
+	for i, c := range r.Cols {
+		name := types.NormalizeName(c.Name)
+		if name == "" {
+			name = fmt.Sprintf("COL%d", i+1)
+		}
+		if n, ok := seen[name]; ok {
+			seen[name] = n + 1
+			name = fmt.Sprintf("%s_%d", name, n+1)
+		} else {
+			seen[name] = 1
+		}
+		cols[i] = types.Column{Name: name, Kind: c.Kind}
+	}
+	return types.Schema{Columns: cols}
+}
+
+// Env builds an expression environment over the relation's columns.
+func (r *Relation) Env() *expr.Env { return expr.NewEnv(r.Cols) }
+
+// Clone returns a shallow copy with an independent row slice header.
+func (r *Relation) Clone() *Relation {
+	return &Relation{Cols: append([]expr.InputColumn(nil), r.Cols...), Rows: append([]types.Row(nil), r.Rows...)}
+}
+
+// FromTable builds a single-table relation with every column qualified by the
+// given name (the table name or its alias).
+func FromTable(qualifier string, schema types.Schema, rows []types.Row) *Relation {
+	cols := make([]expr.InputColumn, len(schema.Columns))
+	for i, c := range schema.Columns {
+		cols[i] = expr.InputColumn{Qualifier: types.NormalizeName(qualifier), Name: c.Name, Kind: c.Kind}
+	}
+	return &Relation{Cols: cols, Rows: rows}
+}
+
+// Requalify returns a copy of the relation with all columns re-qualified, used
+// when a subquery in FROM gets an alias.
+func Requalify(r *Relation, qualifier string) *Relation {
+	cols := make([]expr.InputColumn, len(r.Cols))
+	for i, c := range r.Cols {
+		cols[i] = expr.InputColumn{Qualifier: types.NormalizeName(qualifier), Name: c.Name, Kind: c.Kind}
+	}
+	return &Relation{Cols: cols, Rows: r.Rows}
+}

@@ -1,0 +1,348 @@
+package relalg
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"idaax/internal/expr"
+	"idaax/internal/sqlparse"
+	"idaax/internal/types"
+)
+
+// Options tunes how the select pipeline executes. The DB2 engine uses
+// Parallelism 1 (tuple-at-a-time semantics), the accelerator passes its number
+// of worker slices.
+type Options struct {
+	// Parallelism is the number of goroutines used for filter and aggregation.
+	// Values < 1 mean "one".
+	Parallelism int
+}
+
+func (o Options) workers(n int) int {
+	p := o.Parallelism
+	if p < 1 {
+		p = 1
+	}
+	if p > runtime.NumCPU()*4 {
+		p = runtime.NumCPU() * 4
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// ExecuteSelect runs WHERE, GROUP BY/aggregation, HAVING, projection,
+// DISTINCT, ORDER BY and LIMIT/OFFSET of sel over the already-joined FROM
+// relation. The caller is responsible for building `from` (scan + joins) so
+// that engine-specific storage details stay out of this package.
+func ExecuteSelect(from *Relation, sel *sqlparse.SelectStmt, opts Options) (*Relation, error) {
+	filtered, err := Filter(from, sel.Where, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	var projected *Relation
+	var sortKeys [][]types.Value
+	if needsAggregation(sel) {
+		projected, sortKeys, err = aggregateAndProject(filtered, sel, opts)
+	} else {
+		projected, sortKeys, err = projectPlain(filtered, sel)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if sel.Distinct {
+		projected, sortKeys = distinct(projected, sortKeys)
+	}
+	if len(sel.OrderBy) > 0 {
+		if err := orderBy(projected, sortKeys, sel.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	applyLimit(projected, sel.Limit, sel.Offset)
+	return projected, nil
+}
+
+// Filter returns the rows of rel satisfying where. With Parallelism > 1 the
+// predicate is evaluated on row chunks concurrently (the accelerator's
+// "snippet processors").
+func Filter(rel *Relation, where sqlparse.Expr, opts Options) (*Relation, error) {
+	if where == nil {
+		return rel, nil
+	}
+	out := &Relation{Cols: rel.Cols}
+	n := len(rel.Rows)
+	if n == 0 {
+		return out, nil
+	}
+	workers := opts.workers(n)
+	if workers == 1 {
+		env := expr.NewEnv(rel.Cols)
+		for _, row := range rel.Rows {
+			ok, err := env.EvalBool(where, row)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out.Rows = append(out.Rows, row)
+			}
+		}
+		return out, nil
+	}
+
+	chunk := (n + workers - 1) / workers
+	results := make([][]types.Row, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			env := expr.NewEnv(rel.Cols)
+			var keep []types.Row
+			for _, row := range rel.Rows[lo:hi] {
+				ok, err := env.EvalBool(where, row)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if ok {
+					keep = append(keep, row)
+				}
+			}
+			results[w] = keep
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, part := range results {
+		out.Rows = append(out.Rows, part...)
+	}
+	return out, nil
+}
+
+func needsAggregation(sel *sqlparse.SelectStmt) bool {
+	if len(sel.GroupBy) > 0 {
+		return true
+	}
+	for _, item := range sel.Items {
+		if item.Expr != nil && sqlparse.ContainsAggregate(item.Expr) {
+			return true
+		}
+	}
+	if sel.Having != nil {
+		return true
+	}
+	return false
+}
+
+// outputColumns derives the projected column descriptors for a select list.
+func outputColumns(items []sqlparse.SelectItem, rel *Relation, env *expr.Env) []expr.InputColumn {
+	var cols []expr.InputColumn
+	for i, item := range items {
+		if item.Star {
+			for _, c := range rel.Cols {
+				if item.StarTable != "" && !strings.EqualFold(item.StarTable, c.Qualifier) {
+					continue
+				}
+				cols = append(cols, expr.InputColumn{Name: c.Name, Kind: c.Kind})
+			}
+			continue
+		}
+		name := item.Alias
+		if name == "" {
+			name = expr.OutputName(item.Expr, i)
+		}
+		cols = append(cols, expr.InputColumn{Name: types.NormalizeName(name), Kind: env.InferKind(item.Expr)})
+	}
+	return cols
+}
+
+// projectRow evaluates the select list for one input row.
+func projectRow(items []sqlparse.SelectItem, rel *Relation, env *expr.Env, row types.Row) (types.Row, error) {
+	out := make(types.Row, 0, len(items))
+	for _, item := range items {
+		if item.Star {
+			for ci, c := range rel.Cols {
+				if item.StarTable != "" && !strings.EqualFold(item.StarTable, c.Qualifier) {
+					continue
+				}
+				out = append(out, row[ci])
+			}
+			continue
+		}
+		v, err := env.Eval(item.Expr, row)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func projectPlain(rel *Relation, sel *sqlparse.SelectStmt) (*Relation, [][]types.Value, error) {
+	env := expr.NewEnv(rel.Cols)
+	out := &Relation{Cols: outputColumns(sel.Items, rel, env)}
+	var sortKeys [][]types.Value
+	needKeys := len(sel.OrderBy) > 0
+	outEnvCols := out.Cols
+
+	for _, row := range rel.Rows {
+		projected, err := projectRow(sel.Items, rel, env, row)
+		if err != nil {
+			return nil, nil, err
+		}
+		out.Rows = append(out.Rows, projected)
+		if needKeys {
+			keys, err := computeSortKeys(sel.OrderBy, env, row, outEnvCols, projected)
+			if err != nil {
+				return nil, nil, err
+			}
+			sortKeys = append(sortKeys, keys)
+		}
+	}
+	return out, sortKeys, nil
+}
+
+// computeSortKeys evaluates ORDER BY expressions. Each expression is evaluated
+// against the projected output when it only references output columns (or is
+// an output position literal); otherwise it is evaluated against the input row.
+func computeSortKeys(orderBy []sqlparse.OrderItem, inEnv *expr.Env, inRow types.Row, outCols []expr.InputColumn, outRow types.Row) ([]types.Value, error) {
+	keys := make([]types.Value, len(orderBy))
+	outEnv := expr.NewEnv(outCols)
+	for i, item := range orderBy {
+		if lit, ok := item.Expr.(*sqlparse.Literal); ok && lit.Val.Kind == types.KindInt {
+			pos := int(lit.Val.Int)
+			if pos < 1 || pos > len(outRow) {
+				return nil, fmt.Errorf("relalg: ORDER BY position %d out of range", pos)
+			}
+			keys[i] = outRow[pos-1]
+			continue
+		}
+		if refsResolvable(item.Expr, outEnv) {
+			v, err := outEnv.Eval(item.Expr, outRow)
+			if err == nil {
+				keys[i] = v
+				continue
+			}
+		}
+		v, err := inEnv.Eval(item.Expr, inRow)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+func refsResolvable(e sqlparse.Expr, env *expr.Env) bool {
+	ok := true
+	sqlparse.WalkExprs(e, func(n sqlparse.Expr) {
+		if ref, isRef := n.(*sqlparse.ColumnRef); isRef {
+			if _, err := env.Resolve(ref); err != nil {
+				ok = false
+			}
+		}
+	})
+	return ok
+}
+
+func distinct(rel *Relation, sortKeys [][]types.Value) (*Relation, [][]types.Value) {
+	seen := make(map[string]bool, len(rel.Rows))
+	out := &Relation{Cols: rel.Cols}
+	var keys [][]types.Value
+	for i, row := range rel.Rows {
+		k := rowKey(row)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Rows = append(out.Rows, row)
+		if sortKeys != nil {
+			keys = append(keys, sortKeys[i])
+		}
+	}
+	return out, keys
+}
+
+func rowKey(row types.Row) string {
+	var sb strings.Builder
+	for _, v := range row {
+		sb.WriteString(v.GroupKey())
+		sb.WriteByte(0x1f)
+	}
+	return sb.String()
+}
+
+func orderBy(rel *Relation, sortKeys [][]types.Value, items []sqlparse.OrderItem) error {
+	if len(sortKeys) != len(rel.Rows) {
+		return fmt.Errorf("relalg: internal error: %d sort keys for %d rows", len(sortKeys), len(rel.Rows))
+	}
+	indices := make([]int, len(rel.Rows))
+	for i := range indices {
+		indices[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(indices, func(a, b int) bool {
+		ka, kb := sortKeys[indices[a]], sortKeys[indices[b]]
+		for i, item := range items {
+			c, err := types.Compare(ka[i], kb[i])
+			if err != nil {
+				if sortErr == nil {
+					sortErr = err
+				}
+				return false
+			}
+			if c == 0 {
+				continue
+			}
+			if item.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	newRows := make([]types.Row, len(rel.Rows))
+	for i, idx := range indices {
+		newRows[i] = rel.Rows[idx]
+	}
+	rel.Rows = newRows
+	return nil
+}
+
+func applyLimit(rel *Relation, limit, offset int64) {
+	if offset > 0 {
+		if offset >= int64(len(rel.Rows)) {
+			rel.Rows = nil
+		} else {
+			rel.Rows = rel.Rows[offset:]
+		}
+	}
+	if limit >= 0 && int64(len(rel.Rows)) > limit {
+		rel.Rows = rel.Rows[:limit]
+	}
+}

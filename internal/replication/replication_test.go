@@ -1,0 +1,151 @@
+package replication
+
+import (
+	"fmt"
+	"testing"
+
+	"idaax/internal/accel"
+	"idaax/internal/catalog"
+	"idaax/internal/db2"
+	"idaax/internal/sqlparse"
+	"idaax/internal/types"
+)
+
+type provider struct{ a *accel.Accelerator }
+
+func (p *provider) Accelerator(name string) (*accel.Accelerator, error) {
+	if types.NormalizeName(name) != "IDAA1" && name != "" {
+		return nil, fmt.Errorf("unknown accelerator %s", name)
+	}
+	return p.a, nil
+}
+
+func setup(t *testing.T) (*db2.Engine, *accel.Accelerator, *Replicator) {
+	t.Helper()
+	cat := catalog.New()
+	cat.AddAccelerator("IDAA1")
+	engine := db2.New(cat)
+	a := accel.New("IDAA1", 2)
+	r := New(engine, &provider{a: a})
+	schema := types.NewSchema(
+		types.Column{Name: "ID", Kind: types.KindInt},
+		types.Column{Name: "V", Kind: types.KindFloat},
+	)
+	if err := engine.CreateTable("FACTS", schema, "SYSADM"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Insert(nil, "FACTS", []types.Row{
+		{types.NewInt(1), types.NewFloat(1)},
+		{types.NewInt(2), types.NewFloat(2)},
+		{types.NewInt(3), types.NewFloat(3)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return engine, a, r
+}
+
+func TestAddFullLoadRemove(t *testing.T) {
+	engine, a, r := setup(t)
+	if _, err := r.FullLoad("FACTS"); err == nil {
+		t.Fatal("full load before AddTable should fail")
+	}
+	if err := r.AddTable("FACTS", "IDAA1", "ID"); err != nil {
+		t.Fatal(err)
+	}
+	meta, _ := engine.Catalog().Table("FACTS")
+	if meta.Kind != catalog.KindAccelerated {
+		t.Fatalf("catalog kind: %v", meta.Kind)
+	}
+	n, err := r.FullLoad("FACTS")
+	if err != nil || n != 3 {
+		t.Fatalf("full load: %d, %v", n, err)
+	}
+	if got, _ := a.RowCount(0, "FACTS"); got != 3 {
+		t.Fatalf("shadow rows: %d", got)
+	}
+	st, ok := r.State("FACTS")
+	if !ok || st.FullLoads != 1 || st.RowsFullLoaded != 3 {
+		t.Fatalf("state: %+v", st)
+	}
+	// Re-load replaces the contents rather than duplicating them.
+	if _, err := r.FullLoad("FACTS"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := a.RowCount(0, "FACTS"); got != 3 {
+		t.Fatalf("shadow rows after reload: %d", got)
+	}
+	if err := r.RemoveTable("FACTS"); err != nil {
+		t.Fatal(err)
+	}
+	meta, _ = engine.Catalog().Table("FACTS")
+	if meta.Kind != catalog.KindRegular || a.HasTable("FACTS") {
+		t.Fatal("remove incomplete")
+	}
+	if err := r.RemoveTable("FACTS"); err == nil {
+		t.Fatal("removing a non-accelerated table should fail")
+	}
+}
+
+func TestIncrementalApply(t *testing.T) {
+	engine, a, r := setup(t)
+	if err := r.AddTable("FACTS", "IDAA1", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.FullLoad("FACTS"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EnableReplication("FACTS"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Captured changes: insert, update, delete.
+	if _, err := engine.Insert(nil, "FACTS", []types.Row{{types.NewInt(4), types.NewFloat(4)}}); err != nil {
+		t.Fatal(err)
+	}
+	upd := mustParse(t, "UPDATE facts SET v = 20 WHERE id = 2").(*sqlparse.UpdateStmt)
+	if _, err := engine.Update(nil, "FACTS", upd.Assignments, upd.Where); err != nil {
+		t.Fatal(err)
+	}
+	del := mustParse(t, "DELETE FROM facts WHERE id = 1").(*sqlparse.DeleteStmt)
+	if _, err := engine.Delete(nil, "FACTS", del.Where); err != nil {
+		t.Fatal(err)
+	}
+	if pending := r.PendingChanges("FACTS"); pending != 3 {
+		t.Fatalf("pending = %d", pending)
+	}
+	applied, err := r.SyncAll()
+	if err != nil || applied != 3 {
+		t.Fatalf("sync: %d, %v", applied, err)
+	}
+	if pending := r.PendingChanges("FACTS"); pending != 0 {
+		t.Fatalf("pending after sync = %d", pending)
+	}
+	// Shadow now matches DB2: rows {2->20, 3, 4}, row 1 deleted.
+	if got, _ := a.RowCount(0, "FACTS"); got != 3 {
+		t.Fatalf("shadow rows = %d", got)
+	}
+	stats := r.Stats()
+	if stats.RowsIncremental != 3 || stats.IncrementalRuns != 1 || stats.RowsFullLoaded != 3 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	// Disabled replication is skipped by SyncAll.
+	if err := r.DisableReplication("FACTS"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Insert(nil, "FACTS", []types.Row{{types.NewInt(9), types.NewFloat(9)}}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := r.SyncAll()
+	if err != nil || n != 0 {
+		t.Fatalf("sync with replication disabled applied %d, %v", n, err)
+	}
+}
+
+func mustParse(t *testing.T, sql string) sqlparse.Statement {
+	t.Helper()
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

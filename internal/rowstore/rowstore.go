@@ -1,0 +1,249 @@
+// Package rowstore is the DB2-side storage layer: an in-memory heap of rows
+// per table with tombstone deletes, a monotonically growing row-id space and
+// optional hash indexes for point predicates. It deliberately stays
+// row-oriented and single-threaded per scan — the performance contrast with
+// the accelerator's columnar, sliced storage is part of what the paper's
+// evaluation demonstrates.
+package rowstore
+
+import (
+	"fmt"
+	"sync"
+
+	"idaax/internal/types"
+)
+
+// RowID identifies a row within one table for its whole lifetime.
+type RowID int64
+
+// Table is an in-memory heap table.
+type Table struct {
+	mu      sync.RWMutex
+	schema  types.Schema
+	rows    []types.Row
+	deleted []bool
+	live    int
+	indexes map[string]*HashIndex
+}
+
+// NewTable creates an empty heap table with the given schema.
+func NewTable(schema types.Schema) *Table {
+	return &Table{schema: schema, indexes: make(map[string]*HashIndex)}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() types.Schema {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.schema
+}
+
+// RowCount returns the number of live (non-deleted) rows.
+func (t *Table) RowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}
+
+// Insert validates the row against the schema and appends it, returning its
+// row id.
+func (t *Table) Insert(row types.Row) (RowID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	validated, err := types.ValidateRow(t.schema, row)
+	if err != nil {
+		return 0, err
+	}
+	id := RowID(len(t.rows))
+	t.rows = append(t.rows, validated)
+	t.deleted = append(t.deleted, false)
+	t.live++
+	for _, idx := range t.indexes {
+		idx.insert(validated, id)
+	}
+	return id, nil
+}
+
+// InsertRaw appends a row that has already been validated (used by rollback to
+// restore deleted rows without re-checking constraints that held before).
+func (t *Table) InsertRaw(row types.Row) RowID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := RowID(len(t.rows))
+	t.rows = append(t.rows, row.Clone())
+	t.deleted = append(t.deleted, false)
+	t.live++
+	for _, idx := range t.indexes {
+		idx.insert(row, id)
+	}
+	return id
+}
+
+// Get returns the row stored under id (nil, false when deleted or unknown).
+func (t *Table) Get(id RowID) (types.Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if id < 0 || int(id) >= len(t.rows) || t.deleted[id] {
+		return nil, false
+	}
+	return t.rows[id].Clone(), true
+}
+
+// Delete tombstones the row. It returns the deleted row so callers can log
+// undo information.
+func (t *Table) Delete(id RowID) (types.Row, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || int(id) >= len(t.rows) || t.deleted[id] {
+		return nil, false
+	}
+	old := t.rows[id]
+	t.deleted[id] = true
+	t.live--
+	for _, idx := range t.indexes {
+		idx.remove(old, id)
+	}
+	return old.Clone(), true
+}
+
+// Update replaces the row under id, returning the previous image.
+func (t *Table) Update(id RowID, row types.Row) (types.Row, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || int(id) >= len(t.rows) || t.deleted[id] {
+		return nil, fmt.Errorf("rowstore: row %d does not exist", id)
+	}
+	validated, err := types.ValidateRow(t.schema, row)
+	if err != nil {
+		return nil, err
+	}
+	old := t.rows[id]
+	for _, idx := range t.indexes {
+		idx.remove(old, id)
+		idx.insert(validated, id)
+	}
+	t.rows[id] = validated
+	return old.Clone(), nil
+}
+
+// Scan calls fn for every live row in row-id order. The callback receives a
+// reference to the stored row; callers must not mutate it.
+func (t *Table) Scan(fn func(id RowID, row types.Row) error) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for i, row := range t.rows {
+		if t.deleted[i] {
+			continue
+		}
+		if err := fn(RowID(i), row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SnapshotRows returns copies of all live rows; the replication full-load path
+// and the row engine's scans use it to decouple query execution from writers
+// that update rows in place after the statement's read locks are released.
+func (t *Table) SnapshotRows() []types.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]types.Row, 0, t.live)
+	for i, row := range t.rows {
+		if t.deleted[i] {
+			continue
+		}
+		out = append(out, row.Clone())
+	}
+	return out
+}
+
+// Truncate removes all rows and returns how many live rows were dropped.
+func (t *Table) Truncate() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.live
+	t.rows = nil
+	t.deleted = nil
+	t.live = 0
+	for _, idx := range t.indexes {
+		idx.clear()
+	}
+	return n
+}
+
+// CreateIndex builds a hash index on the named column. Point-equality
+// UPDATE/DELETE statements use it to avoid full scans.
+func (t *Table) CreateIndex(column string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	col := t.schema.IndexOf(column)
+	if col < 0 {
+		return fmt.Errorf("rowstore: cannot index unknown column %s", column)
+	}
+	name := types.NormalizeName(column)
+	if _, ok := t.indexes[name]; ok {
+		return nil
+	}
+	idx := newHashIndex(col)
+	for i, row := range t.rows {
+		if t.deleted[i] {
+			continue
+		}
+		idx.insert(row, RowID(i))
+	}
+	t.indexes[name] = idx
+	return nil
+}
+
+// LookupIndex returns the row ids whose indexed column equals v, and whether
+// an index on that column exists.
+func (t *Table) LookupIndex(column string, v types.Value) ([]RowID, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.indexes[types.NormalizeName(column)]
+	if !ok {
+		return nil, false
+	}
+	return idx.lookup(v), true
+}
+
+// HasIndex reports whether a hash index exists on the column.
+func (t *Table) HasIndex(column string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.indexes[types.NormalizeName(column)]
+	return ok
+}
+
+// HashIndex is an equality index from column value to row ids.
+type HashIndex struct {
+	col     int
+	entries map[string][]RowID
+}
+
+func newHashIndex(col int) *HashIndex {
+	return &HashIndex{col: col, entries: make(map[string][]RowID)}
+}
+
+func (h *HashIndex) insert(row types.Row, id RowID) {
+	key := row[h.col].GroupKey()
+	h.entries[key] = append(h.entries[key], id)
+}
+
+func (h *HashIndex) remove(row types.Row, id RowID) {
+	key := row[h.col].GroupKey()
+	ids := h.entries[key]
+	for i, existing := range ids {
+		if existing == id {
+			h.entries[key] = append(ids[:i], ids[i+1:]...)
+			return
+		}
+	}
+}
+
+func (h *HashIndex) lookup(v types.Value) []RowID {
+	return append([]RowID(nil), h.entries[v.GroupKey()]...)
+}
+
+func (h *HashIndex) clear() { h.entries = make(map[string][]RowID) }

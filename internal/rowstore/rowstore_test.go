@@ -1,0 +1,110 @@
+package rowstore
+
+import (
+	"testing"
+
+	"idaax/internal/types"
+)
+
+func schema() types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "ID", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "V", Kind: types.KindFloat},
+	)
+}
+
+func TestInsertGetUpdateDelete(t *testing.T) {
+	tab := NewTable(schema())
+	id1, err := tab.Insert(types.Row{types.NewInt(1), types.NewFloat(1.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, _ := tab.Insert(types.Row{types.NewInt(2), types.NewFloat(2.5)})
+	if tab.RowCount() != 2 {
+		t.Fatalf("count = %d", tab.RowCount())
+	}
+	row, ok := tab.Get(id1)
+	if !ok || row[1].Float != 1.5 {
+		t.Fatalf("get: %v %v", row, ok)
+	}
+	old, err := tab.Update(id1, types.Row{types.NewInt(1), types.NewFloat(9)})
+	if err != nil || old[1].Float != 1.5 {
+		t.Fatalf("update old image: %v %v", old, err)
+	}
+	deleted, ok := tab.Delete(id2)
+	if !ok || deleted[0].Int != 2 {
+		t.Fatalf("delete: %v %v", deleted, ok)
+	}
+	if _, ok := tab.Get(id2); ok {
+		t.Fatal("deleted row still visible")
+	}
+	if _, ok := tab.Delete(id2); ok {
+		t.Fatal("double delete should fail")
+	}
+	if _, err := tab.Update(id2, types.Row{types.NewInt(2), types.NewFloat(1)}); err == nil {
+		t.Fatal("update of deleted row should fail")
+	}
+	if _, err := tab.Insert(types.Row{types.Null(), types.NewFloat(1)}); err != nil {
+		// NOT NULL enforced
+	} else {
+		t.Fatal("NOT NULL should be enforced")
+	}
+}
+
+func TestScanSnapshotTruncate(t *testing.T) {
+	tab := NewTable(schema())
+	for i := 0; i < 10; i++ {
+		_, _ = tab.Insert(types.Row{types.NewInt(int64(i)), types.NewFloat(float64(i))})
+	}
+	_, _ = tab.Delete(3)
+	count := 0
+	_ = tab.Scan(func(id RowID, row types.Row) error { count++; return nil })
+	if count != 9 {
+		t.Fatalf("scan visited %d rows", count)
+	}
+	snap := tab.SnapshotRows()
+	if len(snap) != 9 {
+		t.Fatalf("snapshot has %d rows", len(snap))
+	}
+	// Snapshots are isolated from later updates.
+	_, _ = tab.Update(0, types.Row{types.NewInt(0), types.NewFloat(99)})
+	if snap[0][1].Float == 99 {
+		t.Fatal("snapshot should not observe later updates")
+	}
+	if n := tab.Truncate(); n != 9 {
+		t.Fatalf("truncate removed %d", n)
+	}
+	if tab.RowCount() != 0 {
+		t.Fatal("truncate incomplete")
+	}
+}
+
+func TestHashIndex(t *testing.T) {
+	tab := NewTable(schema())
+	for i := 0; i < 100; i++ {
+		_, _ = tab.Insert(types.Row{types.NewInt(int64(i % 10)), types.NewFloat(float64(i))})
+	}
+	if err := tab.CreateIndex("ID"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CreateIndex("NOPE"); err == nil {
+		t.Fatal("index on unknown column should fail")
+	}
+	if !tab.HasIndex("id") {
+		t.Fatal("index missing")
+	}
+	ids, ok := tab.LookupIndex("ID", types.NewInt(3))
+	if !ok || len(ids) != 10 {
+		t.Fatalf("lookup: %d ids, %v", len(ids), ok)
+	}
+	// Index maintenance on delete and update.
+	_, _ = tab.Delete(ids[0])
+	ids, _ = tab.LookupIndex("ID", types.NewInt(3))
+	if len(ids) != 9 {
+		t.Fatalf("after delete: %d ids", len(ids))
+	}
+	_, _ = tab.Update(ids[0], types.Row{types.NewInt(77), types.NewFloat(0)})
+	if got, _ := tab.LookupIndex("ID", types.NewInt(77)); len(got) != 1 {
+		t.Fatalf("after update: %d ids", len(got))
+	}
+}

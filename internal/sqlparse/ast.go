@@ -1,0 +1,499 @@
+package sqlparse
+
+import (
+	"strings"
+
+	"idaax/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Expr is any scalar expression node.
+type Expr interface{ expr() }
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+// ColumnDef is one column of a CREATE TABLE statement.
+type ColumnDef struct {
+	Name    string
+	Kind    types.Kind
+	NotNull bool
+}
+
+// CreateTableStmt represents CREATE TABLE, including the paper's
+// "IN ACCELERATOR <name>" clause that creates an accelerator-only table.
+type CreateTableStmt struct {
+	Table         string
+	IfNotExists   bool
+	Columns       []ColumnDef
+	InAccelerator string // accelerator name; empty for a regular DB2 table
+	DistributeBy  string // optional DISTRIBUTE BY (col) for accelerator tables
+	AsSelect      *SelectStmt
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// DropTableStmt represents DROP TABLE [IF EXISTS] t.
+type DropTableStmt struct {
+	Table    string
+	IfExists bool
+}
+
+func (*DropTableStmt) stmt() {}
+
+// TruncateStmt represents TRUNCATE TABLE t.
+type TruncateStmt struct{ Table string }
+
+func (*TruncateStmt) stmt() {}
+
+// InsertStmt represents INSERT INTO t [(cols)] VALUES (...),(...) | SELECT ...
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+	Select  *SelectStmt
+}
+
+func (*InsertStmt) stmt() {}
+
+// Assignment is one SET col = expr clause of an UPDATE.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// UpdateStmt represents UPDATE t SET ... [WHERE ...].
+type UpdateStmt struct {
+	Table       string
+	Assignments []Assignment
+	Where       Expr
+}
+
+func (*UpdateStmt) stmt() {}
+
+// DeleteStmt represents DELETE FROM t [WHERE ...].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*DeleteStmt) stmt() {}
+
+// JoinType enumerates the supported join methods.
+type JoinType int
+
+const (
+	// JoinNone marks the first FROM item or a comma-separated cross product.
+	JoinNone JoinType = iota
+	// JoinInner is INNER JOIN ... ON.
+	JoinInner
+	// JoinLeft is LEFT [OUTER] JOIN ... ON.
+	JoinLeft
+	// JoinCross is CROSS JOIN (no ON condition).
+	JoinCross
+)
+
+// FromItem is one table reference in a FROM clause. Either Table or Subquery
+// is set. Items after the first carry the join type and ON condition that
+// connect them to the preceding items.
+type FromItem struct {
+	Table    string
+	Alias    string
+	Subquery *SelectStmt
+	Join     JoinType
+	On       Expr
+}
+
+// Name returns the name by which the item's columns are qualified.
+func (f FromItem) Name() string {
+	if f.Alias != "" {
+		return f.Alias
+	}
+	return f.Table
+}
+
+// SelectItem is one entry of the select list.
+type SelectItem struct {
+	Star      bool   // SELECT * or t.*
+	StarTable string // qualifier of t.*
+	Expr      Expr
+	Alias     string
+}
+
+// OrderItem is one ORDER BY entry.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt represents a (possibly nested) SELECT.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []FromItem
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int64 // -1 when absent
+	Offset   int64 // 0 when absent
+}
+
+func (*SelectStmt) stmt() {}
+
+// GrantStmt represents GRANT priv[, priv] ON t TO user.
+type GrantStmt struct {
+	Privileges []string
+	Table      string
+	Grantee    string
+}
+
+func (*GrantStmt) stmt() {}
+
+// RevokeStmt represents REVOKE priv[, priv] ON t FROM user.
+type RevokeStmt struct {
+	Privileges []string
+	Table      string
+	Grantee    string
+}
+
+func (*RevokeStmt) stmt() {}
+
+// CallStmt represents CALL proc(arg, ...), the entry point of the analytics
+// procedure framework (e.g. CALL ACCEL_ADD_TABLES(...), CALL IDAX_KMEANS(...)).
+type CallStmt struct {
+	Procedure string
+	Args      []Expr
+}
+
+func (*CallStmt) stmt() {}
+
+// BeginStmt starts an explicit transaction.
+type BeginStmt struct{}
+
+func (*BeginStmt) stmt() {}
+
+// CommitStmt commits the current transaction.
+type CommitStmt struct{}
+
+func (*CommitStmt) stmt() {}
+
+// RollbackStmt rolls back the current transaction.
+type RollbackStmt struct{}
+
+func (*RollbackStmt) stmt() {}
+
+// SetStmt represents SET <register> = <value>; the register we care about is
+// CURRENT QUERY ACCELERATION (NONE | ENABLE | ELIGIBLE | ALL).
+type SetStmt struct {
+	Name  string
+	Value string
+}
+
+func (*SetStmt) stmt() {}
+
+// ExplainStmt wraps another statement and asks for its routing decision.
+type ExplainStmt struct{ Target Statement }
+
+func (*ExplainStmt) stmt() {}
+
+// ShowStmt represents SHOW TABLES / SHOW ACCELERATORS.
+type ShowStmt struct{ What string }
+
+func (*ShowStmt) stmt() {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// ColumnRef references a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table string
+	Name  string
+}
+
+func (*ColumnRef) expr() {}
+
+// String renders the reference as [table.]name.
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// Literal is a constant value.
+type Literal struct{ Val types.Value }
+
+func (*Literal) expr() {}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpConcat
+)
+
+// String returns the SQL spelling of the operator.
+func (o BinOp) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpConcat:
+		return "||"
+	default:
+		return "?"
+	}
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op    BinOp
+	Left  Expr
+	Right Expr
+}
+
+func (*BinaryExpr) expr() {}
+
+// UnaryExpr is NOT x or -x.
+type UnaryExpr struct {
+	Op      string // "NOT" or "-"
+	Operand Expr
+}
+
+func (*UnaryExpr) expr() {}
+
+// FuncCall is a scalar or aggregate function call. Star marks COUNT(*).
+type FuncCall struct {
+	Name     string
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+func (*FuncCall) expr() {}
+
+// IsAggregate reports whether the function is one of the supported aggregates.
+func (f *FuncCall) IsAggregate() bool {
+	switch strings.ToUpper(f.Name) {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX", "STDDEV", "VARIANCE":
+		return true
+	default:
+		return false
+	}
+}
+
+// WhenClause is one WHEN ... THEN ... arm of a CASE expression.
+type WhenClause struct {
+	Cond   Expr
+	Result Expr
+}
+
+// CaseExpr is CASE [operand] WHEN ... THEN ... [ELSE ...] END.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []WhenClause
+	Else    Expr
+}
+
+func (*CaseExpr) expr() {}
+
+// IsNullExpr is x IS [NOT] NULL.
+type IsNullExpr struct {
+	Operand Expr
+	Negate  bool
+}
+
+func (*IsNullExpr) expr() {}
+
+// InExpr is x [NOT] IN (v1, v2, ...).
+type InExpr struct {
+	Operand Expr
+	List    []Expr
+	Negate  bool
+}
+
+func (*InExpr) expr() {}
+
+// BetweenExpr is x [NOT] BETWEEN low AND high.
+type BetweenExpr struct {
+	Operand Expr
+	Low     Expr
+	High    Expr
+	Negate  bool
+}
+
+func (*BetweenExpr) expr() {}
+
+// LikeExpr is x [NOT] LIKE pattern ('%' and '_' wildcards).
+type LikeExpr struct {
+	Operand Expr
+	Pattern Expr
+	Negate  bool
+}
+
+func (*LikeExpr) expr() {}
+
+// CastExpr is CAST(x AS type).
+type CastExpr struct {
+	Operand Expr
+	To      types.Kind
+}
+
+func (*CastExpr) expr() {}
+
+// ---------------------------------------------------------------------------
+// AST helpers shared by the two engines
+// ---------------------------------------------------------------------------
+
+// WalkExprs calls fn for every expression node reachable from e (pre-order).
+func WalkExprs(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *BinaryExpr:
+		WalkExprs(x.Left, fn)
+		WalkExprs(x.Right, fn)
+	case *UnaryExpr:
+		WalkExprs(x.Operand, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			WalkExprs(a, fn)
+		}
+	case *CaseExpr:
+		WalkExprs(x.Operand, fn)
+		for _, w := range x.Whens {
+			WalkExprs(w.Cond, fn)
+			WalkExprs(w.Result, fn)
+		}
+		WalkExprs(x.Else, fn)
+	case *IsNullExpr:
+		WalkExprs(x.Operand, fn)
+	case *InExpr:
+		WalkExprs(x.Operand, fn)
+		for _, v := range x.List {
+			WalkExprs(v, fn)
+		}
+	case *BetweenExpr:
+		WalkExprs(x.Operand, fn)
+		WalkExprs(x.Low, fn)
+		WalkExprs(x.High, fn)
+	case *LikeExpr:
+		WalkExprs(x.Operand, fn)
+		WalkExprs(x.Pattern, fn)
+	case *CastExpr:
+		WalkExprs(x.Operand, fn)
+	}
+}
+
+// ContainsAggregate reports whether the expression tree contains an aggregate
+// function call.
+func ContainsAggregate(e Expr) bool {
+	found := false
+	WalkExprs(e, func(n Expr) {
+		if f, ok := n.(*FuncCall); ok && f.IsAggregate() {
+			found = true
+		}
+	})
+	return found
+}
+
+// ReferencedTables returns the base table names referenced by a SELECT,
+// including tables referenced by subqueries in the FROM clause.
+func ReferencedTables(sel *SelectStmt) []string {
+	seen := map[string]bool{}
+	var out []string
+	var visit func(s *SelectStmt)
+	visit = func(s *SelectStmt) {
+		if s == nil {
+			return
+		}
+		for _, f := range s.From {
+			if f.Subquery != nil {
+				visit(f.Subquery)
+				continue
+			}
+			name := types.NormalizeName(f.Table)
+			if name != "" && !seen[name] {
+				seen[name] = true
+				out = append(out, name)
+			}
+		}
+	}
+	visit(sel)
+	return out
+}
+
+// StatementTables returns the base tables a statement reads or writes. It is
+// used by the federation layer for both routing and privilege checking.
+func StatementTables(st Statement) []string {
+	switch s := st.(type) {
+	case *SelectStmt:
+		return ReferencedTables(s)
+	case *InsertStmt:
+		tables := []string{types.NormalizeName(s.Table)}
+		if s.Select != nil {
+			tables = append(tables, ReferencedTables(s.Select)...)
+		}
+		return tables
+	case *UpdateStmt:
+		return []string{types.NormalizeName(s.Table)}
+	case *DeleteStmt:
+		return []string{types.NormalizeName(s.Table)}
+	case *TruncateStmt:
+		return []string{types.NormalizeName(s.Table)}
+	case *CreateTableStmt:
+		if s.AsSelect != nil {
+			return append([]string{types.NormalizeName(s.Table)}, ReferencedTables(s.AsSelect)...)
+		}
+		return []string{types.NormalizeName(s.Table)}
+	case *DropTableStmt:
+		return []string{types.NormalizeName(s.Table)}
+	case *ExplainStmt:
+		return StatementTables(s.Target)
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,132 @@
+package txn
+
+import (
+	"testing"
+	"time"
+
+	"idaax/internal/types"
+)
+
+func TestManagerLifecycle(t *testing.T) {
+	m := NewManager()
+	t1 := m.Begin(false)
+	t2 := m.Begin(true)
+	if t1.ID == t2.ID {
+		t.Fatal("ids must be unique")
+	}
+	if !t2.AutoTxn || t1.AutoTxn {
+		t.Fatal("auto flag wrong")
+	}
+	if m.ActiveCount() != 2 {
+		t.Fatalf("active = %d", m.ActiveCount())
+	}
+	m.Finish(t1, true)
+	m.Finish(t2, false)
+	if t1.Status != StatusCommitted || t2.Status != StatusAborted {
+		t.Fatal("statuses wrong")
+	}
+	if m.ActiveCount() != 0 {
+		t.Fatal("active count not decremented")
+	}
+}
+
+func TestUndoRecordsReverseOrder(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin(false)
+	tx.RecordUndo(UndoRecord{Table: "T", Op: UndoInsert, RowID: 1})
+	tx.RecordUndo(UndoRecord{Table: "T", Op: UndoUpdate, RowID: 2, OldRow: types.Row{types.NewInt(1)}})
+	tx.RecordUndo(UndoRecord{Table: "T", Op: UndoDelete, RowID: 3})
+	recs := tx.UndoRecords()
+	if len(recs) != 3 || recs[0].Op != UndoDelete || recs[2].Op != UndoInsert {
+		t.Fatalf("undo order wrong: %+v", recs)
+	}
+}
+
+func TestLockManagerSharedAndExclusive(t *testing.T) {
+	lm := NewLockManager(150 * time.Millisecond)
+	m := NewManager()
+	r1, r2, w := m.Begin(false), m.Begin(false), m.Begin(false)
+
+	// Two readers coexist.
+	if err := lm.Acquire(r1, "T", LockShared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(r2, "T", LockShared); err != nil {
+		t.Fatal(err)
+	}
+	// A writer must wait and times out.
+	if err := lm.Acquire(w, "T", LockExclusive); err == nil {
+		t.Fatal("writer should time out while readers hold the lock")
+	}
+	lm.ReleaseAll(r1)
+	lm.ReleaseAll(r2)
+	if err := lm.Acquire(w, "T", LockExclusive); err != nil {
+		t.Fatalf("writer should acquire after readers release: %v", err)
+	}
+	// Re-acquisition by the same owner is a no-op; shared request is satisfied
+	// by the held exclusive lock.
+	if err := lm.Acquire(w, "T", LockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(w, "T", LockShared); err != nil {
+		t.Fatal(err)
+	}
+	// Another reader now blocks.
+	if err := lm.Acquire(r1, "T", LockShared); err == nil {
+		t.Fatal("reader should time out while writer holds X lock")
+	}
+	lm.ReleaseAll(w)
+	if err := lm.Acquire(r1, "T", LockShared); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockUpgradeAndReleaseShared(t *testing.T) {
+	lm := NewLockManager(150 * time.Millisecond)
+	m := NewManager()
+	tx := m.Begin(false)
+	if err := lm.Acquire(tx, "A", LockShared); err != nil {
+		t.Fatal(err)
+	}
+	// Upgrade S -> X while being the only sharer.
+	if err := lm.Acquire(tx, "A", LockExclusive); err != nil {
+		t.Fatalf("upgrade failed: %v", err)
+	}
+	if err := lm.Acquire(tx, "B", LockShared); err != nil {
+		t.Fatal(err)
+	}
+	if got := tx.LockedTables(); len(got) != 2 {
+		t.Fatalf("locked tables: %v", got)
+	}
+	// Cursor stability: ReleaseShared drops only the S locks.
+	lm.ReleaseShared(tx)
+	other := m.Begin(false)
+	if err := lm.Acquire(other, "B", LockExclusive); err != nil {
+		t.Fatalf("B should be free after ReleaseShared: %v", err)
+	}
+	if err := lm.Acquire(other, "A", LockExclusive); err == nil {
+		t.Fatal("A is still X-locked by tx")
+	}
+	lm.ReleaseAll(tx)
+	lm.ReleaseAll(other)
+}
+
+func TestLockTimeoutError(t *testing.T) {
+	lm := NewLockManager(80 * time.Millisecond)
+	m := NewManager()
+	a, b := m.Begin(false), m.Begin(false)
+	if err := lm.Acquire(a, "T", LockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := lm.Acquire(b, "T", LockExclusive)
+	if err == nil {
+		t.Fatal("expected timeout")
+	}
+	if _, ok := err.(*ErrLockTimeout); !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if time.Since(start) < 60*time.Millisecond {
+		t.Fatal("returned before the timeout elapsed")
+	}
+}

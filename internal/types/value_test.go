@@ -1,0 +1,223 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindFromName(t *testing.T) {
+	cases := map[string]Kind{
+		"BIGINT": KindInt, "integer": KindInt, "SMALLINT": KindInt,
+		"DOUBLE": KindFloat, "decimal": KindFloat,
+		"VARCHAR": KindString, "char": KindString,
+		"BOOLEAN": KindBool, "TIMESTAMP": KindTimestamp, "DATE": KindTimestamp,
+	}
+	for name, want := range cases {
+		got, err := KindFromName(name)
+		if err != nil || got != want {
+			t.Errorf("KindFromName(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := KindFromName("BLOB5"); err == nil {
+		t.Error("expected error for unknown type name")
+	}
+}
+
+func TestValueConstructorsAndCoercion(t *testing.T) {
+	if v := NewInt(42); v.Kind != KindInt || v.Int != 42 {
+		t.Errorf("NewInt: %+v", v)
+	}
+	if f, ok := NewInt(7).AsFloat(); !ok || f != 7 {
+		t.Errorf("AsFloat(int) = %v, %v", f, ok)
+	}
+	if i, ok := NewFloat(3.9).AsInt(); !ok || i != 3 {
+		t.Errorf("AsInt(3.9) = %v, %v", i, ok)
+	}
+	if i, ok := NewString(" 12 ").AsInt(); !ok || i != 12 {
+		t.Errorf("AsInt(' 12 ') = %v, %v", i, ok)
+	}
+	if b, ok := NewString("yes").AsBool(); !ok || !b {
+		t.Errorf("AsBool('yes') = %v, %v", b, ok)
+	}
+	if _, ok := NewString("maybe").AsBool(); ok {
+		t.Error("AsBool('maybe') should fail")
+	}
+	if !Null().IsNull() {
+		t.Error("Null should be null")
+	}
+	if Null().String() != "NULL" {
+		t.Errorf("Null renders as %q", Null().String())
+	}
+}
+
+func TestCast(t *testing.T) {
+	v, err := NewString("3.5").Cast(KindFloat)
+	if err != nil || v.Float != 3.5 {
+		t.Fatalf("cast string->float: %v %v", v, err)
+	}
+	v, err = NewFloat(2.0).Cast(KindInt)
+	if err != nil || v.Int != 2 {
+		t.Fatalf("cast float->int: %v %v", v, err)
+	}
+	if _, err := NewString("abc").Cast(KindInt); err == nil {
+		t.Fatal("cast 'abc'->int should fail")
+	}
+	n, err := Null().Cast(KindInt)
+	if err != nil || !n.IsNull() {
+		t.Fatalf("NULL cast should stay NULL: %v %v", n, err)
+	}
+	ts, err := NewString("2016-03-15 10:30:00").Cast(KindTimestamp)
+	if err != nil {
+		t.Fatalf("timestamp cast: %v", err)
+	}
+	if ts.Time().Year() != 2016 || ts.Time().Month() != time.March {
+		t.Fatalf("unexpected timestamp %v", ts.Time())
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewFloat(2.5), NewInt(2), 1},
+		{NewString("a"), NewString("b"), -1},
+		{NewBool(false), NewBool(true), -1},
+		{Null(), NewInt(1), -1},
+		{Null(), Null(), 0},
+	}
+	for _, c := range cases {
+		got, err := Compare(c.a, c.b)
+		if err != nil || got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, %v; want %d", c.a, c.b, got, err, c.want)
+		}
+	}
+	if _, err := Compare(NewString("a"), NewInt(1)); err == nil {
+		t.Error("comparing string with int should fail")
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := NewInt(a), NewInt(b)
+		c1, err1 := Compare(x, y)
+		c2, err2 := Compare(y, x)
+		return err1 == nil && err2 == nil && c1 == -c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashEqualityProperty(t *testing.T) {
+	// Equal values must hash identically; ints and integral floats agree for
+	// ints that survive the float64 round trip.
+	f := func(n int32) bool {
+		v := int64(n)
+		return NewInt(v).Hash() == NewFloat(float64(v)).Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	_ = math.Trunc
+	g := func(s string) bool {
+		return NewString(s).Hash() == NewString(s).Hash()
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupKeyDistinguishesKinds(t *testing.T) {
+	keys := map[string]bool{}
+	values := []Value{Null(), NewInt(0), NewFloat(0.5), NewString("0"), NewBool(false), NewTimestampMicros(0)}
+	for _, v := range values {
+		k := v.GroupKey()
+		if keys[k] {
+			t.Errorf("group key collision for %v", v)
+		}
+		keys[k] = true
+	}
+	// Int and integral float share a group key on purpose (numeric GROUP BY).
+	if NewInt(3).GroupKey() != NewFloat(3).GroupKey() {
+		t.Error("int 3 and float 3.0 should share a group key")
+	}
+}
+
+func TestSchemaOperations(t *testing.T) {
+	s := NewSchema(
+		Column{Name: "id", Kind: KindInt, NotNull: true},
+		Column{Name: "Name", Kind: KindString},
+	)
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.IndexOf("NAME") != 1 || s.IndexOf("name") != 1 {
+		t.Error("IndexOf should be case-insensitive")
+	}
+	if s.IndexOf("missing") != -1 {
+		t.Error("IndexOf missing should be -1")
+	}
+	col, ok := s.Column("ID")
+	if !ok || col.Kind != KindInt || !col.NotNull {
+		t.Errorf("Column(ID) = %+v, %v", col, ok)
+	}
+	if !s.Equal(s) {
+		t.Error("schema should equal itself")
+	}
+	other := NewSchema(Column{Name: "id", Kind: KindFloat})
+	if s.Equal(other) {
+		t.Error("different schemas should not be equal")
+	}
+}
+
+func TestValidateRow(t *testing.T) {
+	s := NewSchema(
+		Column{Name: "id", Kind: KindInt, NotNull: true},
+		Column{Name: "v", Kind: KindFloat},
+	)
+	row, err := ValidateRow(s, Row{NewString("5"), NewInt(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0].Kind != KindInt || row[0].Int != 5 {
+		t.Errorf("coercion failed: %+v", row[0])
+	}
+	if row[1].Kind != KindFloat || row[1].Float != 2 {
+		t.Errorf("coercion failed: %+v", row[1])
+	}
+	if _, err := ValidateRow(s, Row{Null(), NewFloat(1)}); err == nil {
+		t.Error("NULL in NOT NULL column should fail")
+	}
+	if _, err := ValidateRow(s, Row{NewInt(1)}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if _, err := ValidateRow(s, Row{NewString("x"), NewFloat(1)}); err == nil {
+		t.Error("uncoercible value should fail")
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{NewInt(1), NewString("a")}
+	c := r.Clone()
+	c[0] = NewInt(2)
+	if r[0].Int != 1 {
+		t.Error("clone should not share storage")
+	}
+}
+
+func TestParseTimestampFormats(t *testing.T) {
+	good := []string{"2016-03-15", "2016-03-15 10:11:12", "2016-03-15 10:11:12.000001"}
+	for _, s := range good {
+		if _, err := ParseTimestamp(s); err != nil {
+			t.Errorf("ParseTimestamp(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseTimestamp("not a date"); err == nil {
+		t.Error("expected error")
+	}
+}

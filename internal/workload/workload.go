@@ -1,0 +1,284 @@
+// Package workload generates the deterministic synthetic datasets used by the
+// examples, the test suite and the benchmark harness: customers, orders,
+// churn-labelled behaviour features, sensor readings and social-media posts
+// (the paper's motivating example for loading non-mainframe data directly into
+// the accelerator). All generators are seeded and pure so every run of an
+// experiment sees identical data.
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"idaax/internal/types"
+)
+
+// Rand is a small deterministic generator (xorshift64*), independent of
+// math/rand so results cannot drift across Go releases.
+type Rand struct{ state uint64 }
+
+// NewRand creates a deterministic generator from a seed.
+func NewRand(seed int64) *Rand {
+	s := uint64(seed)
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: s}
+}
+
+func (r *Rand) next() uint64 {
+	r.state ^= r.state >> 12
+	r.state ^= r.state << 25
+	r.state ^= r.state >> 27
+	return r.state * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a number in [0, 1).
+func (r *Rand) Float64() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// Intn returns a number in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Norm returns an approximately normal value (Irwin–Hall with 6 summands).
+func (r *Rand) Norm(mean, stddev float64) float64 {
+	sum := 0.0
+	for i := 0; i < 6; i++ {
+		sum += r.Float64()
+	}
+	return mean + stddev*(sum-3)/0.7071
+}
+
+var regions = []string{"EMEA", "AMERICAS", "APAC", "DACH"}
+var segments = []string{"CONSUMER", "SMB", "ENTERPRISE"}
+var productCategories = []string{"CHECKING", "SAVINGS", "CREDIT", "MORTGAGE", "BROKERAGE"}
+var sentiments = []string{"POSITIVE", "NEUTRAL", "NEGATIVE"}
+
+// baseTime anchors generated timestamps so runs are reproducible.
+var baseTime = time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+
+// CustomerSchema returns the schema of the CUSTOMERS table.
+func CustomerSchema() types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "CUSTOMER_ID", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "NAME", Kind: types.KindString},
+		types.Column{Name: "REGION", Kind: types.KindString},
+		types.Column{Name: "SEGMENT", Kind: types.KindString},
+		types.Column{Name: "AGE", Kind: types.KindInt},
+		types.Column{Name: "INCOME", Kind: types.KindFloat},
+		types.Column{Name: "SINCE", Kind: types.KindTimestamp},
+	)
+}
+
+// Customers generates n customer rows.
+func Customers(n int, seed int64) []types.Row {
+	r := NewRand(seed)
+	rows := make([]types.Row, n)
+	for i := 0; i < n; i++ {
+		rows[i] = types.Row{
+			types.NewInt(int64(i + 1)),
+			types.NewString(fmt.Sprintf("CUST_%06d", i+1)),
+			types.NewString(regions[r.Intn(len(regions))]),
+			types.NewString(segments[r.Intn(len(segments))]),
+			types.NewInt(int64(18 + r.Intn(62))),
+			types.NewFloat(20000 + r.Float64()*180000),
+			types.NewTimestamp(baseTime.AddDate(0, 0, -r.Intn(3650))),
+		}
+	}
+	return rows
+}
+
+// OrderSchema returns the schema of the ORDERS table.
+func OrderSchema() types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "ORDER_ID", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "CUSTOMER_ID", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "PRODUCT", Kind: types.KindString},
+		types.Column{Name: "QUANTITY", Kind: types.KindInt},
+		types.Column{Name: "AMOUNT", Kind: types.KindFloat},
+		types.Column{Name: "ORDER_TS", Kind: types.KindTimestamp},
+	)
+}
+
+// Orders generates n order rows referencing customers 1..customerCount.
+func Orders(n, customerCount int, seed int64) []types.Row {
+	r := NewRand(seed)
+	rows := make([]types.Row, n)
+	for i := 0; i < n; i++ {
+		qty := 1 + r.Intn(9)
+		rows[i] = types.Row{
+			types.NewInt(int64(i + 1)),
+			types.NewInt(int64(1 + r.Intn(maxInt(customerCount, 1)))),
+			types.NewString(productCategories[r.Intn(len(productCategories))]),
+			types.NewInt(int64(qty)),
+			types.NewFloat(float64(qty) * (5 + r.Float64()*495)),
+			types.NewTimestamp(baseTime.AddDate(0, 0, -r.Intn(365)).Add(time.Duration(r.Intn(86400)) * time.Second)),
+		}
+	}
+	return rows
+}
+
+// ChurnSchema returns the schema of the churn-labelled behaviour table used by
+// the predictive-analytics experiments.
+func ChurnSchema() types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "CUSTOMER_ID", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "TENURE_MONTHS", Kind: types.KindFloat},
+		types.Column{Name: "MONTHLY_SPEND", Kind: types.KindFloat},
+		types.Column{Name: "SUPPORT_CALLS", Kind: types.KindFloat},
+		types.Column{Name: "LATE_PAYMENTS", Kind: types.KindFloat},
+		types.Column{Name: "DISCOUNT_RATE", Kind: types.KindFloat},
+		types.Column{Name: "CHURNED", Kind: types.KindInt},
+	)
+}
+
+// Churn generates n labelled churn rows. The label follows a logistic model of
+// the features plus noise, so trained classifiers have real signal to find.
+func Churn(n int, seed int64) []types.Row {
+	r := NewRand(seed)
+	rows := make([]types.Row, n)
+	for i := 0; i < n; i++ {
+		tenure := 1 + r.Float64()*72
+		spend := 10 + r.Float64()*290
+		calls := float64(r.Intn(12))
+		late := float64(r.Intn(6))
+		discount := r.Float64() * 0.4
+		// Latent churn propensity: short tenure, many support calls and late
+		// payments increase churn; discounts reduce it.
+		z := 1.5 - 0.06*tenure + 0.35*calls + 0.45*late - 3.0*discount - 0.004*spend + r.Norm(0, 0.8)
+		churned := int64(0)
+		if sigmoidApprox(z) > 0.5 {
+			churned = 1
+		}
+		rows[i] = types.Row{
+			types.NewInt(int64(i + 1)),
+			types.NewFloat(tenure),
+			types.NewFloat(spend),
+			types.NewFloat(calls),
+			types.NewFloat(late),
+			types.NewFloat(discount),
+			types.NewInt(churned),
+		}
+	}
+	return rows
+}
+
+func sigmoidApprox(z float64) float64 {
+	if z > 30 {
+		return 1
+	}
+	if z < -30 {
+		return 0
+	}
+	// Cheap logistic approximation is fine for label generation.
+	e := 1.0
+	x := -z
+	term := 1.0
+	for i := 1; i <= 12; i++ {
+		term *= x / float64(i)
+		e += term
+	}
+	return 1 / (1 + e)
+}
+
+// SensorSchema returns the schema of the SENSOR_READINGS table.
+func SensorSchema() types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "SENSOR_ID", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "READING_TS", Kind: types.KindTimestamp},
+		types.Column{Name: "TEMPERATURE", Kind: types.KindFloat},
+		types.Column{Name: "PRESSURE", Kind: types.KindFloat},
+		types.Column{Name: "VIBRATION", Kind: types.KindFloat},
+	)
+}
+
+// SensorReadings generates n readings across sensorCount sensors.
+func SensorReadings(n, sensorCount int, seed int64) []types.Row {
+	r := NewRand(seed)
+	rows := make([]types.Row, n)
+	for i := 0; i < n; i++ {
+		rows[i] = types.Row{
+			types.NewInt(int64(1 + r.Intn(maxInt(sensorCount, 1)))),
+			types.NewTimestamp(baseTime.Add(time.Duration(i) * time.Second)),
+			types.NewFloat(r.Norm(65, 8)),
+			types.NewFloat(r.Norm(101, 2.5)),
+			types.NewFloat(r.Norm(0.2, 0.08)),
+		}
+	}
+	return rows
+}
+
+// SocialPostSchema returns the schema of the SOCIAL_POSTS table (external
+// enrichment data loaded directly into the accelerator).
+func SocialPostSchema() types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "POST_ID", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "CUSTOMER_ID", Kind: types.KindInt},
+		types.Column{Name: "PLATFORM", Kind: types.KindString},
+		types.Column{Name: "SENTIMENT", Kind: types.KindString},
+		types.Column{Name: "SENTIMENT_SCORE", Kind: types.KindFloat},
+		types.Column{Name: "POSTED_TS", Kind: types.KindTimestamp},
+	)
+}
+
+// SocialPosts generates n social-media posts referencing customers.
+func SocialPosts(n, customerCount int, seed int64) []types.Row {
+	r := NewRand(seed)
+	platforms := []string{"TWITTER", "FACEBOOK", "FORUM", "REVIEW_SITE"}
+	rows := make([]types.Row, n)
+	for i := 0; i < n; i++ {
+		sentiment := sentiments[r.Intn(len(sentiments))]
+		score := r.Float64()
+		if sentiment == "NEGATIVE" {
+			score = -score
+		} else if sentiment == "NEUTRAL" {
+			score = (score - 0.5) / 5
+		}
+		rows[i] = types.Row{
+			types.NewInt(int64(i + 1)),
+			types.NewInt(int64(1 + r.Intn(maxInt(customerCount, 1)))),
+			types.NewString(platforms[r.Intn(len(platforms))]),
+			types.NewString(sentiment),
+			types.NewFloat(score),
+			types.NewTimestamp(baseTime.AddDate(0, 0, -r.Intn(180))),
+		}
+	}
+	return rows
+}
+
+// SocialPostsCSV renders generated posts as CSV with a header, the format the
+// IDAA Loader ingests in the examples and benchmarks.
+func SocialPostsCSV(n, customerCount int, seed int64) string {
+	rows := SocialPosts(n, customerCount, seed)
+	var sb strings.Builder
+	sb.WriteString("POST_ID,CUSTOMER_ID,PLATFORM,SENTIMENT,SENTIMENT_SCORE,POSTED_TS\n")
+	for _, row := range rows {
+		sb.WriteString(fmt.Sprintf("%s,%s,%s,%s,%s,%s\n",
+			row[0].AsString(), row[1].AsString(), row[2].AsString(), row[3].AsString(), row[4].AsString(), row[5].AsString()))
+	}
+	return sb.String()
+}
+
+// CustomersCSV renders generated customers as CSV with a header.
+func CustomersCSV(n int, seed int64) string {
+	rows := Customers(n, seed)
+	var sb strings.Builder
+	sb.WriteString("CUSTOMER_ID,NAME,REGION,SEGMENT,AGE,INCOME,SINCE\n")
+	for _, row := range rows {
+		sb.WriteString(fmt.Sprintf("%s,%s,%s,%s,%s,%s,%s\n",
+			row[0].AsString(), row[1].AsString(), row[2].AsString(), row[3].AsString(), row[4].AsString(), row[5].AsString(), row[6].AsString()))
+	}
+	return sb.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

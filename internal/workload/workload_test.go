@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"idaax/internal/types"
+)
+
+func TestGeneratorsAreDeterministicAndValid(t *testing.T) {
+	cases := []struct {
+		name   string
+		schema types.Schema
+		gen    func(seed int64) []types.Row
+	}{
+		{"customers", CustomerSchema(), func(s int64) []types.Row { return Customers(200, s) }},
+		{"orders", OrderSchema(), func(s int64) []types.Row { return Orders(300, 50, s) }},
+		{"churn", ChurnSchema(), func(s int64) []types.Row { return Churn(250, s) }},
+		{"sensor", SensorSchema(), func(s int64) []types.Row { return SensorReadings(150, 10, s) }},
+		{"social", SocialPostSchema(), func(s int64) []types.Row { return SocialPosts(180, 40, s) }},
+	}
+	for _, c := range cases {
+		a := c.gen(7)
+		b := c.gen(7)
+		other := c.gen(8)
+		if len(a) == 0 || len(a) != len(b) {
+			t.Fatalf("%s: unexpected sizes %d/%d", c.name, len(a), len(b))
+		}
+		differs := false
+		for i := range a {
+			if len(a[i]) != c.schema.Len() {
+				t.Fatalf("%s: row arity %d != schema %d", c.name, len(a[i]), c.schema.Len())
+			}
+			if _, err := types.ValidateRow(c.schema, a[i]); err != nil {
+				t.Fatalf("%s: invalid row: %v", c.name, err)
+			}
+			for j := range a[i] {
+				if a[i][j].String() != b[i][j].String() {
+					t.Fatalf("%s: not deterministic at row %d col %d", c.name, i, j)
+				}
+				if i < len(other) && a[i][j].String() != other[i][j].String() {
+					differs = true
+				}
+			}
+		}
+		if !differs {
+			t.Errorf("%s: different seeds should produce different data", c.name)
+		}
+	}
+}
+
+func TestChurnHasBothClassesAndSignal(t *testing.T) {
+	rows := Churn(5000, 11)
+	churned := 0
+	for _, r := range rows {
+		if r[6].Int == 1 {
+			churned++
+		}
+	}
+	if churned < 500 || churned > 4500 {
+		t.Fatalf("degenerate class balance: %d of %d churned", churned, len(rows))
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	csv := SocialPostsCSV(10, 5, 3)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "POST_ID,CUSTOMER_ID") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if got := len(strings.Split(lines[1], ",")); got != 6 {
+		t.Fatalf("fields = %d", got)
+	}
+	ccsv := CustomersCSV(5, 2)
+	if len(strings.Split(strings.TrimSpace(ccsv), "\n")) != 6 {
+		t.Fatal("customers csv size")
+	}
+}
+
+func TestRandHelpers(t *testing.T) {
+	r := NewRand(0)
+	if r.Intn(0) != 0 {
+		t.Fatal("Intn(0) should be 0")
+	}
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		if n := r.Intn(10); n < 0 || n >= 10 {
+			t.Fatalf("Intn out of range: %d", n)
+		}
+	}
+	// Norm should be roughly centred.
+	sum := 0.0
+	for i := 0; i < 5000; i++ {
+		sum += r.Norm(10, 2)
+	}
+	mean := sum / 5000
+	if mean < 9 || mean > 11 {
+		t.Fatalf("Norm mean = %v", mean)
+	}
+}

@@ -1,0 +1,174 @@
+package idaax
+
+import (
+	"fmt"
+
+	"idaax/internal/analytics"
+	"idaax/internal/federation"
+	"idaax/internal/types"
+)
+
+// System is a complete instance of the extended accelerator architecture: the
+// DB2-style host engine, one (or more) attached accelerators, the federation
+// layer, replication, the AOT manager and the analytics procedure framework.
+type System struct {
+	cfg   Config
+	coord *federation.Coordinator
+}
+
+// New creates a system with the given configuration.
+func New(cfg Config) *System {
+	cfg = cfg.withDefaults()
+	coord := federation.NewCoordinator(federation.Config{
+		AcceleratorName: cfg.AcceleratorName,
+		Slices:          cfg.AcceleratorSlices,
+		LockTimeout:     cfg.LockTimeout,
+		AdminUser:       cfg.AdminUser,
+	})
+	if !cfg.DisableAnalytics {
+		analytics.RegisterAll(coord.Procs, cfg.AnalyticsPublic)
+	}
+	return &System{cfg: cfg, coord: coord}
+}
+
+// Open creates a system with default configuration and publicly callable
+// analytics procedures; it is the one-liner used by the examples.
+func Open() *System {
+	return New(Config{AnalyticsPublic: true})
+}
+
+// Close releases the system. The current implementation is purely in-memory,
+// so Close only exists to keep call sites forward compatible with a persistent
+// implementation.
+func (s *System) Close() error { return nil }
+
+// Coordinator exposes the underlying federation coordinator for advanced use
+// (benchmark harness, custom tooling). Most applications only need Session.
+func (s *System) Coordinator() *federation.Coordinator { return s.coord }
+
+// Session opens a session for the given authorization id.
+func (s *System) Session(user string) *Session {
+	return &Session{sys: s, fed: s.coord.Session(user)}
+}
+
+// AdminSession opens a session with administrative authority.
+func (s *System) AdminSession() *Session { return s.Session(s.cfg.AdminUser) }
+
+// AddAccelerator pairs an additional accelerator.
+func (s *System) AddAccelerator(name string, slices int) {
+	s.coord.AddAccelerator(name, slices)
+}
+
+// Metrics summarises cross-system data movement and routing since start (or
+// the last ResetMetrics call).
+type Metrics struct {
+	RowsMovedToAccelerator int64
+	RowsMovedToDB2         int64
+	RowsReturnedToClient   int64
+	StatementsOffloaded    int64
+	StatementsLocal        int64
+	ProcedureCalls         int64
+	ReplicationRowsCopied  int64
+}
+
+// Metrics returns the current movement/routing counters.
+func (s *System) Metrics() Metrics {
+	m := s.coord.Metrics()
+	r := s.coord.Repl.Stats()
+	return Metrics{
+		RowsMovedToAccelerator: m.RowsMovedToAccel,
+		RowsMovedToDB2:         m.RowsMovedToDB2,
+		RowsReturnedToClient:   m.RowsReturnedToClient,
+		StatementsOffloaded:    m.StatementsOffloaded,
+		StatementsLocal:        m.StatementsLocal,
+		ProcedureCalls:         m.ProcedureCalls,
+		ReplicationRowsCopied:  r.RowsFullLoaded + r.RowsIncremental,
+	}
+}
+
+// ResetMetrics zeroes the statement-level movement counters.
+func (s *System) ResetMetrics() { s.coord.ResetMetrics() }
+
+// AcceleratorStats describes one accelerator's activity.
+type AcceleratorStats struct {
+	Name          string
+	Slices        int
+	Tables        int
+	QueriesRun    int64
+	RowsScanned   int64
+	BlocksPruned  int64
+	RowsIngested  int64
+	DMLStatements int64
+}
+
+// AcceleratorStats returns activity counters for the named accelerator (empty
+// name = default accelerator).
+func (s *System) AcceleratorStats(name string) (AcceleratorStats, error) {
+	a, err := s.coord.Accelerator(name)
+	if err != nil {
+		return AcceleratorStats{}, err
+	}
+	st := a.Stats()
+	return AcceleratorStats{
+		Name:          a.Name(),
+		Slices:        st.Slices,
+		Tables:        st.Tables,
+		QueriesRun:    st.QueriesRun,
+		RowsScanned:   st.RowsScanned,
+		BlocksPruned:  st.BlocksPruned,
+		RowsIngested:  st.RowsIngested,
+		DMLStatements: st.DMLStatements,
+	}, nil
+}
+
+// TableInfo describes a table's acceleration state.
+type TableInfo struct {
+	Name            string
+	Kind            string
+	Accelerator     string
+	DB2Rows         int
+	AcceleratorRows int
+	PendingChanges  int
+}
+
+// TableInfo returns the acceleration state of a table.
+func (s *System) TableInfo(name string) (TableInfo, error) {
+	meta, err := s.coord.Catalog().Table(name)
+	if err != nil {
+		return TableInfo{}, err
+	}
+	info := TableInfo{
+		Name:        meta.Name,
+		Kind:        meta.Kind.String(),
+		Accelerator: meta.Accelerator,
+		DB2Rows:     -1, AcceleratorRows: -1,
+	}
+	if st, err := s.coord.DB2.Storage(meta.Name); err == nil {
+		info.DB2Rows = st.RowCount()
+	}
+	if meta.Accelerator != "" {
+		if a, err := s.coord.Accelerator(meta.Accelerator); err == nil {
+			if n, err := a.RowCount(0, meta.Name); err == nil {
+				info.AcceleratorRows = n
+			}
+		}
+	}
+	info.PendingChanges = s.coord.Repl.PendingChanges(meta.Name)
+	return info, nil
+}
+
+// Tables lists all tables in the catalog.
+func (s *System) Tables() []TableInfo {
+	var out []TableInfo
+	for _, meta := range s.coord.Catalog().Tables() {
+		if info, err := s.TableInfo(meta.Name); err == nil {
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+// normalize is a tiny helper shared by the facade files.
+func normalize(name string) string { return types.NormalizeName(name) }
+
+var _ = fmt.Sprintf
