@@ -23,13 +23,35 @@ import (
 	"time"
 )
 
+// AcceleratorConfig describes one accelerator of a multi-accelerator fleet.
+type AcceleratorConfig struct {
+	// Name is the accelerator's pairing name.
+	Name string
+	// Slices sets the accelerator's scan parallelism (default: number of CPUs).
+	Slices int
+}
+
 // Config configures a System.
 type Config struct {
 	// AcceleratorName names the default accelerator (default "IDAA1").
+	// Ignored when Accelerators is set.
 	AcceleratorName string
 	// AcceleratorSlices sets the accelerator's scan/aggregation parallelism
 	// (default: number of CPUs).
 	AcceleratorSlices int
+	// Accelerators, when non-empty, pairs a fleet of accelerators instead of
+	// the single default one. The first entry becomes the default accelerator,
+	// and with two or more entries a sharded virtual accelerator named
+	// ShardGroupName spans the whole fleet: tables created with
+	//
+	//	CREATE TABLE t (...) IN ACCELERATOR SHARDS DISTRIBUTE BY HASH(col)
+	//
+	// are partitioned across every member, queries against them scatter-gather
+	// with two-phase aggregation, and replication fans changes out to the
+	// owning shard.
+	Accelerators []AcceleratorConfig
+	// ShardGroupName names the sharded virtual accelerator (default "SHARDS").
+	ShardGroupName string
 	// LockTimeout bounds DB2 lock waits (default 2s).
 	LockTimeout time.Duration
 	// RegisterAnalytics installs the IDAX.* analytics procedures (default true
@@ -44,8 +66,14 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if len(c.Accelerators) > 0 {
+		c.AcceleratorName = c.Accelerators[0].Name
+	}
 	if c.AcceleratorName == "" {
 		c.AcceleratorName = "IDAA1"
+	}
+	if c.ShardGroupName == "" {
+		c.ShardGroupName = "SHARDS"
 	}
 	if c.AdminUser == "" {
 		c.AdminUser = "SYSADM"

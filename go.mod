@@ -1,0 +1,3 @@
+module idaax
+
+go 1.24

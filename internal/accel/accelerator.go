@@ -87,6 +87,12 @@ func (a *Accelerator) Stats() Stats {
 	}
 }
 
+// NoteQuery adds one executed statement to the QueriesRun counter. The shard
+// router calls it for every member a scatter-gather statement gathers base
+// rows from (via ScanVisible, which bypasses Query), so QueriesRun means
+// "statements that did work on this shard" under every routing plan.
+func (a *Accelerator) NoteQuery() { atomic.AddInt64(&a.queriesRun, 1) }
+
 // NextInternalTxn returns a fresh internal (negative) transaction id and
 // registers it as active. Replication and the loader use it for their applies.
 func (a *Accelerator) NextInternalTxn() int64 {
@@ -108,6 +114,9 @@ func (a *Accelerator) CreateTable(name string, schema types.Schema, distKey stri
 	name = types.NormalizeName(name)
 	if _, ok := a.tables[name]; ok {
 		return fmt.Errorf("accel: table %s already exists on accelerator %s", name, a.name)
+	}
+	if key := types.NormalizeName(distKey); key != "" && schema.IndexOf(key) < 0 {
+		return fmt.Errorf("accel: distribution key %s is not a column of %s", key, name)
 	}
 	a.tables[name] = colstore.NewTable(name, schema, distKey)
 	return nil
@@ -214,6 +223,29 @@ func (a *Accelerator) ApplyReplicatedDelete(table string, srcID int64) (bool, er
 	ok := t.DeleteBySource(txnID, srcID)
 	a.Registry.Commit(txnID)
 	return ok, nil
+}
+
+// TruncateReplicated removes all committed rows of a table under an internal,
+// immediately committed transaction (the replication full-load/truncate path).
+func (a *Accelerator) TruncateReplicated(table string) (int, error) {
+	t, err := a.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	txnID := a.NextInternalTxn()
+	snap := a.Registry.Snapshot(txnID)
+	n := t.TruncateVisible(txnID, snap.Visible)
+	a.Registry.Commit(txnID)
+	return n, nil
+}
+
+// HasReplicatedSource reports whether a live shadow row mirrors the DB2 row id.
+func (a *Accelerator) HasReplicatedSource(table string, srcID int64) bool {
+	t, err := a.Table(table)
+	if err != nil {
+		return false
+	}
+	return t.HasSource(srcID)
 }
 
 // ApplyReplicatedUpdate replaces the shadow row mirroring a DB2 row id.

@@ -1,0 +1,51 @@
+package accel
+
+import (
+	"idaax/internal/relalg"
+	"idaax/internal/sqlparse"
+	"idaax/internal/types"
+)
+
+// Backend is the surface the rest of the system (federation routing, the AOT
+// manager, replication, the procedure framework) programs against when it
+// talks to "an accelerator". It is implemented by a single *Accelerator and by
+// shard.Router, which spreads a table over a fleet of accelerators — callers
+// cannot tell the difference, which is what makes the accelerator set a clean
+// boundary to scale behind.
+type Backend interface {
+	// Name returns the backend's pairing name (an accelerator name or the name
+	// of a shard group).
+	Name() string
+	// Slices returns the total scan parallelism of the backend.
+	Slices() int
+	// Stats returns activity counters, aggregated over all shards for a
+	// sharded backend.
+	Stats() Stats
+
+	// DDL.
+	CreateTable(name string, schema types.Schema, distKey string) error
+	DropTable(name string) error
+	HasTable(name string) bool
+	TableNames() []string
+
+	// Transaction coordination for DB2 transactions (the commit handshake).
+	Prepare(txnID int64) error
+	CommitTxn(txnID int64)
+	AbortTxn(txnID int64)
+
+	// Query and DML under a DB2 transaction id.
+	Query(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Relation, error)
+	Insert(txnID int64, table string, rows []types.Row) (int, error)
+	Update(txnID int64, table string, assignments []sqlparse.Assignment, where sqlparse.Expr) (int, error)
+	Delete(txnID int64, table string, where sqlparse.Expr) (int, error)
+	Truncate(txnID int64, table string) (int, error)
+	RowCount(txnID int64, table string) (int, error)
+
+	// Replication applies (internal, immediately committed transactions).
+	InsertReplicated(table string, rows []types.Row, srcIDs []int64) (int, error)
+	ApplyReplicatedDelete(table string, srcID int64) (bool, error)
+	ApplyReplicatedUpdate(table string, srcID int64, row types.Row) error
+	TruncateReplicated(table string) (int, error)
+}
+
+var _ Backend = (*Accelerator)(nil)

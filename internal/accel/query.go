@@ -18,8 +18,15 @@ import (
 // then (re-)applied by the shared relational operators, so pushdown is purely
 // a performance optimisation.
 func (a *Accelerator) Query(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
+	return a.QueryAt(txnID, a.Registry.Snapshot(txnID), sel)
+}
+
+// QueryAt is Query under a caller-provided snapshot. The shard router uses it
+// to run one statement over many accelerators with snapshots taken together
+// under its commit fence, so a transaction committing across the fleet is
+// either visible on every shard or on none.
+func (a *Accelerator) QueryAt(txnID int64, snap *Snapshot, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
 	atomic.AddInt64(&a.queriesRun, 1)
-	snap := a.Registry.Snapshot(txnID)
 	from, err := a.buildFrom(txnID, snap, sel)
 	if err != nil {
 		return nil, err
@@ -32,6 +39,10 @@ func (a *Accelerator) Query(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Rela
 	return rel, nil
 }
 
+// buildFrom materialises every FROM item under the single statement-level
+// snapshot, so a multi-table join cannot observe a concurrent commit between
+// its scans. Subqueries recurse through Query and snapshot on their own, as
+// they always have.
 func (a *Accelerator) buildFrom(txnID int64, snap *Snapshot, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
 	if len(sel.From) == 0 {
 		return relalg.JoinAll(nil, nil, a.slices)
@@ -50,13 +61,35 @@ func (a *Accelerator) buildFrom(txnID int64, snap *Snapshot, sel *sqlparse.Selec
 		if err != nil {
 			return nil, err
 		}
-		preds := a.pushdownPredicates(sel, item, t)
-		rows, stats := t.ParallelScan(a.slices, snap.Visible, preds)
-		atomic.AddInt64(&a.rowsScanned, int64(stats.VersionsConsidered))
-		atomic.AddInt64(&a.blocksPruned, int64(stats.BlocksPruned))
-		rels[i] = relalg.FromTable(item.Name(), t.Schema(), rows)
+		rels[i] = relalg.FromTable(item.Name(), t.Schema(), a.scanTable(t, snap, sel, item))
 	}
 	return relalg.JoinAll(rels, sel.From, a.slices)
+}
+
+// ScanVisible materialises the rows of a table visible under the given
+// snapshot (obtain one per statement from Registry.Snapshot), pushing the
+// simple WHERE conjuncts of sel that reference the given FROM item into the
+// columnar scan (zone-map pruning). The scan and pruning counters are
+// accounted on this accelerator, which is what keeps per-shard statistics
+// accurate when a shard router gathers base rows from many accelerators. sel
+// may be nil to scan without pushdown.
+func (a *Accelerator) ScanVisible(snap *Snapshot, table string, sel *sqlparse.SelectStmt, item sqlparse.FromItem) ([]types.Row, error) {
+	t, err := a.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	return a.scanTable(t, snap, sel, item), nil
+}
+
+func (a *Accelerator) scanTable(t *colstore.Table, snap *Snapshot, sel *sqlparse.SelectStmt, item sqlparse.FromItem) []types.Row {
+	var preds []colstore.SimplePredicate
+	if sel != nil {
+		preds = a.pushdownPredicates(sel, item, t)
+	}
+	rows, stats := t.ParallelScan(a.slices, snap.Visible, preds)
+	atomic.AddInt64(&a.rowsScanned, int64(stats.VersionsConsidered))
+	atomic.AddInt64(&a.blocksPruned, int64(stats.BlocksPruned))
+	return rows
 }
 
 // pushdownPredicates extracts the WHERE conjuncts of the form

@@ -11,7 +11,7 @@ import (
 // repository root and by cmd/idaabench).
 func TestExperimentRegistry(t *testing.T) {
 	ids := IDs()
-	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "f1"}
+	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1"}
 	if len(ids) != len(want) {
 		t.Fatalf("experiments: %v", ids)
 	}
@@ -22,6 +22,27 @@ func TestExperimentRegistry(t *testing.T) {
 	}
 	if _, err := Run("nope", SmallScale()); err == nil {
 		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestShardedScanExperiment(t *testing.T) {
+	scale := SmallScale()
+	scale.LoadRows = 4000
+	table, err := Run("e9", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 3 {
+		t.Fatalf("expected one row per fleet size, got %d", len(table.Rows))
+	}
+	foundPruning := false
+	for _, note := range table.Notes {
+		if strings.Contains(note, "touched 1 of 4 shards") {
+			foundPruning = true
+		}
+	}
+	if !foundPruning {
+		t.Fatalf("pruning note missing or pruning touched more than one shard: %v", table.Notes)
 	}
 }
 

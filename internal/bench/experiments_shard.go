@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"idaax"
+)
+
+// RunE9ShardedScan measures scan/aggregation throughput as the accelerator
+// fleet grows: the same hash-distributed table is loaded into systems with 1,
+// 2 and 4 accelerators and the same aggregation query suite runs against
+// each. With shards the query fans out, every shard scans only its partition,
+// and the coordinator merges partial aggregates — so rows scanned per shard
+// drop and throughput rises. A final section demonstrates shard pruning: an
+// equality predicate on the distribution key routes the statement to a single
+// shard.
+func RunE9ShardedScan(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E9",
+		Title:   "Sharded scan-aggregation throughput vs shard count (DISTRIBUTE BY HASH)",
+		Columns: []string{"SHARDS", "ROWS", "QUERIES", "ELAPSED_MS", "ROWS_PER_SEC", "MAX_ROWS_SCANNED_PER_SHARD", "TWO_PHASE_AGGS", "PRUNED"},
+	}
+	rows := scale.LoadRows
+	queriesPerRound := 8
+	slicesPerShard := scale.Slices
+	if slicesPerShard <= 0 {
+		slicesPerShard = 2
+	}
+
+	var baseline time.Duration
+	for _, shardCount := range []int{1, 2, 4} {
+		sys, accelerator := newShardedSystem(shardCount, slicesPerShard)
+		session := sys.AdminSession()
+		ddl := fmt.Sprintf(
+			"CREATE TABLE sharded_orders (id BIGINT NOT NULL, customer_id BIGINT, amount DOUBLE, region VARCHAR(8)) IN ACCELERATOR %s DISTRIBUTE BY HASH(id)",
+			accelerator)
+		if _, err := session.Exec(ddl); err != nil {
+			return nil, err
+		}
+		if err := fillShardedOrders(sys, rows); err != nil {
+			return nil, err
+		}
+
+		queries := []string{
+			"SELECT COUNT(*), SUM(amount), AVG(amount) FROM sharded_orders",
+			"SELECT region, COUNT(*), SUM(amount) FROM sharded_orders GROUP BY region",
+			"SELECT customer_id, SUM(amount) AS total FROM sharded_orders GROUP BY customer_id HAVING SUM(amount) > 100 ORDER BY total DESC LIMIT 10",
+			"SELECT MIN(amount), MAX(amount) FROM sharded_orders WHERE amount > 1",
+		}
+		start := time.Now()
+		ran := 0
+		for round := 0; round < queriesPerRound/len(queries)*len(queries); round++ {
+			if _, err := session.Query(queries[round%len(queries)]); err != nil {
+				return nil, err
+			}
+			ran++
+		}
+		elapsed := time.Since(start)
+		if shardCount == 1 {
+			baseline = elapsed
+		}
+
+		// Scan volume and routing decisions come from the per-shard stats API.
+		maxScanned := int64(0)
+		twoPhase := int64(0)
+		pruned := int64(0)
+		if shardCount == 1 {
+			st, err := sys.AcceleratorStats("")
+			if err != nil {
+				return nil, err
+			}
+			maxScanned = st.RowsScanned
+		} else {
+			st, err := sys.ShardGroupStats(accelerator)
+			if err != nil {
+				return nil, err
+			}
+			for _, sh := range st.Shards {
+				if sh.RowsScanned > maxScanned {
+					maxScanned = sh.RowsScanned
+				}
+			}
+			twoPhase = st.TwoPhaseAggregates
+			pruned = st.QueriesPruned
+		}
+
+		throughput := float64(rows*ran) / elapsed.Seconds()
+		t.AddRow(itoa(shardCount), itoa(rows), itoa(ran), ms(elapsed),
+			fmt.Sprintf("%.0f", throughput), i64(maxScanned), i64(twoPhase), i64(pruned))
+
+		// Pruning demonstration on the largest fleet.
+		if shardCount == 4 {
+			before, err := sys.ShardGroupStats(accelerator)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := session.Query("SELECT COUNT(*) FROM sharded_orders WHERE id = 12345"); err != nil {
+				return nil, err
+			}
+			after, err := sys.ShardGroupStats(accelerator)
+			if err != nil {
+				return nil, err
+			}
+			shardsTouched := 0
+			for i := range after.Shards {
+				if after.Shards[i].QueriesRun > before.Shards[i].QueriesRun {
+					shardsTouched++
+				}
+			}
+			t.AddNote("shard pruning: equality on the distribution key touched %d of %d shards (QueriesPruned %d -> %d)",
+				shardsTouched, shardCount, before.QueriesPruned, after.QueriesPruned)
+		}
+		sys.Close()
+	}
+	if baseline > 0 {
+		t.AddNote("ELAPSED_MS at 1 shard is the single-accelerator baseline; larger fleets scan %d rows split across shards in parallel and merge partial aggregates at the coordinator.", rows)
+	}
+	return t, nil
+}
+
+// newShardedSystem builds a system with n accelerators; for n == 1 the plain
+// single-accelerator configuration is used (the baseline), otherwise the
+// implicit SHARDS group spans the fleet. It returns the accelerator name DDL
+// should target.
+func newShardedSystem(n, slices int) (*idaax.System, string) {
+	if n == 1 {
+		return idaax.New(idaax.Config{AcceleratorSlices: slices, AnalyticsPublic: true}), "IDAA1"
+	}
+	accels := make([]idaax.AcceleratorConfig, n)
+	for i := range accels {
+		accels[i] = idaax.AcceleratorConfig{Name: fmt.Sprintf("IDAA%d", i+1), Slices: slices}
+	}
+	sys := idaax.New(idaax.Config{Accelerators: accels, AnalyticsPublic: true})
+	return sys, "SHARDS"
+}
+
+// fillShardedOrders bulk-inserts deterministic order rows through the normal
+// INSERT path so the rows flow through the router's partitioner.
+func fillShardedOrders(sys *idaax.System, rows int) error {
+	session := sys.AdminSession()
+	regions := []string{"EU", "US", "APAC", "LATAM"}
+	const batch = 2000
+	for lo := 0; lo < rows; lo += batch {
+		hi := lo + batch
+		if hi > rows {
+			hi = rows
+		}
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO sharded_orders VALUES ")
+		for i := lo; i < hi; i++ {
+			if i > lo {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d, %g, '%s')", i, i%997, float64(i%400)*0.25, regions[i%len(regions)])
+		}
+		if _, err := session.Exec(sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -279,6 +279,14 @@ func (t *Table) DeleteBySource(txnID, srcID int64) bool {
 	return t.MarkDeleted(idx, txnID)
 }
 
+// HasSource reports whether a live version mirrors the DB2 row srcID.
+func (t *Table) HasSource(srcID int64) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.bySrc[srcID]
+	return ok
+}
+
 // UpdateBySource replaces the version mirroring srcID with a new image.
 func (t *Table) UpdateBySource(txnID, srcID int64, row types.Row) error {
 	if !t.DeleteBySource(txnID, srcID) {

@@ -145,7 +145,7 @@ func TestParallelScanWithPredicatesAndZoneMaps(t *testing.T) {
 		t.Error("zone maps should have pruned at least one block")
 	}
 	// Equality predicate far outside the data range prunes everything.
-	out, stats = tab.ParallelScan(4, allVisible, []SimplePredicate{NewSimplePredicate(0, CmpEq, types.NewInt(1 << 40))})
+	out, stats = tab.ParallelScan(4, allVisible, []SimplePredicate{NewSimplePredicate(0, CmpEq, types.NewInt(1<<40))})
 	if len(out) != 0 || stats.BlocksPruned == 0 {
 		t.Fatalf("out-of-range equality: %d rows, %d pruned", len(out), stats.BlocksPruned)
 	}

@@ -28,7 +28,7 @@ import (
 // coordinator implements it; the indirection keeps this package free of a
 // dependency on the router.
 type AcceleratorProvider interface {
-	Accelerator(name string) (*accel.Accelerator, error)
+	Accelerator(name string) (accel.Backend, error)
 	DefaultAccelerator() string
 }
 
@@ -135,7 +135,7 @@ func (m *AOTManager) IsAOT(table string) bool {
 
 // AcceleratorFor returns the accelerator instance hosting the (accelerated or
 // accelerator-only) table.
-func (m *AOTManager) AcceleratorFor(table string) (*accel.Accelerator, *catalog.Table, error) {
+func (m *AOTManager) AcceleratorFor(table string) (accel.Backend, *catalog.Table, error) {
 	meta, err := m.cat.Table(table)
 	if err != nil {
 		return nil, nil, err

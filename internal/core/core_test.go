@@ -17,7 +17,7 @@ type fixedProvider struct {
 	def    string
 }
 
-func (p *fixedProvider) Accelerator(name string) (*accel.Accelerator, error) {
+func (p *fixedProvider) Accelerator(name string) (accel.Backend, error) {
 	if name == "" {
 		name = p.def
 	}

@@ -26,7 +26,7 @@ type ProcContext struct {
 	// Catalog is the DB2 catalog (for metadata lookups and privilege checks).
 	Catalog *catalog.Catalog
 	// Accelerator is the accelerator the procedure executes on.
-	Accelerator *accel.Accelerator
+	Accelerator accel.Backend
 	// AOTs creates/drops accelerator-only tables for procedure outputs.
 	AOTs *AOTManager
 	// Query executes a SELECT with full routing (including privilege checks).

@@ -37,27 +37,27 @@ func evalSQL(t *testing.T, exprSQL string) types.Value {
 
 func TestEvalArithmeticAndComparison(t *testing.T) {
 	cases := map[string]string{
-		"a + 1":             "5",
-		"a * b":             "10",
-		"a / 2":             "2",
-		"a % 3":             "1",
-		"-a":                "-4",
-		"a > 3":             "true",
-		"a >= 5":            "false",
-		"b <> 2.5":          "false",
-		"s = 'Hello'":       "true",
-		"a > 1 AND b < 3":   "true",
-		"a > 10 OR b > 2":   "true",
-		"NOT flag":          "false",
-		"a BETWEEN 1 AND 4": "true",
-		"a IN (1, 2, 4)":    "true",
-		"a NOT IN (1, 2)":   "true",
-		"s LIKE 'He%'":      "true",
-		"s LIKE '%xx%'":     "false",
-		"s NOT LIKE 'H_llo'": "false",
-		"n IS NULL":         "true",
-		"a IS NOT NULL":     "true",
-		"'x' || s":          "xHello",
+		"a + 1":                 "5",
+		"a * b":                 "10",
+		"a / 2":                 "2",
+		"a % 3":                 "1",
+		"-a":                    "-4",
+		"a > 3":                 "true",
+		"a >= 5":                "false",
+		"b <> 2.5":              "false",
+		"s = 'Hello'":           "true",
+		"a > 1 AND b < 3":       "true",
+		"a > 10 OR b > 2":       "true",
+		"NOT flag":              "false",
+		"a BETWEEN 1 AND 4":     "true",
+		"a IN (1, 2, 4)":        "true",
+		"a NOT IN (1, 2)":       "true",
+		"s LIKE 'He%'":          "true",
+		"s LIKE '%xx%'":         "false",
+		"s NOT LIKE 'H_llo'":    "false",
+		"n IS NULL":             "true",
+		"a IS NOT NULL":         "true",
+		"'x' || s":              "xHello",
 		"CAST(a AS DOUBLE) / 8": "0.5",
 	}
 	for sql, want := range cases {
@@ -96,26 +96,26 @@ func TestEvalCase(t *testing.T) {
 
 func TestEvalScalarFunctions(t *testing.T) {
 	cases := map[string]string{
-		"ABS(-3)":               "3",
-		"UPPER(s)":              "HELLO",
-		"LOWER(s)":              "hello",
-		"LENGTH(s)":             "5",
-		"SUBSTR(s, 2, 3)":       "ell",
-		"COALESCE(n, a, 99)":    "4",
-		"NULLIF(a, 4)":          "",
-		"ROUND(b)":              "3",
-		"ROUND(2.345, 2)":       "2.35",
-		"FLOOR(b)":              "2",
-		"CEIL(b)":               "3",
-		"SQRT(4)":               "2",
-		"POWER(2, 3)":           "8",
-		"MOD(7, 3)":             "1",
-		"GREATEST(1, 5, 3)":     "5",
-		"LEAST(2, b, 9)":        "2",
-		"REPLACE(s, 'l', 'L')":  "HeLLo",
-		"CONCAT(s, '!', '?')":   "Hello!?",
-		"SIGN(-2.5)":            "-1",
-		"TRIM('  x  ')":         "x",
+		"ABS(-3)":                               "3",
+		"UPPER(s)":                              "HELLO",
+		"LOWER(s)":                              "hello",
+		"LENGTH(s)":                             "5",
+		"SUBSTR(s, 2, 3)":                       "ell",
+		"COALESCE(n, a, 99)":                    "4",
+		"NULLIF(a, 4)":                          "",
+		"ROUND(b)":                              "3",
+		"ROUND(2.345, 2)":                       "2.35",
+		"FLOOR(b)":                              "2",
+		"CEIL(b)":                               "3",
+		"SQRT(4)":                               "2",
+		"POWER(2, 3)":                           "8",
+		"MOD(7, 3)":                             "1",
+		"GREATEST(1, 5, 3)":                     "5",
+		"LEAST(2, b, 9)":                        "2",
+		"REPLACE(s, 'l', 'L')":                  "HeLLo",
+		"CONCAT(s, '!', '?')":                   "Hello!?",
+		"SIGN(-2.5)":                            "-1",
+		"TRIM('  x  ')":                         "x",
 		"YEAR(CAST('2016-03-15' AS TIMESTAMP))": "2016",
 	}
 	for sql, want := range cases {
@@ -331,14 +331,14 @@ func TestBuildInsertRows(t *testing.T) {
 func TestInferKind(t *testing.T) {
 	env, _ := testEnv()
 	cases := map[string]types.Kind{
-		"a":          types.KindInt,
-		"a + 1":      types.KindInt,
-		"a + b":      types.KindFloat,
-		"a > 1":      types.KindBool,
-		"s || 'x'":   types.KindString,
-		"COUNT(*)":   types.KindInt,
-		"AVG(a)":     types.KindFloat,
-		"UPPER(s)":   types.KindString,
+		"a":                  types.KindInt,
+		"a + 1":              types.KindInt,
+		"a + b":              types.KindFloat,
+		"a > 1":              types.KindBool,
+		"s || 'x'":           types.KindString,
+		"COUNT(*)":           types.KindInt,
+		"AVG(a)":             types.KindFloat,
+		"UPPER(s)":           types.KindString,
 		"CAST(a AS VARCHAR)": types.KindString,
 	}
 	for sql, want := range cases {

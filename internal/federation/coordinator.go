@@ -15,24 +15,76 @@ import (
 	"idaax/internal/core"
 	"idaax/internal/db2"
 	"idaax/internal/replication"
+	"idaax/internal/shard"
 	"idaax/internal/types"
 )
 
-// Config configures a coordinator and its default accelerator.
-type Config struct {
-	// AcceleratorName is the name of the default accelerator (default "IDAA1").
-	AcceleratorName string
+// AcceleratorSpec describes one accelerator of a multi-accelerator fleet.
+type AcceleratorSpec struct {
+	// Name is the accelerator's pairing name.
+	Name string
 	// Slices is the accelerator's scan parallelism (default: number of CPUs).
 	Slices int
+}
+
+// Config configures a coordinator and its accelerator fleet.
+type Config struct {
+	// AcceleratorName is the name of the default accelerator (default "IDAA1").
+	// Ignored when Accelerators is set (the first spec becomes the default).
+	AcceleratorName string
+	// Slices is the default accelerator's scan parallelism (default: number of
+	// CPUs).
+	Slices int
+	// Accelerators, when non-empty, pairs a fleet of accelerators instead of
+	// the single default one. With two or more entries a shard group named
+	// ShardGroup is registered over the whole fleet, so tables created IN
+	// ACCELERATOR <ShardGroup> are hash- or round-robin-partitioned across
+	// every member.
+	Accelerators []AcceleratorSpec
+	// ShardGroup names the sharded virtual accelerator (default "SHARDS").
+	ShardGroup string
 	// LockTimeout bounds DB2 lock waits.
 	LockTimeout time.Duration
 	// AdminUser is granted implicit authority (default catalog.AdminUser).
 	AdminUser string
+
+	// fleetConfigured records that the user listed more than one accelerator,
+	// before duplicate names were folded away (set by withDefaults).
+	fleetConfigured bool
 }
 
 func (c Config) withDefaults() Config {
+	if len(c.Accelerators) > 0 {
+		// Normalise the fleet: fold names like the catalog does, give unnamed
+		// entries positional defaults, and drop duplicates (the first entry
+		// with a name wins) so a sloppy config cannot register the same
+		// accelerator as two shards. The pre-dedup length still decides
+		// whether a shard group is registered (see NewCoordinator), so a
+		// duplicated name cannot silently turn the fleet config into a
+		// groupless single accelerator.
+		fleet := len(c.Accelerators) > 1
+		seen := make(map[string]bool, len(c.Accelerators))
+		specs := make([]AcceleratorSpec, 0, len(c.Accelerators))
+		for i, spec := range c.Accelerators {
+			name := types.NormalizeName(spec.Name)
+			if name == "" {
+				name = fmt.Sprintf("IDAA%d", i+1)
+			}
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			specs = append(specs, AcceleratorSpec{Name: name, Slices: spec.Slices})
+		}
+		c.Accelerators = specs
+		c.AcceleratorName = specs[0].Name
+		c.fleetConfigured = fleet
+	}
 	if c.AcceleratorName == "" {
 		c.AcceleratorName = "IDAA1"
+	}
+	if c.ShardGroup == "" {
+		c.ShardGroup = "SHARDS"
 	}
 	if c.AdminUser == "" {
 		c.AdminUser = catalog.AdminUser
@@ -58,7 +110,7 @@ type Coordinator struct {
 
 	DB2    *db2.Engine
 	cat    *catalog.Catalog
-	accels map[string]*accel.Accelerator
+	accels map[string]accel.Backend
 
 	AOTs  *core.AOTManager
 	Procs *core.Framework
@@ -86,12 +138,32 @@ func NewCoordinator(cfg Config) *Coordinator {
 		cfg:    cfg,
 		DB2:    engine,
 		cat:    cat,
-		accels: make(map[string]*accel.Accelerator),
+		accels: make(map[string]accel.Backend),
 	}
 	c.AOTs = core.NewAOTManager(cat, c)
 	c.Procs = core.NewFramework(cat)
 	c.Repl = replication.New(engine, c)
-	c.AddAccelerator(cfg.AcceleratorName, cfg.Slices)
+	if len(cfg.Accelerators) == 0 {
+		c.AddAccelerator(cfg.AcceleratorName, cfg.Slices)
+	} else {
+		names := make([]string, len(cfg.Accelerators))
+		for i, spec := range cfg.Accelerators {
+			c.AddAccelerator(spec.Name, spec.Slices)
+			names[i] = spec.Name
+		}
+		// The fleet is also addressable as one sharded backend — unless a
+		// member explicitly claimed the group's name, in which case the name
+		// keeps referring to that accelerator. The group is registered
+		// whenever more than one accelerator was configured, even if
+		// duplicate names folded the fleet down to one member, so
+		// IN ACCELERATOR <group> keeps working instead of failing with a
+		// misleading not-paired error.
+		if _, taken := c.accels[types.NormalizeName(cfg.ShardGroup)]; cfg.fleetConfigured && !taken {
+			if _, err := c.AddShardGroup(cfg.ShardGroup, names...); err != nil {
+				panic(err) // unreachable: members exist and the group name is free
+			}
+		}
+	}
 	c.registerBuiltinProcedures()
 	return c
 }
@@ -99,11 +171,15 @@ func NewCoordinator(cfg Config) *Coordinator {
 // Catalog returns the shared DB2 catalog.
 func (c *Coordinator) Catalog() *catalog.Catalog { return c.cat }
 
-// AddAccelerator pairs an additional accelerator with the DB2 subsystem.
+// AddAccelerator pairs an additional accelerator with the DB2 subsystem. It
+// is idempotent for an already-paired accelerator of the same name and
+// returns nil (without touching the registration) when the name belongs to a
+// shard group.
 func (c *Coordinator) AddAccelerator(name string, slices int) *accel.Accelerator {
 	name = types.NormalizeName(name)
 	if existing, ok := c.accels[name]; ok {
-		return existing
+		a, _ := existing.(*accel.Accelerator)
+		return a // nil when the name is a shard group; never clobber it
 	}
 	a := accel.New(name, slices)
 	c.accels[name] = a
@@ -111,9 +187,47 @@ func (c *Coordinator) AddAccelerator(name string, slices int) *accel.Accelerator
 	return a
 }
 
+// AddShardGroup registers a sharded virtual accelerator spanning the named,
+// already-paired member accelerators. Tables created IN ACCELERATOR <name>
+// are partitioned across every member (DISTRIBUTE BY HASH for key placement,
+// round robin otherwise), queries scatter-gather over the fleet, and
+// replication fans captured changes out to the owning shard.
+func (c *Coordinator) AddShardGroup(name string, memberNames ...string) (*shard.Router, error) {
+	name = types.NormalizeName(name)
+	if _, ok := c.accels[name]; ok {
+		return nil, fmt.Errorf("federation: %s is already paired", name)
+	}
+	members := make([]*accel.Accelerator, len(memberNames))
+	seen := make(map[string]bool, len(memberNames))
+	for i, mn := range memberNames {
+		mname := types.NormalizeName(mn)
+		if seen[mname] {
+			return nil, fmt.Errorf("federation: accelerator %s listed twice in shard group %s", mname, name)
+		}
+		seen[mname] = true
+		b, ok := c.accels[mname]
+		if !ok {
+			return nil, fmt.Errorf("federation: shard group member %s is not paired", mname)
+		}
+		a, ok := b.(*accel.Accelerator)
+		if !ok {
+			return nil, fmt.Errorf("federation: shard group member %s is itself a shard group", mname)
+		}
+		members[i] = a
+	}
+	router, err := shard.NewRouter(name, members)
+	if err != nil {
+		return nil, err
+	}
+	c.accels[name] = router
+	c.cat.AddAccelerator(name)
+	return router, nil
+}
+
 // Accelerator implements core.AcceleratorProvider and
-// replication.AcceleratorProvider.
-func (c *Coordinator) Accelerator(name string) (*accel.Accelerator, error) {
+// replication.AcceleratorProvider. The returned backend is either a single
+// accelerator or a shard router; callers cannot (and need not) distinguish.
+func (c *Coordinator) Accelerator(name string) (accel.Backend, error) {
 	if name == "" {
 		name = c.cfg.AcceleratorName
 	}
@@ -122,6 +236,19 @@ func (c *Coordinator) Accelerator(name string) (*accel.Accelerator, error) {
 		return nil, fmt.Errorf("federation: accelerator %s is not paired", types.NormalizeName(name))
 	}
 	return a, nil
+}
+
+// ShardGroup returns the shard router registered under name.
+func (c *Coordinator) ShardGroup(name string) (*shard.Router, error) {
+	b, err := c.Accelerator(name)
+	if err != nil {
+		return nil, err
+	}
+	router, ok := b.(*shard.Router)
+	if !ok {
+		return nil, fmt.Errorf("federation: %s is a single accelerator, not a shard group", b.Name())
+	}
+	return router, nil
 }
 
 // DefaultAccelerator implements core.AcceleratorProvider.
@@ -179,7 +306,7 @@ func (c *Coordinator) Session(user string) *Session {
 		coord:        c,
 		user:         types.NormalizeName(user),
 		mode:         AccelerationEnable,
-		participants: make(map[string]*accel.Accelerator),
+		participants: make(map[string]accel.Backend),
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"idaax/internal/core"
 	"idaax/internal/expr"
 	"idaax/internal/relalg"
+	"idaax/internal/shard"
 	"idaax/internal/sqlparse"
 	"idaax/internal/txn"
 	"idaax/internal/types"
@@ -85,7 +86,7 @@ type Session struct {
 	mode         AccelerationMode
 	tx           *txn.Txn
 	explicit     bool
-	participants map[string]*accel.Accelerator
+	participants map[string]accel.Backend
 }
 
 // User returns the session's authorization id.
@@ -236,7 +237,7 @@ func (s *Session) stmtTxn() (*txn.Txn, func(error) error) {
 	}
 }
 
-func (s *Session) addParticipant(a *accel.Accelerator) {
+func (s *Session) addParticipant(a accel.Backend) {
 	s.participants[a.Name()] = a
 }
 
@@ -258,19 +259,40 @@ func (s *Session) commitTxn(tx *txn.Txn) error {
 	}
 	s.coord.DB2.Commit(tx)
 	failpointErr := s.coord.failpoint("after-db2-commit")
-	for _, a := range s.participants {
+	for _, a := range orderGroupsFirst(s.participants) {
 		a.CommitTxn(int64(tx.ID))
 	}
-	s.participants = make(map[string]*accel.Accelerator)
+	s.participants = make(map[string]accel.Backend)
 	return failpointErr
 }
 
 func (s *Session) abortTxn(tx *txn.Txn) {
 	_ = s.coord.DB2.Rollback(tx)
-	for _, a := range s.participants {
+	for _, a := range orderGroupsFirst(s.participants) {
 		a.AbortTxn(int64(tx.ID))
 	}
-	s.participants = make(map[string]*accel.Accelerator)
+	s.participants = make(map[string]accel.Backend)
+}
+
+// orderGroupsFirst returns the participants with shard groups ahead of plain
+// accelerators. A shard group's CommitTxn commits every member under its
+// visibility fence; committing groups first means a member that also
+// participated directly (e.g. an AOT on one fleet accelerator) is already
+// committed when its own turn comes, so no member's visibility ever flips
+// outside the fence.
+func orderGroupsFirst(participants map[string]accel.Backend) []accel.Backend {
+	out := make([]accel.Backend, 0, len(participants))
+	for _, a := range participants {
+		if _, isGroup := a.(*shard.Router); isGroup {
+			out = append(out, a)
+		}
+	}
+	for _, a := range participants {
+		if _, isGroup := a.(*shard.Router); !isGroup {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // ---------------------------------------------------------------------------
@@ -345,7 +367,7 @@ func (s *Session) runSelect(tx *txn.Txn, sel *sqlparse.SelectStmt) (*relalg.Rela
 // routeDecision captures where a query will run and why.
 type routeDecision struct {
 	offload   bool
-	accel     *accel.Accelerator
+	accel     accel.Backend
 	accelName string
 	reason    string
 }

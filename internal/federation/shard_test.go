@@ -1,0 +1,144 @@
+package federation
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestShardGroupRegistration covers the fleet wiring edge cases: the implicit
+// group, name collisions with members, and the no-clobber guarantee.
+func TestShardGroupRegistration(t *testing.T) {
+	c := NewCoordinator(Config{Accelerators: []AcceleratorSpec{
+		{Name: "A", Slices: 1}, {Name: "B", Slices: 1},
+	}})
+	router, err := c.ShardGroup("SHARDS")
+	if err != nil {
+		t.Fatalf("implicit group missing: %v", err)
+	}
+	if got := len(router.Members()); got != 2 {
+		t.Fatalf("group spans %d members, want 2", got)
+	}
+	if c.DefaultAccelerator() != "A" {
+		t.Fatalf("default accelerator = %s, want first fleet member", c.DefaultAccelerator())
+	}
+
+	// AddAccelerator with the group's name must not clobber the router.
+	if a := c.AddAccelerator("SHARDS", 1); a != nil {
+		t.Fatal("AddAccelerator on a shard-group name must return nil")
+	}
+	if _, err := c.ShardGroup("SHARDS"); err != nil {
+		t.Fatalf("shard group was clobbered: %v", err)
+	}
+
+	// Registering a second group under the same name fails cleanly.
+	if _, err := c.AddShardGroup("SHARDS", "A", "B"); err == nil {
+		t.Fatal("duplicate shard group must fail")
+	}
+	// Groups cannot nest and members must exist.
+	if _, err := c.AddShardGroup("G2", "SHARDS"); err == nil {
+		t.Fatal("nesting a group inside a group must fail")
+	}
+	if _, err := c.AddShardGroup("G3", "NOPE"); err == nil {
+		t.Fatal("unknown member must fail")
+	}
+
+	// Duplicate and empty fleet entries are normalised away instead of
+	// registering the same accelerator as two shards.
+	c3 := NewCoordinator(Config{Accelerators: []AcceleratorSpec{
+		{Name: "A", Slices: 1}, {Name: "a", Slices: 1}, {Name: "", Slices: 1}, {Name: "B", Slices: 1},
+	}})
+	r3, err := c3.ShardGroup("SHARDS")
+	if err != nil {
+		t.Fatalf("fleet with duplicates lost its group: %v", err)
+	}
+	names := map[string]bool{}
+	for _, m := range r3.Members() {
+		if names[m.Name()] {
+			t.Fatalf("duplicate shard member %s", m.Name())
+		}
+		names[m.Name()] = true
+	}
+	if len(names) != 3 { // A, IDAA3 (positional default for ""), B
+		t.Fatalf("normalised fleet has %d members: %v", len(names), names)
+	}
+
+	// A member that claims the group name keeps it; no group is registered
+	// and construction does not panic.
+	c2 := NewCoordinator(Config{Accelerators: []AcceleratorSpec{
+		{Name: "SHARDS", Slices: 1}, {Name: "B", Slices: 1},
+	}})
+	if _, err := c2.ShardGroup("SHARDS"); err == nil {
+		t.Fatal("SHARDS should resolve to the member accelerator, not a group")
+	}
+	if b, err := c2.Accelerator("SHARDS"); err != nil || b.Name() != "SHARDS" {
+		t.Fatalf("member named SHARDS not reachable: %v", err)
+	}
+}
+
+// TestMixedParticipantCommitAtomicity commits transactions that touch both a
+// sharded table and an AOT on one fleet member, while a concurrent reader
+// counts the sharded rows. Committing the shard group before the member (see
+// orderGroupsFirst) keeps every commit's visibility all-or-nothing across
+// shards; a partial count means a member's registry flipped outside the
+// router's fence.
+func TestMixedParticipantCommitAtomicity(t *testing.T) {
+	c := NewCoordinator(Config{Accelerators: []AcceleratorSpec{
+		{Name: "IDAA1", Slices: 1}, {Name: "IDAA2", Slices: 1},
+	}})
+	admin := c.Session("SYSADM")
+	mustExec := func(sql string) {
+		t.Helper()
+		if _, err := admin.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustExec("CREATE TABLE y (id BIGINT, v DOUBLE) IN ACCELERATOR SHARDS DISTRIBUTE BY HASH(id)")
+	mustExec("CREATE TABLE x (id BIGINT) IN ACCELERATOR IDAA1")
+
+	const batch = 20
+	const rounds = 40
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		reader := c.Session("SYSADM")
+		for {
+			select {
+			case <-stop:
+				done <- nil
+				return
+			default:
+			}
+			res, err := reader.Query("SELECT COUNT(*) FROM y")
+			if err != nil {
+				done <- err
+				return
+			}
+			if n := res.Rows[0][0].Int; n%batch != 0 {
+				done <- fmt.Errorf("reader saw %d rows: commit partially visible across shards", n)
+				return
+			}
+		}
+	}()
+
+	for round := 0; round < rounds; round++ {
+		if err := admin.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		stmt := "INSERT INTO y VALUES "
+		for i := 0; i < batch; i++ {
+			if i > 0 {
+				stmt += ", "
+			}
+			stmt += fmt.Sprintf("(%d, 1)", round*batch+i)
+		}
+		mustExec(stmt)
+		mustExec(fmt.Sprintf("INSERT INTO x VALUES (%d)", round))
+		if err := admin.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -141,6 +141,12 @@ func Filter(rel *Relation, where sqlparse.Expr, opts Options) (*Relation, error)
 	return out, nil
 }
 
+// NeedsAggregation reports whether the SELECT takes the grouped-aggregation
+// path (GROUP BY, aggregate functions in the select list, or HAVING). The
+// shard scatter-gather executor uses it to pick between plain row merging and
+// two-phase partial aggregation.
+func NeedsAggregation(sel *sqlparse.SelectStmt) bool { return needsAggregation(sel) }
+
 func needsAggregation(sel *sqlparse.SelectStmt) bool {
 	if len(sel.GroupBy) > 0 {
 		return true

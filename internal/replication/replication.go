@@ -21,7 +21,7 @@ import (
 // AcceleratorProvider resolves accelerator names (implemented by the
 // federation coordinator).
 type AcceleratorProvider interface {
-	Accelerator(name string) (*accel.Accelerator, error)
+	Accelerator(name string) (accel.Backend, error)
 }
 
 // TableState tracks replication progress for one accelerated table.
@@ -176,12 +176,9 @@ func (r *Replicator) FullLoad(table string) (int, error) {
 	latestSeq := r.engine.Changes.LatestSeq()
 
 	// Replace the shadow contents under an internal accelerator transaction.
-	txnID := acc.NextInternalTxn()
-	if _, err := acc.Truncate(txnID, table); err != nil {
-		acc.AbortTxn(txnID)
+	if _, err := acc.TruncateReplicated(table); err != nil {
 		return 0, err
 	}
-	acc.CommitTxn(txnID)
 	n, err := acc.InsertReplicated(table, rows, srcIDs)
 	if err != nil {
 		return n, err
@@ -273,12 +270,9 @@ func (r *Replicator) ApplyPending(table string) (int, error) {
 				return count, err
 			}
 		case db2.ChangeTruncate:
-			txnID := acc.NextInternalTxn()
-			if _, err := acc.Truncate(txnID, table); err != nil {
-				acc.AbortTxn(txnID)
+			if _, err := acc.TruncateReplicated(table); err != nil {
 				return count, err
 			}
-			acc.CommitTxn(txnID)
 		}
 		count++
 		lastSeq = ch.Seq

@@ -1,0 +1,112 @@
+// Package shard turns a fleet of accelerators into one logical backend: a
+// Partitioner decides which shard owns a row, a Router implements the
+// accel.Backend surface by fanning DDL/DML out to the shard set, and a
+// scatter-gather executor runs SELECT statements across all shards in
+// parallel, merging results at the coordinator — including two-phase partial
+// aggregation and shard pruning when an equality predicate covers the
+// distribution key.
+package shard
+
+import (
+	"sync/atomic"
+
+	"idaax/internal/types"
+)
+
+// Partitioner maps a row to the ordinal of the shard that owns it.
+type Partitioner interface {
+	// Kind names the placement strategy ("HASH" or "ROUND-ROBIN").
+	Kind() string
+	// Place returns the owning shard ordinal in [0, shards).
+	Place(row types.Row) int
+	// PlaceKey returns the owning shard for a distribution-key value, or
+	// ok=false when the strategy has no key (round robin), in which case no
+	// shard pruning is possible.
+	PlaceKey(v types.Value) (int, bool)
+}
+
+// HashPartitioner places rows by hashing the distribution-key column, the
+// strategy behind CREATE TABLE ... DISTRIBUTE BY HASH(col). Equal keys always
+// land on the same shard, which is what enables shard pruning and co-located
+// replication applies.
+type HashPartitioner struct {
+	keyIdx  int
+	keyKind types.Kind
+	shards  int
+}
+
+// NewHashPartitioner creates a hash partitioner over the key column at keyIdx.
+func NewHashPartitioner(keyIdx int, keyKind types.Kind, shards int) *HashPartitioner {
+	return &HashPartitioner{keyIdx: keyIdx, keyKind: keyKind, shards: shards}
+}
+
+// Kind implements Partitioner.
+func (p *HashPartitioner) Kind() string { return "HASH" }
+
+// Place implements Partitioner.
+func (p *HashPartitioner) Place(row types.Row) int {
+	if p.keyIdx < 0 || p.keyIdx >= len(row) {
+		return 0
+	}
+	shard, _ := p.PlaceKey(row[p.keyIdx])
+	return shard
+}
+
+// PlaceKey implements Partitioner. The value is coerced to the key column's
+// kind first so that a literal in a predicate (e.g. an integer compared
+// against a DOUBLE key) hashes identically to the stored value.
+func (p *HashPartitioner) PlaceKey(v types.Value) (int, bool) {
+	if v.IsNull() {
+		// All NULL keys co-locate on shard 0 (like the single-node columnar
+		// engine, NULL is a regular, groupable key value).
+		return 0, true
+	}
+	if cv, err := v.Cast(p.keyKind); err == nil {
+		v = cv
+	}
+	return int(v.Hash() % uint64(p.shards)), true
+}
+
+// RoundRobinPartitioner spreads rows evenly regardless of content
+// (DISTRIBUTE BY RANDOM). It offers no pruning, but perfectly balanced load.
+type RoundRobinPartitioner struct {
+	shards int
+	next   uint64
+}
+
+// NewRoundRobinPartitioner creates a round-robin partitioner.
+func NewRoundRobinPartitioner(shards int) *RoundRobinPartitioner {
+	return &RoundRobinPartitioner{shards: shards}
+}
+
+// Kind implements Partitioner.
+func (p *RoundRobinPartitioner) Kind() string { return "ROUND-ROBIN" }
+
+// Place implements Partitioner.
+func (p *RoundRobinPartitioner) Place(types.Row) int {
+	return int((atomic.AddUint64(&p.next, 1) - 1) % uint64(p.shards))
+}
+
+// PlaceKey implements Partitioner; round robin has no distribution key.
+func (p *RoundRobinPartitioner) PlaceKey(types.Value) (int, bool) { return 0, false }
+
+// partitionRows splits rows (and their optional source ids) into one batch per
+// shard, preserving relative order within each batch.
+func partitionRows(p Partitioner, shards int, rows []types.Row, srcIDs []int64) ([][]types.Row, [][]int64) {
+	outRows := make([][]types.Row, shards)
+	var outSrc [][]int64
+	if srcIDs != nil {
+		outSrc = make([][]int64, shards)
+	}
+	for i, row := range rows {
+		s := p.Place(row)
+		if s < 0 || s >= shards {
+			s = 0
+		}
+		outRows[s] = append(outRows[s], row)
+		if srcIDs != nil {
+			outSrc[s] = append(outSrc[s], srcIDs[i])
+		}
+	}
+	return outRows, outSrc
+}

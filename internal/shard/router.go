@@ -1,0 +1,470 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"idaax/internal/accel"
+	"idaax/internal/sqlparse"
+	"idaax/internal/types"
+)
+
+// tableMeta is the router-side description of a sharded table.
+type tableMeta struct {
+	schema  types.Schema
+	distKey string
+	keyIdx  int // index of the distribution key column, -1 for round robin
+	part    Partitioner
+}
+
+// Stats counts router-level routing decisions; the per-shard scan counters
+// live on the member accelerators and are aggregated by Router.Stats.
+type Stats struct {
+	// QueriesRouted counts SELECTs executed through the router.
+	QueriesRouted int64
+	// QueriesPruned counts SELECTs answered by a single shard because an
+	// equality predicate covered the distribution key.
+	QueriesPruned int64
+	// TwoPhaseAggregates counts SELECTs executed as partial aggregation on the
+	// shards with finalization at the coordinator.
+	TwoPhaseAggregates int64
+	// RowsGathered counts base-table rows shipped from shards to the
+	// coordinator by scatter-gather queries.
+	RowsGathered int64
+}
+
+// Router spreads tables over a fleet of accelerators and implements
+// accel.Backend, so the federation layer, the AOT manager and replication can
+// treat the fleet exactly like one big accelerator.
+type Router struct {
+	name    string
+	members []*accel.Accelerator
+
+	mu     sync.RWMutex
+	tables map[string]*tableMeta
+
+	// commitMu fences transaction visibility changes against snapshot
+	// acquisition: CommitTxn/AbortTxn hold it exclusively while flipping every
+	// member, queries hold it shared while collecting one snapshot per member.
+	// A transaction committing across the fleet is therefore visible on every
+	// shard of a statement's snapshot set or on none — the cross-shard
+	// equivalent of the single accelerator's atomic registry commit.
+	commitMu sync.RWMutex
+
+	stats Stats
+}
+
+// NewRouter creates a router over the given member accelerators. At least one
+// member is required; two or more make sharding meaningful.
+func NewRouter(name string, members []*accel.Accelerator) (*Router, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("shard: router %s needs at least one member accelerator", types.NormalizeName(name))
+	}
+	return &Router{
+		name:    types.NormalizeName(name),
+		members: append([]*accel.Accelerator(nil), members...),
+		tables:  make(map[string]*tableMeta),
+	}, nil
+}
+
+// Name returns the router's pairing name.
+func (r *Router) Name() string { return r.name }
+
+// Members returns the member accelerators in shard order.
+func (r *Router) Members() []*accel.Accelerator {
+	return append([]*accel.Accelerator(nil), r.members...)
+}
+
+// Slices returns the fleet's total scan parallelism.
+func (r *Router) Slices() int {
+	total := 0
+	for _, m := range r.members {
+		total += m.Slices()
+	}
+	return total
+}
+
+// Stats aggregates the activity counters of every shard. Tables is the number
+// of sharded tables (each is present on every member), slices the fleet total.
+func (r *Router) Stats() accel.Stats {
+	r.mu.RLock()
+	tables := len(r.tables)
+	r.mu.RUnlock()
+	var out accel.Stats
+	for _, m := range r.members {
+		st := m.Stats()
+		out.QueriesRun += st.QueriesRun
+		out.RowsScanned += st.RowsScanned
+		out.BlocksPruned += st.BlocksPruned
+		out.RowsIngested += st.RowsIngested
+		out.RowsReturned += st.RowsReturned
+		out.DMLStatements += st.DMLStatements
+		out.Slices += st.Slices
+	}
+	out.Tables = tables
+	return out
+}
+
+// MemberStats returns each shard's own activity counters, in shard order.
+func (r *Router) MemberStats() []accel.Stats {
+	out := make([]accel.Stats, len(r.members))
+	for i, m := range r.members {
+		out[i] = m.Stats()
+	}
+	return out
+}
+
+// ShardingStats returns the router-level routing counters.
+func (r *Router) ShardingStats() Stats {
+	return Stats{
+		QueriesRouted:      atomic.LoadInt64(&r.stats.QueriesRouted),
+		QueriesPruned:      atomic.LoadInt64(&r.stats.QueriesPruned),
+		TwoPhaseAggregates: atomic.LoadInt64(&r.stats.TwoPhaseAggregates),
+		RowsGathered:       atomic.LoadInt64(&r.stats.RowsGathered),
+	}
+}
+
+func (r *Router) meta(table string) (*tableMeta, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.tables[types.NormalizeName(table)]
+	if !ok {
+		return nil, fmt.Errorf("shard: table %s is not sharded on %s", types.NormalizeName(table), r.name)
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+// CreateTable creates the table on every shard. A non-empty distKey selects
+// hash distribution on that column; an empty one selects round robin.
+func (r *Router) CreateTable(name string, schema types.Schema, distKey string) error {
+	name = types.NormalizeName(name)
+	distKey = types.NormalizeName(distKey)
+	keyIdx := -1
+	var part Partitioner
+	if distKey != "" {
+		keyIdx = schema.IndexOf(distKey)
+		if keyIdx < 0 {
+			return fmt.Errorf("shard: distribution key %s is not a column of %s", distKey, name)
+		}
+		part = NewHashPartitioner(keyIdx, schema.Columns[keyIdx].Kind, len(r.members))
+	} else {
+		part = NewRoundRobinPartitioner(len(r.members))
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.tables[name]; ok {
+		return fmt.Errorf("shard: table %s already exists on %s", name, r.name)
+	}
+	for i, m := range r.members {
+		if err := m.CreateTable(name, schema, distKey); err != nil {
+			// Undo the members that already created the table so the fleet
+			// stays consistent.
+			for _, prev := range r.members[:i] {
+				_ = prev.DropTable(name)
+			}
+			return err
+		}
+	}
+	r.tables[name] = &tableMeta{schema: schema, distKey: distKey, keyIdx: keyIdx, part: part}
+	return nil
+}
+
+// DropTable removes the table from every shard.
+func (r *Router) DropTable(name string) error {
+	name = types.NormalizeName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.tables[name]; !ok {
+		return fmt.Errorf("shard: table %s is not sharded on %s", name, r.name)
+	}
+	var firstErr error
+	for _, m := range r.members {
+		if err := m.DropTable(name); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	delete(r.tables, name)
+	return firstErr
+}
+
+// HasTable reports whether the table is sharded on this router.
+func (r *Router) HasTable(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.tables[types.NormalizeName(name)]
+	return ok
+}
+
+// TableNames returns the sharded table names, sorted.
+func (r *Router) TableNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.tables))
+	for name := range r.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Transaction coordination: every shard participates in the DB2 handshake.
+// ---------------------------------------------------------------------------
+
+// Prepare runs phase one of the commit handshake on every shard.
+func (r *Router) Prepare(txnID int64) error {
+	for _, m := range r.members {
+		if err := m.Prepare(txnID); err != nil {
+			return fmt.Errorf("shard %s: %w", m.Name(), err)
+		}
+	}
+	return nil
+}
+
+// CommitTxn commits the DB2 transaction on every shard, atomically with
+// respect to snapshot sets taken by concurrent queries.
+func (r *Router) CommitTxn(txnID int64) {
+	r.commitMu.Lock()
+	defer r.commitMu.Unlock()
+	for _, m := range r.members {
+		m.CommitTxn(txnID)
+	}
+}
+
+// AbortTxn aborts the DB2 transaction on every shard.
+func (r *Router) AbortTxn(txnID int64) {
+	r.commitMu.Lock()
+	defer r.commitMu.Unlock()
+	for _, m := range r.members {
+		m.AbortTxn(txnID)
+	}
+}
+
+// snapshotAll takes one snapshot per member under the commit fence, giving a
+// statement a consistent cross-shard view.
+func (r *Router) snapshotAll(txnID int64) []*accel.Snapshot {
+	r.commitMu.RLock()
+	defer r.commitMu.RUnlock()
+	snaps := make([]*accel.Snapshot, len(r.members))
+	for i, m := range r.members {
+		snaps[i] = m.Registry.Snapshot(txnID)
+	}
+	return snaps
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+// Insert partitions the rows by the table's distribution strategy and inserts
+// each batch on its owning shard.
+func (r *Router) Insert(txnID int64, table string, rows []types.Row) (int, error) {
+	meta, err := r.meta(table)
+	if err != nil {
+		return 0, err
+	}
+	batches, _ := partitionRows(meta.part, len(r.members), rows, nil)
+	total := 0
+	for i, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		n, err := r.members[i].Insert(txnID, table, batch)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Update broadcasts the update to every shard; only shards owning matching
+// rows change anything. Assigning to the hash distribution key is rejected —
+// the row would have to migrate between shards mid-transaction and key-based
+// shard pruning would silently miss it afterwards; the real MPP products
+// restrict distribution-key updates the same way.
+func (r *Router) Update(txnID int64, table string, assignments []sqlparse.Assignment, where sqlparse.Expr) (int, error) {
+	meta, err := r.meta(table)
+	if err != nil {
+		return 0, err
+	}
+	if meta.keyIdx >= 0 {
+		for _, as := range assignments {
+			if types.NormalizeName(as.Column) == meta.distKey {
+				return 0, fmt.Errorf("shard: cannot UPDATE distribution key %s of %s (delete and re-insert, or re-load to redistribute)", meta.distKey, types.NormalizeName(table))
+			}
+		}
+	}
+	total := 0
+	for _, m := range r.members {
+		n, err := m.Update(txnID, table, assignments, where)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Delete broadcasts the delete to every shard.
+func (r *Router) Delete(txnID int64, table string, where sqlparse.Expr) (int, error) {
+	if _, err := r.meta(table); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, m := range r.members {
+		n, err := m.Delete(txnID, table, where)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Truncate truncates the table on every shard.
+func (r *Router) Truncate(txnID int64, table string) (int, error) {
+	if _, err := r.meta(table); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, m := range r.members {
+		n, err := m.Truncate(txnID, table)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// RowCount sums the visible row counts of every shard under one fenced
+// snapshot set, so a concurrently committing transaction is counted on all
+// shards or on none.
+func (r *Router) RowCount(txnID int64, table string) (int, error) {
+	if _, err := r.meta(table); err != nil {
+		return 0, err
+	}
+	snaps := r.snapshotAll(txnID)
+	total := 0
+	for i, m := range r.members {
+		t, err := m.Table(table)
+		if err != nil {
+			return total, err
+		}
+		total += t.VisibleRowCount(snaps[i].Visible)
+	}
+	return total, nil
+}
+
+// ---------------------------------------------------------------------------
+// Replication fan-out: CDC batches land on the owning shard.
+// ---------------------------------------------------------------------------
+
+// InsertReplicated partitions replicated rows (with their DB2 source row ids)
+// and applies each batch on its owning shard, so every DB2 row is mirrored by
+// exactly one shard. Each per-shard sub-batch commits independently, so a
+// concurrent query may observe a CDC batch partially applied across shards —
+// the usual replication-lag relaxation, one record-batch wide; transactional
+// DML visibility is fenced in CommitTxn and is never partial.
+func (r *Router) InsertReplicated(table string, rows []types.Row, srcIDs []int64) (int, error) {
+	meta, err := r.meta(table)
+	if err != nil {
+		return 0, err
+	}
+	batches, srcBatches := partitionRows(meta.part, len(r.members), rows, srcIDs)
+	total := 0
+	for i, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		var src []int64
+		if srcBatches != nil {
+			src = srcBatches[i]
+		}
+		n, err := r.members[i].InsertReplicated(table, batch, src)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ApplyReplicatedDelete removes the shadow row wherever it lives.
+func (r *Router) ApplyReplicatedDelete(table string, srcID int64) (bool, error) {
+	if _, err := r.meta(table); err != nil {
+		return false, err
+	}
+	for _, m := range r.members {
+		ok, err := m.ApplyReplicatedDelete(table, srcID)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// ApplyReplicatedUpdate applies an update captured in DB2 to the shard that
+// should own the new row image. When a hash-distributed key changes, the row
+// migrates: the stale image is deleted from its old shard and the new image is
+// inserted on the owner, so each DB2 row keeps exactly one shadow copy.
+func (r *Router) ApplyReplicatedUpdate(table string, srcID int64, row types.Row) error {
+	meta, err := r.meta(table)
+	if err != nil {
+		return err
+	}
+	if meta.keyIdx < 0 {
+		// Round robin: update in place wherever the row lives; unseen rows are
+		// placed like a fresh insert.
+		for _, m := range r.members {
+			if m.HasReplicatedSource(table, srcID) {
+				return m.ApplyReplicatedUpdate(table, srcID, row)
+			}
+		}
+		_, err := r.InsertReplicated(table, []types.Row{row}, []int64{srcID})
+		return err
+	}
+	owner := r.members[meta.part.Place(row)]
+	if owner.HasReplicatedSource(table, srcID) {
+		return owner.ApplyReplicatedUpdate(table, srcID, row)
+	}
+	for _, m := range r.members {
+		if m == owner {
+			continue
+		}
+		if _, err := m.ApplyReplicatedDelete(table, srcID); err != nil {
+			return err
+		}
+	}
+	_, err = owner.InsertReplicated(table, []types.Row{row}, []int64{srcID})
+	return err
+}
+
+// TruncateReplicated truncates the shadow table on every shard.
+func (r *Router) TruncateReplicated(table string) (int, error) {
+	if _, err := r.meta(table); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, m := range r.members {
+		n, err := m.TruncateReplicated(table)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+var _ accel.Backend = (*Router)(nil)

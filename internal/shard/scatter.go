@@ -1,0 +1,222 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"idaax/internal/accel"
+	"idaax/internal/relalg"
+	"idaax/internal/sqlparse"
+	"idaax/internal/types"
+)
+
+// Query executes a SELECT across the shard fleet. Three plans exist, picked in
+// this order:
+//
+//  1. Shard pruning: when the query reads one hash-distributed table and an
+//     equality conjunct of the WHERE clause covers the distribution key, only
+//     the owning shard can hold matching rows — the whole statement runs there.
+//  2. Two-phase aggregation: grouped/aggregate queries over one table are
+//     rewritten so every shard computes partial aggregates (COUNT/SUM/MIN/MAX
+//     and AVG split into SUM+COUNT) over its slice of the data and the
+//     coordinator finalises the partials, applying HAVING/ORDER BY/LIMIT on
+//     the merged groups. Only group rows travel, not base rows.
+//  3. Scatter-gather: base rows of every referenced table are gathered from
+//     all shards in parallel (simple WHERE conjuncts pushed into each shard's
+//     columnar scans) and the full statement — joins included — executes on
+//     the union at the coordinator.
+//
+// All plans return results identical to running the same statement on a
+// single accelerator holding all rows.
+func (r *Router) Query(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
+	atomic.AddInt64(&r.stats.QueriesRouted, 1)
+	if len(sel.From) == 1 && sel.From[0].Subquery == nil {
+		item := sel.From[0]
+		if meta, err := r.meta(item.Table); err == nil {
+			if shard, ok := r.pruneTarget(meta, item, sel.Where); ok {
+				atomic.AddInt64(&r.stats.QueriesPruned, 1)
+				return r.members[shard].Query(txnID, sel)
+			}
+			if relalg.NeedsAggregation(sel) {
+				if plan, ok := planTwoPhase(sel); ok {
+					atomic.AddInt64(&r.stats.TwoPhaseAggregates, 1)
+					return r.executeTwoPhase(txnID, plan)
+				}
+			}
+		}
+	}
+	return r.executeGather(txnID, sel)
+}
+
+// pruneTarget inspects the WHERE clause for a "distKey = literal" conjunct on
+// the given FROM item and returns the single shard that can hold matching
+// rows. Any such conjunct restricts every result row to one key value, so the
+// whole query — including aggregation and ordering — is answerable by the
+// owning shard alone.
+func (r *Router) pruneTarget(meta *tableMeta, item sqlparse.FromItem, where sqlparse.Expr) (int, bool) {
+	if meta.keyIdx < 0 || where == nil {
+		return 0, false
+	}
+	for _, conjunct := range andConjuncts(where, nil) {
+		b, ok := conjunct.(*sqlparse.BinaryExpr)
+		if !ok || b.Op != sqlparse.OpEq {
+			continue
+		}
+		ref, lit := equalityOperands(b)
+		if ref == nil || lit == nil || lit.Val.IsNull() {
+			continue
+		}
+		if types.NormalizeName(ref.Name) != meta.distKey {
+			continue
+		}
+		if ref.Table != "" && !strings.EqualFold(ref.Table, item.Name()) {
+			continue
+		}
+		if shard, ok := meta.part.PlaceKey(lit.Val); ok {
+			return shard, true
+		}
+	}
+	return 0, false
+}
+
+// equalityOperands extracts (column, literal) from col = lit or lit = col.
+func equalityOperands(b *sqlparse.BinaryExpr) (*sqlparse.ColumnRef, *sqlparse.Literal) {
+	if ref, ok := b.Left.(*sqlparse.ColumnRef); ok {
+		if lit, ok := b.Right.(*sqlparse.Literal); ok {
+			return ref, lit
+		}
+	}
+	if ref, ok := b.Right.(*sqlparse.ColumnRef); ok {
+		if lit, ok := b.Left.(*sqlparse.Literal); ok {
+			return ref, lit
+		}
+	}
+	return nil, nil
+}
+
+// executeGather runs the general plan: every referenced sharded table is
+// gathered from all shards in parallel, subqueries recurse through the
+// router, and the complete statement executes over the union — the same
+// structure as Accelerator.Query, with the fleet standing in for the slices.
+func (r *Router) executeGather(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
+	// One snapshot per member for the whole statement, taken under the commit
+	// fence, so the scans of a multi-table join observe each shard at a
+	// single, mutually consistent point in time.
+	snaps := r.snapshotAll(txnID)
+	for _, item := range sel.From {
+		if item.Subquery == nil {
+			// The statement gathers base rows from every shard; count it once
+			// per member so QueriesRun is comparable across routing plans
+			// (pruned: one shard; two-phase and gather: all shards).
+			for _, m := range r.members {
+				m.NoteQuery()
+			}
+			break
+		}
+	}
+	from, err := r.buildFrom(txnID, snaps, sel)
+	if err != nil {
+		return nil, err
+	}
+	return relalg.ExecuteSelect(from, sel, relalg.Options{Parallelism: r.Slices()})
+}
+
+func (r *Router) buildFrom(txnID int64, snaps []*accel.Snapshot, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
+	if len(sel.From) == 0 {
+		return relalg.JoinAll(nil, nil, r.Slices())
+	}
+	rels := make([]*relalg.Relation, len(sel.From))
+	for i, item := range sel.From {
+		if item.Subquery != nil {
+			sub, err := r.Query(txnID, item.Subquery)
+			if err != nil {
+				return nil, err
+			}
+			rels[i] = relalg.Requalify(sub, item.Name())
+			continue
+		}
+		meta, err := r.meta(item.Table)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := r.gatherRows(snaps, item, sel)
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = relalg.FromTable(item.Name(), meta.schema, rows)
+	}
+	return relalg.JoinAll(rels, sel.From, r.Slices())
+}
+
+// gatherRows scans one table on every shard concurrently and concatenates the
+// results in shard order. Simple WHERE conjuncts are pushed into each shard's
+// scan so zone maps prune on the shards, not at the coordinator.
+func (r *Router) gatherRows(snaps []*accel.Snapshot, item sqlparse.FromItem, sel *sqlparse.SelectStmt) ([]types.Row, error) {
+	results := make([][]types.Row, len(r.members))
+	errs := make([]error, len(r.members))
+	var wg sync.WaitGroup
+	for i, m := range r.members {
+		wg.Add(1)
+		go func(i int, m *accel.Accelerator) {
+			defer wg.Done()
+			results[i], errs[i] = m.ScanVisible(snaps[i], item.Table, sel, item)
+		}(i, m)
+	}
+	wg.Wait()
+	total := 0
+	for i := range r.members {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("shard %s: %w", r.members[i].Name(), errs[i])
+		}
+		total += len(results[i])
+	}
+	out := make([]types.Row, 0, total)
+	for _, part := range results {
+		out = append(out, part...)
+	}
+	atomic.AddInt64(&r.stats.RowsGathered, int64(total))
+	return out, nil
+}
+
+// scatterQuery runs the same statement on every shard concurrently — each
+// under its snapshot from the fenced set — and returns the union of the
+// result relations (columns taken from the first shard; every shard produces
+// the identical column layout).
+func (r *Router) scatterQuery(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
+	snaps := r.snapshotAll(txnID)
+	results := make([]*relalg.Relation, len(r.members))
+	errs := make([]error, len(r.members))
+	var wg sync.WaitGroup
+	for i, m := range r.members {
+		wg.Add(1)
+		go func(i int, m *accel.Accelerator) {
+			defer wg.Done()
+			results[i], errs[i] = m.QueryAt(txnID, snaps[i], sel)
+		}(i, m)
+	}
+	wg.Wait()
+	union := &relalg.Relation{}
+	for i := range r.members {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("shard %s: %w", r.members[i].Name(), errs[i])
+		}
+		if union.Cols == nil {
+			union.Cols = results[i].Cols
+		}
+		union.Rows = append(union.Rows, results[i].Rows...)
+	}
+	atomic.AddInt64(&r.stats.RowsGathered, int64(len(union.Rows)))
+	return union, nil
+}
+
+// executeTwoPhase scatters the partial-aggregate statement and finalises the
+// merged partials at the coordinator.
+func (r *Router) executeTwoPhase(txnID int64, plan *twoPhasePlan) (*relalg.Relation, error) {
+	union, err := r.scatterQuery(txnID, plan.shardSel)
+	if err != nil {
+		return nil, err
+	}
+	return relalg.ExecuteSelect(union, plan.finalSel, relalg.Options{Parallelism: r.Slices()})
+}

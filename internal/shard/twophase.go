@@ -1,0 +1,326 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+
+	"idaax/internal/expr"
+	"idaax/internal/sqlparse"
+	"idaax/internal/types"
+)
+
+// twoPhasePlan is a grouped/aggregate SELECT split into the statement each
+// shard runs (grouping keys plus partial aggregates) and the statement the
+// coordinator runs over the union of the shard results (re-grouping on the
+// keys, merging the partials, then HAVING, projection, ORDER BY and LIMIT).
+type twoPhasePlan struct {
+	shardSel *sqlparse.SelectStmt
+	finalSel *sqlparse.SelectStmt
+}
+
+// partialPrefix/groupPrefix name the synthesised shard-output columns. The
+// names only exist between the two phases and can never collide with user
+// columns because identifiers cannot start with an underscore pair here.
+const groupPrefix = "__G"
+const partialPrefix = "__A"
+
+// twoPhaseBuilder rewrites expressions of the original statement into
+// expressions over the shard-output columns.
+type twoPhaseBuilder struct {
+	groupKeys  []string // canonical forms of the GROUP BY expressions
+	shardItems []sqlparse.SelectItem
+	// partials maps the canonical form of an aggregate call to the aliases of
+	// its partial columns (one for COUNT/SUM/MIN/MAX, two for AVG), so the
+	// same aggregate appearing in the select list and in HAVING/ORDER BY is
+	// computed once per shard.
+	partials map[string][]string
+}
+
+// planTwoPhase decides whether the statement can run as two-phase partial
+// aggregation and builds the plan. It declines (returning ok=false) when a
+// select item is *, an aggregate is DISTINCT or STDDEV/VARIANCE, or a column
+// is referenced outside both the GROUP BY expressions and aggregate
+// arguments — those statements fall back to the scatter-gather plan, which
+// handles everything.
+func planTwoPhase(sel *sqlparse.SelectStmt) (*twoPhasePlan, bool) {
+	for _, item := range sel.Items {
+		if item.Star {
+			return nil, false
+		}
+	}
+	b := &twoPhaseBuilder{partials: make(map[string][]string)}
+	finalGroupBy := make([]sqlparse.Expr, len(sel.GroupBy))
+	for i, g := range sel.GroupBy {
+		alias := fmt.Sprintf("%s%d", groupPrefix, i)
+		b.groupKeys = append(b.groupKeys, formatExpr(g))
+		b.shardItems = append(b.shardItems, sqlparse.SelectItem{Expr: g, Alias: alias})
+		finalGroupBy[i] = &sqlparse.ColumnRef{Name: alias}
+	}
+
+	finalItems := make([]sqlparse.SelectItem, len(sel.Items))
+	for i, item := range sel.Items {
+		re, ok := b.rewrite(item.Expr)
+		if !ok {
+			return nil, false
+		}
+		alias := item.Alias
+		if alias == "" {
+			alias = expr.OutputName(item.Expr, i)
+		}
+		finalItems[i] = sqlparse.SelectItem{Expr: re, Alias: alias}
+	}
+
+	having, ok := b.rewrite(sel.Having)
+	if !ok {
+		return nil, false
+	}
+
+	finalOrder := make([]sqlparse.OrderItem, len(sel.OrderBy))
+	for i, o := range sel.OrderBy {
+		re, ok := b.rewriteOrderExpr(o.Expr, finalItems)
+		if !ok {
+			return nil, false
+		}
+		finalOrder[i] = sqlparse.OrderItem{Expr: re, Desc: o.Desc}
+	}
+
+	shardSel := &sqlparse.SelectStmt{
+		Items:   b.shardItems,
+		From:    sel.From,
+		Where:   sel.Where,
+		GroupBy: sel.GroupBy,
+		Limit:   -1,
+	}
+	finalSel := &sqlparse.SelectStmt{
+		Distinct: sel.Distinct,
+		Items:    finalItems,
+		GroupBy:  finalGroupBy,
+		Having:   having,
+		OrderBy:  finalOrder,
+		Limit:    sel.Limit,
+		Offset:   sel.Offset,
+	}
+	return &twoPhasePlan{shardSel: shardSel, finalSel: finalSel}, true
+}
+
+// rewrite maps an expression of the original statement onto the shard-output
+// columns: occurrences of GROUP BY expressions become references to the
+// grouping columns, aggregate calls become merge aggregates over the partial
+// columns, and scalar structure is rebuilt around the rewritten children. A
+// bare column reference that is neither a grouping expression nor inside an
+// aggregate argument makes the rewrite fail.
+func (b *twoPhaseBuilder) rewrite(e sqlparse.Expr) (sqlparse.Expr, bool) {
+	if e == nil {
+		return nil, true
+	}
+	key := formatExpr(e)
+	for i, gk := range b.groupKeys {
+		if key == gk {
+			return &sqlparse.ColumnRef{Name: fmt.Sprintf("%s%d", groupPrefix, i)}, true
+		}
+	}
+	if fc, ok := e.(*sqlparse.FuncCall); ok && fc.IsAggregate() {
+		return b.rewriteAggregate(fc, key)
+	}
+	switch n := e.(type) {
+	case *sqlparse.Literal:
+		return n, true
+	case *sqlparse.ColumnRef:
+		// References the representative row of a group — semantics a sharded
+		// execution cannot reproduce deterministically; decline.
+		return nil, false
+	case *sqlparse.BinaryExpr:
+		l, ok := b.rewrite(n.Left)
+		if !ok {
+			return nil, false
+		}
+		rr, ok := b.rewrite(n.Right)
+		if !ok {
+			return nil, false
+		}
+		return &sqlparse.BinaryExpr{Op: n.Op, Left: l, Right: rr}, true
+	case *sqlparse.UnaryExpr:
+		op, ok := b.rewrite(n.Operand)
+		if !ok {
+			return nil, false
+		}
+		return &sqlparse.UnaryExpr{Op: n.Op, Operand: op}, true
+	case *sqlparse.FuncCall:
+		args := make([]sqlparse.Expr, len(n.Args))
+		for i, a := range n.Args {
+			ra, ok := b.rewrite(a)
+			if !ok {
+				return nil, false
+			}
+			args[i] = ra
+		}
+		return &sqlparse.FuncCall{Name: n.Name, Args: args, Star: n.Star, Distinct: n.Distinct}, true
+	case *sqlparse.CaseExpr:
+		operand, ok := b.rewrite(n.Operand)
+		if !ok {
+			return nil, false
+		}
+		whens := make([]sqlparse.WhenClause, len(n.Whens))
+		for i, w := range n.Whens {
+			c, ok := b.rewrite(w.Cond)
+			if !ok {
+				return nil, false
+			}
+			res, ok := b.rewrite(w.Result)
+			if !ok {
+				return nil, false
+			}
+			whens[i] = sqlparse.WhenClause{Cond: c, Result: res}
+		}
+		els, ok := b.rewrite(n.Else)
+		if !ok {
+			return nil, false
+		}
+		return &sqlparse.CaseExpr{Operand: operand, Whens: whens, Else: els}, true
+	case *sqlparse.IsNullExpr:
+		op, ok := b.rewrite(n.Operand)
+		if !ok {
+			return nil, false
+		}
+		return &sqlparse.IsNullExpr{Operand: op, Negate: n.Negate}, true
+	case *sqlparse.InExpr:
+		op, ok := b.rewrite(n.Operand)
+		if !ok {
+			return nil, false
+		}
+		list := make([]sqlparse.Expr, len(n.List))
+		for i, v := range n.List {
+			rv, ok := b.rewrite(v)
+			if !ok {
+				return nil, false
+			}
+			list[i] = rv
+		}
+		return &sqlparse.InExpr{Operand: op, List: list, Negate: n.Negate}, true
+	case *sqlparse.BetweenExpr:
+		op, ok := b.rewrite(n.Operand)
+		if !ok {
+			return nil, false
+		}
+		lo, ok := b.rewrite(n.Low)
+		if !ok {
+			return nil, false
+		}
+		hi, ok := b.rewrite(n.High)
+		if !ok {
+			return nil, false
+		}
+		return &sqlparse.BetweenExpr{Operand: op, Low: lo, High: hi, Negate: n.Negate}, true
+	case *sqlparse.LikeExpr:
+		op, ok := b.rewrite(n.Operand)
+		if !ok {
+			return nil, false
+		}
+		pat, ok := b.rewrite(n.Pattern)
+		if !ok {
+			return nil, false
+		}
+		return &sqlparse.LikeExpr{Operand: op, Pattern: pat, Negate: n.Negate}, true
+	case *sqlparse.CastExpr:
+		op, ok := b.rewrite(n.Operand)
+		if !ok {
+			return nil, false
+		}
+		return &sqlparse.CastExpr{Operand: op, To: n.To}, true
+	default:
+		return nil, false
+	}
+}
+
+// rewriteAggregate turns one aggregate call into its merge form:
+//
+//	COUNT(x)/COUNT(*) -> SUM(partial counts)   (SUM of ints stays integral)
+//	SUM(x)            -> SUM(partial sums)
+//	MIN(x)/MAX(x)     -> MIN/MAX of partial extremes
+//	AVG(x)            -> CAST(SUM(partial sums) AS DOUBLE) / SUM(partial counts)
+//
+// The AVG division yields NULL for all-NULL groups because SUM of the NULL
+// partial sums is NULL, matching single-node AVG semantics; the CAST keeps the
+// result DOUBLE like the single-node accumulator.
+func (b *twoPhaseBuilder) rewriteAggregate(fc *sqlparse.FuncCall, key string) (sqlparse.Expr, bool) {
+	if fc.Distinct {
+		return nil, false
+	}
+	name := strings.ToUpper(fc.Name)
+	switch name {
+	case "COUNT", "SUM", "MIN", "MAX":
+		aliases, ok := b.partials[key]
+		if !ok {
+			alias := fmt.Sprintf("%s%d", partialPrefix, len(b.shardItems))
+			b.shardItems = append(b.shardItems, sqlparse.SelectItem{Expr: copyAggregate(fc), Alias: alias})
+			aliases = []string{alias}
+			b.partials[key] = aliases
+		}
+		merge := "SUM"
+		if name == "MIN" || name == "MAX" {
+			merge = name
+		}
+		return &sqlparse.FuncCall{Name: merge, Args: []sqlparse.Expr{&sqlparse.ColumnRef{Name: aliases[0]}}}, true
+	case "AVG":
+		aliases, ok := b.partials[key]
+		if !ok {
+			sumAlias := fmt.Sprintf("%s%dS", partialPrefix, len(b.shardItems))
+			b.shardItems = append(b.shardItems, sqlparse.SelectItem{
+				Expr:  &sqlparse.FuncCall{Name: "SUM", Args: append([]sqlparse.Expr(nil), fc.Args...)},
+				Alias: sumAlias,
+			})
+			cntAlias := fmt.Sprintf("%s%dC", partialPrefix, len(b.shardItems))
+			b.shardItems = append(b.shardItems, sqlparse.SelectItem{
+				Expr:  &sqlparse.FuncCall{Name: "COUNT", Args: append([]sqlparse.Expr(nil), fc.Args...)},
+				Alias: cntAlias,
+			})
+			aliases = []string{sumAlias, cntAlias}
+			b.partials[key] = aliases
+		}
+		return &sqlparse.BinaryExpr{
+			Op: sqlparse.OpDiv,
+			Left: &sqlparse.CastExpr{
+				Operand: &sqlparse.FuncCall{Name: "SUM", Args: []sqlparse.Expr{&sqlparse.ColumnRef{Name: aliases[0]}}},
+				To:      types.KindFloat,
+			},
+			Right: &sqlparse.FuncCall{Name: "SUM", Args: []sqlparse.Expr{&sqlparse.ColumnRef{Name: aliases[1]}}},
+		}, true
+	default:
+		// STDDEV/VARIANCE need sum-of-squares partials; the scatter-gather
+		// fallback computes them exactly instead.
+		return nil, false
+	}
+}
+
+// rewriteOrderExpr rewrites an ORDER BY expression. Besides the regular
+// rewrite it admits two forms the final ExecuteSelect resolves against the
+// projected output: ordinal positions (ORDER BY 2) and bare references to a
+// select-item alias.
+func (b *twoPhaseBuilder) rewriteOrderExpr(e sqlparse.Expr, finalItems []sqlparse.SelectItem) (sqlparse.Expr, bool) {
+	if lit, ok := e.(*sqlparse.Literal); ok && lit.Val.Kind == types.KindInt {
+		return e, true
+	}
+	if re, ok := b.rewrite(e); ok {
+		return re, true
+	}
+	if ref, ok := e.(*sqlparse.ColumnRef); ok && ref.Table == "" {
+		name := types.NormalizeName(ref.Name)
+		for _, item := range finalItems {
+			if types.NormalizeName(item.Alias) == name {
+				return e, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// copyAggregate clones an aggregate call node so the shard statement owns a
+// distinct pointer (the aggregation executor identifies calls by identity).
+func copyAggregate(fc *sqlparse.FuncCall) *sqlparse.FuncCall {
+	return &sqlparse.FuncCall{
+		Name:     fc.Name,
+		Args:     append([]sqlparse.Expr(nil), fc.Args...),
+		Star:     fc.Star,
+		Distinct: fc.Distinct,
+	}
+}

@@ -25,12 +25,17 @@ type ColumnDef struct {
 
 // CreateTableStmt represents CREATE TABLE, including the paper's
 // "IN ACCELERATOR <name>" clause that creates an accelerator-only table.
+//
+// DistributeBy carries the distribution key of DISTRIBUTE BY HASH(col) (or
+// the legacy spellings DISTRIBUTE BY (col) / DISTRIBUTE BY col); it is empty
+// for DISTRIBUTE BY RANDOM and when the clause is absent, both of which place
+// rows round robin.
 type CreateTableStmt struct {
 	Table         string
 	IfNotExists   bool
 	Columns       []ColumnDef
 	InAccelerator string // accelerator name; empty for a regular DB2 table
-	DistributeBy  string // optional DISTRIBUTE BY (col) for accelerator tables
+	DistributeBy  string // distribution key column; empty = round robin
 	AsSelect      *SelectStmt
 }
 

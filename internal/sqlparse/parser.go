@@ -115,6 +115,24 @@ func (p *parser) expectSymbol(sym string) error {
 	return nil
 }
 
+// peekIdent reports whether the next token is the given identifier without
+// consuming it.
+func (p *parser) peekIdent(text string) bool {
+	t := p.peek()
+	return t.Type == tokIdent && strings.EqualFold(t.Text, text)
+}
+
+// peekAheadSymbol reports whether the token after the next one is the given
+// symbol. It lets the CREATE TABLE grammar distinguish DISTRIBUTE BY HASH(col)
+// from a distribution column that happens to be named HASH.
+func (p *parser) peekAheadSymbol(sym string) bool {
+	if p.pos+1 >= len(p.toks) {
+		return false
+	}
+	t := p.toks[p.pos+1]
+	return t.Type == tokSymbol && strings.EqualFold(t.Text, sym)
+}
+
 // identifier accepts an identifier or a non-reserved keyword used as a name
 // (the lexer classifies e.g. COUNT and ACCELERATION as keywords).
 func (p *parser) identifier() (string, error) {
@@ -245,17 +263,43 @@ func (p *parser) parseCreateTable() (Statement, error) {
 			if err := p.expectKeyword("BY"); err != nil {
 				return nil, err
 			}
-			hasParen := p.accept(tokSymbol, "(")
-			col, err := p.identifier()
-			if err != nil {
-				return nil, err
-			}
-			if hasParen {
+			switch {
+			case p.peekIdent("RANDOM") && !p.peekAheadSymbol("("):
+				// DISTRIBUTE BY RANDOM: round-robin placement, no key. A bare
+				// RANDOM always means the keyword; hash-distribute on a column
+				// that happens to be named RANDOM with the parenthesised
+				// spelling DISTRIBUTE BY (random).
+				p.advance()
+				st.DistributeBy = ""
+			case p.peekIdent("HASH") && p.peekAheadSymbol("("):
+				// DISTRIBUTE BY HASH ( col )
+				p.advance()
+				if err := p.expectSymbol("("); err != nil {
+					return nil, err
+				}
+				col, err := p.identifier()
+				if err != nil {
+					return nil, err
+				}
 				if err := p.expectSymbol(")"); err != nil {
 					return nil, err
 				}
+				st.DistributeBy = col
+			default:
+				// Legacy spellings: DISTRIBUTE BY (col) and DISTRIBUTE BY col,
+				// both meaning hash distribution on the column.
+				hasParen := p.accept(tokSymbol, "(")
+				col, err := p.identifier()
+				if err != nil {
+					return nil, err
+				}
+				if hasParen {
+					if err := p.expectSymbol(")"); err != nil {
+						return nil, err
+					}
+				}
+				st.DistributeBy = col
 			}
-			st.DistributeBy = col
 		case p.acceptKeyword("AS"):
 			p.accept(tokSymbol, "(")
 			sel, err := p.parseSelect()

@@ -52,6 +52,37 @@ func TestParseCreateAcceleratorOnlyTable(t *testing.T) {
 	}
 }
 
+func TestParseDistributeBy(t *testing.T) {
+	cases := []struct {
+		sql string
+		key string
+	}{
+		{`CREATE TABLE t1 (k BIGINT, v DOUBLE) IN ACCELERATOR shards DISTRIBUTE BY HASH(k)`, "K"},
+		{`CREATE TABLE t2 (k BIGINT, v DOUBLE) IN ACCELERATOR shards DISTRIBUTE BY HASH ( v )`, "V"},
+		{`CREATE TABLE t3 (k BIGINT) IN ACCELERATOR shards DISTRIBUTE BY RANDOM`, ""},
+		{`CREATE TABLE t4 (k BIGINT) IN ACCELERATOR shards DISTRIBUTE BY (k)`, "K"},
+		{`CREATE TABLE t5 (k BIGINT) IN ACCELERATOR shards DISTRIBUTE BY k`, "K"},
+		// A column that happens to be named HASH still works with the legacy
+		// spelling (no parenthesis follows).
+		{`CREATE TABLE t6 (hash BIGINT) IN ACCELERATOR shards DISTRIBUTE BY hash`, "HASH"},
+		// A column named RANDOM needs the parenthesised spelling; bare RANDOM
+		// is always the round-robin keyword (empty key).
+		{`CREATE TABLE t8 (random BIGINT) IN ACCELERATOR shards DISTRIBUTE BY (random)`, "RANDOM"},
+		{`CREATE TABLE t9 (random BIGINT) IN ACCELERATOR shards DISTRIBUTE BY random`, ""},
+	}
+	for _, tc := range cases {
+		ct := parseOne(t, tc.sql).(*CreateTableStmt)
+		if ct.DistributeBy != tc.key {
+			t.Errorf("%s: key=%q, want key=%q", tc.sql, ct.DistributeBy, tc.key)
+		}
+	}
+	// The clause order is flexible: DISTRIBUTE BY before IN ACCELERATOR.
+	ct := parseOne(t, `CREATE TABLE t7 (k BIGINT) DISTRIBUTE BY HASH(k) IN ACCELERATOR shards`).(*CreateTableStmt)
+	if ct.InAccelerator != "SHARDS" || ct.DistributeBy != "K" {
+		t.Errorf("reordered clauses: %+v", ct)
+	}
+}
+
 func TestParseInsertForms(t *testing.T) {
 	st := parseOne(t, `INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)`)
 	ins := st.(*InsertStmt)

@@ -3,6 +3,7 @@ package idaax
 import (
 	"fmt"
 
+	"idaax/internal/accel"
 	"idaax/internal/analytics"
 	"idaax/internal/federation"
 	"idaax/internal/types"
@@ -19,9 +20,15 @@ type System struct {
 // New creates a system with the given configuration.
 func New(cfg Config) *System {
 	cfg = cfg.withDefaults()
+	specs := make([]federation.AcceleratorSpec, len(cfg.Accelerators))
+	for i, a := range cfg.Accelerators {
+		specs[i] = federation.AcceleratorSpec{Name: a.Name, Slices: a.Slices}
+	}
 	coord := federation.NewCoordinator(federation.Config{
 		AcceleratorName: cfg.AcceleratorName,
 		Slices:          cfg.AcceleratorSlices,
+		Accelerators:    specs,
+		ShardGroup:      cfg.ShardGroupName,
 		LockTimeout:     cfg.LockTimeout,
 		AdminUser:       cfg.AdminUser,
 	})
@@ -57,6 +64,14 @@ func (s *System) AdminSession() *Session { return s.Session(s.cfg.AdminUser) }
 // AddAccelerator pairs an additional accelerator.
 func (s *System) AddAccelerator(name string, slices int) {
 	s.coord.AddAccelerator(name, slices)
+}
+
+// AddShardGroup registers a sharded virtual accelerator spanning the named,
+// already-paired accelerators. Tables created IN ACCELERATOR <name> are
+// partitioned across every member.
+func (s *System) AddShardGroup(name string, members ...string) error {
+	_, err := s.coord.AddShardGroup(name, members...)
+	return err
 }
 
 // Metrics summarises cross-system data movement and routing since start (or
@@ -108,9 +123,12 @@ func (s *System) AcceleratorStats(name string) (AcceleratorStats, error) {
 	if err != nil {
 		return AcceleratorStats{}, err
 	}
-	st := a.Stats()
+	return toAcceleratorStats(a.Name(), a.Stats()), nil
+}
+
+func toAcceleratorStats(name string, st accel.Stats) AcceleratorStats {
 	return AcceleratorStats{
-		Name:          a.Name(),
+		Name:          name,
 		Slices:        st.Slices,
 		Tables:        st.Tables,
 		QueriesRun:    st.QueriesRun,
@@ -118,6 +136,57 @@ func (s *System) AcceleratorStats(name string) (AcceleratorStats, error) {
 		BlocksPruned:  st.BlocksPruned,
 		RowsIngested:  st.RowsIngested,
 		DMLStatements: st.DMLStatements,
+	}
+}
+
+// ShardGroupStats describes a sharded backend: the fleet-wide aggregate,
+// every shard's own counters (in shard order), and the router-level routing
+// decisions. It is the observability surface the sharded-scan benchmark and
+// capacity planning read.
+type ShardGroupStats struct {
+	// Group aggregates the counters of every shard.
+	Group AcceleratorStats
+	// Shards holds each member accelerator's own counters.
+	Shards []AcceleratorStats
+	// QueriesRouted counts SELECTs executed through the shard router.
+	QueriesRouted int64
+	// QueriesPruned counts SELECTs answered by a single shard because an
+	// equality predicate covered the distribution key.
+	QueriesPruned int64
+	// TwoPhaseAggregates counts SELECTs executed as shard-local partial
+	// aggregation finalised at the coordinator.
+	TwoPhaseAggregates int64
+	// RowsGathered counts rows shipped shard -> coordinator by queries.
+	RowsGathered int64
+}
+
+// ShardGroupStats returns per-shard and aggregate activity counters for the
+// named shard group (empty name = the configured default group).
+func (s *System) ShardGroupStats(name string) (ShardGroupStats, error) {
+	if name == "" {
+		name = s.cfg.ShardGroupName
+	}
+	router, err := s.coord.ShardGroup(name)
+	if err != nil {
+		return ShardGroupStats{}, err
+	}
+	group, err := s.AcceleratorStats(name)
+	if err != nil {
+		return ShardGroupStats{}, err
+	}
+	members := router.Members()
+	perShard := make([]AcceleratorStats, len(members))
+	for i, m := range members {
+		perShard[i] = toAcceleratorStats(m.Name(), m.Stats())
+	}
+	routing := router.ShardingStats()
+	return ShardGroupStats{
+		Group:              group,
+		Shards:             perShard,
+		QueriesRouted:      routing.QueriesRouted,
+		QueriesPruned:      routing.QueriesPruned,
+		TwoPhaseAggregates: routing.TwoPhaseAggregates,
+		RowsGathered:       routing.RowsGathered,
 	}, nil
 }
 
