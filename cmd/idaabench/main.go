@@ -1,10 +1,13 @@
 // Command idaabench regenerates the evaluation tables of the reproduction
-// (experiments E1–E9 and the architecture figure F1). Each experiment builds
+// (experiments E1–E10 and the architecture figure F1). Each experiment builds
 // its own system instance, generates its workload deterministically and prints
 // the resulting table, so the numbers in EXPERIMENTS.md can be reproduced with
 //
 //	go run ./cmd/idaabench -scale full
 //	go run ./cmd/idaabench -experiment e1 -scale small
+//
+// E10 exercises the cost-based planner: co-located shard-local joins versus
+// the forced gather plan, at two data scales.
 package main
 
 import (
@@ -18,7 +21,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment id to run (e1..e9, f1, or 'all')")
+	experiment := flag.String("experiment", "all", "experiment id to run (e1..e10, f1, or 'all')")
 	scaleName := flag.String("scale", "small", "dataset scale: small or full")
 	slices := flag.Int("slices", 0, "accelerator worker slices (0 = number of CPUs)")
 	flag.Parse()

@@ -1,0 +1,95 @@
+// Explain: a tour of the cost-based query planner on a sharded fleet —
+// table statistics and ANALYZE, EXPLAIN plan trees, co-located and broadcast
+// joins, and distribution-key pruning with IN lists and ranges.
+//
+//	go run ./examples/explain
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"idaax"
+)
+
+func main() {
+	// A fleet of three accelerators; the implicit SHARDS group spans them.
+	sys := idaax.New(idaax.Config{
+		Accelerators: []idaax.AcceleratorConfig{
+			{Name: "IDAA1", Slices: 4},
+			{Name: "IDAA2", Slices: 4},
+			{Name: "IDAA3", Slices: 4},
+		},
+	})
+	defer sys.Close()
+	session := sys.AdminSession()
+
+	fmt.Println("== 1. A co-located pair: both tables hash-distributed on the join key ==")
+	session.MustExec("CREATE TABLE orders (oid BIGINT NOT NULL, customer_id BIGINT, amount DOUBLE, region VARCHAR(8)) IN ACCELERATOR SHARDS DISTRIBUTE BY HASH(customer_id)")
+	session.MustExec("CREATE TABLE customers (id BIGINT NOT NULL, name VARCHAR(16), segment VARCHAR(8)) IN ACCELERATOR SHARDS DISTRIBUTE BY HASH(id)")
+	session.MustExec("CREATE TABLE fx (region VARCHAR(8), rate DOUBLE) IN ACCELERATOR SHARDS DISTRIBUTE BY RANDOM")
+
+	regions := []string{"EU", "US", "APAC"}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO orders VALUES ")
+	for i := 0; i < 2000; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d, %g, '%s')", i, i%80, float64(i%19)*0.5, regions[i%3])
+	}
+	session.MustExec(sb.String())
+	sb.Reset()
+	sb.WriteString("INSERT INTO customers VALUES ")
+	segments := []string{"SMB", "ENT", "GOV"}
+	for i := 0; i < 80; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, 'C%03d', '%s')", i, i, segments[i%3])
+	}
+	session.MustExec(sb.String())
+	session.MustExec("INSERT INTO fx VALUES ('EU', 1.1), ('US', 1.0), ('APAC', 0.8)")
+
+	fmt.Println("\n== 2. ANALYZE TABLE builds exact statistics (histograms included) ==")
+	res := session.MustExec("ANALYZE TABLE orders")
+	fmt.Println(res.Message)
+	res = session.MustExec("CALL SYSPROC.ACCEL_ANALYZE('SHARDS', 'customers,fx')")
+	fmt.Println(res.Message)
+	stats, _ := sys.TableStatistics("orders")
+	fmt.Printf("orders: %d rows, analyzed=%v; columns (NDV merged across shards, an upper bound):\n", stats.Rows, stats.Analyzed)
+	for _, c := range stats.Columns {
+		fmt.Printf("  %-12s %-9s ndv<=%-6.0f min=%-5s max=%-5s nulls=%d\n",
+			c.Name, c.Type, c.DistinctEst, c.Min, c.Max, c.Nulls)
+	}
+
+	explain := func(sql string) {
+		res := session.MustExec("EXPLAIN " + sql)
+		fmt.Printf("\nEXPLAIN %s\n", sql)
+		fmt.Printf("  routed to %s (%s)\n", res.Value(0, "ROUTED_TO"), res.Value(0, "REASON"))
+		for _, row := range res.Rows[1:] {
+			fmt.Println("  " + row[3])
+		}
+	}
+
+	fmt.Println("\n== 3. A join on the shared distribution key stays shard-local ==")
+	explain("SELECT c.segment, COUNT(*), SUM(o.amount) FROM orders o JOIN customers c ON o.customer_id = c.id GROUP BY c.segment")
+
+	fmt.Println("\n== 4. A small round-robin table is broadcast to the shards ==")
+	explain("SELECT f.region, SUM(o.amount * f.rate) FROM orders o JOIN fx f ON o.region = f.region GROUP BY f.region")
+
+	fmt.Println("\n== 5. Distribution-key predicates prune shards: =, IN, BETWEEN ==")
+	explain("SELECT COUNT(*) FROM orders WHERE customer_id = 42")
+	explain("SELECT COUNT(*) FROM orders WHERE customer_id IN (7, 9)")
+	explain("SELECT COUNT(*) FROM orders WHERE customer_id BETWEEN 10 AND 11")
+
+	fmt.Println("\n== 6. The plans execute with identical results — and far less data movement ==")
+	session.MustExec("SELECT COUNT(*) FROM orders WHERE customer_id = 42")
+	session.MustExec("SELECT COUNT(*) FROM orders WHERE customer_id IN (7, 9)")
+	session.MustExec("SELECT COUNT(*) FROM orders WHERE customer_id BETWEEN 10 AND 11")
+	res = session.MustExec("SELECT c.segment, COUNT(*) AS orders, SUM(o.amount) AS revenue FROM orders o JOIN customers c ON o.customer_id = c.id GROUP BY c.segment ORDER BY revenue DESC")
+	fmt.Print(res.FormatTable())
+	st, _ := sys.ShardGroupStats("SHARDS")
+	fmt.Printf("router: colocated_joins=%d broadcast_joins=%d pruned=%d shard_scans_avoided=%d rows_gathered=%d\n",
+		st.ColocatedJoins, st.BroadcastJoins, st.QueriesPruned, st.ShardScansAvoided, st.RowsGathered)
+}

@@ -10,6 +10,7 @@ import (
 	"idaax/internal/colstore"
 	"idaax/internal/expr"
 	"idaax/internal/sqlparse"
+	"idaax/internal/stats"
 	"idaax/internal/types"
 )
 
@@ -163,6 +164,32 @@ func (a *Accelerator) TableNames() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// ---------------------------------------------------------------------------
+// Statistics (the planner's input)
+// ---------------------------------------------------------------------------
+
+// Analyze rebuilds the planner statistics of a table exactly from the
+// committed rows, including equi-depth histograms, and returns the number of
+// rows analyzed. It implements ANALYZE TABLE / SYSPROC.ACCEL_ANALYZE for a
+// single accelerator.
+func (a *Accelerator) Analyze(table string) (int, error) {
+	t, err := a.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	snap := a.Registry.Snapshot(0)
+	return t.Analyze(snap.Visible), nil
+}
+
+// TableStatistics returns the current statistics snapshot of a table.
+func (a *Accelerator) TableStatistics(table string) (stats.Snapshot, error) {
+	t, err := a.Table(table)
+	if err != nil {
+		return stats.Snapshot{}, err
+	}
+	return t.Statistics(), nil
 }
 
 // ---------------------------------------------------------------------------

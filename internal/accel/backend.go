@@ -1,8 +1,10 @@
 package accel
 
 import (
+	"idaax/internal/planner"
 	"idaax/internal/relalg"
 	"idaax/internal/sqlparse"
+	"idaax/internal/stats"
 	"idaax/internal/types"
 )
 
@@ -32,6 +34,14 @@ type Backend interface {
 	Prepare(txnID int64) error
 	CommitTxn(txnID int64)
 	AbortTxn(txnID int64)
+
+	// Statistics: ANALYZE TABLE rebuilds exact statistics (returning the rows
+	// analyzed), TableStatistics snapshots the current ones (merged across
+	// shards for a sharded backend), and Explain plans a SELECT without
+	// running it (nil plan for statements with nothing to plan).
+	Analyze(table string) (int, error)
+	TableStatistics(table string) (stats.Snapshot, error)
+	Explain(sel *sqlparse.SelectStmt) (*planner.Plan, error)
 
 	// Query and DML under a DB2 transaction id.
 	Query(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Relation, error)

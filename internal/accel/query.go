@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"idaax/internal/colstore"
+	"idaax/internal/planner"
 	"idaax/internal/relalg"
 	"idaax/internal/sqlparse"
 	"idaax/internal/types"
@@ -25,9 +26,15 @@ func (a *Accelerator) Query(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Rela
 // to run one statement over many accelerators with snapshots taken together
 // under its commit fence, so a transaction committing across the fleet is
 // either visible on every shard or on none.
+//
+// Multi-table statements first pass through the cost-based planner, which may
+// reorder the FROM clause and hoist WHERE equalities into join conditions;
+// the rewritten statement returns exactly the same rows (the full WHERE
+// clause is re-applied after the joins).
 func (a *Accelerator) QueryAt(txnID int64, snap *Snapshot, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
 	atomic.AddInt64(&a.queriesRun, 1)
-	from, err := a.buildFrom(txnID, snap, sel)
+	sel, methods := a.planStatement(sel)
+	from, err := a.BuildFromRelation(txnID, snap, sel, nil, methods)
 	if err != nil {
 		return nil, err
 	}
@@ -39,16 +46,61 @@ func (a *Accelerator) QueryAt(txnID int64, snap *Snapshot, sel *sqlparse.SelectS
 	return rel, nil
 }
 
-// buildFrom materialises every FROM item under the single statement-level
-// snapshot, so a multi-table join cannot observe a concurrent commit between
-// its scans. Subqueries recurse through Query and snapshot on their own, as
-// they always have.
-func (a *Accelerator) buildFrom(txnID int64, snap *Snapshot, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
+// PlannerCatalog exposes this accelerator's tables and statistics to the
+// cost-based planner.
+func (a *Accelerator) PlannerCatalog() planner.Catalog {
+	return func(table string) (planner.TableInfo, bool) {
+		t, err := a.Table(table)
+		if err != nil {
+			return planner.TableInfo{}, false
+		}
+		return planner.TableInfo{
+			Name:    t.Name(),
+			Schema:  t.Schema(),
+			Stats:   t.Statistics(),
+			DistKey: t.DistKey(),
+			Shards:  1,
+		}, true
+	}
+}
+
+// planStatement runs the cost-based planner over a multi-table statement and
+// returns the (possibly rewritten) statement plus per-join method choices.
+// Single-table statements skip planning: there is no order or method to pick.
+func (a *Accelerator) planStatement(sel *sqlparse.SelectStmt) (*sqlparse.SelectStmt, []relalg.JoinMethod) {
+	if len(sel.From) < 2 {
+		return sel, nil
+	}
+	pl := planner.PlanSelect(sel, a.PlannerCatalog())
+	if pl == nil {
+		return sel, nil
+	}
+	return pl.Sel, pl.Methods
+}
+
+// Explain plans a SELECT against this accelerator without executing it.
+func (a *Accelerator) Explain(sel *sqlparse.SelectStmt) (*planner.Plan, error) {
+	return planner.PlanSelect(sel, a.PlannerCatalog()), nil
+}
+
+// BuildFromRelation materialises every FROM item of sel under the single
+// statement-level snapshot and folds them with the planned join methods, so a
+// multi-table join cannot observe a concurrent commit between its scans.
+// Subqueries recurse through Query and snapshot on their own, as they always
+// have. overrides, keyed by normalized FROM item name, substitutes
+// caller-provided relations for table scans — the shard router uses it to
+// hand every member the full content of a broadcast table instead of the
+// member's own partition.
+func (a *Accelerator) BuildFromRelation(txnID int64, snap *Snapshot, sel *sqlparse.SelectStmt, overrides map[string]*relalg.Relation, methods []relalg.JoinMethod) (*relalg.Relation, error) {
 	if len(sel.From) == 0 {
 		return relalg.JoinAll(nil, nil, a.slices)
 	}
 	rels := make([]*relalg.Relation, len(sel.From))
 	for i, item := range sel.From {
+		if rel, ok := overrides[types.NormalizeName(item.Name())]; ok {
+			rels[i] = rel
+			continue
+		}
 		if item.Subquery != nil {
 			sub, err := a.Query(txnID, item.Subquery)
 			if err != nil {
@@ -63,7 +115,7 @@ func (a *Accelerator) buildFrom(txnID int64, snap *Snapshot, sel *sqlparse.Selec
 		}
 		rels[i] = relalg.FromTable(item.Name(), t.Schema(), a.scanTable(t, snap, sel, item))
 	}
-	return relalg.JoinAll(rels, sel.From, a.slices)
+	return relalg.JoinAllPlanned(rels, sel.From, methods, a.slices)
 }
 
 // ScanVisible materialises the rows of a table visible under the given
@@ -92,46 +144,122 @@ func (a *Accelerator) scanTable(t *colstore.Table, snap *Snapshot, sel *sqlparse
 	return rows
 }
 
-// pushdownPredicates extracts the WHERE conjuncts of the form
-// "col <op> literal" that unambiguously reference the given FROM item.
+// pushdownPredicates extracts the WHERE conjuncts that can drive zone-map
+// block skipping for the given FROM item: "col <op> literal" comparisons,
+// BETWEEN ranges (two bound predicates), and IN lists (collapsed to their
+// min/max range). The full WHERE clause is re-applied after the joins, so a
+// pushed predicate may be a superset filter without changing results.
 func (a *Accelerator) pushdownPredicates(sel *sqlparse.SelectStmt, item sqlparse.FromItem, t *colstore.Table) []colstore.SimplePredicate {
 	if sel.Where == nil {
 		return nil
 	}
 	schema := t.Schema()
-	singleTable := len(sel.From) == 1
 	var preds []colstore.SimplePredicate
 
-	var visit func(e sqlparse.Expr)
-	visit = func(e sqlparse.Expr) {
-		b, ok := e.(*sqlparse.BinaryExpr)
-		if !ok {
-			return
-		}
-		if b.Op == sqlparse.OpAnd {
-			visit(b.Left)
-			visit(b.Right)
-			return
-		}
-		ref, lit, op, ok := simpleComparison(b)
-		if !ok {
-			return
-		}
-		// The reference must belong to this FROM item: either it is qualified
-		// with the item's name, or the query has a single table and the column
-		// exists in its schema.
+	// resolve returns the column index for a reference belonging to this FROM
+	// item: qualified with the item's name, or unqualified when the column
+	// name cannot also come from another FROM item.
+	resolve := func(ref *sqlparse.ColumnRef) int {
 		colIdx := schema.IndexOf(ref.Name)
 		if colIdx < 0 {
-			return
+			return -1
 		}
 		if ref.Table != "" {
 			if !strings.EqualFold(ref.Table, item.Name()) {
+				return -1
+			}
+			return colIdx
+		}
+		for _, other := range sel.From {
+			if other.Name() == item.Name() {
+				continue
+			}
+			if other.Subquery != nil {
+				return -1 // opaque item: cannot prove the name is unique
+			}
+			ot, err := a.Table(other.Table)
+			if err != nil || ot.Schema().IndexOf(ref.Name) >= 0 {
+				return -1
+			}
+		}
+		return colIdx
+	}
+
+	var visit func(e sqlparse.Expr)
+	visit = func(e sqlparse.Expr) {
+		switch n := e.(type) {
+		case *sqlparse.BinaryExpr:
+			if n.Op == sqlparse.OpAnd {
+				visit(n.Left)
+				visit(n.Right)
 				return
 			}
-		} else if !singleTable {
-			return
+			ref, lit, op, ok := simpleComparison(n)
+			if !ok {
+				return
+			}
+			if colIdx := resolve(ref); colIdx >= 0 {
+				preds = append(preds, colstore.NewSimplePredicate(colIdx, op, lit))
+			}
+		case *sqlparse.BetweenExpr:
+			if n.Negate {
+				return
+			}
+			ref, ok := n.Operand.(*sqlparse.ColumnRef)
+			if !ok {
+				return
+			}
+			lo, okLo := n.Low.(*sqlparse.Literal)
+			hi, okHi := n.High.(*sqlparse.Literal)
+			if !okLo || !okHi || lo.Val.IsNull() || hi.Val.IsNull() {
+				return
+			}
+			if colIdx := resolve(ref); colIdx >= 0 {
+				preds = append(preds,
+					colstore.NewSimplePredicate(colIdx, colstore.CmpGe, lo.Val),
+					colstore.NewSimplePredicate(colIdx, colstore.CmpLe, hi.Val))
+			}
+		case *sqlparse.InExpr:
+			if n.Negate || len(n.List) == 0 {
+				return
+			}
+			ref, ok := n.Operand.(*sqlparse.ColumnRef)
+			if !ok {
+				return
+			}
+			var min, max types.Value
+			for _, e := range n.List {
+				lit, ok := e.(*sqlparse.Literal)
+				if !ok {
+					return
+				}
+				if lit.Val.IsNull() {
+					continue // IN (NULL, ...) never matches on NULL
+				}
+				if min.IsNull() {
+					min, max = lit.Val, lit.Val
+					continue
+				}
+				if c, err := types.Compare(lit.Val, min); err != nil {
+					return
+				} else if c < 0 {
+					min = lit.Val
+				}
+				if c, err := types.Compare(lit.Val, max); err != nil {
+					return
+				} else if c > 0 {
+					max = lit.Val
+				}
+			}
+			if min.IsNull() {
+				return
+			}
+			if colIdx := resolve(ref); colIdx >= 0 {
+				preds = append(preds,
+					colstore.NewSimplePredicate(colIdx, colstore.CmpGe, min),
+					colstore.NewSimplePredicate(colIdx, colstore.CmpLe, max))
+			}
 		}
-		preds = append(preds, colstore.NewSimplePredicate(colIdx, op, lit))
 	}
 	visit(sel.Where)
 	return preds

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,7 @@ import (
 // repository root and by cmd/idaabench).
 func TestExperimentRegistry(t *testing.T) {
 	ids := IDs()
-	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1"}
+	want := []string{"e1", "e10", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1"}
 	if len(ids) != len(want) {
 		t.Fatalf("experiments: %v", ids)
 	}
@@ -43,6 +44,42 @@ func TestShardedScanExperiment(t *testing.T) {
 	}
 	if !foundPruning {
 		t.Fatalf("pruning note missing or pruning touched more than one shard: %v", table.Notes)
+	}
+}
+
+// TestColocatedJoinExperiment is the planner regression smoke: E10 must run
+// and the planner configuration must move fewer rows than the forced gather
+// plan for every join class at every scale. CI runs it in -short mode.
+func TestColocatedJoinExperiment(t *testing.T) {
+	scale := SmallScale()
+	scale.LoadRows = 4000
+	if testing.Short() {
+		scale.LoadRows = 1600
+	}
+	table, err := Run("e10", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 6 {
+		t.Fatalf("expected 3 join classes at two scales, got %d rows", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		var movedGather, movedPlanner int64
+		fmt.Sscanf(row[5], "%d", &movedGather)
+		fmt.Sscanf(row[6], "%d", &movedPlanner)
+		if movedPlanner >= movedGather {
+			t.Fatalf("%s at %s rows: planner moved %d rows, gather %d — co-located placement not effective:\n%s",
+				row[1], row[0], movedPlanner, movedGather, table.Format())
+		}
+	}
+	colocatedSeen := false
+	for _, note := range table.Notes {
+		if strings.Contains(note, "colocated_joins=") && !strings.Contains(note, "colocated_joins=0") {
+			colocatedSeen = true
+		}
+	}
+	if !colocatedSeen {
+		t.Fatalf("no co-located joins recorded:\n%s", table.Format())
 	}
 }
 

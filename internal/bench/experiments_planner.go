@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"idaax"
+)
+
+// RunE10ColocatedJoin measures the cost-based planner's co-located join
+// placement: a pair of tables hash-distributed on their join key (ORDERS on
+// CUSTOMER_ID, CUSTOMERS on ID) is loaded into a 4-shard system at two data
+// scales, and each join class runs once with cost-based planning disabled
+// (the heuristic gather plan ships every table's base rows to the
+// coordinator and joins there) and once enabled (joins execute shard-local;
+// only join results or aggregate partials reach the coordinator).
+//
+// The aggregate join shows the planner's wall-clock win (two-phase partial
+// aggregation over shard-local joins); the plain join materialises the same
+// join output under both plans, so its gain is in rows moved, which is the
+// quantity that matters once shards live on real hardware.
+func RunE10ColocatedJoin(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:    "E10",
+		Title: "Join placement: co-located shard-local joins vs coordinator gather (4 shards)",
+		Columns: []string{"ROWS", "QUERY", "GATHER_MS", "PLANNER_MS", "SPEEDUP",
+			"MOVED_GATHER", "MOVED_PLANNER"},
+	}
+	slices := scale.Slices
+	if slices <= 0 {
+		slices = 2
+	}
+	const rounds = 4
+	classes := []struct{ name, sql string }{
+		{"agg-join", "SELECT c.segment, COUNT(*), SUM(o.amount) FROM orders o JOIN customers c ON o.customer_id = c.id GROUP BY c.segment"},
+		{"plain-join", "SELECT o.oid, c.name FROM orders o JOIN customers c ON o.customer_id = c.id WHERE o.amount > 4 ORDER BY o.oid LIMIT 20"},
+		{"pruned-join", "SELECT COUNT(*), SUM(o.amount) FROM orders o JOIN customers c ON o.customer_id = c.id WHERE o.customer_id IN (1, 2, 3)"},
+	}
+
+	// Two data scales; the movement advantage is roughly constant while the
+	// wall-clock advantage grows with the data volume.
+	for _, rows := range []int{scale.LoadRows, 5 * scale.LoadRows} {
+		if rows < 400 {
+			rows = 400
+		}
+		sys, accelerator := newShardedSystem(4, slices)
+		if err := seedColocatedPair(sys, accelerator, rows); err != nil {
+			return nil, err
+		}
+		router, err := sys.Coordinator().ShardGroup(accelerator)
+		if err != nil {
+			return nil, err
+		}
+		session := sys.AdminSession()
+
+		for _, class := range classes {
+			var elapsed [2]time.Duration
+			var moved [2]int64
+			for cfg, planned := range []bool{false, true} {
+				router.SetCostBasedPlanning(planned)
+				// Warm once so first-run allocation noise stays out.
+				if _, err := session.Query(class.sql); err != nil {
+					return nil, err
+				}
+				before, err := sys.ShardGroupStats(accelerator)
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				for i := 0; i < rounds; i++ {
+					if _, err := session.Query(class.sql); err != nil {
+						return nil, err
+					}
+				}
+				elapsed[cfg] = time.Since(start)
+				after, err := sys.ShardGroupStats(accelerator)
+				if err != nil {
+					return nil, err
+				}
+				moved[cfg] = (after.RowsGathered - before.RowsGathered) / rounds
+			}
+			t.AddRow(itoa(rows), class.name, ms(elapsed[0]), ms(elapsed[1]),
+				ratio(elapsed[0], elapsed[1]), i64(moved[0]), i64(moved[1]))
+		}
+
+		st, err := sys.ShardGroupStats(accelerator)
+		if err != nil {
+			return nil, err
+		}
+		t.AddNote("rows=%d: colocated_joins=%d pruned_shard_scans_avoided=%d",
+			rows, st.ColocatedJoins, st.ShardScansAvoided)
+		sys.Close()
+	}
+	t.AddNote("ORDERS and CUSTOMERS share their distribution key, so planned joins run shard-local; the gather plan ships all base rows to the coordinator first")
+	return t, nil
+}
+
+// seedColocatedPair creates and loads the co-distributed ORDERS/CUSTOMERS
+// pair through the SQL INSERT path (rows flow through the router's
+// partitioner).
+func seedColocatedPair(sys *idaax.System, accelerator string, rows int) error {
+	session := sys.AdminSession()
+	ddl := []string{
+		fmt.Sprintf("CREATE TABLE orders (oid BIGINT NOT NULL, customer_id BIGINT, amount DOUBLE) IN ACCELERATOR %s DISTRIBUTE BY HASH(customer_id)", accelerator),
+		fmt.Sprintf("CREATE TABLE customers (id BIGINT NOT NULL, name VARCHAR(16), segment VARCHAR(8)) IN ACCELERATOR %s DISTRIBUTE BY HASH(id)", accelerator),
+	}
+	for _, d := range ddl {
+		if _, err := session.Exec(d); err != nil {
+			return err
+		}
+	}
+	customers := rows / 20
+	if customers < 10 {
+		customers = 10
+	}
+	const batch = 2000
+	for lo := 0; lo < rows; lo += batch {
+		hi := lo + batch
+		if hi > rows {
+			hi = rows
+		}
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO orders VALUES ")
+		for i := lo; i < hi; i++ {
+			if i > lo {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d, %g)", i, i%customers, float64(i%23)*0.5)
+		}
+		if _, err := session.Exec(sb.String()); err != nil {
+			return err
+		}
+	}
+	segments := []string{"SMB", "ENT", "GOV"}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO customers VALUES ")
+	for i := 0; i < customers; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, 'C%05d', '%s')", i, i, segments[i%3])
+	}
+	if _, err := session.Exec(sb.String()); err != nil {
+		return err
+	}
+	// Exact statistics sharpen the planner's estimates (and exercise the
+	// ANALYZE path in every benchmark run).
+	if _, err := session.Exec("CALL SYSPROC.ACCEL_ANALYZE('" + accelerator + "', 'orders,customers')"); err != nil {
+		return err
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"idaax/internal/stats"
 	"idaax/internal/types"
 )
 
@@ -110,6 +111,10 @@ type Table struct {
 	deleted []int64
 	srcIDs  []int64       // originating DB2 row id for replicated rows, -1 otherwise
 	bySrc   map[int64]int // live version index per source row id
+
+	// stats accumulates planner statistics incrementally under mu; ANALYZE
+	// rebuilds them exactly (see Analyze).
+	stats *stats.Collector
 }
 
 // NewTable creates an empty columnar table.
@@ -124,6 +129,7 @@ func NewTable(name string, schema types.Schema, distKey string) *Table {
 		distKey: types.NormalizeName(distKey),
 		cols:    cols,
 		bySrc:   make(map[int64]int),
+		stats:   stats.NewCollector(schema),
 	}
 }
 
@@ -186,6 +192,7 @@ func (t *Table) insert(txnID int64, rows []types.Row, srcIDs []int64) (int, erro
 		for ci, col := range t.cols {
 			col.Append(validated[ci])
 		}
+		t.stats.ObserveInsert(validated)
 		idx := len(t.created)
 		t.created = append(t.created, txnID)
 		t.deleted = append(t.deleted, 0)
@@ -250,6 +257,7 @@ func (t *Table) MarkDeleted(idx int, txnID int64) bool {
 		return false
 	}
 	t.deleted[idx] = txnID
+	t.stats.ObserveDelete()
 	if src := t.srcIDs[idx]; src >= 0 {
 		delete(t.bySrc, src)
 	}
@@ -262,6 +270,7 @@ func (t *Table) UndoDelete(idx int, txnID int64) {
 	defer t.mu.Unlock()
 	if idx >= 0 && idx < len(t.deleted) && t.deleted[idx] == txnID {
 		t.deleted[idx] = 0
+		t.stats.ObserveUndelete()
 		if src := t.srcIDs[idx]; src >= 0 {
 			t.bySrc[src] = idx
 		}
@@ -305,6 +314,7 @@ func (t *Table) TruncateVisible(txnID int64, vis Visibility) int {
 	for i := range t.created {
 		if t.deleted[i] == 0 && vis(t.created[i], t.deleted[i]) {
 			t.deleted[i] = txnID
+			t.stats.ObserveDelete()
 			if src := t.srcIDs[i]; src >= 0 {
 				delete(t.bySrc, src)
 			}
@@ -312,6 +322,29 @@ func (t *Table) TruncateVisible(txnID int64, vis Visibility) int {
 		}
 	}
 	return n
+}
+
+// Statistics returns a snapshot of the table's planner statistics.
+func (t *Table) Statistics() stats.Snapshot {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.stats.Snapshot()
+}
+
+// Analyze rebuilds the planner statistics exactly from the rows visible under
+// vis, including equi-depth histograms for numeric columns, and returns the
+// number of rows analyzed. It implements ANALYZE TABLE for one shard.
+func (t *Table) Analyze(vis Visibility) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var rows []types.Row
+	for i := range t.created {
+		if vis(t.created[i], t.deleted[i]) {
+			rows = append(rows, t.readRowLocked(i))
+		}
+	}
+	t.stats.AnalyzeRows(rows)
+	return len(rows)
 }
 
 // ScanStats reports what a scan did, for the accelerator's monitoring tables.

@@ -136,6 +136,48 @@ func (c *Coordinator) registerBuiltinProcedures() {
 			return &core.ProcResult{RowsAffected: total, Message: fmt.Sprintf("applied %d changes", total)}, nil
 		})
 
+	register("SYSPROC.ACCEL_ANALYZE",
+		"Rebuild planner statistics (row counts, NDV, min/max, histograms) for accelerated tables: (accelerator, 'T1,T2')",
+		func(ctx *core.ProcContext, args []types.Value) (*core.ProcResult, error) {
+			list, err := core.ArgString(args, 1, "table list")
+			if err != nil {
+				// Allow single-argument form: ACCEL_ANALYZE('T1,T2').
+				list, err = core.ArgString(args, 0, "table list")
+				if err != nil {
+					return nil, err
+				}
+			}
+			total := 0
+			var analyzed []string
+			for _, table := range core.SplitList(list) {
+				if err := ctx.Catalog.CheckPrivilege(ctx.User, table, catalog.PrivSelect); err != nil {
+					return nil, err
+				}
+				meta, err := ctx.Catalog.Table(table)
+				if err != nil {
+					return nil, err
+				}
+				if meta.Kind == catalog.KindRegular {
+					return nil, fmt.Errorf("federation: ACCEL_ANALYZE %s: the table has no accelerator copy", meta.Name)
+				}
+				a, err := c.Accelerator(meta.Accelerator)
+				if err != nil {
+					return nil, err
+				}
+				n, err := a.Analyze(meta.Name)
+				if err != nil {
+					return nil, err
+				}
+				total += n
+				analyzed = append(analyzed, meta.Name)
+			}
+			return &core.ProcResult{
+				RowsAffected: total,
+				Message:      fmt.Sprintf("analyzed %s: %d rows", strings.Join(analyzed, ","), total),
+				OutputTables: analyzed,
+			}, nil
+		})
+
 	register("SYSPROC.ACCEL_GRANT_PROCEDURE",
 		"Grant EXECUTE on an analytics procedure: (procedure, user)",
 		func(ctx *core.ProcContext, args []types.Value) (*core.ProcResult, error) {

@@ -202,6 +202,8 @@ func (s *Session) ExecStmt(st sqlparse.Statement) (*Result, error) {
 		return s.execShow(stmt)
 	case *sqlparse.ExplainStmt:
 		return s.execExplain(stmt)
+	case *sqlparse.AnalyzeStmt:
+		return s.execAnalyze(stmt)
 	}
 
 	tx, done := s.stmtTxn()
@@ -851,8 +853,18 @@ func (s *Session) execShow(stmt *sqlparse.ShowStmt) (*Result, error) {
 	}
 }
 
+// execExplain renders the routing decision and — for offloaded SELECTs — the
+// cost-based execution plan: scan cardinalities with pushdown predicates,
+// the chosen join order and methods, and the shard placement (co-located /
+// broadcast / gather, with the pruned candidate shard set). The first row is
+// the routing summary; subsequent rows carry one plan line each.
 func (s *Session) execExplain(stmt *sqlparse.ExplainStmt) (*Result, error) {
-	res := &Result{Columns: []string{"STATEMENT", "ROUTED_TO", "REASON"}, Routed: "DB2"}
+	res := &Result{Columns: []string{"STATEMENT", "ROUTED_TO", "REASON", "PLAN"}, Routed: "DB2"}
+	summary := func(stmtName, to, reason string) {
+		res.Rows = append(res.Rows, types.Row{
+			types.NewString(stmtName), types.NewString(to), types.NewString(reason), types.NewString(""),
+		})
+	}
 	switch target := stmt.Target.(type) {
 	case *sqlparse.SelectStmt:
 		dec, err := s.routeSelect(target)
@@ -863,7 +875,20 @@ func (s *Session) execExplain(stmt *sqlparse.ExplainStmt) (*Result, error) {
 		if dec.offload {
 			to = dec.accelName
 		}
-		res.Rows = append(res.Rows, types.Row{types.NewString("SELECT"), types.NewString(to), types.NewString(dec.reason)})
+		summary("SELECT", to, dec.reason)
+		if dec.offload {
+			plan, err := dec.accel.Explain(target)
+			if err != nil {
+				return nil, err
+			}
+			if plan != nil {
+				for _, line := range plan.Describe() {
+					res.Rows = append(res.Rows, types.Row{
+						types.NewString(""), types.NewString(""), types.NewString(""), types.NewString(line),
+					})
+				}
+			}
+		}
 	case *sqlparse.InsertStmt, *sqlparse.UpdateStmt, *sqlparse.DeleteStmt, *sqlparse.TruncateStmt:
 		tables := sqlparse.StatementTables(stmt.Target)
 		to, reason := "DB2", "target table is DB2-resident"
@@ -872,11 +897,39 @@ func (s *Session) execExplain(stmt *sqlparse.ExplainStmt) (*Result, error) {
 				to, reason = meta.Accelerator, "target table is accelerator-only"
 			}
 		}
-		res.Rows = append(res.Rows, types.Row{types.NewString(fmt.Sprintf("%T", stmt.Target)), types.NewString(to), types.NewString(reason)})
+		summary(fmt.Sprintf("%T", stmt.Target), to, reason)
 	default:
-		res.Rows = append(res.Rows, types.Row{types.NewString(fmt.Sprintf("%T", stmt.Target)), types.NewString("DB2"), types.NewString("statement type always runs in DB2")})
+		summary(fmt.Sprintf("%T", stmt.Target), "DB2", "statement type always runs in DB2")
 	}
 	return res, nil
+}
+
+// execAnalyze implements ANALYZE TABLE: rebuild the table's planner
+// statistics on its accelerator (every shard for a sharded table).
+func (s *Session) execAnalyze(stmt *sqlparse.AnalyzeStmt) (*Result, error) {
+	meta, err := s.coord.cat.Table(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.coord.cat.CheckPrivilege(s.user, meta.Name, catalog.PrivSelect); err != nil {
+		return nil, err
+	}
+	if meta.Kind == catalog.KindRegular {
+		return nil, fmt.Errorf("federation: ANALYZE TABLE %s: the table has no accelerator copy (planner statistics live on the accelerators)", meta.Name)
+	}
+	a, err := s.coord.Accelerator(meta.Accelerator)
+	if err != nil {
+		return nil, err
+	}
+	n, err := a.Analyze(meta.Name)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		RowsAffected: n,
+		Routed:       meta.Accelerator,
+		Message:      fmt.Sprintf("analyzed %s: %d rows", meta.Name, n),
+	}, nil
 }
 
 // ---------------------------------------------------------------------------

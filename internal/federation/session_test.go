@@ -199,12 +199,25 @@ func TestExplainAndShow(t *testing.T) {
 	mustExec(t, s, "CREATE TABLE a1 (id BIGINT) IN ACCELERATOR IDAA1")
 
 	res := mustExec(t, s, "EXPLAIN SELECT * FROM a1")
-	if len(res.Rows) != 1 || res.Rows[0][1].AsString() != "IDAA1" {
+	if len(res.Rows) < 1 || res.Rows[0][1].AsString() != "IDAA1" {
 		t.Fatalf("expected EXPLAIN to route to IDAA1, got %+v", res.Rows)
+	}
+	// Offloaded SELECTs additionally render the cost-based plan tree.
+	foundScan := false
+	for _, row := range res.Rows[1:] {
+		if strings.Contains(row[3].AsString(), "SCAN A1") {
+			foundScan = true
+		}
+	}
+	if !foundScan {
+		t.Fatalf("expected a SCAN A1 plan line, got %+v", res.Rows)
 	}
 	res = mustExec(t, s, "EXPLAIN SELECT * FROM t1")
 	if res.Rows[0][1].AsString() != "DB2" {
 		t.Fatalf("expected EXPLAIN to route to DB2, got %+v", res.Rows)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("DB2-routed EXPLAIN should be summary-only, got %+v", res.Rows)
 	}
 
 	res = mustExec(t, s, "SHOW TABLES")

@@ -1,0 +1,187 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"idaax/internal/sqlparse"
+	"idaax/internal/types"
+)
+
+// Describe renders the plan as indented text lines for EXPLAIN.
+func (p *Plan) Describe() []string {
+	var lines []string
+	lines = append(lines, fmt.Sprintf("estimated cost=%.1f rows=%.0f", p.EstCost, p.EstRows))
+	if p.Shards > 1 {
+		lines = append(lines, p.placementLine())
+	}
+	lines = append(lines, p.treeLines()...)
+	return lines
+}
+
+func (p *Plan) placementLine() string {
+	participants := p.Shards
+	if p.Candidates != nil {
+		participants = len(p.Candidates)
+	}
+	switch {
+	case p.EmptyCandidates:
+		return fmt.Sprintf("placement: pruned to 0 of %d shards (distribution-key predicate is unsatisfiable)", p.Shards)
+	case p.Placement == PlacementColocated && participants == 1 && p.Candidates != nil:
+		return fmt.Sprintf("placement: single shard %d of %d (pruned by distribution key)", p.Candidates[0], p.Shards)
+	case p.Placement == PlacementColocated:
+		return fmt.Sprintf("placement: co-located, shard-local execution on %s", p.shardSetText(participants))
+	case p.Placement == PlacementBroadcast:
+		var names []string
+		for _, scan := range p.Scans {
+			if scan.Broadcast {
+				names = append(names, scan.Item.Name())
+			}
+		}
+		return fmt.Sprintf("placement: broadcast %s to %s, join shard-local",
+			strings.Join(names, ", "), p.shardSetText(participants))
+	default:
+		return fmt.Sprintf("placement: gather base rows from %d shards, join at coordinator", p.Shards)
+	}
+}
+
+func (p *Plan) shardSetText(participants int) string {
+	if p.Candidates == nil || participants == p.Shards {
+		return fmt.Sprintf("all %d shards", p.Shards)
+	}
+	parts := make([]string, len(p.Candidates))
+	for i, s := range p.Candidates {
+		parts[i] = fmt.Sprintf("%d", s)
+	}
+	return fmt.Sprintf("shards [%s] (%d of %d pruned)",
+		strings.Join(parts, " "), p.Shards-participants, p.Shards)
+}
+
+// treeLines renders the left-deep join tree, deepest scan first.
+func (p *Plan) treeLines() []string {
+	var render func(step int) []string
+	render = func(step int) []string {
+		if step < 0 {
+			return []string{p.scanLine(0)}
+		}
+		s := p.Steps[step]
+		method := s.Method.String()
+		if method == "AUTO" { // unrewritten statement: the executor chooses
+			method = "JOIN"
+		}
+		head := fmt.Sprintf("%s rows=%.0f cost=%.1f", method, s.EstRows, s.EstCost)
+		if s.On != nil {
+			head = fmt.Sprintf("%s (%s) rows=%.0f cost=%.1f", method, FormatExpr(s.On), s.EstRows, s.EstCost)
+		}
+		if s.KeyJoin {
+			head += " [co-located on distribution keys]"
+		}
+		out := []string{head}
+		for _, l := range render(step - 1) {
+			out = append(out, "  "+l)
+		}
+		out = append(out, "  "+p.scanLine(step+1))
+		return out
+	}
+	return render(len(p.Steps) - 1)
+}
+
+func (p *Plan) scanLine(i int) string {
+	scan := p.Scans[i]
+	name := scan.Item.Name()
+	if scan.Item.Subquery != nil {
+		return fmt.Sprintf("SUBQUERY %s rows=%.0f", name, scan.EstRows)
+	}
+	var sb strings.Builder
+	label := scan.Item.Table
+	if label == "" {
+		label = name
+	} else if !strings.EqualFold(label, name) {
+		label += " " + name
+	}
+	fmt.Fprintf(&sb, "SCAN %s rows=%.0f/%.0f", label, scan.EstRows, scan.BaseRows)
+	if len(scan.Conjuncts) > 0 {
+		parts := make([]string, len(scan.Conjuncts))
+		for i, c := range scan.Conjuncts {
+			parts[i] = FormatExpr(c)
+		}
+		fmt.Fprintf(&sb, " pushdown=[%s]", strings.Join(parts, " AND "))
+	}
+	if scan.Known && scan.Info.Stats.Analyzed {
+		sb.WriteString(" (analyzed)")
+	}
+	if scan.Broadcast {
+		sb.WriteString(" [broadcast]")
+	}
+	if scan.EmptyCandidates {
+		sb.WriteString(" [no candidate shards]")
+	} else if scan.Candidates != nil {
+		parts := make([]string, len(scan.Candidates))
+		for i, s := range scan.Candidates {
+			parts[i] = fmt.Sprintf("%d", s)
+		}
+		fmt.Fprintf(&sb, " [shards %s]", strings.Join(parts, " "))
+	}
+	return sb.String()
+}
+
+// FormatExpr renders an expression in SQL-ish syntax for plan display.
+func FormatExpr(e sqlparse.Expr) string {
+	switch n := e.(type) {
+	case nil:
+		return ""
+	case *sqlparse.ColumnRef:
+		return n.String()
+	case *sqlparse.Literal:
+		if n.Val.Kind == types.KindString {
+			return "'" + n.Val.Str + "'"
+		}
+		return n.Val.String()
+	case *sqlparse.BinaryExpr:
+		return fmt.Sprintf("%s %s %s", FormatExpr(n.Left), n.Op, FormatExpr(n.Right))
+	case *sqlparse.UnaryExpr:
+		return fmt.Sprintf("%s %s", n.Op, FormatExpr(n.Operand))
+	case *sqlparse.FuncCall:
+		if n.Star {
+			return strings.ToUpper(n.Name) + "(*)"
+		}
+		parts := make([]string, len(n.Args))
+		for i, a := range n.Args {
+			parts[i] = FormatExpr(a)
+		}
+		return strings.ToUpper(n.Name) + "(" + strings.Join(parts, ", ") + ")"
+	case *sqlparse.InExpr:
+		parts := make([]string, len(n.List))
+		for i, v := range n.List {
+			parts[i] = FormatExpr(v)
+		}
+		op := "IN"
+		if n.Negate {
+			op = "NOT IN"
+		}
+		return fmt.Sprintf("%s %s (%s)", FormatExpr(n.Operand), op, strings.Join(parts, ", "))
+	case *sqlparse.BetweenExpr:
+		op := "BETWEEN"
+		if n.Negate {
+			op = "NOT BETWEEN"
+		}
+		return fmt.Sprintf("%s %s %s AND %s", FormatExpr(n.Operand), op, FormatExpr(n.Low), FormatExpr(n.High))
+	case *sqlparse.IsNullExpr:
+		if n.Negate {
+			return FormatExpr(n.Operand) + " IS NOT NULL"
+		}
+		return FormatExpr(n.Operand) + " IS NULL"
+	case *sqlparse.LikeExpr:
+		op := "LIKE"
+		if n.Negate {
+			op = "NOT LIKE"
+		}
+		return fmt.Sprintf("%s %s %s", FormatExpr(n.Operand), op, FormatExpr(n.Pattern))
+	case *sqlparse.CastExpr:
+		return fmt.Sprintf("CAST(%s AS %s)", FormatExpr(n.Operand), n.To)
+	case *sqlparse.CaseExpr:
+		return "CASE ... END"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

@@ -1,0 +1,423 @@
+package planner
+
+import (
+	"idaax/internal/relalg"
+	"idaax/internal/sqlparse"
+	"idaax/internal/stats"
+)
+
+// Cost model constants. Units are "row touches"; only ratios matter.
+const (
+	costHashBuildPerRow = 2.0  // hash table insert
+	costHashProbePerRow = 1.2  // hash lookup
+	costPairPerRow      = 1.0  // nested-loop pair evaluation
+	costOutputPerRow    = 0.5  // materialising a joined row
+	costNetworkPerRow   = 2.0  // shipping a row shard -> coordinator (or copy)
+	minEstRows          = 0.05 // floor that keeps products meaningful
+)
+
+func clampRows(r float64) float64 {
+	if r < minEstRows {
+		return minEstRows
+	}
+	return r
+}
+
+// reorderable reports whether the FROM clause may be rearranged: inner/cross
+// joins only, every reference resolvable, and no bare `*` (whose output
+// column order follows the FROM order).
+func (a *analysis) reorderable() bool {
+	return len(a.scans) > 1 && a.innerOnly && a.ownersKnown && !a.bareStar
+}
+
+// rewritable is reorderable minus the bare-star restriction: the FROM order
+// is kept but ON conditions may still be re-derived (e.g. hoisting WHERE
+// equalities into comma joins).
+func (a *analysis) rewritable() bool {
+	return len(a.scans) > 1 && a.innerOnly && a.ownersKnown
+}
+
+// edgeSelectivity estimates one equality edge as 1/max(NDV left, NDV right).
+func (a *analysis) edgeSelectivity(e equiEdge) float64 {
+	ndv := 0.0
+	if col := a.column(a.scans[e.a], e.acol); col != nil && col.NDV > ndv {
+		ndv = col.NDV
+	}
+	if col := a.column(a.scans[e.b], e.bcol); col != nil && col.NDV > ndv {
+		ndv = col.NDV
+	}
+	if ndv < 1 {
+		return stats.DefaultEqSelectivity
+	}
+	return 1 / ndv
+}
+
+// joinEstimate estimates rows and cost of joining item t into the set mask.
+func (a *analysis) joinEstimate(mask uint64, maskRows float64, t int) (outRows, stepCost float64, method relalg.JoinMethod, keyJoin bool) {
+	tRows := clampRows(a.scans[t].EstRows)
+	maskRows = clampRows(maskRows)
+	sel := 1.0
+	hasEqui := false
+	for _, e := range a.equiEdges {
+		var other int
+		switch {
+		case e.a == t && mask&(1<<uint(e.b)) != 0:
+			other = e.b
+		case e.b == t && mask&(1<<uint(e.a)) != 0:
+			other = e.a
+		default:
+			continue
+		}
+		hasEqui = true
+		sel *= a.edgeSelectivity(e)
+		if a.isKeyEdge(e, t, other) {
+			keyJoin = true
+		}
+	}
+	for _, oc := range a.crossConjuncts {
+		if oc.mask&(1<<uint(t)) != 0 && oc.mask&^(mask|1<<uint(t)) == 0 {
+			sel *= stats.DefaultRangeSelectivity
+		}
+	}
+	outRows = clampRows(maskRows * tRows * sel)
+
+	hashCost := costHashBuildPerRow*tRows + costHashProbePerRow*maskRows + costOutputPerRow*outRows
+	nlCost := costPairPerRow*maskRows*tRows + costOutputPerRow*outRows
+	if hasEqui && hashCost <= nlCost {
+		return outRows, hashCost, relalg.MethodHash, keyJoin
+	}
+	return outRows, nlCost, relalg.MethodNestedLoop, keyJoin
+}
+
+// isKeyEdge reports that edge e joins t's distribution key to other's
+// distribution key — the property that keeps a hash-partitioned join
+// shard-local.
+func (a *analysis) isKeyEdge(e equiEdge, t, other int) bool {
+	ti, oi := a.scans[t].Info, a.scans[other].Info
+	if ti.DistKey == "" || oi.DistKey == "" {
+		return false
+	}
+	tcol, ocol := e.acol, e.bcol
+	if e.b == t {
+		tcol, ocol = e.bcol, e.acol
+	}
+	return tcol == ti.DistKey && ocol == oi.DistKey
+}
+
+// chooseOrder picks the join order: exhaustive left-deep dynamic programming
+// up to maxDPTables, greedy insertion beyond. It returns the original order
+// when reordering is not admissible.
+func chooseOrder(a *analysis) (order []int, reordered bool) {
+	n := len(a.scans)
+	order = make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if !a.reorderable() {
+		return order, false
+	}
+	var best []int
+	if n <= maxDPTables {
+		best = a.dpOrder()
+	} else {
+		best = a.greedyOrder()
+	}
+	for i := range best {
+		if best[i] != order[i] {
+			return best, true
+		}
+	}
+	return best, false
+}
+
+type dpState struct {
+	rows  float64
+	cost  float64
+	order []int
+	set   bool
+}
+
+func (a *analysis) dpOrder() []int {
+	n := len(a.scans)
+	dp := make([]dpState, 1<<uint(n))
+	for i := 0; i < n; i++ {
+		rows := clampRows(a.scans[i].EstRows)
+		dp[1<<uint(i)] = dpState{rows: rows, cost: rows, order: []int{i}, set: true}
+	}
+	for mask := uint64(1); mask < 1<<uint(n); mask++ {
+		cur := dp[mask]
+		if !cur.set {
+			continue
+		}
+		for t := 0; t < n; t++ {
+			bit := uint64(1) << uint(t)
+			if mask&bit != 0 {
+				continue
+			}
+			outRows, stepCost, _, _ := a.joinEstimate(mask, cur.rows, t)
+			next := mask | bit
+			total := cur.cost + clampRows(a.scans[t].EstRows) + stepCost
+			if !dp[next].set || total < dp[next].cost {
+				dp[next] = dpState{
+					rows:  outRows,
+					cost:  total,
+					order: append(append([]int(nil), cur.order...), t),
+					set:   true,
+				}
+			}
+		}
+	}
+	return dp[1<<uint(n)-1].order
+}
+
+func (a *analysis) greedyOrder() []int {
+	n := len(a.scans)
+	used := make([]bool, n)
+	// Start with the cheapest scan.
+	start := 0
+	for i := 1; i < n; i++ {
+		if a.scans[i].EstRows < a.scans[start].EstRows {
+			start = i
+		}
+	}
+	order := []int{start}
+	used[start] = true
+	mask := uint64(1) << uint(start)
+	rows := clampRows(a.scans[start].EstRows)
+	for len(order) < n {
+		bestT, bestCost, bestRows := -1, 0.0, 0.0
+		for t := 0; t < n; t++ {
+			if used[t] {
+				continue
+			}
+			outRows, stepCost, _, _ := a.joinEstimate(mask, rows, t)
+			if bestT < 0 || stepCost < bestCost {
+				bestT, bestCost, bestRows = t, stepCost, outRows
+			}
+		}
+		order = append(order, bestT)
+		used[bestT] = true
+		mask |= 1 << uint(bestT)
+		rows = bestRows
+	}
+	return order
+}
+
+// rebuildStatement produces the statement the executors run: the FROM items
+// in plan order, each non-first item carrying the AND of the join-graph
+// conjuncts first evaluable at that position. When the analysis is not
+// rewritable the original statement is returned untouched.
+func rebuildStatement(a *analysis, order []int, reordered bool) (*sqlparse.SelectStmt, []*JoinStep, []relalg.JoinMethod) {
+	n := len(order)
+	steps := make([]*JoinStep, 0, n-1)
+	methods := make([]relalg.JoinMethod, 0, n-1)
+
+	if !a.rewritable() {
+		// Keep the statement as-is; still estimate each step for EXPLAIN.
+		mask := uint64(1)
+		rows := clampRows(a.scans[0].EstRows)
+		cost := rows
+		for i := 1; i < n; i++ {
+			outRows, stepCost, method, keyJoin := a.joinEstimate(mask, rows, i)
+			cost += clampRows(a.scans[i].EstRows) + stepCost
+			steps = append(steps, &JoinStep{
+				Method:  relalg.MethodAuto,
+				On:      a.sel.From[i].On,
+				KeyJoin: keyJoin,
+				EstRows: outRows,
+				EstCost: cost,
+			})
+			methods = append(methods, relalg.MethodAuto)
+			_ = method
+			mask |= 1 << uint(i)
+			rows = outRows
+		}
+		return a.sel, steps, methods
+	}
+
+	assigned := make([]bool, len(a.onConjuncts))
+	newFrom := make([]sqlparse.FromItem, n)
+	first := a.sel.From[order[0]]
+	first.Join = sqlparse.JoinNone
+	first.On = nil
+	newFrom[0] = first
+
+	mask := uint64(1) << uint(order[0])
+	rows := clampRows(a.scans[order[0]].EstRows)
+	cost := rows
+	for k := 1; k < n; k++ {
+		t := order[k]
+		covered := mask | 1<<uint(t)
+		var on sqlparse.Expr
+		for ci, oc := range a.onConjuncts {
+			if assigned[ci] || oc.mask&^covered != 0 {
+				continue
+			}
+			assigned[ci] = true
+			if on == nil {
+				on = oc.e
+			} else {
+				on = &sqlparse.BinaryExpr{Op: sqlparse.OpAnd, Left: on, Right: oc.e}
+			}
+		}
+		item := a.sel.From[t]
+		if on != nil {
+			item.Join = sqlparse.JoinInner
+		} else {
+			item.Join = sqlparse.JoinCross
+		}
+		item.On = on
+		newFrom[k] = item
+
+		outRows, stepCost, method, keyJoin := a.joinEstimate(mask, rows, t)
+		cost += clampRows(a.scans[t].EstRows) + stepCost
+		steps = append(steps, &JoinStep{
+			Method:  method,
+			On:      on,
+			KeyJoin: keyJoin,
+			EstRows: outRows,
+			EstCost: cost,
+		})
+		methods = append(methods, method)
+		mask = covered
+		rows = outRows
+	}
+
+	newSel := *a.sel
+	newSel.From = newFrom
+	return &newSel, steps, methods
+}
+
+// choosePlacement decides the shard strategy for the plan. The decision only
+// applies when every FROM item is a sharded base table of the same group; the
+// executor falls back to gather otherwise.
+func choosePlacement(a *analysis, p *Plan) {
+	shards := 1
+	allSharded := true
+	for _, scan := range p.Scans {
+		if !scan.Known || scan.Info.Shards <= 1 {
+			allSharded = false
+			continue
+		}
+		if shards == 1 {
+			shards = scan.Info.Shards
+		} else if scan.Info.Shards != shards {
+			allSharded = false
+		}
+	}
+	p.Shards = shards
+	if shards == 1 {
+		p.Placement = PlacementLocal
+		return
+	}
+	if !allSharded {
+		p.Placement = PlacementGather
+		return
+	}
+
+	if len(p.Scans) == 1 {
+		// Single sharded table: scatter is trivially "co-located"; the
+		// candidate set decides pruning.
+		p.Placement = PlacementColocated
+		p.Candidates = p.Scans[0].Candidates
+		p.EmptyCandidates = p.Scans[0].EmptyCandidates
+		return
+	}
+	if !a.rewritable() {
+		p.Placement = PlacementGather
+		return
+	}
+
+	// Walk the execution order: a table stays shard-local when it is
+	// hash-distributed and joined to an already-local table on both
+	// distribution keys; everything else must be broadcast.
+	orderIdx := make([]int, len(p.Scans)) // position in analysis order
+	for k := range p.Scans {
+		for i, s := range a.scans {
+			if s == p.Scans[k] {
+				orderIdx[k] = i
+			}
+		}
+	}
+	var localMask uint64
+	var localRows, broadcastRows float64
+	anyLocal := false
+	for k, scan := range p.Scans {
+		t := orderIdx[k]
+		isHash := scan.Info.DistKey != "" && scan.Info.PlaceKey != nil
+		local := false
+		if isHash && !anyLocal {
+			local = true
+		} else if isHash {
+			for _, e := range a.equiEdges {
+				var other int
+				switch {
+				case e.a == t && localMask&(1<<uint(e.b)) != 0:
+					other = e.b
+				case e.b == t && localMask&(1<<uint(e.a)) != 0:
+					other = e.a
+				default:
+					continue
+				}
+				if a.isKeyEdge(e, t, other) {
+					local = true
+					break
+				}
+			}
+		}
+		if local {
+			anyLocal = true
+			localMask |= 1 << uint(t)
+			localRows += scan.EstRows
+			p.Candidates = intersectCandidates(p.Candidates, scan.Candidates)
+		} else {
+			scan.Broadcast = true
+			broadcastRows += scan.EstRows
+		}
+	}
+	if !anyLocal {
+		for _, scan := range p.Scans {
+			scan.Broadcast = false
+		}
+		p.Placement = PlacementGather
+		return
+	}
+	if p.Candidates != nil && len(p.Candidates) == 0 {
+		p.EmptyCandidates = true
+	}
+
+	participants := shards
+	if p.Candidates != nil {
+		participants = len(p.Candidates)
+	}
+	if participants == 0 {
+		participants = 1
+	}
+
+	broadcast := false
+	for _, scan := range p.Scans {
+		if scan.Broadcast {
+			broadcast = true
+		}
+	}
+	if !broadcast {
+		p.Placement = PlacementColocated
+		return
+	}
+
+	// Broadcast vs gather: replicating the broadcast tables to every
+	// participating shard and joining locally, versus shipping every table's
+	// base rows to the coordinator and joining once.
+	gatherCost := costNetworkPerRow * (localRows + broadcastRows)
+	joinCost := p.EstCost
+	costGatherPlan := gatherCost + joinCost
+	costBroadcastPlan := costNetworkPerRow*broadcastRows*float64(1+participants) + joinCost/float64(participants)
+	if costBroadcastPlan <= costGatherPlan {
+		p.Placement = PlacementBroadcast
+		return
+	}
+	for _, scan := range p.Scans {
+		scan.Broadcast = false
+	}
+	p.Placement = PlacementGather
+}

@@ -1,0 +1,191 @@
+// Package planner is the cost-based query optimizer shared by the single
+// accelerator and the shard router. It consumes a parsed SelectStmt plus
+// table statistics (internal/stats) and produces an explicit plan: scans with
+// pushed-down predicates and estimated cardinalities, a join order chosen by
+// estimated cost (dynamic programming over left-deep orders, greedy beyond 12
+// tables), a physical method per join (hash vs nested loop), and — for
+// sharded backends — a placement decision: prune to the shards that can hold
+// matching distribution-key values, execute co-located joins entirely
+// shard-local when tables are joined on their distribution keys, broadcast
+// the smaller side when only part of the join graph is co-located, or gather
+// base rows to the coordinator as the general fallback.
+//
+// The planner never changes statement semantics: it rewrites only the FROM
+// clause (join order and ON placement of inner joins), and executors re-apply
+// the full WHERE clause after the joins, so every plan returns exactly the
+// rows the un-planned execution would.
+package planner
+
+import (
+	"idaax/internal/relalg"
+	"idaax/internal/sqlparse"
+	"idaax/internal/stats"
+	"idaax/internal/types"
+)
+
+// TableInfo is what the planner knows about one base table.
+type TableInfo struct {
+	// Name is the normalized table name.
+	Name string
+	// Schema is the table schema.
+	Schema types.Schema
+	// Stats is the current statistics snapshot (zero-valued when none).
+	Stats stats.Snapshot
+	// DistKey is the hash-distribution column ("" for round robin or
+	// unsharded tables).
+	DistKey string
+	// Shards is the number of shards holding partitions of the table
+	// (1 for a single accelerator).
+	Shards int
+	// PlaceKey maps a distribution-key value to its owning shard ordinal.
+	// nil when the table has no key placement (round robin / unsharded).
+	PlaceKey func(types.Value) (int, bool)
+}
+
+// Catalog resolves table names to TableInfo. The second result is false for
+// unknown tables.
+type Catalog func(table string) (TableInfo, bool)
+
+// Placement is the shard-level execution strategy of a plan.
+type Placement int
+
+const (
+	// PlacementLocal is single-backend execution (no sharding involved).
+	PlacementLocal Placement = iota
+	// PlacementColocated runs the whole FROM — joins included — shard-local
+	// on every candidate shard; the coordinator only merges result partitions.
+	PlacementColocated
+	// PlacementBroadcast runs the join shard-local after replicating the
+	// broadcast-marked tables to every candidate shard.
+	PlacementBroadcast
+	// PlacementGather ships base rows of every table to the coordinator and
+	// joins there (the pre-planner behaviour).
+	PlacementGather
+)
+
+// String names the placement for EXPLAIN.
+func (p Placement) String() string {
+	switch p {
+	case PlacementLocal:
+		return "local"
+	case PlacementColocated:
+		return "co-located"
+	case PlacementBroadcast:
+		return "broadcast"
+	default:
+		return "gather"
+	}
+}
+
+// ScanNode is one planned base-table (or subquery) scan. Scans[i] of a Plan
+// always corresponds to Plan.Sel.From[i].
+type ScanNode struct {
+	// Item is the FROM item the scan materialises.
+	Item sqlparse.FromItem
+	// Info is the catalog entry; only meaningful when Known.
+	Info TableInfo
+	// Known is false for subqueries and tables the catalog cannot resolve.
+	Known bool
+	// Conjuncts are the WHERE conjuncts that reference only this item
+	// (candidates for scan pushdown, and the basis of Selectivity).
+	Conjuncts []sqlparse.Expr
+	// Selectivity is the estimated fraction of base rows surviving Conjuncts.
+	Selectivity float64
+	// BaseRows is the statistics row count (fleet-wide for sharded tables).
+	BaseRows float64
+	// EstRows = BaseRows * Selectivity.
+	EstRows float64
+	// Candidates are the shards that can hold rows matching the
+	// distribution-key predicates (nil = all shards).
+	Candidates []int
+	// EmptyCandidates marks a provably unsatisfiable distribution-key
+	// predicate (no shard can match).
+	EmptyCandidates bool
+	// Broadcast marks a table replicated to every participating shard by a
+	// PlacementBroadcast plan.
+	Broadcast bool
+}
+
+// JoinStep is one left-deep join step: joining Plan.Sel.From[i] (i = step
+// index + 1) to everything planned before it.
+type JoinStep struct {
+	// Method is the physical algorithm chosen by cost.
+	Method relalg.JoinMethod
+	// On is the join condition of the rewritten FROM item (nil = cross).
+	On sqlparse.Expr
+	// KeyJoin reports that the step joins the new table on its distribution
+	// key to a co-located table (the edge that keeps execution shard-local).
+	KeyJoin bool
+	// EstRows estimates the rows after this step.
+	EstRows float64
+	// EstCost is the cumulative cost up to and including this step.
+	EstCost float64
+}
+
+// Plan is a planned SELECT.
+type Plan struct {
+	// Sel is the statement to execute: FROM possibly reordered and ON
+	// conditions re-derived; every other clause aliases the original.
+	Sel *sqlparse.SelectStmt
+	// Scans align with Sel.From.
+	Scans []*ScanNode
+	// Steps align with Sel.From[1:].
+	Steps []*JoinStep
+	// Methods align with Sel.From[1:] (the relalg.JoinAllPlanned argument).
+	Methods []relalg.JoinMethod
+	// Placement is the shard strategy.
+	Placement Placement
+	// Shards is the shard count of the backing group (1 = single backend).
+	Shards int
+	// Candidates is the statement-level candidate shard set for
+	// co-located/broadcast placements and single-table statements
+	// (nil = all shards).
+	Candidates []int
+	// EmptyCandidates marks a statement that provably matches no shard.
+	EmptyCandidates bool
+	// Reordered reports that the FROM order differs from the original.
+	Reordered bool
+	// EstRows and EstCost are the final estimates.
+	EstRows float64
+	EstCost float64
+}
+
+// maxDPTables bounds the dynamic-programming join enumeration (2^n subsets);
+// beyond it the planner switches to greedy ordering.
+const maxDPTables = 12
+
+// defaultTableRows is assumed when a table has no statistics at all.
+const defaultTableRows = 1000
+
+// PlanSelect plans a SELECT against the catalog. It returns nil when there is
+// nothing to plan (no FROM clause).
+func PlanSelect(sel *sqlparse.SelectStmt, cat Catalog) *Plan {
+	if sel == nil || len(sel.From) == 0 {
+		return nil
+	}
+	a := analyze(sel, cat)
+
+	order, reordered := chooseOrder(a)
+	newSel, steps, methods := rebuildStatement(a, order, reordered)
+
+	p := &Plan{
+		Sel:       newSel,
+		Steps:     steps,
+		Methods:   methods,
+		Placement: PlacementLocal,
+		Shards:    1,
+		Reordered: reordered,
+	}
+	for _, pos := range order {
+		p.Scans = append(p.Scans, a.scans[pos])
+	}
+	if len(p.Steps) > 0 {
+		last := p.Steps[len(p.Steps)-1]
+		p.EstRows, p.EstCost = last.EstRows, last.EstCost
+	} else {
+		p.EstRows = p.Scans[0].EstRows
+		p.EstCost = p.Scans[0].EstRows
+	}
+	choosePlacement(a, p)
+	return p
+}

@@ -9,24 +9,60 @@ import (
 	"idaax/internal/types"
 )
 
+// JoinMethod selects the physical join algorithm. The planner picks a method
+// from cost estimates; MethodAuto keeps the historical heuristic (hash when
+// equality keys can be extracted from the ON condition).
+type JoinMethod int
+
+const (
+	// MethodAuto lets the executor choose: hash join when equi-keys exist,
+	// nested loop otherwise.
+	MethodAuto JoinMethod = iota
+	// MethodHash forces a hash join (falls back to nested loop when no
+	// equality keys can be extracted).
+	MethodHash
+	// MethodNestedLoop forces a nested-loop join.
+	MethodNestedLoop
+)
+
+// String returns the EXPLAIN spelling of the method.
+func (m JoinMethod) String() string {
+	switch m {
+	case MethodHash:
+		return "HASH JOIN"
+	case MethodNestedLoop:
+		return "NESTED LOOP"
+	default:
+		return "AUTO"
+	}
+}
+
 // Join combines two relations. Inner equi-joins use a hash join on the
 // equality columns extracted from the ON condition (with the probe phase
 // parallelised across `workers` goroutines, mirroring the accelerator's
 // slices); everything else falls back to a nested-loop join. LEFT joins emit
 // NULL-padded right sides for unmatched left rows. Cross joins have a nil
 // condition.
+//
+// NULL join keys never match in either algorithm: the hash path skips NULL
+// keys on both the build and probe side, and the nested-loop path relies on
+// SQL comparison semantics (NULL = x evaluates to NULL, collapsed to false).
 func Join(left, right *Relation, jt sqlparse.JoinType, on sqlparse.Expr, workers int) (*Relation, error) {
+	return JoinWith(left, right, jt, on, MethodAuto, workers)
+}
+
+// JoinWith is Join with an explicit method choice.
+func JoinWith(left, right *Relation, jt sqlparse.JoinType, on sqlparse.Expr, method JoinMethod, workers int) (*Relation, error) {
 	combinedCols := append(append([]expr.InputColumn(nil), left.Cols...), right.Cols...)
 	out := &Relation{Cols: combinedCols}
-	env := expr.NewEnv(combinedCols)
 
-	if on != nil {
+	if on != nil && method != MethodNestedLoop {
 		leftIdx, rightIdx, residualOK := extractEquiKeys(on, left, right)
 		if len(leftIdx) > 0 && (jt == sqlparse.JoinInner || jt == sqlparse.JoinLeft) && residualOK {
 			return hashJoin(left, right, jt, on, leftIdx, rightIdx, out, workers)
 		}
 	}
-	return nestedLoopJoin(left, right, jt, on, out, env)
+	return nestedLoopJoin(left, right, jt, on, out, workers)
 }
 
 // extractEquiKeys pulls column-equality pairs "l.col = r.col" out of a
@@ -124,6 +160,23 @@ func hashJoin(left, right *Relation, jt sqlparse.JoinType, on sqlparse.Expr, lef
 		out.Rows = rows
 		return out, nil
 	}
+	results, err := parallelOverLeft(n, workers, func(env *expr.Env, lo, hi int) ([]types.Row, error) {
+		return probe(env, left.Rows[lo:hi])
+	}, out.Cols)
+	if err != nil {
+		return nil, err
+	}
+	for _, part := range results {
+		out.Rows = append(out.Rows, part...)
+	}
+	return out, nil
+}
+
+// parallelOverLeft splits [0, n) into one contiguous chunk per worker and runs
+// fn on each with a worker-private expression environment (environments carry
+// per-query override maps and must not be shared across goroutines). Results
+// come back in chunk order so the output row order matches a serial run.
+func parallelOverLeft(n, workers int, fn func(env *expr.Env, lo, hi int) ([]types.Row, error), cols []expr.InputColumn) ([][]types.Row, error) {
 	if workers > n {
 		workers = n
 	}
@@ -143,7 +196,7 @@ func hashJoin(left, right *Relation, jt sqlparse.JoinType, on sqlparse.Expr, lef
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			results[w], errs[w] = probe(expr.NewEnv(out.Cols), left.Rows[lo:hi])
+			results[w], errs[w] = fn(expr.NewEnv(cols), lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -152,10 +205,7 @@ func hashJoin(left, right *Relation, jt sqlparse.JoinType, on sqlparse.Expr, lef
 			return nil, err
 		}
 	}
-	for _, part := range results {
-		out.Rows = append(out.Rows, part...)
-	}
-	return out, nil
+	return results, nil
 }
 
 func joinKey(row types.Row, idx []int) (string, bool) {
@@ -169,31 +219,63 @@ func joinKey(row types.Row, idx []int) (string, bool) {
 	return key, true
 }
 
-func nestedLoopJoin(left, right *Relation, jt sqlparse.JoinType, on sqlparse.Expr, out *Relation, env *expr.Env) (*Relation, error) {
+// nestedLoopJoin evaluates the condition for every row pair. Each worker
+// reuses one expression environment and one scratch row for the whole chunk
+// (the combined row is only cloned when the pair actually joins), and the
+// probe side is parallelised like the hash join's when the pair count is
+// large enough to amortise the goroutines.
+func nestedLoopJoin(left, right *Relation, jt sqlparse.JoinType, on sqlparse.Expr, out *Relation, workers int) (*Relation, error) {
 	nullRight := make(types.Row, len(right.Cols))
 	for i := range nullRight {
 		nullRight[i] = types.Null()
 	}
-	for _, lrow := range left.Rows {
-		matched := false
-		for _, rrow := range right.Rows {
-			combined := append(append(make(types.Row, 0, len(out.Cols)), lrow...), rrow...)
-			if on != nil {
-				pass, err := env.EvalBool(on, combined)
-				if err != nil {
-					return nil, err
+	lw := len(left.Cols)
+
+	probe := func(env *expr.Env, lrows []types.Row) ([]types.Row, error) {
+		var rows []types.Row
+		scratch := make(types.Row, len(out.Cols))
+		for _, lrow := range lrows {
+			matched := false
+			copy(scratch, lrow)
+			for _, rrow := range right.Rows {
+				copy(scratch[lw:], rrow)
+				if on != nil {
+					pass, err := env.EvalBool(on, scratch)
+					if err != nil {
+						return nil, err
+					}
+					if !pass {
+						continue
+					}
 				}
-				if !pass {
-					continue
-				}
+				matched = true
+				rows = append(rows, append(types.Row(nil), scratch...))
 			}
-			matched = true
-			out.Rows = append(out.Rows, combined)
+			if !matched && jt == sqlparse.JoinLeft {
+				copy(scratch[lw:], nullRight)
+				rows = append(rows, append(types.Row(nil), scratch...))
+			}
 		}
-		if !matched && jt == sqlparse.JoinLeft {
-			combined := append(append(make(types.Row, 0, len(out.Cols)), lrow...), nullRight...)
-			out.Rows = append(out.Rows, combined)
+		return rows, nil
+	}
+
+	n := len(left.Rows)
+	if workers < 2 || n*len(right.Rows) < 1<<14 || n < 2 {
+		rows, err := probe(expr.NewEnv(out.Cols), left.Rows)
+		if err != nil {
+			return nil, err
 		}
+		out.Rows = rows
+		return out, nil
+	}
+	results, err := parallelOverLeft(n, workers, func(env *expr.Env, lo, hi int) ([]types.Row, error) {
+		return probe(env, left.Rows[lo:hi])
+	}, out.Cols)
+	if err != nil {
+		return nil, err
+	}
+	for _, part := range results {
+		out.Rows = append(out.Rows, part...)
 	}
 	return out, nil
 }
@@ -203,6 +285,13 @@ func nestedLoopJoin(left, right *Relation, jt sqlparse.JoinType, on sqlparse.Exp
 // hash-join probe parallelism (1 for the DB2 row engine, the slice count for
 // the accelerator).
 func JoinAll(rels []*Relation, from []sqlparse.FromItem, workers int) (*Relation, error) {
+	return JoinAllPlanned(rels, from, nil, workers)
+}
+
+// JoinAllPlanned is JoinAll with per-step method choices from the planner.
+// methods[i-1] applies to the join adding from[i]; nil (or a short slice)
+// means MethodAuto for the remaining steps.
+func JoinAllPlanned(rels []*Relation, from []sqlparse.FromItem, methods []JoinMethod, workers int) (*Relation, error) {
 	if len(rels) == 0 {
 		// SELECT without FROM: a single empty row so scalar expressions work.
 		return &Relation{Rows: []types.Row{{}}}, nil
@@ -216,7 +305,11 @@ func JoinAll(rels []*Relation, from []sqlparse.FromItem, workers int) (*Relation
 		if jt == sqlparse.JoinNone {
 			jt = sqlparse.JoinCross
 		}
-		joined, err := Join(acc, rels[i], jt, from[i].On, workers)
+		method := MethodAuto
+		if i-1 < len(methods) {
+			method = methods[i-1]
+		}
+		joined, err := JoinWith(acc, rels[i], jt, from[i].On, method, workers)
 		if err != nil {
 			return nil, err
 		}

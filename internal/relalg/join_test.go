@@ -1,0 +1,130 @@
+package relalg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"idaax/internal/expr"
+	"idaax/internal/sqlparse"
+	"idaax/internal/types"
+)
+
+func joinTestRelation(qualifier string, n int, nullEvery int) *Relation {
+	cols := []expr.InputColumn{
+		{Qualifier: qualifier, Name: "K", Kind: types.KindInt},
+		{Qualifier: qualifier, Name: "V", Kind: types.KindString},
+	}
+	rel := &Relation{Cols: cols}
+	for i := 0; i < n; i++ {
+		k := types.NewInt(int64(i % 7))
+		if nullEvery > 0 && i%nullEvery == 0 {
+			k = types.Null()
+		}
+		rel.Rows = append(rel.Rows, types.Row{k, types.NewString(fmt.Sprintf("%s%d", qualifier, i))})
+	}
+	return rel
+}
+
+func equiCondition(l, r string) sqlparse.Expr {
+	return &sqlparse.BinaryExpr{
+		Op:    sqlparse.OpEq,
+		Left:  &sqlparse.ColumnRef{Table: l, Name: "K"},
+		Right: &sqlparse.ColumnRef{Table: r, Name: "K"},
+	}
+}
+
+func rowFingerprints(rel *Relation) []string {
+	out := make([]string, len(rel.Rows))
+	for i, row := range rel.Rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.GroupKey()
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestJoinMethodsAgreeOnNulls is the NULL-consistency check of the join
+// satellite: NULL keys must never match in the hash path, the serial
+// nested-loop path, or the parallel nested-loop path, for INNER and LEFT
+// joins alike.
+func TestJoinMethodsAgreeOnNulls(t *testing.T) {
+	left := joinTestRelation("L", 120, 5) // every 5th key NULL
+	right := joinTestRelation("R", 90, 4) // every 4th key NULL
+	on := equiCondition("L", "R")
+
+	for _, jt := range []sqlparse.JoinType{sqlparse.JoinInner, sqlparse.JoinLeft} {
+		hash, err := JoinWith(left, right, jt, on, MethodHash, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nl, err := JoinWith(left, right, jt, on, MethodNestedLoop, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nlPar, err := JoinWith(left, right, jt, on, MethodNestedLoop, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, n, np := rowFingerprints(hash), rowFingerprints(nl), rowFingerprints(nlPar)
+		if len(h) == 0 {
+			t.Fatalf("join type %v produced no rows", jt)
+		}
+		for i := range h {
+			if h[i] != n[i] || h[i] != np[i] {
+				t.Fatalf("join type %v: row %d differs between methods:\nhash: %s\nnl:   %s\nnlp:  %s",
+					jt, i, h[i], n[i], np[i])
+			}
+		}
+		// No NULL key may appear in a matched (inner) row.
+		if jt == sqlparse.JoinInner {
+			for _, row := range hash.Rows {
+				if row[0].IsNull() || row[2].IsNull() {
+					t.Fatalf("inner join emitted a NULL key row: %v", row)
+				}
+			}
+		}
+	}
+}
+
+// TestNestedLoopParallelMatchesSerial checks the parallelised nested loop on
+// a non-equi condition (no hash fallback possible).
+func TestNestedLoopParallelMatchesSerial(t *testing.T) {
+	left := joinTestRelation("L", 200, 0)
+	right := joinTestRelation("R", 100, 0)
+	on := &sqlparse.BinaryExpr{
+		Op:    sqlparse.OpLt,
+		Left:  &sqlparse.ColumnRef{Table: "L", Name: "K"},
+		Right: &sqlparse.ColumnRef{Table: "R", Name: "K"},
+	}
+	serial, err := Join(left, right, sqlparse.JoinInner, on, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Join(left, right, sqlparse.JoinInner, on, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, p := rowFingerprints(serial), rowFingerprints(parallel)
+	if len(s) != len(p) {
+		t.Fatalf("row counts differ: %d vs %d", len(s), len(p))
+	}
+	for i := range s {
+		if s[i] != p[i] {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+	// Parallel execution must also preserve the serial row order (chunks
+	// concatenate in order).
+	for i := range serial.Rows {
+		for j := range serial.Rows[i] {
+			if serial.Rows[i][j].GroupKey() != parallel.Rows[i][j].GroupKey() {
+				t.Fatalf("ordering differs at row %d", i)
+			}
+		}
+	}
+}

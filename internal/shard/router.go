@@ -7,7 +7,9 @@ import (
 	"sync/atomic"
 
 	"idaax/internal/accel"
+	"idaax/internal/planner"
 	"idaax/internal/sqlparse"
+	"idaax/internal/stats"
 	"idaax/internal/types"
 )
 
@@ -24,8 +26,9 @@ type tableMeta struct {
 type Stats struct {
 	// QueriesRouted counts SELECTs executed through the router.
 	QueriesRouted int64
-	// QueriesPruned counts SELECTs answered by a single shard because an
-	// equality predicate covered the distribution key.
+	// QueriesPruned counts SELECTs answered by a single shard because
+	// distribution-key predicates (equality, IN list, bounded range) covered
+	// the distribution key.
 	QueriesPruned int64
 	// TwoPhaseAggregates counts SELECTs executed as partial aggregation on the
 	// shards with finalization at the coordinator.
@@ -33,6 +36,15 @@ type Stats struct {
 	// RowsGathered counts base-table rows shipped from shards to the
 	// coordinator by scatter-gather queries.
 	RowsGathered int64
+	// ColocatedJoins counts multi-table SELECTs whose joins executed entirely
+	// shard-local (co-located or broadcast placement).
+	ColocatedJoins int64
+	// BroadcastJoins counts the subset of ColocatedJoins that replicated at
+	// least one table to the participating shards.
+	BroadcastJoins int64
+	// ShardScansAvoided counts per-table shard scans eliminated by
+	// distribution-key pruning (summed over the statements' base tables).
+	ShardScansAvoided int64
 }
 
 // Router spreads tables over a fleet of accelerators and implements
@@ -54,6 +66,10 @@ type Router struct {
 	commitMu sync.RWMutex
 
 	stats Stats
+
+	// planningDisabled turns the cost-based planner off (heuristic routing
+	// only); the benchmark harness uses it to measure the planner's effect.
+	planningDisabled int32
 }
 
 // NewRouter creates a router over the given member accelerators. At least one
@@ -123,8 +139,26 @@ func (r *Router) ShardingStats() Stats {
 		QueriesPruned:      atomic.LoadInt64(&r.stats.QueriesPruned),
 		TwoPhaseAggregates: atomic.LoadInt64(&r.stats.TwoPhaseAggregates),
 		RowsGathered:       atomic.LoadInt64(&r.stats.RowsGathered),
+		ColocatedJoins:     atomic.LoadInt64(&r.stats.ColocatedJoins),
+		BroadcastJoins:     atomic.LoadInt64(&r.stats.BroadcastJoins),
+		ShardScansAvoided:  atomic.LoadInt64(&r.stats.ShardScansAvoided),
 	}
 }
+
+// SetCostBasedPlanning enables or disables the cost-based planner (enabled by
+// default). With planning off, the router falls back to the heuristic
+// routing: equality-only pruning, single-table two-phase aggregation, and
+// gather joins.
+func (r *Router) SetCostBasedPlanning(enabled bool) {
+	v := int32(1)
+	if enabled {
+		v = 0
+	}
+	atomic.StoreInt32(&r.planningDisabled, v)
+}
+
+// PlanningEnabled reports whether cost-based planning is active.
+func (r *Router) PlanningEnabled() bool { return atomic.LoadInt32(&r.planningDisabled) == 0 }
 
 func (r *Router) meta(table string) (*tableMeta, error) {
 	r.mu.RLock()
@@ -212,6 +246,76 @@ func (r *Router) TableNames() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// ---------------------------------------------------------------------------
+// Statistics and planning
+// ---------------------------------------------------------------------------
+
+// Analyze rebuilds the planner statistics of a sharded table on every member
+// and returns the total number of rows analyzed.
+func (r *Router) Analyze(table string) (int, error) {
+	if _, err := r.meta(table); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, m := range r.members {
+		n, err := m.Analyze(table)
+		total += n
+		if err != nil {
+			return total, fmt.Errorf("shard %s: %w", m.Name(), err)
+		}
+	}
+	return total, nil
+}
+
+// TableStatistics merges the per-shard statistics of a sharded table into a
+// fleet-wide snapshot (row counts add, min/max widen, NDV sums capped; see
+// stats.Merge).
+func (r *Router) TableStatistics(table string) (stats.Snapshot, error) {
+	if _, err := r.meta(table); err != nil {
+		return stats.Snapshot{}, err
+	}
+	snaps := make([]stats.Snapshot, 0, len(r.members))
+	for _, m := range r.members {
+		s, err := m.TableStatistics(table)
+		if err != nil {
+			return stats.Snapshot{}, fmt.Errorf("shard %s: %w", m.Name(), err)
+		}
+		snaps = append(snaps, s)
+	}
+	return stats.Merge(snaps), nil
+}
+
+// PlannerCatalog exposes the sharded tables, their merged statistics and
+// their partitioners to the cost-based planner.
+func (r *Router) PlannerCatalog() planner.Catalog {
+	return func(table string) (planner.TableInfo, bool) {
+		meta, err := r.meta(table)
+		if err != nil {
+			return planner.TableInfo{}, false
+		}
+		snap, err := r.TableStatistics(table)
+		if err != nil {
+			snap = stats.Snapshot{}
+		}
+		info := planner.TableInfo{
+			Name:    types.NormalizeName(table),
+			Schema:  meta.schema,
+			Stats:   snap,
+			DistKey: meta.distKey,
+			Shards:  len(r.members),
+		}
+		if meta.keyIdx >= 0 {
+			info.PlaceKey = meta.part.PlaceKey
+		}
+		return info, true
+	}
+}
+
+// Explain plans a SELECT against the shard fleet without executing it.
+func (r *Router) Explain(sel *sqlparse.SelectStmt) (*planner.Plan, error) {
+	return planner.PlanSelect(sel, r.PlannerCatalog()), nil
 }
 
 // ---------------------------------------------------------------------------

@@ -7,31 +7,46 @@ import (
 	"sync/atomic"
 
 	"idaax/internal/accel"
+	"idaax/internal/planner"
 	"idaax/internal/relalg"
 	"idaax/internal/sqlparse"
 	"idaax/internal/types"
 )
 
-// Query executes a SELECT across the shard fleet. Three plans exist, picked in
-// this order:
+// Query executes a SELECT across the shard fleet. The cost-based planner
+// (internal/planner) decides among four strategies:
 //
-//  1. Shard pruning: when the query reads one hash-distributed table and an
-//     equality conjunct of the WHERE clause covers the distribution key, only
-//     the owning shard can hold matching rows — the whole statement runs there.
-//  2. Two-phase aggregation: grouped/aggregate queries over one table are
-//     rewritten so every shard computes partial aggregates (COUNT/SUM/MIN/MAX
-//     and AVG split into SUM+COUNT) over its slice of the data and the
-//     coordinator finalises the partials, applying HAVING/ORDER BY/LIMIT on
-//     the merged groups. Only group rows travel, not base rows.
-//  3. Scatter-gather: base rows of every referenced table are gathered from
-//     all shards in parallel (simple WHERE conjuncts pushed into each shard's
-//     columnar scans) and the full statement — joins included — executes on
-//     the union at the coordinator.
+//  1. Shard pruning: distribution-key predicates (equality, IN lists, and
+//     bounded integer ranges) restrict the statement to the shards that can
+//     hold matching rows; when a single shard remains, the whole statement —
+//     aggregation and ordering included — runs there.
+//  2. Co-located execution: when every table is hash-distributed and joined
+//     on its distribution key, the joins run entirely shard-local; grouped
+//     queries additionally split into per-shard partial aggregation with
+//     finalisation at the coordinator (two-phase), so only group rows travel.
+//  3. Broadcast: when part of the join graph is co-located, the remaining
+//     (smaller) tables are replicated to every participating shard and the
+//     join still runs shard-local.
+//  4. Scatter-gather: base rows of every referenced table are gathered from
+//     the candidate shards in parallel (simple WHERE conjuncts pushed into
+//     each shard's columnar scans) and the full statement executes on the
+//     union at the coordinator — the general fallback.
 //
 // All plans return results identical to running the same statement on a
 // single accelerator holding all rows.
 func (r *Router) Query(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
 	atomic.AddInt64(&r.stats.QueriesRouted, 1)
+	if r.PlanningEnabled() {
+		if pl := planner.PlanSelect(sel, r.PlannerCatalog()); pl != nil {
+			return r.executePlanned(txnID, sel, pl)
+		}
+	}
+	return r.queryHeuristic(txnID, sel)
+}
+
+// queryHeuristic is the pre-planner routing (still used when cost-based
+// planning is disabled, e.g. by the benchmark harness to measure the gap).
+func (r *Router) queryHeuristic(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
 	if len(sel.From) == 1 && sel.From[0].Subquery == nil {
 		item := sel.From[0]
 		if meta, err := r.meta(item.Table); err == nil {
@@ -42,19 +57,177 @@ func (r *Router) Query(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Relation,
 			if relalg.NeedsAggregation(sel) {
 				if plan, ok := planTwoPhase(sel); ok {
 					atomic.AddInt64(&r.stats.TwoPhaseAggregates, 1)
-					return r.executeTwoPhase(txnID, plan)
+					return r.executeTwoPhase(txnID, plan, r.allMembers())
 				}
 			}
 		}
 	}
-	return r.executeGather(txnID, sel)
+	return r.executeGather(txnID, sel, nil)
+}
+
+// executePlanned runs a SELECT according to the planner's placement decision.
+func (r *Router) executePlanned(txnID int64, sel *sqlparse.SelectStmt, pl *planner.Plan) (*relalg.Relation, error) {
+	r.noteAvoidedScans(pl)
+	switch pl.Placement {
+	case planner.PlacementColocated, planner.PlacementBroadcast:
+		return r.executeShardLocal(txnID, sel, pl)
+	default:
+		// Gather; single-table statements never land here (the planner marks
+		// them co-located), so no two-phase opportunity is lost.
+		return r.executeGather(txnID, sel, pl)
+	}
+}
+
+// participantsOf maps the plan's candidate shard set to member ordinals
+// (nil candidates = every member). An empty candidate set — a provably
+// unsatisfiable distribution-key predicate — collapses to shard 0, which
+// returns the correct empty (or zero-aggregate) result shape.
+func (r *Router) participantsOf(candidates []int, empty bool) []int {
+	if empty {
+		return []int{0}
+	}
+	if candidates == nil {
+		return r.allMembers()
+	}
+	out := make([]int, 0, len(candidates))
+	for _, s := range candidates {
+		if s >= 0 && s < len(r.members) {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return []int{0}
+	}
+	return out
+}
+
+func (r *Router) allMembers() []int {
+	out := make([]int, len(r.members))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// noteAvoidedScans accounts the per-table shard scans the plan's candidate
+// sets eliminate.
+func (r *Router) noteAvoidedScans(pl *planner.Plan) {
+	total := len(r.members)
+	avoided := 0
+	for _, scan := range pl.Scans {
+		if !scan.Known {
+			continue
+		}
+		if scan.EmptyCandidates {
+			avoided += total - 1 // still touches one shard for the result shape
+		} else if scan.Candidates != nil {
+			avoided += total - len(scan.Candidates)
+		}
+	}
+	if avoided > 0 {
+		atomic.AddInt64(&r.stats.ShardScansAvoided, int64(avoided))
+	}
+}
+
+// executeShardLocal runs co-located and broadcast plans: every participating
+// shard builds the joined FROM relation locally (scans with pushdown, planned
+// join order and methods, broadcast tables substituted by their gathered full
+// content), and the coordinator executes the rest of the statement over the
+// union of the per-shard join results. Grouped co-located statements take the
+// cheaper two-phase route instead: shards pre-aggregate their local joins and
+// only group rows travel.
+func (r *Router) executeShardLocal(txnID int64, sel *sqlparse.SelectStmt, pl *planner.Plan) (*relalg.Relation, error) {
+	participants := r.participantsOf(pl.Candidates, pl.EmptyCandidates)
+	hasBroadcast := pl.Placement == planner.PlacementBroadcast
+	multiTable := len(pl.Scans) > 1
+
+	// Single remaining shard and nothing to broadcast: the whole statement —
+	// aggregation, ordering, limits — is answerable by that shard alone.
+	if len(participants) == 1 && !hasBroadcast {
+		if pl.Candidates != nil || pl.EmptyCandidates {
+			atomic.AddInt64(&r.stats.QueriesPruned, 1)
+		}
+		if multiTable {
+			atomic.AddInt64(&r.stats.ColocatedJoins, 1)
+		}
+		return r.members[participants[0]].Query(txnID, sel)
+	}
+
+	if !hasBroadcast && relalg.NeedsAggregation(sel) {
+		if plan, ok := planTwoPhase(sel); ok {
+			atomic.AddInt64(&r.stats.TwoPhaseAggregates, 1)
+			if multiTable {
+				atomic.AddInt64(&r.stats.ColocatedJoins, 1)
+			}
+			return r.executeTwoPhase(txnID, plan, participants)
+		}
+	}
+
+	if multiTable {
+		atomic.AddInt64(&r.stats.ColocatedJoins, 1)
+		if hasBroadcast {
+			atomic.AddInt64(&r.stats.BroadcastJoins, 1)
+		}
+	}
+
+	snaps := r.snapshotAll(txnID)
+
+	// Gather the full content of every broadcast table once; all shards share
+	// the same materialised relation.
+	var overrides map[string]*relalg.Relation
+	for i, scan := range pl.Scans {
+		if !scan.Broadcast {
+			continue
+		}
+		item := pl.Sel.From[i]
+		var from []int // empty candidates: an empty relation joins to nothing
+		if !scan.EmptyCandidates {
+			from = r.participantsOf(scan.Candidates, false)
+		}
+		rows, err := r.gatherRows(from, snaps, item, pl.Sel)
+		if err != nil {
+			return nil, err
+		}
+		if overrides == nil {
+			overrides = make(map[string]*relalg.Relation)
+		}
+		overrides[types.NormalizeName(item.Name())] = relalg.FromTable(item.Name(), scan.Info.Schema, rows)
+	}
+
+	// Build the joined FROM relation on every participating shard in parallel.
+	results := make([]*relalg.Relation, len(participants))
+	errs := make([]error, len(participants))
+	var wg sync.WaitGroup
+	for i, p := range participants {
+		m := r.members[p]
+		m.NoteQuery()
+		wg.Add(1)
+		go func(i int, m *accel.Accelerator, snap *accel.Snapshot) {
+			defer wg.Done()
+			results[i], errs[i] = m.BuildFromRelation(txnID, snap, pl.Sel, overrides, pl.Methods)
+		}(i, m, snaps[p])
+	}
+	wg.Wait()
+	union := &relalg.Relation{}
+	for i := range participants {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("shard %s: %w", r.members[participants[i]].Name(), errs[i])
+		}
+		if union.Cols == nil {
+			union.Cols = results[i].Cols
+		}
+		union.Rows = append(union.Rows, results[i].Rows...)
+	}
+	atomic.AddInt64(&r.stats.RowsGathered, int64(len(union.Rows)))
+	return relalg.ExecuteSelect(union, pl.Sel, relalg.Options{Parallelism: r.Slices()})
 }
 
 // pruneTarget inspects the WHERE clause for a "distKey = literal" conjunct on
 // the given FROM item and returns the single shard that can hold matching
 // rows. Any such conjunct restricts every result row to one key value, so the
 // whole query — including aggregation and ordering — is answerable by the
-// owning shard alone.
+// owning shard alone. (The heuristic path only; the planner generalises this
+// to IN lists and bounded ranges.)
 func (r *Router) pruneTarget(meta *tableMeta, item sqlparse.FromItem, where sqlparse.Expr) (int, bool) {
 	if meta.keyIdx < 0 || where == nil {
 		return 0, false
@@ -97,33 +270,52 @@ func equalityOperands(b *sqlparse.BinaryExpr) (*sqlparse.ColumnRef, *sqlparse.Li
 }
 
 // executeGather runs the general plan: every referenced sharded table is
-// gathered from all shards in parallel, subqueries recurse through the
-// router, and the complete statement executes over the union — the same
-// structure as Accelerator.Query, with the fleet standing in for the slices.
-func (r *Router) executeGather(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
+// gathered from its candidate shards in parallel (all shards when pl is nil),
+// subqueries recurse through the router, and the complete statement executes
+// over the union — the same structure as Accelerator.Query, with the fleet
+// standing in for the slices.
+func (r *Router) executeGather(txnID int64, sel *sqlparse.SelectStmt, pl *planner.Plan) (*relalg.Relation, error) {
 	// One snapshot per member for the whole statement, taken under the commit
 	// fence, so the scans of a multi-table join observe each shard at a
 	// single, mutually consistent point in time.
 	snaps := r.snapshotAll(txnID)
-	for _, item := range sel.From {
-		if item.Subquery == nil {
-			// The statement gathers base rows from every shard; count it once
-			// per member so QueriesRun is comparable across routing plans
-			// (pruned: one shard; two-phase and gather: all shards).
-			for _, m := range r.members {
-				m.NoteQuery()
+	execSel := sel
+	var methods []relalg.JoinMethod
+	if pl != nil {
+		execSel = pl.Sel
+		methods = pl.Methods
+	}
+
+	// QueriesRun accounting: every member that gathers base rows for any
+	// table did work for this statement.
+	touched := map[int]bool{}
+	for i, item := range execSel.From {
+		if item.Subquery != nil {
+			continue
+		}
+		members := r.allMembers()
+		if pl != nil && pl.Scans[i].Known {
+			members = r.participantsOf(pl.Scans[i].Candidates, pl.Scans[i].EmptyCandidates)
+			if pl.Scans[i].EmptyCandidates {
+				members = nil
 			}
-			break
+		}
+		for _, m := range members {
+			touched[m] = true
 		}
 	}
-	from, err := r.buildFrom(txnID, snaps, sel)
+	for m := range touched {
+		r.members[m].NoteQuery()
+	}
+
+	from, err := r.buildFrom(txnID, snaps, execSel, pl, methods)
 	if err != nil {
 		return nil, err
 	}
-	return relalg.ExecuteSelect(from, sel, relalg.Options{Parallelism: r.Slices()})
+	return relalg.ExecuteSelect(from, execSel, relalg.Options{Parallelism: r.Slices()})
 }
 
-func (r *Router) buildFrom(txnID int64, snaps []*accel.Snapshot, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
+func (r *Router) buildFrom(txnID int64, snaps []*accel.Snapshot, sel *sqlparse.SelectStmt, pl *planner.Plan, methods []relalg.JoinMethod) (*relalg.Relation, error) {
 	if len(sel.From) == 0 {
 		return relalg.JoinAll(nil, nil, r.Slices())
 	}
@@ -141,34 +333,43 @@ func (r *Router) buildFrom(txnID int64, snaps []*accel.Snapshot, sel *sqlparse.S
 		if err != nil {
 			return nil, err
 		}
-		rows, err := r.gatherRows(snaps, item, sel)
+		members := r.allMembers()
+		if pl != nil && pl.Scans[i].Known {
+			if pl.Scans[i].EmptyCandidates {
+				members = nil
+			} else {
+				members = r.participantsOf(pl.Scans[i].Candidates, false)
+			}
+		}
+		rows, err := r.gatherRows(members, snaps, item, sel)
 		if err != nil {
 			return nil, err
 		}
 		rels[i] = relalg.FromTable(item.Name(), meta.schema, rows)
 	}
-	return relalg.JoinAll(rels, sel.From, r.Slices())
+	return relalg.JoinAllPlanned(rels, sel.From, methods, r.Slices())
 }
 
-// gatherRows scans one table on every shard concurrently and concatenates the
-// results in shard order. Simple WHERE conjuncts are pushed into each shard's
-// scan so zone maps prune on the shards, not at the coordinator.
-func (r *Router) gatherRows(snaps []*accel.Snapshot, item sqlparse.FromItem, sel *sqlparse.SelectStmt) ([]types.Row, error) {
-	results := make([][]types.Row, len(r.members))
-	errs := make([]error, len(r.members))
+// gatherRows scans one table on the given members concurrently and
+// concatenates the results in shard order. Simple WHERE conjuncts are pushed
+// into each shard's scan so zone maps prune on the shards, not at the
+// coordinator.
+func (r *Router) gatherRows(members []int, snaps []*accel.Snapshot, item sqlparse.FromItem, sel *sqlparse.SelectStmt) ([]types.Row, error) {
+	results := make([][]types.Row, len(members))
+	errs := make([]error, len(members))
 	var wg sync.WaitGroup
-	for i, m := range r.members {
+	for i, p := range members {
 		wg.Add(1)
-		go func(i int, m *accel.Accelerator) {
+		go func(i int, m *accel.Accelerator, snap *accel.Snapshot) {
 			defer wg.Done()
-			results[i], errs[i] = m.ScanVisible(snaps[i], item.Table, sel, item)
-		}(i, m)
+			results[i], errs[i] = m.ScanVisible(snap, item.Table, sel, item)
+		}(i, r.members[p], snaps[p])
 	}
 	wg.Wait()
 	total := 0
-	for i := range r.members {
+	for i := range members {
 		if errs[i] != nil {
-			return nil, fmt.Errorf("shard %s: %w", r.members[i].Name(), errs[i])
+			return nil, fmt.Errorf("shard %s: %w", r.members[members[i]].Name(), errs[i])
 		}
 		total += len(results[i])
 	}
@@ -180,27 +381,27 @@ func (r *Router) gatherRows(snaps []*accel.Snapshot, item sqlparse.FromItem, sel
 	return out, nil
 }
 
-// scatterQuery runs the same statement on every shard concurrently — each
-// under its snapshot from the fenced set — and returns the union of the
+// scatterQuery runs the same statement on the given members concurrently —
+// each under its snapshot from the fenced set — and returns the union of the
 // result relations (columns taken from the first shard; every shard produces
 // the identical column layout).
-func (r *Router) scatterQuery(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
+func (r *Router) scatterQuery(txnID int64, sel *sqlparse.SelectStmt, members []int) (*relalg.Relation, error) {
 	snaps := r.snapshotAll(txnID)
-	results := make([]*relalg.Relation, len(r.members))
-	errs := make([]error, len(r.members))
+	results := make([]*relalg.Relation, len(members))
+	errs := make([]error, len(members))
 	var wg sync.WaitGroup
-	for i, m := range r.members {
+	for i, p := range members {
 		wg.Add(1)
-		go func(i int, m *accel.Accelerator) {
+		go func(i int, m *accel.Accelerator, snap *accel.Snapshot) {
 			defer wg.Done()
-			results[i], errs[i] = m.QueryAt(txnID, snaps[i], sel)
-		}(i, m)
+			results[i], errs[i] = m.QueryAt(txnID, snap, sel)
+		}(i, r.members[p], snaps[p])
 	}
 	wg.Wait()
 	union := &relalg.Relation{}
-	for i := range r.members {
+	for i := range members {
 		if errs[i] != nil {
-			return nil, fmt.Errorf("shard %s: %w", r.members[i].Name(), errs[i])
+			return nil, fmt.Errorf("shard %s: %w", r.members[members[i]].Name(), errs[i])
 		}
 		if union.Cols == nil {
 			union.Cols = results[i].Cols
@@ -211,10 +412,10 @@ func (r *Router) scatterQuery(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Re
 	return union, nil
 }
 
-// executeTwoPhase scatters the partial-aggregate statement and finalises the
-// merged partials at the coordinator.
-func (r *Router) executeTwoPhase(txnID int64, plan *twoPhasePlan) (*relalg.Relation, error) {
-	union, err := r.scatterQuery(txnID, plan.shardSel)
+// executeTwoPhase scatters the partial-aggregate statement to the members and
+// finalises the merged partials at the coordinator.
+func (r *Router) executeTwoPhase(txnID int64, plan *twoPhasePlan, members []int) (*relalg.Relation, error) {
+	union, err := r.scatterQuery(txnID, plan.shardSel, members)
 	if err != nil {
 		return nil, err
 	}

@@ -200,10 +200,17 @@ type SetStmt struct {
 
 func (*SetStmt) stmt() {}
 
-// ExplainStmt wraps another statement and asks for its routing decision.
+// ExplainStmt wraps another statement and asks for its routing decision and
+// execution plan.
 type ExplainStmt struct{ Target Statement }
 
 func (*ExplainStmt) stmt() {}
+
+// AnalyzeStmt represents ANALYZE TABLE t: rebuild the planner statistics of
+// the table's accelerator copies (row counts, NDV, min/max, histograms).
+type AnalyzeStmt struct{ Table string }
+
+func (*AnalyzeStmt) stmt() {}
 
 // ShowStmt represents SHOW TABLES / SHOW ACCELERATORS.
 type ShowStmt struct{ What string }
@@ -498,6 +505,8 @@ func StatementTables(st Statement) []string {
 		return []string{types.NormalizeName(s.Table)}
 	case *ExplainStmt:
 		return StatementTables(s.Target)
+	case *AnalyzeStmt:
+		return []string{types.NormalizeName(s.Table)}
 	default:
 		return nil
 	}

@@ -61,7 +61,7 @@ var keywords = map[string]bool{
 	"CALL": true, "CURRENT": true, "QUERY": true, "ACCELERATION": true,
 	"NONE": true, "ENABLE": true, "ELIGIBLE": true, "WITH": true, "FAILBACK": true,
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
-	"EXPLAIN": true, "SHOW": true, "TABLES": true, "ACCELERATORS": true,
+	"EXPLAIN": true, "SHOW": true, "TABLES": true, "ACCELERATORS": true, "ANALYZE": true,
 	"FETCH": true, "FIRST": true, "ROWS": true, "ROW": true,
 }
 

@@ -192,6 +192,14 @@ func (p *parser) parseStatement() (Statement, error) {
 			return nil, err
 		}
 		return &ExplainStmt{Target: target}, nil
+	case "ANALYZE":
+		p.advance()
+		p.acceptKeyword("TABLE")
+		name, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		return &AnalyzeStmt{Table: name}, nil
 	case "SHOW":
 		p.advance()
 		what, err := p.identifier()

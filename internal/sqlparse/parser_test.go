@@ -191,6 +191,15 @@ func TestParseTransactionAndSet(t *testing.T) {
 }
 
 func TestParseExplainShow(t *testing.T) {
+	an := parseOne(t, "ANALYZE TABLE sales").(*AnalyzeStmt)
+	if an.Table != "SALES" {
+		t.Fatalf("ANALYZE table = %q", an.Table)
+	}
+	an = parseOne(t, "ANALYZE sales").(*AnalyzeStmt)
+	if an.Table != "SALES" {
+		t.Fatalf("ANALYZE short form table = %q", an.Table)
+	}
+
 	ex := parseOne(t, "EXPLAIN SELECT * FROM t").(*ExplainStmt)
 	if _, ok := ex.Target.(*SelectStmt); !ok {
 		t.Fatal("explain target")

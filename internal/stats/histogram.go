@@ -1,0 +1,89 @@
+package stats
+
+import "sort"
+
+// histogramBuckets is the equi-depth bucket count ANALYZE builds. 64 buckets
+// bound the range-selectivity error at ~1.6% of the rows per boundary.
+const histogramBuckets = 64
+
+// Histogram is an equi-depth histogram over the numeric projection of a
+// column (ints, floats, timestamps and booleans; strings have no histogram).
+// Bucket i covers (Bounds[i-1], Bounds[i]] — the first bucket starts at Lo —
+// and every bucket holds approximately Total/len(Bounds) values.
+type Histogram struct {
+	Lo     float64
+	Bounds []float64
+	Total  int64
+}
+
+// BuildHistogram sorts the sample and cuts it into equal-count buckets.
+// It returns nil when there are too few values to be useful.
+func BuildHistogram(vals []float64) *Histogram {
+	if len(vals) < 2*histogramBuckets {
+		return nil
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	h := &Histogram{Lo: vals[0], Total: int64(n)}
+	for b := 1; b <= histogramBuckets; b++ {
+		idx := b*n/histogramBuckets - 1
+		bound := vals[idx]
+		// Collapse duplicate boundaries (heavily skewed columns) so FractionBelow
+		// interpolation stays monotone.
+		if len(h.Bounds) > 0 && bound <= h.Bounds[len(h.Bounds)-1] {
+			continue
+		}
+		h.Bounds = append(h.Bounds, bound)
+	}
+	if len(h.Bounds) == 0 {
+		return nil
+	}
+	return h
+}
+
+// FractionBelow estimates the fraction of values v with v < x (inclusive
+// false) or v <= x (inclusive true).
+func (h *Histogram) FractionBelow(x float64, inclusive bool) float64 {
+	if h == nil || len(h.Bounds) == 0 {
+		return 0.5
+	}
+	if x < h.Lo || (x == h.Lo && !inclusive) {
+		return 0
+	}
+	last := h.Bounds[len(h.Bounds)-1]
+	if x > last || (x == last && inclusive) {
+		return 1
+	}
+	// Locate the bucket containing x and interpolate linearly inside it.
+	per := 1.0 / float64(len(h.Bounds))
+	lo := h.Lo
+	for i, hi := range h.Bounds {
+		if x <= hi {
+			frac := 1.0
+			if hi > lo {
+				frac = (x - lo) / (hi - lo)
+			}
+			return float64(i)*per + frac*per
+		}
+		lo = hi
+	}
+	return 1
+}
+
+// FractionRange estimates the fraction of values inside [lo, hi] (nil bound =
+// unbounded on that side; loInc/hiInc select open or closed ends).
+func (h *Histogram) FractionRange(lo, hi *float64, loInc, hiInc bool) float64 {
+	below := 1.0
+	if hi != nil {
+		below = h.FractionBelow(*hi, hiInc)
+	}
+	above := 0.0
+	if lo != nil {
+		above = h.FractionBelow(*lo, !loInc)
+	}
+	f := below - above
+	if f < 0 {
+		return 0
+	}
+	return f
+}

@@ -1,0 +1,55 @@
+package stats
+
+import "sort"
+
+// kmvK is the number of minimum hashes the NDV sketch retains. 256 gives a
+// relative standard error of roughly 1/sqrt(k-1) ≈ 6%, plenty for join-order
+// and selectivity decisions, at a fixed 2 KiB per column.
+const kmvK = 256
+
+// KMV is a k-minimum-values distinct-count sketch. It keeps the k smallest
+// 64-bit hashes seen; the density of the k-th smallest hash in [0, 2^64)
+// estimates how many distinct hashes exist in total. Updates are cheap once
+// the sketch is warm: a new hash is only inserted when it undercuts the
+// current k-th minimum, which happens with probability ~k/NDV.
+type KMV struct {
+	hashes []uint64 // sorted ascending, at most kmvK entries, no duplicates
+}
+
+// Add offers one value hash to the sketch.
+func (s *KMV) Add(h uint64) {
+	n := len(s.hashes)
+	if n == kmvK && h >= s.hashes[n-1] {
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return s.hashes[i] >= h })
+	if i < n && s.hashes[i] == h {
+		return
+	}
+	if n < kmvK {
+		s.hashes = append(s.hashes, 0)
+	} else {
+		n-- // drop the current maximum to make room
+	}
+	copy(s.hashes[i+1:], s.hashes[i:n])
+	s.hashes[i] = h
+}
+
+// Estimate returns the estimated number of distinct values offered so far.
+func (s *KMV) Estimate() float64 {
+	n := len(s.hashes)
+	if n < kmvK {
+		// Fewer than k distinct hashes seen: the sketch is exact.
+		return float64(n)
+	}
+	kth := s.hashes[n-1]
+	if kth == 0 {
+		return float64(n)
+	}
+	// (k-1) distinct hashes landed below the k-th minimum; scale by its
+	// position in the hash space.
+	return float64(kmvK-1) / (float64(kth) / float64(^uint64(0)))
+}
+
+// Reset discards all state.
+func (s *KMV) Reset() { s.hashes = s.hashes[:0] }

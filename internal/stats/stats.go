@@ -1,0 +1,353 @@
+// Package stats maintains per-table and per-column statistics for the
+// cost-based planner: live row counts, null fractions, min/max bounds,
+// distinct-value estimates from a k-minimum-values hash sketch, and equi-depth
+// histograms built by ANALYZE. Counters are maintained incrementally on every
+// insert/delete (cheap, approximate upper bounds); ANALYZE TABLE rebuilds them
+// exactly from the visible rows and adds histograms.
+//
+// The package is storage-agnostic: colstore feeds a Collector under its table
+// mutex, and the planner consumes immutable Snapshots.
+package stats
+
+import (
+	"idaax/internal/types"
+)
+
+// ColumnStats accumulates one column's statistics.
+type ColumnStats struct {
+	Name    string
+	Kind    types.Kind
+	NonNull int64
+	Nulls   int64
+	// Min/Max are valid when NonNull > 0. They only widen between ANALYZE runs
+	// (deletes do not shrink them).
+	Min, Max types.Value
+	sketch   KMV
+	Hist     *Histogram
+}
+
+func (c *ColumnStats) observe(v types.Value) {
+	if v.IsNull() {
+		c.Nulls++
+		return
+	}
+	c.NonNull++
+	c.sketch.Add(v.Hash())
+	if c.NonNull == 1 {
+		c.Min, c.Max = v, v
+		return
+	}
+	if cmp, err := types.Compare(v, c.Min); err == nil && cmp < 0 {
+		c.Min = v
+	}
+	if cmp, err := types.Compare(v, c.Max); err == nil && cmp > 0 {
+		c.Max = v
+	}
+}
+
+// Collector accumulates statistics for one table. It is not internally
+// synchronised: the owning storage layer calls it under its own mutex.
+type Collector struct {
+	schema types.Schema
+	// liveRows tracks inserts minus deletes. It can drift from the exact
+	// committed count (aborted transactions leave their inserts counted until
+	// the next ANALYZE); the planner only needs the order of magnitude.
+	liveRows int64
+	analyzed bool
+	cols     []ColumnStats
+}
+
+// NewCollector creates an empty collector for the schema.
+func NewCollector(schema types.Schema) *Collector {
+	c := &Collector{schema: schema}
+	c.resetColumns()
+	return c
+}
+
+func (c *Collector) resetColumns() {
+	c.cols = make([]ColumnStats, c.schema.Len())
+	for i, col := range c.schema.Columns {
+		c.cols[i] = ColumnStats{Name: col.Name, Kind: col.Kind}
+	}
+}
+
+// ObserveInsert folds one inserted row into the statistics.
+func (c *Collector) ObserveInsert(row types.Row) {
+	c.liveRows++
+	for i := range c.cols {
+		if i < len(row) {
+			c.cols[i].observe(row[i])
+		}
+	}
+}
+
+// ObserveDelete records one row removed.
+func (c *Collector) ObserveDelete() {
+	if c.liveRows > 0 {
+		c.liveRows--
+	}
+}
+
+// ObserveUndelete compensates a rolled-back delete.
+func (c *Collector) ObserveUndelete() { c.liveRows++ }
+
+// AnalyzeRows rebuilds the statistics exactly from the given visible rows and
+// builds equi-depth histograms for the numeric columns.
+func (c *Collector) AnalyzeRows(rows []types.Row) {
+	c.resetColumns()
+	c.liveRows = int64(len(rows))
+	c.analyzed = true
+	samples := make([][]float64, len(c.cols))
+	for _, row := range rows {
+		for i := range c.cols {
+			if i >= len(row) {
+				continue
+			}
+			c.cols[i].observe(row[i])
+			if v := row[i]; !v.IsNull() && numericKind(v.Kind) {
+				if f, ok := v.AsFloat(); ok {
+					samples[i] = append(samples[i], f)
+				}
+			}
+		}
+	}
+	for i := range c.cols {
+		c.cols[i].Hist = BuildHistogram(samples[i])
+	}
+}
+
+func numericKind(k types.Kind) bool {
+	switch k {
+	case types.KindInt, types.KindFloat, types.KindTimestamp, types.KindBool:
+		return true
+	default:
+		return false
+	}
+}
+
+// ColumnSnapshot is an immutable copy of one column's statistics plus the
+// estimators the planner uses.
+type ColumnSnapshot struct {
+	Name    string
+	Kind    types.Kind
+	NonNull int64
+	Nulls   int64
+	NDV     float64
+	Min     types.Value
+	Max     types.Value
+	Hist    *Histogram
+}
+
+// Snapshot is an immutable copy of a table's statistics.
+type Snapshot struct {
+	// Rows is the estimated live row count.
+	Rows int64
+	// Analyzed reports whether ANALYZE has run (histograms present, counters
+	// exact as of that run).
+	Analyzed bool
+	Cols     []ColumnSnapshot
+}
+
+// Snapshot copies the current statistics.
+func (c *Collector) Snapshot() Snapshot {
+	s := Snapshot{Rows: c.liveRows, Analyzed: c.analyzed, Cols: make([]ColumnSnapshot, len(c.cols))}
+	for i := range c.cols {
+		col := &c.cols[i]
+		ndv := col.sketch.Estimate()
+		if ndv > float64(col.NonNull) {
+			ndv = float64(col.NonNull)
+		}
+		s.Cols[i] = ColumnSnapshot{
+			Name:    col.Name,
+			Kind:    col.Kind,
+			NonNull: col.NonNull,
+			Nulls:   col.Nulls,
+			NDV:     ndv,
+			Min:     col.Min,
+			Max:     col.Max,
+			Hist:    col.Hist,
+		}
+	}
+	return s
+}
+
+// Column returns the snapshot of the named column, or nil.
+func (s *Snapshot) Column(name string) *ColumnSnapshot {
+	name = types.NormalizeName(name)
+	for i := range s.Cols {
+		if s.Cols[i].Name == name {
+			return &s.Cols[i]
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Selectivity estimators
+// ---------------------------------------------------------------------------
+
+// Default selectivities when no statistics apply, the classic System R
+// constants.
+const (
+	DefaultEqSelectivity    = 0.1
+	DefaultRangeSelectivity = 1.0 / 3.0
+)
+
+// NullFraction returns the fraction of NULL values.
+func (c *ColumnSnapshot) NullFraction() float64 {
+	total := c.NonNull + c.Nulls
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Nulls) / float64(total)
+}
+
+func (c *ColumnSnapshot) notNullFraction() float64 { return 1 - c.NullFraction() }
+
+// SelectivityEq estimates the fraction of rows with column = v.
+func (c *ColumnSnapshot) SelectivityEq(v types.Value) float64 {
+	if c == nil {
+		return DefaultEqSelectivity
+	}
+	if v.IsNull() {
+		return 0 // = NULL never matches
+	}
+	if c.NonNull == 0 {
+		return 0
+	}
+	// Outside the observed min/max the value cannot exist.
+	if out, known := c.outOfRange(v); known && out {
+		return 0
+	}
+	if c.NDV >= 1 {
+		return clampSel(c.notNullFraction() / c.NDV)
+	}
+	return DefaultEqSelectivity
+}
+
+// SelectivityIn estimates the fraction of rows with column IN (vs...).
+func (c *ColumnSnapshot) SelectivityIn(vs []types.Value) float64 {
+	s := 0.0
+	for _, v := range vs {
+		s += c.SelectivityEq(v)
+	}
+	return clampSel(s)
+}
+
+// SelectivityRange estimates the fraction of rows inside [lo, hi]; nil bounds
+// are unbounded, loInc/hiInc select closed or open ends.
+func (c *ColumnSnapshot) SelectivityRange(lo, hi *types.Value, loInc, hiInc bool) float64 {
+	if c == nil {
+		return DefaultRangeSelectivity
+	}
+	if c.NonNull == 0 {
+		return 0
+	}
+	var lof, hif *float64
+	if lo != nil {
+		if f, ok := lo.AsFloat(); ok {
+			lof = &f
+		} else {
+			return DefaultRangeSelectivity
+		}
+	}
+	if hi != nil {
+		if f, ok := hi.AsFloat(); ok {
+			hif = &f
+		} else {
+			return DefaultRangeSelectivity
+		}
+	}
+	if c.Hist != nil {
+		return clampSel(c.notNullFraction() * c.Hist.FractionRange(lof, hif, loInc, hiInc))
+	}
+	// No histogram: interpolate uniformly between the observed min and max.
+	minF, okMin := c.Min.AsFloat()
+	maxF, okMax := c.Max.AsFloat()
+	if !okMin || !okMax || maxF <= minF {
+		return DefaultRangeSelectivity
+	}
+	loB, hiB := minF, maxF
+	if lof != nil && *lof > loB {
+		loB = *lof
+	}
+	if hif != nil && *hif < hiB {
+		hiB = *hif
+	}
+	if hiB < loB {
+		return 0
+	}
+	return clampSel(c.notNullFraction() * (hiB - loB) / (maxF - minF))
+}
+
+func (c *ColumnSnapshot) outOfRange(v types.Value) (out, known bool) {
+	if c.Min.IsNull() || c.Max.IsNull() {
+		return false, false
+	}
+	cmpLo, err1 := types.Compare(v, c.Min)
+	cmpHi, err2 := types.Compare(v, c.Max)
+	if err1 != nil || err2 != nil {
+		return false, false
+	}
+	return cmpLo < 0 || cmpHi > 0, true
+}
+
+func clampSel(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// Merge combines per-shard snapshots of the same table into a fleet-wide
+// view: row and null counts add, min/max widen, and NDV sums capped by the
+// non-null count (an upper bound — a key present on two shards is counted
+// twice; good enough for planning, and exact again after ANALYZE for
+// distribution-key columns, which never repeat across shards).
+func Merge(snaps []Snapshot) Snapshot {
+	var out Snapshot
+	for _, s := range snaps {
+		if len(out.Cols) == 0 {
+			out.Analyzed = s.Analyzed
+			out.Cols = make([]ColumnSnapshot, len(s.Cols))
+			copy(out.Cols, s.Cols)
+			for i := range out.Cols {
+				out.Cols[i].Hist = nil // per-shard histograms do not merge
+			}
+			out.Rows = s.Rows
+			continue
+		}
+		out.Rows += s.Rows
+		out.Analyzed = out.Analyzed && s.Analyzed
+		for i := range out.Cols {
+			if i >= len(s.Cols) {
+				break
+			}
+			a, b := &out.Cols[i], &s.Cols[i]
+			a.NonNull += b.NonNull
+			a.Nulls += b.Nulls
+			a.NDV += b.NDV
+			if a.NDV > float64(a.NonNull) {
+				a.NDV = float64(a.NonNull)
+			}
+			if a.Min.IsNull() {
+				a.Min = b.Min
+			} else if !b.Min.IsNull() {
+				if cmp, err := types.Compare(b.Min, a.Min); err == nil && cmp < 0 {
+					a.Min = b.Min
+				}
+			}
+			if a.Max.IsNull() {
+				a.Max = b.Max
+			} else if !b.Max.IsNull() {
+				if cmp, err := types.Compare(b.Max, a.Max); err == nil && cmp > 0 {
+					a.Max = b.Max
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"idaax/internal/types"
+)
+
+func testSchema() types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "ID", Kind: types.KindInt},
+		types.Column{Name: "AMOUNT", Kind: types.KindFloat},
+		types.Column{Name: "REGION", Kind: types.KindString},
+	)
+}
+
+func TestIncrementalCounters(t *testing.T) {
+	c := NewCollector(testSchema())
+	for i := 0; i < 1000; i++ {
+		region := types.NewString(fmt.Sprintf("R%d", i%4))
+		if i%10 == 0 {
+			region = types.Null()
+		}
+		c.ObserveInsert(types.Row{types.NewInt(int64(i)), types.NewFloat(float64(i) / 2), region})
+	}
+	for i := 0; i < 100; i++ {
+		c.ObserveDelete()
+	}
+	c.ObserveUndelete()
+	s := c.Snapshot()
+	if s.Rows != 901 {
+		t.Fatalf("rows = %d, want 901", s.Rows)
+	}
+	id := s.Column("id")
+	if id == nil || id.NonNull != 1000 {
+		t.Fatalf("id stats: %+v", id)
+	}
+	if got, _ := id.Min.AsInt(); got != 0 {
+		t.Fatalf("id min = %v", id.Min)
+	}
+	if got, _ := id.Max.AsInt(); got != 999 {
+		t.Fatalf("id max = %v", id.Max)
+	}
+	if id.NDV < 900 || id.NDV > 1100 {
+		t.Fatalf("id NDV = %.0f, want ~1000", id.NDV)
+	}
+	region := s.Column("REGION")
+	if region.NDV != 4 {
+		t.Fatalf("region NDV = %.0f, want 4 exactly (under sketch capacity)", region.NDV)
+	}
+	if nf := region.NullFraction(); math.Abs(nf-0.1) > 0.001 {
+		t.Fatalf("region null fraction = %f", nf)
+	}
+}
+
+func TestKMVAccuracy(t *testing.T) {
+	var s KMV
+	// Distinct hashes spread over the space via a multiplicative generator.
+	const n = 50000
+	for i := uint64(1); i <= n; i++ {
+		s.Add(i * 0x9e3779b97f4a7c15)
+	}
+	est := s.Estimate()
+	if est < 0.75*n || est > 1.25*n {
+		t.Fatalf("KMV estimate %.0f for %d distinct", est, n)
+	}
+	// Duplicates must not inflate the estimate.
+	before := s.Estimate()
+	for i := uint64(1); i <= 1000; i++ {
+		s.Add(i * 0x9e3779b97f4a7c15)
+	}
+	if s.Estimate() != before {
+		t.Fatalf("duplicate adds changed the estimate")
+	}
+}
+
+func TestAnalyzeHistogramSelectivity(t *testing.T) {
+	c := NewCollector(testSchema())
+	rows := make([]types.Row, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		rows = append(rows, types.Row{
+			types.NewInt(int64(i)),
+			types.NewFloat(float64(i % 100)),
+			types.NewString("X"),
+		})
+	}
+	c.AnalyzeRows(rows)
+	s := c.Snapshot()
+	if !s.Analyzed {
+		t.Fatal("snapshot not marked analyzed")
+	}
+	id := s.Column("ID")
+	if id.Hist == nil {
+		t.Fatal("no histogram on ID after analyze")
+	}
+	lo := types.NewInt(0)
+	hi := types.NewInt(2499)
+	sel := id.SelectivityRange(&lo, &hi, true, true)
+	if sel < 0.2 || sel > 0.3 {
+		t.Fatalf("range selectivity = %f, want ~0.25", sel)
+	}
+	eq := id.SelectivityEq(types.NewInt(42))
+	if eq < 0.5/10000 || eq > 2.0/10000 {
+		t.Fatalf("eq selectivity = %f, want ~1/10000", eq)
+	}
+	if got := id.SelectivityEq(types.NewInt(123456)); got != 0 {
+		t.Fatalf("out-of-range eq selectivity = %f, want 0", got)
+	}
+	amount := s.Column("AMOUNT")
+	if amount.NDV != 100 {
+		t.Fatalf("amount NDV = %.0f, want 100", amount.NDV)
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	var snaps []Snapshot
+	for sh := 0; sh < 3; sh++ {
+		c := NewCollector(testSchema())
+		for i := sh * 100; i < (sh+1)*100; i++ {
+			c.ObserveInsert(types.Row{types.NewInt(int64(i)), types.NewFloat(1), types.NewString("A")})
+		}
+		snaps = append(snaps, c.Snapshot())
+	}
+	m := Merge(snaps)
+	if m.Rows != 300 {
+		t.Fatalf("merged rows = %d", m.Rows)
+	}
+	id := m.Column("ID")
+	if got, _ := id.Min.AsInt(); got != 0 {
+		t.Fatalf("merged min = %v", id.Min)
+	}
+	if got, _ := id.Max.AsInt(); got != 299 {
+		t.Fatalf("merged max = %v", id.Max)
+	}
+	if id.NDV < 290 || id.NDV > 300 {
+		t.Fatalf("merged NDV = %.0f", id.NDV)
+	}
+}

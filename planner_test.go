@@ -1,0 +1,190 @@
+package idaax_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"idaax"
+)
+
+// seedJoinTables creates a co-located pair (ORDERS hash on CUSTOMER_ID,
+// CUSTOMERS hash on ID) plus a round-robin LOOKUP table on the given
+// accelerator and loads deterministic rows through the SQL INSERT path.
+func seedJoinTables(t *testing.T, sys *idaax.System, accelerator string) {
+	t.Helper()
+	s := sys.AdminSession()
+	ddl := []string{
+		fmt.Sprintf("CREATE TABLE orders (oid BIGINT NOT NULL, customer_id BIGINT, amount DOUBLE, region VARCHAR(8)) IN ACCELERATOR %s DISTRIBUTE BY HASH(customer_id)", accelerator),
+		fmt.Sprintf("CREATE TABLE customers (id BIGINT NOT NULL, name VARCHAR(16), segment VARCHAR(8)) IN ACCELERATOR %s DISTRIBUTE BY HASH(id)", accelerator),
+		fmt.Sprintf("CREATE TABLE lookup (region VARCHAR(8), factor DOUBLE) IN ACCELERATOR %s DISTRIBUTE BY RANDOM", accelerator),
+	}
+	for _, d := range ddl {
+		if _, err := s.Exec(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	regions := []string{"EU", "US", "APAC"}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO orders VALUES ")
+	for i := 0; i < 400; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d, %g, '%s')", i, i%59, float64(i%11)*0.5, regions[i%3])
+	}
+	s.MustExec(sb.String())
+	sb.Reset()
+	sb.WriteString("INSERT INTO customers VALUES ")
+	segments := []string{"SMB", "ENT", "GOV"}
+	for i := 0; i < 59; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, 'C%03d', '%s')", i, i, segments[i%3])
+	}
+	s.MustExec(sb.String())
+	s.MustExec("INSERT INTO lookup VALUES ('EU', 1.5), ('US', 2.0), ('APAC', 0.5)")
+}
+
+// TestPlannerDifferentialSQL runs join and pruning statements on a 3-shard
+// system and a single-accelerator system; result sets must be byte-identical.
+func TestPlannerDifferentialSQL(t *testing.T) {
+	sharded := newShardedSystem(t, 3)
+	single := idaax.New(idaax.Config{AcceleratorSlices: 2})
+	seedJoinTables(t, sharded, "SHARDS")
+	seedJoinTables(t, single, "IDAA1")
+
+	queries := []string{
+		// Co-located joins.
+		"SELECT o.oid, c.name FROM orders o JOIN customers c ON o.customer_id = c.id ORDER BY o.oid",
+		"SELECT c.segment, COUNT(*), SUM(o.amount) FROM orders o JOIN customers c ON o.customer_id = c.id GROUP BY c.segment ORDER BY c.segment",
+		"SELECT o.oid, c.name FROM orders o, customers c WHERE o.customer_id = c.id AND o.amount > 2 ORDER BY o.oid",
+		// Broadcast join (LOOKUP is round robin).
+		"SELECT l.region, SUM(o.amount * l.factor) FROM orders o JOIN lookup l ON o.region = l.region GROUP BY l.region ORDER BY l.region",
+		// Three-way.
+		"SELECT c.segment, l.region, COUNT(*) FROM orders o JOIN customers c ON o.customer_id = c.id JOIN lookup l ON o.region = l.region GROUP BY c.segment, l.region ORDER BY c.segment, l.region",
+		// Gather fallback.
+		"SELECT c.id, COUNT(o.oid) FROM customers c LEFT JOIN orders o ON c.id = o.customer_id GROUP BY c.id ORDER BY c.id",
+		// IN-list / range pruning.
+		"SELECT COUNT(*), SUM(amount) FROM orders WHERE customer_id IN (3, 17, 42)",
+		"SELECT COUNT(*) FROM orders WHERE customer_id BETWEEN 10 AND 12",
+		"SELECT oid FROM orders WHERE customer_id >= 55 AND customer_id < 58 ORDER BY oid",
+		// Pruned co-located join.
+		"SELECT o.oid, c.name FROM orders o JOIN customers c ON o.customer_id = c.id WHERE o.customer_id = 7 ORDER BY o.oid",
+	}
+	shardedSess := sharded.AdminSession()
+	singleSess := single.AdminSession()
+	for _, q := range queries {
+		got, err := shardedSess.Query(q)
+		if err != nil {
+			t.Fatalf("sharded %q: %v", q, err)
+		}
+		want, err := singleSess.Query(q)
+		if err != nil {
+			t.Fatalf("single %q: %v", q, err)
+		}
+		if resultFingerprint(got) != resultFingerprint(want) {
+			t.Fatalf("%q differs:\nsharded:\n%s\nsingle:\n%s", q, resultFingerprint(got), resultFingerprint(want))
+		}
+	}
+
+	st, err := sharded.ShardGroupStats("SHARDS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ColocatedJoins == 0 || st.BroadcastJoins == 0 || st.ShardScansAvoided == 0 {
+		t.Fatalf("planner counters missing activity: %+v", st)
+	}
+}
+
+// TestExplainColocatedJoin is the EXPLAIN acceptance criterion: a two-table
+// join over a sharded pair with a shared distribution key must show a
+// shard-local (co-located) plan with cost and cardinality estimates.
+func TestExplainColocatedJoin(t *testing.T) {
+	sys := newShardedSystem(t, 3)
+	seedJoinTables(t, sys, "SHARDS")
+	s := sys.AdminSession()
+
+	if _, err := s.Exec("ANALYZE TABLE orders"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query("EXPLAIN SELECT o.oid, c.name FROM orders o JOIN customers c ON o.customer_id = c.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][1] != "SHARDS" {
+		t.Fatalf("expected routing to SHARDS, got %v", res.Rows[0])
+	}
+	plan := ""
+	for _, row := range res.Rows[1:] {
+		plan += row[3] + "\n"
+	}
+	for _, want := range []string{"co-located", "HASH JOIN", "SCAN ORDERS", "SCAN CUSTOMERS", "cost=", "rows="} {
+		if !strings.Contains(plan, want) {
+			t.Fatalf("plan missing %q:\n%s", want, plan)
+		}
+	}
+
+	// A pruned statement shows the single-shard placement.
+	res, err = s.Query("EXPLAIN SELECT COUNT(*) FROM orders WHERE customer_id = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan = ""
+	for _, row := range res.Rows[1:] {
+		plan += row[3] + "\n"
+	}
+	if !strings.Contains(plan, "single shard") {
+		t.Fatalf("pruned plan missing single-shard placement:\n%s", plan)
+	}
+}
+
+// TestAnalyzeStatementAndProcedure exercises ANALYZE TABLE, the
+// SYSPROC.ACCEL_ANALYZE procedure and the statistics facade.
+func TestAnalyzeStatementAndProcedure(t *testing.T) {
+	sys := newShardedSystem(t, 2)
+	seedJoinTables(t, sys, "SHARDS")
+	s := sys.AdminSession()
+
+	res, err := s.Exec("ANALYZE TABLE orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 400 {
+		t.Fatalf("analyzed %d rows, want 400", res.RowsAffected)
+	}
+	if res.Routed != "SHARDS" {
+		t.Fatalf("routed to %s", res.Routed)
+	}
+
+	if _, err := s.Exec("CALL SYSPROC.ACCEL_ANALYZE('SHARDS', 'customers,lookup')"); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := sys.TableStatistics("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rows != 400 {
+		t.Fatalf("stats rows = %d", stats.Rows)
+	}
+	var cust *idaax.ColumnStatistics
+	for i := range stats.Columns {
+		if stats.Columns[i].Name == "CUSTOMER_ID" {
+			cust = &stats.Columns[i]
+		}
+	}
+	if cust == nil {
+		t.Fatal("no CUSTOMER_ID column stats")
+	}
+	if cust.DistinctEst < 50 || cust.DistinctEst > 70 {
+		t.Fatalf("CUSTOMER_ID NDV = %f, want ~59", cust.DistinctEst)
+	}
+
+	// ANALYZE on a DB2-only table is an error.
+	s.MustExec("CREATE TABLE plain (id BIGINT)")
+	if _, err := s.Exec("ANALYZE TABLE plain"); err == nil {
+		t.Fatal("ANALYZE of a DB2-resident table should fail")
+	}
+}

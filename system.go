@@ -158,6 +158,16 @@ type ShardGroupStats struct {
 	TwoPhaseAggregates int64
 	// RowsGathered counts rows shipped shard -> coordinator by queries.
 	RowsGathered int64
+	// ColocatedJoins counts multi-table SELECTs whose joins ran entirely
+	// shard-local (tables joined on their distribution keys, or with the
+	// smaller side broadcast).
+	ColocatedJoins int64
+	// BroadcastJoins counts the subset of ColocatedJoins that replicated at
+	// least one table to the participating shards.
+	BroadcastJoins int64
+	// ShardScansAvoided counts per-table shard scans eliminated by
+	// distribution-key pruning (equality, IN lists, bounded ranges).
+	ShardScansAvoided int64
 }
 
 // ShardGroupStats returns per-shard and aggregate activity counters for the
@@ -187,7 +197,75 @@ func (s *System) ShardGroupStats(name string) (ShardGroupStats, error) {
 		QueriesPruned:      routing.QueriesPruned,
 		TwoPhaseAggregates: routing.TwoPhaseAggregates,
 		RowsGathered:       routing.RowsGathered,
+		ColocatedJoins:     routing.ColocatedJoins,
+		BroadcastJoins:     routing.BroadcastJoins,
+		ShardScansAvoided:  routing.ShardScansAvoided,
 	}, nil
+}
+
+// ColumnStatistics describes one column's planner statistics.
+type ColumnStatistics struct {
+	Name         string
+	Type         string
+	NonNull      int64
+	Nulls        int64
+	DistinctEst  float64
+	Min          string
+	Max          string
+	HasHistogram bool
+}
+
+// TableStatistics describes a table's planner statistics (merged across
+// shards for sharded tables). Counters are maintained incrementally on every
+// insert/delete and rebuilt exactly by AnalyzeTable / ANALYZE TABLE.
+type TableStatistics struct {
+	Rows     int64
+	Analyzed bool
+	Columns  []ColumnStatistics
+}
+
+// TableStatistics returns the planner statistics of an accelerated table.
+func (s *System) TableStatistics(table string) (TableStatistics, error) {
+	meta, err := s.coord.Catalog().Table(table)
+	if err != nil {
+		return TableStatistics{}, err
+	}
+	a, err := s.coord.Accelerator(meta.Accelerator)
+	if err != nil {
+		return TableStatistics{}, err
+	}
+	snap, err := a.TableStatistics(meta.Name)
+	if err != nil {
+		return TableStatistics{}, err
+	}
+	out := TableStatistics{Rows: snap.Rows, Analyzed: snap.Analyzed}
+	for _, c := range snap.Cols {
+		out.Columns = append(out.Columns, ColumnStatistics{
+			Name:         c.Name,
+			Type:         c.Kind.String(),
+			NonNull:      c.NonNull,
+			Nulls:        c.Nulls,
+			DistinctEst:  c.NDV,
+			Min:          c.Min.String(),
+			Max:          c.Max.String(),
+			HasHistogram: c.Hist != nil,
+		})
+	}
+	return out, nil
+}
+
+// AnalyzeTable rebuilds a table's planner statistics exactly (the API twin of
+// ANALYZE TABLE / SYSPROC.ACCEL_ANALYZE) and returns the rows analyzed.
+func (s *System) AnalyzeTable(table string) (int, error) {
+	meta, err := s.coord.Catalog().Table(table)
+	if err != nil {
+		return 0, err
+	}
+	a, err := s.coord.Accelerator(meta.Accelerator)
+	if err != nil {
+		return 0, err
+	}
+	return a.Analyze(meta.Name)
 }
 
 // TableInfo describes a table's acceleration state.
