@@ -1,0 +1,140 @@
+// Rebalance: a tour of the elastic shard fleet. A hash-distributed table is
+// loaded onto a 3-member shard group, a query workload starts hammering it,
+// and the fleet grows to 4 members via ALTER ACCELERATOR ... ADD MEMBER. The
+// background rebalancer live-migrates the keys the new member owns while the
+// workload keeps running — every query result stays identical to the
+// pre-growth answers — and afterwards the fleet shrinks back, draining the
+// member before it detaches.
+//
+//	go run ./examples/rebalance
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"idaax"
+)
+
+const totalRows = 6000
+
+func main() {
+	sys := idaax.New(idaax.Config{
+		Accelerators: []idaax.AcceleratorConfig{
+			{Name: "IDAA1", Slices: 2}, {Name: "IDAA2", Slices: 2}, {Name: "IDAA3", Slices: 2},
+		},
+		AnalyticsPublic: true,
+	})
+	defer sys.Close()
+	session := sys.AdminSession()
+
+	fmt.Println("== 1. A hash-distributed table on a 3-member shard group ==")
+	session.MustExec("CREATE TABLE events (id BIGINT NOT NULL, kind VARCHAR(8), amount DOUBLE) IN ACCELERATOR SHARDS DISTRIBUTE BY HASH(id)")
+	kinds := []string{"VIEW", "CLICK", "BUY"}
+	for lo := 0; lo < totalRows; lo += 1000 {
+		stmt := "INSERT INTO events VALUES "
+		for i := lo; i < lo+1000; i++ {
+			if i > lo {
+				stmt += ", "
+			}
+			stmt += fmt.Sprintf("(%d, '%s', %g)", i, kinds[i%3], float64(i%11)*0.5)
+		}
+		session.MustExec(stmt)
+	}
+	printDistribution(sys, "after load")
+
+	// The workload's answers must never change while the fleet reshapes: the
+	// table contents are static, so every scan/aggregate has one right answer.
+	wantCount := session.MustExec("SELECT COUNT(*) FROM events").Rows[0][0]
+	wantSum := session.MustExec("SELECT SUM(amount) FROM events").Rows[0][0]
+
+	fmt.Println("\n== 2. Grow the fleet mid-workload ==")
+	var queries, mismatches int64
+	stop := make(chan struct{})
+	ready := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ws := sys.AdminSession()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i == 1 {
+				close(ready) // at least one query completed pre-growth
+			}
+			var got string
+			if i%2 == 0 {
+				got = ws.MustExec("SELECT COUNT(*) FROM events").Rows[0][0]
+				if got != wantCount {
+					atomic.AddInt64(&mismatches, 1)
+				}
+			} else {
+				got = ws.MustExec("SELECT SUM(amount) FROM events").Rows[0][0]
+				if got != wantSum {
+					atomic.AddInt64(&mismatches, 1)
+				}
+			}
+			atomic.AddInt64(&queries, 1)
+		}
+	}()
+
+	<-ready
+	res := session.MustExec("ALTER ACCELERATOR SHARDS ADD MEMBER IDAA4 SLICES 2")
+	fmt.Println(res.Message)
+	if status, err := sys.RebalanceStatus(""); err == nil && status.Active {
+		fmt.Printf("rebalance running: migrating tables %v\n", status.MigratingTables)
+	}
+	if err := sys.WaitForRebalance(""); err != nil {
+		panic(err)
+	}
+	close(stop)
+	wg.Wait()
+	fmt.Printf("workload during rebalance: %d queries, %d wrong answers\n",
+		atomic.LoadInt64(&queries), atomic.LoadInt64(&mismatches))
+	printDistribution(sys, "after ADD MEMBER IDAA4")
+
+	stats, _ := sys.ShardGroupStats("")
+	fmt.Printf("rebalancer: %d rows migrated in %d batches (epoch %d)\n",
+		stats.RowsMigrated, stats.RebalanceBatches, stats.Epoch)
+
+	fmt.Println("\n== 3. Differential check: the grown fleet answers unchanged ==")
+	fmt.Println(session.MustExec("SELECT kind, COUNT(*) AS n, SUM(amount) AS total FROM events GROUP BY kind ORDER BY kind").FormatTable())
+
+	fmt.Println("== 4. Shrink back: drain IDAA2, then detach it ==")
+	res = session.MustExec("ALTER ACCELERATOR SHARDS REMOVE MEMBER IDAA2")
+	fmt.Println(res.Message)
+	printDistribution(sys, "after REMOVE MEMBER IDAA2")
+	fmt.Println(session.MustExec("SELECT COUNT(*), SUM(amount) FROM events").FormatTable())
+
+	fmt.Println("== 5. A 2-member group refuses to shrink further ==")
+	session.MustExec("ALTER ACCELERATOR SHARDS REMOVE MEMBER IDAA3")
+	printDistribution(sys, "after REMOVE MEMBER IDAA3")
+	if _, err := session.Exec("ALTER ACCELERATOR SHARDS REMOVE MEMBER IDAA4"); err != nil {
+		fmt.Println("refused as designed:", err)
+	}
+}
+
+// printDistribution shows how the table's rows spread over the fleet.
+func printDistribution(sys *idaax.System, label string) {
+	stats, err := sys.ShardGroupStats("")
+	if err != nil {
+		panic(err)
+	}
+	router, err := sys.Coordinator().ShardGroup("SHARDS")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("row distribution %s (%d members):\n", label, len(stats.Shards))
+	for _, m := range router.Members() {
+		n, err := m.RowCount(0, "EVENTS")
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %-6s %5d rows (%4.1f%%)\n", m.Name(), n, 100*float64(n)/float64(totalRows))
+	}
+}

@@ -31,6 +31,12 @@ type Accelerator struct {
 	// DB2 transaction ids.
 	internalTxn int64
 
+	// deleters records transactions that set delete markers on this
+	// accelerator, so AbortTxn pays the physical undo sweep only for
+	// transactions that actually deleted something.
+	deleteMu sync.Mutex
+	deleters map[int64]bool
+
 	queriesRun    int64
 	rowsScanned   int64
 	blocksPruned  int64
@@ -62,6 +68,7 @@ func New(name string, slices int) *Accelerator {
 		slices:   slices,
 		tables:   make(map[string]*colstore.Table),
 		Registry: NewRegistry(),
+		deleters: make(map[int64]bool),
 	}
 }
 
@@ -200,10 +207,44 @@ func (a *Accelerator) TableStatistics(table string) (stats.Snapshot, error) {
 func (a *Accelerator) Prepare(txnID int64) error { return a.Registry.Prepare(txnID) }
 
 // CommitTxn makes a DB2 transaction's accelerator changes durable/visible.
-func (a *Accelerator) CommitTxn(txnID int64) { a.Registry.Commit(txnID) }
+func (a *Accelerator) CommitTxn(txnID int64) {
+	a.Registry.Commit(txnID)
+	a.deleteMu.Lock()
+	delete(a.deleters, txnID)
+	a.deleteMu.Unlock()
+}
 
-// AbortTxn discards a DB2 transaction's accelerator changes.
-func (a *Accelerator) AbortTxn(txnID int64) { a.Registry.Abort(txnID) }
+// noteDeleter records that txnID set delete markers (see deleters).
+func (a *Accelerator) noteDeleter(txnID int64) {
+	a.deleteMu.Lock()
+	a.deleters[txnID] = true
+	a.deleteMu.Unlock()
+}
+
+// AbortTxn discards a DB2 transaction's accelerator changes. Row versions the
+// transaction created become permanently invisible through the registry;
+// deletion markers it set are physically undone so the victim rows stay
+// deletable by later transactions (and movable by the shard rebalancer). The
+// undo sweep runs only for transactions that actually deleted something.
+func (a *Accelerator) AbortTxn(txnID int64) {
+	a.Registry.Abort(txnID)
+	a.deleteMu.Lock()
+	deleted := a.deleters[txnID]
+	delete(a.deleters, txnID)
+	a.deleteMu.Unlock()
+	if !deleted {
+		return
+	}
+	a.mu.RLock()
+	tables := make([]*colstore.Table, 0, len(a.tables))
+	for _, t := range a.tables {
+		tables = append(tables, t)
+	}
+	a.mu.RUnlock()
+	for _, t := range tables {
+		t.UndoDeletesBy(txnID)
+	}
+}
 
 // ---------------------------------------------------------------------------
 // DML (always executed in the context of a DB2 transaction id)
@@ -266,6 +307,52 @@ func (a *Accelerator) TruncateReplicated(table string) (int, error) {
 	return n, nil
 }
 
+// ExportRows streams every committed-visible row of a table to fn, together
+// with the DB2 source row id mirrored by the row (-1 for native accelerator
+// rows). It is the bulk read half of the rebalancer's and re-load tooling's
+// data path. Iteration stops at the first error, which is returned.
+func (a *Accelerator) ExportRows(table string, fn func(row types.Row, srcID int64) error) error {
+	t, err := a.Table(table)
+	if err != nil {
+		return err
+	}
+	snap := a.Registry.Snapshot(0)
+	created, deleted, srcIDs := t.VersionMeta()
+	for i := range created {
+		if !snap.Visible(created[i], deleted[i]) {
+			continue
+		}
+		if err := fn(t.ReadRow(i), srcIDs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ImportRows bulk-appends rows under an internal, immediately committed
+// transaction — the write half of the bulk data path. srcIDs may be nil (no
+// row mirrors a DB2 row) or align with rows, with -1 marking native rows.
+func (a *Accelerator) ImportRows(table string, rows []types.Row, srcIDs []int64) (int, error) {
+	t, err := a.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	txnID := a.NextInternalTxn()
+	var n int
+	if srcIDs == nil {
+		n, err = t.Insert(txnID, rows)
+	} else {
+		n, err = t.InsertWithSource(txnID, rows, srcIDs)
+	}
+	if err != nil {
+		a.Registry.Abort(txnID)
+		return n, err
+	}
+	a.Registry.Commit(txnID)
+	atomic.AddInt64(&a.rowsIngested, int64(n))
+	return n, nil
+}
+
 // HasReplicatedSource reports whether a live shadow row mirrors the DB2 row id.
 func (a *Accelerator) HasReplicatedSource(table string, srcID int64) bool {
 	t, err := a.Table(table)
@@ -282,11 +369,14 @@ func (a *Accelerator) ApplyReplicatedUpdate(table string, srcID int64, row types
 		return err
 	}
 	txnID := a.NextInternalTxn()
+	a.noteDeleter(txnID)
 	if err := t.UpdateBySource(txnID, srcID, row); err != nil {
-		a.Registry.Abort(txnID)
+		// AbortTxn (not a bare registry abort) so the delete marker the
+		// failed update already set is physically undone.
+		a.AbortTxn(txnID)
 		return err
 	}
-	a.Registry.Commit(txnID)
+	a.CommitTxn(txnID)
 	return nil
 }
 
@@ -331,6 +421,9 @@ func (a *Accelerator) Update(txnID int64, table string, assignments []sqlparse.A
 		}
 		changes = append(changes, change{idx: idx, newRow: updated})
 	}
+	if len(changes) > 0 {
+		a.noteDeleter(txnID)
+	}
 	for _, ch := range changes {
 		if !t.MarkDeleted(ch.idx, txnID) {
 			continue
@@ -350,6 +443,7 @@ func (a *Accelerator) Delete(txnID int64, table string, where sqlparse.Expr) (in
 	}
 	a.Registry.Ensure(txnID)
 	atomic.AddInt64(&a.dmlStatements, 1)
+	a.noteDeleter(txnID)
 	snap := a.Registry.Snapshot(txnID)
 	schema := t.Schema()
 	env := expr.NewEnv(qualifiedColumns(table, schema))
@@ -381,6 +475,7 @@ func (a *Accelerator) Truncate(txnID int64, table string) (int, error) {
 	}
 	a.Registry.Ensure(txnID)
 	atomic.AddInt64(&a.dmlStatements, 1)
+	a.noteDeleter(txnID)
 	snap := a.Registry.Snapshot(txnID)
 	return t.TruncateVisible(txnID, snap.Visible), nil
 }

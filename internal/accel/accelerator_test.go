@@ -291,3 +291,59 @@ func TestConcurrentInsertsAndQueries(t *testing.T) {
 		t.Fatalf("final count = %d", n)
 	}
 }
+
+// TestAbortUndoesDeleteMarkers is the regression test for rolled-back
+// deletes: before the fix, an aborted transaction's delete markers stayed on
+// the row versions forever — reads were correct (aborted deleters are
+// invisible) but no later transaction could ever delete those rows again.
+func TestAbortUndoesDeleteMarkers(t *testing.T) {
+	a := newAccel(t)
+	insertRows(t, a, 1, 10)
+	a.CommitTxn(1)
+
+	n, err := a.Delete(2, "T", nil)
+	if err != nil || n != 10 {
+		t.Fatalf("delete marked %d rows, %v", n, err)
+	}
+	a.AbortTxn(2)
+
+	if got, _ := a.RowCount(0, "T"); got != 10 {
+		t.Fatalf("rows visible after aborted delete: %d, want 10", got)
+	}
+	// The rows must be deletable again by a later transaction.
+	n, err = a.Delete(3, "T", nil)
+	if err != nil || n != 10 {
+		t.Fatalf("re-delete after abort marked %d rows, %v (delete markers not undone)", n, err)
+	}
+	a.CommitTxn(3)
+	if got, _ := a.RowCount(0, "T"); got != 0 {
+		t.Fatalf("rows visible after committed re-delete: %d, want 0", got)
+	}
+}
+
+// TestBulkExportImport covers the Backend bulk data path on one accelerator.
+func TestBulkExportImport(t *testing.T) {
+	a := newAccel(t)
+	rows := []types.Row{
+		{types.NewInt(1), types.NewFloat(1), types.NewString("a")},
+		{types.NewInt(2), types.NewFloat(2), types.NewString("b")},
+		{types.NewInt(3), types.NewFloat(3), types.NewString("c")},
+	}
+	n, err := a.ImportRows("T", rows, []int64{10, -1, 30})
+	if err != nil || n != 3 {
+		t.Fatalf("ImportRows = %d, %v", n, err)
+	}
+	if !a.HasReplicatedSource("T", 10) || a.HasReplicatedSource("T", -1) {
+		t.Fatal("source-id index wrong after mixed import")
+	}
+	var got []int64
+	if err := a.ExportRows("T", func(row types.Row, srcID int64) error {
+		got = append(got, srcID)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 10 || got[1] != -1 || got[2] != 30 {
+		t.Fatalf("exported source ids %v", got)
+	}
+}

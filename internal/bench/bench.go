@@ -136,6 +136,7 @@ func Experiments() map[string]Experiment {
 		{ID: "E8", Title: "Governance: privilege enforcement before delegation", Run: RunE8Governance},
 		{ID: "E9", Title: "Sharded scan throughput scaling across a multi-accelerator fleet", Run: RunE9ShardedScan},
 		{ID: "E10", Title: "Join placement: co-located shard-local joins vs coordinator gather", Run: RunE10ColocatedJoin},
+		{ID: "E11", Title: "Elastic fleet: online rebalance vs stop-the-world re-load", Run: RunE11Rebalance},
 		{ID: "F1", Title: "Architecture inventory and data paths (Figure 1)", Run: RunF1Architecture},
 	}
 	out := make(map[string]Experiment, len(exps))

@@ -12,7 +12,7 @@ import (
 // repository root and by cmd/idaabench).
 func TestExperimentRegistry(t *testing.T) {
 	ids := IDs()
-	want := []string{"e1", "e10", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1"}
+	want := []string{"e1", "e10", "e11", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1"}
 	if len(ids) != len(want) {
 		t.Fatalf("experiments: %v", ids)
 	}
@@ -80,6 +80,44 @@ func TestColocatedJoinExperiment(t *testing.T) {
 	}
 	if !colocatedSeen {
 		t.Fatalf("no co-located joins recorded:\n%s", table.Format())
+	}
+}
+
+// TestRebalanceExperiment is the elastic-fleet smoke: E11 must run, queries
+// must complete inside the online migration window (no stop-the-world), and
+// the new member must own a meaningful share of the table afterwards. CI runs
+// it in -short mode.
+func TestRebalanceExperiment(t *testing.T) {
+	scale := SmallScale()
+	scale.LoadRows = 6000
+	if testing.Short() {
+		scale.LoadRows = 2400
+	}
+	table, err := Run("e11", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("expected online + stop-the-world rows, got %d:\n%s", len(table.Rows), table.Format())
+	}
+	online, reload := table.Rows[0], table.Rows[1]
+	var onlineQueries int64
+	fmt.Sscanf(online[3], "%d", &onlineQueries)
+	if onlineQueries == 0 {
+		t.Fatalf("no query completed during the online rebalance window:\n%s", table.Format())
+	}
+	if reload[3] != "0" {
+		t.Fatalf("stop-the-world baseline ran queries in its window:\n%s", table.Format())
+	}
+	var onlineShare float64
+	fmt.Sscanf(online[6], "%f%%", &onlineShare)
+	if onlineShare < 15 {
+		t.Fatalf("new member owns only %.1f%% after online rebalance:\n%s", onlineShare, table.Format())
+	}
+	var moved int64
+	fmt.Sscanf(online[5], "%d", &moved)
+	if moved <= 0 || moved >= int64(scale.LoadRows) {
+		t.Fatalf("online rebalance moved %d of %d rows (expected a strict subset):\n%s", moved, scale.LoadRows, table.Format())
 	}
 }
 

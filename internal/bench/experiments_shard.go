@@ -33,10 +33,7 @@ func RunE9ShardedScan(scale Scale) (*Table, error) {
 	for _, shardCount := range []int{1, 2, 4} {
 		sys, accelerator := newShardedSystem(shardCount, slicesPerShard)
 		session := sys.AdminSession()
-		ddl := fmt.Sprintf(
-			"CREATE TABLE sharded_orders (id BIGINT NOT NULL, customer_id BIGINT, amount DOUBLE, region VARCHAR(8)) IN ACCELERATOR %s DISTRIBUTE BY HASH(id)",
-			accelerator)
-		if _, err := session.Exec(ddl); err != nil {
+		if err := createShardedOrders(sys, accelerator); err != nil {
 			return nil, err
 		}
 		if err := fillShardedOrders(sys, rows); err != nil {

@@ -196,10 +196,14 @@ func (t *Table) insert(txnID int64, rows []types.Row, srcIDs []int64) (int, erro
 		idx := len(t.created)
 		t.created = append(t.created, txnID)
 		t.deleted = append(t.deleted, 0)
+		// A negative source id means "no DB2 source row" (bulk imports mix
+		// replicated and native rows); only real ids join the bySrc index.
 		src := int64(-1)
 		if srcIDs != nil {
 			src = srcIDs[ri]
-			t.bySrc[src] = idx
+			if src >= 0 {
+				t.bySrc[src] = idx
+			}
 		}
 		t.srcIDs = append(t.srcIDs, src)
 		count++
@@ -275,6 +279,43 @@ func (t *Table) UndoDelete(idx int, txnID int64) {
 			t.bySrc[src] = idx
 		}
 	}
+}
+
+// UndoDeletesBy clears every deletion marker set by txnID and returns how many
+// rows were resurrected. Accelerator.AbortTxn calls it so that a rolled-back
+// DELETE/UPDATE leaves its victim rows deletable again — without the undo the
+// marker would keep later transactions (and the shard rebalancer) from ever
+// deleting those rows, even though reads correctly ignore aborted deleters.
+func (t *Table) UndoDeletesBy(txnID int64) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i := range t.deleted {
+		if t.deleted[i] == txnID {
+			t.deleted[i] = 0
+			t.stats.ObserveUndelete()
+			if src := t.srcIDs[i]; src >= 0 {
+				t.bySrc[src] = i
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// VersionMeta copies the per-version bookkeeping (creating transaction,
+// deleting transaction, source row id) in storage order. Row content at an
+// index stays immutable once appended, so a caller holding the copy can read
+// individual rows afterwards with ReadRow; versions appended after the copy
+// are simply not covered. The shard rebalancer drives its migration sweeps off
+// this snapshot.
+func (t *Table) VersionMeta() (created, deleted, srcIDs []int64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	created = append([]int64(nil), t.created...)
+	deleted = append([]int64(nil), t.deleted...)
+	srcIDs = append([]int64(nil), t.srcIDs...)
+	return created, deleted, srcIDs
 }
 
 // DeleteBySource marks the live version mirroring the DB2 row srcID deleted.

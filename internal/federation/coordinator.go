@@ -7,6 +7,7 @@ package federation
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -108,9 +109,14 @@ type Metrics struct {
 type Coordinator struct {
 	cfg Config
 
-	DB2    *db2.Engine
-	cat    *catalog.Catalog
-	accels map[string]accel.Backend
+	DB2 *db2.Engine
+	cat *catalog.Catalog
+
+	// accelMu guards accels: the fleet is elastic (ALTER ACCELERATOR ... ADD
+	// MEMBER pairs accelerators at runtime), so lookups and registrations can
+	// race.
+	accelMu sync.RWMutex
+	accels  map[string]accel.Backend
 
 	AOTs  *core.AOTManager
 	Procs *core.Framework
@@ -177,6 +183,8 @@ func (c *Coordinator) Catalog() *catalog.Catalog { return c.cat }
 // shard group.
 func (c *Coordinator) AddAccelerator(name string, slices int) *accel.Accelerator {
 	name = types.NormalizeName(name)
+	c.accelMu.Lock()
+	defer c.accelMu.Unlock()
 	if existing, ok := c.accels[name]; ok {
 		a, _ := existing.(*accel.Accelerator)
 		return a // nil when the name is a shard group; never clobber it
@@ -194,6 +202,8 @@ func (c *Coordinator) AddAccelerator(name string, slices int) *accel.Accelerator
 // replication fans captured changes out to the owning shard.
 func (c *Coordinator) AddShardGroup(name string, memberNames ...string) (*shard.Router, error) {
 	name = types.NormalizeName(name)
+	c.accelMu.Lock()
+	defer c.accelMu.Unlock()
 	if _, ok := c.accels[name]; ok {
 		return nil, fmt.Errorf("federation: %s is already paired", name)
 	}
@@ -224,6 +234,50 @@ func (c *Coordinator) AddShardGroup(name string, memberNames ...string) (*shard.
 	return router, nil
 }
 
+// AddShardMember grows a shard group at runtime: the named accelerator is
+// paired first if unknown (with the given scan parallelism), joins the group,
+// and a background rebalance starts migrating the rows it now owns. Queries
+// and replication keep running throughout; callers that need the fleet to
+// have converged wait with WaitRebalance on the group's router (or
+// System.WaitForRebalance).
+func (c *Coordinator) AddShardMember(group, member string, slices int) error {
+	router, err := c.ShardGroup(group)
+	if err != nil {
+		return err
+	}
+	member = types.NormalizeName(member)
+	c.accelMu.RLock()
+	existing, paired := c.accels[member]
+	c.accelMu.RUnlock()
+	var a *accel.Accelerator
+	if paired {
+		var ok bool
+		a, ok = existing.(*accel.Accelerator)
+		if !ok {
+			return fmt.Errorf("federation: %s is a shard group, not an accelerator", member)
+		}
+	} else {
+		a = c.AddAccelerator(member, slices)
+		if a == nil {
+			return fmt.Errorf("federation: cannot pair %s", member)
+		}
+	}
+	return router.AddMember(a)
+}
+
+// RemoveShardMember shrinks a shard group at runtime: the member's rows are
+// drained onto the remaining shards and the member is detached from the
+// group (it stays paired as a standalone accelerator). The call blocks until
+// the drain completes. Shrinking a two-member group is refused — a group
+// needs at least two members to shard over.
+func (c *Coordinator) RemoveShardMember(group, member string) error {
+	router, err := c.ShardGroup(group)
+	if err != nil {
+		return err
+	}
+	return router.RemoveMember(member)
+}
+
 // Accelerator implements core.AcceleratorProvider and
 // replication.AcceleratorProvider. The returned backend is either a single
 // accelerator or a shard router; callers cannot (and need not) distinguish.
@@ -231,7 +285,9 @@ func (c *Coordinator) Accelerator(name string) (accel.Backend, error) {
 	if name == "" {
 		name = c.cfg.AcceleratorName
 	}
+	c.accelMu.RLock()
 	a, ok := c.accels[types.NormalizeName(name)]
+	c.accelMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("federation: accelerator %s is not paired", types.NormalizeName(name))
 	}

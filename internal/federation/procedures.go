@@ -178,6 +178,31 @@ func (c *Coordinator) registerBuiltinProcedures() {
 			}, nil
 		})
 
+	register("SYSPROC.ACCEL_REBALANCE",
+		"Rebalance a shard group's rows onto the current member set and wait for convergence: (group)",
+		func(ctx *core.ProcContext, args []types.Value) (*core.ProcResult, error) {
+			if ctx.User != catalog.AdminUser && ctx.User != types.NormalizeName(c.cfg.AdminUser) {
+				return nil, &catalog.ErrNotAuthorized{User: ctx.User, Privilege: "CONTROL", Object: "REBALANCE"}
+			}
+			group := core.ArgStringDefault(args, 0, c.cfg.ShardGroup)
+			router, err := c.ShardGroup(group)
+			if err != nil {
+				return nil, err
+			}
+			before := router.RebalanceStatus()
+			router.StartRebalance()
+			if err := router.WaitRebalance(); err != nil {
+				return nil, err
+			}
+			after := router.RebalanceStatus()
+			moved := after.RowsMigrated - before.RowsMigrated
+			return &core.ProcResult{
+				RowsAffected: int(moved),
+				Message: fmt.Sprintf("rebalanced %s: %d rows migrated in %d batches (epoch %d)",
+					types.NormalizeName(group), moved, after.Batches-before.Batches, after.Epoch),
+			}, nil
+		})
+
 	register("SYSPROC.ACCEL_GRANT_PROCEDURE",
 		"Grant EXECUTE on an analytics procedure: (procedure, user)",
 		func(ctx *core.ProcContext, args []types.Value) (*core.ProcResult, error) {

@@ -204,6 +204,8 @@ func (s *Session) ExecStmt(st sqlparse.Statement) (*Result, error) {
 		return s.execExplain(stmt)
 	case *sqlparse.AnalyzeStmt:
 		return s.execAnalyze(stmt)
+	case *sqlparse.AlterAcceleratorStmt:
+		return s.execAlterAccelerator(stmt)
 	}
 
 	tx, done := s.stmtTxn()
@@ -902,6 +904,35 @@ func (s *Session) execExplain(stmt *sqlparse.ExplainStmt) (*Result, error) {
 		summary(fmt.Sprintf("%T", stmt.Target), "DB2", "statement type always runs in DB2")
 	}
 	return res, nil
+}
+
+// execAlterAccelerator implements the elastic-fleet DDL: ALTER ACCELERATOR
+// <group> ADD MEMBER <name> [SLICES n] grows the shard group and starts a
+// background rebalance; REMOVE MEMBER drains the member and detaches it,
+// blocking until the drain completes. Changing fleet topology is an
+// administrative action.
+func (s *Session) execAlterAccelerator(stmt *sqlparse.AlterAcceleratorStmt) (*Result, error) {
+	if s.user != types.NormalizeName(s.coord.cfg.AdminUser) && s.user != catalog.AdminUser {
+		return nil, &catalog.ErrNotAuthorized{User: s.user, Privilege: "CONTROL", Object: types.NormalizeName(stmt.Accelerator)}
+	}
+	group := types.NormalizeName(stmt.Accelerator)
+	member := types.NormalizeName(stmt.Member)
+	if stmt.Remove {
+		if err := s.coord.RemoveShardMember(group, member); err != nil {
+			return nil, err
+		}
+		return &Result{
+			Routed:  group,
+			Message: fmt.Sprintf("member %s drained and removed from %s", member, group),
+		}, nil
+	}
+	if err := s.coord.AddShardMember(group, member, stmt.Slices); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Routed:  group,
+		Message: fmt.Sprintf("member %s added to %s; rebalance started", member, group),
+	}, nil
 }
 
 // execAnalyze implements ANALYZE TABLE: rebuild the table's planner

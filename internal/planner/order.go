@@ -97,6 +97,11 @@ func (a *analysis) isKeyEdge(e equiEdge, t, other int) bool {
 	if ti.DistKey == "" || oi.DistKey == "" {
 		return false
 	}
+	if ti.Migrating || oi.Migrating {
+		// Mid-rebalance, equal keys of a migrating table may briefly live on
+		// different shards; the join must not assume co-location.
+		return false
+	}
 	tcol, ocol := e.acol, e.bcol
 	if e.b == t {
 		tcol, ocol = e.bcol, e.acol
@@ -344,7 +349,7 @@ func choosePlacement(a *analysis, p *Plan) {
 	anyLocal := false
 	for k, scan := range p.Scans {
 		t := orderIdx[k]
-		isHash := scan.Info.DistKey != "" && scan.Info.PlaceKey != nil
+		isHash := scan.Info.DistKey != "" && scan.Info.PlaceKey != nil && !scan.Info.Migrating
 		local := false
 		if isHash && !anyLocal {
 			local = true

@@ -39,7 +39,17 @@ type TableInfo struct {
 	Shards int
 	// PlaceKey maps a distribution-key value to its owning shard ordinal.
 	// nil when the table has no key placement (round robin / unsharded).
+	// ok=false means the value cannot be placed right now — the backing
+	// router answers that for keys whose owner the active placement maps
+	// disagree on mid-migration — and the planner must then not restrict the
+	// candidate shard set on that value (its rows may be on any shard).
 	PlaceKey func(types.Value) (int, bool)
+	// Migrating marks a table whose rows are being rebalanced between shards:
+	// two rows sharing a distribution-key value may temporarily live on
+	// different shards, so co-located join placement is suspended for it
+	// (pruning through PlaceKey stays safe — the router only places keys
+	// every active map agrees on).
+	Migrating bool
 }
 
 // Catalog resolves table names to TableInfo. The second result is false for

@@ -269,3 +269,46 @@ func TestSingleTableStatementCandidates(t *testing.T) {
 }
 
 func describe(p *Plan) string { return strings.Join(p.Describe(), "\n") }
+
+// TestUnplaceableKeysDoNotPrune pins the mid-migration pruning contract: when
+// PlaceKey answers ok=false for a value (the shard router does this for keys
+// whose owner the active placement maps disagree on), the conjunct must not
+// narrow the candidate shard set — treating it as "matches nothing" would
+// silently drop the key's rows from results while they migrate.
+func TestUnplaceableKeysDoNotPrune(t *testing.T) {
+	info := fakeTable("t", 1000, "id", 4, map[string]float64{"id": 1000})
+	stable := info.PlaceKey
+	info.PlaceKey = func(v types.Value) (int, bool) {
+		if v.Int == 7 {
+			return 0, false // key 7 is mid-migration
+		}
+		return stable(v)
+	}
+	info.Migrating = true
+	cat := catalogOf(info)
+
+	for _, sql := range []string{
+		"SELECT * FROM t WHERE id = 7",
+		"SELECT * FROM t WHERE id IN (3, 7)",
+		"SELECT * FROM t WHERE id BETWEEN 5 AND 9",
+	} {
+		pl := PlanSelect(parseSelect(t, sql), cat)
+		if pl.EmptyCandidates {
+			t.Fatalf("%q: unplaceable key produced EmptyCandidates (rows would vanish mid-migration)", sql)
+		}
+		if pl.Scans[0].Candidates != nil {
+			t.Fatalf("%q: candidates %v, want nil (all shards) while the key is unplaceable", sql, pl.Scans[0].Candidates)
+		}
+	}
+
+	// Stable keys keep pruning even while the table is migrating.
+	pl := PlanSelect(parseSelect(t, "SELECT * FROM t WHERE id = 3"), cat)
+	if got := pl.Scans[0].Candidates; len(got) != 1 {
+		t.Fatalf("stable key candidates = %v, want exactly one shard", got)
+	}
+	// And NULL-only predicates still restrict to nothing (NULL matches no row).
+	pl = PlanSelect(parseSelect(t, "SELECT * FROM t WHERE id = NULL"), cat)
+	if !pl.Scans[0].EmptyCandidates {
+		t.Fatalf("id = NULL should keep its empty candidate set, got %v", pl.Scans[0].Candidates)
+	}
+}

@@ -426,17 +426,30 @@ func (a *analysis) keyCandidates(scan *ScanNode) {
 			}
 		}
 	}
-	place := func(vals []types.Value) map[int]bool {
+	// place maps key values to their owning shards. ok=false reports a
+	// non-NULL value the backend refuses to place — a sharded router answers
+	// that for keys whose rows are mid-migration — and then the conjunct must
+	// not narrow the candidate set at all: the rows may transiently live on
+	// any shard. (NULL values are merely skipped; = NULL and IN (NULL) match
+	// nothing, so a NULL-only list still restricts to the empty set.)
+	place := func(vals []types.Value) (map[int]bool, bool) {
 		set := map[int]bool{}
 		for _, v := range vals {
 			if v.IsNull() {
-				continue // = NULL / IN (NULL) never matches
+				continue
 			}
-			if s, ok := info.PlaceKey(v); ok {
-				set[s] = true
+			s, ok := info.PlaceKey(v)
+			if !ok {
+				return nil, false
 			}
+			set[s] = true
 		}
-		return set
+		return set, true
+	}
+	mergePlaced := func(vals []types.Value) {
+		if set, ok := place(vals); ok {
+			merge(set)
+		}
 	}
 
 	var lo, hi *int64 // tightest integer bounds accumulated over conjuncts
@@ -469,7 +482,7 @@ func (a *analysis) keyCandidates(scan *ScanNode) {
 			}
 			switch op {
 			case sqlparse.OpEq:
-				merge(place([]types.Value{lit}))
+				mergePlaced([]types.Value{lit})
 			case sqlparse.OpGe:
 				if v, ok := intBound(lit); ok {
 					tightenLo(v)
@@ -504,7 +517,7 @@ func (a *analysis) keyCandidates(scan *ScanNode) {
 				continue
 			}
 			if vals, ok := literalList(n.List); ok {
-				merge(place(vals))
+				mergePlaced(vals)
 			}
 		case *sqlparse.BetweenExpr:
 			if n.Negate {
@@ -543,7 +556,7 @@ func (a *analysis) keyCandidates(scan *ScanNode) {
 				vals = append(vals, types.NewInt(v))
 				v++
 			}
-			merge(place(vals))
+			mergePlaced(vals)
 		}
 	}
 

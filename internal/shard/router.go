@@ -13,12 +13,88 @@ import (
 	"idaax/internal/types"
 )
 
-// tableMeta is the router-side description of a sharded table.
+// tableMeta is the router-side description of a sharded table. Its placement
+// is versioned: part is the live (target) map every write routes by, and
+// prevs holds the maps superseded since the last completed rebalance — while
+// prevs is non-empty the table is migrating, pruning is restricted to keys
+// whose owner every active map agrees on, and co-located join planning is
+// suspended.
 type tableMeta struct {
 	schema  types.Schema
 	distKey string
 	keyIdx  int // index of the distribution key column, -1 for round robin
-	part    Partitioner
+
+	// pm guards part and prevs (membership changes swap them).
+	pm    sync.RWMutex
+	part  Partitioner
+	prevs []Partitioner
+
+	// migMu fences writes against migration batches: every router write path
+	// (DML, replication applies, bulk import) holds it shared for the duration
+	// of the operation, the rebalancer holds it exclusively around each
+	// bounded batch move and around migration finalisation. Queries never take
+	// it — reads are kept correct by the atomic batch commits under the
+	// router's commit fence, so there is no stop-the-world window.
+	migMu sync.RWMutex
+}
+
+// partitioner returns the live placement map.
+func (m *tableMeta) partitioner() Partitioner {
+	m.pm.RLock()
+	defer m.pm.RUnlock()
+	return m.part
+}
+
+// migrating reports whether rows of the table may still be placed by a
+// superseded map.
+func (m *tableMeta) migrating() bool {
+	m.pm.RLock()
+	defer m.pm.RUnlock()
+	return len(m.prevs) > 0
+}
+
+// routedPlaceKey implements double-routing for pruning: the returned function
+// gives the single shard that can answer queries for a key, with ok=false
+// while any superseded map places the key on a *different, still-attached*
+// member (its rows may be mid-migration, so the statement must scan all
+// candidate shards instead). Owners are compared by member name — superseded
+// maps keep their pre-change ordinals, so ordinals from different epochs
+// never meet — and a superseded owner that has since been detached counts as
+// agreement: its rows were drained onto the live owners before it left.
+func (r *Router) routedPlaceKey(meta *tableMeta) func(types.Value) (int, bool) {
+	attached := r.memberNameSet()
+	return func(v types.Value) (int, bool) {
+		meta.pm.RLock()
+		part := meta.part
+		prevs := meta.prevs
+		meta.pm.RUnlock()
+		ord, owner, ok := part.PlaceKeyOwner(v)
+		if !ok {
+			return 0, false
+		}
+		for _, prev := range prevs {
+			_, prevOwner, ok := prev.PlaceKeyOwner(v)
+			if !ok {
+				return 0, false
+			}
+			if prevOwner != owner && attached[prevOwner] {
+				return 0, false
+			}
+		}
+		return ord, true
+	}
+}
+
+// memberNameSet returns the names of every attached member (draining members
+// included — their rows have not fully left yet).
+func (r *Router) memberNameSet() map[string]bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]bool, len(r.members))
+	for _, m := range r.members {
+		out[m.Name()] = true
+	}
+	return out
 }
 
 // Stats counts router-level routing decisions; the per-shard scan counters
@@ -45,27 +121,53 @@ type Stats struct {
 	// ShardScansAvoided counts per-table shard scans eliminated by
 	// distribution-key pruning (summed over the statements' base tables).
 	ShardScansAvoided int64
+	// RowsMigrated counts rows moved between shards by the rebalancer.
+	RowsMigrated int64
+	// RebalanceBatches counts committed migration batches.
+	RebalanceBatches int64
+	// RebalancesCompleted counts rebalance runs that drove every table back to
+	// a single placement map.
+	RebalancesCompleted int64
+	// Epoch is bumped on every membership change (member added, member
+	// draining, member detached); queries use it to detect a fleet view that
+	// changed under them.
+	Epoch int64
 }
 
 // Router spreads tables over a fleet of accelerators and implements
 // accel.Backend, so the federation layer, the AOT manager and replication can
-// treat the fleet exactly like one big accelerator.
+// treat the fleet exactly like one big accelerator. The fleet is elastic:
+// AddMember and RemoveMember (rebalance.go) change the member set at runtime
+// and the rebalancer live-migrates rows to match.
 type Router struct {
-	name    string
-	members []*accel.Accelerator
+	name string
 
-	mu     sync.RWMutex
-	tables map[string]*tableMeta
+	// mu guards members, leaving and the tables map. members is treated as
+	// copy-on-write: mutations install a fresh slice, so a reader that copied
+	// the header under mu can keep using its snapshot lock-free.
+	mu      sync.RWMutex
+	members []*accel.Accelerator
+	leaving map[string]bool
+	tables  map[string]*tableMeta
+
+	// epoch counts membership changes (atomic).
+	epoch int64
 
 	// commitMu fences transaction visibility changes against snapshot
 	// acquisition: CommitTxn/AbortTxn hold it exclusively while flipping every
 	// member, queries hold it shared while collecting one snapshot per member.
 	// A transaction committing across the fleet is therefore visible on every
 	// shard of a statement's snapshot set or on none — the cross-shard
-	// equivalent of the single accelerator's atomic registry commit.
+	// equivalent of the single accelerator's atomic registry commit. The
+	// rebalancer commits each batch's source-delete and destination-insert
+	// under the same exclusive fence, which is what keeps every row visible on
+	// exactly one shard throughout a migration.
 	commitMu sync.RWMutex
 
 	stats Stats
+
+	// rebal is the single-flight state of the background rebalancer.
+	rebal rebalanceState
 
 	// planningDisabled turns the cost-based planner off (heuristic routing
 	// only); the benchmark harness uses it to measure the planner's effect.
@@ -81,6 +183,7 @@ func NewRouter(name string, members []*accel.Accelerator) (*Router, error) {
 	return &Router{
 		name:    types.NormalizeName(name),
 		members: append([]*accel.Accelerator(nil), members...),
+		leaving: make(map[string]bool),
 		tables:  make(map[string]*tableMeta),
 	}, nil
 }
@@ -88,15 +191,44 @@ func NewRouter(name string, members []*accel.Accelerator) (*Router, error) {
 // Name returns the router's pairing name.
 func (r *Router) Name() string { return r.name }
 
-// Members returns the member accelerators in shard order.
+// Members returns the member accelerators in shard order, including members
+// that are still draining before removal.
 func (r *Router) Members() []*accel.Accelerator {
-	return append([]*accel.Accelerator(nil), r.members...)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.members
+}
+
+// Epoch returns the membership epoch: it advances whenever a member is added,
+// starts draining, or is detached.
+func (r *Router) Epoch() int64 { return atomic.LoadInt64(&r.epoch) }
+
+// ownersLocked returns the names and router ordinals of the members rows may
+// be placed on (everyone except draining members). Callers hold r.mu.
+func (r *Router) ownersLocked() (names []string, ords []int) {
+	for i, m := range r.members {
+		if r.leaving[m.Name()] {
+			continue
+		}
+		names = append(names, m.Name())
+		ords = append(ords, i)
+	}
+	return names, ords
+}
+
+// newPartitionerLocked builds a placement map for the current owner set.
+func (r *Router) newPartitionerLocked(keyIdx int, keyKind types.Kind) Partitioner {
+	names, ords := r.ownersLocked()
+	if keyIdx >= 0 {
+		return NewHashPartitionerOrdinals(keyIdx, keyKind, names, ords)
+	}
+	return NewRoundRobinPartitionerOrdinals(names, ords)
 }
 
 // Slices returns the fleet's total scan parallelism.
 func (r *Router) Slices() int {
 	total := 0
-	for _, m := range r.members {
+	for _, m := range r.Members() {
 		total += m.Slices()
 	}
 	return total
@@ -109,7 +241,7 @@ func (r *Router) Stats() accel.Stats {
 	tables := len(r.tables)
 	r.mu.RUnlock()
 	var out accel.Stats
-	for _, m := range r.members {
+	for _, m := range r.Members() {
 		st := m.Stats()
 		out.QueriesRun += st.QueriesRun
 		out.RowsScanned += st.RowsScanned
@@ -125,8 +257,9 @@ func (r *Router) Stats() accel.Stats {
 
 // MemberStats returns each shard's own activity counters, in shard order.
 func (r *Router) MemberStats() []accel.Stats {
-	out := make([]accel.Stats, len(r.members))
-	for i, m := range r.members {
+	ms := r.Members()
+	out := make([]accel.Stats, len(ms))
+	for i, m := range ms {
 		out[i] = m.Stats()
 	}
 	return out
@@ -135,13 +268,17 @@ func (r *Router) MemberStats() []accel.Stats {
 // ShardingStats returns the router-level routing counters.
 func (r *Router) ShardingStats() Stats {
 	return Stats{
-		QueriesRouted:      atomic.LoadInt64(&r.stats.QueriesRouted),
-		QueriesPruned:      atomic.LoadInt64(&r.stats.QueriesPruned),
-		TwoPhaseAggregates: atomic.LoadInt64(&r.stats.TwoPhaseAggregates),
-		RowsGathered:       atomic.LoadInt64(&r.stats.RowsGathered),
-		ColocatedJoins:     atomic.LoadInt64(&r.stats.ColocatedJoins),
-		BroadcastJoins:     atomic.LoadInt64(&r.stats.BroadcastJoins),
-		ShardScansAvoided:  atomic.LoadInt64(&r.stats.ShardScansAvoided),
+		QueriesRouted:       atomic.LoadInt64(&r.stats.QueriesRouted),
+		QueriesPruned:       atomic.LoadInt64(&r.stats.QueriesPruned),
+		TwoPhaseAggregates:  atomic.LoadInt64(&r.stats.TwoPhaseAggregates),
+		RowsGathered:        atomic.LoadInt64(&r.stats.RowsGathered),
+		ColocatedJoins:      atomic.LoadInt64(&r.stats.ColocatedJoins),
+		BroadcastJoins:      atomic.LoadInt64(&r.stats.BroadcastJoins),
+		ShardScansAvoided:   atomic.LoadInt64(&r.stats.ShardScansAvoided),
+		RowsMigrated:        atomic.LoadInt64(&r.stats.RowsMigrated),
+		RebalanceBatches:    atomic.LoadInt64(&r.stats.RebalanceBatches),
+		RebalancesCompleted: atomic.LoadInt64(&r.stats.RebalancesCompleted),
+		Epoch:               r.Epoch(),
 	}
 }
 
@@ -180,15 +317,13 @@ func (r *Router) CreateTable(name string, schema types.Schema, distKey string) e
 	name = types.NormalizeName(name)
 	distKey = types.NormalizeName(distKey)
 	keyIdx := -1
-	var part Partitioner
+	keyKind := types.KindInt
 	if distKey != "" {
 		keyIdx = schema.IndexOf(distKey)
 		if keyIdx < 0 {
 			return fmt.Errorf("shard: distribution key %s is not a column of %s", distKey, name)
 		}
-		part = NewHashPartitioner(keyIdx, schema.Columns[keyIdx].Kind, len(r.members))
-	} else {
-		part = NewRoundRobinPartitioner(len(r.members))
+		keyKind = schema.Columns[keyIdx].Kind
 	}
 
 	r.mu.Lock()
@@ -206,7 +341,12 @@ func (r *Router) CreateTable(name string, schema types.Schema, distKey string) e
 			return err
 		}
 	}
-	r.tables[name] = &tableMeta{schema: schema, distKey: distKey, keyIdx: keyIdx, part: part}
+	r.tables[name] = &tableMeta{
+		schema:  schema,
+		distKey: distKey,
+		keyIdx:  keyIdx,
+		part:    r.newPartitionerLocked(keyIdx, keyKind),
+	}
 	return nil
 }
 
@@ -259,7 +399,7 @@ func (r *Router) Analyze(table string) (int, error) {
 		return 0, err
 	}
 	total := 0
-	for _, m := range r.members {
+	for _, m := range r.Members() {
 		n, err := m.Analyze(table)
 		total += n
 		if err != nil {
@@ -276,8 +416,9 @@ func (r *Router) TableStatistics(table string) (stats.Snapshot, error) {
 	if _, err := r.meta(table); err != nil {
 		return stats.Snapshot{}, err
 	}
-	snaps := make([]stats.Snapshot, 0, len(r.members))
-	for _, m := range r.members {
+	ms := r.Members()
+	snaps := make([]stats.Snapshot, 0, len(ms))
+	for _, m := range ms {
 		s, err := m.TableStatistics(table)
 		if err != nil {
 			return stats.Snapshot{}, fmt.Errorf("shard %s: %w", m.Name(), err)
@@ -288,7 +429,10 @@ func (r *Router) TableStatistics(table string) (stats.Snapshot, error) {
 }
 
 // PlannerCatalog exposes the sharded tables, their merged statistics and
-// their partitioners to the cost-based planner.
+// their partitioners to the cost-based planner. While a table is migrating,
+// the catalog marks it so: the planner then suspends co-located join
+// placement for it and prunes only on keys whose owner every active placement
+// map agrees on (double-routing).
 func (r *Router) PlannerCatalog() planner.Catalog {
 	return func(table string) (planner.TableInfo, bool) {
 		meta, err := r.meta(table)
@@ -300,14 +444,15 @@ func (r *Router) PlannerCatalog() planner.Catalog {
 			snap = stats.Snapshot{}
 		}
 		info := planner.TableInfo{
-			Name:    types.NormalizeName(table),
-			Schema:  meta.schema,
-			Stats:   snap,
-			DistKey: meta.distKey,
-			Shards:  len(r.members),
+			Name:      types.NormalizeName(table),
+			Schema:    meta.schema,
+			Stats:     snap,
+			DistKey:   meta.distKey,
+			Shards:    len(r.Members()),
+			Migrating: meta.migrating(),
 		}
 		if meta.keyIdx >= 0 {
-			info.PlaceKey = meta.part.PlaceKey
+			info.PlaceKey = r.routedPlaceKey(meta)
 		}
 		return info, true
 	}
@@ -324,7 +469,7 @@ func (r *Router) Explain(sel *sqlparse.SelectStmt) (*planner.Plan, error) {
 
 // Prepare runs phase one of the commit handshake on every shard.
 func (r *Router) Prepare(txnID int64) error {
-	for _, m := range r.members {
+	for _, m := range r.Members() {
 		if err := m.Prepare(txnID); err != nil {
 			return fmt.Errorf("shard %s: %w", m.Name(), err)
 		}
@@ -337,7 +482,7 @@ func (r *Router) Prepare(txnID int64) error {
 func (r *Router) CommitTxn(txnID int64) {
 	r.commitMu.Lock()
 	defer r.commitMu.Unlock()
-	for _, m := range r.members {
+	for _, m := range r.Members() {
 		m.CommitTxn(txnID)
 	}
 }
@@ -346,25 +491,30 @@ func (r *Router) CommitTxn(txnID int64) {
 func (r *Router) AbortTxn(txnID int64) {
 	r.commitMu.Lock()
 	defer r.commitMu.Unlock()
-	for _, m := range r.members {
+	for _, m := range r.Members() {
 		m.AbortTxn(txnID)
 	}
 }
 
-// snapshotAll takes one snapshot per member under the commit fence, giving a
-// statement a consistent cross-shard view.
-func (r *Router) snapshotAll(txnID int64) []*accel.Snapshot {
+// snapshotAll captures the member list and one snapshot per member atomically
+// under the commit fence, giving a statement a consistent cross-shard view:
+// no fleet-wide transaction commit and no migration batch commit can fall
+// between two of the snapshots.
+func (r *Router) snapshotAll(txnID int64) ([]*accel.Accelerator, []*accel.Snapshot) {
 	r.commitMu.RLock()
 	defer r.commitMu.RUnlock()
-	snaps := make([]*accel.Snapshot, len(r.members))
-	for i, m := range r.members {
+	ms := r.Members()
+	snaps := make([]*accel.Snapshot, len(ms))
+	for i, m := range ms {
 		snaps[i] = m.Registry.Snapshot(txnID)
 	}
-	return snaps
+	return ms, snaps
 }
 
 // ---------------------------------------------------------------------------
-// DML
+// DML. Every write path captures the member view and the live partitioner
+// after taking the table's migration fence (shared), so it can never
+// interleave with a batch move or a member detach on the same table.
 // ---------------------------------------------------------------------------
 
 // Insert partitions the rows by the table's distribution strategy and inserts
@@ -374,13 +524,16 @@ func (r *Router) Insert(txnID int64, table string, rows []types.Row) (int, error
 	if err != nil {
 		return 0, err
 	}
-	batches, _ := partitionRows(meta.part, len(r.members), rows, nil)
+	meta.migMu.RLock()
+	defer meta.migMu.RUnlock()
+	ms := r.Members()
+	batches, _ := partitionRows(meta.partitioner(), len(ms), rows, nil)
 	total := 0
 	for i, batch := range batches {
 		if len(batch) == 0 {
 			continue
 		}
-		n, err := r.members[i].Insert(txnID, table, batch)
+		n, err := ms[i].Insert(txnID, table, batch)
 		total += n
 		if err != nil {
 			return total, err
@@ -406,8 +559,10 @@ func (r *Router) Update(txnID int64, table string, assignments []sqlparse.Assign
 			}
 		}
 	}
+	meta.migMu.RLock()
+	defer meta.migMu.RUnlock()
 	total := 0
-	for _, m := range r.members {
+	for _, m := range r.Members() {
 		n, err := m.Update(txnID, table, assignments, where)
 		total += n
 		if err != nil {
@@ -419,11 +574,14 @@ func (r *Router) Update(txnID int64, table string, assignments []sqlparse.Assign
 
 // Delete broadcasts the delete to every shard.
 func (r *Router) Delete(txnID int64, table string, where sqlparse.Expr) (int, error) {
-	if _, err := r.meta(table); err != nil {
+	meta, err := r.meta(table)
+	if err != nil {
 		return 0, err
 	}
+	meta.migMu.RLock()
+	defer meta.migMu.RUnlock()
 	total := 0
-	for _, m := range r.members {
+	for _, m := range r.Members() {
 		n, err := m.Delete(txnID, table, where)
 		total += n
 		if err != nil {
@@ -435,11 +593,14 @@ func (r *Router) Delete(txnID int64, table string, where sqlparse.Expr) (int, er
 
 // Truncate truncates the table on every shard.
 func (r *Router) Truncate(txnID int64, table string) (int, error) {
-	if _, err := r.meta(table); err != nil {
+	meta, err := r.meta(table)
+	if err != nil {
 		return 0, err
 	}
+	meta.migMu.RLock()
+	defer meta.migMu.RUnlock()
 	total := 0
-	for _, m := range r.members {
+	for _, m := range r.Members() {
 		n, err := m.Truncate(txnID, table)
 		total += n
 		if err != nil {
@@ -450,15 +611,15 @@ func (r *Router) Truncate(txnID int64, table string) (int, error) {
 }
 
 // RowCount sums the visible row counts of every shard under one fenced
-// snapshot set, so a concurrently committing transaction is counted on all
-// shards or on none.
+// snapshot set, so a concurrently committing transaction (or a migration
+// batch) is counted on all shards or on none.
 func (r *Router) RowCount(txnID int64, table string) (int, error) {
 	if _, err := r.meta(table); err != nil {
 		return 0, err
 	}
-	snaps := r.snapshotAll(txnID)
+	ms, snaps := r.snapshotAll(txnID)
 	total := 0
-	for i, m := range r.members {
+	for i, m := range ms {
 		t, err := m.Table(table)
 		if err != nil {
 			return total, err
@@ -469,7 +630,8 @@ func (r *Router) RowCount(txnID int64, table string) (int, error) {
 }
 
 // ---------------------------------------------------------------------------
-// Replication fan-out: CDC batches land on the owning shard.
+// Replication fan-out: CDC batches land on the owning shard under the live
+// placement map, so replication follows a rebalance as it happens.
 // ---------------------------------------------------------------------------
 
 // InsertReplicated partitions replicated rows (with their DB2 source row ids)
@@ -483,7 +645,10 @@ func (r *Router) InsertReplicated(table string, rows []types.Row, srcIDs []int64
 	if err != nil {
 		return 0, err
 	}
-	batches, srcBatches := partitionRows(meta.part, len(r.members), rows, srcIDs)
+	meta.migMu.RLock()
+	defer meta.migMu.RUnlock()
+	ms := r.Members()
+	batches, srcBatches := partitionRows(meta.partitioner(), len(ms), rows, srcIDs)
 	total := 0
 	for i, batch := range batches {
 		if len(batch) == 0 {
@@ -493,7 +658,7 @@ func (r *Router) InsertReplicated(table string, rows []types.Row, srcIDs []int64
 		if srcBatches != nil {
 			src = srcBatches[i]
 		}
-		n, err := r.members[i].InsertReplicated(table, batch, src)
+		n, err := ms[i].InsertReplicated(table, batch, src)
 		total += n
 		if err != nil {
 			return total, err
@@ -504,10 +669,13 @@ func (r *Router) InsertReplicated(table string, rows []types.Row, srcIDs []int64
 
 // ApplyReplicatedDelete removes the shadow row wherever it lives.
 func (r *Router) ApplyReplicatedDelete(table string, srcID int64) (bool, error) {
-	if _, err := r.meta(table); err != nil {
+	meta, err := r.meta(table)
+	if err != nil {
 		return false, err
 	}
-	for _, m := range r.members {
+	meta.migMu.RLock()
+	defer meta.migMu.RUnlock()
+	for _, m := range r.Members() {
 		ok, err := m.ApplyReplicatedDelete(table, srcID)
 		if err != nil {
 			return false, err
@@ -528,22 +696,33 @@ func (r *Router) ApplyReplicatedUpdate(table string, srcID int64, row types.Row)
 	if err != nil {
 		return err
 	}
+	meta.migMu.RLock()
+	defer meta.migMu.RUnlock()
+	ms := r.Members()
 	if meta.keyIdx < 0 {
 		// Round robin: update in place wherever the row lives; unseen rows are
 		// placed like a fresh insert.
-		for _, m := range r.members {
+		for _, m := range ms {
 			if m.HasReplicatedSource(table, srcID) {
 				return m.ApplyReplicatedUpdate(table, srcID, row)
 			}
 		}
-		_, err := r.InsertReplicated(table, []types.Row{row}, []int64{srcID})
-		return err
+		batches, srcBatches := partitionRows(meta.partitioner(), len(ms), []types.Row{row}, []int64{srcID})
+		for i, batch := range batches {
+			if len(batch) == 0 {
+				continue
+			}
+			if _, err := ms[i].InsertReplicated(table, batch, srcBatches[i]); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	owner := r.members[meta.part.Place(row)]
+	owner := ms[meta.partitioner().Place(row)]
 	if owner.HasReplicatedSource(table, srcID) {
 		return owner.ApplyReplicatedUpdate(table, srcID, row)
 	}
-	for _, m := range r.members {
+	for _, m := range ms {
 		if m == owner {
 			continue
 		}
@@ -557,12 +736,75 @@ func (r *Router) ApplyReplicatedUpdate(table string, srcID int64, row types.Row)
 
 // TruncateReplicated truncates the shadow table on every shard.
 func (r *Router) TruncateReplicated(table string) (int, error) {
-	if _, err := r.meta(table); err != nil {
+	meta, err := r.meta(table)
+	if err != nil {
 		return 0, err
 	}
+	meta.migMu.RLock()
+	defer meta.migMu.RUnlock()
 	total := 0
-	for _, m := range r.members {
+	for _, m := range r.Members() {
 		n, err := m.TruncateReplicated(table)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ---------------------------------------------------------------------------
+// Bulk row movement (accel.Backend surface)
+// ---------------------------------------------------------------------------
+
+// ExportRows streams the committed-visible rows of every shard in shard
+// order, under one fenced snapshot set — so a migration batch or fleet-wide
+// commit landing mid-export can never duplicate or drop a row between shards.
+func (r *Router) ExportRows(table string, fn func(row types.Row, srcID int64) error) error {
+	if _, err := r.meta(table); err != nil {
+		return err
+	}
+	ms, snaps := r.snapshotAll(0)
+	for i, m := range ms {
+		t, err := m.Table(table)
+		if err != nil {
+			return fmt.Errorf("shard %s: %w", m.Name(), err)
+		}
+		created, deleted, srcIDs := t.VersionMeta()
+		for idx := range created {
+			if !snaps[i].Visible(created[idx], deleted[idx]) {
+				continue
+			}
+			if err := fn(t.ReadRow(idx), srcIDs[idx]); err != nil {
+				return fmt.Errorf("shard %s: %w", m.Name(), err)
+			}
+		}
+	}
+	return nil
+}
+
+// ImportRows partitions the rows by the table's live distribution map and
+// bulk-appends each batch on its owning shard under internal, immediately
+// committed transactions.
+func (r *Router) ImportRows(table string, rows []types.Row, srcIDs []int64) (int, error) {
+	meta, err := r.meta(table)
+	if err != nil {
+		return 0, err
+	}
+	meta.migMu.RLock()
+	defer meta.migMu.RUnlock()
+	ms := r.Members()
+	batches, srcBatches := partitionRows(meta.partitioner(), len(ms), rows, srcIDs)
+	total := 0
+	for i, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		var src []int64
+		if srcBatches != nil {
+			src = srcBatches[i]
+		}
+		n, err := ms[i].ImportRows(table, batch, src)
 		total += n
 		if err != nil {
 			return total, err

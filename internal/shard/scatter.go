@@ -19,7 +19,10 @@ import (
 //  1. Shard pruning: distribution-key predicates (equality, IN lists, and
 //     bounded integer ranges) restrict the statement to the shards that can
 //     hold matching rows; when a single shard remains, the whole statement —
-//     aggregation and ordering included — runs there.
+//     aggregation and ordering included — runs there. While a table is
+//     migrating, pruning is restricted to keys whose owner every active
+//     placement map agrees on (double-routing); moved keys scan all
+//     candidates, so no in-flight row is ever missed.
 //  2. Co-located execution: when every table is hash-distributed and joined
 //     on its distribution key, the joins run entirely shard-local; grouped
 //     queries additionally split into per-shard partial aggregation with
@@ -33,8 +36,25 @@ import (
 //     union at the coordinator — the general fallback.
 //
 // All plans return results identical to running the same statement on a
-// single accelerator holding all rows.
+// single accelerator holding all rows — including while a rebalance is
+// migrating rows, because batch moves commit atomically under the router's
+// commit fence. If the fleet membership changes under a running statement
+// (member detached, shifting shard ordinals), the statement transparently
+// retries against the new view.
 func (r *Router) Query(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
+	const maxRetries = 8
+	for attempt := 0; ; attempt++ {
+		epoch := r.Epoch()
+		rel, err := r.queryOnce(txnID, sel)
+		if r.Epoch() == epoch || attempt >= maxRetries {
+			return rel, err
+		}
+		// Membership changed while the statement ran; its shard ordinals may
+		// be stale, so run it again on the settled view.
+	}
+}
+
+func (r *Router) queryOnce(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
 	atomic.AddInt64(&r.stats.QueriesRouted, 1)
 	if r.PlanningEnabled() {
 		if pl := planner.PlanSelect(sel, r.PlannerCatalog()); pl != nil {
@@ -51,13 +71,16 @@ func (r *Router) queryHeuristic(txnID int64, sel *sqlparse.SelectStmt) (*relalg.
 		item := sel.From[0]
 		if meta, err := r.meta(item.Table); err == nil {
 			if shard, ok := r.pruneTarget(meta, item, sel.Where); ok {
-				atomic.AddInt64(&r.stats.QueriesPruned, 1)
-				return r.members[shard].Query(txnID, sel)
+				ms := r.Members()
+				if shard >= 0 && shard < len(ms) {
+					atomic.AddInt64(&r.stats.QueriesPruned, 1)
+					return ms[shard].Query(txnID, sel)
+				}
 			}
 			if relalg.NeedsAggregation(sel) {
 				if plan, ok := planTwoPhase(sel); ok {
 					atomic.AddInt64(&r.stats.TwoPhaseAggregates, 1)
-					return r.executeTwoPhase(txnID, plan, r.allMembers())
+					return r.executeTwoPhase(txnID, plan, nil)
 				}
 			}
 		}
@@ -82,16 +105,16 @@ func (r *Router) executePlanned(txnID int64, sel *sqlparse.SelectStmt, pl *plann
 // (nil candidates = every member). An empty candidate set — a provably
 // unsatisfiable distribution-key predicate — collapses to shard 0, which
 // returns the correct empty (or zero-aggregate) result shape.
-func (r *Router) participantsOf(candidates []int, empty bool) []int {
+func participantsOf(total int, candidates []int, empty bool) []int {
 	if empty {
 		return []int{0}
 	}
 	if candidates == nil {
-		return r.allMembers()
+		return allOrdinals(total)
 	}
 	out := make([]int, 0, len(candidates))
 	for _, s := range candidates {
-		if s >= 0 && s < len(r.members) {
+		if s >= 0 && s < total {
 			out = append(out, s)
 		}
 	}
@@ -101,8 +124,8 @@ func (r *Router) participantsOf(candidates []int, empty bool) []int {
 	return out
 }
 
-func (r *Router) allMembers() []int {
-	out := make([]int, len(r.members))
+func allOrdinals(total int) []int {
+	out := make([]int, total)
 	for i := range out {
 		out[i] = i
 	}
@@ -112,7 +135,7 @@ func (r *Router) allMembers() []int {
 // noteAvoidedScans accounts the per-table shard scans the plan's candidate
 // sets eliminate.
 func (r *Router) noteAvoidedScans(pl *planner.Plan) {
-	total := len(r.members)
+	total := len(r.Members())
 	avoided := 0
 	for _, scan := range pl.Scans {
 		if !scan.Known {
@@ -137,21 +160,28 @@ func (r *Router) noteAvoidedScans(pl *planner.Plan) {
 // cheaper two-phase route instead: shards pre-aggregate their local joins and
 // only group rows travel.
 func (r *Router) executeShardLocal(txnID int64, sel *sqlparse.SelectStmt, pl *planner.Plan) (*relalg.Relation, error) {
-	participants := r.participantsOf(pl.Candidates, pl.EmptyCandidates)
 	hasBroadcast := pl.Placement == planner.PlacementBroadcast
 	multiTable := len(pl.Scans) > 1
 
 	// Single remaining shard and nothing to broadcast: the whole statement —
-	// aggregation, ordering, limits — is answerable by that shard alone.
-	if len(participants) == 1 && !hasBroadcast {
-		if pl.Candidates != nil || pl.EmptyCandidates {
-			atomic.AddInt64(&r.stats.QueriesPruned, 1)
+	// aggregation, ordering, limits — is answerable by that shard alone (and
+	// by its own snapshot), so the hot pruned path skips the fleet-wide
+	// snapshot set entirely.
+	if !hasBroadcast {
+		ms := r.Members()
+		if fast := participantsOf(len(ms), pl.Candidates, pl.EmptyCandidates); len(fast) == 1 {
+			if pl.Candidates != nil || pl.EmptyCandidates {
+				atomic.AddInt64(&r.stats.QueriesPruned, 1)
+			}
+			if multiTable {
+				atomic.AddInt64(&r.stats.ColocatedJoins, 1)
+			}
+			return ms[fast[0]].Query(txnID, sel)
 		}
-		if multiTable {
-			atomic.AddInt64(&r.stats.ColocatedJoins, 1)
-		}
-		return r.members[participants[0]].Query(txnID, sel)
 	}
+
+	ms, snaps := r.snapshotAll(txnID)
+	participants := participantsOf(len(ms), pl.Candidates, pl.EmptyCandidates)
 
 	if !hasBroadcast && relalg.NeedsAggregation(sel) {
 		if plan, ok := planTwoPhase(sel); ok {
@@ -159,7 +189,7 @@ func (r *Router) executeShardLocal(txnID int64, sel *sqlparse.SelectStmt, pl *pl
 			if multiTable {
 				atomic.AddInt64(&r.stats.ColocatedJoins, 1)
 			}
-			return r.executeTwoPhase(txnID, plan, participants)
+			return r.executeTwoPhaseOn(txnID, plan, ms, snaps, participants)
 		}
 	}
 
@@ -169,8 +199,6 @@ func (r *Router) executeShardLocal(txnID int64, sel *sqlparse.SelectStmt, pl *pl
 			atomic.AddInt64(&r.stats.BroadcastJoins, 1)
 		}
 	}
-
-	snaps := r.snapshotAll(txnID)
 
 	// Gather the full content of every broadcast table once; all shards share
 	// the same materialised relation.
@@ -182,9 +210,9 @@ func (r *Router) executeShardLocal(txnID int64, sel *sqlparse.SelectStmt, pl *pl
 		item := pl.Sel.From[i]
 		var from []int // empty candidates: an empty relation joins to nothing
 		if !scan.EmptyCandidates {
-			from = r.participantsOf(scan.Candidates, false)
+			from = participantsOf(len(ms), scan.Candidates, false)
 		}
-		rows, err := r.gatherRows(from, snaps, item, pl.Sel)
+		rows, err := r.gatherRows(ms, from, snaps, item, pl.Sel)
 		if err != nil {
 			return nil, err
 		}
@@ -199,7 +227,7 @@ func (r *Router) executeShardLocal(txnID int64, sel *sqlparse.SelectStmt, pl *pl
 	errs := make([]error, len(participants))
 	var wg sync.WaitGroup
 	for i, p := range participants {
-		m := r.members[p]
+		m := ms[p]
 		m.NoteQuery()
 		wg.Add(1)
 		go func(i int, m *accel.Accelerator, snap *accel.Snapshot) {
@@ -211,7 +239,7 @@ func (r *Router) executeShardLocal(txnID int64, sel *sqlparse.SelectStmt, pl *pl
 	union := &relalg.Relation{}
 	for i := range participants {
 		if errs[i] != nil {
-			return nil, fmt.Errorf("shard %s: %w", r.members[participants[i]].Name(), errs[i])
+			return nil, fmt.Errorf("shard %s: %w", ms[participants[i]].Name(), errs[i])
 		}
 		if union.Cols == nil {
 			union.Cols = results[i].Cols
@@ -227,11 +255,13 @@ func (r *Router) executeShardLocal(txnID int64, sel *sqlparse.SelectStmt, pl *pl
 // rows. Any such conjunct restricts every result row to one key value, so the
 // whole query — including aggregation and ordering — is answerable by the
 // owning shard alone. (The heuristic path only; the planner generalises this
-// to IN lists and bounded ranges.)
+// to IN lists and bounded ranges.) Placement goes through the routed check,
+// so keys mid-migration are never pruned.
 func (r *Router) pruneTarget(meta *tableMeta, item sqlparse.FromItem, where sqlparse.Expr) (int, bool) {
 	if meta.keyIdx < 0 || where == nil {
 		return 0, false
 	}
+	place := r.routedPlaceKey(meta)
 	for _, conjunct := range andConjuncts(where, nil) {
 		b, ok := conjunct.(*sqlparse.BinaryExpr)
 		if !ok || b.Op != sqlparse.OpEq {
@@ -247,7 +277,7 @@ func (r *Router) pruneTarget(meta *tableMeta, item sqlparse.FromItem, where sqlp
 		if ref.Table != "" && !strings.EqualFold(ref.Table, item.Name()) {
 			continue
 		}
-		if shard, ok := meta.part.PlaceKey(lit.Val); ok {
+		if shard, ok := place(lit.Val); ok {
 			return shard, true
 		}
 	}
@@ -278,7 +308,7 @@ func (r *Router) executeGather(txnID int64, sel *sqlparse.SelectStmt, pl *planne
 	// One snapshot per member for the whole statement, taken under the commit
 	// fence, so the scans of a multi-table join observe each shard at a
 	// single, mutually consistent point in time.
-	snaps := r.snapshotAll(txnID)
+	ms, snaps := r.snapshotAll(txnID)
 	execSel := sel
 	var methods []relalg.JoinMethod
 	if pl != nil {
@@ -293,9 +323,9 @@ func (r *Router) executeGather(txnID int64, sel *sqlparse.SelectStmt, pl *planne
 		if item.Subquery != nil {
 			continue
 		}
-		members := r.allMembers()
+		members := allOrdinals(len(ms))
 		if pl != nil && pl.Scans[i].Known {
-			members = r.participantsOf(pl.Scans[i].Candidates, pl.Scans[i].EmptyCandidates)
+			members = participantsOf(len(ms), pl.Scans[i].Candidates, pl.Scans[i].EmptyCandidates)
 			if pl.Scans[i].EmptyCandidates {
 				members = nil
 			}
@@ -305,17 +335,17 @@ func (r *Router) executeGather(txnID int64, sel *sqlparse.SelectStmt, pl *planne
 		}
 	}
 	for m := range touched {
-		r.members[m].NoteQuery()
+		ms[m].NoteQuery()
 	}
 
-	from, err := r.buildFrom(txnID, snaps, execSel, pl, methods)
+	from, err := r.buildFrom(txnID, ms, snaps, execSel, pl, methods)
 	if err != nil {
 		return nil, err
 	}
 	return relalg.ExecuteSelect(from, execSel, relalg.Options{Parallelism: r.Slices()})
 }
 
-func (r *Router) buildFrom(txnID int64, snaps []*accel.Snapshot, sel *sqlparse.SelectStmt, pl *planner.Plan, methods []relalg.JoinMethod) (*relalg.Relation, error) {
+func (r *Router) buildFrom(txnID int64, ms []*accel.Accelerator, snaps []*accel.Snapshot, sel *sqlparse.SelectStmt, pl *planner.Plan, methods []relalg.JoinMethod) (*relalg.Relation, error) {
 	if len(sel.From) == 0 {
 		return relalg.JoinAll(nil, nil, r.Slices())
 	}
@@ -333,15 +363,15 @@ func (r *Router) buildFrom(txnID int64, snaps []*accel.Snapshot, sel *sqlparse.S
 		if err != nil {
 			return nil, err
 		}
-		members := r.allMembers()
+		members := allOrdinals(len(ms))
 		if pl != nil && pl.Scans[i].Known {
 			if pl.Scans[i].EmptyCandidates {
 				members = nil
 			} else {
-				members = r.participantsOf(pl.Scans[i].Candidates, false)
+				members = participantsOf(len(ms), pl.Scans[i].Candidates, false)
 			}
 		}
-		rows, err := r.gatherRows(members, snaps, item, sel)
+		rows, err := r.gatherRows(ms, members, snaps, item, sel)
 		if err != nil {
 			return nil, err
 		}
@@ -354,7 +384,7 @@ func (r *Router) buildFrom(txnID int64, snaps []*accel.Snapshot, sel *sqlparse.S
 // concatenates the results in shard order. Simple WHERE conjuncts are pushed
 // into each shard's scan so zone maps prune on the shards, not at the
 // coordinator.
-func (r *Router) gatherRows(members []int, snaps []*accel.Snapshot, item sqlparse.FromItem, sel *sqlparse.SelectStmt) ([]types.Row, error) {
+func (r *Router) gatherRows(ms []*accel.Accelerator, members []int, snaps []*accel.Snapshot, item sqlparse.FromItem, sel *sqlparse.SelectStmt) ([]types.Row, error) {
 	results := make([][]types.Row, len(members))
 	errs := make([]error, len(members))
 	var wg sync.WaitGroup
@@ -363,13 +393,13 @@ func (r *Router) gatherRows(members []int, snaps []*accel.Snapshot, item sqlpars
 		go func(i int, m *accel.Accelerator, snap *accel.Snapshot) {
 			defer wg.Done()
 			results[i], errs[i] = m.ScanVisible(snap, item.Table, sel, item)
-		}(i, r.members[p], snaps[p])
+		}(i, ms[p], snaps[p])
 	}
 	wg.Wait()
 	total := 0
 	for i := range members {
 		if errs[i] != nil {
-			return nil, fmt.Errorf("shard %s: %w", r.members[members[i]].Name(), errs[i])
+			return nil, fmt.Errorf("shard %s: %w", ms[members[i]].Name(), errs[i])
 		}
 		total += len(results[i])
 	}
@@ -385,8 +415,7 @@ func (r *Router) gatherRows(members []int, snaps []*accel.Snapshot, item sqlpars
 // each under its snapshot from the fenced set — and returns the union of the
 // result relations (columns taken from the first shard; every shard produces
 // the identical column layout).
-func (r *Router) scatterQuery(txnID int64, sel *sqlparse.SelectStmt, members []int) (*relalg.Relation, error) {
-	snaps := r.snapshotAll(txnID)
+func (r *Router) scatterQuery(txnID int64, sel *sqlparse.SelectStmt, ms []*accel.Accelerator, snaps []*accel.Snapshot, members []int) (*relalg.Relation, error) {
 	results := make([]*relalg.Relation, len(members))
 	errs := make([]error, len(members))
 	var wg sync.WaitGroup
@@ -395,13 +424,13 @@ func (r *Router) scatterQuery(txnID int64, sel *sqlparse.SelectStmt, members []i
 		go func(i int, m *accel.Accelerator, snap *accel.Snapshot) {
 			defer wg.Done()
 			results[i], errs[i] = m.QueryAt(txnID, snap, sel)
-		}(i, r.members[p], snaps[p])
+		}(i, ms[p], snaps[p])
 	}
 	wg.Wait()
 	union := &relalg.Relation{}
 	for i := range members {
 		if errs[i] != nil {
-			return nil, fmt.Errorf("shard %s: %w", r.members[members[i]].Name(), errs[i])
+			return nil, fmt.Errorf("shard %s: %w", ms[members[i]].Name(), errs[i])
 		}
 		if union.Cols == nil {
 			union.Cols = results[i].Cols
@@ -412,10 +441,19 @@ func (r *Router) scatterQuery(txnID int64, sel *sqlparse.SelectStmt, members []i
 	return union, nil
 }
 
-// executeTwoPhase scatters the partial-aggregate statement to the members and
-// finalises the merged partials at the coordinator.
+// executeTwoPhase scatters the partial-aggregate statement to the members
+// (all of them when members is nil) and finalises the merged partials at the
+// coordinator.
 func (r *Router) executeTwoPhase(txnID int64, plan *twoPhasePlan, members []int) (*relalg.Relation, error) {
-	union, err := r.scatterQuery(txnID, plan.shardSel, members)
+	ms, snaps := r.snapshotAll(txnID)
+	if members == nil {
+		members = allOrdinals(len(ms))
+	}
+	return r.executeTwoPhaseOn(txnID, plan, ms, snaps, members)
+}
+
+func (r *Router) executeTwoPhaseOn(txnID int64, plan *twoPhasePlan, ms []*accel.Accelerator, snaps []*accel.Snapshot, members []int) (*relalg.Relation, error) {
+	union, err := r.scatterQuery(txnID, plan.shardSel, ms, snaps, members)
 	if err != nil {
 		return nil, err
 	}

@@ -192,7 +192,7 @@ func runDifferential(t *testing.T, shards int, distKey string) {
 }
 
 func TestHashPartitionerPlacement(t *testing.T) {
-	p := NewHashPartitioner(0, types.KindInt, 4)
+	p := NewHashPartitioner(0, types.KindInt, []string{"S0", "S1", "S2", "S3"})
 	row := types.Row{types.NewInt(42)}
 	a := p.Place(row)
 	b := p.Place(row.Clone())

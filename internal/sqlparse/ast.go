@@ -217,6 +217,23 @@ type ShowStmt struct{ What string }
 
 func (*ShowStmt) stmt() {}
 
+// AlterAcceleratorStmt represents the elastic-fleet DDL
+//
+//	ALTER ACCELERATOR <group> ADD MEMBER <accelerator> [SLICES n]
+//	ALTER ACCELERATOR <group> REMOVE MEMBER <accelerator>
+//
+// ADD MEMBER pairs the accelerator (creating it when unknown) and grows the
+// shard group, kicking off a background rebalance; REMOVE MEMBER drains the
+// member's rows onto the remaining shards and detaches it.
+type AlterAcceleratorStmt struct {
+	Accelerator string // the shard group being altered
+	Member      string // the member accelerator added or removed
+	Remove      bool   // false = ADD MEMBER, true = REMOVE MEMBER
+	Slices      int    // scan parallelism for a newly created member (0 = default)
+}
+
+func (*AlterAcceleratorStmt) stmt() {}
+
 // ---------------------------------------------------------------------------
 // Expressions
 // ---------------------------------------------------------------------------

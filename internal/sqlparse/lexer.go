@@ -63,6 +63,7 @@ var keywords = map[string]bool{
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
 	"EXPLAIN": true, "SHOW": true, "TABLES": true, "ACCELERATORS": true, "ANALYZE": true,
 	"FETCH": true, "FIRST": true, "ROWS": true, "ROW": true,
+	"ALTER": true, "ADD": true, "REMOVE": true, "MEMBER": true, "SLICES": true,
 }
 
 // lexer turns SQL text into tokens.

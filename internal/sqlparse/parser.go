@@ -154,6 +154,8 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseSelect()
 	case "CREATE":
 		return p.parseCreateTable()
+	case "ALTER":
+		return p.parseAlterAccelerator()
 	case "DROP":
 		return p.parseDropTable()
 	case "TRUNCATE":
@@ -323,6 +325,50 @@ func (p *parser) parseCreateTable() (Statement, error) {
 			return st, nil
 		}
 	}
+}
+
+// parseAlterAccelerator parses the elastic-fleet DDL:
+// ALTER ACCELERATOR <group> ADD MEMBER <name> [SLICES n] | REMOVE MEMBER <name>.
+func (p *parser) parseAlterAccelerator() (Statement, error) {
+	if err := p.expectKeyword("ALTER"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ACCELERATOR"); err != nil {
+		return nil, err
+	}
+	group, err := p.identifier()
+	if err != nil {
+		return nil, err
+	}
+	st := &AlterAcceleratorStmt{Accelerator: group}
+	switch {
+	case p.acceptKeyword("ADD"):
+	case p.acceptKeyword("REMOVE"):
+		st.Remove = true
+	default:
+		return nil, fmt.Errorf("sql: ALTER ACCELERATOR %s: expected ADD or REMOVE, got %q", group, p.peek().Text)
+	}
+	if err := p.expectKeyword("MEMBER"); err != nil {
+		return nil, err
+	}
+	member, err := p.identifier()
+	if err != nil {
+		return nil, err
+	}
+	st.Member = member
+	if !st.Remove && p.acceptKeyword("SLICES") {
+		t := p.peek()
+		if t.Type != tokNumber {
+			return nil, fmt.Errorf("sql: SLICES expects a number, got %q", t.Text)
+		}
+		p.advance()
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("sql: invalid SLICES value %q", t.Text)
+		}
+		st.Slices = n
+	}
+	return st, nil
 }
 
 func (p *parser) parseColumnDef() (ColumnDef, error) {

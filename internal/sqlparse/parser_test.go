@@ -343,3 +343,39 @@ func TestFetchFirstRows(t *testing.T) {
 		t.Fatalf("limit = %d", sel.Limit)
 	}
 }
+
+func TestParseAlterAccelerator(t *testing.T) {
+	st := parseOne(t, `ALTER ACCELERATOR shards ADD MEMBER idaa4 SLICES 8`)
+	al, ok := st.(*AlterAcceleratorStmt)
+	if !ok {
+		t.Fatalf("wrong type %T", st)
+	}
+	if al.Accelerator != "SHARDS" || al.Member != "IDAA4" || al.Remove || al.Slices != 8 {
+		t.Fatalf("unexpected: %+v", al)
+	}
+
+	st = parseOne(t, `ALTER ACCELERATOR SHARDS ADD MEMBER IDAA5`)
+	al = st.(*AlterAcceleratorStmt)
+	if al.Remove || al.Slices != 0 || al.Member != "IDAA5" {
+		t.Fatalf("unexpected: %+v", al)
+	}
+
+	st = parseOne(t, `ALTER ACCELERATOR SHARDS REMOVE MEMBER IDAA2;`)
+	al = st.(*AlterAcceleratorStmt)
+	if !al.Remove || al.Member != "IDAA2" {
+		t.Fatalf("unexpected: %+v", al)
+	}
+
+	for _, bad := range []string{
+		`ALTER ACCELERATOR SHARDS`,
+		`ALTER ACCELERATOR SHARDS DROP MEMBER IDAA2`,
+		`ALTER ACCELERATOR SHARDS ADD IDAA2`,
+		`ALTER ACCELERATOR SHARDS ADD MEMBER IDAA2 SLICES x`,
+		`ALTER ACCELERATOR SHARDS ADD MEMBER IDAA2 SLICES 0`,
+		`ALTER TABLE t ADD COLUMN c INT`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package idaax
+
+import "idaax/internal/shard"
+
+// RebalanceStatus reports the progress of a shard group's online rebalancer.
+type RebalanceStatus struct {
+	// Epoch counts membership changes of the group (member added, member
+	// draining, member detached).
+	Epoch int64
+	// Active reports whether the background rebalancer is currently running.
+	Active bool
+	// MigratingTables lists the tables whose rows may still be placed by a
+	// superseded partition map, sorted by name.
+	MigratingTables []string
+	// RowsMigrated counts rows moved between shards since the group was
+	// created; Batches counts the committed migration batches behind them.
+	RowsMigrated int64
+	Batches      int64
+	// LastError is the most recent rebalance failure ("" when none).
+	LastError string
+}
+
+// AddShardMember grows a shard group at runtime: the named accelerator is
+// paired first if unknown (with the given scan parallelism), joins the group,
+// and a background rebalancer starts migrating the hash-partitioned rows the
+// new member now owns — in bounded batches, while queries, DML and CDC
+// replication keep running against the group. It is the API twin of
+// ALTER ACCELERATOR <group> ADD MEMBER <name> [SLICES n]. Use
+// WaitForRebalance to block until the fleet has converged.
+func (s *System) AddShardMember(group, name string, slices int) error {
+	return s.coord.AddShardMember(s.shardGroupName(group), name, slices)
+}
+
+// RemoveShardMember shrinks a shard group at runtime: the member's rows are
+// drained onto the remaining shards and the member is detached from the
+// group (it stays paired as a standalone accelerator). The call blocks until
+// the drain completes. Shrinking below two members is refused — a group needs
+// at least two members to shard over; fold back to single-accelerator mode by
+// dropping the group's tables instead. It is the API twin of
+// ALTER ACCELERATOR <group> REMOVE MEMBER <name>.
+func (s *System) RemoveShardMember(group, name string) error {
+	return s.coord.RemoveShardMember(s.shardGroupName(group), name)
+}
+
+// RebalanceShardGroup forces a rebalance pass on the group and waits for it
+// to converge (the API twin of CALL SYSPROC.ACCEL_REBALANCE). It is a no-op
+// on an already balanced group.
+func (s *System) RebalanceShardGroup(group string) error {
+	router, err := s.coord.ShardGroup(s.shardGroupName(group))
+	if err != nil {
+		return err
+	}
+	router.StartRebalance()
+	return router.WaitRebalance()
+}
+
+// WaitForRebalance blocks until the group's background rebalancer (started by
+// AddShardMember / ALTER ACCELERATOR ... ADD MEMBER) has finished and returns
+// its error, if any.
+func (s *System) WaitForRebalance(group string) error {
+	router, err := s.coord.ShardGroup(s.shardGroupName(group))
+	if err != nil {
+		return err
+	}
+	return router.WaitRebalance()
+}
+
+// RebalanceStatus returns the group's current rebalance progress.
+func (s *System) RebalanceStatus(group string) (RebalanceStatus, error) {
+	router, err := s.coord.ShardGroup(s.shardGroupName(group))
+	if err != nil {
+		return RebalanceStatus{}, err
+	}
+	return toRebalanceStatus(router.RebalanceStatus()), nil
+}
+
+func (s *System) shardGroupName(group string) string {
+	if group == "" {
+		return s.cfg.ShardGroupName
+	}
+	return group
+}
+
+func toRebalanceStatus(st shard.RebalanceStatus) RebalanceStatus {
+	return RebalanceStatus{
+		Epoch:           st.Epoch,
+		Active:          st.Active,
+		MigratingTables: st.MigratingTables,
+		RowsMigrated:    st.RowsMigrated,
+		Batches:         st.Batches,
+		LastError:       st.LastError,
+	}
+}

@@ -1,0 +1,356 @@
+package idaax_test
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"idaax"
+)
+
+// seedElasticTable creates a hash-distributed table on the given accelerator
+// (or shard group) and loads n deterministic rows.
+func seedElasticTable(t *testing.T, sys *idaax.System, accelerator string, n int) {
+	t.Helper()
+	s := sys.AdminSession()
+	ddl := fmt.Sprintf(
+		"CREATE TABLE metrics (id BIGINT NOT NULL, region VARCHAR(8), amount DOUBLE) IN ACCELERATOR %s DISTRIBUTE BY HASH(id)",
+		accelerator)
+	if _, err := s.Exec(ddl); err != nil {
+		t.Fatal(err)
+	}
+	insertMetricsRange(t, s, 0, n)
+}
+
+// insertMetricsRange inserts rows with ids [lo, hi) in one statement.
+func insertMetricsRange(t *testing.T, s *idaax.Session, lo, hi int) {
+	t.Helper()
+	if _, err := s.Exec(metricsInsertSQL(lo, hi)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func metricsInsertSQL(lo, hi int) string {
+	regions := []string{"EU", "US", "APAC"}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO metrics VALUES ")
+	for i := lo; i < hi; i++ {
+		if i > lo {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, '%s', %g)", i, regions[i%3], float64(i%13)*0.25)
+	}
+	return sb.String()
+}
+
+// shardTableRowCounts reads the committed row count of a sharded table on
+// every member, in shard order, through the advanced coordinator API.
+func shardTableRowCounts(t *testing.T, sys *idaax.System, group, table string) []int {
+	t.Helper()
+	router, err := sys.Coordinator().ShardGroup(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := router.Members()
+	out := make([]int, len(members))
+	for i, m := range members {
+		n, err := m.RowCount(0, table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = n
+	}
+	return out
+}
+
+// TestElasticFleetAddMemberSQL is the end-to-end acceptance test of the
+// tentpole: a 3-member fleet grows to 4 via ALTER ACCELERATOR ... ADD MEMBER,
+// the online rebalancer redistributes a hash-distributed table so the new
+// member owns a fair share, and the grown fleet answers every query
+// byte-identically to a single accelerator holding the same rows.
+func TestElasticFleetAddMemberSQL(t *testing.T) {
+	const rows = 4000
+	sharded := newShardedSystem(t, 3)
+	defer sharded.Close()
+	single := newTestSystem(t)
+	defer single.Close()
+	seedElasticTable(t, sharded, "SHARDS", rows)
+	seedElasticTable(t, single, "IDAA1", rows)
+
+	s := sharded.AdminSession()
+
+	// Topology changes are administrative.
+	if _, err := sharded.Session("JOE").Exec("ALTER ACCELERATOR SHARDS ADD MEMBER IDAA4 SLICES 2"); err == nil {
+		t.Fatal("non-admin ALTER ACCELERATOR must fail")
+	}
+
+	res, err := s.Exec("ALTER ACCELERATOR SHARDS ADD MEMBER IDAA4 SLICES 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Message, "rebalance started") {
+		t.Fatalf("unexpected ALTER result: %+v", res)
+	}
+	if err := sharded.WaitForRebalance(""); err != nil {
+		t.Fatal(err)
+	}
+
+	counts := shardTableRowCounts(t, sharded, "SHARDS", "METRICS")
+	if len(counts) != 4 {
+		t.Fatalf("fleet has %d members, want 4 (%v)", len(counts), counts)
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != rows {
+		t.Fatalf("fleet holds %d rows after rebalance, want %d (%v)", total, rows, counts)
+	}
+	// The new member must own a fair share of the hash-distributed table
+	// (expected 25% under rendezvous hashing; 20% guards against flakiness).
+	if counts[3] < rows/5 {
+		t.Fatalf("new member owns %d of %d rows (%v); rebalance did not redistribute", counts[3], rows, counts)
+	}
+
+	stats, err := sharded.ShardGroupStats("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Shards) != 4 {
+		t.Fatalf("ShardGroupStats reports %d shards, want 4", len(stats.Shards))
+	}
+	if stats.RowsMigrated != int64(counts[3]) || stats.RebalanceBatches == 0 || stats.RebalancesCompleted == 0 {
+		t.Fatalf("migration counters wrong: %+v vs new-member rows %d", stats, counts[3])
+	}
+	status, err := sharded.RebalanceStatus("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Active || len(status.MigratingTables) != 0 || status.LastError != "" {
+		t.Fatalf("rebalance did not settle: %+v", status)
+	}
+
+	// Differential: the grown fleet equals the single accelerator.
+	shardedSession := sharded.AdminSession()
+	singleSession := single.AdminSession()
+	for _, q := range []string{
+		"SELECT * FROM metrics ORDER BY id",
+		"SELECT region, COUNT(*), SUM(amount) FROM metrics GROUP BY region ORDER BY region",
+		"SELECT * FROM metrics WHERE id = 1234",
+		"SELECT COUNT(*) FROM metrics WHERE id IN (7, 1900, 3999)",
+		"SELECT m.region, COUNT(*) FROM metrics m INNER JOIN metrics o ON m.id = o.id GROUP BY m.region ORDER BY m.region",
+	} {
+		got, err := shardedSession.Query(q)
+		if err != nil {
+			t.Fatalf("sharded %q: %v", q, err)
+		}
+		want, err := singleSession.Query(q)
+		if err != nil {
+			t.Fatalf("single %q: %v", q, err)
+		}
+		if resultFingerprint(got) != resultFingerprint(want) {
+			t.Errorf("%s diverged after rebalance", q)
+		}
+	}
+
+	// A rebalance on a balanced fleet is a clean no-op.
+	res, err = s.Exec("CALL SYSPROC.ACCEL_REBALANCE('SHARDS')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Message, "0 rows migrated") {
+		t.Fatalf("no-op rebalance reported: %q", res.Message)
+	}
+}
+
+// TestElasticFleetRemoveMemberSQL drains a member via SQL, checks the fleet
+// answers unchanged, and covers the shrink-below-2 refusal end to end.
+func TestElasticFleetRemoveMemberSQL(t *testing.T) {
+	const rows = 1500
+	sys := newShardedSystem(t, 3)
+	defer sys.Close()
+	seedElasticTable(t, sys, "SHARDS", rows)
+	s := sys.AdminSession()
+
+	sumBefore, err := s.Query("SELECT COUNT(*), SUM(amount) FROM metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := s.Exec("ALTER ACCELERATOR SHARDS REMOVE MEMBER IDAA2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Message, "drained and removed") {
+		t.Fatalf("unexpected REMOVE result: %+v", res)
+	}
+	counts := shardTableRowCounts(t, sys, "SHARDS", "METRICS")
+	if len(counts) != 2 {
+		t.Fatalf("fleet has %d members after removal, want 2 (%v)", len(counts), counts)
+	}
+	if counts[0]+counts[1] != rows {
+		t.Fatalf("rows lost in drain: %v, want total %d", counts, rows)
+	}
+	sumAfter, err := s.Query("SELECT COUNT(*), SUM(amount) FROM metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultFingerprint(sumBefore) != resultFingerprint(sumAfter) {
+		t.Fatalf("aggregates changed across drain: %v vs %v", sumBefore.Rows, sumAfter.Rows)
+	}
+	// The detached accelerator stays paired standalone.
+	if _, err := sys.AcceleratorStats("IDAA2"); err != nil {
+		t.Fatalf("detached member no longer paired: %v", err)
+	}
+
+	// Regression: a 2-member group must refuse to shrink further.
+	if _, err := s.Exec("ALTER ACCELERATOR SHARDS REMOVE MEMBER IDAA3"); err == nil {
+		t.Fatal("shrinking a 2-member group must fail")
+	} else if !strings.Contains(err.Error(), "at least 2 members") {
+		t.Fatalf("unexpected refusal: %v", err)
+	}
+	if got := shardTableRowCounts(t, sys, "SHARDS", "METRICS"); got[0]+got[1] != rows {
+		t.Fatalf("refused removal lost rows: %v", got)
+	}
+}
+
+// TestRebalanceUnderConcurrentWorkload is the concurrent-correctness test of
+// the issue: a writer appends batches and a reader scans the full table while
+// a member joins mid-workload. Every scan must observe each committed row
+// exactly once — the id set is always exactly 0..k-1 for the k rows whose
+// batches have committed, with no duplicate, no missing and no stale row —
+// and the reader must never be blocked into a stop-the-world window.
+func TestRebalanceUnderConcurrentWorkload(t *testing.T) {
+	const seedRows = 900
+	const batch = 60
+	const writerBatches = 24
+	sys := newShardedSystem(t, 3)
+	defer sys.Close()
+	seedElasticTable(t, sys, "SHARDS", seedRows)
+
+	var writerWg, readerWg sync.WaitGroup
+	errs := make(chan error, 64)
+	stopReader := make(chan struct{})
+	readerReady := make(chan struct{})
+
+	// Writer: appends id ranges in committed batches.
+	startWriter := make(chan struct{})
+	writerWg.Add(1)
+	go func() {
+		defer writerWg.Done()
+		<-startWriter
+		ws := sys.AdminSession()
+		for b := 0; b < writerBatches; b++ {
+			lo := seedRows + b*batch
+			if _, err := ws.Exec(metricsInsertSQL(lo, lo+batch)); err != nil {
+				errs <- fmt.Errorf("writer batch %d: %w", b, err)
+				return
+			}
+		}
+	}()
+
+	// Reader: every scan must see a perfect prefix of the id space.
+	readerWg.Add(1)
+	go func() {
+		defer readerWg.Done()
+		rs := sys.AdminSession()
+		lastCount := 0
+		scans := 0
+		for {
+			select {
+			case <-stopReader:
+				return
+			default:
+			}
+			res, err := rs.Query("SELECT id FROM metrics")
+			if err != nil {
+				errs <- fmt.Errorf("reader scan: %w", err)
+				return
+			}
+			scans++
+			if scans == 1 {
+				close(readerReady)
+			}
+			ids := make([]int, len(res.Rows))
+			for i, row := range res.Rows {
+				v, err := strconv.Atoi(row[0])
+				if err != nil {
+					errs <- fmt.Errorf("bad id %q", row[0])
+					return
+				}
+				ids[i] = v
+			}
+			sort.Ints(ids)
+			if len(ids) < lastCount {
+				errs <- fmt.Errorf("row count shrank from %d to %d (rows lost mid-migration)", lastCount, len(ids))
+				return
+			}
+			lastCount = len(ids)
+			if (len(ids)-seedRows)%batch != 0 {
+				errs <- fmt.Errorf("scan saw %d rows: a partially applied batch leaked", len(ids))
+				return
+			}
+			for i, id := range ids {
+				if id != i {
+					errs <- fmt.Errorf("scan of %d rows: position %d holds id %d (duplicate or missing row)", len(ids), i, id)
+					return
+				}
+			}
+		}
+	}()
+
+	// Only change topology once the reader demonstrably scans: the point is
+	// reads during the rebalance, not after it.
+	<-readerReady
+	close(startWriter)
+	if err := sys.AddShardMember("", "IDAA4", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitForRebalance(""); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the writer finish, stop the reader, then let the rebalancer absorb
+	// the writer's trailing batches.
+	writerWg.Wait()
+	close(stopReader)
+	readerWg.Wait()
+	if err := sys.RebalanceShardGroup(""); err != nil {
+		t.Fatal(err)
+	}
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Final state: exact prefix, clean placement, new member holds a share.
+	total := seedRows + writerBatches*batch
+	res, err := sys.AdminSession().Query("SELECT COUNT(*) FROM metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != strconv.Itoa(total) {
+		t.Fatalf("final count %s, want %d", res.Rows[0][0], total)
+	}
+	counts := shardTableRowCounts(t, sys, "SHARDS", "METRICS")
+	sum := 0
+	for _, n := range counts {
+		sum += n
+	}
+	if sum != total {
+		t.Fatalf("per-shard counts %v sum to %d, want %d", counts, sum, total)
+	}
+	if counts[3] < total/6 {
+		t.Fatalf("new member owns %d of %d rows (%v) after concurrent rebalance", counts[3], total, counts)
+	}
+	status, err := sys.RebalanceStatus("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Active || len(status.MigratingTables) != 0 || status.LastError != "" {
+		t.Fatalf("fleet did not converge: %+v", status)
+	}
+}

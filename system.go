@@ -168,6 +168,17 @@ type ShardGroupStats struct {
 	// ShardScansAvoided counts per-table shard scans eliminated by
 	// distribution-key pruning (equality, IN lists, bounded ranges).
 	ShardScansAvoided int64
+	// RowsMigrated counts rows the online rebalancer moved between shards
+	// (AddShardMember / RemoveShardMember / ACCEL_REBALANCE).
+	RowsMigrated int64
+	// RebalanceBatches counts committed migration batches behind RowsMigrated.
+	RebalanceBatches int64
+	// RebalancesCompleted counts rebalance runs that drove every table back to
+	// a single placement map.
+	RebalancesCompleted int64
+	// Epoch counts membership changes of the group; it advances when a member
+	// is added, starts draining, or is detached.
+	Epoch int64
 }
 
 // ShardGroupStats returns per-shard and aggregate activity counters for the
@@ -191,15 +202,19 @@ func (s *System) ShardGroupStats(name string) (ShardGroupStats, error) {
 	}
 	routing := router.ShardingStats()
 	return ShardGroupStats{
-		Group:              group,
-		Shards:             perShard,
-		QueriesRouted:      routing.QueriesRouted,
-		QueriesPruned:      routing.QueriesPruned,
-		TwoPhaseAggregates: routing.TwoPhaseAggregates,
-		RowsGathered:       routing.RowsGathered,
-		ColocatedJoins:     routing.ColocatedJoins,
-		BroadcastJoins:     routing.BroadcastJoins,
-		ShardScansAvoided:  routing.ShardScansAvoided,
+		Group:               group,
+		Shards:              perShard,
+		QueriesRouted:       routing.QueriesRouted,
+		QueriesPruned:       routing.QueriesPruned,
+		TwoPhaseAggregates:  routing.TwoPhaseAggregates,
+		RowsGathered:        routing.RowsGathered,
+		ColocatedJoins:      routing.ColocatedJoins,
+		BroadcastJoins:      routing.BroadcastJoins,
+		ShardScansAvoided:   routing.ShardScansAvoided,
+		RowsMigrated:        routing.RowsMigrated,
+		RebalanceBatches:    routing.RebalanceBatches,
+		RebalancesCompleted: routing.RebalancesCompleted,
+		Epoch:               routing.Epoch,
 	}, nil
 }
 
