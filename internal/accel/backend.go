@@ -65,6 +65,14 @@ type Backend interface {
 	// live distribution map first); srcIDs may be nil or align with rows.
 	ExportRows(table string, fn func(row types.Row, srcID int64) error) error
 	ImportRows(table string, rows []types.Row, srcIDs []int64) (int, error)
+
+	// CallShardLocal is the analytics seam: it runs fn once per shard holding
+	// rows of table — concurrently on a sharded backend, under one fenced
+	// snapshot set and the table's migration fence, so every visible row is
+	// presented to exactly one invocation even while a rebalance is pending —
+	// and returns the partial results in shard order. proc labels the call for
+	// the per-procedure counters of a sharded backend ("" is allowed).
+	CallShardLocal(txnID int64, table, proc string, fn ShardLocalFunc) ([]any, error)
 }
 
 var _ Backend = (*Accelerator)(nil)

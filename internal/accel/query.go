@@ -60,6 +60,7 @@ func (a *Accelerator) PlannerCatalog() planner.Catalog {
 			Stats:   t.Statistics(),
 			DistKey: t.DistKey(),
 			Shards:  1,
+			Members: []string{a.name},
 		}, true
 	}
 }

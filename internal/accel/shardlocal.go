@@ -1,0 +1,84 @@
+package accel
+
+import (
+	"idaax/internal/relalg"
+	"idaax/internal/sqlparse"
+	"idaax/internal/types"
+)
+
+// ShardPartition is one shard's slice of a table, handed to the function a
+// caller passes to Backend.CallShardLocal. It is the analytics seam of the
+// backend surface: a procedure reads the shard's committed-visible rows,
+// computes a partial result (sufficient statistics, a locally trained model,
+// scored rows) and either returns the partial for merging at the coordinator
+// or writes derived rows back to the same shard through WriteLocal — base
+// rows are never merged into one coordinator-side relation. Multi-round
+// trainers (logistic regression's gradient loop, linear regression's metric
+// pass) return the extracted per-shard feature matrix as their "partial" and
+// iterate over the retained partitions: in this in-process reproduction that
+// is the moral equivalent of shard-resident training state, and it guarantees
+// every round sees the same snapshot of the rows — a per-round rescan could
+// not. A networked deployment of this seam would pin that state on the shard
+// across rounds instead of returning it (see ROADMAP follow-ups).
+type ShardPartition struct {
+	// Member is the name of the accelerator holding this partition.
+	Member string
+	// Ordinal is the shard ordinal (0 for a single accelerator).
+	Ordinal int
+	// Shards is the number of partitions participating in the call.
+	Shards int
+	// Rows are the table rows visible on this shard under the call's fenced
+	// snapshot set.
+	Rows *relalg.Relation
+	// WriteLocal appends rows to a previously created output table on this
+	// same shard, under an internal, immediately committed transaction and
+	// without re-partitioning — the write stays where the compute ran. The
+	// output table must exist on every member (create it through the same
+	// backend first).
+	WriteLocal func(table string, rows []types.Row) (int, error)
+}
+
+// ShardLocalFunc is the per-shard body of a CallShardLocal invocation. The
+// returned partial (nil allowed) is collected in shard order for merging.
+type ShardLocalFunc func(p *ShardPartition) (any, error)
+
+// MultiShard is implemented by backends that partition tables over more than
+// one member (shard.Router). Analytics procedures use it to decide whether a
+// CALL should scatter shard-local or read through the ordinary gather path.
+type MultiShard interface {
+	// ShardCount is the number of member accelerators.
+	ShardCount() int
+	// ShardLocalAnalytics reports whether shard-local procedure execution is
+	// enabled (it can be turned off to force the gather path for A/B
+	// measurement, like SetCostBasedPlanning for queries).
+	ShardLocalAnalytics() bool
+}
+
+// CallShardLocal implements the Backend analytics seam for a single
+// accelerator: the whole table is one partition and fn runs once against it.
+// proc labels the call for accounting; a single accelerator ignores it.
+func (a *Accelerator) CallShardLocal(txnID int64, table, proc string, fn ShardLocalFunc) ([]any, error) {
+	t, err := a.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	snap := a.Registry.Snapshot(txnID)
+	a.NoteQuery()
+	rows, err := a.ScanVisible(snap, table, nil, sqlparse.FromItem{Table: t.Name()})
+	if err != nil {
+		return nil, err
+	}
+	part := &ShardPartition{
+		Member: a.name,
+		Shards: 1,
+		Rows:   relalg.FromTable(t.Name(), t.Schema(), rows),
+		WriteLocal: func(out string, rows []types.Row) (int, error) {
+			return a.ImportRows(out, rows, nil)
+		},
+	}
+	partial, err := fn(part)
+	if err != nil {
+		return nil, err
+	}
+	return []any{partial}, nil
+}

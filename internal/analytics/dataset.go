@@ -46,9 +46,17 @@ type ExtractOptions struct {
 	// SkipIncomplete drops rows with NULL/non-numeric features instead of
 	// failing the extraction.
 	SkipIncomplete bool
+	// AllowEmpty returns a zero-row dataset instead of an error when the
+	// relation is empty or every row was skipped. Per-shard extraction sets
+	// it: one shard may legitimately hold no usable rows as long as the
+	// fleet-wide total does (which the merge layer verifies).
+	AllowEmpty bool
 }
 
-// Extract builds a Dataset from a relation.
+// Extract builds a Dataset from a relation. An empty relation — and a
+// relation whose every row is dropped for NULL/non-numeric values under
+// SkipIncomplete — is an error: silently returning a zero-row dataset would
+// surface later as a confusing training failure (or worse, zero statistics).
 func Extract(rel *relalg.Relation, opts ExtractOptions) (*Dataset, error) {
 	schema := rel.Schema()
 	featIdx := make([]int, len(opts.Features))
@@ -123,6 +131,14 @@ func Extract(rel *relalg.Relation, opts ExtractOptions) (*Dataset, error) {
 			ds.IDs = append(ds.IDs, types.NewInt(int64(len(ds.IDs))))
 		}
 	}
+	if !opts.AllowEmpty {
+		if len(rel.Rows) == 0 {
+			return nil, fmt.Errorf("analytics: input relation is empty (no rows to extract)")
+		}
+		if ds.Rows() == 0 {
+			return nil, fmt.Errorf("analytics: all %d input rows were skipped (NULL or non-numeric values in feature/target columns)", len(rel.Rows))
+		}
+	}
 	return ds, nil
 }
 
@@ -145,50 +161,115 @@ type ColumnStats struct {
 	Max    float64
 }
 
-// Summarize computes per-column statistics of the named numeric columns.
-func Summarize(rel *relalg.Relation, columns []string) ([]ColumnStats, error) {
+// ColumnMoments are the mergeable sufficient statistics behind ColumnStats:
+// what one shard contributes to a fleet-wide column summary. Moments from
+// disjoint row sets merge exactly (counts and sums add, min/max widen), so a
+// distributed summary equals the single-backend one.
+type ColumnMoments struct {
+	Name  string
+	Count int
+	Nulls int
+	Sum   float64
+	SumSq float64
+	Min   float64
+	Max   float64
+}
+
+// SummarizePartial computes the column moments of the named numeric columns
+// over one relation (one shard's partition, or the whole table).
+func SummarizePartial(rel *relalg.Relation, columns []string) ([]ColumnMoments, error) {
 	schema := rel.Schema()
-	out := make([]ColumnStats, 0, len(columns))
+	out := make([]ColumnMoments, 0, len(columns))
 	for _, col := range columns {
 		idx := schema.IndexOf(col)
 		if idx < 0 {
 			return nil, fmt.Errorf("analytics: column %s not found", col)
 		}
-		st := ColumnStats{Name: types.NormalizeName(col), Min: math.Inf(1), Max: math.Inf(-1)}
-		var sum, sumSq float64
+		m := ColumnMoments{Name: types.NormalizeName(col), Min: math.Inf(1), Max: math.Inf(-1)}
 		for _, row := range rel.Rows {
 			if row[idx].IsNull() {
-				st.Nulls++
+				m.Nulls++
 				continue
 			}
 			f, ok := row[idx].AsFloat()
 			if !ok {
-				st.Nulls++
+				m.Nulls++
 				continue
 			}
-			st.Count++
-			sum += f
-			sumSq += f * f
-			if f < st.Min {
-				st.Min = f
+			m.Count++
+			m.Sum += f
+			m.SumSq += f * f
+			if f < m.Min {
+				m.Min = f
 			}
-			if f > st.Max {
-				st.Max = f
+			if f > m.Max {
+				m.Max = f
 			}
 		}
-		if st.Count > 0 {
-			st.Mean = sum / float64(st.Count)
-			variance := sumSq/float64(st.Count) - st.Mean*st.Mean
-			if variance < 0 {
-				variance = 0
-			}
-			st.StdDev = math.Sqrt(variance)
-		} else {
-			st.Min, st.Max = 0, 0
-		}
-		out = append(out, st)
+		out = append(out, m)
 	}
 	return out, nil
+}
+
+// MergeColumnMoments folds per-shard moments (all computed for the same
+// column list) and finalises them into ColumnStats. A column with no numeric
+// value on any shard is an error — zero statistics would silently poison
+// whatever is computed from them (standardisation, binning, imputation).
+func MergeColumnMoments(parts [][]ColumnMoments) ([]ColumnStats, error) {
+	var merged []ColumnMoments
+	for _, part := range parts {
+		if part == nil {
+			continue
+		}
+		if merged == nil {
+			merged = make([]ColumnMoments, len(part))
+			copy(merged, part)
+			continue
+		}
+		if len(part) != len(merged) {
+			return nil, fmt.Errorf("analytics: mismatched column moment sets (%d vs %d columns)", len(part), len(merged))
+		}
+		for i := range merged {
+			merged[i].Count += part[i].Count
+			merged[i].Nulls += part[i].Nulls
+			merged[i].Sum += part[i].Sum
+			merged[i].SumSq += part[i].SumSq
+			if part[i].Min < merged[i].Min {
+				merged[i].Min = part[i].Min
+			}
+			if part[i].Max > merged[i].Max {
+				merged[i].Max = part[i].Max
+			}
+		}
+	}
+	if merged == nil {
+		return nil, fmt.Errorf("analytics: no column moments to merge")
+	}
+	out := make([]ColumnStats, len(merged))
+	for i, m := range merged {
+		if m.Count == 0 {
+			return nil, fmt.Errorf("analytics: column %s has no numeric values (empty input or all rows NULL/non-numeric)", m.Name)
+		}
+		st := ColumnStats{Name: m.Name, Count: m.Count, Nulls: m.Nulls, Min: m.Min, Max: m.Max}
+		st.Mean = m.Sum / float64(m.Count)
+		variance := m.SumSq/float64(m.Count) - st.Mean*st.Mean
+		if variance < 0 {
+			variance = 0
+		}
+		st.StdDev = math.Sqrt(variance)
+		out[i] = st
+	}
+	return out, nil
+}
+
+// Summarize computes per-column statistics of the named numeric columns. An
+// empty relation or an all-NULL column is an error (see MergeColumnMoments).
+func Summarize(rel *relalg.Relation, columns []string) ([]ColumnStats, error) {
+	moments, err := SummarizePartial(rel, columns)
+	if err != nil {
+		return nil, err
+	}
+	return MergeColumnMoments([][]ColumnMoments{moments})
 }
 
 // rng is a small deterministic linear congruential generator so that sampling

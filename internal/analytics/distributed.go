@@ -1,0 +1,713 @@
+package analytics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// This file implements the merge half of shard-local ("distributed") training:
+// every shard reduces its partition of the input table to a partial —
+// sufficient statistics where the algorithm's math is a sum over rows, a
+// locally trained model where it is not — and the coordinator folds the
+// partials into one model. Linear and logistic regression, naive Bayes and
+// column summaries merge exactly (their estimators are sums of per-row
+// terms); k-means and decision trees merge by consolidation (weighted
+// reclustering of the shards' centers, a voting ensemble of the shards'
+// trees) and agree with single-backend training up to local-optima tolerance.
+
+// forEachPart runs fn(i, parts[i]) concurrently for every non-empty partition
+// and returns the first error.
+func forEachPart(parts []*Dataset, fn func(i int, ds *Dataset) error) error {
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i, ds := range parts {
+		if ds == nil || ds.Rows() == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, ds *Dataset) {
+			defer wg.Done()
+			errs[i] = fn(i, ds)
+		}(i, ds)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// partStats validates a partition list and returns the shared feature names
+// and total row count. Partitions may be nil/empty (shards holding no rows).
+func partStats(parts []*Dataset) (featureNames []string, total int, err error) {
+	for _, ds := range parts {
+		if ds == nil || ds.Rows() == 0 {
+			continue
+		}
+		total += ds.Rows()
+		if featureNames == nil {
+			featureNames = ds.FeatureNames
+			continue
+		}
+		if len(ds.FeatureNames) != len(featureNames) {
+			return nil, 0, fmt.Errorf("analytics: partitions disagree on feature count (%d vs %d)", len(ds.FeatureNames), len(featureNames))
+		}
+		for j, name := range ds.FeatureNames {
+			if name != featureNames[j] {
+				return nil, 0, fmt.Errorf("analytics: partitions disagree on feature %d (%s vs %s)", j, name, featureNames[j])
+			}
+		}
+	}
+	if total == 0 {
+		return nil, 0, fmt.Errorf("analytics: no rows in any partition")
+	}
+	return featureNames, total, nil
+}
+
+// ---------------------------------------------------------------------------
+// Linear regression: per-shard Gram matrices (X'X, X'y) merge exactly.
+// ---------------------------------------------------------------------------
+
+// LinRegPartial is one shard's contribution to the normal equations: the
+// local Gram matrix X'X and moment vector X'y (intercept column first), plus
+// the target moments needed to finalise RMSE/R².
+type LinRegPartial struct {
+	XtX [][]float64
+	XtY []float64
+	N   int
+}
+
+// LinRegPartialFromDataset reduces one partition to its normal-equation
+// contribution. The dataset must carry a numeric target.
+func LinRegPartialFromDataset(ds *Dataset) (*LinRegPartial, error) {
+	n := ds.Rows()
+	if len(ds.Target) != n {
+		return nil, fmt.Errorf("analytics: linear regression requires a numeric target")
+	}
+	d := ds.Cols() + 1
+	p := &LinRegPartial{XtX: make([][]float64, d), XtY: make([]float64, d), N: n}
+	for i := range p.XtX {
+		p.XtX[i] = make([]float64, d)
+	}
+	xrow := make([]float64, d)
+	for i := 0; i < n; i++ {
+		xrow[0] = 1
+		copy(xrow[1:], ds.Features[i])
+		for a := 0; a < d; a++ {
+			for b := 0; b < d; b++ {
+				p.XtX[a][b] += xrow[a] * xrow[b]
+			}
+			p.XtY[a] += xrow[a] * ds.Target[i]
+		}
+	}
+	return p, nil
+}
+
+// MergeLinRegPartials sums per-shard Gram matrices and solves the merged
+// normal equations — the exact estimator a single backend computes over all
+// rows, because matrix sums commute with row grouping.
+func MergeLinRegPartials(parts []*LinRegPartial, ridge float64) (beta []float64, n int, err error) {
+	var xtx [][]float64
+	var xty []float64
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if xtx == nil {
+			d := len(p.XtY)
+			xtx = make([][]float64, d)
+			for i := range xtx {
+				xtx[i] = append([]float64(nil), p.XtX[i]...)
+			}
+			xty = append([]float64(nil), p.XtY...)
+			n = p.N
+			continue
+		}
+		if len(p.XtY) != len(xty) {
+			return nil, 0, fmt.Errorf("analytics: mismatched linear-regression partials (%d vs %d terms)", len(p.XtY), len(xty))
+		}
+		for a := range xtx {
+			for b := range xtx[a] {
+				xtx[a][b] += p.XtX[a][b]
+			}
+			xty[a] += p.XtY[a]
+		}
+		n += p.N
+	}
+	if xtx == nil || n == 0 {
+		return nil, 0, fmt.Errorf("analytics: linear regression requires at least one row")
+	}
+	if ridge < 0 {
+		ridge = 0
+	}
+	for a := 1; a < len(xtx); a++ {
+		xtx[a][a] += ridge
+	}
+	beta, err = solveLinearSystem(xtx, xty)
+	if err != nil {
+		return nil, 0, err
+	}
+	return beta, n, nil
+}
+
+// TrainLinearRegressionDistributed fits the same least-squares model as
+// TrainLinearRegression, but from per-shard partitions: shards reduce to
+// Gram-matrix partials, the coordinator merges and solves, and a second
+// scatter of per-row residual sums finalises RMSE/R² with the single-backend
+// formulas.
+func TrainLinearRegressionDistributed(parts []*Dataset, ridge float64) (*LinearModel, error) {
+	featureNames, total, err := partStats(parts)
+	if err != nil {
+		return nil, fmt.Errorf("analytics: linear regression requires at least one row (%w)", err)
+	}
+	partials := make([]*LinRegPartial, len(parts))
+	if err := forEachPart(parts, func(i int, ds *Dataset) error {
+		p, err := LinRegPartialFromDataset(ds)
+		partials[i] = p
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	beta, n, err := MergeLinRegPartials(partials, ridge)
+	if err != nil {
+		return nil, err
+	}
+	if ridge < 0 {
+		ridge = 0
+	}
+	model := &LinearModel{
+		FeatureNames: append([]string(nil), featureNames...),
+		Intercept:    beta[0],
+		Coefficients: beta[1:],
+		Ridge:        ridge,
+		N:            n,
+	}
+
+	// Metric scatter: Σy is the intercept component of the merged X'y, so the
+	// global mean is known before the residual pass.
+	var sumY float64
+	for _, p := range partials {
+		if p != nil {
+			sumY += p.XtY[0]
+		}
+	}
+	mean := sumY / float64(total)
+	ssRes := make([]float64, len(parts))
+	ssTot := make([]float64, len(parts))
+	if err := forEachPart(parts, func(i int, ds *Dataset) error {
+		for r := 0; r < ds.Rows(); r++ {
+			diff := ds.Target[r] - model.Predict(ds.Features[r])
+			ssRes[i] += diff * diff
+			dt := ds.Target[r] - mean
+			ssTot[i] += dt * dt
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var res, tot float64
+	for i := range ssRes {
+		res += ssRes[i]
+		tot += ssTot[i]
+	}
+	model.RMSE = math.Sqrt(res / float64(total))
+	if tot > 0 {
+		model.R2 = 1 - res/tot
+	}
+	return model, nil
+}
+
+// ---------------------------------------------------------------------------
+// Logistic regression: per-iteration gradient sums merge exactly.
+// ---------------------------------------------------------------------------
+
+// TrainLogisticRegressionDistributed fits the same batch-gradient-descent
+// model as TrainLogisticRegression from per-shard partitions: feature
+// standardisation comes from merged moments, every iteration scatters the
+// gradient computation (each shard sums its own rows) and merges the per-
+// shard sums — only 2(p+1) floats per shard per round travel, never rows.
+func TrainLogisticRegressionDistributed(parts []*Dataset, iterations int, learningRate, l2 float64) (*LogisticModel, error) {
+	featureNames, n, err := partStats(parts)
+	if err != nil {
+		return nil, fmt.Errorf("analytics: logistic regression requires at least one row (%w)", err)
+	}
+	for _, ds := range parts {
+		if ds != nil && ds.Rows() > 0 && len(ds.Target) != ds.Rows() {
+			return nil, fmt.Errorf("analytics: logistic regression requires a numeric 0/1 target")
+		}
+	}
+	p := len(featureNames)
+	if iterations <= 0 {
+		iterations = 200
+	}
+	if learningRate <= 0 {
+		learningRate = 0.1
+	}
+	if l2 < 0 {
+		l2 = 0
+	}
+
+	// Global standardisation moments, merged across shards.
+	sums := make([]float64, p)
+	sumSqs := make([]float64, p)
+	var mu sync.Mutex
+	if err := forEachPart(parts, func(_ int, ds *Dataset) error {
+		localSum := make([]float64, p)
+		localSq := make([]float64, p)
+		for i := 0; i < ds.Rows(); i++ {
+			for j := 0; j < p; j++ {
+				v := ds.Features[i][j]
+				localSum[j] += v
+				localSq[j] += v * v
+			}
+		}
+		mu.Lock()
+		for j := 0; j < p; j++ {
+			sums[j] += localSum[j]
+			sumSqs[j] += localSq[j]
+		}
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	means := make([]float64, p)
+	stds := make([]float64, p)
+	for j := 0; j < p; j++ {
+		means[j] = sums[j] / float64(n)
+		variance := sumSqs[j]/float64(n) - means[j]*means[j]
+		if variance < 1e-12 {
+			variance = 1
+		}
+		stds[j] = math.Sqrt(variance)
+	}
+
+	// Standardize each partition once, like the single-backend trainer does,
+	// instead of re-deriving every cell on every iteration.
+	stdParts := make([][][]float64, len(parts))
+	yParts := make([][]float64, len(parts))
+	if err := forEachPart(parts, func(i int, ds *Dataset) error {
+		std := make([][]float64, ds.Rows())
+		y := make([]float64, ds.Rows())
+		for r := 0; r < ds.Rows(); r++ {
+			std[r] = make([]float64, p)
+			for j := 0; j < p; j++ {
+				std[r][j] = (ds.Features[r][j] - means[j]) / stds[j]
+			}
+			if ds.Target[r] > 0.5 {
+				y[r] = 1
+			}
+		}
+		stdParts[i] = std
+		yParts[i] = y
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	w := make([]float64, p)
+	b := 0.0
+	gradW := make([][]float64, len(parts))
+	gradB := make([]float64, len(parts))
+	for iter := 0; iter < iterations; iter++ {
+		// Scatter: each shard sums gradients over its own standardized rows.
+		if err := forEachPart(parts, func(i int, ds *Dataset) error {
+			gw := make([]float64, p)
+			gb := 0.0
+			std := stdParts[i]
+			y := yParts[i]
+			for r := 0; r < ds.Rows(); r++ {
+				z := b
+				for j := 0; j < p; j++ {
+					z += w[j] * std[r][j]
+				}
+				pred := sigmoid(z)
+				errTerm := pred - y[r]
+				for j := 0; j < p; j++ {
+					gw[j] += errTerm * std[r][j]
+				}
+				gb += errTerm
+			}
+			gradW[i] = gw
+			gradB[i] = gb
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		// Merge and update.
+		scale := learningRate / float64(n)
+		mergedB := 0.0
+		mergedW := make([]float64, p)
+		for i := range parts {
+			if gradW[i] == nil {
+				continue
+			}
+			for j := 0; j < p; j++ {
+				mergedW[j] += gradW[i][j]
+			}
+			mergedB += gradB[i]
+			gradW[i] = nil
+		}
+		for j := 0; j < p; j++ {
+			w[j] -= scale * (mergedW[j] + l2*w[j])
+		}
+		b -= scale * mergedB
+	}
+
+	coeffs := make([]float64, p)
+	intercept := b
+	for j := 0; j < p; j++ {
+		coeffs[j] = w[j] / stds[j]
+		intercept -= w[j] * means[j] / stds[j]
+	}
+	model := &LogisticModel{
+		FeatureNames: append([]string(nil), featureNames...),
+		Intercept:    intercept,
+		Coefficients: coeffs,
+		Iterations:   iterations,
+		LearningRate: learningRate,
+		N:            n,
+	}
+
+	// Metric scatter with the final model.
+	correct := make([]int, len(parts))
+	logLoss := make([]float64, len(parts))
+	if err := forEachPart(parts, func(i int, ds *Dataset) error {
+		for r := 0; r < ds.Rows(); r++ {
+			prob := model.PredictProbability(ds.Features[r])
+			y := 0.0
+			if ds.Target[r] > 0.5 {
+				y = 1
+			}
+			if (prob >= 0.5) == (y == 1) {
+				correct[i]++
+			}
+			eps := 1e-12
+			logLoss[i] += -(y*math.Log(prob+eps) + (1-y)*math.Log(1-prob+eps))
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	totalCorrect := 0
+	totalLoss := 0.0
+	for i := range parts {
+		totalCorrect += correct[i]
+		totalLoss += logLoss[i]
+	}
+	model.TrainAccuracy = float64(totalCorrect) / float64(n)
+	model.TrainLogLoss = totalLoss / float64(n)
+	return model, nil
+}
+
+// ---------------------------------------------------------------------------
+// Naive Bayes: per-class count/sum/sum-of-squares merge exactly.
+// ---------------------------------------------------------------------------
+
+// NaiveBayesPartial is one shard's per-class moment set.
+type NaiveBayesPartial struct {
+	Features int
+	Counts   map[string]int
+	Sums     map[string][]float64
+	SumSqs   map[string][]float64
+	N        int
+}
+
+// NaiveBayesPartialFromDataset reduces one labelled partition to its
+// per-class moments.
+func NaiveBayesPartialFromDataset(ds *Dataset) (*NaiveBayesPartial, error) {
+	n := ds.Rows()
+	if len(ds.Labels) != n {
+		return nil, fmt.Errorf("analytics: naive bayes requires a categorical target")
+	}
+	p := ds.Cols()
+	out := &NaiveBayesPartial{
+		Features: p,
+		Counts:   make(map[string]int),
+		Sums:     make(map[string][]float64),
+		SumSqs:   make(map[string][]float64),
+		N:        n,
+	}
+	for i := 0; i < n; i++ {
+		label := ds.Labels[i]
+		if _, ok := out.Counts[label]; !ok {
+			out.Sums[label] = make([]float64, p)
+			out.SumSqs[label] = make([]float64, p)
+		}
+		out.Counts[label]++
+		for j := 0; j < p; j++ {
+			v := ds.Features[i][j]
+			out.Sums[label][j] += v
+			out.SumSqs[label][j] += v * v
+		}
+	}
+	return out, nil
+}
+
+// MergeNaiveBayesPartials folds per-shard class moments and finalises the
+// gaussian parameters with the single-backend formulas.
+func MergeNaiveBayesPartials(featureNames []string, parts []*NaiveBayesPartial) (*NaiveBayesModel, error) {
+	p := len(featureNames)
+	counts := make(map[string]int)
+	sums := make(map[string][]float64)
+	sumSqs := make(map[string][]float64)
+	n := 0
+	for _, part := range parts {
+		if part == nil {
+			continue
+		}
+		if part.Features != p {
+			return nil, fmt.Errorf("analytics: mismatched naive-bayes partials (%d vs %d features)", part.Features, p)
+		}
+		n += part.N
+		for label, c := range part.Counts {
+			if _, ok := counts[label]; !ok {
+				sums[label] = make([]float64, p)
+				sumSqs[label] = make([]float64, p)
+			}
+			counts[label] += c
+			for j := 0; j < p; j++ {
+				sums[label][j] += part.Sums[label][j]
+				sumSqs[label][j] += part.SumSqs[label][j]
+			}
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("analytics: naive bayes requires at least one row")
+	}
+	model := &NaiveBayesModel{
+		FeatureNames: append([]string(nil), featureNames...),
+		Priors:       make(map[string]float64),
+		Means:        make(map[string][]float64),
+		Variances:    make(map[string][]float64),
+		N:            n,
+	}
+	for label, c := range counts {
+		model.Classes = append(model.Classes, label)
+		model.Priors[label] = float64(c) / float64(n)
+		means := make([]float64, p)
+		variances := make([]float64, p)
+		for j := 0; j < p; j++ {
+			means[j] = sums[label][j] / float64(c)
+			v := sumSqs[label][j]/float64(c) - means[j]*means[j]
+			if v < 1e-9 {
+				v = 1e-9
+			}
+			variances[j] = v
+		}
+		model.Means[label] = means
+		model.Variances[label] = variances
+	}
+	sort.Strings(model.Classes)
+	return model, nil
+}
+
+// TrainNaiveBayesDistributed fits the same gaussian naive Bayes model as
+// TrainNaiveBayes from per-shard partitions.
+func TrainNaiveBayesDistributed(parts []*Dataset) (*NaiveBayesModel, error) {
+	featureNames, _, err := partStats(parts)
+	if err != nil {
+		return nil, fmt.Errorf("analytics: naive bayes requires at least one row (%w)", err)
+	}
+	partials := make([]*NaiveBayesPartial, len(parts))
+	if err := forEachPart(parts, func(i int, ds *Dataset) error {
+		p, err := NaiveBayesPartialFromDataset(ds)
+		partials[i] = p
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return MergeNaiveBayesPartials(featureNames, partials)
+}
+
+// ---------------------------------------------------------------------------
+// K-means: local clustering + weighted center consolidation (k-means‖ style).
+// ---------------------------------------------------------------------------
+
+// KMeansPartial is one shard's locally trained centers with their cluster
+// populations — the shard's data distribution compressed to K weighted points.
+type KMeansPartial struct {
+	Centroids [][]float64
+	Weights   []int
+	N         int
+}
+
+// TrainKMeansDistributed clusters per-shard partitions: every shard runs
+// k-means locally, the coordinator consolidates the K·S weighted centers with
+// weighted Lloyd iterations (the k-means‖ reclustering step), and a final
+// scatter assigns every row to the consolidated centers. Returns the model
+// and per-partition assignments aligned with parts (nil for empty
+// partitions). Results agree with single-backend k-means up to local-optima
+// tolerance, not bit-exactly.
+func TrainKMeansDistributed(parts []*Dataset, opts KMeansOptions) (*KMeansModel, [][]int, error) {
+	featureNames, total, err := partStats(parts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analytics: k-means requires at least one row (%w)", err)
+	}
+	if opts.K <= 0 {
+		return nil, nil, fmt.Errorf("analytics: k-means requires K > 0")
+	}
+	if opts.K > total {
+		opts.K = total
+	}
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 50
+	}
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = 1e-6
+	}
+
+	// Local clustering per shard (seeds decorrelated per ordinal).
+	partials := make([]*KMeansPartial, len(parts))
+	if err := forEachPart(parts, func(i int, ds *Dataset) error {
+		localOpts := opts
+		localOpts.Seed = opts.Seed + int64(i)*101
+		model, assignments, err := TrainKMeans(ds, localOpts)
+		if err != nil {
+			return err
+		}
+		weights := make([]int, len(model.Centroids))
+		for _, c := range assignments {
+			weights[c]++
+		}
+		partials[i] = &KMeansPartial{Centroids: model.Centroids, Weights: weights, N: ds.Rows()}
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	centroids := MergeKMeansPartials(partials, opts)
+
+	// Final scatter: assign every row to the consolidated centers.
+	assignments := make([][]int, len(parts))
+	inertia := make([]float64, len(parts))
+	if err := forEachPart(parts, func(i int, ds *Dataset) error {
+		assign := make([]int, ds.Rows())
+		inertia[i] = assignParallel(ds, centroids, assign, opts.Parallelism)
+		assignments[i] = assign
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	totalInertia := 0.0
+	for _, v := range inertia {
+		totalInertia += v
+	}
+	model := &KMeansModel{
+		FeatureNames: append([]string(nil), featureNames...),
+		Centroids:    centroids,
+		Inertia:      totalInertia,
+		Iterations:   opts.MaxIterations,
+		N:            total,
+	}
+	return model, assignments, nil
+}
+
+// MergeKMeansPartials consolidates per-shard centers into K global centers by
+// weighted Lloyd iterations over the union of centers (each weighted by its
+// local cluster population), seeded with weighted k-means++.
+func MergeKMeansPartials(partials []*KMeansPartial, opts KMeansOptions) [][]float64 {
+	var points [][]float64
+	var weights []float64
+	for _, p := range partials {
+		if p == nil {
+			continue
+		}
+		for c, centroid := range p.Centroids {
+			if p.Weights[c] == 0 {
+				continue
+			}
+			points = append(points, centroid)
+			weights = append(weights, float64(p.Weights[c]))
+		}
+	}
+	k := opts.K
+	if k > len(points) {
+		k = len(points)
+	}
+	if k == 0 {
+		return nil
+	}
+
+	// Weighted k-means++ seeding.
+	r := newRNG(opts.Seed)
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, append([]float64(nil), points[weightedPick(weights, r)]...))
+	for len(centroids) < k {
+		dists := make([]float64, len(points))
+		total := 0.0
+		for i, pt := range points {
+			_, d := nearestCentroid(pt, centroids)
+			dists[i] = d * weights[i]
+			total += dists[i]
+		}
+		if total == 0 {
+			centroids = append(centroids, append([]float64(nil), points[r.Intn(len(points))]...))
+			continue
+		}
+		centroids = append(centroids, append([]float64(nil), points[weightedPick(dists, r)]...))
+	}
+
+	// Weighted Lloyd iterations over the compressed point set.
+	dims := len(points[0])
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		sums := make([][]float64, k)
+		counts := make([]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dims)
+		}
+		for i, pt := range points {
+			c, _ := nearestCentroid(pt, centroids)
+			counts[c] += weights[i]
+			for j := 0; j < dims; j++ {
+				sums[c][j] += pt[j] * weights[i]
+			}
+		}
+		movement := 0.0
+		next := make([][]float64, k)
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				next[c] = centroids[c]
+				continue
+			}
+			next[c] = make([]float64, dims)
+			for j := 0; j < dims; j++ {
+				next[c][j] = sums[c][j] / counts[c]
+				movement += math.Abs(next[c][j] - centroids[c][j])
+			}
+		}
+		centroids = next
+		if movement < opts.Tolerance {
+			break
+		}
+	}
+	return centroids
+}
+
+// weightedPick samples an index proportionally to the given weights.
+func weightedPick(weights []float64, r *rng) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return r.Intn(len(weights))
+	}
+	target := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if acc >= target {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,305 @@
+package analytics
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"idaax/internal/expr"
+	"idaax/internal/relalg"
+	"idaax/internal/types"
+)
+
+// splitDataset deals the dataset's rows round-robin into n partitions — the
+// shape per-shard extraction produces, with every partition seeing a
+// different subset of the same population.
+func splitDataset(ds *Dataset, n int) []*Dataset {
+	parts := make([]*Dataset, n)
+	for i := range parts {
+		parts[i] = &Dataset{FeatureNames: ds.FeatureNames}
+	}
+	for i := 0; i < ds.Rows(); i++ {
+		p := parts[i%n]
+		p.Features = append(p.Features, ds.Features[i])
+		if ds.Target != nil {
+			p.Target = append(p.Target, ds.Target[i])
+		}
+		if ds.Labels != nil {
+			p.Labels = append(p.Labels, ds.Labels[i])
+		}
+		if ds.IDs != nil {
+			p.IDs = append(p.IDs, ds.IDs[i])
+		}
+	}
+	return parts
+}
+
+func relClose(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	denom := math.Abs(want)
+	if denom < 1 {
+		denom = 1
+	}
+	if math.Abs(got-want)/denom > tol {
+		t.Fatalf("%s: got %v, want %v (tolerance %v)", name, got, want, tol)
+	}
+}
+
+func TestDistributedLinearRegressionMatchesSingle(t *testing.T) {
+	ds := extractXY(t, syntheticRelation(2000), false)
+	single, err := TrainLinearRegression(ds, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 4, 7} {
+		dist, err := TrainLinearRegressionDistributed(splitDataset(ds, shards), 1e-6)
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		if dist.N != single.N {
+			t.Fatalf("%d shards: N = %d, want %d", shards, dist.N, single.N)
+		}
+		relClose(t, "intercept", dist.Intercept, single.Intercept, 1e-9)
+		for j := range single.Coefficients {
+			relClose(t, "coefficient", dist.Coefficients[j], single.Coefficients[j], 1e-9)
+		}
+		relClose(t, "RMSE", dist.RMSE, single.RMSE, 1e-6)
+		relClose(t, "R2", dist.R2, single.R2, 1e-6)
+	}
+	// A partition list where one shard is empty still trains on the total.
+	parts := splitDataset(ds, 3)
+	parts = append(parts, nil, &Dataset{FeatureNames: ds.FeatureNames})
+	dist, err := TrainLinearRegressionDistributed(parts, 1e-6)
+	if err != nil || dist.N != single.N {
+		t.Fatalf("empty shards: N=%d err=%v", dist.N, err)
+	}
+}
+
+func TestDistributedLogisticRegressionMatchesSingle(t *testing.T) {
+	rel := syntheticRelation(1500)
+	rel2 := rel.Clone()
+	rel2.Cols = append(rel2.Cols, expr.InputColumn{Name: "TARGET", Kind: types.KindInt})
+	rel2.Rows = nil
+	for _, r := range rel.Rows {
+		v := int64(0)
+		if r[4].Str == "POS" {
+			v = 1
+		}
+		rel2.Rows = append(rel2.Rows, append(r.Clone(), types.NewInt(v)))
+	}
+	ds, err := Extract(rel2, ExtractOptions{Features: []string{"X1", "X2"}, Target: "TARGET"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := TrainLogisticRegression(ds, 120, 0.3, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := TrainLogisticRegressionDistributed(splitDataset(ds, 4), 120, 0.3, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relClose(t, "intercept", dist.Intercept, single.Intercept, 1e-6)
+	for j := range single.Coefficients {
+		relClose(t, "coefficient", dist.Coefficients[j], single.Coefficients[j], 1e-6)
+	}
+	relClose(t, "accuracy", dist.TrainAccuracy, single.TrainAccuracy, 1e-9)
+	relClose(t, "logloss", dist.TrainLogLoss, single.TrainLogLoss, 1e-6)
+}
+
+func TestDistributedNaiveBayesMatchesSingle(t *testing.T) {
+	ds := extractXY(t, syntheticRelation(1500), true)
+	single, err := TrainNaiveBayes(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := TrainNaiveBayesDistributed(splitDataset(ds, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist.Classes) != len(single.Classes) || dist.N != single.N {
+		t.Fatalf("shape: classes %v vs %v, N %d vs %d", dist.Classes, single.Classes, dist.N, single.N)
+	}
+	for _, class := range single.Classes {
+		relClose(t, "prior "+class, dist.Priors[class], single.Priors[class], 1e-12)
+		for j := range single.Means[class] {
+			relClose(t, "mean", dist.Means[class][j], single.Means[class][j], 1e-9)
+			relClose(t, "variance", dist.Variances[class][j], single.Variances[class][j], 1e-9)
+		}
+	}
+}
+
+func TestDistributedSummarizeMatchesSingle(t *testing.T) {
+	rel := syntheticRelation(900)
+	single, err := Summarize(rel, []string{"X1", "X2", "Y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split the relation's rows over three "shards" and merge the moments.
+	var parts [][]ColumnMoments
+	for s := 0; s < 3; s++ {
+		sub := &relalg.Relation{Cols: rel.Cols}
+		for i := s; i < len(rel.Rows); i += 3 {
+			sub.Rows = append(sub.Rows, rel.Rows[i])
+		}
+		m, err := SummarizePartial(sub, []string{"X1", "X2", "Y"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, m)
+	}
+	merged, err := MergeColumnMoments(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range single {
+		if merged[i].Count != single[i].Count || merged[i].Nulls != single[i].Nulls {
+			t.Fatalf("column %s counts: %+v vs %+v", single[i].Name, merged[i], single[i])
+		}
+		relClose(t, "mean", merged[i].Mean, single[i].Mean, 1e-9)
+		relClose(t, "stddev", merged[i].StdDev, single[i].StdDev, 1e-9)
+		relClose(t, "min", merged[i].Min, single[i].Min, 0)
+		relClose(t, "max", merged[i].Max, single[i].Max, 0)
+	}
+}
+
+func TestDistributedKMeansWithinTolerance(t *testing.T) {
+	// Well-separated clusters: both single and consolidated training must
+	// find the same three centers.
+	ds := &Dataset{FeatureNames: []string{"A", "B"}}
+	r := newRNG(11)
+	centers := [][]float64{{0, 0}, {20, 20}, {-20, 20}}
+	for i := 0; i < 900; i++ {
+		c := centers[i%3]
+		ds.Features = append(ds.Features, []float64{c[0] + r.Float64(), c[1] + r.Float64()})
+		ds.IDs = append(ds.IDs, types.NewInt(int64(i)))
+	}
+	single, _, err := TrainKMeans(ds, KMeansOptions{K: 3, MaxIterations: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, assignments, err := TrainKMeansDistributed(splitDataset(ds, 4), KMeansOptions{K: 3, MaxIterations: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.N != 900 {
+		t.Fatalf("N = %d", dist.N)
+	}
+	rowsAssigned := 0
+	for _, a := range assignments {
+		rowsAssigned += len(a)
+	}
+	if rowsAssigned != 900 {
+		t.Fatalf("assignments cover %d rows", rowsAssigned)
+	}
+	// Compare sorted centroid sets.
+	sortCentroids := func(cs [][]float64) [][]float64 {
+		out := append([][]float64(nil), cs...)
+		sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+		return out
+	}
+	s, d := sortCentroids(single.Centroids), sortCentroids(dist.Centroids)
+	for i := range s {
+		for j := range s[i] {
+			if math.Abs(s[i][j]-d[i][j]) > 1.0 {
+				t.Fatalf("centroid %d dim %d: single %v, distributed %v", i, j, s[i], d[i])
+			}
+		}
+	}
+	relClose(t, "inertia", dist.Inertia, single.Inertia, 0.25)
+}
+
+func TestDistributedDecisionForestWithinTolerance(t *testing.T) {
+	ds := extractXY(t, syntheticRelation(1600), true)
+	single, err := TrainDecisionTree(ds, DecisionTreeOptions{MaxDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := TrainDecisionForestDistributed(splitDataset(ds, 4), DecisionTreeOptions{MaxDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forest.Trees) != 4 || forest.N != 1600 {
+		t.Fatalf("forest shape: %d trees, N=%d", len(forest.Trees), forest.N)
+	}
+	singleAcc := single.Accuracy(ds)
+	forestAcc := forest.Accuracy(ds)
+	if math.Abs(singleAcc-forestAcc) > 0.05 {
+		t.Fatalf("accuracy gap too large: single %.4f, forest %.4f", singleAcc, forestAcc)
+	}
+	// Forest models round-trip through model tables like any other kind.
+	rows, err := ModelRows(ModelKindForest, forest, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := &relalg.Relation{Cols: []expr.InputColumn{
+		{Name: "MODEL_KIND", Kind: types.KindString},
+		{Name: "PARAM", Kind: types.KindString},
+		{Name: "VALUE", Kind: types.KindFloat},
+		{Name: "TEXT", Kind: types.KindString},
+	}, Rows: rows}
+	kind, loaded, err := LoadModel(rel)
+	if err != nil || kind != ModelKindForest {
+		t.Fatalf("load: %v %v", kind, err)
+	}
+	reloaded := loaded.(*ForestModel)
+	if len(reloaded.Trees) != len(forest.Trees) {
+		t.Fatalf("round trip lost trees: %d vs %d", len(reloaded.Trees), len(forest.Trees))
+	}
+	probe := ds.Features[7]
+	if reloaded.PredictClass(probe) != forest.PredictClass(probe) {
+		t.Fatal("round-tripped forest predicts differently")
+	}
+}
+
+// Regression tests for the empty-input fix: Extract and Summarize must return
+// clear errors, not zero-valued results, on empty or all-NULL input.
+func TestExtractAndSummarizeEmptyInputErrors(t *testing.T) {
+	empty := &relalg.Relation{Cols: syntheticRelation(1).Cols}
+	if _, err := Extract(empty, ExtractOptions{Features: []string{"X1"}}); err == nil {
+		t.Fatal("Extract on an empty relation must fail")
+	}
+	if _, err := Summarize(empty, []string{"X1"}); err == nil {
+		t.Fatal("Summarize on an empty relation must fail")
+	}
+
+	// All-NULL feature column: every row is skipped.
+	allNull := syntheticRelation(20)
+	allNull.Rows = append([]types.Row(nil), allNull.Rows...)
+	for i, r := range allNull.Rows {
+		row := r.Clone()
+		row[1] = types.Null()
+		allNull.Rows[i] = row
+	}
+	if _, err := Extract(allNull, ExtractOptions{Features: []string{"X1"}, SkipIncomplete: true}); err == nil {
+		t.Fatal("Extract with every row skipped must fail")
+	}
+	if _, err := Summarize(allNull, []string{"X1"}); err == nil {
+		t.Fatal("Summarize on an all-NULL column must fail")
+	}
+	// AllowEmpty (per-shard extraction) suppresses the error.
+	ds, err := Extract(empty, ExtractOptions{Features: []string{"X1"}, AllowEmpty: true})
+	if err != nil || ds.Rows() != 0 {
+		t.Fatalf("AllowEmpty: %v", err)
+	}
+	// Other columns of the relation stay summarisable.
+	if _, err := Summarize(allNull, []string{"X2"}); err != nil {
+		t.Fatalf("X2 should still summarise: %v", err)
+	}
+
+	// Scoring: the exported entry point errors on an unusable relation, but
+	// the per-shard variant tolerates a partition whose every row is
+	// incomplete (other shards may still hold scoreable rows).
+	trainDS := extractXY(t, syntheticRelation(200), false)
+	model, err := TrainLinearRegression(trainDS, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ScoreRelation(ModelKindLinear, model, allNull, "ID"); err == nil {
+		t.Fatal("ScoreRelation on an all-skipped relation must fail")
+	}
+	rows, _, err := scorePartition(ModelKindLinear, model, allNull, "ID", true)
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("scorePartition(allowEmpty): %d rows, %v", len(rows), err)
+	}
+}

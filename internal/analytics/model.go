@@ -15,6 +15,9 @@ const (
 	ModelKindKMeans       = "KMEANS"
 	ModelKindNaiveBayes   = "NAIVE_BAYES"
 	ModelKindDecisionTree = "DECISION_TREE"
+	// ModelKindForest is the voting ensemble distributed decision-tree
+	// training produces (one tree per shard).
+	ModelKindForest = "DECISION_FOREST"
 )
 
 // ModelSchema is the schema of model tables. Models are persisted as
@@ -38,6 +41,7 @@ type modelEnvelope struct {
 	KMeans       *KMeansModel       `json:"kmeans,omitempty"`
 	NaiveBayes   *NaiveBayesModel   `json:"naive_bayes,omitempty"`
 	DecisionTree *DecisionTreeModel `json:"decision_tree,omitempty"`
+	Forest       *ForestModel       `json:"forest,omitempty"`
 }
 
 // ModelRows serialises a model into rows of ModelSchema. metrics are appended
@@ -55,6 +59,8 @@ func ModelRows(kind string, model any, metrics map[string]float64) ([]types.Row,
 		env.NaiveBayes = m
 	case *DecisionTreeModel:
 		env.DecisionTree = m
+	case *ForestModel:
+		env.Forest = m
 	default:
 		return nil, fmt.Errorf("analytics: unsupported model type %T", model)
 	}
@@ -100,6 +106,8 @@ func LoadModel(rel *relalg.Relation) (string, any, error) {
 			return env.Kind, env.NaiveBayes, nil
 		case ModelKindDecisionTree:
 			return env.Kind, env.DecisionTree, nil
+		case ModelKindForest:
+			return env.Kind, env.Forest, nil
 		default:
 			return "", nil, fmt.Errorf("analytics: unknown model kind %q", env.Kind)
 		}

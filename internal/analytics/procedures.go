@@ -120,6 +120,9 @@ func procSummary(ctx *core.ProcContext, args []types.Value) (*core.ProcResult, e
 	if err != nil {
 		return nil, err
 	}
+	if be, _, ok := scatterTarget(ctx, table); ok {
+		return distSummary(ctx, be, table, cols)
+	}
 	rel, err := readTable(ctx, table)
 	if err != nil {
 		return nil, err
@@ -304,6 +307,9 @@ func procLinearRegression(ctx *core.ProcContext, args []types.Value) (*core.Proc
 	}
 	ridge := core.ArgFloat(args, 4, 1e-6)
 
+	if be, _, ok := scatterTarget(ctx, table); ok {
+		return distLinearRegression(ctx, be, table, target, features, modelTable, ridge)
+	}
 	rel, err := readTable(ctx, table)
 	if err != nil {
 		return nil, err
@@ -347,6 +353,9 @@ func procLogisticRegression(ctx *core.ProcContext, args []types.Value) (*core.Pr
 	iterations := int(core.ArgInt(args, 4, 200))
 	learningRate := core.ArgFloat(args, 5, 0.1)
 
+	if be, _, ok := scatterTarget(ctx, table); ok {
+		return distLogisticRegression(ctx, be, table, target, features, modelTable, iterations, learningRate)
+	}
 	rel, err := readTable(ctx, table)
 	if err != nil {
 		return nil, err
@@ -389,6 +398,9 @@ func procKMeans(ctx *core.ProcContext, args []types.Value) (*core.ProcResult, er
 	iterations := int(core.ArgInt(args, 6, 50))
 	seed := core.ArgInt(args, 7, 7)
 
+	if be, _, ok := scatterTarget(ctx, table); ok {
+		return distKMeans(ctx, be, table, features, k, modelTable, assignTable, idColumn, iterations, seed)
+	}
 	rel, err := readTable(ctx, table)
 	if err != nil {
 		return nil, err
@@ -444,6 +456,9 @@ func procNaiveBayes(ctx *core.ProcContext, args []types.Value) (*core.ProcResult
 	if err != nil {
 		return nil, err
 	}
+	if be, _, ok := scatterTarget(ctx, table); ok {
+		return distNaiveBayes(ctx, be, table, target, features, modelTable)
+	}
 	rel, err := readTable(ctx, table)
 	if err != nil {
 		return nil, err
@@ -485,6 +500,9 @@ func procDecisionTree(ctx *core.ProcContext, args []types.Value) (*core.ProcResu
 		return nil, err
 	}
 	maxDepth := int(core.ArgInt(args, 4, 6))
+	if be, _, ok := scatterTarget(ctx, table); ok {
+		return distDecisionTree(ctx, be, table, target, features, modelTable, maxDepth)
+	}
 	rel, err := readTable(ctx, table)
 	if err != nil {
 		return nil, err
@@ -534,6 +552,9 @@ func procPredict(ctx *core.ProcContext, args []types.Value) (*core.ProcResult, e
 	if err != nil {
 		return nil, err
 	}
+	if be, _, ok := scatterTarget(ctx, table); ok {
+		return distPredict(ctx, be, kind, model, table, idColumn, outTable)
+	}
 	rel, err := readTable(ctx, table)
 	if err != nil {
 		return nil, err
@@ -556,8 +577,15 @@ func procPredict(ctx *core.ProcContext, args []types.Value) (*core.ProcResult, e
 // ScoreRelation applies a trained model to every row of rel and returns the
 // scored rows with their schema. It is exported so the benchmark harness can
 // measure "client-side" scoring (same computation, but after extracting the
-// data out of the database) against the in-database path.
+// data out of the database) against the in-database path. An empty relation
+// (or one whose every row is incomplete) is an error; per-shard scoring uses
+// scorePartition, where an unusable partition is legitimate as long as other
+// shards hold rows.
 func ScoreRelation(kind string, model any, rel *relalg.Relation, idColumn string) ([]types.Row, types.Schema, error) {
+	return scorePartition(kind, model, rel, idColumn, false)
+}
+
+func scorePartition(kind string, model any, rel *relalg.Relation, idColumn string, allowEmpty bool) ([]types.Row, types.Schema, error) {
 	var featureNames []string
 	switch m := model.(type) {
 	case *LinearModel:
@@ -570,10 +598,12 @@ func ScoreRelation(kind string, model any, rel *relalg.Relation, idColumn string
 		featureNames = m.FeatureNames
 	case *DecisionTreeModel:
 		featureNames = m.FeatureNames
+	case *ForestModel:
+		featureNames = m.FeatureNames
 	default:
 		return nil, types.Schema{}, fmt.Errorf("analytics: unsupported model type %T", model)
 	}
-	ds, err := Extract(rel, ExtractOptions{Features: featureNames, ID: idColumn, SkipIncomplete: true})
+	ds, err := Extract(rel, ExtractOptions{Features: featureNames, ID: idColumn, SkipIncomplete: true, AllowEmpty: allowEmpty})
 	if err != nil {
 		return nil, types.Schema{}, err
 	}
@@ -610,6 +640,8 @@ func ScoreRelation(kind string, model any, rel *relalg.Relation, idColumn string
 			prediction = score
 			label = cls
 		case *DecisionTreeModel:
+			label = m.PredictClass(ds.Features[i])
+		case *ForestModel:
 			label = m.PredictClass(ds.Features[i])
 		}
 		rows[i] = types.Row{ds.IDs[i], types.NewFloat(prediction), types.NewString(label)}

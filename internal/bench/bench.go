@@ -57,13 +57,25 @@ func FullScale() Scale {
 	}
 }
 
-// Table is one experiment's result table.
+// Table is one experiment's result table. Rows and notes are the
+// human-readable rendering; Metrics are the machine-readable numbers the CI
+// regression harness compares against a checked-in baseline.
 type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+	Metrics []Metric   `json:"metrics,omitempty"`
+}
+
+// Metric is one named machine-readable result of an experiment.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	// HigherIsBetter orients the regression check: a higher-is-better metric
+	// regresses by dropping, a lower-is-better one by rising.
+	HigherIsBetter bool `json:"higher_is_better"`
 }
 
 // AddRow appends a row of already-formatted cells.
@@ -72,6 +84,69 @@ func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
 // AddNote appends a free-text note printed under the table.
 func (t *Table) AddNote(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// AddMetric records a machine-readable result for the JSON report.
+func (t *Table) AddMetric(name string, value float64, higherIsBetter bool) {
+	t.Metrics = append(t.Metrics, Metric{Name: name, Value: value, HigherIsBetter: higherIsBetter})
+}
+
+// Report is the JSON document cmd/idaabench -json writes: every experiment
+// that ran, at which scale.
+type Report struct {
+	Scale       string   `json:"scale"`
+	Experiments []*Table `json:"experiments"`
+}
+
+// FindExperiment returns the report's table for an experiment id.
+func (r *Report) FindExperiment(id string) *Table {
+	for _, t := range r.Experiments {
+		if strings.EqualFold(t.ID, id) {
+			return t
+		}
+	}
+	return nil
+}
+
+// CompareMetrics checks a fresh report against a baseline and returns one
+// message per regression: a higher-is-better metric that dropped more than
+// tolerance (fraction, e.g. 0.30) below the baseline, or a lower-is-better
+// one that rose more than tolerance above it. Metrics present on only one
+// side are ignored, so baselines survive adding experiments.
+func CompareMetrics(baseline, current *Report, tolerance float64) []string {
+	var regressions []string
+	for _, base := range baseline.Experiments {
+		cur := current.FindExperiment(base.ID)
+		if cur == nil {
+			continue
+		}
+		curByName := make(map[string]Metric, len(cur.Metrics))
+		for _, m := range cur.Metrics {
+			curByName[m.Name] = m
+		}
+		for _, bm := range base.Metrics {
+			cm, ok := curByName[bm.Name]
+			if !ok {
+				continue
+			}
+			if bm.HigherIsBetter {
+				floor := bm.Value * (1 - tolerance)
+				if cm.Value < floor {
+					regressions = append(regressions, fmt.Sprintf(
+						"%s %s regressed: %.4g < baseline %.4g - %.0f%% (floor %.4g)",
+						base.ID, bm.Name, cm.Value, bm.Value, tolerance*100, floor))
+				}
+			} else {
+				ceil := bm.Value * (1 + tolerance)
+				if cm.Value > ceil {
+					regressions = append(regressions, fmt.Sprintf(
+						"%s %s regressed: %.4g > baseline %.4g + %.0f%% (ceiling %.4g)",
+						base.ID, bm.Name, cm.Value, bm.Value, tolerance*100, ceil))
+				}
+			}
+		}
+	}
+	return regressions
 }
 
 // Format renders the table as aligned text.
@@ -137,6 +212,7 @@ func Experiments() map[string]Experiment {
 		{ID: "E9", Title: "Sharded scan throughput scaling across a multi-accelerator fleet", Run: RunE9ShardedScan},
 		{ID: "E10", Title: "Join placement: co-located shard-local joins vs coordinator gather", Run: RunE10ColocatedJoin},
 		{ID: "E11", Title: "Elastic fleet: online rebalance vs stop-the-world re-load", Run: RunE11Rebalance},
+		{ID: "E12", Title: "Distributed analytics: shard-local train/score vs coordinator gather", Run: RunE12DistributedAnalytics},
 		{ID: "F1", Title: "Architecture inventory and data paths (Figure 1)", Run: RunF1Architecture},
 	}
 	out := make(map[string]Experiment, len(exps))

@@ -12,7 +12,7 @@ import (
 // repository root and by cmd/idaabench).
 func TestExperimentRegistry(t *testing.T) {
 	ids := IDs()
-	want := []string{"e1", "e10", "e11", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1"}
+	want := []string{"e1", "e10", "e11", "e12", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1"}
 	if len(ids) != len(want) {
 		t.Fatalf("experiments: %v", ids)
 	}
@@ -118,6 +118,84 @@ func TestRebalanceExperiment(t *testing.T) {
 	fmt.Sscanf(online[5], "%d", &moved)
 	if moved <= 0 || moved >= int64(scale.LoadRows) {
 		t.Fatalf("online rebalance moved %d of %d rows (expected a strict subset):\n%s", moved, scale.LoadRows, table.Format())
+	}
+}
+
+// TestDistributedAnalyticsExperiment is the E12 smoke CI runs on every PR:
+// the scatter/merge path must gather strictly fewer rows to the coordinator
+// than the forced gather path at every scale, must write its predictions
+// shard-local, and must emit the machine-readable metrics the bench-regression
+// comparison consumes.
+func TestDistributedAnalyticsExperiment(t *testing.T) {
+	scale := SmallScale()
+	scale.ChurnRows = 3000
+	if testing.Short() {
+		scale.ChurnRows = 1200
+	}
+	table, err := Run("e12", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("expected gather+distributed rows at two scales, got %d:\n%s", len(table.Rows), table.Format())
+	}
+	for i := 0; i < len(table.Rows); i += 2 {
+		gather, dist := table.Rows[i], table.Rows[i+1]
+		var gatheredRows, distRows, localWrites int64
+		fmt.Sscanf(gather[5], "%d", &gatheredRows)
+		fmt.Sscanf(dist[5], "%d", &distRows)
+		fmt.Sscanf(dist[6], "%d", &localWrites)
+		if distRows >= gatheredRows {
+			t.Fatalf("scale %s: distributed gathered %d rows, gather path %d — no data movement saved:\n%s",
+				gather[0], distRows, gatheredRows, table.Format())
+		}
+		if localWrites == 0 {
+			t.Fatalf("scale %s: no shard-local prediction writes recorded:\n%s", gather[0], table.Format())
+		}
+	}
+	metricNames := map[string]bool{}
+	for _, m := range table.Metrics {
+		metricNames[m.Name] = true
+	}
+	for _, want := range []string{"train_rows_per_sec_distributed_scale1", "rows_gathered_gather_scale1", "train_speedup_scale1"} {
+		if !metricNames[want] {
+			t.Fatalf("metric %s missing from report: %v", want, metricNames)
+		}
+	}
+}
+
+// TestCompareMetrics pins the regression-comparison semantics the CI gate
+// relies on.
+func TestCompareMetrics(t *testing.T) {
+	base := &Report{Experiments: []*Table{{
+		ID: "E12",
+		Metrics: []Metric{
+			{Name: "thr", Value: 100, HigherIsBetter: true},
+			{Name: "moved", Value: 1000, HigherIsBetter: false},
+			{Name: "only_in_base", Value: 5, HigherIsBetter: true},
+		},
+	}}}
+	ok := &Report{Experiments: []*Table{{
+		ID: "E12",
+		Metrics: []Metric{
+			{Name: "thr", Value: 71, HigherIsBetter: true},
+			{Name: "moved", Value: 1299, HigherIsBetter: false},
+			{Name: "only_in_current", Value: 5, HigherIsBetter: true},
+		},
+	}}}
+	if regs := CompareMetrics(base, ok, 0.30); len(regs) != 0 {
+		t.Fatalf("within tolerance flagged: %v", regs)
+	}
+	bad := &Report{Experiments: []*Table{{
+		ID: "E12",
+		Metrics: []Metric{
+			{Name: "thr", Value: 69, HigherIsBetter: true},
+			{Name: "moved", Value: 1301, HigherIsBetter: false},
+		},
+	}}}
+	regs := CompareMetrics(base, bad, 0.30)
+	if len(regs) != 2 {
+		t.Fatalf("expected 2 regressions, got %v", regs)
 	}
 }
 

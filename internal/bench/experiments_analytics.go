@@ -222,7 +222,7 @@ func RunE6Training(scale Scale) (*Table, error) {
 		name string
 		sql  string
 	}{
-		{"linear regression", fmt.Sprintf("CALL IDAX.LINEAR_REGRESSION('CHURN', 'MONTHLY_SPEND', 'TENURE_MONTHS,SUPPORT_CALLS,LATE_PAYMENTS,DISCOUNT_RATE', 'M_LIN')")},
+		{"linear regression", "CALL IDAX.LINEAR_REGRESSION('CHURN', 'MONTHLY_SPEND', 'TENURE_MONTHS,SUPPORT_CALLS,LATE_PAYMENTS,DISCOUNT_RATE', 'M_LIN')"},
 		{"logistic regression", fmt.Sprintf("CALL IDAX.LOGISTIC_REGRESSION('CHURN', 'CHURNED', '%s', 'M_LOG', 150, 0.2)", features)},
 		{"k-means (k=4)", fmt.Sprintf("CALL IDAX.KMEANS('CHURN', '%s', 4, 'M_KM', 'KM_ASSIGN', 'CUSTOMER_ID', 25, 7)", features)},
 		{"naive bayes", fmt.Sprintf("CALL IDAX.NAIVE_BAYES('CHURN', 'CHURNED', '%s', 'M_NB')", features)},

@@ -39,6 +39,20 @@ type ProcContext struct {
 	// write model tables and scored result sets without converting rows back
 	// into SQL literals.
 	InsertRows func(table string, rows []types.Row) (int, error)
+	// BackendFor resolves the backend hosting an accelerated table's rows
+	// (possibly a shard group, unlike Accelerator which is the session's
+	// default backend) together with its pairing name. nil/"" when the table
+	// is not accelerated or unknown. Analytics procedures use it to scatter
+	// training and scoring shard-local instead of gathering the table; nil
+	// (e.g. in a hand-built context) simply disables the scatter path.
+	BackendFor func(table string) (accel.Backend, string)
+}
+
+// CheckSelect verifies the caller may read the named table — the privilege
+// gate the routed Query path applies, needed explicitly by procedures that
+// bypass routing to scan shard-local.
+func (c *ProcContext) CheckSelect(table string) error {
+	return c.Catalog.CheckPrivilege(c.User, types.NormalizeName(table), catalog.PrivSelect)
 }
 
 // QuerySQL parses and runs a SELECT given as text.

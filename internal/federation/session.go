@@ -741,6 +741,17 @@ func (s *Session) execCall(tx *txn.Txn, stmt *sqlparse.CallStmt) (*Result, error
 			}
 			return n, nil
 		},
+		BackendFor: func(table string) (accel.Backend, string) {
+			meta, err := s.coord.cat.Table(table)
+			if err != nil || meta.Accelerator == "" {
+				return nil, ""
+			}
+			b, err := s.coord.Accelerator(meta.Accelerator)
+			if err != nil {
+				return nil, ""
+			}
+			return b, meta.Accelerator
+		},
 	}
 	procRes, err := s.coord.Procs.Call(ctx, stmt.Procedure, args)
 	if err != nil {

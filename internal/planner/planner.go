@@ -50,7 +50,17 @@ type TableInfo struct {
 	// (pruning through PlaceKey stays safe — the router only places keys
 	// every active map agrees on).
 	Migrating bool
+	// Members are the names of the backends holding the table's partitions,
+	// in shard ordinal order (a single accelerator reports just itself).
+	// Shard-local analytics procedures consult it for placement: scoring
+	// writes predictions next to the partition they were computed from, and a
+	// prediction table keyed by the input's distribution key inherits that key
+	// so scores stay co-located with their input rows.
+	Members []string
 }
+
+// Partitioned reports whether the table is spread over more than one shard.
+func (t TableInfo) Partitioned() bool { return t.Shards > 1 }
 
 // Catalog resolves table names to TableInfo. The second result is false for
 // unknown tables.

@@ -401,7 +401,7 @@ const maxRangeEnumeration = 1024
 // Candidates stays nil (= all shards) when no usable key predicate exists.
 func (a *analysis) keyCandidates(scan *ScanNode) {
 	info := scan.Info
-	if !scan.Known || info.DistKey == "" || info.PlaceKey == nil || info.Shards <= 1 {
+	if !scan.Known || info.DistKey == "" || info.PlaceKey == nil || !info.Partitioned() {
 		return
 	}
 	keyIdx := info.Schema.IndexOf(info.DistKey)

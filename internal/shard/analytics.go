@@ -1,0 +1,124 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"idaax/internal/accel"
+	"idaax/internal/relalg"
+	"idaax/internal/sqlparse"
+	"idaax/internal/types"
+)
+
+// This file is the router side of the shard-local analytics seam: a procedure
+// call scatters over the members that own the table's rows, each member
+// computes a partial result against only its own partition, and the
+// coordinator merges the partials — the analytics twin of two-phase
+// aggregation. Base rows never travel; only sufficient statistics, locally
+// trained models and completion counts do.
+
+// ShardCount implements accel.MultiShard.
+func (r *Router) ShardCount() int { return len(r.Members()) }
+
+// SetShardLocalAnalytics enables or disables shard-local procedure execution
+// (enabled by default). With it off, analytics CALLs fall back to gathering
+// the table to the coordinator — the pre-scatter behaviour, kept for A/B
+// measurement (bench E12).
+func (r *Router) SetShardLocalAnalytics(enabled bool) {
+	v := int32(1)
+	if enabled {
+		v = 0
+	}
+	atomic.StoreInt32(&r.analyticsDisabled, v)
+}
+
+// ShardLocalAnalytics implements accel.MultiShard.
+func (r *Router) ShardLocalAnalytics() bool {
+	return atomic.LoadInt32(&r.analyticsDisabled) == 0
+}
+
+// DistributedProcCalls returns how many times each procedure scattered over
+// this group, keyed by the procedure label passed to CallShardLocal.
+func (r *Router) DistributedProcCalls() map[string]int64 {
+	r.procMu.Lock()
+	defer r.procMu.Unlock()
+	out := make(map[string]int64, len(r.procCalls))
+	for k, v := range r.procCalls {
+		out[k] = v
+	}
+	return out
+}
+
+func (r *Router) noteProcScatter(proc string) {
+	atomic.AddInt64(&r.stats.AnalyticsScatters, 1)
+	if proc == "" {
+		return
+	}
+	r.procMu.Lock()
+	r.procCalls[types.NormalizeName(proc)]++
+	r.procMu.Unlock()
+}
+
+// CallShardLocal implements the Backend analytics seam across the fleet: fn
+// runs concurrently on every member, each invocation seeing only that shard's
+// visible rows, and the partial results come back in shard order.
+//
+// Two properties make the scatter safe against a concurrent rebalance:
+//
+//   - the table's migration fence is held shared for the whole call, so no
+//     migration batch can move rows while the partials compute — the same
+//     fence DML takes; and
+//   - the per-member snapshots are taken together under the router's commit
+//     fence, so a batch that committed before the call is visible only on its
+//     destination shard and a batch after it on none — every row is presented
+//     to exactly one invocation (no double-count, no gap), which is what lets
+//     scoring write predictions shard-local without ever double-scoring.
+//
+// Draining members still participate: their unmigrated rows are part of the
+// table until the drain completes.
+func (r *Router) CallShardLocal(txnID int64, table, proc string, fn accel.ShardLocalFunc) ([]any, error) {
+	meta, err := r.meta(table)
+	if err != nil {
+		return nil, err
+	}
+	meta.migMu.RLock()
+	defer meta.migMu.RUnlock()
+	r.noteProcScatter(proc)
+	ms, snaps := r.snapshotAll(txnID)
+
+	partials := make([]any, len(ms))
+	errs := make([]error, len(ms))
+	var wg sync.WaitGroup
+	for i, m := range ms {
+		m.NoteQuery()
+		wg.Add(1)
+		go func(i int, m *accel.Accelerator, snap *accel.Snapshot) {
+			defer wg.Done()
+			rows, err := m.ScanVisible(snap, table, nil, sqlparse.FromItem{Table: types.NormalizeName(table)})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			atomic.AddInt64(&r.stats.AnalyticsPartials, 1)
+			partials[i], errs[i] = fn(&accel.ShardPartition{
+				Member:  m.Name(),
+				Ordinal: i,
+				Shards:  len(ms),
+				Rows:    relalg.FromTable(types.NormalizeName(table), meta.schema, rows),
+				WriteLocal: func(out string, outRows []types.Row) (int, error) {
+					n, err := m.ImportRows(out, outRows, nil)
+					atomic.AddInt64(&r.stats.AnalyticsRowsWrittenLocal, int64(n))
+					return n, err
+				},
+			})
+		}(i, m, snaps[i])
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %s: %w", ms[i].Name(), err)
+		}
+	}
+	return partials, nil
+}

@@ -121,6 +121,15 @@ type Stats struct {
 	// ShardScansAvoided counts per-table shard scans eliminated by
 	// distribution-key pruning (summed over the statements' base tables).
 	ShardScansAvoided int64
+	// AnalyticsScatters counts shard-local procedure calls (CallShardLocal)
+	// scattered across the fleet.
+	AnalyticsScatters int64
+	// AnalyticsPartials counts per-shard partial computations produced by
+	// scattered procedure calls (one per shard per scatter).
+	AnalyticsPartials int64
+	// AnalyticsRowsWrittenLocal counts derived rows (predictions, cluster
+	// assignments) written shard-local without passing the coordinator.
+	AnalyticsRowsWrittenLocal int64
 	// RowsMigrated counts rows moved between shards by the rebalancer.
 	RowsMigrated int64
 	// RebalanceBatches counts committed migration batches.
@@ -172,6 +181,16 @@ type Router struct {
 	// planningDisabled turns the cost-based planner off (heuristic routing
 	// only); the benchmark harness uses it to measure the planner's effect.
 	planningDisabled int32
+
+	// analyticsDisabled turns shard-local procedure execution off (CALLs then
+	// gather rows to the coordinator like before); the benchmark harness uses
+	// it to measure the scatter/merge path's effect.
+	analyticsDisabled int32
+
+	// procMu guards procCalls, the per-procedure scatter counters surfaced by
+	// DistributedProcCalls.
+	procMu    sync.Mutex
+	procCalls map[string]int64
 }
 
 // NewRouter creates a router over the given member accelerators. At least one
@@ -181,10 +200,11 @@ func NewRouter(name string, members []*accel.Accelerator) (*Router, error) {
 		return nil, fmt.Errorf("shard: router %s needs at least one member accelerator", types.NormalizeName(name))
 	}
 	return &Router{
-		name:    types.NormalizeName(name),
-		members: append([]*accel.Accelerator(nil), members...),
-		leaving: make(map[string]bool),
-		tables:  make(map[string]*tableMeta),
+		name:      types.NormalizeName(name),
+		members:   append([]*accel.Accelerator(nil), members...),
+		leaving:   make(map[string]bool),
+		tables:    make(map[string]*tableMeta),
+		procCalls: make(map[string]int64),
 	}, nil
 }
 
@@ -268,17 +288,20 @@ func (r *Router) MemberStats() []accel.Stats {
 // ShardingStats returns the router-level routing counters.
 func (r *Router) ShardingStats() Stats {
 	return Stats{
-		QueriesRouted:       atomic.LoadInt64(&r.stats.QueriesRouted),
-		QueriesPruned:       atomic.LoadInt64(&r.stats.QueriesPruned),
-		TwoPhaseAggregates:  atomic.LoadInt64(&r.stats.TwoPhaseAggregates),
-		RowsGathered:        atomic.LoadInt64(&r.stats.RowsGathered),
-		ColocatedJoins:      atomic.LoadInt64(&r.stats.ColocatedJoins),
-		BroadcastJoins:      atomic.LoadInt64(&r.stats.BroadcastJoins),
-		ShardScansAvoided:   atomic.LoadInt64(&r.stats.ShardScansAvoided),
-		RowsMigrated:        atomic.LoadInt64(&r.stats.RowsMigrated),
-		RebalanceBatches:    atomic.LoadInt64(&r.stats.RebalanceBatches),
-		RebalancesCompleted: atomic.LoadInt64(&r.stats.RebalancesCompleted),
-		Epoch:               r.Epoch(),
+		QueriesRouted:             atomic.LoadInt64(&r.stats.QueriesRouted),
+		QueriesPruned:             atomic.LoadInt64(&r.stats.QueriesPruned),
+		TwoPhaseAggregates:        atomic.LoadInt64(&r.stats.TwoPhaseAggregates),
+		RowsGathered:              atomic.LoadInt64(&r.stats.RowsGathered),
+		ColocatedJoins:            atomic.LoadInt64(&r.stats.ColocatedJoins),
+		BroadcastJoins:            atomic.LoadInt64(&r.stats.BroadcastJoins),
+		ShardScansAvoided:         atomic.LoadInt64(&r.stats.ShardScansAvoided),
+		AnalyticsScatters:         atomic.LoadInt64(&r.stats.AnalyticsScatters),
+		AnalyticsPartials:         atomic.LoadInt64(&r.stats.AnalyticsPartials),
+		AnalyticsRowsWrittenLocal: atomic.LoadInt64(&r.stats.AnalyticsRowsWrittenLocal),
+		RowsMigrated:              atomic.LoadInt64(&r.stats.RowsMigrated),
+		RebalanceBatches:          atomic.LoadInt64(&r.stats.RebalanceBatches),
+		RebalancesCompleted:       atomic.LoadInt64(&r.stats.RebalancesCompleted),
+		Epoch:                     r.Epoch(),
 	}
 }
 
@@ -443,13 +466,19 @@ func (r *Router) PlannerCatalog() planner.Catalog {
 		if err != nil {
 			snap = stats.Snapshot{}
 		}
+		ms := r.Members()
+		names := make([]string, len(ms))
+		for i, m := range ms {
+			names[i] = m.Name()
+		}
 		info := planner.TableInfo{
 			Name:      types.NormalizeName(table),
 			Schema:    meta.schema,
 			Stats:     snap,
 			DistKey:   meta.distKey,
-			Shards:    len(r.Members()),
+			Shards:    len(ms),
 			Migrating: meta.migrating(),
+			Members:   names,
 		}
 		if meta.keyIdx >= 0 {
 			info.PlaceKey = r.routedPlaceKey(meta)

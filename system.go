@@ -168,6 +168,21 @@ type ShardGroupStats struct {
 	// ShardScansAvoided counts per-table shard scans eliminated by
 	// distribution-key pruning (equality, IN lists, bounded ranges).
 	ShardScansAvoided int64
+	// AnalyticsScatters counts shard-local scatter operations issued by
+	// analytics procedures instead of gathering the table. One CALL usually
+	// issues one scatter, but may issue more (KMEANS with an assignment
+	// output scatters once to train and once to write); DistributedProcCalls
+	// counts CALLs.
+	AnalyticsScatters int64
+	// AnalyticsPartials counts per-shard partial computations those scatters
+	// produced (one per shard per scatter).
+	AnalyticsPartials int64
+	// AnalyticsRowsWrittenLocal counts predictions and cluster assignments
+	// written on the shard that computed them (never passing the coordinator).
+	AnalyticsRowsWrittenLocal int64
+	// DistributedProcCalls breaks AnalyticsScatters down by procedure name
+	// (e.g. "IDAX.LINEAR_REGRESSION").
+	DistributedProcCalls map[string]int64
 	// RowsMigrated counts rows the online rebalancer moved between shards
 	// (AddShardMember / RemoveShardMember / ACCEL_REBALANCE).
 	RowsMigrated int64
@@ -202,20 +217,40 @@ func (s *System) ShardGroupStats(name string) (ShardGroupStats, error) {
 	}
 	routing := router.ShardingStats()
 	return ShardGroupStats{
-		Group:               group,
-		Shards:              perShard,
-		QueriesRouted:       routing.QueriesRouted,
-		QueriesPruned:       routing.QueriesPruned,
-		TwoPhaseAggregates:  routing.TwoPhaseAggregates,
-		RowsGathered:        routing.RowsGathered,
-		ColocatedJoins:      routing.ColocatedJoins,
-		BroadcastJoins:      routing.BroadcastJoins,
-		ShardScansAvoided:   routing.ShardScansAvoided,
-		RowsMigrated:        routing.RowsMigrated,
-		RebalanceBatches:    routing.RebalanceBatches,
-		RebalancesCompleted: routing.RebalancesCompleted,
-		Epoch:               routing.Epoch,
+		Group:                     group,
+		Shards:                    perShard,
+		QueriesRouted:             routing.QueriesRouted,
+		QueriesPruned:             routing.QueriesPruned,
+		TwoPhaseAggregates:        routing.TwoPhaseAggregates,
+		RowsGathered:              routing.RowsGathered,
+		ColocatedJoins:            routing.ColocatedJoins,
+		BroadcastJoins:            routing.BroadcastJoins,
+		ShardScansAvoided:         routing.ShardScansAvoided,
+		AnalyticsScatters:         routing.AnalyticsScatters,
+		AnalyticsPartials:         routing.AnalyticsPartials,
+		AnalyticsRowsWrittenLocal: routing.AnalyticsRowsWrittenLocal,
+		DistributedProcCalls:      router.DistributedProcCalls(),
+		RowsMigrated:              routing.RowsMigrated,
+		RebalanceBatches:          routing.RebalanceBatches,
+		RebalancesCompleted:       routing.RebalancesCompleted,
+		Epoch:                     routing.Epoch,
 	}, nil
+}
+
+// SetShardLocalAnalytics enables or disables shard-local procedure execution
+// for the named shard group (empty name = the configured default group).
+// Enabled by default; the benchmark harness disables it to measure the
+// gather baseline (bench E12).
+func (s *System) SetShardLocalAnalytics(group string, enabled bool) error {
+	if group == "" {
+		group = s.cfg.ShardGroupName
+	}
+	router, err := s.coord.ShardGroup(group)
+	if err != nil {
+		return err
+	}
+	router.SetShardLocalAnalytics(enabled)
+	return nil
 }
 
 // ColumnStatistics describes one column's planner statistics.
