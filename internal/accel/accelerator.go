@@ -37,12 +37,17 @@ type Accelerator struct {
 	deleteMu sync.Mutex
 	deleters map[int64]bool
 
-	queriesRun    int64
-	rowsScanned   int64
-	blocksPruned  int64
-	rowsIngested  int64
-	rowsReturned  int64
-	dmlStatements int64
+	// vectorizedOff disables the vectorized batch engine (A/B switch; the
+	// engine is on by default). Atomic, like the router's planning switch.
+	vectorizedOff int64
+
+	queriesRun        int64
+	rowsScanned       int64
+	blocksPruned      int64
+	rowsIngested      int64
+	rowsReturned      int64
+	dmlStatements     int64
+	vectorizedQueries int64
 }
 
 // Stats is a snapshot of accelerator activity counters.
@@ -53,8 +58,11 @@ type Stats struct {
 	RowsIngested  int64
 	RowsReturned  int64
 	DMLStatements int64
-	Tables        int
-	Slices        int
+	// VectorizedQueries counts statements the vectorized batch engine executed
+	// end to end (scan+filter, with or without vectorized aggregation).
+	VectorizedQueries int64
+	Tables            int
+	Slices            int
 }
 
 // New creates an accelerator with the given number of worker slices
@@ -84,16 +92,32 @@ func (a *Accelerator) Stats() Stats {
 	tables := len(a.tables)
 	a.mu.RUnlock()
 	return Stats{
-		QueriesRun:    atomic.LoadInt64(&a.queriesRun),
-		RowsScanned:   atomic.LoadInt64(&a.rowsScanned),
-		BlocksPruned:  atomic.LoadInt64(&a.blocksPruned),
-		RowsIngested:  atomic.LoadInt64(&a.rowsIngested),
-		RowsReturned:  atomic.LoadInt64(&a.rowsReturned),
-		DMLStatements: atomic.LoadInt64(&a.dmlStatements),
-		Tables:        tables,
-		Slices:        a.slices,
+		QueriesRun:        atomic.LoadInt64(&a.queriesRun),
+		RowsScanned:       atomic.LoadInt64(&a.rowsScanned),
+		BlocksPruned:      atomic.LoadInt64(&a.blocksPruned),
+		RowsIngested:      atomic.LoadInt64(&a.rowsIngested),
+		RowsReturned:      atomic.LoadInt64(&a.rowsReturned),
+		DMLStatements:     atomic.LoadInt64(&a.dmlStatements),
+		VectorizedQueries: atomic.LoadInt64(&a.vectorizedQueries),
+		Tables:            tables,
+		Slices:            a.slices,
 	}
 }
+
+// SetVectorizedExecution enables or disables the vectorized batch engine
+// (enabled by default). With it off, every statement takes the row-at-a-time
+// path: ParallelScan materialises rows and the relational operators tree-walk
+// them — the A/B baseline bench E13 measures against.
+func (a *Accelerator) SetVectorizedExecution(enabled bool) {
+	v := int64(1)
+	if enabled {
+		v = 0
+	}
+	atomic.StoreInt64(&a.vectorizedOff, v)
+}
+
+// VectorizedEnabled reports whether the vectorized batch engine is active.
+func (a *Accelerator) VectorizedEnabled() bool { return atomic.LoadInt64(&a.vectorizedOff) == 0 }
 
 // NoteQuery adds one executed statement to the QueriesRun counter. The shard
 // router calls it for every member a scatter-gather statement gathers base

@@ -43,6 +43,14 @@ type Backend interface {
 	TableStatistics(table string) (stats.Snapshot, error)
 	Explain(sel *sqlparse.SelectStmt) (*planner.Plan, error)
 
+	// SetVectorizedExecution toggles the vectorized batch engine (on by
+	// default; a sharded backend fans the setting to every member, including
+	// ones added later). VectorizedEnabled reports the current state. The
+	// switch exists for A/B measurement, like the router's cost-based-planning
+	// toggle; both engines return identical results.
+	SetVectorizedExecution(enabled bool)
+	VectorizedEnabled() bool
+
 	// Query and DML under a DB2 transaction id.
 	Query(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Relation, error)
 	Insert(txnID int64, table string, rows []types.Row) (int, error)

@@ -10,6 +10,7 @@ import (
 	"idaax/internal/relalg"
 	"idaax/internal/sqlparse"
 	"idaax/internal/types"
+	"idaax/internal/vexec"
 )
 
 // Query executes a SELECT against accelerator-resident tables under a snapshot
@@ -34,6 +35,13 @@ func (a *Accelerator) Query(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Rela
 func (a *Accelerator) QueryAt(txnID int64, snap *Snapshot, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
 	atomic.AddInt64(&a.queriesRun, 1)
 	sel, methods := a.planStatement(sel)
+	if rel, handled, err := a.tryVectorized(snap, sel); handled {
+		if err != nil {
+			return nil, err
+		}
+		atomic.AddInt64(&a.rowsReturned, int64(len(rel.Rows)))
+		return rel, nil
+	}
 	from, err := a.BuildFromRelation(txnID, snap, sel, nil, methods)
 	if err != nil {
 		return nil, err
@@ -44,6 +52,44 @@ func (a *Accelerator) QueryAt(txnID int64, snap *Snapshot, sel *sqlparse.SelectS
 	}
 	atomic.AddInt64(&a.rowsReturned, int64(len(rel.Rows)))
 	return rel, nil
+}
+
+// tryVectorized runs a single-table statement through the vectorized batch
+// engine (internal/vexec). handled=false falls back to the row path without
+// side effects: the statement is out of engine scope, the engine is disabled,
+// or the table is unknown (the row path raises the proper error). When the
+// engine only covers scan+filter, the surviving rows are materialized late and
+// the remaining operators run row-at-a-time with the WHERE clause stripped —
+// the vector filters already applied it exactly.
+func (a *Accelerator) tryVectorized(snap *Snapshot, sel *sqlparse.SelectStmt) (*relalg.Relation, bool, error) {
+	if !a.VectorizedEnabled() || len(sel.From) != 1 || sel.From[0].Subquery != nil {
+		return nil, false, nil
+	}
+	t, err := a.Table(sel.From[0].Table)
+	if err != nil {
+		return nil, false, nil
+	}
+	plan, ok := vexec.PlanQuery(sel, t.Schema())
+	if !ok {
+		return nil, false, nil
+	}
+	rel, stats, err := plan.Run(t, a.slices, snap.Visible)
+	atomic.AddInt64(&a.rowsScanned, int64(stats.VersionsConsidered))
+	atomic.AddInt64(&a.blocksPruned, int64(stats.BlocksPruned))
+	if err != nil {
+		return nil, true, err
+	}
+	atomic.AddInt64(&a.vectorizedQueries, 1)
+	if plan.Aggregated() {
+		return rel, true, nil
+	}
+	rest := *sel
+	rest.Where = nil
+	out, err := relalg.ExecuteSelect(rel, &rest, relalg.Options{Parallelism: a.slices})
+	if err != nil {
+		return nil, true, err
+	}
+	return out, true, nil
 }
 
 // PlannerCatalog exposes this accelerator's tables and statistics to the
@@ -81,7 +127,31 @@ func (a *Accelerator) planStatement(sel *sqlparse.SelectStmt) (*sqlparse.SelectS
 
 // Explain plans a SELECT against this accelerator without executing it.
 func (a *Accelerator) Explain(sel *sqlparse.SelectStmt) (*planner.Plan, error) {
-	return planner.PlanSelect(sel, a.PlannerCatalog()), nil
+	pl := planner.PlanSelect(sel, a.PlannerCatalog())
+	if pl != nil {
+		a.annotateVectorized(pl, sel)
+	}
+	return pl, nil
+}
+
+// annotateVectorized records on the plan whether (and how far) the vectorized
+// batch engine would execute the statement, for EXPLAIN.
+func (a *Accelerator) annotateVectorized(pl *planner.Plan, sel *sqlparse.SelectStmt) {
+	if !a.VectorizedEnabled() {
+		return
+	}
+	pl.Vectorized = true
+	pl.VectorizedMode = vexec.ModeScan // joins and subqueries still scan in batches
+	if len(sel.From) != 1 || sel.From[0].Subquery != nil {
+		return
+	}
+	t, err := a.Table(sel.From[0].Table)
+	if err != nil {
+		return
+	}
+	if p, ok := vexec.PlanQuery(sel, t.Schema()); ok {
+		pl.VectorizedMode = p.Mode()
+	}
 }
 
 // BuildFromRelation materialises every FROM item of sel under the single
@@ -139,7 +209,17 @@ func (a *Accelerator) scanTable(t *colstore.Table, snap *Snapshot, sel *sqlparse
 	if sel != nil {
 		preds = a.pushdownPredicates(sel, item, t)
 	}
-	rows, stats := t.ParallelScan(a.slices, snap.Visible, preds)
+	var rows []types.Row
+	var stats colstore.ScanStats
+	if a.VectorizedEnabled() {
+		// Batch scan: the same pushdown predicates evaluate vector-at-a-time
+		// and only surviving rows materialize, into exactly-sized buffers.
+		// Joins, the shard gather path and the analytics seam all read through
+		// here, so they scan in batches too.
+		rows, stats = t.ScanMaterialize(a.slices, snap.Visible, preds)
+	} else {
+		rows, stats = t.ParallelScan(a.slices, snap.Visible, preds)
+	}
 	atomic.AddInt64(&a.rowsScanned, int64(stats.VersionsConsidered))
 	atomic.AddInt64(&a.blocksPruned, int64(stats.BlocksPruned))
 	return rows
@@ -195,7 +275,7 @@ func (a *Accelerator) pushdownPredicates(sel *sqlparse.SelectStmt, item sqlparse
 				visit(n.Right)
 				return
 			}
-			ref, lit, op, ok := simpleComparison(n)
+			ref, lit, op, ok := vexec.SimpleComparison(n)
 			if !ok {
 				return
 			}
@@ -264,60 +344,6 @@ func (a *Accelerator) pushdownPredicates(sel *sqlparse.SelectStmt, item sqlparse
 	}
 	visit(sel.Where)
 	return preds
-}
-
-// simpleComparison recognises "col <op> literal" and "literal <op> col"
-// comparisons, normalising the latter by flipping the operator.
-func simpleComparison(b *sqlparse.BinaryExpr) (*sqlparse.ColumnRef, types.Value, colstore.CompareOp, bool) {
-	op, ok := compareOp(b.Op)
-	if !ok {
-		return nil, types.Null(), 0, false
-	}
-	if ref, isRef := b.Left.(*sqlparse.ColumnRef); isRef {
-		if lit, isLit := b.Right.(*sqlparse.Literal); isLit && !lit.Val.IsNull() {
-			return ref, lit.Val, op, true
-		}
-	}
-	if ref, isRef := b.Right.(*sqlparse.ColumnRef); isRef {
-		if lit, isLit := b.Left.(*sqlparse.Literal); isLit && !lit.Val.IsNull() {
-			return ref, lit.Val, flipOp(op), true
-		}
-	}
-	return nil, types.Null(), 0, false
-}
-
-func compareOp(op sqlparse.BinOp) (colstore.CompareOp, bool) {
-	switch op {
-	case sqlparse.OpEq:
-		return colstore.CmpEq, true
-	case sqlparse.OpNe:
-		return colstore.CmpNe, true
-	case sqlparse.OpLt:
-		return colstore.CmpLt, true
-	case sqlparse.OpLe:
-		return colstore.CmpLe, true
-	case sqlparse.OpGt:
-		return colstore.CmpGt, true
-	case sqlparse.OpGe:
-		return colstore.CmpGe, true
-	default:
-		return 0, false
-	}
-}
-
-func flipOp(op colstore.CompareOp) colstore.CompareOp {
-	switch op {
-	case colstore.CmpLt:
-		return colstore.CmpGt
-	case colstore.CmpLe:
-		return colstore.CmpGe
-	case colstore.CmpGt:
-		return colstore.CmpLt
-	case colstore.CmpGe:
-		return colstore.CmpLe
-	default:
-		return op
-	}
 }
 
 // MaterializeQuery executes a SELECT and inserts its result into the target

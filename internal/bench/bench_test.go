@@ -12,7 +12,7 @@ import (
 // repository root and by cmd/idaabench).
 func TestExperimentRegistry(t *testing.T) {
 	ids := IDs()
-	want := []string{"e1", "e10", "e11", "e12", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1"}
+	want := []string{"e1", "e10", "e11", "e12", "e13", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1"}
 	if len(ids) != len(want) {
 		t.Fatalf("experiments: %v", ids)
 	}
@@ -158,6 +158,55 @@ func TestDistributedAnalyticsExperiment(t *testing.T) {
 		metricNames[m.Name] = true
 	}
 	for _, want := range []string{"train_rows_per_sec_distributed_scale1", "rows_gathered_gather_scale1", "train_speedup_scale1"} {
+		if !metricNames[want] {
+			t.Fatalf("metric %s missing from report: %v", want, metricNames)
+		}
+	}
+}
+
+// TestVectorizedExperiment is the E13 smoke CI runs on every PR: the
+// vectorized engine must return the same result cardinalities as the row
+// engine and must beat it on both query shapes at both scales (the full ≥2x
+// acceptance bar is enforced by the checked-in bench-regression baseline; the
+// smoke uses softer floors so shared-runner noise cannot flake the job).
+func TestVectorizedExperiment(t *testing.T) {
+	scale := SmallScale()
+	if testing.Short() {
+		scale.QueryRows = []int{2000, 20000}
+	}
+	table, err := Run("e13", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 8 {
+		t.Fatalf("expected row/vectorized pairs for two queries at two scales, got %d:\n%s", len(table.Rows), table.Format())
+	}
+	for i := 0; i < len(table.Rows); i += 2 {
+		row, vec := table.Rows[i], table.Rows[i+1]
+		if row[5] != vec[5] {
+			t.Fatalf("%s at %s rows: result cardinality differs between engines (%s vs %s):\n%s",
+				row[1], row[0], row[5], vec[5], table.Format())
+		}
+		var rowRate, vecRate float64
+		fmt.Sscanf(row[4], "%f", &rowRate)
+		fmt.Sscanf(vec[4], "%f", &vecRate)
+		minSpeedup := 1.2
+		if row[1] == "groupby" {
+			minSpeedup = 2.0
+		}
+		if vecRate < rowRate*minSpeedup {
+			t.Fatalf("%s at %s rows: vectorized %.0f rows/s vs row %.0f rows/s (< %.1fx):\n%s",
+				row[1], row[0], vecRate, rowRate, minSpeedup, table.Format())
+		}
+	}
+	metricNames := map[string]bool{}
+	for _, m := range table.Metrics {
+		metricNames[m.Name] = true
+	}
+	for _, want := range []string{
+		"scan_filter_rows_per_sec_vec_scale2", "groupby_rows_per_sec_row_scale1",
+		"scan_filter_speedup_scale2", "groupby_speedup_scale2",
+	} {
 		if !metricNames[want] {
 			t.Fatalf("metric %s missing from report: %v", want, metricNames)
 		}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"idaax"
+	"idaax/internal/types"
+)
+
+// RunE13Vectorized measures the vectorized batch engine (internal/vexec)
+// against the row-at-a-time baseline on the two hottest shapes of the scan
+// path: selective scan+filter and grouped aggregation. Both engines execute
+// the identical statements over the identical accelerator-only table — the
+// A/B switch is System.SetVectorizedExecution — and the differential suite
+// pins that their results are equal; the experiment reports throughput (input
+// rows per second) and the vectorized/row speedup at two data scales.
+func RunE13Vectorized(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E13",
+		Title:   "Vectorized batch engine vs row-at-a-time execution",
+		Columns: []string{"ROWS", "QUERY", "ENGINE", "ELAPSED_MS", "ROWS_PER_SEC", "RESULT_ROWS", "SPEEDUP"},
+	}
+	sizes := []int{scale.QueryRows[0], scale.QueryRows[len(scale.QueryRows)-1]}
+	queries := []struct {
+		key string
+		sql string
+	}{
+		{"scan_filter", "SELECT id, v1, q FROM vx WHERE q >= 4 AND v1 > 650 AND q < 44 AND cat <> 'c-3'"},
+		{"groupby", "SELECT grp, COUNT(*), SUM(v1), AVG(v2), MIN(q), MAX(q) FROM vx GROUP BY grp"},
+	}
+
+	for si, rows := range sizes {
+		sys := newSystem(scale)
+		if err := setupVectorTable(sys, rows); err != nil {
+			return nil, err
+		}
+		session := sys.AdminSession()
+		iters := 150000 / rows
+		if iters < 3 {
+			iters = 3
+		}
+
+		for _, q := range queries {
+			var rowRate float64
+			for _, vectorized := range []bool{false, true} {
+				sys.SetVectorizedExecution(vectorized)
+				// Warm-up run, also used to record the result cardinality.
+				res, err := session.Query(q.sql)
+				if err != nil {
+					return nil, fmt.Errorf("E13 %s (vectorized=%v): %w", q.key, vectorized, err)
+				}
+				resultRows := len(res.Rows)
+				start := time.Now()
+				for i := 0; i < iters; i++ {
+					if _, err := session.Query(q.sql); err != nil {
+						return nil, fmt.Errorf("E13 %s (vectorized=%v): %w", q.key, vectorized, err)
+					}
+				}
+				elapsed := time.Since(start)
+				rate := float64(rows*iters) / elapsed.Seconds()
+
+				engine, key := "row-at-a-time", "row"
+				if vectorized {
+					engine, key = "vectorized", "vec"
+				}
+				speedup := "1.0x"
+				if vectorized && rowRate > 0 {
+					speedup = fmt.Sprintf("%.1fx", rate/rowRate)
+					t.AddMetric(fmt.Sprintf("%s_speedup_scale%d", q.key, si+1), rate/rowRate, true)
+				} else {
+					rowRate = rate
+				}
+				t.AddRow(itoa(rows), q.key, engine, ms(elapsed), fmt.Sprintf("%.0f", rate), itoa(resultRows), speedup)
+				t.AddMetric(fmt.Sprintf("%s_rows_per_sec_%s_scale%d", q.key, key, si+1), rate, true)
+			}
+		}
+		sys.Close()
+	}
+	t.AddNote("Both engines run the identical SQL over the identical accelerator-only table; rows/s counts input rows scanned per second. scan_filter keeps ~4%% of the rows (three numeric vector predicates plus a string <>); groupby aggregates five measures over 64 groups with NULLs in V2.")
+	t.AddNote("The vectorized engine keeps data columnar end to end: selection vectors instead of row materialization, typed predicate loops, binary group keys; the row engine materialises every visible row and tree-walks expressions per row.")
+	return t, nil
+}
+
+// setupVectorTable creates the accelerator-only table VX and bulk-loads
+// deterministic rows: 64 groups, 16 categories, uniform measures, and a NULL
+// in V2 every 97th row so aggregation NULL semantics are exercised.
+func setupVectorTable(sys *idaax.System, rows int) error {
+	session := sys.AdminSession()
+	ddl := "CREATE TABLE vx (id BIGINT NOT NULL, grp BIGINT, cat VARCHAR, v1 DOUBLE, v2 DOUBLE, q BIGINT) IN ACCELERATOR IDAA1"
+	if _, err := session.Exec(ddl); err != nil {
+		return err
+	}
+	const batch = 10000
+	buf := make([]types.Row, 0, batch)
+	for i := 0; i < rows; i++ {
+		v2 := types.NewFloat(float64((i * 31) % 500))
+		if i%97 == 0 {
+			v2 = types.Null()
+		}
+		buf = append(buf, types.Row{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(i % 64)),
+			types.NewString(fmt.Sprintf("c-%d", i%16)),
+			types.NewFloat(float64((i * 7) % 1000)),
+			v2,
+			types.NewInt(int64(i % 100)),
+		})
+		if len(buf) == batch || i == rows-1 {
+			if err := fillTable(sys, "VX", buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,412 @@
+package colstore
+
+import (
+	"sync"
+
+	"idaax/internal/types"
+)
+
+// BatchSize is the number of row positions covered by one scan batch. It
+// divides ZoneBlockSize so a batch never spans a zone-map block boundary.
+const BatchSize = 1024
+
+// Vector is a typed, zero-copy view of one column over a batch's row range.
+// Exactly one payload slice is populated, chosen by Kind (booleans and
+// timestamps share the Ints payload, like Column); Nulls always aligns with
+// the payload. Vectors alias column storage and must be treated as read-only.
+type Vector struct {
+	Kind   types.Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Nulls  []bool
+}
+
+// Value reconstructs the value at batch offset i.
+func (v Vector) Value(i int) types.Value {
+	if v.Nulls[i] {
+		return types.Null()
+	}
+	switch v.Kind {
+	case types.KindInt:
+		return types.NewInt(v.Ints[i])
+	case types.KindTimestamp:
+		return types.NewTimestampMicros(v.Ints[i])
+	case types.KindFloat:
+		return types.NewFloat(v.Floats[i])
+	case types.KindBool:
+		return types.NewBool(v.Ints[i] != 0)
+	default:
+		return types.NewString(v.Strs[i])
+	}
+}
+
+// Batch is a view of up to BatchSize consecutive row versions of a table,
+// with the rows surviving visibility and predicate evaluation recorded in the
+// selection vector. Operators consume the typed vectors directly and only
+// materialize types.Row values for rows that survive every filter (late
+// materialization).
+type Batch struct {
+	// Cols holds one vector per table column, aliasing column storage.
+	Cols []Vector
+	// Base is the absolute row index of batch offset 0.
+	Base int
+	// N is the number of row positions the batch covers (Sel entries are in
+	// [0, N)).
+	N int
+	// Sel lists the surviving batch offsets in ascending order.
+	Sel []int
+}
+
+// Materialize appends the selected rows to dst (late materialization).
+func (b *Batch) Materialize(dst []types.Row) []types.Row {
+	for _, off := range b.Sel {
+		row := make(types.Row, len(b.Cols))
+		for ci := range b.Cols {
+			row[ci] = b.Cols[ci].Value(off)
+		}
+		dst = append(dst, row)
+	}
+	return dst
+}
+
+// ScanBatches streams the rows visible under vis that satisfy all pushed-down
+// predicates as column batches, without materializing types.Row values: per
+// zone-map block that survives pruning, visibility fills the selection vector
+// and each predicate shrinks it with a typed vector loop. fn runs on `slices`
+// workers (worker indices are < max(1, slices)); each worker owns a contiguous
+// row range and delivers its batches in ascending position order, so
+// concatenating per-worker results in worker order yields position order —
+// the same order ParallelScan returns. The batch passed to fn (vectors and
+// selection vector included) is reused and only valid for the duration of the
+// call. ScanStats.RowsMaterialized counts the selected rows delivered.
+func (t *Table) ScanBatches(slices int, vis Visibility, preds []SimplePredicate, fn func(worker int, b *Batch) error) (ScanStats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	n := len(t.created)
+	stats := ScanStats{VersionsConsidered: n}
+	if n == 0 {
+		return stats, nil
+	}
+	if slices < 1 {
+		slices = 1
+	}
+	if maxUseful := (n + 2047) / 2048; slices > maxUseful {
+		slices = maxUseful
+	}
+	if slices > n {
+		slices = n
+	}
+
+	type sliceResult struct {
+		pruned   int
+		selected int
+		err      error
+	}
+	results := make([]sliceResult, slices)
+	chunk := (n + slices - 1) / slices
+	var wg sync.WaitGroup
+	for s := 0; s < slices; s++ {
+		lo := s * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			pruned, selected, err := t.scanChunkBatches(s, lo, hi, vis, preds, fn)
+			results[s] = sliceResult{pruned: pruned, selected: selected, err: err}
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	for _, r := range results {
+		stats.BlocksPruned += r.pruned
+		stats.RowsMaterialized += r.selected
+		if r.err != nil {
+			return stats, r.err
+		}
+	}
+	return stats, nil
+}
+
+// scanChunkBatches is one worker's share of ScanBatches: rows [lo, hi).
+func (t *Table) scanChunkBatches(worker, lo, hi int, vis Visibility, preds []SimplePredicate, fn func(worker int, b *Batch) error) (pruned, selected int, err error) {
+	batch := &Batch{Cols: make([]Vector, len(t.cols))}
+	selBuf := make([]int, 0, BatchSize)
+	blockStart := lo
+	for blockStart < hi {
+		block := blockStart / ZoneBlockSize
+		blockEnd := min((block+1)*ZoneBlockSize, hi)
+		skip := false
+		for _, p := range preds {
+			if !p.blockMayMatch(t.cols[p.ColIdx], block) {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			pruned++
+			blockStart = blockEnd
+			continue
+		}
+		for start := blockStart; start < blockEnd; start += BatchSize {
+			end := min(start+BatchSize, blockEnd)
+			sel := selBuf[:0]
+			for i := start; i < end; i++ {
+				if vis(t.created[i], t.deleted[i]) {
+					sel = append(sel, i-start)
+				}
+			}
+			if len(sel) == 0 {
+				continue
+			}
+			t.fillBatch(batch, start, end)
+			for _, p := range preds {
+				sel = p.applyVector(batch.Cols[p.ColIdx], sel)
+				if len(sel) == 0 {
+					break
+				}
+			}
+			if len(sel) == 0 {
+				continue
+			}
+			batch.Sel = sel
+			selected += len(sel)
+			if err := fn(worker, batch); err != nil {
+				return pruned, selected, err
+			}
+		}
+		blockStart = blockEnd
+	}
+	return pruned, selected, nil
+}
+
+// fillBatch points the batch's vectors at rows [start, end) of every column.
+func (t *Table) fillBatch(b *Batch, start, end int) {
+	b.Base = start
+	b.N = end - start
+	for ci, c := range t.cols {
+		v := Vector{Kind: c.Kind, Nulls: c.nulls[start:end]}
+		switch c.Kind {
+		case types.KindInt, types.KindTimestamp, types.KindBool:
+			v.Ints = c.ints[start:end]
+		case types.KindFloat:
+			v.Floats = c.floats[start:end]
+		default:
+			v.Strs = c.strs[start:end]
+		}
+		b.Cols[ci] = v
+	}
+}
+
+// ScanMaterialize is the batch-scan twin of ParallelScan: it returns exactly
+// the same rows in the same (position) order, but evaluates predicates with
+// vector loops and materializes only surviving rows into per-worker buffers
+// sized from batch survivor counts.
+func (t *Table) ScanMaterialize(slices int, vis Visibility, preds []SimplePredicate) ([]types.Row, ScanStats) {
+	nw := max(slices, 1)
+	buckets := make([][]types.Row, nw)
+	stats, _ := t.ScanBatches(slices, vis, preds, func(w int, b *Batch) error {
+		buckets[w] = b.Materialize(buckets[w])
+		return nil
+	})
+	out := make([]types.Row, 0, stats.RowsMaterialized)
+	for _, rows := range buckets {
+		out = append(out, rows...)
+	}
+	return out, stats
+}
+
+// applyVector compacts sel in place to the offsets whose value satisfies the
+// predicate, using tight typed loops per column kind — no per-value branching
+// on the tagged Value struct. NULL never matches. The kept set is exactly the
+// set rowMatches would keep: numeric kinds compare as float64 (matching
+// types.Compare), booleans compare against boolean literals only, strings
+// compare lexicographically, and any combination types.Compare rejects (a
+// boolean column against a numeric literal, a numeric column against a string
+// literal, ...) keeps nothing via the generic fallback — the typed loops are
+// reserved for combinations whose comparison the row path performs too.
+func (p SimplePredicate) applyVector(v Vector, sel []int) []int {
+	colNum := v.Kind == types.KindInt || v.Kind == types.KindTimestamp || v.Kind == types.KindFloat
+	litNum := p.Value.Kind == types.KindInt || p.Value.Kind == types.KindTimestamp || p.Value.Kind == types.KindFloat
+	boolPair := v.Kind == types.KindBool && p.Value.Kind == types.KindBool
+	switch {
+	case v.Ints != nil && p.isNum && ((colNum && litNum) || boolPair):
+		return selectIntsCmp(v.Ints, v.Nulls, sel, p.numeric, p.Op)
+	case v.Floats != nil && p.isNum && litNum:
+		return selectFloatsCmp(v.Floats, v.Nulls, sel, p.numeric, p.Op)
+	case v.Kind == types.KindString && p.Value.Kind == types.KindString:
+		return selectStringsCmp(v.Strs, v.Nulls, sel, p.Value.Str, p.Op)
+	default:
+		// Odd kind combinations (string column vs numeric literal, boolean
+		// column vs string literal, ...) fall back to the row comparator so
+		// the semantics stay identical to the row-at-a-time scan.
+		out := sel[:0]
+		for _, i := range sel {
+			if v.Nulls[i] {
+				continue
+			}
+			c, err := types.Compare(v.Value(i), p.Value)
+			if err != nil {
+				continue
+			}
+			if cmpSatisfies(c, p.Op) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+}
+
+func cmpSatisfies(c int, op CompareOp) bool {
+	switch op {
+	case CmpEq:
+		return c == 0
+	case CmpNe:
+		return c != 0
+	case CmpLt:
+		return c < 0
+	case CmpLe:
+		return c <= 0
+	case CmpGt:
+		return c > 0
+	case CmpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// selectIntsCmp filters an int64 payload (ints, timestamps, booleans) against
+// a numeric literal. Values convert to float64 for the comparison, exactly as
+// types.Compare does on the row path.
+func selectIntsCmp(vals []int64, nulls []bool, sel []int, lit float64, op CompareOp) []int {
+	out := sel[:0]
+	switch op {
+	case CmpEq:
+		for _, i := range sel {
+			if !nulls[i] && float64(vals[i]) == lit {
+				out = append(out, i)
+			}
+		}
+	case CmpNe:
+		for _, i := range sel {
+			if !nulls[i] && float64(vals[i]) != lit {
+				out = append(out, i)
+			}
+		}
+	case CmpLt:
+		for _, i := range sel {
+			if !nulls[i] && float64(vals[i]) < lit {
+				out = append(out, i)
+			}
+		}
+	case CmpLe:
+		for _, i := range sel {
+			if !nulls[i] && float64(vals[i]) <= lit {
+				out = append(out, i)
+			}
+		}
+	case CmpGt:
+		for _, i := range sel {
+			if !nulls[i] && float64(vals[i]) > lit {
+				out = append(out, i)
+			}
+		}
+	case CmpGe:
+		for _, i := range sel {
+			if !nulls[i] && float64(vals[i]) >= lit {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+func selectFloatsCmp(vals []float64, nulls []bool, sel []int, lit float64, op CompareOp) []int {
+	out := sel[:0]
+	switch op {
+	case CmpEq:
+		for _, i := range sel {
+			if !nulls[i] && vals[i] == lit {
+				out = append(out, i)
+			}
+		}
+	case CmpNe:
+		for _, i := range sel {
+			if !nulls[i] && vals[i] != lit {
+				out = append(out, i)
+			}
+		}
+	case CmpLt:
+		for _, i := range sel {
+			if !nulls[i] && vals[i] < lit {
+				out = append(out, i)
+			}
+		}
+	case CmpLe:
+		for _, i := range sel {
+			if !nulls[i] && vals[i] <= lit {
+				out = append(out, i)
+			}
+		}
+	case CmpGt:
+		for _, i := range sel {
+			if !nulls[i] && vals[i] > lit {
+				out = append(out, i)
+			}
+		}
+	case CmpGe:
+		for _, i := range sel {
+			if !nulls[i] && vals[i] >= lit {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+func selectStringsCmp(vals []string, nulls []bool, sel []int, lit string, op CompareOp) []int {
+	out := sel[:0]
+	switch op {
+	case CmpEq:
+		for _, i := range sel {
+			if !nulls[i] && vals[i] == lit {
+				out = append(out, i)
+			}
+		}
+	case CmpNe:
+		for _, i := range sel {
+			if !nulls[i] && vals[i] != lit {
+				out = append(out, i)
+			}
+		}
+	case CmpLt:
+		for _, i := range sel {
+			if !nulls[i] && vals[i] < lit {
+				out = append(out, i)
+			}
+		}
+	case CmpLe:
+		for _, i := range sel {
+			if !nulls[i] && vals[i] <= lit {
+				out = append(out, i)
+			}
+		}
+	case CmpGt:
+		for _, i := range sel {
+			if !nulls[i] && vals[i] > lit {
+				out = append(out, i)
+			}
+		}
+	case CmpGe:
+		for _, i := range sel {
+			if !nulls[i] && vals[i] >= lit {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}

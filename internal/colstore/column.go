@@ -29,6 +29,14 @@ type Column struct {
 	// numeric value (ints and floats; timestamps use their microsecond value).
 	zoneMin []float64
 	zoneMax []float64
+
+	// String zone maps: per block the lexicographically smallest and largest
+	// non-NULL string, maintained only for string columns. zoneStrOk marks
+	// blocks that hold at least one non-NULL string; a block of only NULLs can
+	// be pruned outright because NULL never satisfies a comparison.
+	zoneMinStr []string
+	zoneMaxStr []string
+	zoneStrOk  []bool
 }
 
 // NewColumn creates an empty column of the given kind.
@@ -74,6 +82,7 @@ func (c *Column) Append(v types.Value) {
 			s = v.AsString()
 		}
 		c.strs = append(c.strs, s)
+		c.updateZoneStr(idx, s, !v.IsNull())
 	}
 	c.updateZone(idx, numeric, hasNumeric)
 }
@@ -92,6 +101,30 @@ func (c *Column) updateZone(idx int, numeric float64, hasNumeric bool) {
 	}
 	if numeric > c.zoneMax[block] {
 		c.zoneMax[block] = numeric
+	}
+}
+
+func (c *Column) updateZoneStr(idx int, s string, hasValue bool) {
+	block := idx / ZoneBlockSize
+	for len(c.zoneStrOk) <= block {
+		c.zoneMinStr = append(c.zoneMinStr, "")
+		c.zoneMaxStr = append(c.zoneMaxStr, "")
+		c.zoneStrOk = append(c.zoneStrOk, false)
+	}
+	if !hasValue {
+		return
+	}
+	if !c.zoneStrOk[block] {
+		c.zoneMinStr[block] = s
+		c.zoneMaxStr[block] = s
+		c.zoneStrOk[block] = true
+		return
+	}
+	if s < c.zoneMinStr[block] {
+		c.zoneMinStr[block] = s
+	}
+	if s > c.zoneMaxStr[block] {
+		c.zoneMaxStr[block] = s
 	}
 }
 
@@ -144,6 +177,17 @@ func (c *Column) BlockRange(block int) (min, max float64, ok bool) {
 	return c.zoneMin[block], c.zoneMax[block], true
 }
 
+// BlockStringRange returns the string zone-map min/max for a block of a
+// string column. ok is false when the block holds no non-NULL strings (or the
+// column is not a string column), in which case no string comparison can match
+// inside the block.
+func (c *Column) BlockStringRange(block int) (min, max string, ok bool) {
+	if block < 0 || block >= len(c.zoneStrOk) || !c.zoneStrOk[block] {
+		return "", "", false
+	}
+	return c.zoneMinStr[block], c.zoneMaxStr[block], true
+}
+
 // IsNumeric reports whether zone maps are meaningful for this column.
 func (c *Column) IsNumeric() bool {
 	switch c.Kind {
@@ -165,6 +209,9 @@ func (c *Column) ApproxBytes() int64 {
 		b += int64(len(s)) + 16
 	}
 	b += int64(len(c.zoneMin)+len(c.zoneMax)) * 8
+	for i := range c.zoneMinStr {
+		b += int64(len(c.zoneMinStr[i])+len(c.zoneMaxStr[i])) + 1
+	}
 	return b
 }
 

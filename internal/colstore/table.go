@@ -45,8 +45,34 @@ func NewSimplePredicate(colIdx int, op CompareOp, v types.Value) SimplePredicate
 	return p
 }
 
-// blockMayMatch consults the zone map of the predicate's column.
+// blockMayMatch consults the zone map of the predicate's column: the numeric
+// min/max for numeric columns, the lexicographic min/max for string columns
+// compared against string literals. Any combination without a zone map (e.g. a
+// string column compared to a numeric literal) conservatively matches, so
+// pruning can only ever skip blocks that provably hold no matching row.
 func (p SimplePredicate) blockMayMatch(col *Column, block int) bool {
+	if p.Value.Kind == types.KindString && col.Kind == types.KindString {
+		min, max, ok := col.BlockStringRange(block)
+		if !ok {
+			// Block contains only NULLs; NULL never satisfies a comparison.
+			return false
+		}
+		s := p.Value.Str
+		switch p.Op {
+		case CmpEq:
+			return s >= min && s <= max
+		case CmpLt:
+			return min < s
+		case CmpLe:
+			return min <= s
+		case CmpGt:
+			return max > s
+		case CmpGe:
+			return max >= s
+		default:
+			return true
+		}
+	}
 	if !p.isNum || !col.IsNumeric() {
 		return true
 	}
@@ -440,7 +466,10 @@ func (t *Table) ParallelScan(slices int, vis Visibility, preds []SimplePredicate
 		wg.Add(1)
 		go func(s, lo, hi int) {
 			defer wg.Done()
-			var rows []types.Row
+			// First pass records surviving row indices (cheap ints), so the
+			// row buffer can be allocated once at its exact final size instead
+			// of growing through repeated appends on large scans.
+			idxs := make([]int, 0, min(hi-lo, 4*ZoneBlockSize))
 			pruned := 0
 			blockStart := lo
 			for blockStart < hi {
@@ -475,19 +504,27 @@ func (t *Table) ParallelScan(slices int, vis Visibility, preds []SimplePredicate
 					if !match {
 						continue
 					}
-					rows = append(rows, t.readRowLocked(i))
+					idxs = append(idxs, i)
 				}
 				blockStart = blockEnd
+			}
+			rows := make([]types.Row, len(idxs))
+			for j, i := range idxs {
+				rows[j] = t.readRowLocked(i)
 			}
 			results[s] = sliceResult{rows: rows, pruned: pruned}
 		}(s, lo, hi)
 	}
 	wg.Wait()
 
-	var out []types.Row
+	total := 0
+	for _, r := range results {
+		total += len(r.rows)
+		stats.BlocksPruned += r.pruned
+	}
+	out := make([]types.Row, 0, total)
 	for _, r := range results {
 		out = append(out, r.rows...)
-		stats.BlocksPruned += r.pruned
 	}
 	stats.RowsMaterialized = len(out)
 	return out, stats

@@ -12,6 +12,11 @@ import (
 func (p *Plan) Describe() []string {
 	var lines []string
 	lines = append(lines, fmt.Sprintf("estimated cost=%.1f rows=%.0f", p.EstCost, p.EstRows))
+	if p.Vectorized {
+		lines = append(lines, fmt.Sprintf("execution: vectorized (%s)", p.VectorizedMode))
+	} else {
+		lines = append(lines, "execution: row-at-a-time")
+	}
 	if p.Shards > 1 {
 		lines = append(lines, p.placementLine())
 	}

@@ -165,6 +165,12 @@ type Plan struct {
 	EmptyCandidates bool
 	// Reordered reports that the FROM order differs from the original.
 	Reordered bool
+	// Vectorized reports that the executing backend runs the statement through
+	// its vectorized batch engine; VectorizedMode says how far the batches
+	// carry ("scan", "scan+filter", or "scan+filter+aggregate"). The backend
+	// annotates these after planning — the planner itself is engine-agnostic.
+	Vectorized     bool
+	VectorizedMode string
 	// EstRows and EstCost are the final estimates.
 	EstRows float64
 	EstCost float64

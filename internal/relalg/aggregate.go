@@ -130,16 +130,21 @@ func newGroupState(repRow types.Row, aggCalls []*sqlparse.FuncCall) (*groupState
 	return st, nil
 }
 
-func groupKeyFor(env *expr.Env, groupBy []sqlparse.Expr, row types.Row) (string, error) {
-	key := ""
+// appendGroupKey renders the row's GROUP BY key into buf (reset first). The
+// buffer is reused across rows by buildGroups — string concatenation here was
+// an allocation hot spot on high-cardinality GROUP BY; the key is only copied
+// to a string when a new group is first seen.
+func appendGroupKey(buf []byte, env *expr.Env, groupBy []sqlparse.Expr, row types.Row) ([]byte, error) {
+	buf = buf[:0]
 	for _, g := range groupBy {
 		v, err := env.Eval(g, row)
 		if err != nil {
-			return "", err
+			return buf, err
 		}
-		key += v.GroupKey() + "\x1f"
+		buf = v.AppendGroupKey(buf)
+		buf = append(buf, 0x1f)
 	}
-	return key, nil
+	return buf, nil
 }
 
 func accumulate(st *groupState, env *expr.Env, aggCalls []*sqlparse.FuncCall, row types.Row) error {
@@ -166,17 +171,20 @@ func accumulate(st *groupState, env *expr.Env, aggCalls []*sqlparse.FuncCall, ro
 func buildGroups(rows []types.Row, sel *sqlparse.SelectStmt, env *expr.Env, aggCalls []*sqlparse.FuncCall) (map[string]*groupState, []string, error) {
 	groups := make(map[string]*groupState)
 	var order []string
+	var keyBuf []byte
 	for _, row := range rows {
-		key, err := groupKeyFor(env, sel.GroupBy, row)
+		var err error
+		keyBuf, err = appendGroupKey(keyBuf, env, sel.GroupBy, row)
 		if err != nil {
 			return nil, nil, err
 		}
-		st, ok := groups[key]
+		st, ok := groups[string(keyBuf)]
 		if !ok {
 			st, err = newGroupState(row, aggCalls)
 			if err != nil {
 				return nil, nil, err
 			}
+			key := string(keyBuf)
 			groups[key] = st
 			order = append(order, key)
 		}

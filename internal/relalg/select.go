@@ -277,12 +277,13 @@ func distinct(rel *Relation, sortKeys [][]types.Value) (*Relation, [][]types.Val
 	seen := make(map[string]bool, len(rel.Rows))
 	out := &Relation{Cols: rel.Cols}
 	var keys [][]types.Value
+	var buf []byte
 	for i, row := range rel.Rows {
-		k := rowKey(row)
-		if seen[k] {
+		buf = appendRowKey(buf[:0], row)
+		if seen[string(buf)] {
 			continue
 		}
-		seen[k] = true
+		seen[string(buf)] = true
 		out.Rows = append(out.Rows, row)
 		if sortKeys != nil {
 			keys = append(keys, sortKeys[i])
@@ -291,13 +292,14 @@ func distinct(rel *Relation, sortKeys [][]types.Value) (*Relation, [][]types.Val
 	return out, keys
 }
 
-func rowKey(row types.Row) string {
-	var sb strings.Builder
+// appendRowKey renders the whole row as a DISTINCT key into buf (reused
+// across rows; the key is copied by the map insert only for unseen rows).
+func appendRowKey(buf []byte, row types.Row) []byte {
 	for _, v := range row {
-		sb.WriteString(v.GroupKey())
-		sb.WriteByte(0x1f)
+		buf = v.AppendGroupKey(buf)
+		buf = append(buf, 0x1f)
 	}
-	return sb.String()
+	return buf
 }
 
 func orderBy(rel *Relation, sortKeys [][]types.Value, items []sqlparse.OrderItem) error {

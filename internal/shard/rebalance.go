@@ -105,6 +105,7 @@ func (r *Router) AddMember(a *accel.Accelerator) error {
 			}
 		}
 	}
+	a.SetVectorizedExecution(r.VectorizedEnabled())
 	r.members = append(append([]*accel.Accelerator(nil), r.members...), a)
 	atomic.AddInt64(&r.epoch, 1)
 	r.retargetLocked()

@@ -11,6 +11,7 @@ import (
 	"idaax/internal/sqlparse"
 	"idaax/internal/stats"
 	"idaax/internal/types"
+	"idaax/internal/vexec"
 )
 
 // tableMeta is the router-side description of a sharded table. Its placement
@@ -187,6 +188,10 @@ type Router struct {
 	// it to measure the scatter/merge path's effect.
 	analyticsDisabled int32
 
+	// vectorizedOff mirrors the members' vectorized-execution switch so
+	// members joining an elastic fleet later inherit the current setting.
+	vectorizedOff int32
+
 	// procMu guards procCalls, the per-procedure scatter counters surfaced by
 	// DistributedProcCalls.
 	procMu    sync.Mutex
@@ -269,6 +274,7 @@ func (r *Router) Stats() accel.Stats {
 		out.RowsIngested += st.RowsIngested
 		out.RowsReturned += st.RowsReturned
 		out.DMLStatements += st.DMLStatements
+		out.VectorizedQueries += st.VectorizedQueries
 		out.Slices += st.Slices
 	}
 	out.Tables = tables
@@ -319,6 +325,23 @@ func (r *Router) SetCostBasedPlanning(enabled bool) {
 
 // PlanningEnabled reports whether cost-based planning is active.
 func (r *Router) PlanningEnabled() bool { return atomic.LoadInt32(&r.planningDisabled) == 0 }
+
+// SetVectorizedExecution toggles the vectorized batch engine on every member
+// (and on members added later). Enabled by default; bench E13 turns it off to
+// measure the row-at-a-time baseline.
+func (r *Router) SetVectorizedExecution(enabled bool) {
+	v := int32(1)
+	if enabled {
+		v = 0
+	}
+	atomic.StoreInt32(&r.vectorizedOff, v)
+	for _, m := range r.Members() {
+		m.SetVectorizedExecution(enabled)
+	}
+}
+
+// VectorizedEnabled reports whether the fleet runs vectorized execution.
+func (r *Router) VectorizedEnabled() bool { return atomic.LoadInt32(&r.vectorizedOff) == 0 }
 
 func (r *Router) meta(table string) (*tableMeta, error) {
 	r.mu.RLock()
@@ -489,7 +512,32 @@ func (r *Router) PlannerCatalog() planner.Catalog {
 
 // Explain plans a SELECT against the shard fleet without executing it.
 func (r *Router) Explain(sel *sqlparse.SelectStmt) (*planner.Plan, error) {
-	return planner.PlanSelect(sel, r.PlannerCatalog()), nil
+	pl := planner.PlanSelect(sel, r.PlannerCatalog())
+	if pl != nil {
+		r.annotateVectorized(pl, sel)
+	}
+	return pl, nil
+}
+
+// annotateVectorized records how far the members' vectorized batch engine
+// carries the statement (the members execute pruned/scattered statements, so
+// the single-table eligibility rules apply shard-side too).
+func (r *Router) annotateVectorized(pl *planner.Plan, sel *sqlparse.SelectStmt) {
+	if !r.VectorizedEnabled() {
+		return
+	}
+	pl.Vectorized = true
+	pl.VectorizedMode = vexec.ModeScan
+	if len(sel.From) != 1 || sel.From[0].Subquery != nil {
+		return
+	}
+	meta, err := r.meta(sel.From[0].Table)
+	if err != nil {
+		return
+	}
+	if p, ok := vexec.PlanQuery(sel, meta.schema); ok {
+		pl.VectorizedMode = p.Mode()
+	}
 }
 
 // ---------------------------------------------------------------------------

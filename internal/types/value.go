@@ -376,26 +376,34 @@ func writeUint64(h interface{ Write([]byte) (int, error) }, u uint64) {
 // GroupKey returns a string usable as a map key for GROUP BY and DISTINCT.
 // Distinct values map to distinct keys within a query's lifetime.
 func (v Value) GroupKey() string {
+	return string(v.AppendGroupKey(nil))
+}
+
+// AppendGroupKey appends the GroupKey encoding to dst and returns the
+// extended buffer. Hot grouping loops reuse one buffer across rows instead of
+// concatenating per-value strings (the buffer escapes into the group map only
+// when a new group is first seen).
+func (v Value) AppendGroupKey(dst []byte) []byte {
 	switch v.Kind {
 	case KindNull:
-		return "\x00N"
+		return append(dst, 0x00, 'N')
 	case KindInt:
-		return "\x01" + strconv.FormatInt(v.Int, 10)
+		return strconv.AppendInt(append(dst, 0x01), v.Int, 10)
 	case KindTimestamp:
-		return "\x05" + strconv.FormatInt(v.Int, 10)
+		return strconv.AppendInt(append(dst, 0x05), v.Int, 10)
 	case KindFloat:
 		if v.Float == math.Trunc(v.Float) && !math.IsInf(v.Float, 0) {
-			return "\x01" + strconv.FormatInt(int64(v.Float), 10)
+			return strconv.AppendInt(append(dst, 0x01), int64(v.Float), 10)
 		}
-		return "\x02" + strconv.FormatFloat(v.Float, 'b', -1, 64)
+		return strconv.AppendFloat(append(dst, 0x02), v.Float, 'b', -1, 64)
 	case KindString:
-		return "\x03" + v.Str
+		return append(append(dst, 0x03), v.Str...)
 	case KindBool:
 		if v.Bool {
-			return "\x04T"
+			return append(dst, 0x04, 'T')
 		}
-		return "\x04F"
+		return append(dst, 0x04, 'F')
 	default:
-		return "\x00?"
+		return append(dst, 0x00, '?')
 	}
 }

@@ -1,0 +1,364 @@
+// Package vexec is the vectorized (batch-at-a-time) execution engine of the
+// accelerator, in the MonetDB/X100 style: data stays columnar from the storage
+// segment to the aggregate. A statement the engine accepts executes as
+//
+//	ScanBatches -> vector predicates -> [residual row predicates] ->
+//	    late materialization | vectorized hash aggregation
+//
+// Simple WHERE conjuncts ("col <op> literal", BETWEEN with literal bounds,
+// IS [NOT] NULL) evaluate vector-at-a-time into the scan's selection vector
+// with tight typed loops; remaining conjuncts are evaluated row-at-a-time but
+// only for rows that already survived the vector filters, and only those rows
+// are ever materialized as types.Row (late materialization). Grouped
+// COUNT/SUM/AVG/MIN/MAX/STDDEV/VARIANCE aggregates accumulate straight off the
+// column vectors under fixed-width binary group keys — no string key building
+// and no row construction at all.
+//
+// Statements the engine cannot run entirely (joins, subqueries, DISTINCT or
+// DISTINCT aggregates, HAVING, ORDER BY on the aggregate path, complex select
+// lists) fall back transparently: either to "vectorized scan + filter, row
+// operators above" or to the row engine outright. Every accepted plan returns
+// exactly the rows, aggregates and NULL semantics of the row-at-a-time path;
+// the differential test suite pins that equivalence.
+package vexec
+
+import (
+	"strings"
+
+	"idaax/internal/colstore"
+	"idaax/internal/expr"
+	"idaax/internal/relalg"
+	"idaax/internal/sqlparse"
+	"idaax/internal/types"
+)
+
+// Execution modes reported to EXPLAIN and the accelerator's counters.
+const (
+	// ModeScan is a batch scan with late materialization but no vectorizable
+	// predicate (everything, if anything, is residual).
+	ModeScan = "scan"
+	// ModeScanFilter adds vector predicate evaluation into the selection
+	// vector; row operators run above the filtered relation.
+	ModeScanFilter = "scan+filter"
+	// ModeScanFilterAggregate runs the whole statement vectorized, including
+	// hash aggregation with binary group keys.
+	ModeScanFilterAggregate = "scan+filter+aggregate"
+)
+
+// nullCheck is a vectorized IS [NOT] NULL conjunct.
+type nullCheck struct {
+	colIdx   int
+	wantNull bool // true for IS NULL, false for IS NOT NULL
+}
+
+// Plan is an analyzed single-table statement accepted by the vectorized
+// engine.
+type Plan struct {
+	item   sqlparse.FromItem
+	schema types.Schema
+	cols   []expr.InputColumn
+
+	// preds are the exact vector conjuncts (they are also handed to the scan
+	// for zone-map block pruning).
+	preds      []colstore.SimplePredicate
+	nullChecks []nullCheck
+	// residual is the AND of the WHERE conjuncts that must run row-at-a-time,
+	// in their original order; nil when the vector filters cover the WHERE
+	// clause completely.
+	residual sqlparse.Expr
+
+	// agg is non-nil when grouping/aggregation runs vectorized too.
+	agg *aggPlan
+}
+
+// PlanQuery analyzes a statement for vectorized execution against the given
+// base-table schema. ok is false when the statement shape is out of scope
+// (multiple FROM items or a subquery); the caller then uses the row path.
+// An accepted plan always covers scan+filter; whether aggregation also runs
+// vectorized is reported by Aggregated.
+func PlanQuery(sel *sqlparse.SelectStmt, schema types.Schema) (*Plan, bool) {
+	if sel == nil || len(sel.From) != 1 || sel.From[0].Subquery != nil {
+		return nil, false
+	}
+	item := sel.From[0]
+	p := &Plan{item: item, schema: schema, cols: qualifiedColumns(item.Name(), schema)}
+	p.analyzeWhere(sel.Where)
+	p.agg = analyzeAgg(sel, p)
+	return p, true
+}
+
+// Aggregated reports whether the plan runs grouping/aggregation vectorized
+// (in which case Run returns the final projected relation and the caller must
+// not re-run WHERE/GROUP BY/projection).
+func (p *Plan) Aggregated() bool { return p.agg != nil }
+
+// Mode names the execution mode for EXPLAIN and counters.
+func (p *Plan) Mode() string {
+	switch {
+	case p.agg != nil:
+		return ModeScanFilterAggregate
+	case len(p.preds) > 0 || len(p.nullChecks) > 0:
+		return ModeScanFilter
+	default:
+		return ModeScan
+	}
+}
+
+// Run executes the plan over the table under the visibility snapshot with the
+// given scan parallelism. For an aggregated plan the result is the final
+// projected relation (LIMIT/OFFSET applied); otherwise it is the filtered
+// base relation — all table columns, qualified by the FROM item name, holding
+// exactly the rows the row path's scan+Filter would produce, in the same
+// order — and the caller runs the remaining operators with the WHERE clause
+// stripped.
+func (p *Plan) Run(t *colstore.Table, slices int, vis colstore.Visibility) (*relalg.Relation, colstore.ScanStats, error) {
+	if p.agg != nil {
+		return p.runAggregate(t, slices, vis)
+	}
+	return p.runFilter(t, slices, vis)
+}
+
+func (p *Plan) runFilter(t *colstore.Table, slices int, vis colstore.Visibility) (*relalg.Relation, colstore.ScanStats, error) {
+	nw := max(slices, 1)
+	buckets := make([][]types.Row, nw)
+	var envs []*expr.Env
+	if p.residual != nil {
+		envs = make([]*expr.Env, nw)
+		for i := range envs {
+			envs[i] = expr.NewEnv(p.cols)
+		}
+	}
+	stats, err := t.ScanBatches(slices, vis, p.preds, func(w int, b *colstore.Batch) error {
+		sel := applyNullChecks(b, p.nullChecks)
+		if len(sel) == 0 {
+			return nil
+		}
+		if p.residual == nil {
+			b.Sel = sel
+			buckets[w] = b.Materialize(buckets[w])
+			return nil
+		}
+		env := envs[w]
+		for _, off := range sel {
+			row := make(types.Row, len(b.Cols))
+			for ci := range b.Cols {
+				row[ci] = b.Cols[ci].Value(off)
+			}
+			ok, err := env.EvalBool(p.residual, row)
+			if err != nil {
+				return err
+			}
+			if ok {
+				buckets[w] = append(buckets[w], row)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	total := 0
+	for _, rows := range buckets {
+		total += len(rows)
+	}
+	out := make([]types.Row, 0, total)
+	for _, rows := range buckets {
+		out = append(out, rows...)
+	}
+	return &relalg.Relation{Cols: p.cols, Rows: out}, stats, nil
+}
+
+// applyNullChecks compacts the batch's selection vector through the
+// IS [NOT] NULL conjuncts.
+func applyNullChecks(b *colstore.Batch, checks []nullCheck) []int {
+	sel := b.Sel
+	for _, c := range checks {
+		nulls := b.Cols[c.colIdx].Nulls
+		out := sel[:0]
+		for _, i := range sel {
+			if nulls[i] == c.wantNull {
+				out = append(out, i)
+			}
+		}
+		sel = out
+		if len(sel) == 0 {
+			break
+		}
+	}
+	return sel
+}
+
+// ---------------------------------------------------------------------------
+// WHERE analysis
+// ---------------------------------------------------------------------------
+
+// analyzeWhere splits the WHERE clause into vector conjuncts and the residual
+// expression. It cannot fail: a conjunct that does not vectorize simply stays
+// residual, where the shared row evaluator preserves its exact semantics
+// (including evaluation errors, which the row path would raise too).
+func (p *Plan) analyzeWhere(where sqlparse.Expr) {
+	if where == nil {
+		return
+	}
+	var residual []sqlparse.Expr
+	for _, conj := range andConjuncts(where, nil) {
+		if p.vectorizeConjunct(conj) {
+			continue
+		}
+		residual = append(residual, conj)
+	}
+	p.residual = andAll(residual)
+}
+
+func andConjuncts(e sqlparse.Expr, acc []sqlparse.Expr) []sqlparse.Expr {
+	if b, ok := e.(*sqlparse.BinaryExpr); ok && b.Op == sqlparse.OpAnd {
+		acc = andConjuncts(b.Left, acc)
+		return andConjuncts(b.Right, acc)
+	}
+	return append(acc, e)
+}
+
+func andAll(conjs []sqlparse.Expr) sqlparse.Expr {
+	var out sqlparse.Expr
+	for _, c := range conjs {
+		if out == nil {
+			out = c
+			continue
+		}
+		out = &sqlparse.BinaryExpr{Op: sqlparse.OpAnd, Left: out, Right: c}
+	}
+	return out
+}
+
+// vectorizeConjunct converts one conjunct to vector form when it is an exact
+// filter the predicate machinery can evaluate: a comparison between a column
+// of this table and a non-NULL literal, a non-negated BETWEEN with literal
+// bounds, or IS [NOT] NULL on a column. Kind-incompatible comparisons (e.g. a
+// boolean column against a numeric literal) are pushed too: the vector
+// fallback drops every row exactly like rowMatches, which is also what the
+// row path's scan pushdown does before its WHERE re-evaluation could raise a
+// comparison error — so both engines return the same (empty) result.
+func (p *Plan) vectorizeConjunct(e sqlparse.Expr) bool {
+	switch n := e.(type) {
+	case *sqlparse.BinaryExpr:
+		ref, lit, op, ok := SimpleComparison(n)
+		if !ok {
+			return false
+		}
+		ci := p.resolve(ref)
+		if ci < 0 {
+			return false
+		}
+		p.preds = append(p.preds, colstore.NewSimplePredicate(ci, op, lit))
+		return true
+	case *sqlparse.BetweenExpr:
+		if n.Negate {
+			return false
+		}
+		ref, ok := n.Operand.(*sqlparse.ColumnRef)
+		if !ok {
+			return false
+		}
+		lo, okLo := n.Low.(*sqlparse.Literal)
+		hi, okHi := n.High.(*sqlparse.Literal)
+		if !okLo || !okHi || lo.Val.IsNull() || hi.Val.IsNull() {
+			return false
+		}
+		ci := p.resolve(ref)
+		if ci < 0 {
+			return false
+		}
+		p.preds = append(p.preds,
+			colstore.NewSimplePredicate(ci, colstore.CmpGe, lo.Val),
+			colstore.NewSimplePredicate(ci, colstore.CmpLe, hi.Val))
+		return true
+	case *sqlparse.IsNullExpr:
+		ref, ok := n.Operand.(*sqlparse.ColumnRef)
+		if !ok {
+			return false
+		}
+		ci := p.resolve(ref)
+		if ci < 0 {
+			return false
+		}
+		p.nullChecks = append(p.nullChecks, nullCheck{colIdx: ci, wantNull: !n.Negate})
+		return true
+	default:
+		return false
+	}
+}
+
+// resolve maps a column reference onto the table schema (-1 when it does not
+// belong to this FROM item).
+func (p *Plan) resolve(ref *sqlparse.ColumnRef) int {
+	if ref.Table != "" && !strings.EqualFold(ref.Table, p.item.Name()) {
+		return -1
+	}
+	return p.schema.IndexOf(ref.Name)
+}
+
+// SimpleComparison recognises "col <op> literal" and "literal <op> col"
+// comparisons with a non-NULL literal, normalising the latter by flipping the
+// operator. It is the shared recognizer behind both this engine's vector
+// conjuncts and the accelerator's scan pushdown.
+func SimpleComparison(b *sqlparse.BinaryExpr) (*sqlparse.ColumnRef, types.Value, colstore.CompareOp, bool) {
+	op, ok := CompareOpFor(b.Op)
+	if !ok {
+		return nil, types.Null(), 0, false
+	}
+	if ref, isRef := b.Left.(*sqlparse.ColumnRef); isRef {
+		if lit, isLit := b.Right.(*sqlparse.Literal); isLit && !lit.Val.IsNull() {
+			return ref, lit.Val, op, true
+		}
+	}
+	if ref, isRef := b.Right.(*sqlparse.ColumnRef); isRef {
+		if lit, isLit := b.Left.(*sqlparse.Literal); isLit && !lit.Val.IsNull() {
+			return ref, lit.Val, FlipOp(op), true
+		}
+	}
+	return nil, types.Null(), 0, false
+}
+
+// CompareOpFor maps a comparison AST operator onto the scan predicate op.
+func CompareOpFor(op sqlparse.BinOp) (colstore.CompareOp, bool) {
+	switch op {
+	case sqlparse.OpEq:
+		return colstore.CmpEq, true
+	case sqlparse.OpNe:
+		return colstore.CmpNe, true
+	case sqlparse.OpLt:
+		return colstore.CmpLt, true
+	case sqlparse.OpLe:
+		return colstore.CmpLe, true
+	case sqlparse.OpGt:
+		return colstore.CmpGt, true
+	case sqlparse.OpGe:
+		return colstore.CmpGe, true
+	default:
+		return 0, false
+	}
+}
+
+// FlipOp mirrors a comparison operator for "literal <op> col" normalisation.
+func FlipOp(op colstore.CompareOp) colstore.CompareOp {
+	switch op {
+	case colstore.CmpLt:
+		return colstore.CmpGt
+	case colstore.CmpLe:
+		return colstore.CmpGe
+	case colstore.CmpGt:
+		return colstore.CmpLt
+	case colstore.CmpGe:
+		return colstore.CmpLe
+	default:
+		return op
+	}
+}
+
+func qualifiedColumns(qualifier string, schema types.Schema) []expr.InputColumn {
+	cols := make([]expr.InputColumn, len(schema.Columns))
+	for i, c := range schema.Columns {
+		cols[i] = expr.InputColumn{Qualifier: types.NormalizeName(qualifier), Name: c.Name, Kind: c.Kind}
+	}
+	return cols
+}

@@ -114,6 +114,9 @@ type AcceleratorStats struct {
 	BlocksPruned  int64
 	RowsIngested  int64
 	DMLStatements int64
+	// VectorizedQueries counts statements executed by the vectorized batch
+	// engine (see SetVectorizedExecution).
+	VectorizedQueries int64
 }
 
 // AcceleratorStats returns activity counters for the named accelerator (empty
@@ -128,14 +131,15 @@ func (s *System) AcceleratorStats(name string) (AcceleratorStats, error) {
 
 func toAcceleratorStats(name string, st accel.Stats) AcceleratorStats {
 	return AcceleratorStats{
-		Name:          name,
-		Slices:        st.Slices,
-		Tables:        st.Tables,
-		QueriesRun:    st.QueriesRun,
-		RowsScanned:   st.RowsScanned,
-		BlocksPruned:  st.BlocksPruned,
-		RowsIngested:  st.RowsIngested,
-		DMLStatements: st.DMLStatements,
+		Name:              name,
+		Slices:            st.Slices,
+		Tables:            st.Tables,
+		QueriesRun:        st.QueriesRun,
+		RowsScanned:       st.RowsScanned,
+		BlocksPruned:      st.BlocksPruned,
+		RowsIngested:      st.RowsIngested,
+		DMLStatements:     st.DMLStatements,
+		VectorizedQueries: st.VectorizedQueries,
 	}
 }
 
@@ -251,6 +255,20 @@ func (s *System) SetShardLocalAnalytics(group string, enabled bool) error {
 	}
 	router.SetShardLocalAnalytics(enabled)
 	return nil
+}
+
+// SetVectorizedExecution enables or disables the vectorized batch execution
+// engine on every paired backend — single accelerators and shard groups alike
+// (shard groups fan the setting to their members, including members added
+// later). Enabled by default; it is the A/B switch mirroring the router's
+// SetCostBasedPlanning, and bench E13 uses it to measure the batch engine
+// against the row-at-a-time baseline. Both engines return identical results.
+func (s *System) SetVectorizedExecution(enabled bool) {
+	for _, name := range s.coord.Accelerators() {
+		if a, err := s.coord.Accelerator(name); err == nil {
+			a.SetVectorizedExecution(enabled)
+		}
+	}
 }
 
 // ColumnStatistics describes one column's planner statistics.
