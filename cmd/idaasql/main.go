@@ -7,7 +7,11 @@
 //	go run ./cmd/idaasql
 //	idaa> CREATE TABLE t (id BIGINT, v DOUBLE) IN ACCELERATOR IDAA1;
 //	idaa> INSERT INTO t VALUES (1, 2.5);
-//	idaa> EXPLAIN SELECT * FROM t;
+//	idaa> EXPLAIN ANALYZE SELECT * FROM t;
+//
+// The shell also has a psql-style "\timing" toggle that prints each
+// statement's elapsed wall time, and EXPLAIN ANALYZE renders the plan with
+// per-operator actual rows and time next to the planner's estimates.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"idaax"
 )
@@ -48,10 +53,11 @@ func main() {
 	}
 
 	fmt.Println("idaax SQL shell — DB2 host + accelerator", "(user", *user+")")
-	fmt.Println(`Type SQL statements terminated by ';'. Try "SHOW TABLES;", "SHOW ACCELERATORS;" or "\q" to quit.`)
+	fmt.Println(`Type SQL statements terminated by ';'. Try "SHOW TABLES;", "EXPLAIN ANALYZE SELECT ...;", "\timing" or "\q" to quit.`)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
 	var buffer strings.Builder
+	timing := false
 	prompt := "idaa> "
 	for {
 		fmt.Print(prompt)
@@ -62,6 +68,15 @@ func main() {
 		trimmed := strings.TrimSpace(line)
 		if trimmed == `\q` || strings.EqualFold(trimmed, "quit") || strings.EqualFold(trimmed, "exit") {
 			break
+		}
+		if trimmed == `\timing` {
+			timing = !timing
+			if timing {
+				fmt.Println("Timing is on.")
+			} else {
+				fmt.Println("Timing is off.")
+			}
+			continue
 		}
 		if trimmed == "" {
 			continue
@@ -75,7 +90,9 @@ func main() {
 		prompt = "idaa> "
 		sql := buffer.String()
 		buffer.Reset()
+		start := time.Now()
 		results, err := session.ExecScript(sql)
+		elapsed := time.Since(start)
 		for _, res := range results {
 			fmt.Println(res.FormatTable())
 			if res.Routed != "" {
@@ -84,6 +101,9 @@ func main() {
 		}
 		if err != nil {
 			fmt.Println("error:", err)
+		}
+		if timing {
+			fmt.Printf("Time: %.3f ms\n", float64(elapsed)/float64(time.Millisecond))
 		}
 	}
 }

@@ -63,6 +63,14 @@ type Config struct {
 	// AdminUser overrides the implicit administrator authorization id
 	// (default SYSADM).
 	AdminUser string
+	// QueryHistorySize sets how many recent statements the query history ring
+	// retains (default 256).
+	QueryHistorySize int
+	// SlowQueryThreshold is the latency at or above which a statement's full
+	// execution trace is captured into the slow-query log (default 100ms; a
+	// negative value disables slow-query capture). Tune at runtime with
+	// System.SetSlowQueryThreshold.
+	SlowQueryThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {

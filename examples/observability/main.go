@@ -1,0 +1,140 @@
+// Observability: a tour of query-level observability on a sharded fleet —
+// EXPLAIN ANALYZE with per-operator actuals beside the planner's estimates,
+// the metrics registry (counters, gauges, latency histograms), the query
+// history ring, and the slow-query log with full execution traces.
+//
+//	go run ./examples/observability
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"idaax"
+)
+
+func main() {
+	sys := idaax.New(idaax.Config{
+		Accelerators: []idaax.AcceleratorConfig{
+			{Name: "IDAA1", Slices: 4},
+			{Name: "IDAA2", Slices: 4},
+			{Name: "IDAA3", Slices: 4},
+		},
+		AnalyticsPublic: true,
+		// Keep the trace of anything slower than 1ms in the slow-query log.
+		SlowQueryThreshold: time.Millisecond,
+	})
+	defer sys.Close()
+	session := sys.AdminSession()
+
+	session.MustExec("CREATE TABLE orders (oid BIGINT NOT NULL, customer_id BIGINT, amount DOUBLE, region VARCHAR(8)) IN ACCELERATOR SHARDS DISTRIBUTE BY HASH(customer_id)")
+	session.MustExec("CREATE TABLE customers (id BIGINT NOT NULL, name VARCHAR(16), segment VARCHAR(8)) IN ACCELERATOR SHARDS DISTRIBUTE BY HASH(id)")
+	regions := []string{"EU", "US", "APAC"}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO orders VALUES ")
+	for i := 0; i < 5000; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d, %g, '%s')", i, i%80, float64(i%19)*0.5, regions[i%3])
+	}
+	session.MustExec(sb.String())
+	sb.Reset()
+	sb.WriteString("INSERT INTO customers VALUES ")
+	for i := 0; i < 80; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, 'C%03d', '%s')", i, i, []string{"SMB", "ENT", "GOV"}[i%3])
+	}
+	session.MustExec(sb.String())
+	session.MustExec("ANALYZE TABLE orders")
+	session.MustExec("ANALYZE TABLE customers")
+
+	fmt.Println("== 1. EXPLAIN ANALYZE: estimates vs what actually happened ==")
+	fmt.Println()
+	for _, sql := range []string{
+		"EXPLAIN ANALYZE SELECT c.segment, COUNT(*), SUM(o.amount) FROM orders o JOIN customers c ON o.customer_id = c.id GROUP BY c.segment",
+		"EXPLAIN ANALYZE SELECT COUNT(*) FROM orders WHERE customer_id = 7",
+	} {
+		fmt.Println(sql)
+		res := session.MustExec(sql)
+		fmt.Printf("  routed to %s (%s)\n", res.Rows[0][1], res.Rows[0][2])
+		for _, row := range res.Rows[1:] {
+			fmt.Println("  " + row[3])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("== 2. A mixed workload: queries, DML, analytics ==")
+	for i := 0; i < 20; i++ {
+		session.MustExec("SELECT region, SUM(amount) FROM orders GROUP BY region")
+	}
+	session.MustExec("INSERT INTO orders VALUES (99001, 13, 7.5, 'EU')")
+	session.MustExec("CALL IDAX.SUMMARY('ORDERS', 'AMOUNT')")
+	fmt.Println("ran 20 aggregations, one INSERT, one IDAX.SUMMARY scatter")
+	fmt.Println()
+
+	fmt.Println("== 3. The metrics registry ==")
+	rep := sys.ObservabilityReport()
+	fmt.Printf("statements: %d total, %d select, %d dml, %d call\n",
+		rep.Counters["stmt_total"], rep.Counters["stmt_class_select"],
+		rep.Counters["stmt_class_dml"], rep.Counters["stmt_class_call"])
+	h := rep.Histograms["stmt_seconds_select"]
+	fmt.Printf("select latency: n=%d mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms\n",
+		h.Count, h.Mean.Seconds()*1000, h.P50.Seconds()*1000, h.P95.Seconds()*1000, h.P99.Seconds()*1000)
+	var gauges []string
+	for name := range rep.Gauges {
+		if strings.HasPrefix(name, "shard_") || strings.HasPrefix(name, "accel_") {
+			gauges = append(gauges, name)
+		}
+	}
+	sort.Strings(gauges)
+	for _, name := range gauges {
+		fmt.Printf("  %-28s %d\n", name, rep.Gauges[name])
+	}
+	fmt.Println()
+
+	fmt.Println("== 4. The same registry as a Prometheus-style endpoint (excerpt) ==")
+	for _, line := range strings.Split(sys.MetricsText(), "\n") {
+		if strings.HasPrefix(line, "stmt_total") || strings.HasPrefix(line, "shard_queries_routed") ||
+			strings.Contains(line, `quantile="0.95"`) {
+			fmt.Println("  " + line)
+		}
+	}
+	fmt.Println()
+
+	fmt.Println("== 5. ...and as a SQL result set ==")
+	res := session.MustExec("CALL SYSPROC.ACCEL_METRICS()")
+	fmt.Printf("CALL SYSPROC.ACCEL_METRICS() returned %d samples, e.g.:\n", len(res.Rows))
+	for _, row := range res.Rows {
+		if strings.HasPrefix(row[0], "stmt_total") || strings.HasPrefix(row[0], "accel_rows_scanned") {
+			fmt.Printf("  %-24s %-10s %s\n", row[0], row[1], row[2])
+		}
+	}
+	fmt.Println()
+
+	fmt.Println("== 6. Query history and the slow-query log ==")
+	for i, rec := range sys.QueryHistory(5) {
+		fmt.Printf("  [%d] seq=%d class=%-6s routed=%-6s rows=%-4d %.3fms  %s\n",
+			i, rec.Seq, rec.Class, rec.Routed, rec.Rows,
+			float64(rec.Elapsed)/float64(time.Millisecond), rec.SQL)
+	}
+	res = session.MustExec("CALL SYSPROC.ACCEL_QUERY_HISTORY(3)")
+	fmt.Printf("CALL SYSPROC.ACCEL_QUERY_HISTORY(3) returned %d rows\n", len(res.Rows))
+	fmt.Println()
+
+	// Force a statement over the threshold so the slow-query log has a trace.
+	sys.SetSlowQueryThreshold(time.Nanosecond)
+	session.MustExec("SELECT c.segment, COUNT(*) FROM orders o JOIN customers c ON o.customer_id = c.id GROUP BY c.segment")
+	sys.SetSlowQueryThreshold(time.Millisecond)
+	if slow := sys.SlowQueries(1); len(slow) > 0 {
+		fmt.Println("slowest recent statement with its full span tree:")
+		fmt.Printf("  %s (%.3fms)\n", slow[0].SQL, float64(slow[0].Elapsed)/float64(time.Millisecond))
+		for _, line := range strings.Split(strings.TrimRight(slow[0].Trace, "\n"), "\n") {
+			fmt.Println("    " + line)
+		}
+	}
+}

@@ -48,6 +48,7 @@ type Accelerator struct {
 	rowsReturned      int64
 	dmlStatements     int64
 	vectorizedQueries int64
+	vexecFallbacks    int64
 }
 
 // Stats is a snapshot of accelerator activity counters.
@@ -61,8 +62,12 @@ type Stats struct {
 	// VectorizedQueries counts statements the vectorized batch engine executed
 	// end to end (scan+filter, with or without vectorized aggregation).
 	VectorizedQueries int64
-	Tables            int
-	Slices            int
+	// VexecFallbacks counts in-scope statements (single table, engine on) the
+	// vectorized engine declined, falling back to the row path — the
+	// numerator of the fallback-rate metric.
+	VexecFallbacks int64
+	Tables         int
+	Slices         int
 }
 
 // New creates an accelerator with the given number of worker slices
@@ -99,6 +104,7 @@ func (a *Accelerator) Stats() Stats {
 		RowsReturned:      atomic.LoadInt64(&a.rowsReturned),
 		DMLStatements:     atomic.LoadInt64(&a.dmlStatements),
 		VectorizedQueries: atomic.LoadInt64(&a.vectorizedQueries),
+		VexecFallbacks:    atomic.LoadInt64(&a.vexecFallbacks),
 		Tables:            tables,
 		Slices:            a.slices,
 	}

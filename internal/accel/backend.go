@@ -1,6 +1,7 @@
 package accel
 
 import (
+	"idaax/internal/obs"
 	"idaax/internal/planner"
 	"idaax/internal/relalg"
 	"idaax/internal/sqlparse"
@@ -51,8 +52,14 @@ type Backend interface {
 	SetVectorizedExecution(enabled bool)
 	VectorizedEnabled() bool
 
-	// Query and DML under a DB2 transaction id.
+	// Query and DML under a DB2 transaction id. QueryTraced is Query with a
+	// trace span: the backend attaches its execution tree (plan, per-shard
+	// scans, gather/merge) as children of sp, which crosses this seam so a
+	// statement's trace nests identically whether the backend is one
+	// accelerator or a sharded fleet. Query is QueryTraced with tracing off
+	// (a nil span); both return identical results.
 	Query(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Relation, error)
+	QueryTraced(txnID int64, sel *sqlparse.SelectStmt, sp *obs.Span) (*relalg.Relation, error)
 	Insert(txnID int64, table string, rows []types.Row) (int, error)
 	Update(txnID int64, table string, assignments []sqlparse.Assignment, where sqlparse.Expr) (int, error)
 	Delete(txnID int64, table string, where sqlparse.Expr) (int, error)
@@ -81,6 +88,10 @@ type Backend interface {
 	// and returns the partial results in shard order. proc labels the call for
 	// the per-procedure counters of a sharded backend ("" is allowed).
 	CallShardLocal(txnID int64, table, proc string, fn ShardLocalFunc) ([]any, error)
+	// CallShardLocalTraced is CallShardLocal with a trace span: each shard's
+	// scan and partial computation nests under sp. CallShardLocal is the
+	// untraced (nil span) form.
+	CallShardLocalTraced(txnID int64, table, proc string, sp *obs.Span, fn ShardLocalFunc) ([]any, error)
 }
 
 var _ Backend = (*Accelerator)(nil)

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"idaax/internal/colstore"
+	"idaax/internal/obs"
 	"idaax/internal/planner"
 	"idaax/internal/relalg"
 	"idaax/internal/sqlparse"
@@ -20,7 +21,14 @@ import (
 // then (re-)applied by the shared relational operators, so pushdown is purely
 // a performance optimisation.
 func (a *Accelerator) Query(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
-	return a.QueryAt(txnID, a.Registry.Snapshot(txnID), sel)
+	return a.QueryAtTraced(txnID, a.Registry.Snapshot(txnID), sel, nil)
+}
+
+// QueryTraced is Query with a trace span (see Backend.QueryTraced): the
+// statement's scans and execution attach as children of sp. sp may be nil,
+// which disables tracing at the cost of one nil check per span operation.
+func (a *Accelerator) QueryTraced(txnID int64, sel *sqlparse.SelectStmt, sp *obs.Span) (*relalg.Relation, error) {
+	return a.QueryAtTraced(txnID, a.Registry.Snapshot(txnID), sel, sp)
 }
 
 // QueryAt is Query under a caller-provided snapshot. The shard router uses it
@@ -33,16 +41,21 @@ func (a *Accelerator) Query(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Rela
 // the rewritten statement returns exactly the same rows (the full WHERE
 // clause is re-applied after the joins).
 func (a *Accelerator) QueryAt(txnID int64, snap *Snapshot, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
+	return a.QueryAtTraced(txnID, snap, sel, nil)
+}
+
+// QueryAtTraced is QueryAt with a trace span (nil disables tracing).
+func (a *Accelerator) QueryAtTraced(txnID int64, snap *Snapshot, sel *sqlparse.SelectStmt, sp *obs.Span) (*relalg.Relation, error) {
 	atomic.AddInt64(&a.queriesRun, 1)
 	sel, methods := a.planStatement(sel)
-	if rel, handled, err := a.tryVectorized(snap, sel); handled {
+	if rel, handled, err := a.tryVectorized(snap, sel, sp); handled {
 		if err != nil {
 			return nil, err
 		}
 		atomic.AddInt64(&a.rowsReturned, int64(len(rel.Rows)))
 		return rel, nil
 	}
-	from, err := a.BuildFromRelation(txnID, snap, sel, nil, methods)
+	from, err := a.BuildFromRelationTraced(txnID, snap, sel, nil, methods, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -61,7 +74,7 @@ func (a *Accelerator) QueryAt(txnID int64, snap *Snapshot, sel *sqlparse.SelectS
 // engine only covers scan+filter, the surviving rows are materialized late and
 // the remaining operators run row-at-a-time with the WHERE clause stripped —
 // the vector filters already applied it exactly.
-func (a *Accelerator) tryVectorized(snap *Snapshot, sel *sqlparse.SelectStmt) (*relalg.Relation, bool, error) {
+func (a *Accelerator) tryVectorized(snap *Snapshot, sel *sqlparse.SelectStmt, sp *obs.Span) (*relalg.Relation, bool, error) {
 	if !a.VectorizedEnabled() || len(sel.From) != 1 || sel.From[0].Subquery != nil {
 		return nil, false, nil
 	}
@@ -71,9 +84,21 @@ func (a *Accelerator) tryVectorized(snap *Snapshot, sel *sqlparse.SelectStmt) (*
 	}
 	plan, ok := vexec.PlanQuery(sel, t.Schema())
 	if !ok {
+		// In-scope shape (single table, engine on) that the engine declined:
+		// the fallback-rate metric feeds on this.
+		atomic.AddInt64(&a.vexecFallbacks, 1)
 		return nil, false, nil
 	}
+	sc := sp.Child("scan")
+	sc.Label(obs.LabelTable, types.NormalizeName(sel.From[0].Name()))
+	sc.Label(obs.LabelShard, a.name)
+	sc.Label(obs.LabelMode, "vectorized:"+plan.Mode())
 	rel, stats, err := plan.Run(t, a.slices, snap.Visible)
+	sc.Add(obs.KeyRows, int64(stats.RowsMaterialized))
+	sc.Add(obs.KeyVersions, int64(stats.VersionsConsidered))
+	sc.Add(obs.KeyBlocksPruned, int64(stats.BlocksPruned))
+	sc.Add(obs.KeyBatches, int64(stats.Batches))
+	sc.Finish()
 	atomic.AddInt64(&a.rowsScanned, int64(stats.VersionsConsidered))
 	atomic.AddInt64(&a.blocksPruned, int64(stats.BlocksPruned))
 	if err != nil {
@@ -163,6 +188,13 @@ func (a *Accelerator) annotateVectorized(pl *planner.Plan, sel *sqlparse.SelectS
 // hand every member the full content of a broadcast table instead of the
 // member's own partition.
 func (a *Accelerator) BuildFromRelation(txnID int64, snap *Snapshot, sel *sqlparse.SelectStmt, overrides map[string]*relalg.Relation, methods []relalg.JoinMethod) (*relalg.Relation, error) {
+	return a.BuildFromRelationTraced(txnID, snap, sel, overrides, methods, nil)
+}
+
+// BuildFromRelationTraced is BuildFromRelation with a trace span: one "scan"
+// child per table scanned (labelled with the FROM item and this accelerator's
+// name), subqueries nesting recursively. sp may be nil.
+func (a *Accelerator) BuildFromRelationTraced(txnID int64, snap *Snapshot, sel *sqlparse.SelectStmt, overrides map[string]*relalg.Relation, methods []relalg.JoinMethod, sp *obs.Span) (*relalg.Relation, error) {
 	if len(sel.From) == 0 {
 		return relalg.JoinAll(nil, nil, a.slices)
 	}
@@ -173,7 +205,9 @@ func (a *Accelerator) BuildFromRelation(txnID int64, snap *Snapshot, sel *sqlpar
 			continue
 		}
 		if item.Subquery != nil {
-			sub, err := a.Query(txnID, item.Subquery)
+			ssp := sp.Child("subquery")
+			sub, err := a.QueryTraced(txnID, item.Subquery, ssp)
+			ssp.Finish()
 			if err != nil {
 				return nil, err
 			}
@@ -184,9 +218,22 @@ func (a *Accelerator) BuildFromRelation(txnID int64, snap *Snapshot, sel *sqlpar
 		if err != nil {
 			return nil, err
 		}
-		rels[i] = relalg.FromTable(item.Name(), t.Schema(), a.scanTable(t, snap, sel, item))
+		sc := a.startScanSpan(sp, item.Name())
+		rows := a.scanTable(t, snap, sel, item, sc)
+		sc.Add(obs.KeyRows, int64(len(rows)))
+		sc.Finish()
+		rels[i] = relalg.FromTable(item.Name(), t.Schema(), rows)
 	}
 	return relalg.JoinAllPlanned(rels, sel.From, methods, a.slices)
+}
+
+// startScanSpan opens a "scan" child carrying the FROM item and shard labels
+// EXPLAIN ANALYZE matches plan operators against.
+func (a *Accelerator) startScanSpan(sp *obs.Span, itemName string) *obs.Span {
+	sc := sp.Child("scan")
+	sc.Label(obs.LabelTable, types.NormalizeName(itemName))
+	sc.Label(obs.LabelShard, a.name)
+	return sc
 }
 
 // ScanVisible materialises the rows of a table visible under the given
@@ -197,14 +244,25 @@ func (a *Accelerator) BuildFromRelation(txnID int64, snap *Snapshot, sel *sqlpar
 // accurate when a shard router gathers base rows from many accelerators. sel
 // may be nil to scan without pushdown.
 func (a *Accelerator) ScanVisible(snap *Snapshot, table string, sel *sqlparse.SelectStmt, item sqlparse.FromItem) ([]types.Row, error) {
+	return a.ScanVisibleTraced(snap, table, sel, item, nil)
+}
+
+// ScanVisibleTraced is ScanVisible with a trace span: the scan appears as one
+// "scan" child of sp, labelled with the FROM item and this accelerator's name
+// and carrying rows/batches/blocks-pruned attributes. sp may be nil.
+func (a *Accelerator) ScanVisibleTraced(snap *Snapshot, table string, sel *sqlparse.SelectStmt, item sqlparse.FromItem, sp *obs.Span) ([]types.Row, error) {
 	t, err := a.Table(table)
 	if err != nil {
 		return nil, err
 	}
-	return a.scanTable(t, snap, sel, item), nil
+	sc := a.startScanSpan(sp, item.Name())
+	rows := a.scanTable(t, snap, sel, item, sc)
+	sc.Add(obs.KeyRows, int64(len(rows)))
+	sc.Finish()
+	return rows, nil
 }
 
-func (a *Accelerator) scanTable(t *colstore.Table, snap *Snapshot, sel *sqlparse.SelectStmt, item sqlparse.FromItem) []types.Row {
+func (a *Accelerator) scanTable(t *colstore.Table, snap *Snapshot, sel *sqlparse.SelectStmt, item sqlparse.FromItem, sp *obs.Span) []types.Row {
 	var preds []colstore.SimplePredicate
 	if sel != nil {
 		preds = a.pushdownPredicates(sel, item, t)
@@ -220,6 +278,9 @@ func (a *Accelerator) scanTable(t *colstore.Table, snap *Snapshot, sel *sqlparse
 	} else {
 		rows, stats = t.ParallelScan(a.slices, snap.Visible, preds)
 	}
+	sp.Add(obs.KeyVersions, int64(stats.VersionsConsidered))
+	sp.Add(obs.KeyBlocksPruned, int64(stats.BlocksPruned))
+	sp.Add(obs.KeyBatches, int64(stats.Batches))
 	atomic.AddInt64(&a.rowsScanned, int64(stats.VersionsConsidered))
 	atomic.AddInt64(&a.blocksPruned, int64(stats.BlocksPruned))
 	return rows

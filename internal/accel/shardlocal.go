@@ -1,6 +1,7 @@
 package accel
 
 import (
+	"idaax/internal/obs"
 	"idaax/internal/relalg"
 	"idaax/internal/sqlparse"
 	"idaax/internal/types"
@@ -58,14 +59,24 @@ type MultiShard interface {
 // accelerator: the whole table is one partition and fn runs once against it.
 // proc labels the call for accounting; a single accelerator ignores it.
 func (a *Accelerator) CallShardLocal(txnID int64, table, proc string, fn ShardLocalFunc) ([]any, error) {
+	return a.CallShardLocalTraced(txnID, table, proc, nil, fn)
+}
+
+// CallShardLocalTraced is CallShardLocal with a trace span: the partition's
+// scan and the partial computation nest under sp. sp may be nil.
+func (a *Accelerator) CallShardLocalTraced(txnID int64, table, proc string, sp *obs.Span, fn ShardLocalFunc) ([]any, error) {
 	t, err := a.Table(table)
 	if err != nil {
 		return nil, err
 	}
 	snap := a.Registry.Snapshot(txnID)
 	a.NoteQuery()
-	rows, err := a.ScanVisible(snap, table, nil, sqlparse.FromItem{Table: t.Name()})
+	psp := sp.Child("partition")
+	psp.Label(obs.LabelShard, a.name)
+	psp.Label(obs.LabelTable, t.Name())
+	rows, err := a.ScanVisibleTraced(snap, table, nil, sqlparse.FromItem{Table: t.Name()}, psp)
 	if err != nil {
+		psp.Finish()
 		return nil, err
 	}
 	part := &ShardPartition{
@@ -77,6 +88,7 @@ func (a *Accelerator) CallShardLocal(txnID int64, table, proc string, fn ShardLo
 		},
 	}
 	partial, err := fn(part)
+	psp.Finish()
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 
 	"idaax/internal/accel"
 	"idaax/internal/core"
+	"idaax/internal/obs"
 	"idaax/internal/planner"
 	"idaax/internal/types"
 )
@@ -37,6 +38,20 @@ func scatterTarget(ctx *core.ProcContext, table string) (accel.Backend, string, 
 	return be, name, true
 }
 
+// scatterCall runs one shard-local scatter through the traced analytics seam,
+// nesting the per-shard partition spans under the calling statement's trace
+// (a no-op when the CALL is untraced).
+func scatterCall(ctx *core.ProcContext, be accel.Backend, table, proc string, fn accel.ShardLocalFunc) ([]any, error) {
+	sp := ctx.Span.Child("analytics")
+	sp.Label(obs.LabelTable, types.NormalizeName(table))
+	if proc != "" {
+		sp.Label(obs.LabelMode, types.NormalizeName(proc))
+	}
+	partials, err := be.CallShardLocalTraced(ctx.TxnID, table, proc, sp, fn)
+	sp.Finish()
+	return partials, err
+}
+
 // plannerInfo asks the backend's planner catalog about a table — the same
 // placement metadata (distribution key, member set, migration state) the
 // query planner consults.
@@ -56,7 +71,7 @@ func scatterExtract(ctx *core.ProcContext, be accel.Backend, table, proc string,
 		return nil, 0, err
 	}
 	opts.AllowEmpty = true
-	partials, err := be.CallShardLocal(ctx.TxnID, table, proc, func(p *accel.ShardPartition) (any, error) {
+	partials, err := scatterCall(ctx, be, table, proc, func(p *accel.ShardPartition) (any, error) {
 		if len(p.Rows.Rows) == 0 {
 			return (*Dataset)(nil), nil
 		}
@@ -302,7 +317,7 @@ func writeAssignmentsShardLocal(ctx *core.ProcContext, be accel.Backend, assignT
 	// the per-procedure counters count CALLs, not scatter operations.
 	written := 0
 	covered := 0
-	partials, err := be.CallShardLocal(ctx.TxnID, outTable, "", func(p *accel.ShardPartition) (any, error) {
+	partials, err := scatterCall(ctx, be, outTable, "", func(p *accel.ShardPartition) (any, error) {
 		if p.Ordinal >= len(batches) || len(batches[p.Ordinal]) == 0 {
 			return 0, nil
 		}
@@ -339,7 +354,7 @@ func distSummary(ctx *core.ProcContext, be accel.Backend, table, cols string) (*
 		return nil, err
 	}
 	columns := core.SplitList(cols)
-	partials, err := be.CallShardLocal(ctx.TxnID, table, "IDAX.SUMMARY", func(p *accel.ShardPartition) (any, error) {
+	partials, err := scatterCall(ctx, be, table, "IDAX.SUMMARY", func(p *accel.ShardPartition) (any, error) {
 		return SummarizePartial(p.Rows, columns)
 	})
 	if err != nil {
@@ -396,7 +411,7 @@ func distPredict(ctx *core.ProcContext, be accel.Backend, kind string, model any
 	)
 
 	score := func(out string) (int, error) {
-		partials, err := be.CallShardLocal(ctx.TxnID, table, "IDAX.PREDICT", func(p *accel.ShardPartition) (any, error) {
+		partials, err := scatterCall(ctx, be, table, "IDAX.PREDICT", func(p *accel.ShardPartition) (any, error) {
 			if len(p.Rows.Rows) == 0 {
 				return 0, nil
 			}

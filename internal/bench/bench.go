@@ -214,6 +214,7 @@ func Experiments() map[string]Experiment {
 		{ID: "E11", Title: "Elastic fleet: online rebalance vs stop-the-world re-load", Run: RunE11Rebalance},
 		{ID: "E12", Title: "Distributed analytics: shard-local train/score vs coordinator gather", Run: RunE12DistributedAnalytics},
 		{ID: "E13", Title: "Vectorized batch engine vs row-at-a-time execution", Run: RunE13Vectorized},
+		{ID: "E14", Title: "Tracing and metrics overhead on the hot query path", Run: RunE14Observability},
 		{ID: "F1", Title: "Architecture inventory and data paths (Figure 1)", Run: RunF1Architecture},
 	}
 	out := make(map[string]Experiment, len(exps))

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"idaax/internal/obs"
+	"idaax/internal/sqlparse"
+)
+
+// RunE14Observability measures what query-level observability costs on the hot
+// query path: the E13 scan-filter and grouped-aggregation workloads executed
+// untraced (nil span — no span tree, no metric work) and traced (a root span
+// per statement with the full per-scan child-span tree, plus the statement
+// counter, the per-class latency histogram and a query-history record — the
+// exact work Session.Exec adds to every statement). Both modes run the
+// identical parsed statement against the identical backend, so the ratio is
+// pure observability overhead. The tentpole requirement is that tracing is
+// cheap enough to leave on: overhead must stay within a few percent.
+func RunE14Observability(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E14",
+		Title:   "Tracing and metrics overhead on the hot query path",
+		Columns: []string{"ROWS", "QUERY", "MODE", "ELAPSED_MS", "ROWS_PER_SEC", "OVERHEAD"},
+	}
+	sizes := []int{scale.QueryRows[0], scale.QueryRows[len(scale.QueryRows)-1]}
+	queries := []struct {
+		key string
+		sql string
+	}{
+		{"scan_filter", "SELECT id, v1, q FROM vx WHERE q >= 4 AND v1 > 650 AND q < 44 AND cat <> 'c-3'"},
+		{"groupby", "SELECT grp, COUNT(*), SUM(v1), AVG(v2), MIN(q), MAX(q) FROM vx GROUP BY grp"},
+	}
+
+	for si, rows := range sizes {
+		sys := newSystem(scale)
+		if err := setupVectorTable(sys, rows); err != nil {
+			return nil, err
+		}
+		be, err := sys.Coordinator().Accelerator("IDAA1")
+		if err != nil {
+			return nil, err
+		}
+		reg := obs.NewRegistry()
+		hist := obs.NewHistory(256, 64)
+		hist.SetSlowThreshold(100 * time.Millisecond)
+		iters := 150000 / rows
+		if iters < 3 {
+			iters = 3
+		}
+
+		for _, q := range queries {
+			st, err := sqlparse.Parse(q.sql)
+			if err != nil {
+				return nil, err
+			}
+			sel := st.(*sqlparse.SelectStmt)
+
+			// Each mode runs three repetitions and keeps the fastest, so the
+			// overhead ratio compares best-case against best-case and shared
+			// runner noise cancels instead of being attributed to tracing.
+			measure := func(traced bool) (time.Duration, error) {
+				var best time.Duration
+				for rep := 0; rep < 3; rep++ {
+					start := time.Now()
+					for i := 0; i < iters; i++ {
+						if !traced {
+							if _, err := be.QueryTraced(0, sel, nil); err != nil {
+								return 0, err
+							}
+							continue
+						}
+						sp := obs.NewSpan("statement")
+						rel, err := be.QueryTraced(0, sel, sp)
+						sp.Finish()
+						if err != nil {
+							return 0, err
+						}
+						reg.Counter("stmt_total").Inc()
+						reg.Histogram("stmt_seconds_select").Observe(sp.Duration())
+						hist.Record(obs.QueryRecord{
+							SQL: q.sql, User: benchUser, Class: "select",
+							Routed: "IDAA1", Start: start, Elapsed: sp.Duration(),
+							Rows: len(rel.Rows),
+						})
+					}
+					if el := time.Since(start); best == 0 || el < best {
+						best = el
+					}
+				}
+				return best, nil
+			}
+
+			untraced, err := measure(false)
+			if err != nil {
+				return nil, fmt.Errorf("E14 %s untraced: %w", q.key, err)
+			}
+			traced, err := measure(true)
+			if err != nil {
+				return nil, fmt.Errorf("E14 %s traced: %w", q.key, err)
+			}
+			overhead := float64(traced) / float64(untraced)
+
+			for _, m := range []struct {
+				mode     string
+				elapsed  time.Duration
+				overhead string
+			}{
+				{"untraced", untraced, "1.00x"},
+				{"traced", traced, fmt.Sprintf("%.2fx", overhead)},
+			} {
+				rate := float64(rows*iters) / m.elapsed.Seconds()
+				t.AddRow(itoa(rows), q.key, m.mode, ms(m.elapsed), fmt.Sprintf("%.0f", rate), m.overhead)
+				t.AddMetric(fmt.Sprintf("%s_rows_per_sec_%s_scale%d", q.key, m.mode, si+1), rate, true)
+			}
+			t.AddMetric(fmt.Sprintf("%s_overhead_scale%d", q.key, si+1), overhead, false)
+		}
+		sys.Close()
+	}
+	t.AddNote("Both modes execute the identical pre-parsed statement on the identical accelerator; traced adds the per-statement root span, the per-scan child spans with row/batch/pruning counters, a statement counter increment, a latency-histogram observation and a query-history ring write — exactly what the session layer does for every real statement.")
+	t.AddNote("OVERHEAD is traced/untraced elapsed (best of three repetitions each); the CI baseline gates it at ~5%% so tracing stays cheap enough to leave on permanently.")
+	return t, nil
+}

@@ -102,6 +102,7 @@ func (t *Table) ScanBatches(slices int, vis Visibility, preds []SimplePredicate,
 	type sliceResult struct {
 		pruned   int
 		selected int
+		batches  int
 		err      error
 	}
 	results := make([]sliceResult, slices)
@@ -116,14 +117,15 @@ func (t *Table) ScanBatches(slices int, vis Visibility, preds []SimplePredicate,
 		wg.Add(1)
 		go func(s, lo, hi int) {
 			defer wg.Done()
-			pruned, selected, err := t.scanChunkBatches(s, lo, hi, vis, preds, fn)
-			results[s] = sliceResult{pruned: pruned, selected: selected, err: err}
+			pruned, selected, batches, err := t.scanChunkBatches(s, lo, hi, vis, preds, fn)
+			results[s] = sliceResult{pruned: pruned, selected: selected, batches: batches, err: err}
 		}(s, lo, hi)
 	}
 	wg.Wait()
 	for _, r := range results {
 		stats.BlocksPruned += r.pruned
 		stats.RowsMaterialized += r.selected
+		stats.Batches += r.batches
 		if r.err != nil {
 			return stats, r.err
 		}
@@ -132,7 +134,7 @@ func (t *Table) ScanBatches(slices int, vis Visibility, preds []SimplePredicate,
 }
 
 // scanChunkBatches is one worker's share of ScanBatches: rows [lo, hi).
-func (t *Table) scanChunkBatches(worker, lo, hi int, vis Visibility, preds []SimplePredicate, fn func(worker int, b *Batch) error) (pruned, selected int, err error) {
+func (t *Table) scanChunkBatches(worker, lo, hi int, vis Visibility, preds []SimplePredicate, fn func(worker int, b *Batch) error) (pruned, selected, batches int, err error) {
 	batch := &Batch{Cols: make([]Vector, len(t.cols))}
 	selBuf := make([]int, 0, BatchSize)
 	blockStart := lo
@@ -174,13 +176,14 @@ func (t *Table) scanChunkBatches(worker, lo, hi int, vis Visibility, preds []Sim
 			}
 			batch.Sel = sel
 			selected += len(sel)
+			batches++
 			if err := fn(worker, batch); err != nil {
-				return pruned, selected, err
+				return pruned, selected, batches, err
 			}
 		}
 		blockStart = blockEnd
 	}
-	return pruned, selected, nil
+	return pruned, selected, batches, nil
 }
 
 // fillBatch points the batch's vectors at rows [start, end) of every column.

@@ -419,6 +419,9 @@ type ScanStats struct {
 	VersionsConsidered int
 	BlocksPruned       int
 	RowsMaterialized   int
+	// Batches counts the column batches delivered by a batch scan (0 for the
+	// row-at-a-time ParallelScan path).
+	Batches int
 }
 
 // ParallelScan materialises the rows visible under vis that satisfy all

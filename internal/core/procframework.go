@@ -8,6 +8,7 @@ import (
 
 	"idaax/internal/accel"
 	"idaax/internal/catalog"
+	"idaax/internal/obs"
 	"idaax/internal/relalg"
 	"idaax/internal/sqlparse"
 	"idaax/internal/types"
@@ -46,6 +47,10 @@ type ProcContext struct {
 	// training and scoring shard-local instead of gathering the table; nil
 	// (e.g. in a hand-built context) simply disables the scatter path.
 	BackendFor func(table string) (accel.Backend, string)
+	// Span is the calling statement's trace span; analytics scatters attach
+	// their per-shard partition spans beneath it so a CALL's trace shows the
+	// same fan-out a query's does. May be nil (tracing off).
+	Span *obs.Span
 }
 
 // CheckSelect verifies the caller may read the named table — the privilege

@@ -2,6 +2,7 @@ package db2
 
 import (
 	"sync"
+	"time"
 
 	"idaax/internal/rowstore"
 	"idaax/internal/types"
@@ -46,6 +47,9 @@ type ChangeRecord struct {
 	Op    ChangeOp
 	RowID rowstore.RowID
 	Row   types.Row
+	// At is when the change was captured; the replicator derives CDC apply
+	// lag from the oldest unapplied record's age.
+	At time.Time
 }
 
 // ChangeLog captures committed changes per table. Only changes of tables whose
@@ -67,7 +71,7 @@ func (c *ChangeLog) Append(table string, op ChangeOp, rowID rowstore.RowID, row 
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	table = types.NormalizeName(table)
-	rec := ChangeRecord{Seq: c.nextSeq, Table: table, Op: op, RowID: rowID, Row: row}
+	rec := ChangeRecord{Seq: c.nextSeq, Table: table, Op: op, RowID: rowID, Row: row, At: time.Now()}
 	c.nextSeq++
 	c.records[table] = append(c.records[table], rec)
 	return rec.Seq
@@ -91,6 +95,19 @@ func (c *ChangeLog) Since(table string, afterSeq int64) []ChangeRecord {
 // given sequence number.
 func (c *ChangeLog) PendingCount(table string, afterSeq int64) int {
 	return len(c.Since(table, afterSeq))
+}
+
+// OldestPending returns the capture time of the oldest record for the table
+// after the given sequence number (false when nothing is pending).
+func (c *ChangeLog) OldestPending(table string, afterSeq int64) (time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, rec := range c.records[types.NormalizeName(table)] {
+		if rec.Seq > afterSeq {
+			return rec.At, true
+		}
+	}
+	return time.Time{}, false
 }
 
 // Discard drops all records of the table up to and including seq. The

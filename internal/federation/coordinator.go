@@ -15,6 +15,7 @@ import (
 	"idaax/internal/catalog"
 	"idaax/internal/core"
 	"idaax/internal/db2"
+	"idaax/internal/obs"
 	"idaax/internal/replication"
 	"idaax/internal/shard"
 	"idaax/internal/types"
@@ -48,6 +49,13 @@ type Config struct {
 	LockTimeout time.Duration
 	// AdminUser is granted implicit authority (default catalog.AdminUser).
 	AdminUser string
+	// QueryHistorySize caps the in-memory query history ring buffer
+	// (default 256 statements; the slow-query log keeps the last 64).
+	QueryHistorySize int
+	// SlowQueryThreshold is the statement latency at or above which the full
+	// trace is captured into the slow-query log (default 100ms; a negative
+	// value disables the slow log).
+	SlowQueryThreshold time.Duration
 
 	// fleetConfigured records that the user listed more than one accelerator,
 	// before duplicate names were folded away (set by withDefaults).
@@ -90,6 +98,12 @@ func (c Config) withDefaults() Config {
 	if c.AdminUser == "" {
 		c.AdminUser = catalog.AdminUser
 	}
+	if c.QueryHistorySize <= 0 {
+		c.QueryHistorySize = 256
+	}
+	if c.SlowQueryThreshold == 0 {
+		c.SlowQueryThreshold = 100 * time.Millisecond
+	}
 	return c
 }
 
@@ -122,6 +136,15 @@ type Coordinator struct {
 	Procs *core.Framework
 	Repl  *replication.Replicator
 
+	// Obs is the metrics registry: statement latency histograms and error
+	// counters land here, and the long-standing movement/routing/accelerator/
+	// rebalance/replication counters are mirrored in as callback gauges so one
+	// snapshot (or the Prometheus-style text endpoint) covers everything.
+	Obs *obs.Registry
+	// History is the query history ring buffer plus the slow-query log
+	// (statements at or above the threshold, with their full trace).
+	History *obs.History
+
 	metrics Metrics
 
 	// Failpoint, when non-nil, is invoked at named stages of the commit
@@ -146,6 +169,9 @@ func NewCoordinator(cfg Config) *Coordinator {
 		cat:    cat,
 		accels: make(map[string]accel.Backend),
 	}
+	c.Obs = obs.NewRegistry()
+	c.History = obs.NewHistory(cfg.QueryHistorySize, 64)
+	c.History.SetSlowThreshold(cfg.SlowQueryThreshold)
 	c.AOTs = core.NewAOTManager(cat, c)
 	c.Procs = core.NewFramework(cat)
 	c.Repl = replication.New(engine, c)
@@ -171,6 +197,7 @@ func NewCoordinator(cfg Config) *Coordinator {
 		}
 	}
 	c.registerBuiltinProcedures()
+	c.registerObsGauges()
 	return c
 }
 

@@ -1,0 +1,135 @@
+package federation
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"idaax/internal/catalog"
+	"idaax/internal/obs"
+	"idaax/internal/relalg"
+	"idaax/internal/sqlparse"
+)
+
+func parseSelect(t *testing.T, sql string) *sqlparse.SelectStmt {
+	t.Helper()
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := st.(*sqlparse.SelectStmt)
+	if !ok {
+		t.Fatalf("%s parsed as %T", sql, st)
+	}
+	return sel
+}
+
+func relFingerprint(rel *relalg.Relation) string {
+	var sb strings.Builder
+	for _, c := range rel.Cols {
+		sb.WriteString(c.Name + ",")
+	}
+	sb.WriteString("\n")
+	for _, row := range rel.Rows {
+		for _, v := range row {
+			sb.WriteString(v.String() + "|")
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// TestTracedExecutionDifferential proves tracing is observation only: the
+// same statement executed with a live span tree and with tracing disabled
+// (nil span) returns byte-identical relations, on a single accelerator and
+// through the shard router's scatter-gather path alike.
+func TestTracedExecutionDifferential(t *testing.T) {
+	c := NewCoordinator(Config{Accelerators: []AcceleratorSpec{
+		{Name: "A", Slices: 2}, {Name: "B", Slices: 2},
+	}})
+	s := c.Session(catalog.AdminUser)
+	mustExec(t, s, "CREATE TABLE single (id BIGINT, grp BIGINT, v DOUBLE) IN ACCELERATOR A")
+	mustExec(t, s, "CREATE TABLE sharded (id BIGINT, grp BIGINT, v DOUBLE) IN ACCELERATOR SHARDS DISTRIBUTE BY HASH(id)")
+	for _, table := range []string{"single", "sharded"} {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "INSERT INTO %s VALUES ", table)
+		for i := 0; i < 300; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d, %g)", i, i%7, float64(i)*0.25)
+		}
+		mustExec(t, s, sb.String())
+	}
+
+	queries := []string{
+		"SELECT * FROM %s ORDER BY id",
+		"SELECT grp, COUNT(*), SUM(v) FROM %s WHERE v > 10 GROUP BY grp ORDER BY grp",
+		"SELECT COUNT(*) FROM %s WHERE id = 42",
+	}
+	for _, table := range []string{"single", "sharded"} {
+		backendName := "A"
+		if table == "sharded" {
+			backendName = "SHARDS"
+		}
+		be, err := c.Accelerator(backendName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			sql := fmt.Sprintf(q, table)
+			sel := parseSelect(t, sql)
+			untraced, err := be.QueryTraced(0, sel, nil)
+			if err != nil {
+				t.Fatalf("untraced %s: %v", sql, err)
+			}
+			sp := obs.NewSpan("test")
+			traced, err := be.QueryTraced(0, sel, sp)
+			if err != nil {
+				t.Fatalf("traced %s: %v", sql, err)
+			}
+			sp.Finish()
+			if got, want := relFingerprint(traced), relFingerprint(untraced); got != want {
+				t.Fatalf("%s: traced result differs:\ntraced:\n%s\nuntraced:\n%s", sql, got, want)
+			}
+			// The span actually observed the execution: at least one scan span
+			// with a row count.
+			scans := 0
+			sp.Walk(func(s *obs.Span, depth int) {
+				if s.Name == "scan" {
+					scans++
+				}
+			})
+			if scans == 0 {
+				t.Fatalf("%s: trace recorded no scan spans:\n%s", sql, sp.Format())
+			}
+		}
+	}
+}
+
+// TestQueryHistoryNestedStatements proves one top-level statement yields one
+// history record even when a procedure body executes further SQL internally,
+// and that the record carries the statement's class and routing.
+func TestQueryHistoryNestedStatements(t *testing.T) {
+	c := newTestCoordinator(t)
+	c.History.SetSlowThreshold(time.Nanosecond)
+	s := c.Session(catalog.AdminUser)
+	mustExec(t, s, "CREATE TABLE t (id BIGINT, v DOUBLE) IN ACCELERATOR IDAA1")
+	mustExec(t, s, "INSERT INTO t VALUES (1, 1.5), (2, 2.5)")
+	before := len(c.History.Recent(0))
+	mustExec(t, s, "CALL SYSPROC.ACCEL_TABLE_INFO('t')")
+	recs := c.History.Recent(0)
+	if len(recs) != before+1 {
+		t.Fatalf("CALL produced %d history records, want 1", len(recs)-before)
+	}
+	if recs[0].Class != "call" {
+		t.Fatalf("record class = %q, want call", recs[0].Class)
+	}
+	if !recs[0].Slow() {
+		t.Fatal("1ns threshold should mark the CALL slow and keep its trace")
+	}
+	if !strings.Contains(recs[0].Trace, "statement") {
+		t.Fatalf("trace missing root span:\n%s", recs[0].Trace)
+	}
+}

@@ -2,12 +2,27 @@ package federation
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"time"
 
 	"idaax/internal/catalog"
 	"idaax/internal/core"
+	"idaax/internal/expr"
+	"idaax/internal/obs"
+	"idaax/internal/relalg"
 	"idaax/internal/types"
 )
+
+// sortedKeys returns a map's keys in sorted order for stable result sets.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // registerBuiltinProcedures installs the administrative stored procedures that
 // mirror the SYSPROC.ACCEL_* interface of the real product. They are the
@@ -239,6 +254,86 @@ func (c *Coordinator) registerBuiltinProcedures() {
 			}
 			c.Procs.RevokeExecute(proc, user)
 			return &core.ProcResult{Message: "revoked"}, nil
+		})
+
+	register("SYSPROC.ACCEL_METRICS",
+		"Snapshot the metrics registry — counters, gauges and latency histograms (count/mean/p50/p95/p99) — as one result set",
+		func(ctx *core.ProcContext, args []types.Value) (*core.ProcResult, error) {
+			rep := c.Obs.Snapshot()
+			rel := &relalg.Relation{Cols: []expr.InputColumn{
+				{Name: "METRIC", Kind: types.KindString},
+				{Name: "KIND", Kind: types.KindString},
+				{Name: "VALUE", Kind: types.KindFloat},
+			}}
+			add := func(name, kind string, v float64) {
+				rel.Rows = append(rel.Rows, types.Row{
+					types.NewString(name), types.NewString(kind), types.NewFloat(v),
+				})
+			}
+			for _, k := range sortedKeys(rep.Counters) {
+				add(k, "counter", float64(rep.Counters[k]))
+			}
+			for _, k := range sortedKeys(rep.Gauges) {
+				add(k, "gauge", float64(rep.Gauges[k]))
+			}
+			for _, k := range sortedKeys(rep.Histograms) {
+				h := rep.Histograms[k]
+				ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+				add(k+"_count", "histogram", float64(h.Count))
+				add(k+"_mean_ms", "histogram", ms(h.Mean))
+				add(k+"_p50_ms", "histogram", ms(h.P50))
+				add(k+"_p95_ms", "histogram", ms(h.P95))
+				add(k+"_p99_ms", "histogram", ms(h.P99))
+			}
+			return &core.ProcResult{
+				Relation: rel,
+				Message:  fmt.Sprintf("%d metric samples", len(rel.Rows)),
+			}, nil
+		})
+
+	register("SYSPROC.ACCEL_QUERY_HISTORY",
+		"Return the most recent statements from the query history, newest first: ([n[, 'SLOW']])",
+		func(ctx *core.ProcContext, args []types.Value) (*core.ProcResult, error) {
+			n := int(core.ArgInt(args, 0, 50))
+			slowOnly := strings.EqualFold(core.ArgStringDefault(args, 1, ""), "SLOW")
+			var recs []obs.QueryRecord
+			if slowOnly {
+				recs = c.History.SlowQueries(n)
+			} else {
+				recs = c.History.Recent(n)
+			}
+			rel := &relalg.Relation{Cols: []expr.InputColumn{
+				{Name: "SEQ", Kind: types.KindInt},
+				{Name: "SQL", Kind: types.KindString},
+				{Name: "USERID", Kind: types.KindString},
+				{Name: "CLASS", Kind: types.KindString},
+				{Name: "ROUTED_TO", Kind: types.KindString},
+				{Name: "ELAPSED_MS", Kind: types.KindFloat},
+				{Name: "ROWS", Kind: types.KindInt},
+				{Name: "ERROR", Kind: types.KindString},
+				{Name: "SLOW", Kind: types.KindInt},
+			}}
+			for _, r := range recs {
+				slow := int64(0)
+				if r.Slow() {
+					slow = 1
+				}
+				rel.Rows = append(rel.Rows, types.Row{
+					types.NewInt(r.Seq),
+					types.NewString(r.SQL),
+					types.NewString(r.User),
+					types.NewString(r.Class),
+					types.NewString(r.Routed),
+					types.NewFloat(float64(r.Elapsed) / float64(time.Millisecond)),
+					types.NewInt(int64(r.Rows)),
+					types.NewString(r.Err),
+					types.NewInt(slow),
+				})
+			}
+			return &core.ProcResult{
+				Relation: rel,
+				Message:  fmt.Sprintf("%d statements", len(recs)),
+			}, nil
 		})
 
 	register("SYSPROC.ACCEL_TABLE_INFO",

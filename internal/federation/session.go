@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"idaax/internal/accel"
 	"idaax/internal/catalog"
 	"idaax/internal/core"
 	"idaax/internal/expr"
+	"idaax/internal/obs"
 	"idaax/internal/relalg"
 	"idaax/internal/shard"
 	"idaax/internal/sqlparse"
@@ -87,6 +89,12 @@ type Session struct {
 	tx           *txn.Txn
 	explicit     bool
 	participants map[string]accel.Backend
+
+	// prof is the root trace span of the statement currently executing (nil
+	// between statements). Nested statements run from a procedure body attach
+	// their backend work to it instead of opening their own profile, so one
+	// CALL is one history entry whose trace nests the inner statements.
+	prof *obs.Span
 }
 
 // User returns the session's authorization id.
@@ -107,11 +115,17 @@ func (s *Session) InTransaction() bool { return s.tx != nil && s.explicit }
 
 // Exec parses and executes a single SQL statement.
 func (s *Session) Exec(sql string) (*Result, error) {
+	prof := s.beginProfile(sql)
+	psp := prof.span.Child("parse")
 	st, err := sqlparse.Parse(sql)
+	psp.Finish()
 	if err != nil {
+		prof.finish(nil, nil, err)
 		return nil, err
 	}
-	return s.ExecStmt(st)
+	res, err := s.dispatchStmt(st)
+	prof.finish(st, res, err)
+	return res, err
 }
 
 // ExecScript parses and executes a semicolon-separated script, stopping at the
@@ -180,6 +194,14 @@ func (s *Session) Rollback() error {
 
 // ExecStmt executes an already-parsed statement.
 func (s *Session) ExecStmt(st sqlparse.Statement) (*Result, error) {
+	prof := s.beginProfile(stmtText(st))
+	res, err := s.dispatchStmt(st)
+	prof.finish(st, res, err)
+	return res, err
+}
+
+// dispatchStmt executes a statement under the already-open profile.
+func (s *Session) dispatchStmt(st sqlparse.Statement) (*Result, error) {
 	switch stmt := st.(type) {
 	case *sqlparse.BeginStmt:
 		if err := s.Begin(); err != nil {
@@ -355,13 +377,15 @@ func (s *Session) runSelect(tx *txn.Txn, sel *sqlparse.SelectStmt) (*relalg.Rela
 	}
 	s.coord.noteRouting(dec.offload)
 	if dec.offload {
-		rel, err := dec.accel.Query(int64(tx.ID), sel)
+		rel, err := dec.accel.QueryTraced(int64(tx.ID), sel, s.execSpan())
 		if err != nil {
 			return nil, "", err
 		}
 		return rel, dec.accelName, nil
 	}
+	dsp := s.execSpan().Child("db2")
 	rel, err := s.coord.DB2.Query(tx, sel)
+	dsp.Finish()
 	if err != nil {
 		return nil, "", err
 	}
@@ -718,6 +742,7 @@ func (s *Session) execCall(tx *txn.Txn, stmt *sqlparse.CallStmt) (*Result, error
 		Catalog:     s.coord.cat,
 		Accelerator: acc,
 		AOTs:        s.coord.AOTs,
+		Span:        s.execSpan(),
 		Query: func(sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
 			rel, _, err := s.runSelect(tx, sel)
 			return rel, err
@@ -871,11 +896,21 @@ func (s *Session) execShow(stmt *sqlparse.ShowStmt) (*Result, error) {
 // the chosen join order and methods, and the shard placement (co-located /
 // broadcast / gather, with the pruned candidate shard set). The first row is
 // the routing summary; subsequent rows carry one plan line each.
+//
+// EXPLAIN ANALYZE additionally executes the SELECT under a trace span and
+// annotates each plan operator with what it actually did — rows produced,
+// elapsed time (the longest single-shard scan for a scatter), participating
+// shards, blocks pruned — beside the planner's estimates.
 func (s *Session) execExplain(stmt *sqlparse.ExplainStmt) (*Result, error) {
 	res := &Result{Columns: []string{"STATEMENT", "ROUTED_TO", "REASON", "PLAN"}, Routed: "DB2"}
 	summary := func(stmtName, to, reason string) {
 		res.Rows = append(res.Rows, types.Row{
 			types.NewString(stmtName), types.NewString(to), types.NewString(reason), types.NewString(""),
+		})
+	}
+	planLine := func(line string) {
+		res.Rows = append(res.Rows, types.Row{
+			types.NewString(""), types.NewString(""), types.NewString(""), types.NewString(line),
 		})
 	}
 	switch target := stmt.Target.(type) {
@@ -889,18 +924,36 @@ func (s *Session) execExplain(stmt *sqlparse.ExplainStmt) (*Result, error) {
 			to = dec.accelName
 		}
 		summary("SELECT", to, dec.reason)
-		if dec.offload {
-			plan, err := dec.accel.Explain(target)
+		if !dec.offload {
+			if stmt.Analyze {
+				rel, elapsed, err := s.executeForAnalyze(target, nil)
+				if err != nil {
+					return nil, err
+				}
+				planLine("execution: DB2 row engine (no accelerator plan)")
+				planLine(fmt.Sprintf("actual rows=%d time=%.3fms", len(rel.Rows), float64(elapsed)/float64(time.Millisecond)))
+			}
+			break
+		}
+		plan, err := dec.accel.Explain(target)
+		if err != nil {
+			return nil, err
+		}
+		if plan == nil {
+			break
+		}
+		lines := plan.Describe()
+		if stmt.Analyze {
+			xsp := obs.NewSpan("execute")
+			rel, _, err := s.executeForAnalyze(target, xsp)
 			if err != nil {
 				return nil, err
 			}
-			if plan != nil {
-				for _, line := range plan.Describe() {
-					res.Rows = append(res.Rows, types.Row{
-						types.NewString(""), types.NewString(""), types.NewString(""), types.NewString(line),
-					})
-				}
-			}
+			xsp.Finish()
+			lines = plan.DescribeAnalyze(actualsFromSpan(xsp, len(rel.Rows)))
+		}
+		for _, line := range lines {
+			planLine(line)
 		}
 	case *sqlparse.InsertStmt, *sqlparse.UpdateStmt, *sqlparse.DeleteStmt, *sqlparse.TruncateStmt:
 		tables := sqlparse.StatementTables(stmt.Target)
@@ -915,6 +968,39 @@ func (s *Session) execExplain(stmt *sqlparse.ExplainStmt) (*Result, error) {
 		summary(fmt.Sprintf("%T", stmt.Target), "DB2", "statement type always runs in DB2")
 	}
 	return res, nil
+}
+
+// executeForAnalyze runs a SELECT on behalf of EXPLAIN ANALYZE, attaching the
+// backend's work to sp (nil for a DB2-routed statement, where only the total
+// is reported). The usual privilege checks and auto-commit rules apply, so an
+// EXPLAIN ANALYZE inside an explicit transaction sees that transaction's
+// snapshot.
+func (s *Session) executeForAnalyze(sel *sqlparse.SelectStmt, sp *obs.Span) (*relalg.Relation, time.Duration, error) {
+	for _, t := range sqlparse.ReferencedTables(sel) {
+		if err := s.coord.cat.CheckPrivilege(s.user, t, catalog.PrivSelect); err != nil {
+			return nil, 0, err
+		}
+	}
+	dec, err := s.routeSelect(sel)
+	if err != nil {
+		return nil, 0, err
+	}
+	tx, done := s.stmtTxn()
+	start := time.Now()
+	var rel *relalg.Relation
+	if dec.offload {
+		rel, err = dec.accel.QueryTraced(int64(tx.ID), sel, sp)
+	} else {
+		rel, err = s.coord.DB2.Query(tx, sel)
+	}
+	elapsed := time.Since(start)
+	if ferr := done(err); ferr != nil && err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return rel, elapsed, nil
 }
 
 // execAlterAccelerator implements the elastic-fleet DDL: ALTER ACCELERATOR

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// QueryRecord is one statement's entry in the query history.
+type QueryRecord struct {
+	// Seq numbers statements in execution order (1-based, monotonic).
+	Seq int64
+	// SQL is the statement text as submitted.
+	SQL string
+	// User is the authorization id that ran it.
+	User string
+	// Class groups statements for latency accounting: "select", "dml",
+	// "ddl", "call", "explain", "other".
+	Class string
+	// Routed names where the statement ran ("DB2", an accelerator, a group).
+	Routed string
+	// Start is when execution began; Elapsed its wall time.
+	Start   time.Time
+	Elapsed time.Duration
+	// Rows counts result rows (queries) or affected rows (DML).
+	Rows int
+	// Err is the failure message ("" on success).
+	Err string
+	// Trace is the rendered span tree; captured only for slow statements so
+	// the ring buffer stays cheap.
+	Trace string
+}
+
+// Slow reports whether the record crossed the slow-query threshold in force
+// when it was recorded (equivalently: whether a trace was captured).
+func (r QueryRecord) Slow() bool { return r.Trace != "" }
+
+// History is a fixed-capacity ring buffer of the most recent statements plus
+// a separate ring of slow statements (those at or above the configurable
+// threshold, with their full trace attached). A zero threshold disables the
+// slow log.
+type History struct {
+	seq  atomic.Int64
+	slow atomic.Int64 // threshold, nanoseconds; 0 = disabled
+
+	mu      sync.Mutex
+	recent  []QueryRecord
+	next    int
+	full    bool
+	slowLog []QueryRecord
+	slowIdx int
+	slowFul bool
+}
+
+// NewHistory creates a history keeping the last capacity statements and the
+// last slowCap slow statements.
+func NewHistory(capacity, slowCap int) *History {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if slowCap < 1 {
+		slowCap = 1
+	}
+	return &History{
+		recent:  make([]QueryRecord, capacity),
+		slowLog: make([]QueryRecord, slowCap),
+	}
+}
+
+// SetSlowThreshold sets the slow-query threshold; zero or negative disables
+// the slow log.
+func (h *History) SetSlowThreshold(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.slow.Store(int64(d))
+}
+
+// SlowThreshold returns the current threshold (0 = disabled).
+func (h *History) SlowThreshold() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.slow.Load())
+}
+
+// Record appends one statement. The trace is attached (rendered) only when
+// the statement crossed the slow threshold; rec.Trace as passed is the
+// already-rendered tree (pass "" when no trace was collected).
+func (h *History) Record(rec QueryRecord) QueryRecord {
+	if h == nil {
+		return rec
+	}
+	rec.Seq = h.seq.Add(1)
+	thresh := time.Duration(h.slow.Load())
+	isSlow := thresh > 0 && rec.Elapsed >= thresh
+	if !isSlow {
+		rec.Trace = ""
+	}
+	h.mu.Lock()
+	h.recent[h.next] = rec
+	h.next++
+	if h.next == len(h.recent) {
+		h.next = 0
+		h.full = true
+	}
+	if isSlow {
+		h.slowLog[h.slowIdx] = rec
+		h.slowIdx++
+		if h.slowIdx == len(h.slowLog) {
+			h.slowIdx = 0
+			h.slowFul = true
+		}
+	}
+	h.mu.Unlock()
+	return rec
+}
+
+// Recent returns up to n of the most recent statements, newest first.
+// n <= 0 returns everything retained.
+func (h *History) Recent(n int) []QueryRecord {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return drain(h.recent, h.next, h.full, n)
+}
+
+// SlowQueries returns up to n of the most recent slow statements, newest
+// first, each with its trace attached.
+func (h *History) SlowQueries(n int) []QueryRecord {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return drain(h.slowLog, h.slowIdx, h.slowFul, n)
+}
+
+// drain reads a ring (next = index of the oldest slot once full) newest
+// first. Caller holds the lock.
+func drain(ring []QueryRecord, next int, full bool, n int) []QueryRecord {
+	size := next
+	if full {
+		size = len(ring)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]QueryRecord, 0, n)
+	for i := 0; i < n; i++ {
+		idx := next - 1 - i
+		for idx < 0 {
+			idx += len(ring)
+		}
+		out = append(out, ring[idx])
+	}
+	return out
+}

@@ -1,0 +1,395 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time value: either set directly (Set/Add) or backed by
+// a callback sampled at report time (registered via Registry.GaugeFunc).
+type Gauge struct {
+	v  atomic.Int64
+	fn func() int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (use for in-flight style gauges).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Load returns the gauge value, sampling the callback when one is set.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	if g.fn != nil {
+		return g.fn()
+	}
+	return g.v.Load()
+}
+
+// histBounds are the histogram bucket upper bounds. Latencies are observed in
+// nanoseconds; the bounds cover 100µs to 10s, which spans everything from a
+// pruned single-shard point query to a full-fleet analytics CALL. The array
+// length must stay histBuckets-1 (the final bucket is +Inf).
+const histBuckets = 16
+
+var histBounds = [histBuckets - 1]time.Duration{
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2500 * time.Millisecond,
+	10 * time.Second,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations are lock-free
+// atomic adds; quantiles are estimated by linear interpolation inside the
+// containing bucket, which is accurate enough for p50/p95/p99 reporting.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64 // last bucket is +Inf
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for i < len(histBounds) && d > histBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / time.Duration(n)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the buckets.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if seen+n >= rank {
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = histBounds[i-1]
+			}
+			hi := lo * 2
+			if i < len(histBounds) {
+				hi = histBounds[i]
+			}
+			// Linear interpolation of the rank inside the bucket.
+			frac := float64(rank-seen) / float64(n)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		seen += n
+	}
+	return histBounds[len(histBounds)-1]
+}
+
+// HistogramSnapshot is a histogram's summary at report time.
+type HistogramSnapshot struct {
+	Count int64
+	Sum   time.Duration
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration // upper bound of the highest non-empty bucket
+}
+
+// Snapshot summarises the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	snap := HistogramSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+	for i := len(histBounds); i >= 0; i-- {
+		if h.buckets[i].Load() > 0 {
+			if i < len(histBounds) {
+				snap.Max = histBounds[i]
+			} else {
+				snap.Max = 2 * histBounds[len(histBounds)-1]
+			}
+			break
+		}
+	}
+	return snap
+}
+
+// Registry holds named counters, gauges and histograms. Instrument lookup
+// (Counter/Gauge/Histogram) takes a read lock only on the hot path; the
+// instruments themselves are lock-free atomics. The zero Registry is not
+// usable; create one with NewRegistry. All methods are nil-safe so callers
+// holding an optional registry need no guards.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named settable gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers (or replaces) a callback-backed gauge, sampled whenever
+// the registry is read. Use for values that already live elsewhere —
+// rebalance progress, replication backlog — so reporting needs no push path.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = &Gauge{fn: fn}
+	r.mu.Unlock()
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Report is a point-in-time snapshot of every instrument, keyed by name.
+type Report struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot reads every instrument.
+func (r *Registry) Snapshot() Report {
+	rep := Report{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return rep
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+	for k, c := range counters {
+		rep.Counters[k] = c.Load()
+	}
+	for k, g := range gauges {
+		rep.Gauges[k] = g.Load()
+	}
+	for k, h := range hists {
+		rep.Histograms[k] = h.Snapshot()
+	}
+	return rep
+}
+
+// Text renders the registry in Prometheus exposition format: counters and
+// gauges as single samples, histograms as _count/_sum plus quantile samples.
+// Names are emitted in sorted order so the output is stable.
+func (r *Registry) Text() string {
+	rep := r.Snapshot()
+	var sb strings.Builder
+	names := make([]string, 0, len(rep.Counters))
+	for k := range rep.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&sb, "# TYPE %s counter\n%s %d\n", k, k, rep.Counters[k])
+	}
+	names = names[:0]
+	for k := range rep.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&sb, "# TYPE %s gauge\n%s %d\n", k, k, rep.Gauges[k])
+	}
+	names = names[:0]
+	for k := range rep.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := rep.Histograms[k]
+		fmt.Fprintf(&sb, "# TYPE %s summary\n", k)
+		fmt.Fprintf(&sb, "%s{quantile=\"0.5\"} %.6f\n", k, h.P50.Seconds())
+		fmt.Fprintf(&sb, "%s{quantile=\"0.95\"} %.6f\n", k, h.P95.Seconds())
+		fmt.Fprintf(&sb, "%s{quantile=\"0.99\"} %.6f\n", k, h.P99.Seconds())
+		fmt.Fprintf(&sb, "%s_sum %.6f\n", k, h.Sum.Seconds())
+		fmt.Fprintf(&sb, "%s_count %d\n", k, h.Count)
+	}
+	return sb.String()
+}

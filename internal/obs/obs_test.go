@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNilSafe(t *testing.T) {
+	var s *Span
+	s.Add(KeyRows, 5)
+	s.Label(LabelTable, "T")
+	s.Finish()
+	if c := s.Child("x"); c != nil {
+		t.Fatalf("nil span Child = %v, want nil", c)
+	}
+	if d := s.Duration(); d != 0 {
+		t.Fatalf("nil span Duration = %v, want 0", d)
+	}
+	if got := s.Format(); got != "" {
+		t.Fatalf("nil span Format = %q, want empty", got)
+	}
+	if n := s.Aggregate(KeyRows, nil); n != 0 {
+		t.Fatalf("nil span Aggregate = %d, want 0", n)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	root := NewSpan("statement")
+	exec := root.Child("execute")
+	for i := 0; i < 3; i++ {
+		sc := exec.Child("scan")
+		sc.Label(LabelTable, "T")
+		sc.Add(KeyRows, 10)
+		sc.Finish()
+	}
+	exec.Finish()
+	root.Finish()
+
+	if got := root.Aggregate(KeyRows, func(n string) bool { return n == "scan" }); got != 30 {
+		t.Fatalf("Aggregate rows = %d, want 30", got)
+	}
+	var names []string
+	root.Walk(func(sp *Span, depth int) { names = append(names, sp.Name) })
+	if len(names) != 5 || names[0] != "statement" || names[1] != "execute" {
+		t.Fatalf("walk order = %v", names)
+	}
+	text := root.Format()
+	if !strings.Contains(text, "scan table=T rows=10") {
+		t.Fatalf("Format missing scan line:\n%s", text)
+	}
+	if root.Duration() <= 0 {
+		t.Fatalf("root duration = %v", root.Duration())
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := NewSpan("fanout")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.Child("shard")
+			c.Add(KeyRows, 1)
+			c.Finish()
+		}()
+	}
+	wg.Wait()
+	root.Finish()
+	if n := len(root.Children()); n != 16 {
+		t.Fatalf("children = %d, want 16", n)
+	}
+	if got := root.Aggregate(KeyRows, nil); got != 16 {
+		t.Fatalf("rows = %d, want 16", got)
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("q_total").Add(3)
+	r.Counter("q_total").Inc()
+	r.Gauge("inflight").Set(2)
+	r.GaugeFunc("cb", func() int64 { return 42 })
+	h := r.Histogram("lat")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i+1) * time.Millisecond)
+	}
+
+	rep := r.Snapshot()
+	if rep.Counters["q_total"] != 4 {
+		t.Fatalf("counter = %d, want 4", rep.Counters["q_total"])
+	}
+	if rep.Gauges["inflight"] != 2 || rep.Gauges["cb"] != 42 {
+		t.Fatalf("gauges = %v", rep.Gauges)
+	}
+	hs := rep.Histograms["lat"]
+	if hs.Count != 100 {
+		t.Fatalf("hist count = %d", hs.Count)
+	}
+	if hs.P50 < 25*time.Millisecond || hs.P50 > 75*time.Millisecond {
+		t.Fatalf("p50 = %v out of range", hs.P50)
+	}
+	if hs.P99 < hs.P50 || hs.P95 < hs.P50 {
+		t.Fatalf("quantiles not ordered: p50=%v p95=%v p99=%v", hs.P50, hs.P95, hs.P99)
+	}
+	if hs.Mean < 40*time.Millisecond || hs.Mean > 60*time.Millisecond {
+		t.Fatalf("mean = %v, want ~50.5ms", hs.Mean)
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.GaugeFunc("z", func() int64 { return 1 })
+	r.Histogram("h").Observe(time.Millisecond)
+	if rep := r.Snapshot(); len(rep.Counters) != 0 {
+		t.Fatalf("nil registry snapshot = %v", rep)
+	}
+	if r.Text() != "" {
+		t.Fatalf("nil registry text non-empty")
+	}
+}
+
+func TestRegistryText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("idaax_queries_total").Add(7)
+	r.Gauge("idaax_inflight").Set(1)
+	r.Histogram("idaax_select_seconds").Observe(10 * time.Millisecond)
+	text := r.Text()
+	for _, want := range []string{
+		"# TYPE idaax_queries_total counter",
+		"idaax_queries_total 7",
+		"# TYPE idaax_inflight gauge",
+		"idaax_inflight 1",
+		"# TYPE idaax_select_seconds summary",
+		`idaax_select_seconds{quantile="0.99"}`,
+		"idaax_select_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHistoryRing(t *testing.T) {
+	h := NewHistory(4, 2)
+	h.SetSlowThreshold(50 * time.Millisecond)
+	for i := 0; i < 6; i++ {
+		elapsed := time.Duration(i) * 20 * time.Millisecond // 0,20,40,60,80,100ms
+		h.Record(QueryRecord{SQL: "q", Elapsed: elapsed, Trace: "trace"})
+	}
+	recent := h.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("recent = %d records, want 4", len(recent))
+	}
+	if recent[0].Seq != 6 || recent[3].Seq != 3 {
+		t.Fatalf("recent seqs = %d..%d, want 6..3", recent[0].Seq, recent[3].Seq)
+	}
+	// Statements 4,5,6 (60,80,100ms) were slow; ring keeps last 2.
+	slow := h.SlowQueries(0)
+	if len(slow) != 2 {
+		t.Fatalf("slow = %d records, want 2", len(slow))
+	}
+	if !slow[0].Slow() || slow[0].Trace == "" {
+		t.Fatalf("slow record lost its trace: %+v", slow[0])
+	}
+	// Fast statements must have their trace dropped.
+	for _, rec := range recent {
+		if rec.Elapsed < 50*time.Millisecond && rec.Trace != "" {
+			t.Fatalf("fast record kept trace: %+v", rec)
+		}
+	}
+}
+
+func TestHistoryDisabledSlowLog(t *testing.T) {
+	h := NewHistory(2, 2)
+	h.Record(QueryRecord{SQL: "q", Elapsed: time.Hour, Trace: "t"})
+	if len(h.SlowQueries(0)) != 0 {
+		t.Fatalf("slow log recorded with zero threshold")
+	}
+	var nilH *History
+	nilH.Record(QueryRecord{})
+	nilH.SetSlowThreshold(time.Second)
+	if nilH.Recent(1) != nil || nilH.SlowQueries(1) != nil {
+		t.Fatalf("nil history returned records")
+	}
+}

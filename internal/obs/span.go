@@ -1,0 +1,215 @@
+// Package obs is the observability layer: distributed trace spans that follow
+// a statement from parse through shard fan-out to gather/merge, a metrics
+// registry of atomic counters, gauges and latency histograms, and a query
+// history ring buffer with a slow-query log.
+//
+// The package deliberately depends only on the standard library so every
+// internal package (accel, shard, federation, replication, vexec) can import
+// it without cycles.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed node of a statement's trace tree. Spans are created with
+// Child (or NewSpan for a root), carry integer attributes (rows, batches,
+// blocks pruned) and string labels (table, shard), and are closed with Finish.
+//
+// All methods are safe on a nil *Span and do nothing, so tracing can be
+// switched off by handing the query path a nil root: the per-operation cost
+// of disabled tracing is one nil check. Child creation and attribute updates
+// are safe for concurrent use — per-shard workers attach children to the same
+// fan-out span from separate goroutines.
+type Span struct {
+	Name  string
+	Start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	ints     map[string]int64
+	labels   map[string]string
+	children []*Span
+}
+
+// NewSpan starts a root span. Use (*Span).Child for everything below it.
+func NewSpan(name string) *Span {
+	return &Span{Name: name, Start: time.Now()}
+}
+
+// Child starts a sub-span under s. Returns nil when s is nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, Start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Finish stamps the span's end time. Finishing twice keeps the first stamp.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Add accumulates delta into the named integer attribute.
+func (s *Span) Add(key string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ints == nil {
+		s.ints = make(map[string]int64, 4)
+	}
+	s.ints[key] += delta
+	s.mu.Unlock()
+}
+
+// Label sets a string label (table name, shard name, execution mode).
+func (s *Span) Label(key, val string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.labels == nil {
+		s.labels = make(map[string]string, 2)
+	}
+	s.labels[key] = val
+	s.mu.Unlock()
+}
+
+// Int returns the named integer attribute (0 when absent or s is nil).
+func (s *Span) Int(key string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ints[key]
+}
+
+// GetLabel returns the named string label ("" when absent or s is nil).
+func (s *Span) GetLabel(key string) string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.labels[key]
+}
+
+// Duration returns the span's wall time; an unfinished span reads as
+// elapsed-so-far.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	end := s.end
+	s.mu.Unlock()
+	if end.IsZero() {
+		return time.Since(s.Start)
+	}
+	return end.Sub(s.Start)
+}
+
+// Children returns a snapshot of the span's direct children.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Walk visits the span and every descendant depth-first.
+func (s *Span) Walk(fn func(sp *Span, depth int)) {
+	if s == nil {
+		return
+	}
+	s.walk(fn, 0)
+}
+
+func (s *Span) walk(fn func(sp *Span, depth int), depth int) {
+	fn(s, depth)
+	for _, c := range s.Children() {
+		c.walk(fn, depth+1)
+	}
+}
+
+// Aggregate sums the named integer attribute over the span and all
+// descendants whose name matches the predicate (nil predicate matches all).
+func (s *Span) Aggregate(key string, match func(name string) bool) int64 {
+	var total int64
+	s.Walk(func(sp *Span, _ int) {
+		if match == nil || match(sp.Name) {
+			total += sp.Int(key)
+		}
+	})
+	return total
+}
+
+// Format renders the span tree as indented text, one line per span, with
+// durations and attributes — the shape shown by the observability example and
+// stored in the slow-query log.
+func (s *Span) Format() string {
+	if s == nil {
+		return ""
+	}
+	var sb strings.Builder
+	s.Walk(func(sp *Span, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(sp.Name)
+		sp.mu.Lock()
+		labels := make([]string, 0, len(sp.labels))
+		for k, v := range sp.labels {
+			labels = append(labels, fmt.Sprintf("%s=%s", k, v))
+		}
+		ints := make([]string, 0, len(sp.ints))
+		for k, v := range sp.ints {
+			ints = append(ints, fmt.Sprintf("%s=%d", k, v))
+		}
+		sp.mu.Unlock()
+		sort.Strings(labels)
+		sort.Strings(ints)
+		for _, l := range labels {
+			sb.WriteString(" ")
+			sb.WriteString(l)
+		}
+		for _, a := range ints {
+			sb.WriteString(" ")
+			sb.WriteString(a)
+		}
+		fmt.Fprintf(&sb, " (%.3fms)", float64(sp.Duration())/float64(time.Millisecond))
+		sb.WriteString("\n")
+	})
+	return sb.String()
+}
+
+// Common attribute keys used across the query path. Kept here so producers
+// (accel, shard) and consumers (EXPLAIN ANALYZE, metrics) agree on names.
+const (
+	KeyRows         = "rows"
+	KeyBatches      = "batches"
+	KeyBlocksPruned = "blocks_pruned"
+	KeyVersions     = "versions"
+	KeyRetries      = "retries"
+	KeyShards       = "shards"
+	LabelTable      = "table"
+	LabelShard      = "shard"
+	LabelMode       = "mode"
+)

@@ -3,15 +3,57 @@ package planner
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"idaax/internal/sqlparse"
 	"idaax/internal/types"
 )
 
+// ScanActuals is what one plan scan operator actually did at execution time,
+// summed over every shard that scanned the table (EXPLAIN ANALYZE).
+type ScanActuals struct {
+	// Rows the scan produced (after pushdown filtering), across all shards.
+	Rows int64
+	// Elapsed is the longest single-shard scan time — the wall-clock cost of
+	// the parallel scan, comparable to the statement's elapsed time.
+	Elapsed time.Duration
+	// Shards is how many per-shard scans fed the operator.
+	Shards int
+	// BlocksPruned and Batches aggregate the scans' zone-map and batch work.
+	BlocksPruned int64
+	Batches      int64
+}
+
+// Actuals carries a statement's measured execution profile into
+// DescribeAnalyze, keyed the way the plan names its operators.
+type Actuals struct {
+	// Elapsed and Rows are the whole statement's wall time and result size.
+	Elapsed time.Duration
+	Rows    int64
+	// Retries counts rebalance-racing re-executions (sharded backends).
+	Retries int64
+	// Scans maps the normalized FROM item name to that scan's actuals.
+	Scans map[string]ScanActuals
+}
+
 // Describe renders the plan as indented text lines for EXPLAIN.
-func (p *Plan) Describe() []string {
+func (p *Plan) Describe() []string { return p.describe(nil) }
+
+// DescribeAnalyze renders the plan with each operator's actual rows and
+// elapsed time from a traced execution beside the planner's estimates, so
+// estimation error is directly visible (EXPLAIN ANALYZE).
+func (p *Plan) DescribeAnalyze(a Actuals) []string { return p.describe(&a) }
+
+func (p *Plan) describe(a *Actuals) []string {
 	var lines []string
 	lines = append(lines, fmt.Sprintf("estimated cost=%.1f rows=%.0f", p.EstCost, p.EstRows))
+	if a != nil {
+		actual := fmt.Sprintf("actual rows=%d time=%s", a.Rows, fmtDur(a.Elapsed))
+		if a.Retries > 0 {
+			actual += fmt.Sprintf(" retries=%d", a.Retries)
+		}
+		lines = append(lines, actual)
+	}
 	if p.Vectorized {
 		lines = append(lines, fmt.Sprintf("execution: vectorized (%s)", p.VectorizedMode))
 	} else {
@@ -20,8 +62,14 @@ func (p *Plan) Describe() []string {
 	if p.Shards > 1 {
 		lines = append(lines, p.placementLine())
 	}
-	lines = append(lines, p.treeLines()...)
+	lines = append(lines, p.treeLines(a)...)
 	return lines
+}
+
+// fmtDur renders a duration for plan display (milliseconds, fixed precision,
+// so golden tests can normalize with one pattern).
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(d)/float64(time.Millisecond))
 }
 
 func (p *Plan) placementLine() string {
@@ -63,11 +111,11 @@ func (p *Plan) shardSetText(participants int) string {
 }
 
 // treeLines renders the left-deep join tree, deepest scan first.
-func (p *Plan) treeLines() []string {
+func (p *Plan) treeLines(a *Actuals) []string {
 	var render func(step int) []string
 	render = func(step int) []string {
 		if step < 0 {
-			return []string{p.scanLine(0)}
+			return []string{p.scanLine(0, a)}
 		}
 		s := p.Steps[step]
 		method := s.Method.String()
@@ -85,13 +133,13 @@ func (p *Plan) treeLines() []string {
 		for _, l := range render(step - 1) {
 			out = append(out, "  "+l)
 		}
-		out = append(out, "  "+p.scanLine(step+1))
+		out = append(out, "  "+p.scanLine(step+1, a))
 		return out
 	}
 	return render(len(p.Steps) - 1)
 }
 
-func (p *Plan) scanLine(i int) string {
+func (p *Plan) scanLine(i int, a *Actuals) string {
 	scan := p.Scans[i]
 	name := scan.Item.Name()
 	if scan.Item.Subquery != nil {
@@ -126,6 +174,20 @@ func (p *Plan) scanLine(i int) string {
 			parts[i] = fmt.Sprintf("%d", s)
 		}
 		fmt.Fprintf(&sb, " [shards %s]", strings.Join(parts, " "))
+	}
+	if a != nil {
+		if act, ok := a.Scans[types.NormalizeName(name)]; ok {
+			fmt.Fprintf(&sb, " (actual rows=%d time=%s", act.Rows, fmtDur(act.Elapsed))
+			if act.Shards > 1 {
+				fmt.Fprintf(&sb, " shards=%d", act.Shards)
+			}
+			if act.BlocksPruned > 0 {
+				fmt.Fprintf(&sb, " pruned=%d", act.BlocksPruned)
+			}
+			sb.WriteString(")")
+		} else {
+			sb.WriteString(" (actual: not executed)")
+		}
 	}
 	return sb.String()
 }

@@ -213,6 +213,46 @@ func (r *Replicator) DisableReplication(table string) error {
 	return r.cat.SetReplication(table, false)
 }
 
+// ApplyLag reports the table's CDC backlog: how many captured changes have
+// not been applied to the shadow copy yet, and the age of the oldest of them
+// (0 when nothing is pending).
+func (r *Replicator) ApplyLag(table string) (pending int, lag time.Duration) {
+	table = types.NormalizeName(table)
+	r.mu.Lock()
+	applied := int64(0)
+	if st, ok := r.states[table]; ok {
+		applied = st.AppliedSeq
+	}
+	r.mu.Unlock()
+	pending = r.engine.Changes.PendingCount(table, applied)
+	if pending > 0 {
+		if oldest, ok := r.engine.Changes.OldestPending(table, applied); ok {
+			lag = time.Since(oldest)
+		}
+	}
+	return pending, lag
+}
+
+// LagReport aggregates the CDC backlog across every replicated table: the
+// total pending change count and the worst apply lag. It feeds the
+// repl_pending_changes / repl_apply_lag_ms gauges.
+func (r *Replicator) LagReport() (pending int, maxLag time.Duration) {
+	r.mu.Lock()
+	tables := make([]string, 0, len(r.states))
+	for t := range r.states {
+		tables = append(tables, t)
+	}
+	r.mu.Unlock()
+	for _, t := range tables {
+		p, lag := r.ApplyLag(t)
+		pending += p
+		if lag > maxLag {
+			maxLag = lag
+		}
+	}
+	return pending, maxLag
+}
+
 // PendingChanges returns how many captured changes have not been applied yet.
 func (r *Replicator) PendingChanges(table string) int {
 	r.mu.Lock()

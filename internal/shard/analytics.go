@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"idaax/internal/accel"
+	"idaax/internal/obs"
 	"idaax/internal/relalg"
 	"idaax/internal/sqlparse"
 	"idaax/internal/types"
@@ -78,6 +79,14 @@ func (r *Router) noteProcScatter(proc string) {
 // Draining members still participate: their unmigrated rows are part of the
 // table until the drain completes.
 func (r *Router) CallShardLocal(txnID int64, table, proc string, fn accel.ShardLocalFunc) ([]any, error) {
+	return r.CallShardLocalTraced(txnID, table, proc, nil, fn)
+}
+
+// CallShardLocalTraced is CallShardLocal with a trace span: every member's
+// partition (scan plus partial computation) nests under sp as its own child,
+// so an analytics CALL's trace shows the same per-shard fan-out a query's
+// does. sp may be nil.
+func (r *Router) CallShardLocalTraced(txnID int64, table, proc string, sp *obs.Span, fn accel.ShardLocalFunc) ([]any, error) {
 	meta, err := r.meta(table)
 	if err != nil {
 		return nil, err
@@ -86,16 +95,21 @@ func (r *Router) CallShardLocal(txnID int64, table, proc string, fn accel.ShardL
 	defer meta.migMu.RUnlock()
 	r.noteProcScatter(proc)
 	ms, snaps := r.snapshotAll(txnID)
+	sp.Add(obs.KeyShards, int64(len(ms)))
 
 	partials := make([]any, len(ms))
 	errs := make([]error, len(ms))
 	var wg sync.WaitGroup
 	for i, m := range ms {
 		m.NoteQuery()
+		psp := sp.Child("partition")
+		psp.Label(obs.LabelShard, m.Name())
+		psp.Label(obs.LabelTable, types.NormalizeName(table))
 		wg.Add(1)
-		go func(i int, m *accel.Accelerator, snap *accel.Snapshot) {
+		go func(i int, m *accel.Accelerator, snap *accel.Snapshot, psp *obs.Span) {
 			defer wg.Done()
-			rows, err := m.ScanVisible(snap, table, nil, sqlparse.FromItem{Table: types.NormalizeName(table)})
+			defer psp.Finish()
+			rows, err := m.ScanVisibleTraced(snap, table, nil, sqlparse.FromItem{Table: types.NormalizeName(table)}, psp)
 			if err != nil {
 				errs[i] = err
 				return
@@ -112,7 +126,7 @@ func (r *Router) CallShardLocal(txnID int64, table, proc string, fn accel.ShardL
 					return n, err
 				},
 			})
-		}(i, m, snaps[i])
+		}(i, m, snaps[i], psp)
 	}
 	wg.Wait()
 	for i, err := range errs {

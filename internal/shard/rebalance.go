@@ -27,6 +27,10 @@ type rebalanceState struct {
 	pending bool
 	done    chan struct{}
 	lastErr error
+	// passStart and rowsAtStart snapshot the moment the current worker was
+	// launched, so RebalanceStatus can report a live migration rate.
+	passStart   time.Time
+	rowsAtStart int64
 }
 
 // RebalanceStatus is a point-in-time report of the rebalancer.
@@ -41,25 +45,36 @@ type RebalanceStatus struct {
 	// RowsMigrated and Batches are cumulative counters since router creation.
 	RowsMigrated int64
 	Batches      int64
+	// RowsPerSec is the live migration rate of the running rebalance (rows
+	// moved since the worker started over its elapsed time; 0 when idle).
+	RowsPerSec float64
 	// LastError is the last rebalance failure ("" when none).
 	LastError string
 }
 
 // RebalanceStatus returns the rebalancer's current progress.
 func (r *Router) RebalanceStatus() RebalanceStatus {
+	migrated := atomic.LoadInt64(&r.stats.RowsMigrated)
 	r.rebal.mu.Lock()
 	active := r.rebal.running
 	lastErr := ""
 	if r.rebal.lastErr != nil {
 		lastErr = r.rebal.lastErr.Error()
 	}
+	rate := 0.0
+	if active {
+		if elapsed := time.Since(r.rebal.passStart).Seconds(); elapsed > 0 {
+			rate = float64(migrated-r.rebal.rowsAtStart) / elapsed
+		}
+	}
 	r.rebal.mu.Unlock()
 	return RebalanceStatus{
 		Epoch:           r.Epoch(),
 		Active:          active,
 		MigratingTables: r.migratingTables(),
-		RowsMigrated:    atomic.LoadInt64(&r.stats.RowsMigrated),
+		RowsMigrated:    migrated,
 		Batches:         atomic.LoadInt64(&r.stats.RebalanceBatches),
+		RowsPerSec:      rate,
 		LastError:       lastErr,
 	}
 }
@@ -277,6 +292,8 @@ func (r *Router) StartRebalance() {
 	}
 	r.rebal.running = true
 	r.rebal.done = make(chan struct{})
+	r.rebal.passStart = time.Now()
+	r.rebal.rowsAtStart = atomic.LoadInt64(&r.stats.RowsMigrated)
 	go r.rebalanceWorker()
 }
 

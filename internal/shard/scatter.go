@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"idaax/internal/accel"
+	"idaax/internal/obs"
 	"idaax/internal/planner"
 	"idaax/internal/relalg"
 	"idaax/internal/sqlparse"
@@ -42,10 +43,26 @@ import (
 // (member detached, shifting shard ordinals), the statement transparently
 // retries against the new view.
 func (r *Router) Query(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
+	return r.QueryTraced(txnID, sel, nil)
+}
+
+// QueryTraced is Query with a trace span (see accel.Backend.QueryTraced).
+// Each rebalance-racing retry runs under its own "attempt" child so the trace
+// shows the discarded execution alongside the one whose result was returned;
+// the retries attribute on sp counts them. sp may be nil.
+func (r *Router) QueryTraced(txnID int64, sel *sqlparse.SelectStmt, sp *obs.Span) (*relalg.Relation, error) {
 	const maxRetries = 8
 	for attempt := 0; ; attempt++ {
 		epoch := r.Epoch()
-		rel, err := r.queryOnce(txnID, sel)
+		asp := sp
+		if attempt > 0 {
+			sp.Add(obs.KeyRetries, 1)
+			asp = sp.Child("attempt")
+		}
+		rel, err := r.queryOnce(txnID, sel, asp)
+		if asp != sp {
+			asp.Finish()
+		}
 		if r.Epoch() == epoch || attempt >= maxRetries {
 			return rel, err
 		}
@@ -54,19 +71,22 @@ func (r *Router) Query(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Relation,
 	}
 }
 
-func (r *Router) queryOnce(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
+func (r *Router) queryOnce(txnID int64, sel *sqlparse.SelectStmt, sp *obs.Span) (*relalg.Relation, error) {
 	atomic.AddInt64(&r.stats.QueriesRouted, 1)
 	if r.PlanningEnabled() {
-		if pl := planner.PlanSelect(sel, r.PlannerCatalog()); pl != nil {
-			return r.executePlanned(txnID, sel, pl)
+		psp := sp.Child("plan")
+		pl := planner.PlanSelect(sel, r.PlannerCatalog())
+		psp.Finish()
+		if pl != nil {
+			return r.executePlanned(txnID, sel, pl, sp)
 		}
 	}
-	return r.queryHeuristic(txnID, sel)
+	return r.queryHeuristic(txnID, sel, sp)
 }
 
 // queryHeuristic is the pre-planner routing (still used when cost-based
 // planning is disabled, e.g. by the benchmark harness to measure the gap).
-func (r *Router) queryHeuristic(txnID int64, sel *sqlparse.SelectStmt) (*relalg.Relation, error) {
+func (r *Router) queryHeuristic(txnID int64, sel *sqlparse.SelectStmt, sp *obs.Span) (*relalg.Relation, error) {
 	if len(sel.From) == 1 && sel.From[0].Subquery == nil {
 		item := sel.From[0]
 		if meta, err := r.meta(item.Table); err == nil {
@@ -74,30 +94,40 @@ func (r *Router) queryHeuristic(txnID int64, sel *sqlparse.SelectStmt) (*relalg.
 				ms := r.Members()
 				if shard >= 0 && shard < len(ms) {
 					atomic.AddInt64(&r.stats.QueriesPruned, 1)
-					return ms[shard].Query(txnID, sel)
+					return r.queryOneShard(txnID, sel, ms[shard], sp)
 				}
 			}
 			if relalg.NeedsAggregation(sel) {
 				if plan, ok := planTwoPhase(sel); ok {
 					atomic.AddInt64(&r.stats.TwoPhaseAggregates, 1)
-					return r.executeTwoPhase(txnID, plan, nil)
+					return r.executeTwoPhase(txnID, plan, nil, sp)
 				}
 			}
 		}
 	}
-	return r.executeGather(txnID, sel, nil)
+	return r.executeGather(txnID, sel, nil, sp)
+}
+
+// queryOneShard runs the whole statement on a single member (the pruned fast
+// path) under a per-shard trace span.
+func (r *Router) queryOneShard(txnID int64, sel *sqlparse.SelectStmt, m *accel.Accelerator, sp *obs.Span) (*relalg.Relation, error) {
+	ssp := sp.Child("shard")
+	ssp.Label(obs.LabelShard, m.Name())
+	rel, err := m.QueryTraced(txnID, sel, ssp)
+	ssp.Finish()
+	return rel, err
 }
 
 // executePlanned runs a SELECT according to the planner's placement decision.
-func (r *Router) executePlanned(txnID int64, sel *sqlparse.SelectStmt, pl *planner.Plan) (*relalg.Relation, error) {
+func (r *Router) executePlanned(txnID int64, sel *sqlparse.SelectStmt, pl *planner.Plan, sp *obs.Span) (*relalg.Relation, error) {
 	r.noteAvoidedScans(pl)
 	switch pl.Placement {
 	case planner.PlacementColocated, planner.PlacementBroadcast:
-		return r.executeShardLocal(txnID, sel, pl)
+		return r.executeShardLocal(txnID, sel, pl, sp)
 	default:
 		// Gather; single-table statements never land here (the planner marks
 		// them co-located), so no two-phase opportunity is lost.
-		return r.executeGather(txnID, sel, pl)
+		return r.executeGather(txnID, sel, pl, sp)
 	}
 }
 
@@ -159,7 +189,7 @@ func (r *Router) noteAvoidedScans(pl *planner.Plan) {
 // union of the per-shard join results. Grouped co-located statements take the
 // cheaper two-phase route instead: shards pre-aggregate their local joins and
 // only group rows travel.
-func (r *Router) executeShardLocal(txnID int64, sel *sqlparse.SelectStmt, pl *planner.Plan) (*relalg.Relation, error) {
+func (r *Router) executeShardLocal(txnID int64, sel *sqlparse.SelectStmt, pl *planner.Plan, sp *obs.Span) (*relalg.Relation, error) {
 	hasBroadcast := pl.Placement == planner.PlacementBroadcast
 	multiTable := len(pl.Scans) > 1
 
@@ -176,7 +206,7 @@ func (r *Router) executeShardLocal(txnID int64, sel *sqlparse.SelectStmt, pl *pl
 			if multiTable {
 				atomic.AddInt64(&r.stats.ColocatedJoins, 1)
 			}
-			return ms[fast[0]].Query(txnID, sel)
+			return r.queryOneShard(txnID, sel, ms[fast[0]], sp)
 		}
 	}
 
@@ -189,7 +219,7 @@ func (r *Router) executeShardLocal(txnID int64, sel *sqlparse.SelectStmt, pl *pl
 			if multiTable {
 				atomic.AddInt64(&r.stats.ColocatedJoins, 1)
 			}
-			return r.executeTwoPhaseOn(txnID, plan, ms, snaps, participants)
+			return r.executeTwoPhaseOn(txnID, plan, ms, snaps, participants, sp)
 		}
 	}
 
@@ -212,7 +242,7 @@ func (r *Router) executeShardLocal(txnID int64, sel *sqlparse.SelectStmt, pl *pl
 		if !scan.EmptyCandidates {
 			from = participantsOf(len(ms), scan.Candidates, false)
 		}
-		rows, err := r.gatherRows(ms, from, snaps, item, pl.Sel)
+		rows, err := r.gatherRows(ms, from, snaps, item, pl.Sel, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -229,11 +259,14 @@ func (r *Router) executeShardLocal(txnID int64, sel *sqlparse.SelectStmt, pl *pl
 	for i, p := range participants {
 		m := ms[p]
 		m.NoteQuery()
+		ssp := sp.Child("shard")
+		ssp.Label(obs.LabelShard, m.Name())
 		wg.Add(1)
-		go func(i int, m *accel.Accelerator, snap *accel.Snapshot) {
+		go func(i int, m *accel.Accelerator, snap *accel.Snapshot, ssp *obs.Span) {
 			defer wg.Done()
-			results[i], errs[i] = m.BuildFromRelation(txnID, snap, pl.Sel, overrides, pl.Methods)
-		}(i, m, snaps[p])
+			defer ssp.Finish()
+			results[i], errs[i] = m.BuildFromRelationTraced(txnID, snap, pl.Sel, overrides, pl.Methods, ssp)
+		}(i, m, snaps[p], ssp)
 	}
 	wg.Wait()
 	union := &relalg.Relation{}
@@ -247,7 +280,10 @@ func (r *Router) executeShardLocal(txnID int64, sel *sqlparse.SelectStmt, pl *pl
 		union.Rows = append(union.Rows, results[i].Rows...)
 	}
 	atomic.AddInt64(&r.stats.RowsGathered, int64(len(union.Rows)))
-	return relalg.ExecuteSelect(union, pl.Sel, relalg.Options{Parallelism: r.Slices()})
+	msp := sp.Child("merge")
+	rel, err := relalg.ExecuteSelect(union, pl.Sel, relalg.Options{Parallelism: r.Slices()})
+	msp.Finish()
+	return rel, err
 }
 
 // pruneTarget inspects the WHERE clause for a "distKey = literal" conjunct on
@@ -304,7 +340,7 @@ func equalityOperands(b *sqlparse.BinaryExpr) (*sqlparse.ColumnRef, *sqlparse.Li
 // subqueries recurse through the router, and the complete statement executes
 // over the union — the same structure as Accelerator.Query, with the fleet
 // standing in for the slices.
-func (r *Router) executeGather(txnID int64, sel *sqlparse.SelectStmt, pl *planner.Plan) (*relalg.Relation, error) {
+func (r *Router) executeGather(txnID int64, sel *sqlparse.SelectStmt, pl *planner.Plan, sp *obs.Span) (*relalg.Relation, error) {
 	// One snapshot per member for the whole statement, taken under the commit
 	// fence, so the scans of a multi-table join observe each shard at a
 	// single, mutually consistent point in time.
@@ -338,21 +374,26 @@ func (r *Router) executeGather(txnID int64, sel *sqlparse.SelectStmt, pl *planne
 		ms[m].NoteQuery()
 	}
 
-	from, err := r.buildFrom(txnID, ms, snaps, execSel, pl, methods)
+	from, err := r.buildFrom(txnID, ms, snaps, execSel, pl, methods, sp)
 	if err != nil {
 		return nil, err
 	}
-	return relalg.ExecuteSelect(from, execSel, relalg.Options{Parallelism: r.Slices()})
+	esp := sp.Child("merge")
+	rel, err := relalg.ExecuteSelect(from, execSel, relalg.Options{Parallelism: r.Slices()})
+	esp.Finish()
+	return rel, err
 }
 
-func (r *Router) buildFrom(txnID int64, ms []*accel.Accelerator, snaps []*accel.Snapshot, sel *sqlparse.SelectStmt, pl *planner.Plan, methods []relalg.JoinMethod) (*relalg.Relation, error) {
+func (r *Router) buildFrom(txnID int64, ms []*accel.Accelerator, snaps []*accel.Snapshot, sel *sqlparse.SelectStmt, pl *planner.Plan, methods []relalg.JoinMethod, sp *obs.Span) (*relalg.Relation, error) {
 	if len(sel.From) == 0 {
 		return relalg.JoinAll(nil, nil, r.Slices())
 	}
 	rels := make([]*relalg.Relation, len(sel.From))
 	for i, item := range sel.From {
 		if item.Subquery != nil {
-			sub, err := r.Query(txnID, item.Subquery)
+			ssp := sp.Child("subquery")
+			sub, err := r.QueryTraced(txnID, item.Subquery, ssp)
+			ssp.Finish()
 			if err != nil {
 				return nil, err
 			}
@@ -371,7 +412,7 @@ func (r *Router) buildFrom(txnID int64, ms []*accel.Accelerator, snaps []*accel.
 				members = participantsOf(len(ms), pl.Scans[i].Candidates, false)
 			}
 		}
-		rows, err := r.gatherRows(ms, members, snaps, item, sel)
+		rows, err := r.gatherRows(ms, members, snaps, item, sel, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -384,7 +425,11 @@ func (r *Router) buildFrom(txnID int64, ms []*accel.Accelerator, snaps []*accel.
 // concatenates the results in shard order. Simple WHERE conjuncts are pushed
 // into each shard's scan so zone maps prune on the shards, not at the
 // coordinator.
-func (r *Router) gatherRows(ms []*accel.Accelerator, members []int, snaps []*accel.Snapshot, item sqlparse.FromItem, sel *sqlparse.SelectStmt) ([]types.Row, error) {
+func (r *Router) gatherRows(ms []*accel.Accelerator, members []int, snaps []*accel.Snapshot, item sqlparse.FromItem, sel *sqlparse.SelectStmt, sp *obs.Span) ([]types.Row, error) {
+	gsp := sp.Child("gather")
+	gsp.Label(obs.LabelTable, types.NormalizeName(item.Name()))
+	gsp.Add(obs.KeyShards, int64(len(members)))
+	defer gsp.Finish()
 	results := make([][]types.Row, len(members))
 	errs := make([]error, len(members))
 	var wg sync.WaitGroup
@@ -392,7 +437,7 @@ func (r *Router) gatherRows(ms []*accel.Accelerator, members []int, snaps []*acc
 		wg.Add(1)
 		go func(i int, m *accel.Accelerator, snap *accel.Snapshot) {
 			defer wg.Done()
-			results[i], errs[i] = m.ScanVisible(snap, item.Table, sel, item)
+			results[i], errs[i] = m.ScanVisibleTraced(snap, item.Table, sel, item, gsp)
 		}(i, ms[p], snaps[p])
 	}
 	wg.Wait()
@@ -415,16 +460,22 @@ func (r *Router) gatherRows(ms []*accel.Accelerator, members []int, snaps []*acc
 // each under its snapshot from the fenced set — and returns the union of the
 // result relations (columns taken from the first shard; every shard produces
 // the identical column layout).
-func (r *Router) scatterQuery(txnID int64, sel *sqlparse.SelectStmt, ms []*accel.Accelerator, snaps []*accel.Snapshot, members []int) (*relalg.Relation, error) {
+func (r *Router) scatterQuery(txnID int64, sel *sqlparse.SelectStmt, ms []*accel.Accelerator, snaps []*accel.Snapshot, members []int, sp *obs.Span) (*relalg.Relation, error) {
+	ssp := sp.Child("scatter")
+	ssp.Add(obs.KeyShards, int64(len(members)))
+	defer ssp.Finish()
 	results := make([]*relalg.Relation, len(members))
 	errs := make([]error, len(members))
 	var wg sync.WaitGroup
 	for i, p := range members {
+		qsp := ssp.Child("shard")
+		qsp.Label(obs.LabelShard, ms[p].Name())
 		wg.Add(1)
-		go func(i int, m *accel.Accelerator, snap *accel.Snapshot) {
+		go func(i int, m *accel.Accelerator, snap *accel.Snapshot, qsp *obs.Span) {
 			defer wg.Done()
-			results[i], errs[i] = m.QueryAt(txnID, snap, sel)
-		}(i, ms[p], snaps[p])
+			defer qsp.Finish()
+			results[i], errs[i] = m.QueryAtTraced(txnID, snap, sel, qsp)
+		}(i, ms[p], snaps[p], qsp)
 	}
 	wg.Wait()
 	union := &relalg.Relation{}
@@ -444,18 +495,21 @@ func (r *Router) scatterQuery(txnID int64, sel *sqlparse.SelectStmt, ms []*accel
 // executeTwoPhase scatters the partial-aggregate statement to the members
 // (all of them when members is nil) and finalises the merged partials at the
 // coordinator.
-func (r *Router) executeTwoPhase(txnID int64, plan *twoPhasePlan, members []int) (*relalg.Relation, error) {
+func (r *Router) executeTwoPhase(txnID int64, plan *twoPhasePlan, members []int, sp *obs.Span) (*relalg.Relation, error) {
 	ms, snaps := r.snapshotAll(txnID)
 	if members == nil {
 		members = allOrdinals(len(ms))
 	}
-	return r.executeTwoPhaseOn(txnID, plan, ms, snaps, members)
+	return r.executeTwoPhaseOn(txnID, plan, ms, snaps, members, sp)
 }
 
-func (r *Router) executeTwoPhaseOn(txnID int64, plan *twoPhasePlan, ms []*accel.Accelerator, snaps []*accel.Snapshot, members []int) (*relalg.Relation, error) {
-	union, err := r.scatterQuery(txnID, plan.shardSel, ms, snaps, members)
+func (r *Router) executeTwoPhaseOn(txnID int64, plan *twoPhasePlan, ms []*accel.Accelerator, snaps []*accel.Snapshot, members []int, sp *obs.Span) (*relalg.Relation, error) {
+	union, err := r.scatterQuery(txnID, plan.shardSel, ms, snaps, members, sp)
 	if err != nil {
 		return nil, err
 	}
-	return relalg.ExecuteSelect(union, plan.finalSel, relalg.Options{Parallelism: r.Slices()})
+	fsp := sp.Child("finalize")
+	rel, err := relalg.ExecuteSelect(union, plan.finalSel, relalg.Options{Parallelism: r.Slices()})
+	fsp.Finish()
+	return rel, err
 }

@@ -201,8 +201,13 @@ type SetStmt struct {
 func (*SetStmt) stmt() {}
 
 // ExplainStmt wraps another statement and asks for its routing decision and
-// execution plan.
-type ExplainStmt struct{ Target Statement }
+// execution plan. With Analyze set (EXPLAIN ANALYZE <stmt>) the target is
+// also executed and the plan is annotated with per-operator actual rows and
+// elapsed time next to the planner's estimates.
+type ExplainStmt struct {
+	Target  Statement
+	Analyze bool
+}
 
 func (*ExplainStmt) stmt() {}
 

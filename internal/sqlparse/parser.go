@@ -189,11 +189,12 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseSet()
 	case "EXPLAIN":
 		p.advance()
+		analyze := p.acceptKeyword("ANALYZE")
 		target, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Target: target}, nil
+		return &ExplainStmt{Target: target, Analyze: analyze}, nil
 	case "ANALYZE":
 		p.advance()
 		p.acceptKeyword("TABLE")

@@ -1,0 +1,56 @@
+package idaax
+
+import (
+	"time"
+
+	"idaax/internal/obs"
+)
+
+// ObservabilityReport is a point-in-time snapshot of every registered metric:
+// counters (statement totals, errors), gauges (movement, routing, accelerator
+// activity, rebalance progress, CDC replication lag) and latency histograms
+// (per query class, with p50/p95/p99).
+type ObservabilityReport = obs.Report
+
+// HistogramSnapshot summarises one latency histogram.
+type HistogramSnapshot = obs.HistogramSnapshot
+
+// QueryRecord is one statement's entry in the query history. Slow statements
+// (at or above the slow-query threshold) carry their full rendered trace.
+type QueryRecord = obs.QueryRecord
+
+// ObservabilityReport snapshots the system's metrics registry. The same data
+// is reachable from SQL via CALL SYSPROC.ACCEL_METRICS.
+func (s *System) ObservabilityReport() ObservabilityReport {
+	return s.coord.Obs.Snapshot()
+}
+
+// MetricsText renders the metrics registry in Prometheus exposition format —
+// the text a /metrics endpoint would serve.
+func (s *System) MetricsText() string {
+	return s.coord.Obs.Text()
+}
+
+// QueryHistory returns up to n of the most recently executed statements,
+// newest first (n <= 0 returns everything retained; the ring holds
+// Config.QueryHistorySize statements).
+func (s *System) QueryHistory(n int) []QueryRecord {
+	return s.coord.History.Recent(n)
+}
+
+// SlowQueries returns up to n of the most recent statements that crossed the
+// slow-query threshold, newest first, each with its full trace attached.
+func (s *System) SlowQueries(n int) []QueryRecord {
+	return s.coord.History.SlowQueries(n)
+}
+
+// SetSlowQueryThreshold changes the latency at or above which a statement's
+// trace is captured into the slow-query log (0 or negative disables it).
+func (s *System) SetSlowQueryThreshold(d time.Duration) {
+	s.coord.History.SetSlowThreshold(d)
+}
+
+// SlowQueryThreshold returns the current slow-query threshold (0 = disabled).
+func (s *System) SlowQueryThreshold() time.Duration {
+	return s.coord.History.SlowThreshold()
+}

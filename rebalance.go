@@ -16,6 +16,9 @@ type RebalanceStatus struct {
 	// created; Batches counts the committed migration batches behind them.
 	RowsMigrated int64
 	Batches      int64
+	// RowsPerSec is the live migration rate of the running rebalance (0 when
+	// the rebalancer is idle).
+	RowsPerSec float64
 	// LastError is the most recent rebalance failure ("" when none).
 	LastError string
 }
@@ -88,6 +91,7 @@ func toRebalanceStatus(st shard.RebalanceStatus) RebalanceStatus {
 		MigratingTables: st.MigratingTables,
 		RowsMigrated:    st.RowsMigrated,
 		Batches:         st.Batches,
+		RowsPerSec:      st.RowsPerSec,
 		LastError:       st.LastError,
 	}
 }

@@ -31,6 +31,9 @@ func New(cfg Config) *System {
 		ShardGroup:      cfg.ShardGroupName,
 		LockTimeout:     cfg.LockTimeout,
 		AdminUser:       cfg.AdminUser,
+
+		QueryHistorySize:   cfg.QueryHistorySize,
+		SlowQueryThreshold: cfg.SlowQueryThreshold,
 	})
 	if !cfg.DisableAnalytics {
 		analytics.RegisterAll(coord.Procs, cfg.AnalyticsPublic)
@@ -117,6 +120,9 @@ type AcceleratorStats struct {
 	// VectorizedQueries counts statements executed by the vectorized batch
 	// engine (see SetVectorizedExecution).
 	VectorizedQueries int64
+	// VexecFallbacks counts statements the vectorized engine declined
+	// (unsupported shape) that fell back to the row-at-a-time path.
+	VexecFallbacks int64
 }
 
 // AcceleratorStats returns activity counters for the named accelerator (empty
@@ -140,6 +146,7 @@ func toAcceleratorStats(name string, st accel.Stats) AcceleratorStats {
 		RowsIngested:      st.RowsIngested,
 		DMLStatements:     st.DMLStatements,
 		VectorizedQueries: st.VectorizedQueries,
+		VexecFallbacks:    st.VexecFallbacks,
 	}
 }
 
