@@ -1,0 +1,108 @@
+// Command idaaserver runs a system with its operations HTTP server: the
+// Prometheus /metrics endpoint, /healthz and /readyz probes, the /events
+// journal, /queries history, the /fleet capacity view and /debug/pprof/. With
+// -demo it loads a small sharded dataset and runs a background query loop so
+// every endpoint has live data to show.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"idaax"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "ops server listen address")
+	shards := flag.Int("shards", 3, "accelerators in the fleet (>=2 registers a shard group)")
+	demo := flag.Bool("demo", false, "load a demo dataset and run a background query loop")
+	watchdog := flag.Duration("watchdog", time.Second, "health watchdog evaluation interval")
+	flag.Parse()
+
+	var accels []idaax.AcceleratorConfig
+	for i := 0; i < *shards; i++ {
+		accels = append(accels, idaax.AcceleratorConfig{Name: fmt.Sprintf("IDAA%d", i+1)})
+	}
+	sys := idaax.New(idaax.Config{
+		Accelerators:     accels,
+		AnalyticsPublic:  true,
+		WatchdogInterval: *watchdog,
+	})
+	defer sys.Close()
+
+	stop := make(chan struct{})
+	if *demo {
+		if err := loadDemo(sys, *shards); err != nil {
+			fmt.Fprintln(os.Stderr, "demo load:", err)
+			os.Exit(1)
+		}
+		go queryLoop(sys, stop)
+	}
+
+	srv, err := sys.ServeOps(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("ops server listening on http://%s (endpoints: /metrics /healthz /readyz /events /queries /fleet /debug/pprof/)\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stop)
+	fmt.Println("shutting down")
+}
+
+// loadDemo creates a sharded orders table and fills it with enough rows that
+// the fleet gauges and zone maps have something to report.
+func loadDemo(sys *idaax.System, shards int) error {
+	s := sys.AdminSession()
+	target := "IDAA1"
+	if shards >= 2 {
+		target = "SHARDS"
+	}
+	stmts := []string{
+		fmt.Sprintf("CREATE TABLE orders (id BIGINT, customer BIGINT, region VARCHAR(16), amount DOUBLE) IN ACCELERATOR %s DISTRIBUTE BY HASH(customer)", target),
+	}
+	for _, stmt := range stmts {
+		if _, err := s.Exec(stmt); err != nil {
+			return err
+		}
+	}
+	regions := []string{"EMEA", "APAC", "AMER", "LATAM"}
+	for i := 0; i < 20000; i++ {
+		stmt := fmt.Sprintf("INSERT INTO orders VALUES (%d, %d, '%s', %.2f)",
+			i, i%997, regions[i%len(regions)], float64(i%5000)/7.0)
+		if _, err := s.Exec(stmt); err != nil {
+			return err
+		}
+	}
+	_, err := s.Exec("ANALYZE TABLE orders")
+	return err
+}
+
+// queryLoop keeps the history, histograms and event journal moving.
+func queryLoop(sys *idaax.System, stop <-chan struct{}) {
+	s := sys.AdminSession()
+	queries := []string{
+		"SELECT region, COUNT(*), SUM(amount) FROM orders GROUP BY region",
+		"SELECT COUNT(*) FROM orders WHERE amount > 500",
+		"SELECT customer, SUM(amount) FROM orders WHERE region = 'EMEA' GROUP BY customer",
+	}
+	i := 0
+	ticker := time.NewTicker(500 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			_, _ = s.Query(queries[i%len(queries)])
+			i++
+		}
+	}
+}

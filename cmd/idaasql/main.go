@@ -9,9 +9,11 @@
 //	idaa> INSERT INTO t VALUES (1, 2.5);
 //	idaa> EXPLAIN ANALYZE SELECT * FROM t;
 //
-// The shell also has a psql-style "\timing" toggle that prints each
-// statement's elapsed wall time, and EXPLAIN ANALYZE renders the plan with
-// per-operator actual rows and time next to the planner's estimates.
+// The shell also has psql-style meta-commands: "\timing" toggles printing
+// each statement's elapsed wall time, "\health" prints the per-component
+// health report, and "\events [n]" prints the n most recent journal events
+// (default 20). EXPLAIN ANALYZE renders the plan with per-operator actual
+// rows and time next to the planner's estimates.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -53,7 +56,7 @@ func main() {
 	}
 
 	fmt.Println("idaax SQL shell — DB2 host + accelerator", "(user", *user+")")
-	fmt.Println(`Type SQL statements terminated by ';'. Try "SHOW TABLES;", "EXPLAIN ANALYZE SELECT ...;", "\timing" or "\q" to quit.`)
+	fmt.Println(`Type SQL statements terminated by ';'. Try "SHOW TABLES;", "EXPLAIN ANALYZE SELECT ...;", "\timing", "\health", "\events [n]" or "\q" to quit.`)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
 	var buffer strings.Builder
@@ -76,6 +79,14 @@ func main() {
 			} else {
 				fmt.Println("Timing is off.")
 			}
+			continue
+		}
+		if trimmed == `\health` {
+			printHealth(sys)
+			continue
+		}
+		if trimmed == `\events` || strings.HasPrefix(trimmed, `\events `) {
+			printEvents(sys, trimmed)
 			continue
 		}
 		if trimmed == "" {
@@ -105,5 +116,48 @@ func main() {
 		if timing {
 			fmt.Printf("Time: %.3f ms\n", float64(elapsed)/float64(time.Millisecond))
 		}
+	}
+}
+
+// printHealth renders the fleet health verdict and every component line.
+func printHealth(sys *idaax.System) {
+	rep := sys.HealthReport()
+	fmt.Printf("fleet: %s\n", rep.Status)
+	for _, c := range rep.Components {
+		line := fmt.Sprintf("  %-16s %s", c.Name, c.Status)
+		if c.Detail != "" {
+			line += " — " + c.Detail
+		}
+		if c.Watchdog {
+			line += " [watchdog]"
+		}
+		fmt.Println(line)
+	}
+}
+
+// printEvents renders the n most recent journal events (default 20),
+// newest first: "\events" or "\events 50".
+func printEvents(sys *idaax.System, cmd string) {
+	n := 20
+	if rest := strings.TrimSpace(strings.TrimPrefix(cmd, `\events`)); rest != "" {
+		v, err := strconv.Atoi(rest)
+		if err != nil || v < 0 {
+			fmt.Printf("usage: \\events [n] (got %q)\n", rest)
+			return
+		}
+		n = v
+	}
+	evs, err := sys.Events(n, "")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if len(evs) == 0 {
+		fmt.Println("no events")
+		return
+	}
+	for _, e := range evs {
+		line := fmt.Sprintf("%s  %-5s %-20s %s", e.Time.Format("15:04:05.000"), e.Severity, e.Type, e.Message)
+		fmt.Println(line)
 	}
 }

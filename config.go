@@ -71,6 +71,17 @@ type Config struct {
 	// negative value disables slow-query capture). Tune at runtime with
 	// System.SetSlowQueryThreshold.
 	SlowQueryThreshold time.Duration
+	// EventLogSize sets how many events the structured journal retains
+	// (default 1024; the oldest are overwritten).
+	EventLogSize int
+	// WatchdogInterval is the health watchdog's rule-evaluation period
+	// (default 1s). The watchdog starts with ServeOps or
+	// StartHealthWatchdog, and stops with Close.
+	WatchdogInterval time.Duration
+	// CDCLagThreshold is the replication apply lag at which the watchdog
+	// degrades the replication component and journals a cdc_lag_high event
+	// (default 5s).
+	CDCLagThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {

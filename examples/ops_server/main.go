@@ -1,0 +1,125 @@
+// ops_server is a tour of the operations plane: a sharded fleet with the ops
+// HTTP server live, driven by a short burst of SQL so every endpoint has
+// something to show. It scrapes its own endpoints and prints excerpts — the
+// Prometheus exposition, the health report before and after a watchdog-visible
+// incident (a rebalance pinned by an uncommitted transaction), the event
+// journal and the fleet capacity view — then shows the same journal through
+// SQL via CALL SYSPROC.ACCEL_EVENTS.
+//
+//	go run ./examples/ops_server
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"idaax"
+)
+
+func get(addr, path string) string {
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		panic(err)
+	}
+	return fmt.Sprintf("HTTP %d\n%s", resp.StatusCode, body)
+}
+
+func main() {
+	sys := idaax.New(idaax.Config{
+		Accelerators: []idaax.AcceleratorConfig{
+			{Name: "IDAA1", Slices: 2}, {Name: "IDAA2", Slices: 2},
+		},
+		AnalyticsPublic:  true,
+		WatchdogInterval: 20 * time.Millisecond,
+	})
+	defer sys.Close()
+
+	// A sharded table gives the fleet endpoints real capacity to report.
+	s := sys.AdminSession()
+	s.MustExec("CREATE TABLE metrics (id BIGINT, region VARCHAR(8), v DOUBLE) IN ACCELERATOR SHARDS DISTRIBUTE BY HASH(id)")
+	regions := []string{"EMEA", "APAC", "AMER"}
+	var rows []string
+	for i := 0; i < 3000; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, '%s', %.1f)", i, regions[i%3], float64(i%100)))
+	}
+	s.MustExec("INSERT INTO metrics VALUES " + strings.Join(rows, ", "))
+	s.MustExec("ANALYZE TABLE metrics")
+	for i := 0; i < 5; i++ {
+		if _, err := s.Query("SELECT region, COUNT(*), SUM(v) FROM metrics GROUP BY region"); err != nil {
+			panic(err)
+		}
+	}
+
+	srv, err := sys.ServeOps("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ops server on http://%s — /metrics /healthz /readyz /events /queries /fleet /debug/pprof/\n\n", srv.Addr())
+
+	fmt.Println("--- /metrics (excerpt) ---")
+	for _, line := range strings.Split(get(srv.Addr(), "/metrics"), "\n") {
+		if strings.HasPrefix(line, "fleet_") || strings.HasPrefix(line, "health_status") || strings.HasPrefix(line, "stmt_total") {
+			fmt.Println(line)
+		}
+	}
+
+	fmt.Println("\n--- /healthz (fleet healthy) ---")
+	fmt.Println(get(srv.Addr(), "/healthz"))
+
+	fmt.Println("--- /fleet ---")
+	fmt.Println(get(srv.Addr(), "/fleet"))
+
+	// Incident: pin row fates with an uncommitted transaction, then grow the
+	// fleet. The rebalancer cannot finalize while the inserts are in flight;
+	// after a few intervals with no progress the watchdog declares the
+	// rebalance stalled and /healthz flips to 503.
+	fmt.Println("--- incident: rebalance pinned by an open transaction ---")
+	s.MustExec("BEGIN")
+	var pinned []string
+	for i := 900000; i < 900040; i++ {
+		pinned = append(pinned, fmt.Sprintf("(%d, 'EMEA', 1.0)", i))
+	}
+	s.MustExec("INSERT INTO metrics VALUES " + strings.Join(pinned, ", "))
+	if err := sys.AddShardMember("SHARDS", "IDAA3", 2); err != nil {
+		panic(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if !sys.HealthReport().Healthy() {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Println(get(srv.Addr(), "/healthz"))
+
+	fmt.Println("--- recovery: COMMIT releases the pinned rows ---")
+	s.MustExec("COMMIT")
+	if err := sys.WaitForRebalance("SHARDS"); err != nil {
+		panic(err)
+	}
+	for time.Now().Before(deadline) {
+		if sys.HealthReport().Ready() {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Println(get(srv.Addr(), "/readyz"))
+
+	fmt.Println("--- /events?n=8 (journal, newest first) ---")
+	fmt.Println(get(srv.Addr(), "/events?n=8"))
+
+	fmt.Println("--- the same journal over SQL ---")
+	res, err := s.Query("CALL SYSPROC.ACCEL_EVENTS(5)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.FormatTable())
+}

@@ -9,6 +9,7 @@ import (
 
 	"idaax/internal/colstore"
 	"idaax/internal/expr"
+	"idaax/internal/obs"
 	"idaax/internal/sqlparse"
 	"idaax/internal/stats"
 	"idaax/internal/types"
@@ -42,6 +43,7 @@ type Accelerator struct {
 	vectorizedOff int64
 
 	queriesRun        int64
+	queryErrors       int64
 	rowsScanned       int64
 	blocksPruned      int64
 	rowsIngested      int64
@@ -53,7 +55,11 @@ type Accelerator struct {
 
 // Stats is a snapshot of accelerator activity counters.
 type Stats struct {
-	QueriesRun    int64
+	QueriesRun int64
+	// QueryErrors counts statements that failed on this accelerator (scan or
+	// execution errors); the ops watchdog's error-streak rule watches its
+	// growth.
+	QueryErrors   int64
 	RowsScanned   int64
 	BlocksPruned  int64
 	RowsIngested  int64
@@ -98,6 +104,7 @@ func (a *Accelerator) Stats() Stats {
 	a.mu.RUnlock()
 	return Stats{
 		QueriesRun:        atomic.LoadInt64(&a.queriesRun),
+		QueryErrors:       atomic.LoadInt64(&a.queryErrors),
 		RowsScanned:       atomic.LoadInt64(&a.rowsScanned),
 		BlocksPruned:      atomic.LoadInt64(&a.blocksPruned),
 		RowsIngested:      atomic.LoadInt64(&a.rowsIngested),
@@ -201,6 +208,23 @@ func (a *Accelerator) TableNames() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Resources reports the accelerator's storage footprint in per-table,
+// per-column detail for the ops plane's resource accounting.
+func (a *Accelerator) Resources() obs.StoreResources {
+	a.mu.RLock()
+	tables := make([]*colstore.Table, 0, len(a.tables))
+	for _, t := range a.tables {
+		tables = append(tables, t)
+	}
+	a.mu.RUnlock()
+	sort.Slice(tables, func(i, j int) bool { return tables[i].Name() < tables[j].Name() })
+	res := obs.StoreResources{Member: a.name}
+	for _, t := range tables {
+		res.AddTable(t.Resources())
+	}
+	return res
 }
 
 // ---------------------------------------------------------------------------

@@ -24,6 +24,11 @@ type Backend interface {
 	// Stats returns activity counters, aggregated over all shards for a
 	// sharded backend.
 	Stats() Stats
+	// Resources reports the backend's storage footprint (per-table/per-column
+	// bytes, block and zone-map counts) for the ops plane's resource
+	// accounting; a sharded backend aggregates over its members (per-member
+	// detail stays on shard.Router.FleetResources).
+	Resources() obs.StoreResources
 
 	// DDL.
 	CreateTable(name string, schema types.Schema, distKey string) error

@@ -45,8 +45,13 @@ func (a *Accelerator) QueryAt(txnID int64, snap *Snapshot, sel *sqlparse.SelectS
 }
 
 // QueryAtTraced is QueryAt with a trace span (nil disables tracing).
-func (a *Accelerator) QueryAtTraced(txnID int64, snap *Snapshot, sel *sqlparse.SelectStmt, sp *obs.Span) (*relalg.Relation, error) {
+func (a *Accelerator) QueryAtTraced(txnID int64, snap *Snapshot, sel *sqlparse.SelectStmt, sp *obs.Span) (rel *relalg.Relation, err error) {
 	atomic.AddInt64(&a.queriesRun, 1)
+	defer func() {
+		if err != nil {
+			atomic.AddInt64(&a.queryErrors, 1)
+		}
+	}()
 	sel, methods := a.planStatement(sel)
 	if rel, handled, err := a.tryVectorized(snap, sel, sp); handled {
 		if err != nil {
@@ -59,7 +64,7 @@ func (a *Accelerator) QueryAtTraced(txnID int64, snap *Snapshot, sel *sqlparse.S
 	if err != nil {
 		return nil, err
 	}
-	rel, err := relalg.ExecuteSelect(from, sel, relalg.Options{Parallelism: a.slices})
+	rel, err = relalg.ExecuteSelect(from, sel, relalg.Options{Parallelism: a.slices})
 	if err != nil {
 		return nil, err
 	}
@@ -253,6 +258,7 @@ func (a *Accelerator) ScanVisible(snap *Snapshot, table string, sel *sqlparse.Se
 func (a *Accelerator) ScanVisibleTraced(snap *Snapshot, table string, sel *sqlparse.SelectStmt, item sqlparse.FromItem, sp *obs.Span) ([]types.Row, error) {
 	t, err := a.Table(table)
 	if err != nil {
+		atomic.AddInt64(&a.queryErrors, 1)
 		return nil, err
 	}
 	sc := a.startScanSpan(sp, item.Name())

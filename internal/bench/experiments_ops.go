@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"idaax"
+)
+
+// opsScrapeInterval is the cadence of each concurrent scraper in E15's
+// scraped windows. 5ms per endpoint is hundreds of scrapes per second —
+// orders of magnitude above a real Prometheus cadence (seconds) — so the
+// measured overhead is a stress ceiling, not a typical cost. The scrapers
+// are throttled rather than hammering in a tight loop so that on small CI
+// runners the metric reflects instrumentation cost on the query path, not
+// raw CPU starvation.
+const opsScrapeInterval = 5 * time.Millisecond
+
+// RunE15OpsOverhead measures what being scraped costs on the hot query path:
+// the E13/E14 scan-filter and grouped-aggregation workloads executed through
+// the full session layer on a system whose operations plane is live (ops
+// HTTP server up, health watchdog running), timed in interleaved windows —
+// one with the scrapers paused, one with three scrapers polling /metrics,
+// /healthz and /events on a tight cadence. Both windows run the identical
+// statements on the identical system back to back, so shared-runner noise
+// hits both modes and the ratio isolates the cost of concurrent scrapes
+// contending with queries for the registry, journal and health tracker.
+func RunE15OpsOverhead(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E15",
+		Title:   "Operations plane overhead under concurrent scrapes",
+		Columns: []string{"ROWS", "QUERY", "MODE", "ELAPSED_MS", "ROWS_PER_SEC", "OVERHEAD"},
+	}
+	sizes := []int{scale.QueryRows[0], scale.QueryRows[len(scale.QueryRows)-1]}
+	queries := []struct {
+		key string
+		sql string
+	}{
+		{"scan_filter", "SELECT id, v1, q FROM vx WHERE q >= 4 AND v1 > 650 AND q < 44 AND cat <> 'c-3'"},
+		{"groupby", "SELECT grp, COUNT(*), SUM(v1), AVG(v2), MIN(q), MAX(q) FROM vx GROUP BY grp"},
+	}
+
+	for si, rows := range sizes {
+		iters := 250000 / rows
+		if iters < 5 {
+			iters = 5
+		}
+
+		sys := idaax.New(idaax.Config{
+			AcceleratorSlices: scale.Slices,
+			AnalyticsPublic:   true,
+			WatchdogInterval:  50 * time.Millisecond,
+		})
+		if err := setupVectorTable(sys, rows); err != nil {
+			sys.Close()
+			return nil, err
+		}
+		session := sys.AdminSession()
+		srv, err := sys.ServeOps("127.0.0.1:0")
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+
+		// Scrapers run for the whole experiment but only issue requests while
+		// scraping is enabled, so the paused and scraped windows interleave on
+		// the same live system.
+		var scraping atomic.Bool
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		client := &http.Client{Timeout: 5 * time.Second}
+		for _, path := range []string{"/metrics", "/healthz", "/events?n=50"} {
+			wg.Add(1)
+			go func(p string) {
+				defer wg.Done()
+				ticker := time.NewTicker(opsScrapeInterval)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-ticker.C:
+						if !scraping.Load() {
+							continue
+						}
+						resp, err := client.Get("http://" + srv.Addr() + p)
+						if err == nil {
+							_, _ = io.Copy(io.Discard, resp.Body)
+							resp.Body.Close()
+						}
+					}
+				}
+			}(path)
+		}
+
+		runExp := func() error {
+			for _, q := range queries {
+				// Warm up code paths and caches before the timed windows.
+				for i := 0; i < 2; i++ {
+					if _, err := session.Query(q.sql); err != nil {
+						return err
+					}
+				}
+
+				window := func() (time.Duration, error) {
+					// Start every window with a clean heap so a GC cycle
+					// triggered by the previous window's garbage cannot land
+					// in this one and masquerade as scrape overhead.
+					runtime.GC()
+					start := time.Now()
+					for i := 0; i < iters; i++ {
+						if _, err := session.Query(q.sql); err != nil {
+							return 0, err
+						}
+					}
+					return time.Since(start), nil
+				}
+
+				// Interleave paused and scraped windows and keep the best of
+				// each: a noise spike lands on one repetition, not one mode,
+				// and best-vs-best discards it.
+				var bestIdle, bestOps time.Duration
+				for rep := 0; rep < 7; rep++ {
+					scraping.Store(false)
+					time.Sleep(2 * opsScrapeInterval) // let in-flight scrapes drain
+					idle, err := window()
+					if err != nil {
+						return err
+					}
+					scraping.Store(true)
+					time.Sleep(2 * opsScrapeInterval) // let scrapers spin up
+					ops, err := window()
+					if err != nil {
+						return err
+					}
+					if bestIdle == 0 || idle < bestIdle {
+						bestIdle = idle
+					}
+					if bestOps == 0 || ops < bestOps {
+						bestOps = ops
+					}
+				}
+				scraping.Store(false)
+
+				overhead := float64(bestOps) / float64(bestIdle)
+				for _, m := range []struct {
+					mode     string
+					elapsed  time.Duration
+					overhead string
+				}{
+					{"idle", bestIdle, "1.00x"},
+					{"scraped", bestOps, fmt.Sprintf("%.2fx", overhead)},
+				} {
+					rate := float64(rows*iters) / m.elapsed.Seconds()
+					t.AddRow(itoa(rows), q.key, m.mode, ms(m.elapsed), fmt.Sprintf("%.0f", rate), m.overhead)
+					t.AddMetric(fmt.Sprintf("%s_rows_per_sec_%s_scale%d", q.key, m.mode, si+1), rate, true)
+				}
+				t.AddMetric(fmt.Sprintf("%s_overhead_scale%d", q.key, si+1), overhead, false)
+			}
+			return nil
+		}
+		err = runExp()
+		close(stop)
+		wg.Wait()
+		sys.Close()
+		if err != nil {
+			return nil, fmt.Errorf("E15: %w", err)
+		}
+	}
+	t.AddNote("Both modes run the identical SQL through the full session layer (spans, histograms, history, journal) on a system whose ops plane is live: HTTP server up, health watchdog evaluating its rules every 50ms. scraped adds three scrapers polling /metrics, /healthz and /events every 5ms, reading the registry, health tracker, fleet gauges and journal concurrently with the workload.")
+	t.AddNote("OVERHEAD is scraped/idle elapsed (best of seven interleaved windows each); the CI baseline gates it at ~5%% so the system can be scraped in production without budgeting for it.")
+	return t, nil
+}

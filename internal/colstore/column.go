@@ -215,6 +215,16 @@ func (c *Column) ApproxBytes() int64 {
 	return b
 }
 
+// Blocks returns the number of ZoneBlockSize row blocks the column spans.
+func (c *Column) Blocks() int { return len(c.zoneMin) }
+
+// ZoneMapEntries counts the zone-map slots maintained for the column: a
+// numeric min/max pair per block, plus a string min/max pair per block for
+// string columns. Feeds the resource accounting of the ops plane.
+func (c *Column) ZoneMapEntries() int {
+	return len(c.zoneMin) + len(c.zoneStrOk)
+}
+
 func (c *Column) String() string {
 	return fmt.Sprintf("Column{kind=%s, len=%d}", c.Kind, c.Len())
 }

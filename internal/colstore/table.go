@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"idaax/internal/obs"
 	"idaax/internal/stats"
 	"idaax/internal/types"
 )
@@ -189,6 +190,34 @@ func (t *Table) ApproxBytes() int64 {
 	}
 	b += int64(len(t.created)+len(t.deleted)+len(t.srcIDs)) * 8
 	return b
+}
+
+// Resources reports the table's storage footprint in per-column detail:
+// bytes, row-block counts and zone-map slots, for the ops plane's resource
+// accounting. Rows counts row versions (deleted-but-unswept included), so the
+// number also surfaces version-sweep debt.
+func (t *Table) Resources() obs.TableResources {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	res := obs.TableResources{Table: t.name, Rows: int64(len(t.created))}
+	for i, c := range t.cols {
+		cr := obs.ColumnResources{
+			Name:           t.schema.Columns[i].Name,
+			Kind:           c.Kind.String(),
+			Bytes:          c.ApproxBytes(),
+			Blocks:         c.Blocks(),
+			ZoneMapEntries: c.ZoneMapEntries(),
+		}
+		res.Bytes += cr.Bytes
+		res.ZoneMapEntries += cr.ZoneMapEntries
+		if cr.Blocks > res.Blocks {
+			res.Blocks = cr.Blocks
+		}
+		res.Columns = append(res.Columns, cr)
+	}
+	// Version metadata (created/deleted txn ids, source row ids).
+	res.Bytes += int64(len(t.created)+len(t.deleted)+len(t.srcIDs)) * 8
+	return res
 }
 
 // Insert appends new row versions created by txnID. Rows are validated and

@@ -228,3 +228,45 @@ func TestColumnKindsAndNulls(t *testing.T) {
 		t.Error("string column properties")
 	}
 }
+
+func TestTableResources(t *testing.T) {
+	tab := NewTable("T", testSchema(), "ID")
+	rows := make([]types.Row, ZoneBlockSize+10) // span two blocks
+	for i := range rows {
+		rows[i] = row(int64(i), float64(i), "abc")
+	}
+	if _, err := tab.Insert(1, rows); err != nil {
+		t.Fatal(err)
+	}
+	res := tab.Resources()
+	if res.Table != "T" || res.Rows != int64(len(rows)) {
+		t.Fatalf("resources header = %+v", res)
+	}
+	if len(res.Columns) != 3 {
+		t.Fatalf("columns = %d", len(res.Columns))
+	}
+	if res.Blocks != 2 {
+		t.Fatalf("blocks = %d, want 2", res.Blocks)
+	}
+	var sum int64
+	for _, c := range res.Columns {
+		if c.Bytes <= 0 || c.Blocks != 2 {
+			t.Fatalf("column %+v", c)
+		}
+		sum += c.Bytes
+	}
+	if res.Bytes <= sum {
+		t.Fatalf("table bytes %d should exceed column sum %d (version metadata)", res.Bytes, sum)
+	}
+	if res.Bytes < tab.ApproxBytes() {
+		t.Fatalf("Resources bytes %d < ApproxBytes %d", res.Bytes, tab.ApproxBytes())
+	}
+	// String column carries string zone maps on top of the numeric slots.
+	s := res.Columns[2]
+	if s.Kind != "VARCHAR" {
+		t.Fatalf("kind = %q", s.Kind)
+	}
+	if s.ZoneMapEntries <= res.Columns[0].ZoneMapEntries {
+		t.Fatalf("string column zone entries %d should exceed int column's %d", s.ZoneMapEntries, res.Columns[0].ZoneMapEntries)
+	}
+}

@@ -8,11 +8,13 @@ package db2
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"idaax/internal/catalog"
 	"idaax/internal/expr"
+	"idaax/internal/obs"
 	"idaax/internal/rowstore"
 	"idaax/internal/sqlparse"
 	"idaax/internal/txn"
@@ -68,6 +70,34 @@ func (e *Engine) addScanned(n int64) {
 	e.statsMu.Lock()
 	e.rowsScanned += n
 	e.statsMu.Unlock()
+}
+
+// Resources reports the per-table heap footprint of the row store for the
+// ops plane's resource accounting (the host side of the capacity picture;
+// the accelerator members report theirs through accel.Backend.Resources).
+func (e *Engine) Resources() obs.StoreResources {
+	e.mu.RLock()
+	names := make([]string, 0, len(e.tables))
+	tables := make([]*rowstore.Table, 0, len(e.tables))
+	for n, t := range e.tables {
+		names = append(names, n)
+		tables = append(tables, t)
+	}
+	e.mu.RUnlock()
+	res := obs.StoreResources{Member: "DB2"}
+	order := make([]int, len(names))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return names[order[a]] < names[order[b]] })
+	for _, i := range order {
+		res.AddTable(obs.TableResources{
+			Table: names[i],
+			Rows:  int64(tables[i].RowCount()),
+			Bytes: tables[i].ApproxBytes(),
+		})
+	}
+	return res
 }
 
 // ---------------------------------------------------------------------------

@@ -16,6 +16,8 @@ import (
 	"idaax/internal/core"
 	"idaax/internal/db2"
 	"idaax/internal/obs"
+	"idaax/internal/obs/eventlog"
+	"idaax/internal/obs/health"
 	"idaax/internal/replication"
 	"idaax/internal/shard"
 	"idaax/internal/types"
@@ -56,6 +58,17 @@ type Config struct {
 	// trace is captured into the slow-query log (default 100ms; a negative
 	// value disables the slow log).
 	SlowQueryThreshold time.Duration
+	// EventLogSize caps the structured event journal ring (default 1024
+	// events; the oldest are overwritten).
+	EventLogSize int
+	// WatchdogInterval is the health watchdog's evaluation period (default
+	// 1s). The watchdog is created armed but not started; the ops server (or
+	// an explicit Watchdog.Start) runs it.
+	WatchdogInterval time.Duration
+	// CDCLagThreshold is the replication apply lag at which the watchdog
+	// degrades the replication component and journals a cdc_lag_high event
+	// (default 5s).
+	CDCLagThreshold time.Duration
 
 	// fleetConfigured records that the user listed more than one accelerator,
 	// before duplicate names were folded away (set by withDefaults).
@@ -104,6 +117,15 @@ func (c Config) withDefaults() Config {
 	if c.SlowQueryThreshold == 0 {
 		c.SlowQueryThreshold = 100 * time.Millisecond
 	}
+	if c.EventLogSize <= 0 {
+		c.EventLogSize = 1024
+	}
+	if c.WatchdogInterval <= 0 {
+		c.WatchdogInterval = time.Second
+	}
+	if c.CDCLagThreshold <= 0 {
+		c.CDCLagThreshold = 5 * time.Second
+	}
 	return c
 }
 
@@ -144,6 +166,18 @@ type Coordinator struct {
 	// History is the query history ring buffer plus the slow-query log
 	// (statements at or above the threshold, with their full trace).
 	History *obs.History
+	// Events is the fleet's structured event journal: membership changes,
+	// rebalance lifecycle, CDC lag crossings, slow queries, scatter and scan
+	// failures, transaction aborts and watchdog verdict flips all land here
+	// (SQL surface: CALL SYSPROC.ACCEL_EVENTS; HTTP surface: /events).
+	Events *eventlog.Log
+	// Health aggregates per-component health checks into the fleet verdict
+	// served by the ops server's /healthz and /readyz endpoints.
+	Health *health.Tracker
+	// Watchdog evaluates temporal degradation rules (rebalance no-progress,
+	// CDC lag, slow-query spikes, scan-error streaks) against Health. It is
+	// created armed but not started; the ops server starts it.
+	Watchdog *health.Watchdog
 
 	metrics Metrics
 
@@ -170,6 +204,8 @@ func NewCoordinator(cfg Config) *Coordinator {
 		accels: make(map[string]accel.Backend),
 	}
 	c.Obs = obs.NewRegistry()
+	c.Events = eventlog.New(cfg.EventLogSize)
+	c.Health = health.NewTracker()
 	c.History = obs.NewHistory(cfg.QueryHistorySize, 64)
 	c.History.SetSlowThreshold(cfg.SlowQueryThreshold)
 	c.AOTs = core.NewAOTManager(cat, c)
@@ -198,7 +234,16 @@ func NewCoordinator(cfg Config) *Coordinator {
 	}
 	c.registerBuiltinProcedures()
 	c.registerObsGauges()
+	c.registerOps()
 	return c
+}
+
+// Close stops the coordinator's background machinery (currently the health
+// watchdog). The engine itself is in-memory and needs no teardown; an active
+// rebalance worker drains on its own.
+func (c *Coordinator) Close() error {
+	c.Watchdog.Stop()
+	return nil
 }
 
 // Catalog returns the shared DB2 catalog.
@@ -256,6 +301,7 @@ func (c *Coordinator) AddShardGroup(name string, memberNames ...string) (*shard.
 	if err != nil {
 		return nil, err
 	}
+	router.SetEventLog(c.Events)
 	c.accels[name] = router
 	c.cat.AddAccelerator(name)
 	return router, nil

@@ -1,10 +1,13 @@
 package federation
 
 import (
+	"fmt"
 	"strings"
+	"time"
 
 	"idaax/internal/accel"
 	"idaax/internal/obs"
+	"idaax/internal/obs/eventlog"
 	"idaax/internal/planner"
 	"idaax/internal/shard"
 	"idaax/internal/sqlparse"
@@ -84,8 +87,21 @@ func (p *profile) finish(st sqlparse.Statement, res *Result, err error) {
 	}
 	if th := s.coord.History.SlowThreshold(); th > 0 && elapsed >= th {
 		rec.Trace = p.span.Format()
+		s.coord.Events.Emitf(eventlog.TypeSlowQuery, eventlog.Warn, "", "",
+			fmt.Sprintf("%s statement by %s took %s: %s", class, s.user, elapsed.Round(time.Millisecond), clipSQL(p.sql)))
 	}
 	s.coord.History.Record(rec)
+}
+
+// clipSQL bounds the statement text embedded in slow-query events; the full
+// text stays in the query history.
+func clipSQL(sql string) string {
+	const max = 120
+	sql = strings.Join(strings.Fields(sql), " ")
+	if len(sql) > max {
+		return sql[:max] + "..."
+	}
+	return sql
 }
 
 // execSpan returns the span backend work of the current statement should

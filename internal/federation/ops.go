@@ -1,0 +1,351 @@
+package federation
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"idaax/internal/accel"
+	"idaax/internal/obs"
+	"idaax/internal/obs/eventlog"
+	"idaax/internal/obs/health"
+	"idaax/internal/shard"
+)
+
+// This file is the coordinator end of the operations plane: the per-component
+// health checks, the watchdog's temporal degradation rules, the bridge from
+// watchdog transitions into the event journal, and the fleet-wide resource
+// gauges capacity planning scrapes.
+
+// plannerStatsRowFloor is the table size above which missing ANALYZE
+// statistics degrade the planner_stats component. Tiny tables plan fine on
+// the incremental counters alone; large unanalyzed ones mis-estimate joins.
+const plannerStatsRowFloor = 50_000
+
+// stallIntervals is how many consecutive watchdog evaluations an active
+// rebalance may go without migrating a row before it is declared stalled.
+const stallIntervals = 3
+
+// slowQuerySpikeRate is how many statements must cross the slow-query
+// threshold within one watchdog interval to count as a spike.
+const slowQuerySpikeRate = 5
+
+// scanErrorStreak is how many consecutive intervals the fleet's query error
+// count must grow before the shard_backends component degrades.
+const scanErrorStreak = 3
+
+// shardRouters snapshots the registered shard routers.
+func (c *Coordinator) shardRouters() []*shard.Router {
+	c.accelMu.RLock()
+	defer c.accelMu.RUnlock()
+	var out []*shard.Router
+	for _, b := range c.accels {
+		if r, ok := b.(*shard.Router); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// memberAccels snapshots the paired plain accelerators — standalone ones and
+// shard-group members alike. Routers are excluded so nothing counts twice.
+func (c *Coordinator) memberAccels() []*accel.Accelerator {
+	c.accelMu.RLock()
+	defer c.accelMu.RUnlock()
+	var out []*accel.Accelerator
+	for _, b := range c.accels {
+		if a, ok := b.(*accel.Accelerator); ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// FleetResources aggregates every paired accelerator's memory accounting into
+// the fleet capacity view (/fleet endpoint, fleet_* gauges).
+func (c *Coordinator) FleetResources() obs.FleetResources {
+	accels := c.memberAccels()
+	members := make([]obs.StoreResources, 0, len(accels))
+	for _, a := range accels {
+		members = append(members, a.Resources())
+	}
+	return obs.AggregateFleet(members)
+}
+
+// registerOps installs the health checks, builds the watchdog with its rules,
+// bridges watchdog transitions into the event journal and registers the
+// fleet-wide gauges. Called once from NewCoordinator; the watchdog is left
+// stopped.
+func (c *Coordinator) registerOps() {
+	c.registerHealthChecks()
+	c.Watchdog = health.NewWatchdog(c.Health, c.cfg.WatchdogInterval)
+	c.Watchdog.OnTransition(func(tr health.Transition) {
+		if tr.Probe != nil {
+			sev := eventlog.Warn
+			if tr.Probe.Status == health.Unhealthy {
+				sev = eventlog.Error
+			}
+			c.Events.Emitf(eventlog.TypeHealthChanged, sev, "", "",
+				fmt.Sprintf("%s is %s: %s (rule %s)", tr.Component, tr.Probe.Status, tr.Probe.Detail, tr.Rule))
+		} else {
+			c.Events.Emitf(eventlog.TypeHealthChanged, eventlog.Info, "", "",
+				fmt.Sprintf("%s recovered (rule %s cleared)", tr.Component, tr.Rule))
+		}
+	})
+	c.addWatchdogRules()
+	c.registerFleetGauges()
+}
+
+// registerHealthChecks installs the instantaneous per-component checks. The
+// watchdog's temporal rules overlay these with overrides when a condition
+// persists across intervals.
+func (c *Coordinator) registerHealthChecks() {
+	c.Health.Register("shard_backends", func() health.Probe {
+		routers := c.shardRouters()
+		if len(routers) == 0 {
+			return health.Ok(fmt.Sprintf("%d standalone accelerator(s)", len(c.memberAccels())))
+		}
+		members := 0
+		for _, r := range routers {
+			members += len(r.Members())
+		}
+		return health.Ok(fmt.Sprintf("%d group(s), %d member(s)", len(routers), members))
+	})
+
+	c.Health.Register("replication", func() health.Probe {
+		pending, lag := c.Repl.LagReport()
+		detail := fmt.Sprintf("%d pending change(s), apply lag %s", pending, lag.Round(time.Millisecond))
+		if lag > c.cfg.CDCLagThreshold {
+			return health.Degrade(detail)
+		}
+		return health.Ok(detail)
+	})
+
+	c.Health.Register("rebalancer", func() health.Probe {
+		active, migrating := 0, 0
+		for _, r := range c.shardRouters() {
+			st := r.RebalanceStatus()
+			if st.LastError != "" {
+				return health.Degrade(fmt.Sprintf("group %s: last rebalance error: %s", r.Name(), st.LastError))
+			}
+			if st.Active {
+				active++
+				migrating += len(st.MigratingTables)
+			}
+		}
+		if active > 0 {
+			return health.Ok(fmt.Sprintf("%d rebalance(s) active, %d table(s) migrating", active, migrating))
+		}
+		return health.Ok("idle")
+	})
+
+	c.Health.Register("planner_stats", func() health.Probe {
+		stale, first := 0, ""
+		for _, a := range c.memberAccels() {
+			for _, t := range a.TableNames() {
+				snap, err := a.TableStatistics(t)
+				if err != nil {
+					continue
+				}
+				if !snap.Analyzed && snap.Rows >= plannerStatsRowFloor {
+					stale++
+					if first == "" {
+						first = t
+					}
+				}
+			}
+		}
+		if stale > 0 {
+			return health.Degrade(fmt.Sprintf("%d large table copy(ies) never analyzed (e.g. %s); run ANALYZE TABLE", stale, first))
+		}
+		return health.Ok("statistics fresh")
+	})
+}
+
+// addWatchdogRules installs the temporal rules. Each rule keeps its memory in
+// closure state guarded by ruleMu: the background loop is the usual evaluator,
+// but tests drive Tick directly and both may overlap with scrapes.
+func (c *Coordinator) addWatchdogRules() {
+	var ruleMu sync.Mutex
+
+	// Rebalance no-progress: an active rebalance whose migrated-rows counter
+	// does not advance for stallIntervals consecutive evaluations is stalled —
+	// typically an uncommitted transaction pinning row fates, or a wedged
+	// member. Stall flips the rebalancer component Unhealthy, which is what
+	// takes /healthz to 503 (a stuck migration is operator-actionable in a way
+	// a merely slow one is not).
+	lastRows := make(map[string]int64)
+	noProgress := make(map[string]int)
+	announced := make(map[string]bool)
+	c.Watchdog.AddRule(health.Rule{
+		Name:      "rebalance-stall",
+		Component: "rebalancer",
+		Evaluate: func() *health.Probe {
+			ruleMu.Lock()
+			defer ruleMu.Unlock()
+			var worst *health.Probe
+			for _, r := range c.shardRouters() {
+				name := r.Name()
+				st := r.RebalanceStatus()
+				if !st.Active {
+					delete(lastRows, name)
+					delete(noProgress, name)
+					delete(announced, name)
+					continue
+				}
+				if prev, seen := lastRows[name]; seen && prev == st.RowsMigrated {
+					noProgress[name]++
+				} else {
+					noProgress[name] = 0
+					delete(announced, name)
+				}
+				lastRows[name] = st.RowsMigrated
+				if noProgress[name] >= stallIntervals {
+					if !announced[name] {
+						announced[name] = true
+						c.Events.Emitf(eventlog.TypeRebalanceStalled, eventlog.Error, name, "",
+							fmt.Sprintf("rebalance made no progress for %d intervals (stuck at %d rows, %d batches)",
+								noProgress[name], st.RowsMigrated, st.Batches))
+					}
+					p := health.Fail(fmt.Sprintf("group %s: rebalance stalled at %d rows for %d intervals",
+						name, st.RowsMigrated, noProgress[name]))
+					worst = &p
+				}
+			}
+			return worst
+		},
+	})
+
+	// CDC lag crossing: the replication check already degrades on high lag;
+	// this rule adds the crossing events (high once, recovered once) and keeps
+	// the verdict imposed between ticks.
+	lagHigh := false
+	c.Watchdog.AddRule(health.Rule{
+		Name:      "cdc-lag",
+		Component: "replication",
+		Evaluate: func() *health.Probe {
+			pending, lag := c.Repl.LagReport()
+			ruleMu.Lock()
+			defer ruleMu.Unlock()
+			if lag > c.cfg.CDCLagThreshold {
+				if !lagHigh {
+					lagHigh = true
+					c.Events.Emitf(eventlog.TypeCDCLagHigh, eventlog.Warn, "", "",
+						fmt.Sprintf("replication apply lag %s crossed threshold %s (%d pending change(s))",
+							lag.Round(time.Millisecond), c.cfg.CDCLagThreshold, pending))
+				}
+				p := health.Degrade(fmt.Sprintf("apply lag %s above threshold %s (%d pending)",
+					lag.Round(time.Millisecond), c.cfg.CDCLagThreshold, pending))
+				return &p
+			}
+			if lagHigh {
+				lagHigh = false
+				c.Events.Emitf(eventlog.TypeCDCLagRecovered, eventlog.Info, "", "",
+					fmt.Sprintf("replication apply lag back under %s", c.cfg.CDCLagThreshold))
+			}
+			return nil
+		},
+	})
+
+	// Slow-query spike: more than slowQuerySpikeRate statements crossed the
+	// slow threshold within one interval. Sequence numbers (not ring length)
+	// drive the delta so a saturated slow-log ring still counts fresh entries.
+	var lastSlowSeq int64
+	spiking := false
+	c.Watchdog.AddRule(health.Rule{
+		Name:      "slow-query-spike",
+		Component: "queries",
+		Evaluate: func() *health.Probe {
+			recs := c.History.SlowQueries(0)
+			ruleMu.Lock()
+			defer ruleMu.Unlock()
+			fresh, maxSeq := 0, lastSlowSeq
+			for _, r := range recs {
+				if r.Seq > lastSlowSeq {
+					fresh++
+				}
+				if r.Seq > maxSeq {
+					maxSeq = r.Seq
+				}
+			}
+			lastSlowSeq = maxSeq
+			if fresh >= slowQuerySpikeRate {
+				if !spiking {
+					spiking = true
+					c.Events.Emitf(eventlog.TypeSlowQuerySpike, eventlog.Warn, "", "",
+						fmt.Sprintf("%d statements crossed the slow-query threshold within one interval", fresh))
+				}
+				p := health.Degrade(fmt.Sprintf("%d slow queries in the last interval", fresh))
+				return &p
+			}
+			spiking = false
+			return nil
+		},
+	})
+
+	// Scan-error streak: the fleet's accelerator query-error count grew in
+	// scanErrorStreak consecutive intervals — a persistent failure source
+	// (bad table, wedged member), not a one-off.
+	var lastErrs int64
+	streak := 0
+	c.Watchdog.AddRule(health.Rule{
+		Name:      "scan-error-streak",
+		Component: "shard_backends",
+		Evaluate: func() *health.Probe {
+			var cur int64
+			for _, a := range c.memberAccels() {
+				cur += a.Stats().QueryErrors
+			}
+			ruleMu.Lock()
+			defer ruleMu.Unlock()
+			if cur > lastErrs {
+				streak++
+			} else {
+				streak = 0
+			}
+			lastErrs = cur
+			if streak >= scanErrorStreak {
+				p := health.Degrade(fmt.Sprintf("query errors grew for %d consecutive intervals (%d total)", streak, cur))
+				return &p
+			}
+			return nil
+		},
+	})
+}
+
+// registerFleetGauges exports the fleet capacity view and the journal's own
+// counters into the metrics registry.
+func (c *Coordinator) registerFleetGauges() {
+	fleet := func(f func(obs.FleetResources) int64) func() int64 {
+		return func() int64 { return f(c.FleetResources()) }
+	}
+	gauge := func(name, help string, fn func() int64) {
+		c.Obs.GaugeFunc(name, fn)
+		c.Obs.Help(name, help)
+	}
+	gauge("fleet_members", "Paired accelerators (shard-group members and standalone).",
+		fleet(func(fr obs.FleetResources) int64 { return int64(len(fr.Members)) }))
+	gauge("fleet_bytes_total", "Approximate bytes of table data held across the fleet.",
+		fleet(func(fr obs.FleetResources) int64 { return fr.TotalBytes }))
+	gauge("fleet_rows_total", "Row versions held across the fleet.",
+		fleet(func(fr obs.FleetResources) int64 { return fr.TotalRows }))
+	gauge("fleet_member_bytes_max", "Largest single member footprint in bytes.",
+		fleet(func(fr obs.FleetResources) int64 { return fr.MaxMemberBytes }))
+	gauge("fleet_member_bytes_min", "Smallest single member footprint in bytes.",
+		fleet(func(fr obs.FleetResources) int64 { return fr.MinMemberBytes }))
+	gauge("fleet_capacity_skew_pct", "How far the largest member sits above the per-member mean, in percent.",
+		fleet(func(fr obs.FleetResources) int64 { return int64(fr.SkewPct) }))
+
+	gauge("events_total", "Events emitted into the journal since start.",
+		func() int64 { return c.Events.Total() })
+	gauge("events_warn_total", "WARN events emitted since start.",
+		func() int64 { return c.Events.Count(eventlog.Warn) })
+	gauge("events_error_total", "ERROR events emitted since start.",
+		func() int64 { return c.Events.Count(eventlog.Error) })
+	gauge("events_dropped_total", "Events dropped on saturated subscriber channels.",
+		func() int64 { return c.Events.Dropped() })
+	gauge("watchdog_ticks_total", "Health watchdog evaluations since start.",
+		func() int64 { return c.Watchdog.Ticks() })
+	gauge("health_status", "Fleet health verdict (0 healthy, 1 degraded, 2 unhealthy).",
+		func() int64 { return int64(c.Health.Report().Status) })
+}

@@ -10,6 +10,7 @@ import (
 	"idaax/internal/core"
 	"idaax/internal/expr"
 	"idaax/internal/obs"
+	"idaax/internal/obs/eventlog"
 	"idaax/internal/relalg"
 	"idaax/internal/types"
 )
@@ -333,6 +334,45 @@ func (c *Coordinator) registerBuiltinProcedures() {
 			return &core.ProcResult{
 				Relation: rel,
 				Message:  fmt.Sprintf("%d statements", len(recs)),
+			}, nil
+		})
+
+	register("SYSPROC.ACCEL_EVENTS",
+		"Return the most recent fleet events from the journal, newest first: ([n[, 'WARN'|'ERROR']])",
+		func(ctx *core.ProcContext, args []types.Value) (*core.ProcResult, error) {
+			n := int(core.ArgInt(args, 0, 50))
+			var f eventlog.Filter
+			if s := core.ArgStringDefault(args, 1, ""); s != "" {
+				sev, ok := eventlog.ParseSeverity(s)
+				if !ok {
+					return nil, fmt.Errorf("federation: ACCEL_EVENTS: unknown severity %q (use INFO, WARN or ERROR)", s)
+				}
+				f.MinSeverity = sev
+			}
+			evs := c.Events.Recent(n, f)
+			rel := &relalg.Relation{Cols: []expr.InputColumn{
+				{Name: "SEQ", Kind: types.KindInt},
+				{Name: "TIME", Kind: types.KindString},
+				{Name: "TYPE", Kind: types.KindString},
+				{Name: "SEVERITY", Kind: types.KindString},
+				{Name: "SHARD", Kind: types.KindString},
+				{Name: "TABNAME", Kind: types.KindString},
+				{Name: "MESSAGE", Kind: types.KindString},
+			}}
+			for _, e := range evs {
+				rel.Rows = append(rel.Rows, types.Row{
+					types.NewInt(e.Seq),
+					types.NewString(e.Time.Format(time.RFC3339Nano)),
+					types.NewString(e.Type),
+					types.NewString(e.Severity.String()),
+					types.NewString(e.Shard),
+					types.NewString(e.Table),
+					types.NewString(e.Message),
+				})
+			}
+			return &core.ProcResult{
+				Relation: rel,
+				Message:  fmt.Sprintf("%d events", len(evs)),
 			}, nil
 		})
 

@@ -11,6 +11,7 @@ import (
 	"idaax/internal/core"
 	"idaax/internal/expr"
 	"idaax/internal/obs"
+	"idaax/internal/obs/eventlog"
 	"idaax/internal/relalg"
 	"idaax/internal/shard"
 	"idaax/internal/sqlparse"
@@ -294,10 +295,13 @@ func (s *Session) commitTxn(tx *txn.Txn) error {
 
 func (s *Session) abortTxn(tx *txn.Txn) {
 	_ = s.coord.DB2.Rollback(tx)
-	for _, a := range orderGroupsFirst(s.participants) {
+	participants := orderGroupsFirst(s.participants)
+	for _, a := range participants {
 		a.AbortTxn(int64(tx.ID))
 	}
 	s.participants = make(map[string]accel.Backend)
+	s.coord.Events.Emitf(eventlog.TypeTxnAborted, eventlog.Warn, "", "",
+		fmt.Sprintf("transaction %d rolled back (user %s, %d accelerator participant(s))", tx.ID, s.user, len(participants)))
 }
 
 // orderGroupsFirst returns the participants with shard groups ahead of plain

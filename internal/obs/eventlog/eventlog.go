@@ -1,0 +1,317 @@
+// Package eventlog is the structured event journal of the operations plane: a
+// bounded, concurrency-safe ring of typed events that the subsystems emit into
+// — fleet membership changes, rebalance progress and stalls, CDC lag threshold
+// crossings, slow queries, analytics scatter failures, transaction aborts —
+// plus a subscription tap for live consumers (the ops server's /events
+// endpoint reads the ring; a future push exporter would subscribe).
+//
+// Like the rest of internal/obs, the package depends only on the standard
+// library so every internal package can import it without cycles, and every
+// method is safe on a nil *Log so emission points need no "is the journal
+// wired" guards.
+package eventlog
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Severity classifies an event's operational urgency.
+type Severity int
+
+const (
+	// Info events record normal lifecycle progress (member joined, rebalance
+	// completed, batch moved).
+	Info Severity = iota
+	// Warn events record conditions an operator should look at but that the
+	// system tolerates (slow query, CDC lag crossing its threshold).
+	Warn
+	// Error events record failures (scatter failure, scan error, rebalance
+	// stall, transaction abort on error paths).
+	Error
+)
+
+// String renders the severity in the upper-case form the SQL and HTTP
+// surfaces filter by.
+func (s Severity) String() string {
+	switch s {
+	case Warn:
+		return "WARN"
+	case Error:
+		return "ERROR"
+	default:
+		return "INFO"
+	}
+}
+
+// MarshalJSON renders the severity as its string form, so the JSON of an
+// Event reads "WARN" rather than a bare ordinal.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the string form produced by MarshalJSON.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	sev, _ := ParseSeverity(strings.Trim(string(b), `"`))
+	*s = sev
+	return nil
+}
+
+// ParseSeverity parses "INFO"/"WARN"/"ERROR" (any case; "WARNING" accepted).
+func ParseSeverity(s string) (Severity, bool) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "INFO", "":
+		return Info, true
+	case "WARN", "WARNING":
+		return Warn, true
+	case "ERROR", "ERR":
+		return Error, true
+	default:
+		return Info, false
+	}
+}
+
+// Event types emitted by the built-in subsystems. Kept here so producers
+// (shard, federation, the watchdog) and consumers (ops endpoints, tests,
+// ARCHITECTURE.md's taxonomy table) agree on names.
+const (
+	TypeMemberAdded      = "member_added"
+	TypeMemberDraining   = "member_draining"
+	TypeMemberDetached   = "member_detached"
+	TypeRebalanceStarted = "rebalance_started"
+	TypeRebalanceBatch   = "rebalance_batch"
+	TypeRebalanceDone    = "rebalance_completed"
+	TypeRebalanceStalled = "rebalance_stalled"
+	TypeRebalanceFailed  = "rebalance_failed"
+	TypeCDCLagHigh       = "cdc_lag_high"
+	TypeCDCLagRecovered  = "cdc_lag_recovered"
+	TypeSlowQuery        = "slow_query"
+	TypeSlowQuerySpike   = "slow_query_spike"
+	TypeScatterFailed    = "analytics_scatter_failed"
+	TypeScanError        = "shard_scan_error"
+	TypeTxnAborted       = "txn_aborted"
+	TypeHealthChanged    = "health_changed"
+	TypeOpsServer        = "ops_server"
+)
+
+// Event is one entry of the journal.
+type Event struct {
+	// Seq numbers events in emission order (1-based, monotonic per log).
+	Seq int64 `json:"seq"`
+	// Time is when the event was emitted.
+	Time time.Time `json:"time"`
+	// Type is the event's kind (one of the Type* constants, or any string for
+	// application events).
+	Type string `json:"type"`
+	// Severity is the operational urgency.
+	Severity Severity `json:"severity"`
+	// Shard labels the member accelerator or shard group concerned ("" when
+	// not shard-scoped).
+	Shard string `json:"shard,omitempty"`
+	// Table labels the table concerned ("" when not table-scoped).
+	Table string `json:"table,omitempty"`
+	// Message is the human-readable one-liner.
+	Message string `json:"message"`
+	// Payload carries extra structured fields (row counts, lag durations,
+	// thresholds) as rendered strings.
+	Payload map[string]string `json:"payload,omitempty"`
+}
+
+// Log is the bounded journal: a fixed-capacity ring of the most recent events
+// plus a set of subscriber channels. Emission is O(1) amortised and never
+// blocks — a subscriber that cannot keep up has events dropped (and counted),
+// so a stuck consumer cannot stall the hot paths that emit.
+type Log struct {
+	mu      sync.Mutex
+	seq     int64
+	ring    []Event
+	next    int
+	full    bool
+	subs    map[int]chan Event
+	nextSub int
+	dropped int64
+	// bySev counts emissions per severity since creation (feeds gauges and the
+	// watchdog's rate rules without draining the ring).
+	bySev [3]int64
+}
+
+// New creates a journal retaining the last capacity events.
+func New(capacity int) *Log {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Log{
+		ring: make([]Event, capacity),
+		subs: make(map[int]chan Event),
+	}
+}
+
+// Emit stamps the event (sequence + time, when unset) and appends it to the
+// ring, fanning it out to subscribers without blocking. It returns the stamped
+// event. Emit on a nil log is a no-op.
+func (l *Log) Emit(e Event) Event {
+	if l == nil {
+		return e
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	l.mu.Lock()
+	l.seq++
+	e.Seq = l.seq
+	l.ring[l.next] = e
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.full = true
+	}
+	if e.Severity >= Info && int(e.Severity) < len(l.bySev) {
+		l.bySev[e.Severity]++
+	}
+	for _, ch := range l.subs {
+		select {
+		case ch <- e:
+		default:
+			l.dropped++
+		}
+	}
+	l.mu.Unlock()
+	return e
+}
+
+// Emitf is the convenience form for call sites without payloads.
+func (l *Log) Emitf(typ string, sev Severity, shard, table, message string) Event {
+	return l.Emit(Event{Type: typ, Severity: sev, Shard: shard, Table: table, Message: message})
+}
+
+// Filter restricts what Recent returns.
+type Filter struct {
+	// MinSeverity keeps only events at or above the severity.
+	MinSeverity Severity
+	// Type keeps only events of the exact type ("" = all types).
+	Type string
+}
+
+// Recent returns up to n of the most recent events matching the filter,
+// newest first (n <= 0 returns every retained match).
+func (l *Log) Recent(n int, f Filter) []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	size := l.next
+	if l.full {
+		size = len(l.ring)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]Event, 0, n)
+	for i := 0; i < size && len(out) < n; i++ {
+		idx := l.next - 1 - i
+		for idx < 0 {
+			idx += len(l.ring)
+		}
+		e := l.ring[idx]
+		if e.Severity < f.MinSeverity {
+			continue
+		}
+		if f.Type != "" && !strings.EqualFold(e.Type, f.Type) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Count returns how many events of the severity have been emitted since the
+// log was created (not bounded by the ring).
+func (l *Log) Count(sev Severity) int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if sev < Info || int(sev) >= len(l.bySev) {
+		return 0
+	}
+	return l.bySev[sev]
+}
+
+// Total returns how many events have been emitted since creation.
+func (l *Log) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Dropped returns how many events were not delivered to a subscriber because
+// its buffer was full.
+func (l *Log) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Subscribe registers a tap: every subsequent emission is sent to the returned
+// channel (buffered with buf slots; emissions that find it full are dropped,
+// never blocked on). The cancel function removes the tap and closes the
+// channel. Subscribe on a nil log returns a closed channel.
+func (l *Log) Subscribe(buf int) (<-chan Event, func()) {
+	if buf < 1 {
+		buf = 16
+	}
+	ch := make(chan Event, buf)
+	if l == nil {
+		close(ch)
+		return ch, func() {}
+	}
+	l.mu.Lock()
+	id := l.nextSub
+	l.nextSub++
+	l.subs[id] = ch
+	l.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			l.mu.Lock()
+			delete(l.subs, id)
+			l.mu.Unlock()
+			close(ch)
+		})
+	}
+	return ch, cancel
+}
+
+// Types returns the distinct event types currently retained in the ring,
+// sorted — the ops /events endpoint offers them as filter hints.
+func (l *Log) Types() []string {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	size := l.next
+	if l.full {
+		size = len(l.ring)
+	}
+	seen := make(map[string]bool, 8)
+	for i := 0; i < size; i++ {
+		seen[l.ring[i].Type] = true
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,173 @@
+package eventlog
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestEmitAndRecentOrder(t *testing.T) {
+	l := New(8)
+	for i := 0; i < 5; i++ {
+		l.Emitf(TypeRebalanceBatch, Info, "SHARDS", "T", fmt.Sprintf("batch %d", i))
+	}
+	recs := l.Recent(0, Filter{})
+	if len(recs) != 5 {
+		t.Fatalf("got %d events, want 5", len(recs))
+	}
+	for i, e := range recs {
+		if e.Seq != int64(5-i) {
+			t.Fatalf("event %d has seq %d, want %d (newest first)", i, e.Seq, 5-i)
+		}
+		if e.Time.IsZero() {
+			t.Fatalf("event %d has no timestamp", i)
+		}
+	}
+	if got := l.Recent(2, Filter{}); len(got) != 2 || got[0].Seq != 5 {
+		t.Fatalf("Recent(2) = %v, want the 2 newest", got)
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	l := New(4)
+	for i := 1; i <= 10; i++ {
+		l.Emitf(TypeSlowQuery, Warn, "", "", fmt.Sprintf("q%d", i))
+	}
+	recs := l.Recent(0, Filter{})
+	if len(recs) != 4 {
+		t.Fatalf("ring of 4 retained %d", len(recs))
+	}
+	if recs[0].Seq != 10 || recs[3].Seq != 7 {
+		t.Fatalf("ring kept seqs %d..%d, want 10..7", recs[0].Seq, recs[3].Seq)
+	}
+	if l.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", l.Total())
+	}
+}
+
+func TestFilters(t *testing.T) {
+	l := New(16)
+	l.Emitf(TypeMemberAdded, Info, "SHARDS", "", "IDAA4 joined")
+	l.Emitf(TypeCDCLagHigh, Warn, "", "ORDERS", "lag 6s")
+	l.Emitf(TypeScatterFailed, Error, "SHARDS", "ORDERS", "boom")
+
+	if got := l.Recent(0, Filter{MinSeverity: Warn}); len(got) != 2 {
+		t.Fatalf("MinSeverity WARN kept %d, want 2", len(got))
+	}
+	if got := l.Recent(0, Filter{MinSeverity: Error}); len(got) != 1 || got[0].Type != TypeScatterFailed {
+		t.Fatalf("MinSeverity ERROR = %v", got)
+	}
+	if got := l.Recent(0, Filter{Type: "CDC_LAG_HIGH"}); len(got) != 1 || got[0].Table != "ORDERS" {
+		t.Fatalf("type filter (case-insensitive) = %v", got)
+	}
+	if l.Count(Warn) != 1 || l.Count(Error) != 1 || l.Count(Info) != 1 {
+		t.Fatalf("severity counts = %d/%d/%d", l.Count(Info), l.Count(Warn), l.Count(Error))
+	}
+}
+
+func TestSeverityParseAndJSON(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Severity
+		ok   bool
+	}{
+		{"info", Info, true}, {"WARN", Warn, true}, {"Warning", Warn, true},
+		{"error", Error, true}, {"", Info, true}, {"bogus", Info, false},
+	} {
+		got, ok := ParseSeverity(tc.in)
+		if got != tc.want || ok != tc.ok {
+			t.Fatalf("ParseSeverity(%q) = %v,%v want %v,%v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+	e := Event{Type: TypeSlowQuery, Severity: Warn, Message: "m"}
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Event
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Severity != Warn {
+		t.Fatalf("severity did not round-trip through JSON: %s", b)
+	}
+}
+
+func TestSubscribeTapAndDrop(t *testing.T) {
+	l := New(8)
+	ch, cancel := l.Subscribe(2)
+	l.Emitf(TypeMemberAdded, Info, "S", "", "a")
+	l.Emitf(TypeMemberAdded, Info, "S", "", "b")
+	// Buffer is full: this one is dropped for the subscriber, kept in the ring.
+	l.Emitf(TypeMemberAdded, Info, "S", "", "c")
+	if got := (<-ch).Message; got != "a" {
+		t.Fatalf("first tapped event = %q", got)
+	}
+	if got := (<-ch).Message; got != "b" {
+		t.Fatalf("second tapped event = %q", got)
+	}
+	if l.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", l.Dropped())
+	}
+	if len(l.Recent(0, Filter{})) != 3 {
+		t.Fatal("ring lost the dropped event")
+	}
+	cancel()
+	cancel() // idempotent
+	if _, open := <-ch; open {
+		t.Fatal("channel still open after cancel")
+	}
+	l.Emitf(TypeMemberAdded, Info, "S", "", "d") // must not panic or block
+}
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Emitf(TypeSlowQuery, Warn, "", "", "x")
+	if l.Recent(5, Filter{}) != nil || l.Count(Warn) != 0 || l.Total() != 0 {
+		t.Fatal("nil log leaked data")
+	}
+	ch, cancel := l.Subscribe(1)
+	cancel()
+	if _, open := <-ch; open {
+		t.Fatal("nil log subscription channel should be closed")
+	}
+}
+
+func TestConcurrentEmitters(t *testing.T) {
+	l := New(64)
+	ch, cancel := l.Subscribe(1024)
+	defer cancel()
+	var wg sync.WaitGroup
+	const emitters, each = 8, 200
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				l.Emitf(TypeRebalanceBatch, Info, fmt.Sprintf("S%d", g), "T", "b")
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	var tapped int
+	go func() {
+		for range ch {
+			tapped++
+		}
+		close(done)
+	}()
+	wg.Wait()
+	if l.Total() != emitters*each {
+		t.Fatalf("Total = %d, want %d", l.Total(), emitters*each)
+	}
+	cancel()
+	<-done
+	if int64(tapped)+l.Dropped() != int64(emitters*each) {
+		t.Fatalf("tapped %d + dropped %d != emitted %d", tapped, l.Dropped(), emitters*each)
+	}
+	types := l.Types()
+	if len(types) != 1 || types[0] != TypeRebalanceBatch {
+		t.Fatalf("Types = %v", types)
+	}
+}

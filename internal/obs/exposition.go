@@ -1,0 +1,390 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition is a strict checker for the Prometheus text exposition
+// format (version 0.0.4) as produced by Registry.Text. It enforces more than
+// a scraper would tolerate so the /metrics endpoint cannot drift invalid:
+//
+//   - every line is a well-formed comment (# HELP / # TYPE) or sample
+//   - metric and label names match the Prometheus grammar
+//   - each family has exactly one # HELP and one # TYPE line, HELP first,
+//     both before any of the family's samples
+//   - # TYPE declares a known type (counter, gauge, histogram, summary,
+//     untyped)
+//   - every sample belongs to a declared family (base name, or _sum/_count/
+//     _bucket for summary/histogram families)
+//   - label values are properly quoted and escaped; summary quantile and
+//     histogram le labels parse as floats
+//   - sample values parse as Go floats (NaN/+Inf/-Inf allowed)
+//   - no duplicate series (same sample name + identical label set)
+//
+// It returns nil when the text conforms, or an error naming the first
+// offending line.
+func ValidateExposition(text string) error {
+	families := make(map[string]*expoFamily)
+	seenSeries := make(map[string]bool)
+
+	lines := strings.Split(text, "\n")
+	for i, line := range lines {
+		lineNo := i + 1
+		if line == "" {
+			// Only the trailing newline may produce an empty slot.
+			if i != len(lines)-1 {
+				return fmt.Errorf("line %d: empty line inside exposition", lineNo)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || fields[0] != "#" {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			keyword, name := fields[1], fields[2]
+			switch keyword {
+			case "HELP":
+				if !validMetricName(name) {
+					return fmt.Errorf("line %d: invalid metric name %q in HELP", lineNo, name)
+				}
+				f := families[name]
+				if f == nil {
+					f = &expoFamily{}
+					families[name] = f
+				}
+				if f.hasHelp {
+					return fmt.Errorf("line %d: duplicate HELP for %q", lineNo, name)
+				}
+				if f.typ != "" || f.samples > 0 {
+					return fmt.Errorf("line %d: HELP for %q must precede its TYPE and samples", lineNo, name)
+				}
+				f.hasHelp = true
+				if len(fields) >= 4 {
+					if err := checkHelpEscaping(fields[3]); err != nil {
+						return fmt.Errorf("line %d: %v", lineNo, err)
+					}
+				}
+			case "TYPE":
+				if !validMetricName(name) {
+					return fmt.Errorf("line %d: invalid metric name %q in TYPE", lineNo, name)
+				}
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE line needs exactly a name and a type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				f := families[name]
+				if f == nil {
+					f = &expoFamily{}
+					families[name] = f
+				}
+				if f.typ != "" {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				if f.samples > 0 {
+					return fmt.Errorf("line %d: TYPE for %q after its samples", lineNo, name)
+				}
+				if !f.hasHelp {
+					return fmt.Errorf("line %d: TYPE for %q without a preceding HELP", lineNo, name)
+				}
+				f.typ = fields[3]
+			default:
+				return fmt.Errorf("line %d: unknown comment keyword %q", lineNo, keyword)
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("line %d: sample value %q is not a float", lineNo, value)
+		}
+		f, _ := familyOf(name, labels, families)
+		if f == nil {
+			return fmt.Errorf("line %d: sample %q belongs to no declared family", lineNo, name)
+		}
+		if f.typ == "" {
+			return fmt.Errorf("line %d: sample %q before its family's TYPE line", lineNo, name)
+		}
+		f.samples++
+		// Quantile / le label values must be floats.
+		for _, lbl := range labels {
+			if lbl.name == "quantile" || lbl.name == "le" {
+				if lbl.value != "+Inf" {
+					if _, err := strconv.ParseFloat(lbl.value, 64); err != nil {
+						return fmt.Errorf("line %d: %s=%q is not a float", lineNo, lbl.name, lbl.value)
+					}
+				}
+			}
+		}
+		series := name + "\x00" + canonicalLabels(labels)
+		if seenSeries[series] {
+			return fmt.Errorf("line %d: duplicate series %q", lineNo, strings.TrimSpace(line))
+		}
+		seenSeries[series] = true
+	}
+
+	for name, f := range families {
+		if f.typ == "" {
+			return fmt.Errorf("family %q has HELP but no TYPE", name)
+		}
+		if f.samples == 0 {
+			return fmt.Errorf("family %q declared but has no samples", name)
+		}
+	}
+	return nil
+}
+
+type expoFamily struct {
+	typ     string
+	hasHelp bool
+	samples int
+}
+
+type label struct {
+	name  string
+	value string
+}
+
+// parseSample splits `name{l="v",...} value` (labels optional) into parts.
+func parseSample(line string) (string, []label, string, error) {
+	rest := line
+	end := strings.IndexAny(rest, "{ ")
+	if end <= 0 {
+		return "", nil, "", fmt.Errorf("malformed sample %q", line)
+	}
+	name := rest[:end]
+	if !validMetricName(name) {
+		return "", nil, "", fmt.Errorf("invalid sample metric name %q", name)
+	}
+	rest = rest[end:]
+	var labels []label
+	if rest[0] == '{' {
+		close := -1
+		inQuote := false
+		for i := 1; i < len(rest); i++ {
+			switch {
+			case inQuote && rest[i] == '\\':
+				i++ // skip escaped char
+			case rest[i] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[i] == '}':
+				close = i
+			}
+			if close >= 0 {
+				break
+			}
+		}
+		if close < 0 {
+			return "", nil, "", fmt.Errorf("unterminated label set in %q", line)
+		}
+		var err error
+		labels, err = parseLabels(rest[1:close])
+		if err != nil {
+			return "", nil, "", err
+		}
+		rest = rest[close+1:]
+	}
+	if len(rest) == 0 || rest[0] != ' ' {
+		return "", nil, "", fmt.Errorf("missing space before value in %q", line)
+	}
+	value := strings.TrimSpace(rest[1:])
+	if value == "" || strings.ContainsAny(value, " \t") {
+		// A second field would be a timestamp; Registry.Text never emits one,
+		// and we keep the checker strict.
+		return "", nil, "", fmt.Errorf("expected exactly one value in %q", line)
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels parses the inside of a {...} label set.
+func parseLabels(s string) ([]label, error) {
+	var out []label
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("malformed label in %q", s)
+		}
+		lname := s[:eq]
+		if !validLabelName(lname) {
+			return nil, fmt.Errorf("invalid label name %q", lname)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %q value not quoted", lname)
+		}
+		var sb strings.Builder
+		i := 1
+		closed := false
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("dangling escape in label %q", lname)
+				}
+				switch s[i+1] {
+				case '\\', '"':
+					sb.WriteByte(s[i+1])
+				case 'n':
+					sb.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("invalid escape \\%c in label %q", s[i+1], lname)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			if c == '\n' {
+				return nil, fmt.Errorf("raw newline in label %q", lname)
+			}
+			sb.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated value for label %q", lname)
+		}
+		out = append(out, label{name: lname, value: sb.String()})
+		s = s[i:]
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("expected ',' between labels, got %q", s)
+			}
+			s = s[1:]
+		}
+	}
+	// Duplicate label names within one series are invalid.
+	seen := make(map[string]bool, len(out))
+	for _, l := range out {
+		if seen[l.name] {
+			return nil, fmt.Errorf("duplicate label name %q", l.name)
+		}
+		seen[l.name] = true
+	}
+	return out, nil
+}
+
+// familyOf resolves which declared family a sample belongs to, honouring the
+// _sum/_count suffixes of summaries and histograms and _bucket of histograms.
+func familyOf(name string, labels []label, families map[string]*expoFamily) (*expoFamily, string) {
+	if f, ok := families[name]; ok {
+		// A bare summary/histogram base sample must carry quantile/le.
+		switch f.typ {
+		case "summary":
+			if !hasLabel(labels, "quantile") {
+				return nil, ""
+			}
+		case "histogram":
+			return nil, "" // base histogram samples must be *_bucket
+		}
+		return f, name
+	}
+	for _, suf := range []string{"_sum", "_count", "_bucket"} {
+		base, ok := strings.CutSuffix(name, suf)
+		if !ok {
+			continue
+		}
+		f, ok := families[base]
+		if !ok {
+			continue
+		}
+		switch f.typ {
+		case "summary":
+			if suf == "_bucket" {
+				return nil, ""
+			}
+			return f, base
+		case "histogram":
+			if suf == "_bucket" && !hasLabel(labels, "le") {
+				return nil, ""
+			}
+			return f, base
+		}
+	}
+	return nil, ""
+}
+
+func hasLabel(labels []label, name string) bool {
+	for _, l := range labels {
+		if l.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// canonicalLabels renders a label set order-insensitively for duplicate
+// detection.
+func canonicalLabels(labels []label) string {
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.name + "=" + l.value
+	}
+	// Insertion sort: label sets are tiny.
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// checkHelpEscaping rejects raw control characters and bad escapes in HELP
+// docstrings (the format requires \\ and \n escaping).
+func checkHelpEscaping(s string) error {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) || (s[i+1] != '\\' && s[i+1] != 'n') {
+				return fmt.Errorf("invalid escape in HELP text %q", s)
+			}
+			i++
+		case '\n', '\r':
+			return fmt.Errorf("raw newline in HELP text %q", s)
+		}
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

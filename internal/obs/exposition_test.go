@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryTextConforms(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("idaax_stmt_select_total").Add(42)
+	r.Help("idaax_stmt_select_total", "SELECT statements executed.")
+	r.Gauge("idaax_fleet_members").Set(3)
+	r.GaugeFunc("idaax_rebalance_active", func() int64 { return 1 })
+	h := r.Histogram("idaax_stmt_seconds")
+	h.Observe(3 * time.Millisecond)
+	h.Observe(40 * time.Millisecond)
+
+	text := r.Text()
+	if err := ValidateExposition(text); err != nil {
+		t.Fatalf("Registry.Text does not conform: %v\n%s", err, text)
+	}
+	if !strings.Contains(text, "# HELP idaax_stmt_select_total SELECT statements executed.") {
+		t.Fatalf("registered help missing:\n%s", text)
+	}
+	if !strings.Contains(text, "# HELP idaax_fleet_members ") {
+		t.Fatalf("fallback help missing:\n%s", text)
+	}
+	if !strings.Contains(text, `idaax_stmt_seconds{quantile="0.95"}`) {
+		t.Fatalf("summary quantiles missing:\n%s", text)
+	}
+}
+
+func TestRegistryTextHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total").Inc()
+	r.Help("x_total", "line one\nwith a \\ backslash")
+	text := r.Text()
+	if err := ValidateExposition(text); err != nil {
+		t.Fatalf("escaped help rejected: %v\n%s", err, text)
+	}
+	if !strings.Contains(text, `line one\nwith a \\ backslash`) {
+		t.Fatalf("help not escaped:\n%s", text)
+	}
+}
+
+func TestValidateExpositionAccepts(t *testing.T) {
+	for name, text := range map[string]string{
+		"empty":              "",
+		"counter":            "# HELP a_total does things\n# TYPE a_total counter\na_total 1\n",
+		"gauge no help text": "# HELP g\n# TYPE g gauge\ng -2.5\n",
+		"labeled series": "# HELP req reqs\n# TYPE req counter\n" +
+			"req{method=\"get\",code=\"200\"} 3\nreq{method=\"post\",code=\"200\"} 1\n",
+		"escaped label value": "# HELP e x\n# TYPE e gauge\ne{msg=\"a\\\"b\\\\c\\nd\"} 1\n",
+		"summary":             "# HELP s x\n# TYPE s summary\ns{quantile=\"0.5\"} 0.1\ns_sum 2.0\ns_count 7\n",
+		"histogram": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 0.3\nh_count 2\n",
+		"special values": "# HELP v x\n# TYPE v gauge\nv{k=\"a\"} NaN\nv{k=\"b\"} +Inf\nv{k=\"c\"} 1e-9\n",
+	} {
+		if err := ValidateExposition(text); err != nil {
+			t.Errorf("%s: rejected valid exposition: %v", name, err)
+		}
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	for name, text := range map[string]string{
+		"sample without family":  "a_total 1\n",
+		"type without help":      "# TYPE a counter\na 1\n",
+		"help without type":      "# HELP a x\na 1\n",
+		"family without samples": "# HELP a x\n# TYPE a counter\n",
+		"duplicate type":         "# HELP a x\n# TYPE a counter\n# TYPE a counter\na 1\n",
+		"duplicate help":         "# HELP a x\n# HELP a y\n# TYPE a counter\na 1\n",
+		"type after sample":      "# HELP a x\na 1\n# TYPE a counter\n",
+		"unknown type":           "# HELP a x\n# TYPE a meter\na 1\n",
+		"bad metric name":        "# HELP 1a x\n# TYPE 1a counter\n1a 1\n",
+		"bad value":              "# HELP a x\n# TYPE a counter\na one\n",
+		"duplicate series":       "# HELP a x\n# TYPE a counter\na 1\na 2\n",
+		"duplicate labeled series": "# HELP a x\n# TYPE a counter\n" +
+			"a{x=\"1\",y=\"2\"} 1\na{y=\"2\",x=\"1\"} 1\n",
+		"unquoted label":         "# HELP a x\n# TYPE a counter\na{x=1} 1\n",
+		"bad escape":             "# HELP a x\n# TYPE a counter\na{x=\"\\t\"} 1\n",
+		"unterminated labels":    "# HELP a x\n# TYPE a counter\na{x=\"1\" 1\n",
+		"duplicate label names":  "# HELP a x\n# TYPE a counter\na{x=\"1\",x=\"2\"} 1\n",
+		"reserved label name":    "# HELP a x\n# TYPE a counter\na{__x=\"1\"} 1\n",
+		"bad quantile":           "# HELP s x\n# TYPE s summary\ns{quantile=\"p95\"} 1\n",
+		"summary base unlabeled": "# HELP s x\n# TYPE s summary\ns 1\n",
+		"histogram base sample":  "# HELP h x\n# TYPE h histogram\nh 1\n",
+		"bucket without le":      "# HELP h x\n# TYPE h histogram\nh_bucket 1\n",
+		"empty interior line":    "# HELP a x\n# TYPE a counter\n\na 1\n",
+		"trailing timestamp":     "# HELP a x\n# TYPE a counter\na 1 1234567\n",
+		"raw newline in help":    "# HELP a x\ny\n# TYPE a counter\na 1\n",
+		"bad help escape":        "# HELP a x\\t\n# TYPE a counter\na 1\n",
+	} {
+		if err := ValidateExposition(text); err == nil {
+			t.Errorf("%s: accepted invalid exposition:\n%s", name, text)
+		}
+	}
+}

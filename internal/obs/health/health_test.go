@@ -1,0 +1,248 @@
+package health
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestReportAggregatesWorst(t *testing.T) {
+	tr := NewTracker()
+	tr.Register("a", func() Probe { return Ok("fine") })
+	tr.Register("b", func() Probe { return Ok("fine") })
+
+	rep := tr.Report()
+	if rep.Status != Healthy || !rep.Healthy() || !rep.Ready() {
+		t.Fatalf("all-ok fleet reported %v", rep.Status)
+	}
+	if len(rep.Components) != 2 || rep.Components[0].Name != "a" {
+		t.Fatalf("components = %v", rep.Components)
+	}
+
+	tr.Register("b", func() Probe { return Degrade("lagging") })
+	rep = tr.Report()
+	if rep.Status != Degraded || !rep.Healthy() || rep.Ready() {
+		t.Fatalf("degraded fleet reported %v", rep.Status)
+	}
+
+	tr.Register("c", func() Probe { return Fail("stalled") })
+	rep = tr.Report()
+	if rep.Status != Unhealthy || rep.Healthy() {
+		t.Fatalf("unhealthy fleet reported %v", rep.Status)
+	}
+	if c, ok := rep.Component("c"); !ok || c.Status != Unhealthy || c.Detail != "stalled" {
+		t.Fatalf("component c = %v,%v", c, ok)
+	}
+}
+
+func TestOverridesWorseWins(t *testing.T) {
+	tr := NewTracker()
+	tr.Register("rebalancer", func() Probe { return Ok("idle") })
+
+	// Override worse than the check: override wins and is flagged.
+	tr.SetOverride("rebalancer", Fail("no progress for 3 intervals"))
+	rep := tr.Report()
+	c, _ := rep.Component("rebalancer")
+	if c.Status != Unhealthy || !c.Watchdog || rep.Healthy() {
+		t.Fatalf("override not applied: %+v", c)
+	}
+
+	// Check worse than the override: check wins, not flagged as watchdog.
+	tr.Register("rebalancer", func() Probe { return Fail("broken") })
+	tr.SetOverride("rebalancer", Degrade("slow"))
+	c, _ = tr.Report().Component("rebalancer")
+	if c.Status != Unhealthy || c.Watchdog || c.Detail != "broken" {
+		t.Fatalf("check should win over milder override: %+v", c)
+	}
+
+	tr.Register("rebalancer", func() Probe { return Ok("idle") })
+	tr.ClearOverride("rebalancer")
+	if rep := tr.Report(); rep.Status != Healthy {
+		t.Fatalf("clear did not restore health: %v", rep.Status)
+	}
+
+	// Override on a component with no check creates a synthetic component.
+	tr.SetOverride("query-latency", Degrade("slow-query spike"))
+	c, ok := tr.Report().Component("query-latency")
+	if !ok || c.Status != Degraded || !c.Watchdog {
+		t.Fatalf("synthetic component = %+v,%v", c, ok)
+	}
+
+	tr.Deregister("query-latency")
+	if _, ok := tr.Report().Component("query-latency"); ok {
+		t.Fatal("deregister left the synthetic component")
+	}
+}
+
+func TestStatusJSONAndWorse(t *testing.T) {
+	if Worse(Healthy, Degraded) != Degraded || Worse(Unhealthy, Degraded) != Unhealthy {
+		t.Fatal("Worse ordering broken")
+	}
+	b, err := json.Marshal(Report{Status: Degraded, Components: []ComponentHealth{{Name: "x", Status: Unhealthy}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Status != Degraded || back.Components[0].Status != Unhealthy {
+		t.Fatalf("report did not round-trip: %s", b)
+	}
+}
+
+func TestNilTrackerAndWatchdog(t *testing.T) {
+	var tr *Tracker
+	tr.Register("x", func() Probe { return Fail("x") })
+	tr.SetOverride("x", Fail("x"))
+	tr.ClearOverride("x")
+	tr.Deregister("x")
+	if rep := tr.Report(); rep.Status != Healthy || len(rep.Components) != 0 {
+		t.Fatalf("nil tracker report = %+v", rep)
+	}
+	var w *Watchdog
+	w.AddRule(Rule{Name: "r", Evaluate: func() *Probe { return nil }})
+	w.Tick()
+	w.Start()
+	w.Stop()
+	if w.Ticks() != 0 || w.Running() {
+		t.Fatal("nil watchdog leaked state")
+	}
+}
+
+func TestWatchdogFireAndRecover(t *testing.T) {
+	tr := NewTracker()
+	tr.Register("rebalancer", func() Probe { return Ok("idle") })
+	w := NewWatchdog(tr, time.Hour) // background loop unused; we Tick manually
+
+	var stalled atomic.Bool
+	w.AddRule(Rule{
+		Name:      "rebalance-stall",
+		Component: "rebalancer",
+		Evaluate: func() *Probe {
+			if stalled.Load() {
+				p := Fail("no progress")
+				return &p
+			}
+			return nil
+		},
+	})
+	var mu sync.Mutex
+	var seen []Transition
+	w.OnTransition(func(tr Transition) {
+		mu.Lock()
+		seen = append(seen, tr)
+		mu.Unlock()
+	})
+
+	w.Tick()
+	if rep := tr.Report(); rep.Status != Healthy {
+		t.Fatalf("rule fired while condition false: %v", rep.Status)
+	}
+
+	stalled.Store(true)
+	w.Tick()
+	w.Tick() // still firing: no second transition
+	if rep := tr.Report(); rep.Status != Unhealthy {
+		t.Fatalf("rule did not flip component: %v", rep.Status)
+	}
+	mu.Lock()
+	if len(seen) != 1 || seen[0].Rule != "rebalance-stall" || seen[0].Probe == nil {
+		t.Fatalf("transitions = %+v", seen)
+	}
+	mu.Unlock()
+
+	stalled.Store(false)
+	w.Tick()
+	if rep := tr.Report(); rep.Status != Healthy {
+		t.Fatalf("recovery did not clear override: %v", rep.Status)
+	}
+	mu.Lock()
+	if len(seen) != 2 || seen[1].Probe != nil {
+		t.Fatalf("recovery transition = %+v", seen)
+	}
+	mu.Unlock()
+	if w.Ticks() != 4 {
+		t.Fatalf("Ticks = %d, want 4", w.Ticks())
+	}
+}
+
+func TestWatchdogStartStopIdempotent(t *testing.T) {
+	tr := NewTracker()
+	w := NewWatchdog(tr, time.Millisecond)
+	var evals atomic.Int64
+	w.AddRule(Rule{Name: "count", Component: "c", Evaluate: func() *Probe {
+		evals.Add(1)
+		return nil
+	}})
+	w.Start()
+	w.Start() // idempotent
+	if !w.Running() {
+		t.Fatal("not running after Start")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for evals.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if evals.Load() < 3 {
+		t.Fatalf("background loop evaluated %d times", evals.Load())
+	}
+	w.Stop()
+	w.Stop() // idempotent
+	if w.Running() {
+		t.Fatal("still running after Stop")
+	}
+	n := evals.Load()
+	time.Sleep(10 * time.Millisecond)
+	if evals.Load() != n {
+		t.Fatal("loop still evaluating after Stop")
+	}
+	// Restart works.
+	w.Start()
+	deadline = time.Now().Add(2 * time.Second)
+	for evals.Load() == n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if evals.Load() == n {
+		t.Fatal("restart did not resume evaluation")
+	}
+	w.Stop()
+}
+
+func TestWatchdogConcurrentTickAndReport(t *testing.T) {
+	tr := NewTracker()
+	for _, name := range []string{"a", "b", "c"} {
+		n := name
+		tr.Register(n, func() Probe { return Ok(n) })
+	}
+	w := NewWatchdog(tr, time.Millisecond)
+	var flip atomic.Bool
+	w.AddRule(Rule{Name: "flap", Component: "b", Evaluate: func() *Probe {
+		if flip.Load() {
+			p := Degrade("flap")
+			return &p
+		}
+		return nil
+	}})
+	w.Start()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				flip.Store(i%2 == 0)
+				rep := tr.Report()
+				if rep.Status == Unhealthy {
+					t.Error("flapping degrade must never read unhealthy")
+					return
+				}
+				w.Tick()
+			}
+		}()
+	}
+	wg.Wait()
+	w.Stop()
+}

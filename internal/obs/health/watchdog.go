@@ -1,0 +1,192 @@
+package health
+
+import (
+	"sync"
+	"time"
+)
+
+// Rule is one watchdog rule: a named condition evaluated every tick against a
+// component. Evaluate returns nil when the condition does not hold (any
+// override the rule imposed earlier is lifted) and a probe when it does (the
+// probe is imposed as the component's watchdog override). Rules that need
+// memory across ticks — "no rebalance progress for N intervals", "error count
+// grew since last tick" — keep it in the closure.
+type Rule struct {
+	// Name identifies the rule in events ("rebalance-stall").
+	Name string
+	// Component is the tracker component the rule's verdict lands on.
+	Component string
+	// Evaluate runs once per tick. It must be cheap and must not block.
+	Evaluate func() *Probe
+}
+
+// Transition describes a rule changing state on a tick: firing (Probe set) or
+// recovering (Probe nil, after having fired).
+type Transition struct {
+	Rule      string
+	Component string
+	// Probe is the imposed verdict when firing, nil on recovery.
+	Probe *Probe
+}
+
+// Watchdog periodically evaluates rules against a tracker. It owns one
+// background goroutine between Start and Stop; Tick is exported so tests (and
+// the federation layer's deterministic paths) can evaluate synchronously
+// without the goroutine.
+type Watchdog struct {
+	tracker  *Tracker
+	interval time.Duration
+
+	mu      sync.Mutex
+	rules   []Rule
+	firing  map[string]bool // rule name -> fired on the previous evaluation
+	onEvent func(Transition)
+	ticks   int64
+
+	runMu   sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	running bool
+}
+
+// NewWatchdog creates a stopped watchdog over the tracker. interval <= 0
+// defaults to one second.
+func NewWatchdog(t *Tracker, interval time.Duration) *Watchdog {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Watchdog{
+		tracker:  t,
+		interval: interval,
+		firing:   make(map[string]bool),
+	}
+}
+
+// AddRule installs a rule. Rules added while running take effect on the next
+// tick.
+func (w *Watchdog) AddRule(r Rule) {
+	if w == nil || r.Evaluate == nil {
+		return
+	}
+	w.mu.Lock()
+	w.rules = append(w.rules, r)
+	w.mu.Unlock()
+}
+
+// OnTransition installs the callback invoked (outside the watchdog lock)
+// whenever a rule starts or stops firing — the federation layer bridges it to
+// the event journal.
+func (w *Watchdog) OnTransition(fn func(Transition)) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.onEvent = fn
+	w.mu.Unlock()
+}
+
+// Tick evaluates every rule once, imposing or lifting overrides on the
+// tracker and reporting transitions. Safe to call whether or not the
+// background loop is running.
+func (w *Watchdog) Tick() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	rules := make([]Rule, len(w.rules))
+	copy(rules, w.rules)
+	onEvent := w.onEvent
+	w.ticks++
+	w.mu.Unlock()
+
+	var transitions []Transition
+	for _, r := range rules {
+		p := r.Evaluate()
+		w.mu.Lock()
+		was := w.firing[r.Name]
+		w.firing[r.Name] = p != nil
+		w.mu.Unlock()
+		if p != nil {
+			w.tracker.SetOverride(r.Component, *p)
+			if !was {
+				transitions = append(transitions, Transition{Rule: r.Name, Component: r.Component, Probe: p})
+			}
+		} else if was {
+			// Lift only if no other currently-firing rule targets the component;
+			// otherwise that rule's next evaluation re-imposes its own verdict.
+			w.tracker.ClearOverride(r.Component)
+			transitions = append(transitions, Transition{Rule: r.Name, Component: r.Component})
+		}
+	}
+	if onEvent != nil {
+		for _, tr := range transitions {
+			onEvent(tr)
+		}
+	}
+}
+
+// Ticks returns how many evaluations have run (background or explicit).
+func (w *Watchdog) Ticks() int64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.ticks
+}
+
+// Running reports whether the background loop is active.
+func (w *Watchdog) Running() bool {
+	if w == nil {
+		return false
+	}
+	w.runMu.Lock()
+	defer w.runMu.Unlock()
+	return w.running
+}
+
+// Start launches the background evaluation loop. Idempotent.
+func (w *Watchdog) Start() {
+	if w == nil {
+		return
+	}
+	w.runMu.Lock()
+	defer w.runMu.Unlock()
+	if w.running {
+		return
+	}
+	w.running = true
+	w.stop = make(chan struct{})
+	w.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		ticker := time.NewTicker(w.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				w.Tick()
+			}
+		}
+	}(w.stop, w.done)
+}
+
+// Stop halts the background loop and waits for it to exit. Idempotent; safe
+// when never started.
+func (w *Watchdog) Stop() {
+	if w == nil {
+		return
+	}
+	w.runMu.Lock()
+	if !w.running {
+		w.runMu.Unlock()
+		return
+	}
+	w.running = false
+	stop, done := w.stop, w.done
+	w.runMu.Unlock()
+	close(stop)
+	<-done
+}

@@ -229,6 +229,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	helps    map[string]string
 }
 
 // NewRegistry creates an empty registry.
@@ -237,7 +238,37 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		helps:    make(map[string]string),
 	}
+}
+
+// Help registers the descriptive text emitted as the metric's # HELP line.
+// Metrics without registered help get a generic line derived from the name,
+// so the exposition always carries a HELP/TYPE pair per family.
+func (r *Registry) Help(name, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.helps[name] = text
+	r.mu.Unlock()
+}
+
+// helpFor returns the registered help for name, or a generic fallback.
+func (r *Registry) helpFor(name, kind string) string {
+	r.mu.RLock()
+	h := r.helps[name]
+	r.mu.RUnlock()
+	if h == "" {
+		h = "idaax " + kind + " " + name + "."
+	}
+	return h
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -355,9 +386,10 @@ func (r *Registry) Snapshot() Report {
 	return rep
 }
 
-// Text renders the registry in Prometheus exposition format: counters and
-// gauges as single samples, histograms as _count/_sum plus quantile samples.
-// Names are emitted in sorted order so the output is stable.
+// Text renders the registry in Prometheus exposition format: a # HELP/# TYPE
+// pair per family, counters and gauges as single samples, histograms as
+// _count/_sum plus quantile samples. Names are emitted in sorted order so the
+// output is stable; ValidateExposition (exposition.go) pins the format.
 func (r *Registry) Text() string {
 	rep := r.Snapshot()
 	var sb strings.Builder
@@ -367,7 +399,8 @@ func (r *Registry) Text() string {
 	}
 	sort.Strings(names)
 	for _, k := range names {
-		fmt.Fprintf(&sb, "# TYPE %s counter\n%s %d\n", k, k, rep.Counters[k])
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			k, escapeHelp(r.helpFor(k, "counter")), k, k, rep.Counters[k])
 	}
 	names = names[:0]
 	for k := range rep.Gauges {
@@ -375,7 +408,8 @@ func (r *Registry) Text() string {
 	}
 	sort.Strings(names)
 	for _, k := range names {
-		fmt.Fprintf(&sb, "# TYPE %s gauge\n%s %d\n", k, k, rep.Gauges[k])
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+			k, escapeHelp(r.helpFor(k, "gauge")), k, k, rep.Gauges[k])
 	}
 	names = names[:0]
 	for k := range rep.Histograms {
@@ -384,6 +418,7 @@ func (r *Registry) Text() string {
 	sort.Strings(names)
 	for _, k := range names {
 		h := rep.Histograms[k]
+		fmt.Fprintf(&sb, "# HELP %s %s\n", k, escapeHelp(r.helpFor(k, "latency summary")))
 		fmt.Fprintf(&sb, "# TYPE %s summary\n", k)
 		fmt.Fprintf(&sb, "%s{quantile=\"0.5\"} %.6f\n", k, h.P50.Seconds())
 		fmt.Fprintf(&sb, "%s{quantile=\"0.95\"} %.6f\n", k, h.P95.Seconds())

@@ -1,0 +1,92 @@
+package obs
+
+// Resource accounting types shared by the storage layers: colstore and
+// rowstore report per-table/per-column memory footprints, an accelerator
+// aggregates its tables into a StoreResources, and shard.Router gathers the
+// members' stores into a FleetResources so capacity skew across the fleet is
+// visible to the ops plane (/fleet endpoint, fleet gauges). Defined here —
+// the one package every storage layer already imports — so the reports cross
+// the Backend seam without new dependencies.
+
+// ColumnResources is one column's storage footprint.
+type ColumnResources struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"`
+	Bytes int64  `json:"bytes"`
+	// Blocks is the number of ZoneBlockSize row blocks the column spans.
+	Blocks int `json:"blocks"`
+	// ZoneMapEntries counts the zone-map slots maintained for the column
+	// (numeric min/max per block, plus string min/max per block for string
+	// columns).
+	ZoneMapEntries int `json:"zone_map_entries"`
+}
+
+// TableResources is one table's storage footprint.
+type TableResources struct {
+	Table string `json:"table"`
+	// Rows counts row versions (colstore: including not-yet-swept deleted
+	// versions; rowstore: live rows).
+	Rows           int64             `json:"rows"`
+	Bytes          int64             `json:"bytes"`
+	Blocks         int               `json:"blocks"`
+	ZoneMapEntries int               `json:"zone_map_entries"`
+	Columns        []ColumnResources `json:"columns,omitempty"`
+}
+
+// StoreResources is one store's (accelerator member's or the DB2 rowstore's)
+// aggregate footprint.
+type StoreResources struct {
+	// Member names the accelerator or shard member ("DB2" for the rowstore).
+	Member         string           `json:"member"`
+	Tables         int              `json:"tables"`
+	Rows           int64            `json:"rows"`
+	Bytes          int64            `json:"bytes"`
+	Blocks         int              `json:"blocks"`
+	ZoneMapEntries int              `json:"zone_map_entries"`
+	TableDetail    []TableResources `json:"table_detail,omitempty"`
+}
+
+// AddTable folds one table into the store aggregate.
+func (s *StoreResources) AddTable(t TableResources) {
+	s.Tables++
+	s.Rows += t.Rows
+	s.Bytes += t.Bytes
+	s.Blocks += t.Blocks
+	s.ZoneMapEntries += t.ZoneMapEntries
+	s.TableDetail = append(s.TableDetail, t)
+}
+
+// FleetResources is the fleet-wide view: per-member stores plus the skew
+// summary the capacity gauges export.
+type FleetResources struct {
+	Members    []StoreResources `json:"members"`
+	TotalBytes int64            `json:"total_bytes"`
+	TotalRows  int64            `json:"total_rows"`
+	// MaxMemberBytes/MinMemberBytes bound the per-member footprints.
+	MaxMemberBytes int64 `json:"max_member_bytes"`
+	MinMemberBytes int64 `json:"min_member_bytes"`
+	// SkewPct is how far the largest member sits above the per-member mean,
+	// in percent (0 = perfectly balanced; 100 = the largest member holds twice
+	// the mean). The fleet_capacity_skew_pct gauge exports it.
+	SkewPct float64 `json:"skew_pct"`
+}
+
+// AggregateFleet folds per-member stores into the fleet view.
+func AggregateFleet(members []StoreResources) FleetResources {
+	f := FleetResources{Members: members}
+	for i, m := range members {
+		f.TotalBytes += m.Bytes
+		f.TotalRows += m.Rows
+		if i == 0 || m.Bytes > f.MaxMemberBytes {
+			f.MaxMemberBytes = m.Bytes
+		}
+		if i == 0 || m.Bytes < f.MinMemberBytes {
+			f.MinMemberBytes = m.Bytes
+		}
+	}
+	if n := len(members); n > 0 && f.TotalBytes > 0 {
+		mean := float64(f.TotalBytes) / float64(n)
+		f.SkewPct = 100 * (float64(f.MaxMemberBytes) - mean) / mean
+	}
+	return f
+}

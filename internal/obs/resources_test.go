@@ -1,0 +1,36 @@
+package obs
+
+import "testing"
+
+func TestAggregateFleet(t *testing.T) {
+	f := AggregateFleet(nil)
+	if f.TotalBytes != 0 || f.SkewPct != 0 {
+		t.Fatalf("empty fleet = %+v", f)
+	}
+
+	a := StoreResources{Member: "A"}
+	a.AddTable(TableResources{Table: "T", Rows: 100, Bytes: 3000, Blocks: 1, ZoneMapEntries: 2})
+	b := StoreResources{Member: "B"}
+	b.AddTable(TableResources{Table: "T", Rows: 50, Bytes: 1000, Blocks: 1, ZoneMapEntries: 2})
+	if a.Tables != 1 || a.Bytes != 3000 || a.Rows != 100 {
+		t.Fatalf("AddTable aggregate = %+v", a)
+	}
+
+	f = AggregateFleet([]StoreResources{a, b})
+	if f.TotalBytes != 4000 || f.TotalRows != 150 {
+		t.Fatalf("totals = %+v", f)
+	}
+	if f.MaxMemberBytes != 3000 || f.MinMemberBytes != 1000 {
+		t.Fatalf("bounds = %+v", f)
+	}
+	// Mean is 2000; the largest member is 50% above it.
+	if f.SkewPct < 49.9 || f.SkewPct > 50.1 {
+		t.Fatalf("SkewPct = %v, want 50", f.SkewPct)
+	}
+
+	// Balanced fleet has zero skew.
+	f = AggregateFleet([]StoreResources{a, a})
+	if f.SkewPct != 0 {
+		t.Fatalf("balanced SkewPct = %v", f.SkewPct)
+	}
+}

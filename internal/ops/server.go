@@ -1,0 +1,277 @@
+// Package ops is the read-only operations HTTP server: Prometheus metrics,
+// health and readiness probes, the structured event journal, the query
+// history, the fleet capacity view and the Go profiling endpoints. It depends
+// only on the obs packages — the federation layer hands it closures over its
+// own surfaces — so it carries no query-engine code and can never mutate
+// state.
+package ops
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"idaax/internal/obs"
+	"idaax/internal/obs/eventlog"
+	"idaax/internal/obs/health"
+)
+
+// Source is everything the server serves, expressed as read-only closures so
+// the package stays decoupled from the federation layer.
+type Source struct {
+	// MetricsText renders the registry in Prometheus exposition format.
+	MetricsText func() string
+	// Health aggregates the component checks into the fleet verdict.
+	Health func() health.Report
+	// Events is the structured event journal (may be nil).
+	Events *eventlog.Log
+	// Queries returns the n most recent statements, newest first; slow
+	// restricts to statements that crossed the slow-query threshold.
+	Queries func(n int, slow bool) []obs.QueryRecord
+	// Fleet returns the fleet capacity view.
+	Fleet func() obs.FleetResources
+}
+
+// Server is the operations HTTP server. Create with NewServer, start with
+// Start, stop with Close (graceful: in-flight requests get shutdownTimeout to
+// finish).
+type Server struct {
+	addr string
+	src  Source
+
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// shutdownTimeout bounds how long Close waits for in-flight requests.
+const shutdownTimeout = 5 * time.Second
+
+// NewServer builds a server for addr (e.g. ":8080", "127.0.0.1:0").
+func NewServer(addr string, src Source) *Server {
+	s := &Server{addr: addr, src: src}
+	s.httpSrv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the route table as a plain http.Handler, so tests can drive
+// the endpoints through httptest without opening a socket.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/queries", s.handleQueries)
+	mux.HandleFunc("/fleet", s.handleFleet)
+	// The profiling endpoints are registered explicitly: the server runs its
+	// own mux, never http.DefaultServeMux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return readOnly(mux)
+}
+
+// readOnly rejects anything but GET and HEAD: every endpoint is a view, so
+// the ops port can be exposed without write risk.
+func readOnly(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "ops server is read-only", http.StatusMethodNotAllowed)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Start binds the listener and serves in the background. It returns once the
+// address is bound (so Addr is valid), or with the bind error.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.addr)
+	if err != nil {
+		return fmt.Errorf("ops: listen %s: %w", s.addr, err)
+	}
+	s.ln = ln
+	if s.src.Events != nil {
+		s.src.Events.Emitf(eventlog.TypeOpsServer, eventlog.Info, "", "",
+			"ops server listening on "+ln.Addr().String())
+	}
+	go func() { _ = s.httpSrv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound address (useful with ":0"); empty before Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close gracefully shuts the server down, waiting up to shutdownTimeout for
+// in-flight requests. Safe to call more than once and before Start.
+func (s *Server) Close() error {
+	if s.ln == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	err := s.httpSrv.Shutdown(ctx)
+	if s.src.Events != nil {
+		s.src.Events.Emitf(eventlog.TypeOpsServer, eventlog.Info, "", "", "ops server stopped")
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{
+		"/metrics":      "Prometheus exposition of every counter, gauge and latency summary",
+		"/healthz":      "fleet health report; 503 when any component is unhealthy",
+		"/readyz":       "readiness; 503 unless every component is healthy",
+		"/events":       "structured event journal, newest first (?n=, ?severity=WARN, ?type=)",
+		"/queries":      "query history, newest first (?n=, ?slow=1)",
+		"/fleet":        "per-member resource accounting and capacity skew",
+		"/debug/pprof/": "Go runtime profiles",
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var text string
+	if s.src.MetricsText != nil {
+		text = s.src.MetricsText()
+	}
+	_, _ = w.Write([]byte(text))
+}
+
+func (s *Server) report() health.Report {
+	if s.src.Health == nil {
+		return health.Report{}
+	}
+	return s.src.Health()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rep := s.report()
+	status := http.StatusOK
+	if !rep.Healthy() {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, rep)
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	rep := s.report()
+	status := http.StatusOK
+	if !rep.Ready() {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, rep)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	n := intParam(r, "n", 100)
+	var f eventlog.Filter
+	if sev := r.URL.Query().Get("severity"); sev != "" {
+		parsed, ok := eventlog.ParseSeverity(sev)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown severity %q (use INFO, WARN or ERROR)", sev), http.StatusBadRequest)
+			return
+		}
+		f.MinSeverity = parsed
+	}
+	f.Type = strings.TrimSpace(r.URL.Query().Get("type"))
+	evs := s.src.Events.Recent(n, f)
+	if evs == nil {
+		evs = []eventlog.Event{}
+	}
+	writeJSON(w, http.StatusOK, evs)
+}
+
+// queryView is the JSON shape of one history entry: stable lowercase names
+// and elapsed in milliseconds (obs.QueryRecord itself carries Go-side types).
+type queryView struct {
+	Seq       int64   `json:"seq"`
+	SQL       string  `json:"sql"`
+	User      string  `json:"user"`
+	Class     string  `json:"class"`
+	Routed    string  `json:"routed"`
+	Start     string  `json:"start"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Rows      int     `json:"rows"`
+	Err       string  `json:"error,omitempty"`
+	Slow      bool    `json:"slow"`
+}
+
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	n := intParam(r, "n", 50)
+	slow := r.URL.Query().Get("slow") != ""
+	var recs []obs.QueryRecord
+	if s.src.Queries != nil {
+		recs = s.src.Queries(n, slow)
+	}
+	views := make([]queryView, len(recs))
+	for i, rec := range recs {
+		views[i] = queryView{
+			Seq:       rec.Seq,
+			SQL:       rec.SQL,
+			User:      rec.User,
+			Class:     rec.Class,
+			Routed:    rec.Routed,
+			Start:     rec.Start.Format(time.RFC3339Nano),
+			ElapsedMS: float64(rec.Elapsed) / float64(time.Millisecond),
+			Rows:      rec.Rows,
+			Err:       rec.Err,
+			Slow:      rec.Slow(),
+		}
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	var fr obs.FleetResources
+	if s.src.Fleet != nil {
+		fr = s.src.Fleet()
+	}
+	writeJSON(w, http.StatusOK, fr)
+}

@@ -1,0 +1,230 @@
+package ops
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"idaax/internal/obs"
+	"idaax/internal/obs/eventlog"
+	"idaax/internal/obs/health"
+)
+
+func testSource(t *health.Tracker, log *eventlog.Log) Source {
+	reg := obs.NewRegistry()
+	reg.Counter("test_total").Inc()
+	return Source{
+		MetricsText: reg.Text,
+		Health:      t.Report,
+		Events:      log,
+		Queries: func(n int, slow bool) []obs.QueryRecord {
+			recs := []obs.QueryRecord{
+				{Seq: 2, SQL: "SELECT 2", User: "U", Class: "select", Start: time.Now(), Elapsed: 250 * time.Millisecond, Trace: "slow"},
+				{Seq: 1, SQL: "SELECT 1", User: "U", Class: "select", Start: time.Now(), Elapsed: time.Millisecond},
+			}
+			if slow {
+				return recs[:1]
+			}
+			return recs
+		},
+		Fleet: func() obs.FleetResources {
+			return obs.AggregateFleet([]obs.StoreResources{
+				{Member: "A", Bytes: 100, Rows: 10, Tables: 1},
+				{Member: "B", Bytes: 300, Rows: 30, Tables: 1},
+			})
+		},
+	}
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := NewServer(":0", testSource(health.NewTracker(), eventlog.New(8)))
+	rec := get(t, srv.Handler(), "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "test_total 1") {
+		t.Fatalf("missing counter sample:\n%s", body)
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+}
+
+func TestHealthzFlips(t *testing.T) {
+	tr := health.NewTracker()
+	tr.Register("ok", func() health.Probe { return health.Ok("") })
+	srv := NewServer(":0", testSource(tr, nil))
+	h := srv.Handler()
+
+	if rec := get(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthy /healthz = %d", rec.Code)
+	}
+	if rec := get(t, h, "/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthy /readyz = %d", rec.Code)
+	}
+
+	// Degraded: /healthz stays 200 (still serving), /readyz flips 503.
+	tr.SetOverride("ok", health.Degrade("wobbly"))
+	if rec := get(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("degraded /healthz = %d", rec.Code)
+	}
+	if rec := get(t, h, "/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /readyz = %d", rec.Code)
+	}
+
+	// Unhealthy: both 503, and the component detail is in the JSON.
+	tr.SetOverride("ok", health.Fail("down"))
+	rec := get(t, h, "/healthz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy /healthz = %d", rec.Code)
+	}
+	var rep health.Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("healthz body: %v", err)
+	}
+	if rep.Status != health.Unhealthy || len(rep.Components) != 1 || rep.Components[0].Detail != "down" {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestEventsEndpointFilters(t *testing.T) {
+	log := eventlog.New(16)
+	log.Emitf(eventlog.TypeMemberAdded, eventlog.Info, "S1", "", "joined")
+	log.Emitf(eventlog.TypeCDCLagHigh, eventlog.Warn, "", "T", "lag")
+	log.Emitf(eventlog.TypeRebalanceFailed, eventlog.Error, "S2", "", "boom")
+	srv := NewServer(":0", testSource(health.NewTracker(), log))
+	h := srv.Handler()
+
+	var evs []eventlog.Event
+	rec := get(t, h, "/events")
+	if err := json.Unmarshal(rec.Body.Bytes(), &evs); err != nil {
+		t.Fatalf("events body: %v", err)
+	}
+	if len(evs) != 3 || evs[0].Type != eventlog.TypeRebalanceFailed {
+		t.Fatalf("events = %+v", evs)
+	}
+
+	rec = get(t, h, "/events?severity=WARN&n=10")
+	evs = nil
+	_ = json.Unmarshal(rec.Body.Bytes(), &evs)
+	if len(evs) != 2 {
+		t.Fatalf("warn events = %+v", evs)
+	}
+
+	rec = get(t, h, "/events?type="+eventlog.TypeCDCLagHigh)
+	evs = nil
+	_ = json.Unmarshal(rec.Body.Bytes(), &evs)
+	if len(evs) != 1 || evs[0].Table != "T" {
+		t.Fatalf("typed events = %+v", evs)
+	}
+
+	if rec := get(t, h, "/events?severity=BOGUS"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bogus severity = %d", rec.Code)
+	}
+}
+
+func TestQueriesAndFleetEndpoints(t *testing.T) {
+	srv := NewServer(":0", testSource(health.NewTracker(), nil))
+	h := srv.Handler()
+
+	var qs []map[string]any
+	rec := get(t, h, "/queries")
+	if err := json.Unmarshal(rec.Body.Bytes(), &qs); err != nil {
+		t.Fatalf("queries body: %v", err)
+	}
+	if len(qs) != 2 || qs[0]["sql"] != "SELECT 2" || qs[0]["slow"] != true {
+		t.Fatalf("queries = %+v", qs)
+	}
+	rec = get(t, h, "/queries?slow=1")
+	qs = nil
+	_ = json.Unmarshal(rec.Body.Bytes(), &qs)
+	if len(qs) != 1 {
+		t.Fatalf("slow queries = %+v", qs)
+	}
+
+	var fleet obs.FleetResources
+	rec = get(t, h, "/fleet")
+	if err := json.Unmarshal(rec.Body.Bytes(), &fleet); err != nil {
+		t.Fatalf("fleet body: %v", err)
+	}
+	if len(fleet.Members) != 2 || fleet.TotalBytes != 400 || fleet.MaxMemberBytes != 300 {
+		t.Fatalf("fleet = %+v", fleet)
+	}
+	if fleet.SkewPct != 50 {
+		t.Fatalf("skew = %v", fleet.SkewPct)
+	}
+}
+
+func TestReadOnlyGuardAndIndex(t *testing.T) {
+	srv := NewServer(":0", testSource(health.NewTracker(), eventlog.New(4)))
+	h := srv.Handler()
+
+	req := httptest.NewRequest(http.MethodPost, "/metrics", strings.NewReader("x"))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics = %d", rec.Code)
+	}
+	for _, method := range []string{http.MethodPut, http.MethodDelete} {
+		req := httptest.NewRequest(method, "/events", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Fatalf("%s /events = %d", method, rec.Code)
+		}
+	}
+
+	if rec := get(t, h, "/"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "/healthz") {
+		t.Fatalf("index = %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, h, "/nope"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown path = %d", rec.Code)
+	}
+	if rec := get(t, h, "/debug/pprof/"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Fatalf("pprof index = %d", rec.Code)
+	}
+}
+
+func TestStartServeClose(t *testing.T) {
+	log := eventlog.New(8)
+	srv := NewServer("127.0.0.1:0", testSource(health.NewTracker(), log))
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live /healthz = %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/healthz"); err == nil {
+		t.Fatal("server still reachable after Close")
+	}
+	evs := log.Recent(0, eventlog.Filter{Type: eventlog.TypeOpsServer})
+	if len(evs) < 2 {
+		t.Fatalf("expected start+stop events, got %+v", evs)
+	}
+}

@@ -38,6 +38,25 @@ func (t *Table) Schema() types.Schema {
 	return t.schema
 }
 
+// ApproxBytes estimates the in-memory footprint of the heap: the Value
+// structs of every stored row version (tombstoned rows included until
+// truncate), string payloads, and the tombstone bitmap. Feeds the resource
+// accounting of the ops plane, where the rowstore appears beside the
+// accelerator members.
+func (t *Table) ApproxBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var b int64
+	for _, row := range t.rows {
+		b += int64(len(row)) * 40 // sizeof(types.Value)
+		for _, v := range row {
+			b += int64(len(v.Str))
+		}
+	}
+	b += int64(len(t.deleted))
+	return b
+}
+
 // RowCount returns the number of live (non-deleted) rows.
 func (t *Table) RowCount() int {
 	t.mu.RLock()

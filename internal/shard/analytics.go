@@ -131,6 +131,7 @@ func (r *Router) CallShardLocalTraced(txnID int64, table, proc string, sp *obs.S
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
+			r.emitScatterFailure(ms[i].Name(), types.NormalizeName(table), proc, err)
 			return nil, fmt.Errorf("shard %s: %w", ms[i].Name(), err)
 		}
 	}

@@ -9,6 +9,7 @@ import (
 
 	"idaax/internal/accel"
 	"idaax/internal/colstore"
+	"idaax/internal/obs/eventlog"
 	"idaax/internal/types"
 )
 
@@ -125,6 +126,7 @@ func (r *Router) AddMember(a *accel.Accelerator) error {
 	atomic.AddInt64(&r.epoch, 1)
 	r.retargetLocked()
 	r.mu.Unlock()
+	r.emitMember(eventlog.TypeMemberAdded, a.Name(), fmt.Sprintf("%s joined shard group %s", a.Name(), r.name))
 	r.StartRebalance()
 	return nil
 }
@@ -161,12 +163,17 @@ func (r *Router) RemoveMember(name string) error {
 	atomic.AddInt64(&r.epoch, 1)
 	r.retargetLocked()
 	r.mu.Unlock()
+	r.emitMember(eventlog.TypeMemberDraining, name, fmt.Sprintf("%s draining out of shard group %s", name, r.name))
 
 	r.StartRebalance()
 	if err := r.WaitRebalance(); err != nil {
 		return err
 	}
-	return r.detach(name)
+	if err := r.detach(name); err != nil {
+		return err
+	}
+	r.emitMember(eventlog.TypeMemberDetached, name, fmt.Sprintf("%s detached from shard group %s", name, r.name))
+	return nil
 }
 
 // retargetLocked installs a fresh placement map for every sharded table after
@@ -294,6 +301,8 @@ func (r *Router) StartRebalance() {
 	r.rebal.done = make(chan struct{})
 	r.rebal.passStart = time.Now()
 	r.rebal.rowsAtStart = atomic.LoadInt64(&r.stats.RowsMigrated)
+	r.emitRebalance(eventlog.TypeRebalanceStarted, eventlog.Info, "",
+		fmt.Sprintf("rebalance started on %s (epoch %d)", r.name, r.Epoch()))
 	go r.rebalanceWorker()
 }
 
@@ -327,6 +336,13 @@ func (r *Router) rebalanceWorker() {
 		r.rebal.running = false
 		close(r.rebal.done)
 		r.rebal.mu.Unlock()
+		if err != nil {
+			r.emitRebalance(eventlog.TypeRebalanceFailed, eventlog.Error, "",
+				fmt.Sprintf("rebalance failed on %s: %v", r.name, err))
+		} else {
+			r.emitRebalance(eventlog.TypeRebalanceDone, eventlog.Info, "",
+				fmt.Sprintf("rebalance completed on %s (epoch %d)", r.name, r.Epoch()))
+		}
 		return
 	}
 }
@@ -601,6 +617,8 @@ func (r *Router) moveBatch(name string, meta *tableMeta, ms []*accel.Accelerator
 
 	atomic.AddInt64(&r.stats.RowsMigrated, int64(len(claimed)))
 	atomic.AddInt64(&r.stats.RebalanceBatches, 1)
+	r.emitRebalance(eventlog.TypeRebalanceBatch, eventlog.Info, name,
+		fmt.Sprintf("moved %d rows of %s off %s", len(claimed), name, src.Name()))
 	return len(claimed), pending, nil
 }
 

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 
 	"idaax/internal/accel"
+	"idaax/internal/obs"
+	"idaax/internal/obs/eventlog"
 	"idaax/internal/planner"
 	"idaax/internal/sqlparse"
 	"idaax/internal/stats"
@@ -196,6 +198,10 @@ type Router struct {
 	// DistributedProcCalls.
 	procMu    sync.Mutex
 	procCalls map[string]int64
+
+	// events is the ops-plane journal (nil until SetEventLog wires one; every
+	// eventlog method is nil-safe, so emission points need no guards).
+	events atomic.Pointer[eventlog.Log]
 }
 
 // NewRouter creates a router over the given member accelerators. At least one
@@ -269,6 +275,7 @@ func (r *Router) Stats() accel.Stats {
 	for _, m := range r.Members() {
 		st := m.Stats()
 		out.QueriesRun += st.QueriesRun
+		out.QueryErrors += st.QueryErrors
 		out.RowsScanned += st.RowsScanned
 		out.BlocksPruned += st.BlocksPruned
 		out.RowsIngested += st.RowsIngested
@@ -279,6 +286,48 @@ func (r *Router) Stats() accel.Stats {
 	}
 	out.Tables = tables
 	return out
+}
+
+// Resources aggregates the members' storage footprints into one store view
+// labelled with the group name (the accel.Backend form — callers that cannot
+// tell a fleet from a single accelerator). Per-member detail, which is what
+// makes capacity skew visible, stays on FleetResources.
+func (r *Router) Resources() obs.StoreResources {
+	fleet := r.FleetResources()
+	out := obs.StoreResources{Member: r.name}
+	perTable := make(map[string]*obs.TableResources)
+	var order []string
+	for _, m := range fleet.Members {
+		for _, t := range m.TableDetail {
+			agg := perTable[t.Table]
+			if agg == nil {
+				agg = &obs.TableResources{Table: t.Table}
+				perTable[t.Table] = agg
+				order = append(order, t.Table)
+			}
+			agg.Rows += t.Rows
+			agg.Bytes += t.Bytes
+			agg.Blocks += t.Blocks
+			agg.ZoneMapEntries += t.ZoneMapEntries
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		out.AddTable(*perTable[name])
+	}
+	return out
+}
+
+// FleetResources reports every member's storage footprint (per-table,
+// per-column) plus the fleet totals and skew summary the capacity gauges
+// export.
+func (r *Router) FleetResources() obs.FleetResources {
+	ms := r.Members()
+	members := make([]obs.StoreResources, len(ms))
+	for i, m := range ms {
+		members[i] = m.Resources()
+	}
+	return obs.AggregateFleet(members)
 }
 
 // MemberStats returns each shard's own activity counters, in shard order.

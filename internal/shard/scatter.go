@@ -444,6 +444,7 @@ func (r *Router) gatherRows(ms []*accel.Accelerator, members []int, snaps []*acc
 	total := 0
 	for i := range members {
 		if errs[i] != nil {
+			r.emitScanError(ms[members[i]].Name(), types.NormalizeName(item.Name()), errs[i])
 			return nil, fmt.Errorf("shard %s: %w", ms[members[i]].Name(), errs[i])
 		}
 		total += len(results[i])

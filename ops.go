@@ -1,0 +1,131 @@
+package idaax
+
+import (
+	"idaax/internal/obs"
+	"idaax/internal/obs/eventlog"
+	"idaax/internal/obs/health"
+	"idaax/internal/ops"
+)
+
+// This file is the operations-plane facade: the event journal, the health
+// report, the fleet resource accounting and the ops HTTP server, all reading
+// the same surfaces CALL SYSPROC.ACCEL_EVENTS / ACCEL_METRICS serve over SQL.
+
+// Event is one entry of the structured event journal: membership changes,
+// rebalance lifecycle, CDC lag crossings, slow queries, scatter and scan
+// failures, transaction aborts and health verdict flips.
+type Event = eventlog.Event
+
+// EventSeverity classifies an event's operational urgency.
+type EventSeverity = eventlog.Severity
+
+// Event severities, in increasing urgency.
+const (
+	EventInfo  = eventlog.Info
+	EventWarn  = eventlog.Warn
+	EventError = eventlog.Error
+)
+
+// HealthReport is the aggregated fleet health verdict: the worst component
+// wins. /healthz serves it with status 503 when any component is unhealthy.
+type HealthReport = health.Report
+
+// FleetResources is the fleet-wide capacity view: per-member memory
+// accounting (tables, rows, bytes, blocks, zone-map entries) plus the skew
+// summary the fleet_capacity_skew_pct gauge exports.
+type FleetResources = obs.FleetResources
+
+// Events returns up to n of the most recent journal events, newest first
+// (n <= 0 returns everything retained). minSeverity filters to events at or
+// above the given severity ("" or "INFO" keeps all).
+func (s *System) Events(n int, minSeverity string) ([]Event, error) {
+	var f eventlog.Filter
+	if minSeverity != "" {
+		sev, ok := eventlog.ParseSeverity(minSeverity)
+		if !ok {
+			return nil, errUnknownSeverity(minSeverity)
+		}
+		f.MinSeverity = sev
+	}
+	return s.coord.Events.Recent(n, f), nil
+}
+
+// EmitEvent appends an application event to the journal (applications share
+// the ring with the system's own events; eventType is free-form).
+func (s *System) EmitEvent(eventType string, severity EventSeverity, message string) Event {
+	return s.coord.Events.Emitf(eventType, severity, "", "", message)
+}
+
+// HealthReport runs every component check and folds in any watchdog
+// overrides. The same report backs /healthz and /readyz.
+func (s *System) HealthReport() HealthReport {
+	return s.coord.Health.Report()
+}
+
+// FleetResources gathers every paired accelerator's memory accounting into
+// the fleet capacity view (the /fleet endpoint serves the same data).
+func (s *System) FleetResources() FleetResources {
+	return s.coord.FleetResources()
+}
+
+// StartHealthWatchdog starts the background rule evaluation loop (rebalance
+// no-progress, CDC lag, slow-query spikes, scan-error streaks). ServeOps
+// starts it implicitly; call this to run the watchdog without the HTTP
+// server. Idempotent; Close stops it.
+func (s *System) StartHealthWatchdog() { s.coord.Watchdog.Start() }
+
+// OpsServer is a running operations HTTP server (see System.ServeOps).
+type OpsServer struct {
+	srv *ops.Server
+}
+
+// Addr returns the server's bound address (useful when ServeOps was given
+// ":0").
+func (o *OpsServer) Addr() string { return o.srv.Addr() }
+
+// Close gracefully shuts the server down. The system-wide watchdog keeps
+// running until System.Close.
+func (o *OpsServer) Close() error { return o.srv.Close() }
+
+// ServeOps starts the read-only operations HTTP server on addr and the
+// health watchdog behind it. Endpoints: /metrics (Prometheus exposition),
+// /healthz and /readyz (503 on unhealthy / not ready), /events, /queries,
+// /fleet (JSON) and /debug/pprof/. System.Close shuts the server down;
+// closing the returned handle directly also works.
+func (s *System) ServeOps(addr string) (*OpsServer, error) {
+	srv := ops.NewServer(addr, s.opsSource())
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	s.coord.Watchdog.Start()
+	o := &OpsServer{srv: srv}
+	s.opsMu.Lock()
+	s.opsSrvs = append(s.opsSrvs, o)
+	s.opsMu.Unlock()
+	return o, nil
+}
+
+// opsSource adapts the coordinator's surfaces to the ops server's read-only
+// closures.
+func (s *System) opsSource() ops.Source {
+	return ops.Source{
+		MetricsText: s.MetricsText,
+		Health:      s.coord.Health.Report,
+		Events:      s.coord.Events,
+		Queries: func(n int, slow bool) []obs.QueryRecord {
+			if slow {
+				return s.coord.History.SlowQueries(n)
+			}
+			return s.coord.History.Recent(n)
+		},
+		Fleet: s.coord.FleetResources,
+	}
+}
+
+type severityError string
+
+func errUnknownSeverity(s string) error { return severityError(s) }
+
+func (e severityError) Error() string {
+	return "idaax: unknown event severity " + string(e) + " (use INFO, WARN or ERROR)"
+}

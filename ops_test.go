@@ -1,0 +1,336 @@
+package idaax_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"idaax"
+	"idaax/internal/obs"
+)
+
+// httpGet fetches a path from the ops server and returns status and body.
+func httpGet(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// waitFor polls cond until it returns true or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestOpsServerEndToEnd drives every endpoint of a live ops server over a
+// 3-member fleet: the Prometheus exposition must be strictly conformant, the
+// fleet view must account for all members, and statements and events must
+// show up on their endpoints.
+func TestOpsServerEndToEnd(t *testing.T) {
+	sys := newShardedSystem(t, 3)
+	defer sys.Close()
+	seedElasticTable(t, sys, "SHARDS", 500)
+
+	srv, err := sys.ServeOps("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sys.AdminSession()
+	if _, err := s.Query("SELECT region, COUNT(*) FROM metrics GROUP BY region"); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := httpGet(t, srv.Addr(), "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("/metrics not conformant: %v", err)
+	}
+	for _, want := range []string{"fleet_bytes_total", "fleet_capacity_skew_pct", "health_status", "events_total", "stmt_total"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %s", want)
+		}
+	}
+
+	code, body = httpGet(t, srv.Addr(), "/fleet")
+	if code != http.StatusOK {
+		t.Fatalf("/fleet = %d", code)
+	}
+	var fleet idaax.FleetResources
+	if err := json.Unmarshal([]byte(body), &fleet); err != nil {
+		t.Fatalf("/fleet body: %v", err)
+	}
+	if len(fleet.Members) != 3 {
+		t.Fatalf("fleet members = %d", len(fleet.Members))
+	}
+	var rows int64
+	for _, m := range fleet.Members {
+		rows += m.Rows
+	}
+	if rows < 500 {
+		t.Fatalf("fleet rows = %d, want >= 500", rows)
+	}
+
+	code, body = httpGet(t, srv.Addr(), "/queries?n=10")
+	if code != http.StatusOK || !strings.Contains(body, "GROUP BY region") {
+		t.Fatalf("/queries = %d: %s", code, body)
+	}
+
+	sys.EmitEvent("app_test", idaax.EventWarn, "hello from the test")
+	code, body = httpGet(t, srv.Addr(), "/events?severity=WARN&type=app_test")
+	if code != http.StatusOK || !strings.Contains(body, "hello from the test") {
+		t.Fatalf("/events = %d: %s", code, body)
+	}
+
+	// The journal is also reachable over SQL.
+	res, err := s.Query("CALL SYSPROC.ACCEL_EVENTS(10, 'WARN')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range res.Rows {
+		if strings.Contains(fmt.Sprint(row), "hello from the test") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ACCEL_EVENTS missing the app event: %v", res.Rows)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHealthzFlipsOnRebalanceStall is the acceptance test of the watchdog:
+// a rebalance pinned by an uncommitted transaction makes no progress, the
+// rebalance-stall rule flips the rebalancer component unhealthy, /healthz
+// serves 503 — and recovery (committing the transaction) brings it back.
+func TestHealthzFlipsOnRebalanceStall(t *testing.T) {
+	accels := []idaax.AcceleratorConfig{{Name: "IDAA1", Slices: 2}, {Name: "IDAA2", Slices: 2}}
+	sys := idaax.New(idaax.Config{
+		Accelerators:     accels,
+		AnalyticsPublic:  true,
+		WatchdogInterval: 10 * time.Millisecond,
+	})
+	defer sys.Close()
+	seedElasticTable(t, sys, "SHARDS", 2000)
+
+	srv, err := sys.ServeOps("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := httpGet(t, srv.Addr(), "/healthz"); code != http.StatusOK {
+		t.Fatalf("baseline /healthz = %d", code)
+	}
+
+	// Pin row fates with an uncommitted transaction, then grow the fleet: the
+	// rebalancer cannot finalize while the inserts are in flight. A spread of
+	// keys guarantees some land on shards the new map no longer assigns them
+	// to (a single key could happen to keep its owner).
+	s := sys.AdminSession()
+	if _, err := s.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(metricsInsertSQL(900000, 900040)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddShardMember("SHARDS", "IDAA3", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, 15*time.Second, "/healthz to flip 503 on the stalled rebalance", func() bool {
+		code, _ := httpGet(t, srv.Addr(), "/healthz")
+		return code == http.StatusServiceUnavailable
+	})
+	code, body := httpGet(t, srv.Addr(), "/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "rebalance stalled") {
+		t.Fatalf("/healthz = %d: %s", code, body)
+	}
+	if code, _ := httpGet(t, srv.Addr(), "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during stall = %d", code)
+	}
+	if code, body := httpGet(t, srv.Addr(), "/events?type=rebalance_stalled"); code != http.StatusOK || !strings.Contains(body, "no progress") {
+		t.Fatalf("stall event missing: %d %s", code, body)
+	}
+
+	// Recovery: commit releases the pinned fate, the rebalance completes and
+	// the watchdog lifts the override.
+	if _, err := s.Exec("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitForRebalance("SHARDS"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 15*time.Second, "/healthz to recover after commit", func() bool {
+		code, _ := httpGet(t, srv.Addr(), "/healthz")
+		return code == http.StatusOK
+	})
+	ready := func() bool {
+		code, _ := httpGet(t, srv.Addr(), "/readyz")
+		return code == http.StatusOK
+	}
+	waitFor(t, 15*time.Second, "/readyz to recover after commit", ready)
+
+	evs, err := sys.Events(0, "INFO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawRecovery := false
+	for _, e := range evs {
+		if e.Type == "health_changed" && strings.Contains(e.Message, "recovered") {
+			sawRecovery = true
+		}
+	}
+	if !sawRecovery {
+		t.Fatalf("no health_changed recovery event in %d events", len(evs))
+	}
+}
+
+// TestMetricsTextConformance is the strict exposition gate on the library
+// surface (satellite of the ops tentpole): whatever the registry renders must
+// parse as valid Prometheus text format with HELP/TYPE pairs and no duplicate
+// series.
+func TestMetricsTextConformance(t *testing.T) {
+	sys := newShardedSystem(t, 2)
+	defer sys.Close()
+	seedElasticTable(t, sys, "SHARDS", 100)
+	s := sys.AdminSession()
+	for i := 0; i < 5; i++ {
+		if _, err := s.Query("SELECT COUNT(*) FROM metrics"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Exec("DELETE FROM metrics WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	text := sys.MetricsText()
+	if err := obs.ValidateExposition(text); err != nil {
+		t.Fatalf("MetricsText not conformant: %v\n%s", err, text)
+	}
+	if !strings.Contains(text, "# HELP fleet_capacity_skew_pct ") {
+		t.Fatalf("missing registered help text:\n%s", text)
+	}
+}
+
+// TestOpsConcurrentStress hammers the ops surfaces from many goroutines while
+// a rebalance runs: event emitters, HTTP pollers on every endpoint and SQL
+// traffic. Run with -race in CI; the invariant is simply no race, no panic,
+// and a conformant exposition at the end.
+func TestOpsConcurrentStress(t *testing.T) {
+	sys := newShardedSystem(t, 3)
+	defer sys.Close()
+	seedElasticTable(t, sys, "SHARDS", 1500)
+
+	srv, err := sys.ServeOps("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	worker := func(fn func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					fn(i)
+				}
+			}
+		}()
+	}
+
+	for w := 0; w < 3; w++ {
+		worker(func(i int) {
+			sys.EmitEvent("stress", idaax.EventInfo, fmt.Sprintf("tick %d", i))
+		})
+	}
+	paths := []string{"/metrics", "/healthz", "/readyz", "/events?n=20", "/queries?n=20", "/fleet"}
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, p := range paths {
+		path := p
+		worker(func(i int) {
+			resp, err := client.Get("http://" + srv.Addr() + path)
+			if err == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		})
+	}
+	worker(func(i int) {
+		s := sys.AdminSession()
+		_, _ = s.Query("SELECT region, COUNT(*) FROM metrics GROUP BY region")
+	})
+
+	if err := sys.AddShardMember("SHARDS", "IDAA4", 2); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if err := sys.WaitForRebalance("SHARDS"); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(sys.MetricsText()); err != nil {
+		t.Fatalf("exposition after stress: %v", err)
+	}
+}
+
+// TestCloseStopsOpsCleanly is the goroutine-leak regression test: Close must
+// stop the watchdog loop and the HTTP server, returning the process to its
+// baseline goroutine count.
+func TestCloseStopsOpsCleanly(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	sys := newShardedSystem(t, 2)
+	seedElasticTable(t, sys, "SHARDS", 100)
+	srv, err := sys.ServeOps("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.StartHealthWatchdog()
+	for i := 0; i < 3; i++ {
+		if code, _ := httpGet(t, srv.Addr(), "/metrics"); code != http.StatusOK {
+			t.Fatalf("/metrics = %d", code)
+		}
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Double close must be safe.
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, 10*time.Second, "goroutines to drain after Close", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+2
+	})
+}

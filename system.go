@@ -2,6 +2,7 @@ package idaax
 
 import (
 	"fmt"
+	"sync"
 
 	"idaax/internal/accel"
 	"idaax/internal/analytics"
@@ -15,6 +16,11 @@ import (
 type System struct {
 	cfg   Config
 	coord *federation.Coordinator
+
+	// opsMu guards opsSrvs, the operations HTTP servers started by ServeOps
+	// (Close shuts them down).
+	opsMu   sync.Mutex
+	opsSrvs []*OpsServer
 }
 
 // New creates a system with the given configuration.
@@ -34,6 +40,9 @@ func New(cfg Config) *System {
 
 		QueryHistorySize:   cfg.QueryHistorySize,
 		SlowQueryThreshold: cfg.SlowQueryThreshold,
+		EventLogSize:       cfg.EventLogSize,
+		WatchdogInterval:   cfg.WatchdogInterval,
+		CDCLagThreshold:    cfg.CDCLagThreshold,
 	})
 	if !cfg.DisableAnalytics {
 		analytics.RegisterAll(coord.Procs, cfg.AnalyticsPublic)
@@ -47,10 +56,25 @@ func Open() *System {
 	return New(Config{AnalyticsPublic: true})
 }
 
-// Close releases the system. The current implementation is purely in-memory,
-// so Close only exists to keep call sites forward compatible with a persistent
-// implementation.
-func (s *System) Close() error { return nil }
+// Close releases the system: the health watchdog is stopped and every ops
+// HTTP server started by ServeOps is shut down gracefully. The storage itself
+// is purely in-memory and needs no teardown. Close is idempotent.
+func (s *System) Close() error {
+	s.opsMu.Lock()
+	srvs := s.opsSrvs
+	s.opsSrvs = nil
+	s.opsMu.Unlock()
+	var firstErr error
+	for _, o := range srvs {
+		if err := o.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := s.coord.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
 
 // Coordinator exposes the underlying federation coordinator for advanced use
 // (benchmark harness, custom tooling). Most applications only need Session.
