@@ -21,18 +21,35 @@ func main() {
 	shards := flag.Int("shards", 3, "accelerators in the fleet (>=2 registers a shard group)")
 	demo := flag.Bool("demo", false, "load a demo dataset and run a background query loop")
 	watchdog := flag.Duration("watchdog", time.Second, "health watchdog evaluation interval")
+	dataDir := flag.String("data", "", "durable data directory (WAL + checkpoints); empty = in-memory")
+	fsync := flag.String("fsync", "always", "WAL fsync policy: always, grouped or never")
+	ckptMB := flag.Int64("checkpoint-wal-mb", 64, "auto-checkpoint when the WAL grows past this many MiB (0 disables)")
 	flag.Parse()
 
 	var accels []idaax.AcceleratorConfig
 	for i := 0; i < *shards; i++ {
 		accels = append(accels, idaax.AcceleratorConfig{Name: fmt.Sprintf("IDAA%d", i+1)})
 	}
-	sys := idaax.New(idaax.Config{
-		Accelerators:     accels,
-		AnalyticsPublic:  true,
-		WatchdogInterval: *watchdog,
+	ckptBytes := *ckptMB << 20
+	if ckptBytes <= 0 {
+		ckptBytes = -1
+	}
+	sys, err := idaax.OpenDurable(idaax.Config{
+		Accelerators:       accels,
+		AnalyticsPublic:    true,
+		WatchdogInterval:   *watchdog,
+		DataDir:            *dataDir,
+		FsyncPolicy:        *fsync,
+		CheckpointWALBytes: ckptBytes,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
 	defer sys.Close()
+	if *dataDir != "" {
+		fmt.Printf("durable store open at %s (fsync=%s)\n", *dataDir, *fsync)
+	}
 
 	stop := make(chan struct{})
 	if *demo {

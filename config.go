@@ -21,6 +21,8 @@ package idaax
 
 import (
 	"time"
+
+	"idaax/internal/vfs"
 )
 
 // AcceleratorConfig describes one accelerator of a multi-accelerator fleet.
@@ -82,6 +84,35 @@ type Config struct {
 	// degrades the replication component and journals a cdc_lag_high event
 	// (default 5s).
 	CDCLagThreshold time.Duration
+
+	// DataDir, when non-empty, makes the system durable: DML and replication
+	// batches are journaled to a write-ahead log under this directory,
+	// checkpoints write per-column segment files, and OpenDurable (or New)
+	// recovers the exact committed state after a crash or restart. Empty
+	// means purely in-memory (the default, and the historical behavior).
+	DataDir string
+	// FsyncPolicy controls when the WAL reaches stable storage: "always"
+	// (default; a commit returns only after fsync, group-shared across
+	// concurrent committers), "grouped" (background fsync every
+	// GroupCommitInterval; loss bounded to that window) or "never" (fsync
+	// only at rotate/checkpoint/close; fastest, crash loses the OS buffer).
+	FsyncPolicy string
+	// GroupCommitInterval is the background fsync period for the "grouped"
+	// policy (default 2ms).
+	GroupCommitInterval time.Duration
+	// CheckpointWALBytes triggers an automatic checkpoint when the WAL grows
+	// past this many bytes since the last one (default 64 MiB; a negative
+	// value disables the trigger — checkpoints then happen only via
+	// System.Checkpoint and Close).
+	CheckpointWALBytes int64
+	// RecoveryParallelism bounds how many tables recovery loads concurrently
+	// from the checkpoint (default: number of CPUs).
+	RecoveryParallelism int
+
+	// fs overrides the filesystem the durable store writes through; tests
+	// inject a crash-simulating in-memory filesystem. When set, DataDir may
+	// be empty.
+	fs vfs.FS
 }
 
 func (c Config) withDefaults() Config {

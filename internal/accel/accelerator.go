@@ -21,8 +21,9 @@ type Accelerator struct {
 	name   string
 	slices int
 
-	mu     sync.RWMutex
-	tables map[string]*colstore.Table
+	mu      sync.RWMutex
+	tables  map[string]*colstore.Table
+	journal MemberJournal
 
 	Registry *Registry
 
@@ -163,7 +164,12 @@ func (a *Accelerator) CreateTable(name string, schema types.Schema, distKey stri
 	if key := types.NormalizeName(distKey); key != "" && schema.IndexOf(key) < 0 {
 		return fmt.Errorf("accel: distribution key %s is not a column of %s", key, name)
 	}
-	a.tables[name] = colstore.NewTable(name, schema, distKey)
+	t := colstore.NewTable(name, schema, distKey)
+	if a.journal != nil {
+		a.journal.LogCreateTable(name, t.Schema(), t.DistKey())
+		t.SetJournal(a.journal)
+	}
+	a.tables[name] = t
 	return nil
 }
 
@@ -176,6 +182,9 @@ func (a *Accelerator) DropTable(name string) error {
 		return fmt.Errorf("accel: table %s does not exist on accelerator %s", name, a.name)
 	}
 	delete(a.tables, name)
+	if a.journal != nil {
+		a.journal.LogDropTable(name)
+	}
 	return nil
 }
 
@@ -318,11 +327,29 @@ func (a *Accelerator) Insert(txnID int64, table string, rows []types.Row) (int, 
 }
 
 // InsertReplicated appends rows mirroring DB2 rows under an internal,
-// immediately committed transaction (the replication apply path).
+// immediately committed transaction (the replication apply path). Source ids
+// that already have a live shadow row are skipped, which makes re-applying a
+// CDC batch after a crash (the replicator's applied position is only durable
+// as of the last checkpoint) converge instead of duplicating rows.
 func (a *Accelerator) InsertReplicated(table string, rows []types.Row, srcIDs []int64) (int, error) {
 	t, err := a.Table(table)
 	if err != nil {
 		return 0, err
+	}
+	if len(srcIDs) == len(rows) {
+		keptRows := rows[:0:0]
+		keptIDs := srcIDs[:0:0]
+		for i, src := range srcIDs {
+			if src >= 0 && t.HasSource(src) {
+				continue
+			}
+			keptRows = append(keptRows, rows[i])
+			keptIDs = append(keptIDs, src)
+		}
+		if len(keptRows) == 0 {
+			return 0, nil
+		}
+		rows, srcIDs = keptRows, keptIDs
 	}
 	txnID := a.NextInternalTxn()
 	n, err := t.InsertWithSource(txnID, rows, srcIDs)

@@ -37,6 +37,7 @@ type Registry struct {
 	states    map[int64]TxnState
 	commitSeq map[int64]int64
 	nextSeq   int64
+	journal   RegistryJournal
 }
 
 // NewRegistry creates an empty transaction registry.
@@ -86,12 +87,23 @@ func (r *Registry) Prepare(txnID int64) error {
 func (r *Registry) Commit(txnID int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	seq := r.commitLocked(txnID)
+	if seq > 0 && r.journal != nil {
+		r.journal.LogCommit(txnID, seq)
+	}
+}
+
+// commitLocked performs the state transition and returns the assigned commit
+// sequence (0 when the transaction was already committed). Caller holds r.mu.
+func (r *Registry) commitLocked(txnID int64) int64 {
 	if r.states[txnID] == TxnCommitted {
-		return
+		return 0
 	}
 	r.states[txnID] = TxnCommitted
-	r.commitSeq[txnID] = r.nextSeq
+	seq := r.nextSeq
+	r.commitSeq[txnID] = seq
 	r.nextSeq++
+	return seq
 }
 
 // Abort discards the transaction: its row versions stay in storage but are
@@ -99,8 +111,12 @@ func (r *Registry) Commit(txnID int64) {
 func (r *Registry) Abort(txnID int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	already := r.states[txnID] == TxnAborted
 	r.states[txnID] = TxnAborted
 	delete(r.commitSeq, txnID)
+	if !already && r.journal != nil {
+		r.journal.LogAbort(txnID)
+	}
 }
 
 // seqOf returns the commit sequence of txnID (0 when not committed).

@@ -12,7 +12,7 @@ import (
 // repository root and by cmd/idaabench).
 func TestExperimentRegistry(t *testing.T) {
 	ids := IDs()
-	want := []string{"e1", "e10", "e11", "e12", "e13", "e14", "e15", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1"}
+	want := []string{"e1", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1"}
 	if len(ids) != len(want) {
 		t.Fatalf("experiments: %v", ids)
 	}
@@ -279,6 +279,49 @@ func TestOpsOverheadExperiment(t *testing.T) {
 	}
 	if overheads != 4 {
 		t.Fatalf("expected 4 overhead metrics, got %d:\n%s", overheads, table.Format())
+	}
+}
+
+// TestDurabilityExperiment is the E16 smoke CI runs on every PR: group-committed
+// WAL ingest must stay within the 2x acceptance bar, and every recovery run
+// inside the experiment verifies exact row counts — a lossy recovery fails Run
+// itself. wal=always appears in the report table but carries no gated metric:
+// its throughput is the runner's raw fsync latency, which varies several-fold
+// between machines and says nothing about the code.
+func TestDurabilityExperiment(t *testing.T) {
+	scale := SmallScale()
+	scale.LoadRows = 10000
+	scale.QueryRows = []int{4000, 12000}
+	if testing.Short() {
+		scale.LoadRows = 5000
+		scale.QueryRows = []int{2000, 6000}
+	}
+	table, err := Run("e16", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 3+len(scale.QueryRows) {
+		t.Fatalf("expected 3 ingest modes + %d recovery sizes, got %d rows:\n%s",
+			len(scale.QueryRows), len(table.Rows), table.Format())
+	}
+	metrics := map[string]float64{}
+	for _, m := range table.Metrics {
+		metrics[m.Name] = m.Value
+	}
+	v, ok := metrics["wal_slowdown_grouped"]
+	if !ok {
+		t.Fatalf("metric wal_slowdown_grouped missing:\n%s", table.Format())
+	}
+	if v <= 0 || v > 2.0 {
+		t.Fatalf("wal_slowdown_grouped = %.2fx, outside the 2x acceptance bar:\n%s", v, table.Format())
+	}
+	if _, ok := metrics["wal_slowdown_always"]; ok {
+		t.Fatalf("wal=always must not be regression-gated (fsync latency is hardware, not code):\n%s", table.Format())
+	}
+	for i := range scale.QueryRows {
+		if _, ok := metrics[fmt.Sprintf("recovery_rows_per_sec_scale%d", i+1)]; !ok {
+			t.Fatalf("recovery metric for scale %d missing:\n%s", i+1, table.Format())
+		}
 	}
 }
 

@@ -109,6 +109,8 @@ type Catalog struct {
 	// accelerators known to the system (paired via CALL ACCEL_ADD_ACCELERATOR
 	// or configuration).
 	accelerators map[string]bool
+	// onChange is notified after every mutation, outside the lock (durability).
+	onChange func()
 }
 
 // New creates an empty catalog.
@@ -126,6 +128,7 @@ func New() *Catalog {
 
 // AddAccelerator registers (pairs) an accelerator by name.
 func (c *Catalog) AddAccelerator(name string) {
+	defer c.note()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.accelerators[types.NormalizeName(name)] = true
@@ -156,6 +159,7 @@ func (c *Catalog) Accelerators() []string {
 
 // CreateTable adds a table entry.
 func (c *Catalog) CreateTable(t *Table) error {
+	defer c.note()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	name := types.NormalizeName(t.Name)
@@ -170,6 +174,7 @@ func (c *Catalog) CreateTable(t *Table) error {
 
 // DropTable removes a table entry and all grants on it.
 func (c *Catalog) DropTable(name string) error {
+	defer c.note()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	name = types.NormalizeName(name)
@@ -217,6 +222,7 @@ func (c *Catalog) Tables() []*Table {
 // SetKind updates a table's acceleration state (e.g. when ACCEL_ADD_TABLES
 // turns a regular table into an accelerated one).
 func (c *Catalog) SetKind(name string, kind TableKind, accelerator string) error {
+	defer c.note()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	t, ok := c.tables[types.NormalizeName(name)]
@@ -230,6 +236,7 @@ func (c *Catalog) SetKind(name string, kind TableKind, accelerator string) error
 
 // SetReplication toggles incremental replication for an accelerated table.
 func (c *Catalog) SetReplication(name string, enabled bool) error {
+	defer c.note()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	t, ok := c.tables[types.NormalizeName(name)]
@@ -246,6 +253,7 @@ func (c *Catalog) SetReplication(name string, enabled bool) error {
 
 // Grant adds privileges on an object to a grantee.
 func (c *Catalog) Grant(grantee, object string, privileges ...string) {
+	defer c.note()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	grantee = types.NormalizeName(grantee)
@@ -263,6 +271,7 @@ func (c *Catalog) Grant(grantee, object string, privileges ...string) {
 
 // Revoke removes privileges on an object from a grantee.
 func (c *Catalog) Revoke(grantee, object string, privileges ...string) {
+	defer c.note()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	grantee = types.NormalizeName(grantee)

@@ -1,0 +1,112 @@
+package catalog
+
+import (
+	"encoding/json"
+	"sort"
+
+	"idaax/internal/types"
+)
+
+// Durability: the catalog serialises to one JSON snapshot journaled in full
+// on every DDL mutation. DDL is rare and the catalog small, so last-writer-
+// wins snapshots keep replay trivially idempotent — no per-mutation redo
+// records to order.
+
+type snapshotGrant struct {
+	Grantee    string   `json:"grantee"`
+	Object     string   `json:"object"`
+	Privileges []string `json:"privileges"`
+}
+
+type snapshot struct {
+	Tables       []*Table        `json:"tables"`
+	Grants       []snapshotGrant `json:"grants"`
+	Accelerators []string        `json:"accelerators"`
+}
+
+// SetOnChange installs a callback invoked after every catalog mutation (DDL,
+// grants, accelerator pairing), outside the catalog lock. The federation
+// coordinator journals a full snapshot from it.
+func (c *Catalog) SetOnChange(fn func()) {
+	c.mu.Lock()
+	c.onChange = fn
+	c.mu.Unlock()
+}
+
+// note runs the change callback; every mutator calls it after unlocking.
+func (c *Catalog) note() {
+	c.mu.RLock()
+	fn := c.onChange
+	c.mu.RUnlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// Snapshot serialises the full catalog to JSON.
+func (c *Catalog) Snapshot() []byte {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var s snapshot
+	for _, t := range c.tables {
+		s.Tables = append(s.Tables, t.Clone())
+	}
+	sort.Slice(s.Tables, func(i, j int) bool { return s.Tables[i].Name < s.Tables[j].Name })
+	for grantee, objects := range c.grants {
+		for object, privs := range objects {
+			g := snapshotGrant{Grantee: grantee, Object: object}
+			for p := range privs {
+				g.Privileges = append(g.Privileges, p)
+			}
+			sort.Strings(g.Privileges)
+			s.Grants = append(s.Grants, g)
+		}
+	}
+	sort.Slice(s.Grants, func(i, j int) bool {
+		if s.Grants[i].Grantee != s.Grants[j].Grantee {
+			return s.Grants[i].Grantee < s.Grants[j].Grantee
+		}
+		return s.Grants[i].Object < s.Grants[j].Object
+	})
+	for name := range c.accelerators {
+		s.Accelerators = append(s.Accelerators, name)
+	}
+	sort.Strings(s.Accelerators)
+	data, err := json.Marshal(&s)
+	if err != nil {
+		// The snapshot type contains nothing unmarshalable.
+		panic("catalog: snapshot marshal: " + err.Error())
+	}
+	return data
+}
+
+// Restore replaces the catalog content with a snapshot produced by Snapshot.
+// The change callback is not invoked.
+func (c *Catalog) Restore(data []byte) error {
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables = make(map[string]*Table, len(s.Tables))
+	for _, t := range s.Tables {
+		c.tables[types.NormalizeName(t.Name)] = t.Clone()
+	}
+	c.grants = make(map[string]map[string]map[string]bool)
+	for _, g := range s.Grants {
+		if c.grants[g.Grantee] == nil {
+			c.grants[g.Grantee] = make(map[string]map[string]bool)
+		}
+		privs := make(map[string]bool, len(g.Privileges))
+		for _, p := range g.Privileges {
+			privs[p] = true
+		}
+		c.grants[g.Grantee][g.Object] = privs
+	}
+	c.accelerators = make(map[string]bool, len(s.Accelerators))
+	for _, name := range s.Accelerators {
+		c.accelerators[name] = true
+	}
+	return nil
+}

@@ -142,6 +142,11 @@ type Table struct {
 	// stats accumulates planner statistics incrementally under mu; ANALYZE
 	// rebuilds them exactly (see Analyze).
 	stats *stats.Collector
+
+	// opSeq numbers journaled mutations; journal (when set) receives each
+	// mutation under mu. See durable.go.
+	opSeq   int64
+	journal Journal
 }
 
 // NewTable creates an empty columnar table.
@@ -238,10 +243,19 @@ func (t *Table) InsertWithSource(txnID int64, rows []types.Row, srcIDs []int64) 
 func (t *Table) insert(txnID int64, rows []types.Row, srcIDs []int64) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	base := len(t.created)
+	var appended []types.Row
+	var appendedSrc []int64
+	journalAppended := func() {
+		if len(appended) > 0 {
+			t.logLocked(TableOpInsert, base, appended, appendedSrc, nil, txnID)
+		}
+	}
 	count := 0
 	for ri, row := range rows {
 		validated, err := types.ValidateRow(t.schema, row)
 		if err != nil {
+			journalAppended()
 			return count, err
 		}
 		for ci, col := range t.cols {
@@ -261,8 +275,11 @@ func (t *Table) insert(txnID int64, rows []types.Row, srcIDs []int64) (int, erro
 			}
 		}
 		t.srcIDs = append(t.srcIDs, src)
+		appended = append(appended, validated)
+		appendedSrc = append(appendedSrc, src)
 		count++
 	}
+	journalAppended()
 	return count, nil
 }
 
@@ -320,6 +337,7 @@ func (t *Table) MarkDeleted(idx int, txnID int64) bool {
 	if src := t.srcIDs[idx]; src >= 0 {
 		delete(t.bySrc, src)
 	}
+	t.logLocked(TableOpMarks, 0, nil, nil, []int64{int64(idx)}, txnID)
 	return true
 }
 
@@ -333,6 +351,7 @@ func (t *Table) UndoDelete(idx int, txnID int64) {
 		if src := t.srcIDs[idx]; src >= 0 {
 			t.bySrc[src] = idx
 		}
+		t.logLocked(TableOpUnmarks, 0, nil, nil, []int64{int64(idx)}, txnID)
 	}
 }
 
@@ -345,6 +364,7 @@ func (t *Table) UndoDeletesBy(txnID int64) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	n := 0
+	var idxs []int64
 	for i := range t.deleted {
 		if t.deleted[i] == txnID {
 			t.deleted[i] = 0
@@ -352,8 +372,12 @@ func (t *Table) UndoDeletesBy(txnID int64) int {
 			if src := t.srcIDs[i]; src >= 0 {
 				t.bySrc[src] = i
 			}
+			idxs = append(idxs, int64(i))
 			n++
 		}
+	}
+	if n > 0 {
+		t.logLocked(TableOpUnmarks, 0, nil, nil, idxs, txnID)
 	}
 	return n
 }
@@ -407,6 +431,7 @@ func (t *Table) TruncateVisible(txnID int64, vis Visibility) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	n := 0
+	var idxs []int64
 	for i := range t.created {
 		if t.deleted[i] == 0 && vis(t.created[i], t.deleted[i]) {
 			t.deleted[i] = txnID
@@ -414,8 +439,12 @@ func (t *Table) TruncateVisible(txnID int64, vis Visibility) int {
 			if src := t.srcIDs[i]; src >= 0 {
 				delete(t.bySrc, src)
 			}
+			idxs = append(idxs, int64(i))
 			n++
 		}
+	}
+	if n > 0 {
+		t.logLocked(TableOpMarks, 0, nil, nil, idxs, txnID)
 	}
 	return n
 }

@@ -50,6 +50,11 @@ type ChangeRecord struct {
 	// At is when the change was captured; the replicator derives CDC apply
 	// lag from the oldest unapplied record's age.
 	At time.Time
+	// Txn is the DB2 transaction that produced the change. Changes are
+	// journaled as they are captured (before the transaction settles), so
+	// recovery uses the tag to prune records of transactions that never
+	// committed.
+	Txn int64
 }
 
 // ChangeLog captures committed changes per table. Only changes of tables whose
@@ -59,6 +64,15 @@ type ChangeLog struct {
 	mu      sync.Mutex
 	nextSeq int64
 	records map[string][]ChangeRecord
+	journal ChangeJournal
+}
+
+// SetJournal attaches a durability sink (nil detaches). Append and Discard
+// journal under the log's lock, so WAL order equals sequence order.
+func (c *ChangeLog) SetJournal(j ChangeJournal) {
+	c.mu.Lock()
+	c.journal = j
+	c.mu.Unlock()
 }
 
 // NewChangeLog creates an empty change log.
@@ -66,15 +80,92 @@ func NewChangeLog() *ChangeLog {
 	return &ChangeLog{nextSeq: 1, records: make(map[string][]ChangeRecord)}
 }
 
-// Append records a change and returns its sequence number.
-func (c *ChangeLog) Append(table string, op ChangeOp, rowID rowstore.RowID, row types.Row) int64 {
+// Append records a change made by txnID and returns its sequence number.
+func (c *ChangeLog) Append(table string, op ChangeOp, rowID rowstore.RowID, row types.Row, txnID int64) int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	table = types.NormalizeName(table)
-	rec := ChangeRecord{Seq: c.nextSeq, Table: table, Op: op, RowID: rowID, Row: row, At: time.Now()}
+	rec := ChangeRecord{Seq: c.nextSeq, Table: table, Op: op, RowID: rowID, Row: row, At: time.Now(), Txn: txnID}
 	c.nextSeq++
 	c.records[table] = append(c.records[table], rec)
+	if c.journal != nil {
+		c.journal.LogChange(rec)
+	}
 	return rec.Seq
+}
+
+// ApplyChange replays a journaled change with its original sequence number.
+// Records with a sequence the log has already issued are skipped: they are
+// either present or were discarded before the checkpoint, so replay after a
+// crash is idempotent.
+func (c *ChangeLog) ApplyChange(rec ChangeRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rec.Seq < c.nextSeq {
+		return
+	}
+	c.nextSeq = rec.Seq + 1
+	rec.Table = types.NormalizeName(rec.Table)
+	c.records[rec.Table] = append(c.records[rec.Table], rec)
+}
+
+// SnapshotAll copies the full log content and the next sequence number for
+// checkpointing.
+func (c *ChangeLog) SnapshotAll() (map[string][]ChangeRecord, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string][]ChangeRecord, len(c.records))
+	for table, recs := range c.records {
+		if len(recs) == 0 {
+			continue
+		}
+		out[table] = append([]ChangeRecord(nil), recs...)
+	}
+	return out, c.nextSeq
+}
+
+// Restore replaces the log content with a checkpoint image.
+func (c *ChangeLog) Restore(records map[string][]ChangeRecord, nextSeq int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.records = make(map[string][]ChangeRecord, len(records))
+	for table, recs := range records {
+		c.records[types.NormalizeName(table)] = append([]ChangeRecord(nil), recs...)
+	}
+	if nextSeq < 1 {
+		nextSeq = 1
+	}
+	for _, recs := range c.records {
+		for _, rec := range recs {
+			if rec.Seq >= nextSeq {
+				nextSeq = rec.Seq + 1
+			}
+		}
+	}
+	c.nextSeq = nextSeq
+}
+
+// PruneTxns drops records whose transaction fails the keep predicate and
+// returns how many were removed. Recovery uses it to erase changes captured
+// for transactions that never committed (including the compensation records
+// a crashed rollback had already journaled). Records with txn tag 0 predate
+// tagging and are kept.
+func (c *ChangeLog) PruneTxns(keep func(txnID int64) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for table, recs := range c.records {
+		kept := recs[:0]
+		for _, rec := range recs {
+			if rec.Txn == 0 || keep(rec.Txn) {
+				kept = append(kept, rec)
+			} else {
+				removed++
+			}
+		}
+		c.records[table] = kept
+	}
+	return removed
 }
 
 // Since returns all records of the table with sequence numbers greater than
@@ -124,6 +215,9 @@ func (c *ChangeLog) Discard(table string, upToSeq int64) {
 		}
 	}
 	c.records[table] = keep
+	if c.journal != nil {
+		c.journal.LogChangeDiscard(table, upToSeq)
+	}
 }
 
 // LatestSeq returns the highest sequence number issued so far.

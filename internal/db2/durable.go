@@ -1,0 +1,184 @@
+package db2
+
+import (
+	"idaax/internal/catalog"
+	"idaax/internal/durable"
+	"idaax/internal/rowstore"
+	"idaax/internal/txn"
+	"idaax/internal/types"
+)
+
+// DB2-side durability. The engine journals redo at commit time: every
+// mutation is buffered per transaction and written as one commit record while
+// the transaction still holds its table locks, so WAL order respects data
+// dependencies (a later transaction can only touch the same rows after the
+// earlier one released its exclusive lock, i.e. after its commit record was
+// appended). Rollback journals nothing — the undo happens in memory before
+// the buffered redo is discarded. Change-capture records are journaled as
+// they happen (tagged with their transaction) because the replicator consumes
+// them before the transaction settles; recovery prunes the tags of
+// transactions that never committed.
+
+// ChangeJournal receives change-capture durability events, called under the
+// change log's lock.
+type ChangeJournal interface {
+	LogChange(rec ChangeRecord)
+	LogChangeDiscard(table string, upToSeq int64)
+}
+
+// Journal is the engine's durability sink, implemented by the federation
+// coordinator on top of the durable store.
+type Journal interface {
+	ChangeJournal
+	// LogCommit appends the redo record of a committing transaction. Called
+	// while the transaction still holds its table locks.
+	LogCommit(txnID int64, ops []durable.RowOp)
+	// LogCatalog appends a full catalog snapshot (journaled on every DDL).
+	LogCatalog(blob []byte)
+	// Barrier makes everything journaled so far durable per the fsync policy.
+	Barrier() error
+}
+
+// SetJournal attaches the durability sink to the engine, its change log and
+// the catalog (nil detaches everywhere). Attach only while no transactions
+// are in flight — typically right after recovery, before serving traffic.
+func (e *Engine) SetJournal(j Journal) {
+	e.journal = j
+	var cj ChangeJournal
+	if j != nil {
+		cj = j
+	}
+	e.Changes.SetJournal(cj)
+	if j != nil {
+		e.cat.SetOnChange(func() { j.LogCatalog(e.cat.Snapshot()) })
+	} else {
+		e.cat.SetOnChange(nil)
+	}
+}
+
+// enterGate takes the checkpoint gate for the transaction at its first
+// mutation. The gate is held until the transaction settles, so a checkpoint
+// capture (which takes the gate exclusively) never observes a transaction
+// halfway through its mutations.
+func (e *Engine) enterGate(tx *txn.Txn) {
+	if e.journal == nil {
+		return
+	}
+	id := int64(tx.ID)
+	e.redoMu.Lock()
+	already := e.gated[id]
+	if !already {
+		e.gated[id] = true
+	}
+	e.redoMu.Unlock()
+	if !already {
+		e.ckptGate.RLock()
+	}
+}
+
+// exitGate releases the checkpoint gate when the transaction settles.
+func (e *Engine) exitGate(id int64) {
+	e.redoMu.Lock()
+	was := e.gated[id]
+	delete(e.gated, id)
+	e.redoMu.Unlock()
+	if was {
+		e.ckptGate.RUnlock()
+	}
+}
+
+// recordRedo buffers one redo operation for the transaction.
+func (e *Engine) recordRedo(tx *txn.Txn, op durable.RowOp) {
+	if e.journal == nil {
+		return
+	}
+	id := int64(tx.ID)
+	e.redoMu.Lock()
+	e.redo[id] = append(e.redo[id], op)
+	e.redoMu.Unlock()
+}
+
+// takeRedo removes and returns the transaction's buffered redo.
+func (e *Engine) takeRedo(id int64) []durable.RowOp {
+	e.redoMu.Lock()
+	ops := e.redo[id]
+	delete(e.redo, id)
+	e.redoMu.Unlock()
+	return ops
+}
+
+// CheckpointGate runs fn with the checkpoint gate held exclusively: no
+// transaction is between its first mutation and its settle, so fn sees only
+// settled row-store state.
+func (e *Engine) CheckpointGate(fn func() error) error {
+	e.ckptGate.Lock()
+	defer e.ckptGate.Unlock()
+	return fn()
+}
+
+// TablesSnapshot captures every row-store table for checkpointing. Call under
+// CheckpointGate so no transaction is mid-mutation.
+func (e *Engine) TablesSnapshot() map[string]*rowstore.TableSnapshot {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make(map[string]*rowstore.TableSnapshot, len(e.tables))
+	for name, t := range e.tables {
+		out[name] = t.Snapshot()
+	}
+	return out
+}
+
+// RestoreStorage installs a recovered row-store table, replacing any
+// existing storage of the same name.
+func (e *Engine) RestoreStorage(name string, snap *rowstore.TableSnapshot) {
+	e.mu.Lock()
+	e.tables[types.NormalizeName(name)] = rowstore.RestoreTable(snap)
+	e.mu.Unlock()
+}
+
+// SyncStorageWithCatalog reconciles row storage with the catalog: tables the
+// catalog knows (other than accelerator-only proxies) get empty storage if
+// they have none, and storage of tables no longer in the catalog is dropped.
+// Recovery calls it after restoring or replaying a catalog snapshot.
+func (e *Engine) SyncStorageWithCatalog() {
+	want := make(map[string]types.Schema)
+	for _, t := range e.cat.Tables() {
+		if t.Kind != catalog.KindAcceleratorOnly {
+			want[t.Name] = t.Schema
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for name, schema := range want {
+		if _, ok := e.tables[name]; !ok {
+			e.tables[name] = rowstore.NewTable(schema)
+		}
+	}
+	for name := range e.tables {
+		if _, ok := want[name]; !ok {
+			delete(e.tables, name)
+		}
+	}
+}
+
+// ApplyRedo replays the redo operations of one journaled commit. Operations
+// on tables without storage are skipped: the table was dropped later in the
+// log and the final catalog state wins.
+func (e *Engine) ApplyRedo(ops []durable.RowOp) {
+	for _, op := range ops {
+		st, err := e.Storage(op.Table)
+		if err != nil {
+			continue
+		}
+		switch op.Kind {
+		case durable.RowOpInsert:
+			st.ApplyInsertAt(rowstore.RowID(op.ID), op.Row)
+		case durable.RowOpUpdate:
+			st.ApplyUpdateAt(rowstore.RowID(op.ID), op.Row)
+		case durable.RowOpDelete:
+			st.ApplyDeleteAt(rowstore.RowID(op.ID))
+		case durable.RowOpTruncate:
+			st.Truncate()
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"idaax/internal/catalog"
+	"idaax/internal/durable"
 	"idaax/internal/expr"
 	"idaax/internal/obs"
 	"idaax/internal/rowstore"
@@ -31,6 +32,13 @@ type Engine struct {
 	Locks   *txn.LockManager
 	Txns    *txn.Manager
 	Changes *ChangeLog
+
+	// Durability (see durable.go). journal is attached once, before traffic.
+	journal  Journal
+	redoMu   sync.Mutex
+	redo     map[int64][]durable.RowOp
+	gated    map[int64]bool
+	ckptGate sync.RWMutex
 
 	statsMu      sync.Mutex
 	rowsScanned  int64
@@ -53,6 +61,8 @@ func New(cat *catalog.Catalog) *Engine {
 		Locks:   txn.NewLockManager(2 * time.Second),
 		Txns:    txn.NewManager(),
 		Changes: NewChangeLog(),
+		redo:    make(map[int64][]durable.RowOp),
+		gated:   make(map[int64]bool),
 	}
 }
 
@@ -165,10 +175,25 @@ func (e *Engine) CreateIndex(table, column string) error {
 // transaction.
 func (e *Engine) Begin(auto bool) *txn.Txn { return e.Txns.Begin(auto) }
 
-// Commit commits the transaction: locks are released, the undo log dropped.
-func (e *Engine) Commit(t *txn.Txn) {
+// Commit commits the transaction. The buffered redo is journaled first,
+// while the transaction still holds its table locks, so the WAL's commit
+// order respects data dependencies; then locks are released and the undo log
+// dropped. The returned error reports a durability failure (the in-memory
+// commit has happened regardless).
+func (e *Engine) Commit(t *txn.Txn) error {
+	id := int64(t.ID)
+	ops := e.takeRedo(id)
+	j := e.journal
+	if j != nil && len(ops) > 0 {
+		j.LogCommit(id, ops)
+	}
 	e.Locks.ReleaseAll(t)
 	e.Txns.Finish(t, true)
+	e.exitGate(id)
+	if j != nil && len(ops) > 0 {
+		return j.Barrier()
+	}
+	return nil
 }
 
 // Rollback undoes every change the transaction made in reverse order and
@@ -188,19 +213,25 @@ func (e *Engine) Rollback(t *txn.Txn) error {
 			if _, ok := st.Delete(rec.RowID); !ok && firstErr == nil {
 				firstErr = fmt.Errorf("db2: rollback could not remove inserted row %d of %s", rec.RowID, rec.Table)
 			}
-			e.captureChange(rec.Table, ChangeDelete, rec.RowID, rec.OldRow)
+			e.captureChange(t, rec.Table, ChangeDelete, rec.RowID, rec.OldRow)
 		case txn.UndoDelete:
 			st.InsertRaw(rec.OldRow)
-			e.captureChange(rec.Table, ChangeInsert, rec.RowID, rec.OldRow)
+			e.captureChange(t, rec.Table, ChangeInsert, rec.RowID, rec.OldRow)
 		case txn.UndoUpdate:
 			if _, err := st.Update(rec.RowID, rec.OldRow); err != nil && firstErr == nil {
 				firstErr = err
 			}
-			e.captureChange(rec.Table, ChangeUpdate, rec.RowID, rec.OldRow)
+			e.captureChange(t, rec.Table, ChangeUpdate, rec.RowID, rec.OldRow)
 		}
 	}
+	// No redo is journaled for an aborted transaction. The compensation
+	// change records above carry the same txn tag as the originals, so a
+	// crash mid-rollback prunes both at recovery — net zero either way.
+	id := int64(t.ID)
+	e.takeRedo(id)
 	e.Locks.ReleaseAll(t)
 	e.Txns.Finish(t, false)
+	e.exitGate(id)
 	return firstErr
 }
 
@@ -214,18 +245,17 @@ func (e *Engine) autoTxn(t *txn.Txn, fn func(t *txn.Txn) error) error {
 		_ = e.Rollback(auto)
 		return err
 	}
-	e.Commit(auto)
-	return nil
+	return e.Commit(auto)
 }
 
 // captureChange records CDC data for tables that are accelerated with
 // replication enabled.
-func (e *Engine) captureChange(table string, op ChangeOp, rowID rowstore.RowID, row types.Row) {
+func (e *Engine) captureChange(tx *txn.Txn, table string, op ChangeOp, rowID rowstore.RowID, row types.Row) {
 	meta, err := e.cat.Table(table)
 	if err != nil || meta.Kind != catalog.KindAccelerated {
 		return
 	}
-	e.Changes.Append(table, op, rowID, row)
+	e.Changes.Append(table, op, rowID, row, int64(tx.ID))
 }
 
 // ---------------------------------------------------------------------------
@@ -244,6 +274,7 @@ func (e *Engine) Insert(t *txn.Txn, table string, rows []types.Row) (int, error)
 		if err := e.Locks.Acquire(tx, table, txn.LockExclusive); err != nil {
 			return err
 		}
+		e.enterGate(tx)
 		for _, row := range rows {
 			id, err := st.Insert(row)
 			if err != nil {
@@ -251,7 +282,8 @@ func (e *Engine) Insert(t *txn.Txn, table string, rows []types.Row) (int, error)
 			}
 			stored, _ := st.Get(id)
 			tx.RecordUndo(txn.UndoRecord{Table: types.NormalizeName(table), Op: txn.UndoInsert, RowID: id, OldRow: stored})
-			e.captureChange(table, ChangeInsert, id, stored)
+			e.captureChange(tx, table, ChangeInsert, id, stored)
+			e.recordRedo(tx, durable.RowOp{Kind: durable.RowOpInsert, Table: types.NormalizeName(table), ID: int64(id), Row: stored.Clone()})
 			count++
 		}
 		return nil
@@ -284,6 +316,7 @@ func (e *Engine) Update(t *txn.Txn, table string, assignments []sqlparse.Assignm
 		if err := e.Locks.Acquire(tx, table, txn.LockExclusive); err != nil {
 			return err
 		}
+		e.enterGate(tx)
 		ids, err := e.matchRows(st, table, schema, where)
 		if err != nil {
 			return err
@@ -307,7 +340,8 @@ func (e *Engine) Update(t *txn.Txn, table string, assignments []sqlparse.Assignm
 			}
 			stored, _ := st.Get(id)
 			tx.RecordUndo(txn.UndoRecord{Table: types.NormalizeName(table), Op: txn.UndoUpdate, RowID: id, OldRow: old})
-			e.captureChange(table, ChangeUpdate, id, stored)
+			e.captureChange(tx, table, ChangeUpdate, id, stored)
+			e.recordRedo(tx, durable.RowOp{Kind: durable.RowOpUpdate, Table: types.NormalizeName(table), ID: int64(id), Row: stored.Clone()})
 			count++
 		}
 		return nil
@@ -330,6 +364,7 @@ func (e *Engine) Delete(t *txn.Txn, table string, where sqlparse.Expr) (int, err
 		if err := e.Locks.Acquire(tx, table, txn.LockExclusive); err != nil {
 			return err
 		}
+		e.enterGate(tx)
 		ids, err := e.matchRows(st, table, schema, where)
 		if err != nil {
 			return err
@@ -340,7 +375,8 @@ func (e *Engine) Delete(t *txn.Txn, table string, where sqlparse.Expr) (int, err
 				continue
 			}
 			tx.RecordUndo(txn.UndoRecord{Table: types.NormalizeName(table), Op: txn.UndoDelete, RowID: id, OldRow: old})
-			e.captureChange(table, ChangeDelete, id, old)
+			e.captureChange(tx, table, ChangeDelete, id, old)
+			e.recordRedo(tx, durable.RowOp{Kind: durable.RowOpDelete, Table: types.NormalizeName(table), ID: int64(id)})
 			count++
 		}
 		return nil
@@ -362,6 +398,7 @@ func (e *Engine) Truncate(t *txn.Txn, table string) (int, error) {
 		if err := e.Locks.Acquire(tx, table, txn.LockExclusive); err != nil {
 			return err
 		}
+		e.enterGate(tx)
 		// Log undo per row so rollback can restore them.
 		if err := st.Scan(func(id rowstore.RowID, row types.Row) error {
 			tx.RecordUndo(txn.UndoRecord{Table: types.NormalizeName(table), Op: txn.UndoDelete, RowID: id, OldRow: row.Clone()})
@@ -370,7 +407,8 @@ func (e *Engine) Truncate(t *txn.Txn, table string) (int, error) {
 			return err
 		}
 		count = st.Truncate()
-		e.captureChange(table, ChangeTruncate, 0, nil)
+		e.captureChange(tx, table, ChangeTruncate, 0, nil)
+		e.recordRedo(tx, durable.RowOp{Kind: durable.RowOpTruncate, Table: types.NormalizeName(table)})
 		return nil
 	})
 	if err != nil {

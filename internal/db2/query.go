@@ -50,7 +50,9 @@ func (e *Engine) Query(t *txn.Txn, sel *sqlparse.SelectStmt) (*relalg.Relation, 
 		_ = e.Rollback(auto)
 		return nil, err
 	}
-	e.Commit(auto)
+	if err := e.Commit(auto); err != nil {
+		return nil, err
+	}
 	return rel, nil
 }
 

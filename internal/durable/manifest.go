@@ -1,0 +1,154 @@
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"path"
+
+	"idaax/internal/types"
+	"idaax/internal/vfs"
+)
+
+// The manifest is the checkpoint's commit point. It names the segment
+// generation holding the table images, the WAL sequence replay starts from,
+// and every piece of non-table state (catalog, changelog backlog, replication
+// cursors, transaction registries) captured at the same instant. It is
+// replaced atomically — written to MANIFEST.tmp, fsynced, renamed over
+// MANIFEST, directory fsynced — so a crash anywhere during a checkpoint
+// leaves the previous manifest (and therefore the previous consistent
+// checkpoint) in force.
+
+const manifestName = "MANIFEST"
+
+var magicManifest = [4]byte{'I', 'D', 'X', 'F'}
+
+// TableRef names one columnar table inside a segment generation and the
+// number of column files it has.
+type TableRef struct {
+	Name string `json:"name"`
+	Cols int    `json:"cols"`
+}
+
+// RegistrySnap is a transaction registry image: the committed transactions
+// with their commit sequence numbers, and the next commit sequence.
+type RegistrySnap struct {
+	Committed map[int64]int64 `json:"committed"`
+	NextSeq   int64           `json:"next_seq"`
+}
+
+// ChangeSnap is one pending changelog entry (captured because it had not yet
+// been applied to the accelerator at checkpoint time).
+type ChangeSnap struct {
+	Seq   int64     `json:"seq"`
+	Table string    `json:"table"`
+	Op    int       `json:"op"`
+	RowID int64     `json:"row_id"`
+	Row   types.Row `json:"row,omitempty"`
+	At    int64     `json:"at"`
+}
+
+// Manifest ties one checkpoint together. See the package comment above.
+type Manifest struct {
+	// Gen is the segment generation directory (seg/<gen>) this manifest
+	// refers to; generations not named by the live manifest are garbage.
+	Gen uint64 `json:"gen"`
+	// WALSeq is the first WAL file recovery replays. Records in earlier
+	// files are fully reflected in the segments.
+	WALSeq uint64 `json:"wal_seq"`
+	// Catalog is the full catalog snapshot (JSON), last-writer-wins.
+	Catalog []byte `json:"catalog,omitempty"`
+	// Tables maps accelerator member name to its columnar tables in seg/<gen>.
+	Tables map[string][]TableRef `json:"tables,omitempty"`
+	// RowTables lists the DB2 heap tables stored as rows.seg files.
+	RowTables []string `json:"row_tables,omitempty"`
+	// Changes is the CDC backlog pending at checkpoint; ChangeNextSeq
+	// restores the changelog sequence counter.
+	Changes       []ChangeSnap `json:"changes,omitempty"`
+	ChangeNextSeq int64        `json:"change_next_seq,omitempty"`
+	// ReplStates maps replicated table name to the changelog sequence its
+	// accelerator copy had applied. Presence marks full load as complete:
+	// recovery of a table without an entry redoes the full load.
+	ReplStates map[string]int64 `json:"repl_states,omitempty"`
+	// Registries maps scope (member name; "" = DB2) to its transaction
+	// registry image.
+	Registries map[string]RegistrySnap `json:"registries,omitempty"`
+	// NextTxn and NextInternal restore transaction id allocators so that
+	// recovered systems never reuse an id observed before the crash.
+	NextTxn      int64            `json:"next_txn,omitempty"`
+	NextInternal map[string]int64 `json:"next_internal,omitempty"`
+	// RecentCommits is a bounded ring of the most recently committed
+	// transaction ids. In-doubt resolution consults it for commits whose
+	// WAL records were pruned by this checkpoint.
+	RecentCommits []int64 `json:"recent_commits,omitempty"`
+}
+
+// manifestPath is relative to the store root.
+func manifestPath() string { return manifestName }
+
+// EncodeManifest frames the manifest as [magic][version][JSON][CRC32].
+func EncodeManifest(m *Manifest) ([]byte, error) {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	b := append([]byte(nil), magicManifest[:]...)
+	b = append(b, segVersion)
+	b = append(b, body...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(b))
+	return append(b, crc[:]...), nil
+}
+
+// DecodeManifest parses a framed manifest.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	body, err := openSegment(data, magicManifest)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manifest{}
+	if err := json.Unmarshal(body, m); err != nil {
+		return nil, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
+	}
+	return m, nil
+}
+
+// ReadManifest loads the manifest from dir. A missing manifest (fresh store)
+// returns (nil, nil); a present-but-corrupt one is a hard error, because the
+// rename protocol guarantees the named file is always complete.
+func ReadManifest(fs vfs.FS, dir string) (*Manifest, error) {
+	data, err := fs.ReadFile(path.Join(dir, manifestPath()))
+	if err != nil {
+		return nil, nil
+	}
+	return DecodeManifest(data)
+}
+
+// WriteManifest atomically replaces the manifest in dir.
+func WriteManifest(fs vfs.FS, dir string, m *Manifest) error {
+	data, err := EncodeManifest(m)
+	if err != nil {
+		return err
+	}
+	tmp := path.Join(dir, manifestName+".tmp")
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, path.Join(dir, manifestPath())); err != nil {
+		return err
+	}
+	return fs.SyncDir(dir)
+}

@@ -1,0 +1,524 @@
+// Package durable implements the persistence layer under the accelerator
+// fleet and the DB2 row engine: a typed WAL record taxonomy, per-column
+// segment files written at checkpoint, a manifest tying the checkpoint to a
+// WAL position, and the Store orchestrating group commit, checkpointing and
+// crash recovery.
+//
+// The package deliberately does not import internal/accel or internal/db2 —
+// those engines journal through narrow callback interfaces and drive replay
+// themselves, which keeps the dependency graph acyclic.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"idaax/internal/types"
+)
+
+// Op enumerates the WAL record types.
+type Op uint8
+
+const (
+	// OpAccCreate records an accelerator CREATE TABLE (Scope member).
+	OpAccCreate Op = 1
+	// OpAccDrop records an accelerator DROP TABLE.
+	OpAccDrop Op = 2
+	// OpAccInsert records a batch append into a colstore table: Base is the
+	// row index before the append, Rows/SrcIDs the appended batch, Txn the
+	// creating transaction, Seq the table's operation sequence number.
+	OpAccInsert Op = 3
+	// OpAccMarks records delete marks set on the row indexes Idxs by Txn.
+	OpAccMarks Op = 4
+	// OpAccUnmarks records delete marks removed from Idxs for Txn.
+	OpAccUnmarks Op = 5
+	// OpAccCommit records a transaction commit in a member's registry with
+	// its visibility sequence.
+	OpAccCommit Op = 6
+	// OpAccAbort records a transaction abort in a member's registry.
+	OpAccAbort Op = 7
+	// OpMultiCommit records several registry commits that must become
+	// durable atomically (the rebalancer's cross-member batch hand-over).
+	OpMultiCommit Op = 8
+	// OpDB2Commit records a DB2 transaction commit together with the redo
+	// images of every row-store mutation the transaction performed.
+	OpDB2Commit Op = 9
+	// OpCatalog records a full catalog snapshot (Blob); catalog DDL is rare
+	// and last-writer-wins replay keeps the protocol trivially idempotent.
+	OpCatalog Op = 10
+	// OpChange records one CDC change-log append (Seq, Table, ChangeOp,
+	// Base=row id, Rows[0]=image, Txn=capturing transaction).
+	OpChange Op = 11
+	// OpChangeDiscard records a change-log prune up to Seq for Table.
+	OpChangeDiscard Op = 12
+	// OpReplState records the replicator's durable applied position for
+	// Table (Seq=applied change sequence). Its presence also marks the
+	// table's initial full load as complete.
+	OpReplState Op = 13
+)
+
+// RowOpKind enumerates the DB2 row-store redo operations inside OpDB2Commit.
+type RowOpKind uint8
+
+const (
+	// RowOpInsert places Row at row id ID.
+	RowOpInsert RowOpKind = 1
+	// RowOpUpdate overwrites row id ID with Row.
+	RowOpUpdate RowOpKind = 2
+	// RowOpDelete tombstones row id ID.
+	RowOpDelete RowOpKind = 3
+	// RowOpTruncate tombstones every row id in IDs.
+	RowOpTruncate RowOpKind = 4
+)
+
+// RowOp is one redo image of a DB2 row-store mutation.
+type RowOp struct {
+	Kind  RowOpKind
+	Table string
+	ID    int64
+	Row   types.Row
+	IDs   []int64
+}
+
+// CommitEntry is one member commit inside an OpMultiCommit record.
+type CommitEntry struct {
+	Scope string
+	Txn   int64
+	Seq   int64
+}
+
+// Record is the single WAL record shape; Op selects which fields carry
+// meaning. A union struct beats an interface hierarchy here: the codec stays
+// one function pair, and replay switches on Op exactly once.
+type Record struct {
+	Op      Op
+	Scope   string // accelerator member name; "" addresses the DB2 side
+	Table   string
+	Txn     int64
+	Seq     int64
+	Base    int64
+	Idxs    []int64
+	Rows    []types.Row
+	SrcIDs  []int64
+	Cols    []types.Column
+	DistKey string
+	Blob    []byte
+	RowOps  []RowOp
+	Commits []CommitEntry
+	Change  int64 // db2 ChangeOp ordinal for OpChange
+	At      int64 // capture time (µs since epoch) for OpChange
+}
+
+// ErrCorrupt wraps every decode failure so callers can distinguish damaged
+// input from I/O errors.
+var ErrCorrupt = errors.New("durable: corrupt record")
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+func appendVarint(b []byte, v int64) []byte   { return binary.AppendVarint(b, v) }
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b []byte, p []byte) []byte {
+	b = appendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func appendInt64s(b []byte, vs []int64) []byte {
+	b = appendUvarint(b, uint64(len(vs)))
+	for _, v := range vs {
+		b = appendVarint(b, v)
+	}
+	return b
+}
+
+func appendValue(b []byte, v types.Value) []byte {
+	b = append(b, byte(v.Kind))
+	switch v.Kind {
+	case types.KindInt, types.KindTimestamp:
+		b = appendVarint(b, v.Int)
+	case types.KindFloat:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.Float))
+		b = append(b, buf[:]...)
+	case types.KindString:
+		b = appendString(b, v.Str)
+	case types.KindBool:
+		if v.Bool {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+func appendRow(b []byte, r types.Row) []byte {
+	b = appendUvarint(b, uint64(len(r)))
+	for _, v := range r {
+		b = appendValue(b, v)
+	}
+	return b
+}
+
+func appendRows(b []byte, rows []types.Row) []byte {
+	b = appendUvarint(b, uint64(len(rows)))
+	for _, r := range rows {
+		b = appendRow(b, r)
+	}
+	return b
+}
+
+// Encode serialises the record to a WAL payload.
+func (r *Record) Encode() []byte {
+	b := make([]byte, 0, 64)
+	b = append(b, byte(r.Op))
+	b = appendString(b, r.Scope)
+	b = appendString(b, r.Table)
+	b = appendVarint(b, r.Txn)
+	b = appendVarint(b, r.Seq)
+	b = appendVarint(b, r.Base)
+	b = appendInt64s(b, r.Idxs)
+	b = appendRows(b, r.Rows)
+	b = appendInt64s(b, r.SrcIDs)
+	b = appendUvarint(b, uint64(len(r.Cols)))
+	for _, c := range r.Cols {
+		b = appendString(b, c.Name)
+		b = append(b, byte(c.Kind))
+		if c.NotNull {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	b = appendString(b, r.DistKey)
+	b = appendBytes(b, r.Blob)
+	b = appendUvarint(b, uint64(len(r.RowOps)))
+	for _, op := range r.RowOps {
+		b = append(b, byte(op.Kind))
+		b = appendString(b, op.Table)
+		b = appendVarint(b, op.ID)
+		b = appendRow(b, op.Row)
+		b = appendInt64s(b, op.IDs)
+	}
+	b = appendUvarint(b, uint64(len(r.Commits)))
+	for _, c := range r.Commits {
+		b = appendString(b, c.Scope)
+		b = appendVarint(b, c.Txn)
+		b = appendVarint(b, c.Seq)
+	}
+	b = appendVarint(b, r.Change)
+	b = appendVarint(b, r.At)
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Decoding — every read is bounds-checked and every count is capped against
+// the bytes that remain, so corrupt or adversarial input errors out instead
+// of panicking or allocating unbounded memory (the fuzz targets hold the
+// package to exactly that contract).
+// ---------------------------------------------------------------------------
+
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) remaining() int { return len(d.b) - d.off }
+
+func (d *decoder) byte() (byte, error) {
+	if d.remaining() < 1 {
+		return 0, ErrCorrupt
+	}
+	v := d.b[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	d.off += n
+	return v, nil
+}
+
+// count reads a collection length and validates it against the remaining
+// bytes assuming each element costs at least minBytes.
+func (d *decoder) count(minBytes int) (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if v > uint64(d.remaining()/minBytes) {
+		return 0, ErrCorrupt
+	}
+	return int(v), nil
+}
+
+func (d *decoder) string() (string, error) {
+	n, err := d.count(1)
+	if err != nil {
+		return "", err
+	}
+	if d.remaining() < n {
+		return "", ErrCorrupt
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s, nil
+}
+
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.count(1)
+	if err != nil {
+		return nil, err
+	}
+	if d.remaining() < n {
+		return nil, ErrCorrupt
+	}
+	p := append([]byte(nil), d.b[d.off:d.off+n]...)
+	d.off += n
+	return p, nil
+}
+
+func (d *decoder) int64s() ([]int64, error) {
+	n, err := d.count(1)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		v, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (d *decoder) value() (types.Value, error) {
+	k, err := d.byte()
+	if err != nil {
+		return types.Value{}, err
+	}
+	kind := types.Kind(k)
+	switch kind {
+	case types.KindNull:
+		return types.Null(), nil
+	case types.KindInt, types.KindTimestamp:
+		v, err := d.varint()
+		if err != nil {
+			return types.Value{}, err
+		}
+		return types.Value{Kind: kind, Int: v}, nil
+	case types.KindFloat:
+		if d.remaining() < 8 {
+			return types.Value{}, ErrCorrupt
+		}
+		bits := binary.LittleEndian.Uint64(d.b[d.off : d.off+8])
+		d.off += 8
+		return types.NewFloat(math.Float64frombits(bits)), nil
+	case types.KindString:
+		s, err := d.string()
+		if err != nil {
+			return types.Value{}, err
+		}
+		return types.NewString(s), nil
+	case types.KindBool:
+		b, err := d.byte()
+		if err != nil {
+			return types.Value{}, err
+		}
+		return types.NewBool(b != 0), nil
+	default:
+		return types.Value{}, ErrCorrupt
+	}
+}
+
+func (d *decoder) row() (types.Row, error) {
+	n, err := d.count(1)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	r := make(types.Row, n)
+	for i := range r {
+		v, err := d.value()
+		if err != nil {
+			return nil, err
+		}
+		r[i] = v
+	}
+	return r, nil
+}
+
+func (d *decoder) rows() ([]types.Row, error) {
+	n, err := d.count(1)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]types.Row, n)
+	for i := range out {
+		r, err := d.row()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// DecodeRecord parses a WAL payload. Any structural damage yields an error
+// wrapping ErrCorrupt; it never panics.
+func DecodeRecord(payload []byte) (*Record, error) {
+	d := &decoder{b: payload}
+	r := &Record{}
+	op, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	r.Op = Op(op)
+	if r.Op == 0 || r.Op > OpReplState {
+		return nil, fmt.Errorf("%w: unknown op %d", ErrCorrupt, op)
+	}
+	if r.Scope, err = d.string(); err != nil {
+		return nil, err
+	}
+	if r.Table, err = d.string(); err != nil {
+		return nil, err
+	}
+	if r.Txn, err = d.varint(); err != nil {
+		return nil, err
+	}
+	if r.Seq, err = d.varint(); err != nil {
+		return nil, err
+	}
+	if r.Base, err = d.varint(); err != nil {
+		return nil, err
+	}
+	if r.Idxs, err = d.int64s(); err != nil {
+		return nil, err
+	}
+	if r.Rows, err = d.rows(); err != nil {
+		return nil, err
+	}
+	if r.SrcIDs, err = d.int64s(); err != nil {
+		return nil, err
+	}
+	ncols, err := d.count(3)
+	if err != nil {
+		return nil, err
+	}
+	if ncols > 0 {
+		r.Cols = make([]types.Column, ncols)
+		for i := range r.Cols {
+			if r.Cols[i].Name, err = d.string(); err != nil {
+				return nil, err
+			}
+			k, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			r.Cols[i].Kind = types.Kind(k)
+			nn, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			r.Cols[i].NotNull = nn != 0
+		}
+	}
+	if r.DistKey, err = d.string(); err != nil {
+		return nil, err
+	}
+	if r.Blob, err = d.bytes(); err != nil {
+		return nil, err
+	}
+	nops, err := d.count(5)
+	if err != nil {
+		return nil, err
+	}
+	if nops > 0 {
+		r.RowOps = make([]RowOp, nops)
+		for i := range r.RowOps {
+			k, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			r.RowOps[i].Kind = RowOpKind(k)
+			if r.RowOps[i].Kind < RowOpInsert || r.RowOps[i].Kind > RowOpTruncate {
+				return nil, fmt.Errorf("%w: unknown row op %d", ErrCorrupt, k)
+			}
+			if r.RowOps[i].Table, err = d.string(); err != nil {
+				return nil, err
+			}
+			if r.RowOps[i].ID, err = d.varint(); err != nil {
+				return nil, err
+			}
+			if r.RowOps[i].Row, err = d.row(); err != nil {
+				return nil, err
+			}
+			if r.RowOps[i].IDs, err = d.int64s(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ncommits, err := d.count(3)
+	if err != nil {
+		return nil, err
+	}
+	if ncommits > 0 {
+		r.Commits = make([]CommitEntry, ncommits)
+		for i := range r.Commits {
+			if r.Commits[i].Scope, err = d.string(); err != nil {
+				return nil, err
+			}
+			if r.Commits[i].Txn, err = d.varint(); err != nil {
+				return nil, err
+			}
+			if r.Commits[i].Seq, err = d.varint(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if r.Change, err = d.varint(); err != nil {
+		return nil, err
+	}
+	if r.At, err = d.varint(); err != nil {
+		return nil, err
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, d.remaining())
+	}
+	return r, nil
+}

@@ -1,0 +1,184 @@
+package durable
+
+import (
+	"reflect"
+	"testing"
+
+	"idaax/internal/colstore"
+	"idaax/internal/rowstore"
+	"idaax/internal/types"
+)
+
+func testSchema() types.Schema {
+	return types.Schema{Columns: []types.Column{
+		{Name: "ID", Kind: types.KindInt, NotNull: true},
+		{Name: "PRICE", Kind: types.KindFloat},
+		{Name: "REGION", Kind: types.KindString},
+		{Name: "ACTIVE", Kind: types.KindBool},
+		{Name: "TS", Kind: types.KindTimestamp},
+	}}
+}
+
+func testRows(n int) []types.Row {
+	rows := make([]types.Row, n)
+	for i := range rows {
+		rows[i] = types.Row{
+			types.NewInt(int64(i)),
+			types.NewFloat(float64(i) * 1.5),
+			types.NewString([]string{"emea", "apac", "amer"}[i%3]),
+			types.NewBool(i%2 == 0),
+			types.NewTimestampMicros(int64(1717000000000000 + i)),
+		}
+		if i%7 == 3 {
+			rows[i][1] = types.Null()
+			rows[i][2] = types.Null()
+		}
+	}
+	return rows
+}
+
+func buildColTable(t *testing.T, n int) *colstore.Table {
+	t.Helper()
+	tbl := colstore.NewTable("sales", testSchema(), "region")
+	if _, err := tbl.Insert(1, testRows(n)); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	for i := 0; i < n; i += 9 {
+		tbl.MarkDeleted(i, 2)
+	}
+	return tbl
+}
+
+func TestColumnarSegmentRoundTrip(t *testing.T) {
+	tbl := buildColTable(t, 200)
+	snap := tbl.Snapshot()
+
+	meta, err := DecodeTableMeta(EncodeTableMeta(snap))
+	if err != nil {
+		t.Fatalf("meta round trip: %v", err)
+	}
+	if meta.Name != snap.Name || meta.DistKey != snap.DistKey || meta.OpSeq != snap.OpSeq {
+		t.Fatalf("meta fields drifted: %+v vs %+v", meta, snap)
+	}
+	if !reflect.DeepEqual(meta.Created, snap.Created) ||
+		!reflect.DeepEqual(meta.Deleted, snap.Deleted) ||
+		!reflect.DeepEqual(meta.SrcIDs, snap.SrcIDs) {
+		t.Fatal("version vectors drifted through meta segment")
+	}
+	meta.Cols = make([]colstore.ColumnData, len(snap.Cols))
+	for i, cd := range snap.Cols {
+		got, err := DecodeColumnSegment(EncodeColumnSegment(cd))
+		if err != nil {
+			t.Fatalf("column %d round trip: %v", i, err)
+		}
+		if got.Kind != cd.Kind || !reflect.DeepEqual(got.Nulls, cd.Nulls) {
+			t.Fatalf("column %d meta drifted", i)
+		}
+		if len(got.Ints) != len(cd.Ints) || len(got.Floats) != len(cd.Floats) || len(got.Strs) != len(cd.Strs) {
+			t.Fatalf("column %d payload length drifted", i)
+		}
+		meta.Cols[i] = got
+	}
+
+	restored := colstore.RestoreTable(meta)
+	if restored.OpSeq() != tbl.OpSeq() {
+		t.Fatalf("opSeq %d, want %d", restored.OpSeq(), tbl.OpSeq())
+	}
+	want := tbl.Snapshot()
+	got := restored.Snapshot()
+	got.OpSeq, want.OpSeq = 0, 0
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("restored table snapshot differs from original")
+	}
+}
+
+func TestSegmentRejectsDamage(t *testing.T) {
+	snap := buildColTable(t, 50).Snapshot()
+	data := EncodeColumnSegment(snap.Cols[0])
+	if _, err := DecodeColumnSegment(data[:5]); err == nil {
+		t.Fatal("truncated segment accepted")
+	}
+	for _, i := range []int{0, 4, 5, len(data) / 2, len(data) - 1} {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0xff
+		if _, err := DecodeColumnSegment(bad); err == nil {
+			t.Fatalf("bit flip at %d accepted", i)
+		}
+	}
+	if _, err := DecodeTableMeta(data); err == nil {
+		t.Fatal("column segment accepted as table meta")
+	}
+}
+
+func TestRowSegmentRoundTrip(t *testing.T) {
+	tbl := rowstore.NewTable(testSchema())
+	for _, r := range testRows(60) {
+		if _, err := tbl.Insert(r); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	if err := tbl.CreateIndex("region"); err != nil {
+		t.Fatalf("index: %v", err)
+	}
+	for i := 0; i < 60; i += 11 {
+		tbl.Delete(rowstore.RowID(i))
+	}
+	snap := tbl.Snapshot()
+	got, err := DecodeRowSegment(EncodeRowSegment(snap))
+	if err != nil {
+		t.Fatalf("row segment round trip: %v", err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatal("row snapshot drifted through segment")
+	}
+	restored := rowstore.RestoreTable(got)
+	if restored.Live() != tbl.Live() {
+		t.Fatalf("live %d, want %d", restored.Live(), tbl.Live())
+	}
+	if !reflect.DeepEqual(restored.IndexColumns(), []string{"REGION"}) {
+		t.Fatalf("indexes %v, want [REGION]", restored.IndexColumns())
+	}
+}
+
+// FuzzSegmentHeader holds all three segment parsers to the no-panic,
+// clean-error contract on arbitrary input.
+func FuzzSegmentHeader(f *testing.F) {
+	snap := colstore.NewTable("t", testSchema(), "").Snapshot()
+	f.Add(EncodeTableMeta(snap))
+	big := buildTestColSnapshot()
+	f.Add(EncodeTableMeta(big))
+	for _, cd := range big.Cols {
+		f.Add(EncodeColumnSegment(cd))
+	}
+	rt := rowstore.NewTable(testSchema())
+	for _, r := range testRows(5) {
+		rt.Insert(r)
+	}
+	f.Add(EncodeRowSegment(rt.Snapshot()))
+	f.Add([]byte("IDXC"))
+	f.Add([]byte{'I', 'D', 'X', 'M', 1, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if cd, err := DecodeColumnSegment(data); err == nil {
+			if len(cd.Nulls) != len(cd.Ints)+len(cd.Floats)+len(cd.Strs) {
+				t.Fatal("accepted column segment with inconsistent payload")
+			}
+		}
+		if m, err := DecodeTableMeta(data); err == nil {
+			if len(m.Created) != len(m.Deleted) || len(m.Created) != len(m.SrcIDs) {
+				t.Fatal("accepted meta segment with inconsistent vectors")
+			}
+		}
+		if rs, err := DecodeRowSegment(data); err == nil {
+			if len(rs.Rows) != len(rs.Deleted) {
+				t.Fatal("accepted row segment with inconsistent vectors")
+			}
+		}
+	})
+}
+
+func buildTestColSnapshot() *colstore.TableSnapshot {
+	tbl := colstore.NewTable("sales", testSchema(), "region")
+	tbl.Insert(1, testRows(20))
+	tbl.MarkDeleted(3, 2)
+	return tbl.Snapshot()
+}

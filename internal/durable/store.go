@@ -1,0 +1,484 @@
+package durable
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"idaax/internal/colstore"
+	"idaax/internal/rowstore"
+	"idaax/internal/vfs"
+	"idaax/internal/wal"
+)
+
+// Store is the durability engine shared by one System: a single WAL carrying
+// records for the DB2 front end and every accelerator member (so cross-member
+// batch commits are one atomic record), plus checkpoints written as
+// per-column segment files under a generation directory and published by an
+// atomically replaced manifest.
+//
+// Directory layout under the store root:
+//
+//	MANIFEST                          checkpoint commit point
+//	wal/wal-<seq>.log                 append-only redo log
+//	seg/<gen>/<member>/<table>/       columnar table: meta.seg, col-<i>.seg
+//	seg/<gen>/@db2/<table>.rows       DB2 heap table image
+type Store struct {
+	fs  vfs.FS
+	dir string
+	log *wal.Log
+
+	ckptMu sync.Mutex // serializes checkpoints
+
+	mu       sync.Mutex
+	manifest *Manifest
+	replayTo uint64 // newest wal file that predates this process
+	closed   bool
+
+	// Auto-checkpoint: when the WAL grows past thresholdBytes since the last
+	// checkpoint, onFull fires once (re-armed by the next checkpoint).
+	thresholdBytes int64
+	bytesAtCkpt    int64
+	fullSignaled   atomic.Bool
+	onFull         func()
+
+	checkpoints    atomic.Int64
+	lastCkptMicros atomic.Int64
+}
+
+// Options configures a Store.
+type Options struct {
+	Policy        wal.Policy
+	GroupInterval time.Duration
+	// CheckpointWALBytes arms the auto-checkpoint trigger; 0 disables it.
+	CheckpointWALBytes int64
+}
+
+// DB2Scope is the directory name holding DB2 heap segments (member names
+// cannot collide with it: "@" is not an identifier character).
+const DB2Scope = "@db2"
+
+func walDir(dir string) string           { return path.Join(dir, "wal") }
+func genDir(dir string, g uint64) string { return path.Join(dir, "seg", fmt.Sprintf("%d", g)) }
+
+// Open loads the manifest (if any) and opens a fresh WAL file strictly after
+// every existing one — recovery never appends to a possibly-torn file. The
+// caller replays with Replay before logging new records.
+func Open(fs vfs.FS, dir string, opts Options) (*Store, error) {
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	m, err := ReadManifest(fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	seqs, err := wal.Files(fs, walDir(dir))
+	if err != nil {
+		return nil, err
+	}
+	var newest uint64
+	if len(seqs) > 0 {
+		newest = seqs[len(seqs)-1]
+	}
+	start := newest + 1
+	if m != nil && m.WALSeq > start {
+		start = m.WALSeq
+	}
+	if start == 0 {
+		start = 1
+	}
+	log, err := wal.Open(fs, walDir(dir), start, opts.Policy, opts.GroupInterval)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		fs:             fs,
+		dir:            dir,
+		log:            log,
+		manifest:       m,
+		replayTo:       newest,
+		thresholdBytes: opts.CheckpointWALBytes,
+	}, nil
+}
+
+// Manifest returns the checkpoint loaded at Open (nil for a fresh store).
+func (s *Store) Manifest() *Manifest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.manifest
+}
+
+// SetOnFull installs the auto-checkpoint trigger callback. It is invoked at
+// most once per checkpoint cycle, from a fresh goroutine.
+func (s *Store) SetOnFull(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onFull = fn
+}
+
+// Replay feeds every decoded record that postdates the manifest to fn, in log
+// order. It reads only the wal files that existed before Open created the
+// current one, so a torn crash tail is correctly recognised as the end of the
+// log.
+func (s *Store) Replay(fn func(*Record) error) error {
+	s.mu.Lock()
+	m, to := s.manifest, s.replayTo
+	s.mu.Unlock()
+	var from uint64 = 1
+	if m != nil {
+		from = m.WALSeq
+	}
+	if to == 0 {
+		return nil
+	}
+	return wal.ReplayRange(s.fs, walDir(s.dir), from, to, func(seq uint64, payload []byte) error {
+		rec, err := DecodeRecord(payload)
+		if err != nil {
+			return fmt.Errorf("wal file %d: %w", seq, err)
+		}
+		return fn(rec)
+	})
+}
+
+// Log appends rec without waiting for durability. Write failures poison the
+// log and surface at the next Barrier — exactly the guarantee commit needs,
+// since no commit is acknowledged before its barrier.
+func (s *Store) Log(rec *Record) {
+	_ = s.log.Append(rec.Encode(), false)
+	s.maybeSignalFull()
+}
+
+// LogDurable appends rec and waits for it to reach stable storage per the
+// sync policy.
+func (s *Store) LogDurable(rec *Record) error {
+	err := s.log.Append(rec.Encode(), true)
+	s.maybeSignalFull()
+	return err
+}
+
+// Barrier makes every previously appended record durable (group-shared
+// fsync) and reports any latched write failure.
+func (s *Store) Barrier() error { return s.log.Sync() }
+
+// CommitBarrier is the barrier commit acknowledgement waits on: a hard fsync
+// under the always policy, an error check under grouped/never (whose loss
+// window is bounded by the policy, not the commit).
+func (s *Store) CommitBarrier() error { return s.log.CommitBarrier() }
+
+func (s *Store) maybeSignalFull() {
+	if s.thresholdBytes <= 0 {
+		return
+	}
+	grown := s.log.Stats().Bytes-atomic.LoadInt64(&s.bytesAtCkpt) >= s.thresholdBytes
+	if grown && s.fullSignaled.CompareAndSwap(false, true) {
+		s.mu.Lock()
+		fn := s.onFull
+		s.mu.Unlock()
+		if fn != nil {
+			go fn()
+		}
+	}
+}
+
+// WALStats exposes the underlying log counters.
+func (s *Store) WALStats() wal.Stats { return s.log.Stats() }
+
+// Checkpoints returns how many checkpoints this store has completed.
+func (s *Store) Checkpoints() int64 { return s.checkpoints.Load() }
+
+// LastCheckpointMicros returns the duration of the last checkpoint.
+func (s *Store) LastCheckpointMicros() int64 { return s.lastCkptMicros.Load() }
+
+// CheckpointData is everything a checkpoint captures. The capture callback
+// builds it after the WAL has been rotated, so any mutation journaled to the
+// old log is already reflected here (per-table op sequence numbers make the
+// cut exact) and replay of the new log on top is idempotent.
+type CheckpointData struct {
+	// Scopes maps accelerator member name to its columnar table snapshots.
+	Scopes map[string][]*colstore.TableSnapshot
+	// RowTables maps DB2 heap table name to its snapshot.
+	RowTables map[string]*rowstore.TableSnapshot
+
+	Catalog       []byte
+	Changes       []ChangeSnap
+	ChangeNextSeq int64
+	ReplStates    map[string]int64
+	Registries    map[string]RegistrySnap
+	NextTxn       int64
+	NextInternal  map[string]int64
+	RecentCommits []int64
+}
+
+// Checkpoint rotates the WAL, captures state via the callback, writes a new
+// segment generation, atomically publishes the manifest, then prunes old WAL
+// files and generations. A crash at any point leaves either the old or the
+// new checkpoint fully in force. Concurrent calls serialize.
+func (s *Store) Checkpoint(capture func() (*CheckpointData, error)) error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	start := time.Now()
+
+	newSeq, err := s.log.Rotate()
+	if err != nil {
+		return err
+	}
+	data, err := capture()
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	var gen uint64 = 1
+	if s.manifest != nil {
+		gen = s.manifest.Gen + 1
+	}
+	s.mu.Unlock()
+
+	m := &Manifest{
+		Gen:           gen,
+		WALSeq:        newSeq,
+		Catalog:       data.Catalog,
+		Tables:        make(map[string][]TableRef),
+		Changes:       data.Changes,
+		ChangeNextSeq: data.ChangeNextSeq,
+		ReplStates:    data.ReplStates,
+		Registries:    data.Registries,
+		NextTxn:       data.NextTxn,
+		NextInternal:  data.NextInternal,
+		RecentCommits: data.RecentCommits,
+	}
+
+	root := genDir(s.dir, gen)
+	var scopes []string
+	for scope := range data.Scopes {
+		scopes = append(scopes, scope)
+	}
+	sort.Strings(scopes)
+	for _, scope := range scopes {
+		snaps := data.Scopes[scope]
+		sort.Slice(snaps, func(i, j int) bool { return snaps[i].Name < snaps[j].Name })
+		for _, snap := range snaps {
+			tdir := path.Join(root, scope, snap.Name)
+			if err := s.writeSegFile(path.Join(tdir, "meta.seg"), EncodeTableMeta(snap)); err != nil {
+				return err
+			}
+			for i, cd := range snap.Cols {
+				name := path.Join(tdir, fmt.Sprintf("col-%d.seg", i))
+				if err := s.writeSegFile(name, EncodeColumnSegment(cd)); err != nil {
+					return err
+				}
+			}
+			if err := s.fs.SyncDir(tdir); err != nil {
+				return err
+			}
+			m.Tables[scope] = append(m.Tables[scope], TableRef{Name: snap.Name, Cols: len(snap.Cols)})
+		}
+		if err := s.fs.SyncDir(path.Join(root, scope)); err != nil {
+			return err
+		}
+	}
+	var rowNames []string
+	for name := range data.RowTables {
+		rowNames = append(rowNames, name)
+	}
+	sort.Strings(rowNames)
+	for _, name := range rowNames {
+		p := path.Join(root, DB2Scope, name+".rows")
+		if err := s.writeSegFile(p, EncodeRowSegment(data.RowTables[name])); err != nil {
+			return err
+		}
+		m.RowTables = append(m.RowTables, name)
+	}
+	if len(rowNames) > 0 {
+		if err := s.fs.SyncDir(path.Join(root, DB2Scope)); err != nil {
+			return err
+		}
+	}
+	for _, d := range []string{root, path.Join(s.dir, "seg")} {
+		if err := s.fs.SyncDir(d); err != nil {
+			return err
+		}
+	}
+
+	// Commit point: everything below is garbage collection.
+	if err := WriteManifest(s.fs, s.dir, m); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	s.manifest = m
+	s.mu.Unlock()
+	atomic.StoreInt64(&s.bytesAtCkpt, s.log.Stats().Bytes)
+	s.fullSignaled.Store(false)
+	s.checkpoints.Add(1)
+	s.lastCkptMicros.Store(time.Since(start).Microseconds())
+
+	_ = wal.Prune(s.fs, walDir(s.dir), newSeq)
+	if names, err := s.fs.ReadDir(path.Join(s.dir, "seg")); err == nil {
+		for _, name := range names {
+			if name != fmt.Sprintf("%d", gen) {
+				_ = s.fs.RemoveAll(path.Join(s.dir, "seg", name))
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Store) writeSegFile(p string, data []byte) error {
+	f, err := s.fs.Create(p)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadedState is the decoded checkpoint image: everything in the manifest
+// plus the table snapshots read back from the segment generation.
+type LoadedState struct {
+	Manifest  *Manifest
+	Scopes    map[string][]*colstore.TableSnapshot
+	RowTables map[string]*rowstore.TableSnapshot
+}
+
+// Load reads the manifest's segment generation back into table snapshots,
+// reading up to parallelism tables concurrently. A nil manifest (fresh
+// store) yields a nil state.
+func (s *Store) Load(parallelism int) (*LoadedState, error) {
+	m := s.Manifest()
+	if m == nil {
+		return nil, nil
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	ls := &LoadedState{
+		Manifest:  m,
+		Scopes:    make(map[string][]*colstore.TableSnapshot),
+		RowTables: make(map[string]*rowstore.TableSnapshot),
+	}
+	root := genDir(s.dir, m.Gen)
+
+	type job struct {
+		scope string
+		ref   TableRef
+		idx   int
+		row   string
+	}
+	var jobs []job
+	for scope, refs := range m.Tables {
+		ls.Scopes[scope] = make([]*colstore.TableSnapshot, len(refs))
+		for i, ref := range refs {
+			jobs = append(jobs, job{scope: scope, ref: ref, idx: i})
+		}
+	}
+	for _, name := range m.RowTables {
+		jobs = append(jobs, job{row: name})
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+		rowMu    sync.Mutex
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	sem := make(chan struct{}, parallelism)
+	for _, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j job) {
+			defer func() { <-sem; wg.Done() }()
+			if j.row != "" {
+				data, err := s.fs.ReadFile(path.Join(root, DB2Scope, j.row+".rows"))
+				if err != nil {
+					setErr(fmt.Errorf("load %s/%s: %w", DB2Scope, j.row, err))
+					return
+				}
+				snap, err := DecodeRowSegment(data)
+				if err != nil {
+					setErr(fmt.Errorf("load %s/%s: %w", DB2Scope, j.row, err))
+					return
+				}
+				rowMu.Lock()
+				ls.RowTables[j.row] = snap
+				rowMu.Unlock()
+				return
+			}
+			snap, err := s.loadColumnarTable(root, j.scope, j.ref)
+			if err != nil {
+				setErr(fmt.Errorf("load %s/%s: %w", j.scope, j.ref.Name, err))
+				return
+			}
+			ls.Scopes[j.scope][j.idx] = snap
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return ls, nil
+}
+
+func (s *Store) loadColumnarTable(root, scope string, ref TableRef) (*colstore.TableSnapshot, error) {
+	tdir := path.Join(root, scope, ref.Name)
+	data, err := s.fs.ReadFile(path.Join(tdir, "meta.seg"))
+	if err != nil {
+		return nil, err
+	}
+	snap, err := DecodeTableMeta(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(snap.Schema.Columns) != ref.Cols {
+		return nil, fmt.Errorf("%w: schema has %d columns, manifest says %d",
+			ErrCorrupt, len(snap.Schema.Columns), ref.Cols)
+	}
+	n := len(snap.Created)
+	snap.Cols = make([]colstore.ColumnData, ref.Cols)
+	for i := 0; i < ref.Cols; i++ {
+		data, err := s.fs.ReadFile(path.Join(tdir, fmt.Sprintf("col-%d.seg", i)))
+		if err != nil {
+			return nil, err
+		}
+		cd, err := DecodeColumnSegment(data)
+		if err != nil {
+			return nil, err
+		}
+		if len(cd.Nulls) != n {
+			return nil, fmt.Errorf("%w: column %d has %d values, meta says %d",
+				ErrCorrupt, i, len(cd.Nulls), n)
+		}
+		snap.Cols[i] = cd
+	}
+	return snap, nil
+}
+
+// Close flushes and closes the WAL. The owning System checkpoints before
+// calling Close; the store itself only guarantees log durability.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	return s.log.Close()
+}

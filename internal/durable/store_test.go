@@ -1,0 +1,221 @@
+package durable
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"idaax/internal/colstore"
+	"idaax/internal/rowstore"
+	"idaax/internal/testutil/crashfs"
+	"idaax/internal/types"
+	"idaax/internal/wal"
+)
+
+func openStore(t *testing.T, fs *crashfs.FS) *Store {
+	t.Helper()
+	s, err := Open(fs, "data", Options{Policy: wal.SyncAlways, GroupInterval: time.Millisecond})
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	return s
+}
+
+func captureFrom(colTbl *colstore.Table, rowTbl *rowstore.Table) func() (*CheckpointData, error) {
+	return func() (*CheckpointData, error) {
+		data := &CheckpointData{
+			Scopes:        map[string][]*colstore.TableSnapshot{"m0": {colTbl.Snapshot()}},
+			RowTables:     map[string]*rowstore.TableSnapshot{"orders": rowTbl.Snapshot()},
+			Catalog:       []byte(`{"v":1}`),
+			ChangeNextSeq: 17,
+			ReplStates:    map[string]int64{"sales": 16},
+			Registries:    map[string]RegistrySnap{"m0": {Committed: map[int64]int64{1: 1, 2: 2}, NextSeq: 3}},
+			NextTxn:       9,
+			NextInternal:  map[string]int64{"m0": -5},
+			RecentCommits: []int64{1, 2},
+		}
+		return data, nil
+	}
+}
+
+func TestCheckpointLoadRoundTrip(t *testing.T) {
+	fs := crashfs.New()
+	s := openStore(t, fs)
+	colTbl := buildColTable(t, 120)
+	rowTbl := rowstore.NewTable(testSchema())
+	for _, r := range testRows(30) {
+		rowTbl.Insert(r)
+	}
+
+	if err := s.Checkpoint(captureFrom(colTbl, rowTbl)); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	fs.Crash()
+
+	s2 := openStore(t, fs)
+	ls, err := s2.Load(4)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if ls == nil {
+		t.Fatal("load returned nil state despite checkpoint")
+	}
+	m := ls.Manifest
+	if m.Gen != 1 || m.ChangeNextSeq != 17 || m.NextTxn != 9 ||
+		m.ReplStates["sales"] != 16 || m.NextInternal["m0"] != -5 ||
+		string(m.Catalog) != `{"v":1}` {
+		t.Fatalf("manifest fields drifted: %+v", m)
+	}
+	if reg := m.Registries["m0"]; reg.NextSeq != 3 || reg.Committed[2] != 2 {
+		t.Fatalf("registry snapshot drifted: %+v", reg)
+	}
+
+	want := colTbl.Snapshot()
+	got := ls.Scopes["m0"][0]
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("columnar snapshot drifted through checkpoint")
+	}
+	if !reflect.DeepEqual(ls.RowTables["orders"], rowTbl.Snapshot()) {
+		t.Fatal("row snapshot drifted through checkpoint")
+	}
+	s2.Close()
+}
+
+func TestReplayAfterCheckpointSkipsOldRecords(t *testing.T) {
+	fs := crashfs.New()
+	s := openStore(t, fs)
+	s.Log(&Record{Op: OpAccCommit, Scope: "m0", Txn: 1, Seq: 1})
+	if err := s.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	colTbl := buildColTable(t, 10)
+	rowTbl := rowstore.NewTable(testSchema())
+	if err := s.Checkpoint(captureFrom(colTbl, rowTbl)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LogDurable(&Record{Op: OpAccCommit, Scope: "m0", Txn: 2, Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	fs.Crash()
+
+	s2 := openStore(t, fs)
+	var seen []int64
+	if err := s2.Replay(func(r *Record) error {
+		seen = append(seen, r.Txn)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(seen) != 1 || seen[0] != 2 {
+		t.Fatalf("replayed txns %v, want [2] (pre-checkpoint record must be pruned from replay)", seen)
+	}
+	s2.Close()
+}
+
+func TestCrashDuringCheckpointKeepsOldManifest(t *testing.T) {
+	for n := int64(1); ; n++ {
+		fs := crashfs.New()
+		s := openStore(t, fs)
+		colTbl := buildColTable(t, 40)
+		rowTbl := rowstore.NewTable(testSchema())
+		if err := s.Checkpoint(captureFrom(colTbl, rowTbl)); err != nil {
+			t.Fatal(err)
+		}
+		// Grow the table, then crash at the nth fs op of the second checkpoint.
+		colTbl.Insert(5, testRows(10))
+		fs.Arm(n, crashfs.Fail)
+		err := s.Checkpoint(captureFrom(colTbl, rowTbl))
+		fired := fs.Fired()
+		fs.Crash()
+		fs.Disarm()
+
+		s2 := openStore(t, fs)
+		ls, lerr := s2.Load(2)
+		if lerr != nil {
+			t.Fatalf("crash at op %d: load after crash: %v", n, lerr)
+		}
+		if ls == nil {
+			t.Fatalf("crash at op %d: checkpoint lost entirely", n)
+		}
+		got := len(ls.Scopes["m0"][0].Created)
+		if err != nil {
+			if got != 40 {
+				t.Fatalf("crash at op %d: interrupted checkpoint visible: %d rows, want 40", n, got)
+			}
+		} else if got != 40 && got != 50 {
+			t.Fatalf("crash at op %d: %d rows, want 40 or 50", n, got)
+		}
+		s2.Close()
+		if !fired {
+			// The whole second checkpoint ran without reaching op n: done.
+			return
+		}
+	}
+}
+
+func TestAutoCheckpointTrigger(t *testing.T) {
+	fs := crashfs.New()
+	s, err := Open(fs, "data", Options{Policy: wal.SyncNever, CheckpointWALBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := make(chan struct{}, 1)
+	s.SetOnFull(func() { fired <- struct{}{} })
+	for i := 0; i < 64; i++ {
+		s.Log(&Record{Op: OpAccCommit, Scope: "m0", Txn: int64(i), Seq: int64(i)})
+	}
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("auto-checkpoint trigger never fired")
+	}
+	s.Close()
+}
+
+func TestLoadRejectsTamperedSegment(t *testing.T) {
+	fs := crashfs.New()
+	s := openStore(t, fs)
+	colTbl := buildColTable(t, 30)
+	rowTbl := rowstore.NewTable(testSchema())
+	if err := s.Checkpoint(captureFrom(colTbl, rowTbl)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	name := "data/seg/1/m0/SALES/col-0.seg"
+	data, err := fs.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	h, _ := fs.Create(name)
+	h.Write(data)
+	h.Sync()
+	h.Close()
+	fs.SyncDir("data")
+
+	s2 := openStore(t, fs)
+	if _, err := s2.Load(2); err == nil {
+		t.Fatal("load accepted a tampered column segment")
+	}
+	s2.Close()
+}
+
+func TestFreshStoreLoadsNil(t *testing.T) {
+	fs := crashfs.New()
+	s := openStore(t, fs)
+	ls, err := s.Load(2)
+	if err != nil || ls != nil {
+		t.Fatalf("fresh store Load = %v, %v; want nil, nil", ls, err)
+	}
+	if err := s.Replay(func(*Record) error { t.Fatal("replay on fresh store"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+}
+
+var _ = types.NewInt // keep types import if helpers move

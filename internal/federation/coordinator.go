@@ -15,12 +15,14 @@ import (
 	"idaax/internal/catalog"
 	"idaax/internal/core"
 	"idaax/internal/db2"
+	"idaax/internal/durable"
 	"idaax/internal/obs"
 	"idaax/internal/obs/eventlog"
 	"idaax/internal/obs/health"
 	"idaax/internal/replication"
 	"idaax/internal/shard"
 	"idaax/internal/types"
+	"idaax/internal/vfs"
 )
 
 // AcceleratorSpec describes one accelerator of a multi-accelerator fleet.
@@ -69,6 +71,27 @@ type Config struct {
 	// degrades the replication component and journals a cdc_lag_high event
 	// (default 5s).
 	CDCLagThreshold time.Duration
+
+	// DataDir, when non-empty, makes the system durable: a write-ahead log
+	// and checkpoint segments live under this directory, and OpenCoordinator
+	// recovers from them. Empty (and FS nil) means purely in-memory.
+	DataDir string
+	// FS overrides the filesystem the durable store writes through (tests
+	// inject a crash-simulating filesystem). When set, DataDir may be empty.
+	FS vfs.FS
+	// FsyncPolicy is "always" (default; fsync before a commit returns),
+	// "grouped" (background fsync every GroupCommitInterval) or "never"
+	// (fsync only on rotate/close).
+	FsyncPolicy string
+	// GroupCommitInterval is the background fsync period for the "grouped"
+	// policy (default 2ms).
+	GroupCommitInterval time.Duration
+	// CheckpointWALBytes triggers an automatic checkpoint when the WAL grows
+	// past this many bytes (default 64 MiB; negative disables the trigger).
+	CheckpointWALBytes int64
+	// RecoveryParallelism bounds how many tables recovery loads concurrently
+	// (default: number of CPUs).
+	RecoveryParallelism int
 
 	// fleetConfigured records that the user listed more than one accelerator,
 	// before duplicate names were folded away (set by withDefaults).
@@ -181,6 +204,16 @@ type Coordinator struct {
 
 	metrics Metrics
 
+	// store is the durability engine (nil for an in-memory coordinator). It
+	// is set once during OpenCoordinator, before any traffic.
+	store    *durable.Store
+	recovery RecoveryStats
+	// recentMu guards recentCommits, the bounded ring of recently committed
+	// DB2 transaction ids each checkpoint carries for in-doubt resolution.
+	recentMu      sync.Mutex
+	recentCommits []int64
+	closeOnce     sync.Once
+
 	// Failpoint, when non-nil, is invoked at named stages of the commit
 	// handshake ("after-prepare", "after-db2-commit") and lets tests inject
 	// coordinator failures between the two systems.
@@ -238,12 +271,15 @@ func NewCoordinator(cfg Config) *Coordinator {
 	return c
 }
 
-// Close stops the coordinator's background machinery (currently the health
-// watchdog). The engine itself is in-memory and needs no teardown; an active
+// Close stops the coordinator's background machinery (the health watchdog)
+// and, for a durable coordinator, flushes a final checkpoint and closes the
+// WAL so a clean shutdown recovers instantly and loses nothing. An active
 // rebalance worker drains on its own.
 func (c *Coordinator) Close() error {
 	c.Watchdog.Stop()
-	return nil
+	var err error
+	c.closeOnce.Do(func() { err = c.closeDurability() })
+	return err
 }
 
 // Catalog returns the shared DB2 catalog.
@@ -262,6 +298,9 @@ func (c *Coordinator) AddAccelerator(name string, slices int) *accel.Accelerator
 		return a // nil when the name is a shard group; never clobber it
 	}
 	a := accel.New(name, slices)
+	if c.store != nil {
+		a.SetJournal(&memberJournal{c: c, scope: name})
+	}
 	c.accels[name] = a
 	c.cat.AddAccelerator(name)
 	return a
@@ -302,6 +341,9 @@ func (c *Coordinator) AddShardGroup(name string, memberNames ...string) (*shard.
 		return nil, err
 	}
 	router.SetEventLog(c.Events)
+	if c.store != nil {
+		router.SetJournal(multiJournal{c})
+	}
 	c.accels[name] = router
 	c.cat.AddAccelerator(name)
 	return router, nil

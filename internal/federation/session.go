@@ -284,13 +284,25 @@ func (s *Session) commitTxn(tx *txn.Txn) error {
 		s.abortTxn(tx)
 		return err
 	}
-	s.coord.DB2.Commit(tx)
+	db2Err := s.coord.DB2.Commit(tx)
 	failpointErr := s.coord.failpoint("after-db2-commit")
 	for _, a := range orderGroupsFirst(s.participants) {
 		a.CommitTxn(int64(tx.ID))
 	}
 	s.participants = make(map[string]accel.Backend)
-	return failpointErr
+	// Accelerator commit records and DDL/catalog records are appended without
+	// their own fsync; this group-shared barrier makes everything journaled
+	// so far durable before the statement is acknowledged, and surfaces a
+	// poisoned log as a commit error. It is a no-op when nothing was appended
+	// since the last sync (pure reads, or DB2's own commit barrier covered it).
+	barrierErr := s.coord.commitBarrier()
+	if failpointErr != nil {
+		return failpointErr
+	}
+	if db2Err != nil {
+		return db2Err
+	}
+	return barrierErr
 }
 
 func (s *Session) abortTxn(tx *txn.Txn) {

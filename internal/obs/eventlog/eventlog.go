@@ -94,6 +94,8 @@ const (
 	TypeTxnAborted       = "txn_aborted"
 	TypeHealthChanged    = "health_changed"
 	TypeOpsServer        = "ops_server"
+	TypeCheckpoint       = "checkpoint"
+	TypeRecovered        = "recovered"
 )
 
 // Event is one entry of the journal.

@@ -1,0 +1,105 @@
+package replication
+
+import (
+	"idaax/internal/catalog"
+	"idaax/internal/types"
+)
+
+// Durability: the replicator journals one record per table whenever its
+// applied change sequence moves (after a full load and after each
+// incremental apply). The presence of a journaled state marks the full load
+// as complete — recovery of a table without one redoes the full load, while
+// a table with one only needs an incremental CDC catch-up from the recorded
+// sequence.
+
+// Journal receives replication-progress durability events.
+type Journal interface {
+	LogReplState(table string, appliedSeq int64)
+}
+
+// SetJournal attaches a durability sink (nil detaches).
+func (r *Replicator) SetJournal(j Journal) {
+	r.mu.Lock()
+	r.journal = j
+	r.mu.Unlock()
+}
+
+// journalState must be called with r.mu held.
+func (r *Replicator) journalState(table string, appliedSeq int64) {
+	if r.journal != nil {
+		r.journal.LogReplState(table, appliedSeq)
+	}
+}
+
+// StatesSnapshot returns each table's applied change sequence for
+// checkpointing. Tables that never completed a full load are absent.
+func (r *Replicator) StatesSnapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.states))
+	for table, st := range r.states {
+		if st.FullLoads > 0 || st.AppliedSeq > 0 {
+			out[table] = st.AppliedSeq
+		}
+	}
+	return out
+}
+
+// ApplyReplState restores or replays one table's replication progress. The
+// accelerator name is refreshed from the catalog; the sequence only moves
+// forward so checkpoint image and WAL replay compose in any order.
+func (r *Replicator) ApplyReplState(table string, appliedSeq int64) {
+	table = types.NormalizeName(table)
+	accName := ""
+	if meta, err := r.cat.Table(table); err == nil {
+		accName = meta.Accelerator
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.states[table]
+	if !ok {
+		st = &TableState{Table: table, Accelerator: accName}
+		r.states[table] = st
+	}
+	if st.FullLoads == 0 {
+		st.FullLoads = 1 // the journaled state implies a completed full load
+	}
+	if appliedSeq > st.AppliedSeq {
+		st.AppliedSeq = appliedSeq
+	}
+}
+
+// NeedsFullLoad reports whether the accelerated table has no completed full
+// load on record — after recovery such tables must be reloaded rather than
+// caught up incrementally.
+func (r *Replicator) NeedsFullLoad(table string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.states[types.NormalizeName(table)]
+	return !ok || st.FullLoads == 0
+}
+
+// RecoverAll brings every accelerated table's shadow copy back in sync after
+// a restart: tables with a journaled replication state are caught up from the
+// pending change stream (the cheap path a rejoining member takes), tables
+// without one get a fresh full load. It returns how many tables took each
+// path.
+func (r *Replicator) RecoverAll() (caughtUp, fullLoaded int, err error) {
+	for _, meta := range r.cat.Tables() {
+		if meta.Kind != catalog.KindAccelerated {
+			continue
+		}
+		if r.NeedsFullLoad(meta.Name) {
+			if _, err := r.FullLoad(meta.Name); err != nil {
+				return caughtUp, fullLoaded, err
+			}
+			fullLoaded++
+			continue
+		}
+		if _, err := r.ApplyPending(meta.Name); err != nil {
+			return caughtUp, fullLoaded, err
+		}
+		caughtUp++
+	}
+	return caughtUp, fullLoaded, nil
+}

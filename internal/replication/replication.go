@@ -49,9 +49,10 @@ type Replicator struct {
 	cat    *catalog.Catalog
 	accels AcceleratorProvider
 
-	mu     sync.Mutex
-	states map[string]*TableState
-	stats  Stats
+	mu      sync.Mutex
+	states  map[string]*TableState
+	stats   Stats
+	journal Journal
 }
 
 // New creates a replicator.
@@ -196,6 +197,7 @@ func (r *Replicator) FullLoad(table string) (int, error) {
 	state.LastSync = time.Now()
 	r.stats.RowsFullLoaded += int64(n)
 	r.stats.FullLoads++
+	r.journalState(table, latestSeq)
 	r.mu.Unlock()
 
 	// Changes up to the snapshot point are subsumed by the full load.
@@ -324,6 +326,7 @@ func (r *Replicator) ApplyPending(table string) (int, error) {
 	state.LastSync = time.Now()
 	r.stats.RowsIncremental += int64(count)
 	r.stats.IncrementalRuns++
+	r.journalState(table, lastSeq)
 	r.mu.Unlock()
 
 	r.engine.Changes.Discard(table, lastSeq)

@@ -1,0 +1,64 @@
+package shard
+
+import (
+	"fmt"
+
+	"idaax/internal/durable"
+	"idaax/internal/types"
+)
+
+// Durability hooks for the shard router. Member-local mutations and commits
+// are journaled by the members themselves; the router only journals what no
+// single member can see — the cross-member batch hand-over of the rebalancer,
+// which must commit on the source and every destination atomically (one
+// multi-commit WAL record) or a crash would strand rows deleted on the source
+// but uncommitted on their destination.
+
+// MultiCommitJournal records an atomic cross-member commit.
+type MultiCommitJournal interface {
+	LogMultiCommit(entries []durable.CommitEntry)
+}
+
+// SetJournal attaches the multi-commit sink (nil detaches). Attach after
+// recovery, before the rebalancer runs.
+func (r *Router) SetJournal(j MultiCommitJournal) {
+	r.mu.Lock()
+	r.journal = j
+	r.mu.Unlock()
+}
+
+func (r *Router) multiCommitJournal() MultiCommitJournal {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.journal
+}
+
+// AdoptTable registers a recovered table with the router without touching the
+// members (their storage was already rebuilt from the checkpoint and WAL).
+// The placement map is rebuilt for the current owner set; rows a crashed
+// rebalance left misplaced are picked up by the next rebalance pass.
+func (r *Router) AdoptTable(name string, schema types.Schema, distKey string) error {
+	name = types.NormalizeName(name)
+	distKey = types.NormalizeName(distKey)
+	keyIdx := -1
+	keyKind := types.KindInt
+	if distKey != "" {
+		keyIdx = schema.IndexOf(distKey)
+		if keyIdx < 0 {
+			return fmt.Errorf("shard: distribution key %s is not a column of %s", distKey, name)
+		}
+		keyKind = schema.Columns[keyIdx].Kind
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.tables[name]; ok {
+		return fmt.Errorf("shard: table %s already exists on %s", name, r.name)
+	}
+	r.tables[name] = &tableMeta{
+		schema:  schema,
+		distKey: distKey,
+		keyIdx:  keyIdx,
+		part:    r.newPartitionerLocked(keyIdx, keyKind),
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 
 	"idaax/internal/accel"
 	"idaax/internal/colstore"
+	"idaax/internal/durable"
 	"idaax/internal/obs/eventlog"
 	"idaax/internal/types"
 )
@@ -607,11 +608,23 @@ func (r *Router) moveBatch(name string, meta *tableMeta, ms []*accel.Accelerator
 	}
 
 	// The atomic hand-over: source delete and destination inserts become
-	// visible together, excluded against every query's snapshot set.
+	// visible together, excluded against every query's snapshot set. With
+	// durability on, the per-member commits are journaled as one multi-commit
+	// record — all of them replay after a crash or none do, so a row is never
+	// recovered deleted on the source but uncommitted on its destination.
 	r.commitMu.Lock()
-	src.Registry.Commit(srcTxn)
-	for dest, db := range perDest {
-		ms[dest].Registry.Commit(db.txn)
+	if j := r.multiCommitJournal(); j != nil {
+		entries := make([]durable.CommitEntry, 0, len(perDest)+1)
+		entries = append(entries, durable.CommitEntry{Scope: src.Name(), Txn: srcTxn, Seq: src.Registry.CommitQuiet(srcTxn)})
+		for dest, db := range perDest {
+			entries = append(entries, durable.CommitEntry{Scope: ms[dest].Name(), Txn: db.txn, Seq: ms[dest].Registry.CommitQuiet(db.txn)})
+		}
+		j.LogMultiCommit(entries)
+	} else {
+		src.Registry.Commit(srcTxn)
+		for dest, db := range perDest {
+			ms[dest].Registry.Commit(db.txn)
+		}
 	}
 	r.commitMu.Unlock()
 

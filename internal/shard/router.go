@@ -162,6 +162,10 @@ type Router struct {
 	leaving map[string]bool
 	tables  map[string]*tableMeta
 
+	// journal records cross-member rebalance commits (durable.go); nil while
+	// durability is off.
+	journal MultiCommitJournal
+
 	// epoch counts membership changes (atomic).
 	epoch int64
 

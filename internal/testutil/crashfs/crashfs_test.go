@@ -1,0 +1,233 @@
+package crashfs
+
+import (
+	"errors"
+	"testing"
+)
+
+func write(t *testing.T, f *FS, name, content string) {
+	t.Helper()
+	h, err := f.Create(name)
+	if err != nil {
+		t.Fatalf("create %s: %v", name, err)
+	}
+	if _, err := h.Write([]byte(content)); err != nil {
+		t.Fatalf("write %s: %v", name, err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatalf("close %s: %v", name, err)
+	}
+}
+
+func writeSynced(t *testing.T, f *FS, name, content string) {
+	t.Helper()
+	h, err := f.Create(name)
+	if err != nil {
+		t.Fatalf("create %s: %v", name, err)
+	}
+	if _, err := h.Write([]byte(content)); err != nil {
+		t.Fatalf("write %s: %v", name, err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatalf("sync %s: %v", name, err)
+	}
+	h.Close()
+	if err := f.SyncDir("."); err != nil {
+		t.Fatalf("syncdir: %v", err)
+	}
+}
+
+func TestUnsyncedWritesLostOnCrash(t *testing.T) {
+	f := New()
+	writeSynced(t, f, "a/durable", "kept")
+	write(t, f, "a/volatile", "lost")
+	f.Crash()
+	if data, err := f.ReadFile("a/durable"); err != nil || string(data) != "kept" {
+		t.Fatalf("durable file = %q, %v", data, err)
+	}
+	if _, err := f.ReadFile("a/volatile"); err == nil {
+		t.Fatal("unsynced file survived crash")
+	}
+}
+
+func TestSyncedContentTruncatedToSyncedPrefix(t *testing.T) {
+	f := New()
+	h, _ := f.Create("x")
+	h.Write([]byte("12345"))
+	h.Sync()
+	h.Write([]byte("6789"))
+	h.Close()
+	f.SyncDir(".")
+	f.Crash()
+	data, err := f.ReadFile("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "12345" {
+		t.Fatalf("after crash content = %q, want synced prefix %q", data, "12345")
+	}
+}
+
+func TestOverwriteResurrectsOldContentOnCrash(t *testing.T) {
+	f := New()
+	writeSynced(t, f, "cfg", "old")
+	// Overwrite but never sync the new content or the directory.
+	write(t, f, "cfg", "new")
+	f.Crash()
+	data, err := f.ReadFile("cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "old" {
+		t.Fatalf("after crash content = %q, want pre-overwrite %q", data, "old")
+	}
+}
+
+func TestRenameWithoutDirSyncRollsBack(t *testing.T) {
+	f := New()
+	writeSynced(t, f, "target", "v1")
+	h, _ := f.Create("target.tmp")
+	h.Write([]byte("v2"))
+	h.Sync()
+	h.Close()
+	if err := f.Rename("target.tmp", "target"); err != nil {
+		t.Fatal(err)
+	}
+	f.Crash() // no SyncDir between rename and crash
+	data, err := f.ReadFile("target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "v1" {
+		t.Fatalf("unsynced rename survived crash: %q", data)
+	}
+}
+
+func TestRenameWithDirSyncIsDurable(t *testing.T) {
+	f := New()
+	writeSynced(t, f, "target", "v1")
+	h, _ := f.Create("target.tmp")
+	h.Write([]byte("v2"))
+	h.Sync()
+	h.Close()
+	if err := f.Rename("target.tmp", "target"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	f.Crash()
+	data, err := f.ReadFile("target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "v2" {
+		t.Fatalf("synced rename lost: %q", data)
+	}
+	if _, err := f.ReadFile("target.tmp"); err == nil {
+		t.Fatal("rename source still present")
+	}
+}
+
+func TestRemoveResurrectedWithoutDirSync(t *testing.T) {
+	f := New()
+	writeSynced(t, f, "victim", "body")
+	if err := f.Remove("victim"); err != nil {
+		t.Fatal(err)
+	}
+	f.Crash()
+	if data, err := f.ReadFile("victim"); err != nil || string(data) != "body" {
+		t.Fatalf("removed-but-unsynced file gone for good: %q, %v", data, err)
+	}
+}
+
+func TestFailInjection(t *testing.T) {
+	f := New()
+	writeSynced(t, f, "pre", "x")
+	f.Arm(2, Fail)
+	h, err := f.Create("a") // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("y")); err == nil { // op 2: injected
+		t.Fatal("write at injection point succeeded")
+	}
+	if !f.Fired() {
+		t.Fatal("injection did not fire")
+	}
+	if _, err := f.Create("b"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("op after crash = %v, want ErrCrashed", err)
+	}
+	f.Crash()
+	f.Disarm()
+	if _, err := f.ReadFile("pre"); err != nil {
+		t.Fatalf("durable file must survive restart: %v", err)
+	}
+}
+
+func TestShortWriteInjection(t *testing.T) {
+	f := New()
+	f.Arm(2, ShortWrite)
+	h, _ := f.Create("x") // op 1
+	if _, err := h.Write([]byte("abcdef")); err == nil {
+		t.Fatal("short write reported success")
+	}
+	f.Crash()
+	f.Disarm()
+	data, _ := f.ReadFile("x")
+	if len(data) >= 6 {
+		t.Fatalf("short write persisted %d bytes, want < 6", len(data))
+	}
+}
+
+func TestTornWriteReportsSuccessThenCrashes(t *testing.T) {
+	f := New()
+	f.Arm(2, TornWrite)
+	h, _ := f.Create("x")                                // op 1
+	if _, err := h.Write([]byte("abcdef")); err != nil { // op 2: torn, lies
+		t.Fatalf("torn write should report success, got %v", err)
+	}
+	if err := h.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("op after torn write = %v, want ErrCrashed", err)
+	}
+	f.Crash()
+	f.Disarm()
+	data, _ := f.ReadFile("x")
+	if len(data) >= 6 {
+		t.Fatalf("torn write persisted all %d bytes", len(data))
+	}
+}
+
+func TestReadDirSorted(t *testing.T) {
+	f := New()
+	writeSynced(t, f, "d/b", "1")
+	writeSynced(t, f, "d/a", "2")
+	writeSynced(t, f, "d/sub/c", "3")
+	names, err := f.ReadDir("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "sub" {
+		t.Fatalf("ReadDir = %v", names)
+	}
+}
+
+func TestRemoveAll(t *testing.T) {
+	f := New()
+	writeSynced(t, f, "d/x/a", "1")
+	writeSynced(t, f, "d/x/b", "2")
+	writeSynced(t, f, "d/keep", "3")
+	if err := f.RemoveAll("d/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	f.Crash()
+	if _, err := f.ReadFile("d/x/a"); err == nil {
+		t.Fatal("RemoveAll + SyncDir did not stick")
+	}
+	if _, err := f.ReadFile("d/keep"); err != nil {
+		t.Fatalf("sibling removed: %v", err)
+	}
+}

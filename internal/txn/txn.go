@@ -135,6 +135,23 @@ func (m *Manager) Finish(t *Txn, committed bool) {
 	delete(m.active, t.ID)
 }
 
+// NextID returns the id the next transaction would get (checkpointing).
+func (m *Manager) NextID() ID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nextID
+}
+
+// EnsureNextAtLeast raises the next transaction id to at least n so a
+// recovered system never reuses an id issued before the crash.
+func (m *Manager) EnsureNextAtLeast(n ID) {
+	m.mu.Lock()
+	if m.nextID < n {
+		m.nextID = n
+	}
+	m.mu.Unlock()
+}
+
 // ActiveCount returns the number of in-flight transactions.
 func (m *Manager) ActiveCount() int {
 	m.mu.Lock()

@@ -1,0 +1,116 @@
+// Package vfs abstracts the handful of filesystem operations the durability
+// layer needs — sequential file creation, fsync, atomic rename, directory
+// listing — behind an interface so tests can substitute a crash-injecting
+// in-memory filesystem (internal/testutil/crashfs) for the real one.
+//
+// The surface is deliberately tiny and write-append oriented: the WAL and
+// segment writers only ever create new files and append to them, never seek
+// or rewrite, which keeps both the OS implementation and the crash model
+// simple.
+package vfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"syscall"
+)
+
+// File is a sequentially-written file. Writes append at the end; Sync makes
+// everything written so far durable.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem slice the durability layer uses. Paths are
+// forward-slash relative paths rooted at the store directory.
+type FS interface {
+	// Create creates (or truncates) a file for sequential writing.
+	Create(name string) (File, error)
+	// ReadFile returns the full contents of a file.
+	ReadFile(name string) ([]byte, error)
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(dir string) error
+	// ReadDir lists the entry names in a directory, sorted. A missing
+	// directory returns an empty list, not an error.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file. Removing a missing file is not an error.
+	Remove(name string) error
+	// RemoveAll deletes a directory tree. Missing is not an error.
+	RemoveAll(dir string) error
+	// SyncDir makes directory entries (created files, renames, removals)
+	// durable.
+	SyncDir(dir string) error
+}
+
+// OS returns an FS rooted at dir on the real filesystem.
+func OS(dir string) FS { return osFS{root: dir} }
+
+type osFS struct{ root string }
+
+func (f osFS) path(name string) string { return filepath.Join(f.root, filepath.FromSlash(name)) }
+
+func (f osFS) Create(name string) (File, error) {
+	p := f.path(name)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return nil, err
+	}
+	return os.OpenFile(p, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+func (f osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(f.path(name)) }
+
+func (f osFS) MkdirAll(dir string) error { return os.MkdirAll(f.path(dir), 0o755) }
+
+func (f osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(f.path(dir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (f osFS) Rename(oldname, newname string) error {
+	return os.Rename(f.path(oldname), f.path(newname))
+}
+
+func (f osFS) Remove(name string) error {
+	err := os.Remove(f.path(name))
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+func (f osFS) RemoveAll(dir string) error { return os.RemoveAll(f.path(dir)) }
+
+func (f osFS) SyncDir(dir string) error {
+	d, err := os.Open(f.path(dir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer d.Close()
+	// Directory fsync returns EINVAL on filesystems that do not support it;
+	// that is advisory, not fatal.
+	if err := d.Sync(); err != nil && !errors.Is(err, fs.ErrInvalid) && !errors.Is(err, syscall.EINVAL) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,469 @@
+// Package wal implements the append-only write-ahead log underneath the
+// durability layer: length+CRC32-framed records in numbered files
+// (wal-<seq>.log), group commit with a configurable fsync policy, and a
+// reader that tolerates a torn tail after a crash but never silently skips
+// a record in the middle of the committed sequence.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"idaax/internal/vfs"
+)
+
+// Policy is the fsync policy for durable appends.
+type Policy int
+
+const (
+	// SyncAlways fsyncs before a durable append returns. Concurrent
+	// committers share one fsync (group commit).
+	SyncAlways Policy = iota
+	// SyncGrouped fsyncs on a background interval; a durable append returns
+	// as soon as the record is in the OS buffer, bounding loss to the group
+	// interval.
+	SyncGrouped
+	// SyncNever fsyncs only on Rotate, Sync and Close.
+	SyncNever
+)
+
+// ParsePolicy maps the config strings to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "always":
+		return SyncAlways, nil
+	case "grouped", "group":
+		return SyncGrouped, nil
+	case "never", "off":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, grouped or never)", s)
+}
+
+const (
+	frameHeader = 8       // uint32 length + uint32 crc
+	maxRecord   = 1 << 28 // 256 MiB sanity bound on one record
+)
+
+// ErrBroken is wrapped by every operation after a write or sync failure has
+// poisoned the log; the process must treat the store as crashed.
+var ErrBroken = errors.New("wal: log poisoned by earlier write failure")
+
+// Stats are cumulative counters for observability.
+type Stats struct {
+	Records   int64
+	Bytes     int64
+	Fsyncs    int64
+	Rotations int64
+}
+
+// Log is an open write-ahead log.
+type Log struct {
+	fs       vfs.FS
+	dir      string
+	policy   Policy
+	interval time.Duration
+
+	mu     sync.Mutex
+	f      vfs.File
+	seq    uint64
+	offset int64
+	broken error
+
+	// Group commit: appends get a monotonically increasing ticket; a
+	// durable append waits until syncedTo covers its ticket, electing
+	// itself leader if no sync is in flight.
+	ticket   int64
+	syncedTo int64
+	syncing  bool
+	cond     *sync.Cond
+
+	stopGroup chan struct{}
+	groupDone chan struct{}
+
+	records   atomic.Int64
+	bytes     atomic.Int64
+	fsyncs    atomic.Int64
+	rotations atomic.Int64
+}
+
+func fileName(seq uint64) string { return fmt.Sprintf("wal-%020d.log", seq) }
+
+// parseSeq extracts the sequence number from a wal file name.
+func parseSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Open creates a fresh log file with sequence seq in dir and returns the
+// log. Any pre-existing file with the same sequence is truncated, so callers
+// must pass a sequence beyond every file that still holds committed data.
+func Open(fs vfs.FS, dir string, seq uint64, policy Policy, groupInterval time.Duration) (*Log, error) {
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	f, err := fs.Create(dir + "/" + fileName(seq))
+	if err != nil {
+		return nil, err
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return nil, err
+	}
+	l := &Log{fs: fs, dir: dir, policy: policy, interval: groupInterval, f: f, seq: seq}
+	l.cond = sync.NewCond(&l.mu)
+	if policy == SyncGrouped {
+		if l.interval <= 0 {
+			l.interval = 2 * time.Millisecond
+		}
+		l.stopGroup = make(chan struct{})
+		l.groupDone = make(chan struct{})
+		go l.groupLoop()
+	}
+	return l, nil
+}
+
+func (l *Log) groupLoop() {
+	defer close(l.groupDone)
+	t := time.NewTicker(l.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopGroup:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			dirty := l.broken == nil && l.ticket > l.syncedTo
+			l.mu.Unlock()
+			if dirty {
+				_ = l.Sync()
+			}
+		}
+	}
+}
+
+// Seq returns the current file's sequence number.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Stats returns cumulative counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Records:   l.records.Load(),
+		Bytes:     l.bytes.Load(),
+		Fsyncs:    l.fsyncs.Load(),
+		Rotations: l.rotations.Load(),
+	}
+}
+
+// Append frames and writes one record. If durable is true the call honours
+// the fsync policy before returning: under SyncAlways it waits for a (group)
+// fsync covering the record; under SyncGrouped and SyncNever it returns once
+// the record is written.
+func (l *Log) Append(payload []byte, durable bool) error {
+	if len(payload) > maxRecord {
+		return fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+
+	l.mu.Lock()
+	if l.broken != nil {
+		err := l.broken
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrBroken, err)
+	}
+	if err := l.writeLocked(hdr[:]); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	if err := l.writeLocked(payload); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.ticket++
+	ticket := l.ticket
+	l.records.Add(1)
+	l.bytes.Add(int64(frameHeader + len(payload)))
+	if !durable || l.policy != SyncAlways {
+		l.mu.Unlock()
+		return nil
+	}
+	return l.waitDurableLocked(ticket) // unlocks l.mu
+}
+
+// writeLocked writes to the current file, poisoning the log on failure.
+func (l *Log) writeLocked(p []byte) error {
+	n, err := l.f.Write(p)
+	if err == nil && n != len(p) {
+		err = fmt.Errorf("wal: short write (%d of %d bytes)", n, len(p))
+	}
+	if err != nil {
+		l.broken = err
+		l.cond.Broadcast()
+		return err
+	}
+	l.offset += int64(len(p))
+	return nil
+}
+
+// waitDurableLocked blocks until an fsync covers the ticket, running the
+// fsync itself if no other committer is already doing one. Called with l.mu
+// held; always unlocks it.
+func (l *Log) waitDurableLocked(ticket int64) error {
+	for {
+		if l.broken != nil {
+			err := l.broken
+			l.mu.Unlock()
+			return fmt.Errorf("%w: %v", ErrBroken, err)
+		}
+		if l.syncedTo >= ticket {
+			l.mu.Unlock()
+			return nil
+		}
+		if !l.syncing {
+			break
+		}
+		l.cond.Wait()
+	}
+	// Leader: sync everything appended so far on behalf of the group.
+	l.syncing = true
+	upTo := l.ticket
+	f := l.f
+	l.mu.Unlock()
+
+	err := f.Sync()
+
+	l.mu.Lock()
+	l.syncing = false
+	if err != nil {
+		l.broken = err
+		l.cond.Broadcast()
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrBroken, err)
+	}
+	l.fsyncs.Add(1)
+	if upTo > l.syncedTo {
+		l.syncedTo = upTo
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	return nil
+}
+
+// CommitBarrier makes a commit durable per the fsync policy: under
+// SyncAlways it is a group-shared fsync of everything appended so far; under
+// SyncGrouped and SyncNever it only surfaces a latched write failure — the
+// policy's contract bounds the loss window instead.
+func (l *Log) CommitBarrier() error {
+	if l.policy == SyncAlways {
+		return l.Sync()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return fmt.Errorf("%w: %v", ErrBroken, l.broken)
+	}
+	return nil
+}
+
+// Sync forces an fsync of everything appended so far.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	if l.broken != nil {
+		err := l.broken
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrBroken, err)
+	}
+	ticket := l.ticket
+	if l.syncedTo >= ticket {
+		l.mu.Unlock()
+		return nil
+	}
+	return l.waitDurableLocked(ticket)
+}
+
+// Rotate syncs and closes the current file and starts a new one with the
+// next sequence number. Appends block only for the handoff, not the fsync of
+// segment data elsewhere.
+func (l *Log) Rotate() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.syncing && l.broken == nil {
+		l.cond.Wait() // let an in-flight group fsync finish with this file
+	}
+	if l.broken != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBroken, l.broken)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.broken = err
+		l.cond.Broadcast()
+		return 0, err
+	}
+	l.fsyncs.Add(1)
+	l.syncedTo = l.ticket
+	l.cond.Broadcast()
+	if err := l.f.Close(); err != nil {
+		l.broken = err
+		return 0, err
+	}
+	next := l.seq + 1
+	f, err := l.fs.Create(l.dir + "/" + fileName(next))
+	if err != nil {
+		l.broken = err
+		return 0, err
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		l.broken = err
+		return 0, err
+	}
+	l.f = f
+	l.seq = next
+	l.offset = 0
+	l.rotations.Add(1)
+	return next, nil
+}
+
+// Close syncs and closes the log. The log must not be used afterwards.
+func (l *Log) Close() error {
+	if l.stopGroup != nil {
+		close(l.stopGroup)
+		<-l.groupDone
+		l.stopGroup = nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.syncing && l.broken == nil {
+		l.cond.Wait()
+	}
+	if l.broken != nil {
+		return fmt.Errorf("%w: %v", ErrBroken, l.broken)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.broken = err
+		return err
+	}
+	l.fsyncs.Add(1)
+	l.syncedTo = l.ticket
+	return l.f.Close()
+}
+
+// Prune removes wal files with sequence numbers strictly below keep.
+func Prune(fs vfs.FS, dir string, keep uint64) error {
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for _, name := range names {
+		if seq, ok := parseSeq(name); ok && seq < keep {
+			if err := fs.Remove(dir + "/" + name); err != nil {
+				return err
+			}
+			removed = true
+		}
+	}
+	if removed {
+		return fs.SyncDir(dir)
+	}
+	return nil
+}
+
+// Files lists the wal file sequences present in dir, ascending.
+func Files(fs vfs.FS, dir string) ([]uint64, error) {
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, name := range names {
+		if seq, ok := parseSeq(name); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// ReadFrames parses one wal file's bytes and calls fn for each complete,
+// checksummed record. It returns the number of clean payload bytes consumed
+// and whether the file ended with a torn/invalid frame (the crash tail).
+func ReadFrames(data []byte, fn func(payload []byte) error) (consumed int, torn bool, err error) {
+	off := 0
+	for {
+		if len(data)-off < frameHeader {
+			return off, len(data)-off > 0, nil
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > maxRecord || n > len(data)-off-frameHeader {
+			return off, true, nil
+		}
+		payload := data[off+frameHeader : off+frameHeader+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return off, true, nil
+		}
+		if err := fn(payload); err != nil {
+			return off, false, err
+		}
+		off += frameHeader + n
+	}
+}
+
+// Replay reads every record in the wal files of dir with sequence >=
+// fromSeq, in order, invoking fn for each. A torn tail in the newest file is
+// tolerated (the crash point); a torn frame followed by a later wal file
+// means committed records were lost and is an error.
+func Replay(fs vfs.FS, dir string, fromSeq uint64, fn func(seq uint64, payload []byte) error) error {
+	return ReplayRange(fs, dir, fromSeq, ^uint64(0), fn)
+}
+
+// ReplayRange is Replay bounded to files with sequence in [fromSeq, toSeq].
+// The bound lets recovery open a fresh wal file for new writes before
+// replaying the old ones without the fresh file masking a torn tail.
+func ReplayRange(fs vfs.FS, dir string, fromSeq, toSeq uint64, fn func(seq uint64, payload []byte) error) error {
+	all, err := Files(fs, dir)
+	if err != nil {
+		return err
+	}
+	var seqs []uint64
+	for _, seq := range all {
+		if seq <= toSeq {
+			seqs = append(seqs, seq)
+		}
+	}
+	for i, seq := range seqs {
+		if seq < fromSeq {
+			continue
+		}
+		data, err := fs.ReadFile(dir + "/" + fileName(seq))
+		if err != nil {
+			return fmt.Errorf("wal: read %s: %w", fileName(seq), err)
+		}
+		_, torn, err := ReadFrames(data, func(p []byte) error { return fn(seq, p) })
+		if err != nil {
+			return err
+		}
+		if torn && i != len(seqs)-1 {
+			return fmt.Errorf("wal: corrupt frame in %s with later wal files present", fileName(seq))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"idaax/internal/testutil/crashfs"
+	"idaax/internal/vfs"
+)
+
+func openTest(t *testing.T, fs vfs.FS, policy Policy) *Log {
+	t.Helper()
+	l, err := Open(fs, "wal", 1, policy, time.Millisecond)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return l
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	fs := crashfs.New()
+	l := openTest(t, fs, SyncAlways)
+	var want []string
+	for i := 0; i < 100; i++ {
+		p := fmt.Sprintf("record-%d", i)
+		want = append(want, p)
+		if err := l.Append([]byte(p), i%10 == 9); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	var got []string
+	err := Replay(fs, "wal", 1, func(seq uint64, p []byte) error {
+		got = append(got, string(p))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTornTailTolerated(t *testing.T) {
+	fs := crashfs.New()
+	l := openTest(t, fs, SyncNever)
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("r%d", i)), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Append more without syncing, then crash: the tail is torn.
+	for i := 5; i < 8; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("r%d", i)), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.Crash()
+	n := 0
+	if err := Replay(fs, "wal", 1, func(seq uint64, p []byte) error { n++; return nil }); err != nil {
+		t.Fatalf("replay after crash: %v", err)
+	}
+	if n < 5 {
+		t.Fatalf("lost synced records: replayed %d, want >= 5", n)
+	}
+}
+
+func TestTornFrameBeforeLaterFileIsError(t *testing.T) {
+	fs := crashfs.New()
+	l := openTest(t, fs, SyncAlways)
+	if err := l.Append([]byte("a"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt file 1 in place, then add file 2.
+	name := "wal/" + fileName(1)
+	data, err := fs.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	l2, err := Open(fs, "wal", 2, SyncAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append([]byte("b"), true); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	err = Replay(fs, "wal", 1, func(seq uint64, p []byte) error { return nil })
+	if err == nil {
+		t.Fatal("replay accepted a corrupt frame with later wal files present")
+	}
+}
+
+func TestRotatePruneFiles(t *testing.T) {
+	fs := crashfs.New()
+	l := openTest(t, fs, SyncAlways)
+	if err := l.Append([]byte("a"), true); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 {
+		t.Fatalf("rotate -> %d, want 2", seq)
+	}
+	if err := l.Append([]byte("b"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := Prune(fs, "wal", seq); err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := Files(fs, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 1 || seqs[0] != 2 {
+		t.Fatalf("after prune files = %v, want [2]", seqs)
+	}
+	n := 0
+	if err := Replay(fs, "wal", seq, func(s uint64, p []byte) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d records from file 2, want 1", n)
+	}
+	l.Close()
+}
+
+func TestWriteFailurePoisonsLog(t *testing.T) {
+	fs := crashfs.New()
+	l := openTest(t, fs, SyncNever)
+	if err := l.Append([]byte("ok"), false); err != nil {
+		t.Fatal(err)
+	}
+	fs.Arm(1, crashfs.Fail)
+	if err := l.Append([]byte("boom"), false); err == nil {
+		t.Fatal("append during injected failure succeeded")
+	}
+	fs.Disarm()
+	if err := l.Append([]byte("after"), false); !errors.Is(err, ErrBroken) {
+		t.Fatalf("append after poison = %v, want ErrBroken", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrBroken) {
+		t.Fatalf("sync after poison = %v, want ErrBroken", err)
+	}
+}
+
+func TestGroupedPolicyEventuallySyncs(t *testing.T) {
+	fs := crashfs.New()
+	l := openTest(t, fs, SyncGrouped)
+	if err := l.Append([]byte("r"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	n := 0
+	if err := Replay(fs, "wal", 1, func(seq uint64, p []byte) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("record not durable after close: replayed %d", n)
+	}
+}
+
+func TestConcurrentDurableAppends(t *testing.T) {
+	fs := crashfs.New()
+	l := openTest(t, fs, SyncAlways)
+	const writers, each = 8, 25
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			for i := 0; i < each; i++ {
+				if err := l.Append([]byte(fmt.Sprintf("w%d-%d", w, i)), true); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	n := 0
+	if err := Replay(fs, "wal", 1, func(seq uint64, p []byte) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != writers*each {
+		t.Fatalf("replayed %d durable records, want %d", n, writers*each)
+	}
+	st := l.Stats()
+	if st.Fsyncs >= int64(writers*each) {
+		t.Logf("group commit did not batch (fsyncs=%d for %d appends)", st.Fsyncs, writers*each)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Policy
+		ok   bool
+	}{
+		{"always", SyncAlways, true},
+		{"grouped", SyncGrouped, true},
+		{"never", SyncNever, true},
+		{"sometimes", 0, false},
+	} {
+		got, err := ParsePolicy(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if !tc.ok && err == nil {
+			t.Fatalf("ParsePolicy(%q) accepted", tc.in)
+		}
+	}
+}
+
+func FuzzReadFrames(f *testing.F) {
+	fs := crashfs.New()
+	l, _ := Open(fs, "wal", 1, SyncAlways, 0)
+	l.Append([]byte("seed-a"), false)
+	l.Append([]byte("seed-b"), true)
+	l.Close()
+	if data, err := fs.ReadFile("wal/" + fileName(1)); err == nil {
+		f.Add(data)
+		f.Add(data[:len(data)-3])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		consumed, _, err := ReadFrames(data, func(p []byte) error { return nil })
+		if err != nil {
+			t.Fatalf("callback-free ReadFrames errored: %v", err)
+		}
+		if consumed < 0 || consumed > len(data) {
+			t.Fatalf("consumed %d of %d bytes", consumed, len(data))
+		}
+	})
+}

@@ -23,14 +23,13 @@ type System struct {
 	opsSrvs []*OpsServer
 }
 
-// New creates a system with the given configuration.
-func New(cfg Config) *System {
-	cfg = cfg.withDefaults()
+// federationConfig maps the public config onto the federation layer's.
+func (cfg Config) federationConfig() federation.Config {
 	specs := make([]federation.AcceleratorSpec, len(cfg.Accelerators))
 	for i, a := range cfg.Accelerators {
 		specs[i] = federation.AcceleratorSpec{Name: a.Name, Slices: a.Slices}
 	}
-	coord := federation.NewCoordinator(federation.Config{
+	return federation.Config{
 		AcceleratorName: cfg.AcceleratorName,
 		Slices:          cfg.AcceleratorSlices,
 		Accelerators:    specs,
@@ -43,11 +42,42 @@ func New(cfg Config) *System {
 		EventLogSize:       cfg.EventLogSize,
 		WatchdogInterval:   cfg.WatchdogInterval,
 		CDCLagThreshold:    cfg.CDCLagThreshold,
-	})
+
+		DataDir:             cfg.DataDir,
+		FS:                  cfg.fs,
+		FsyncPolicy:         cfg.FsyncPolicy,
+		GroupCommitInterval: cfg.GroupCommitInterval,
+		CheckpointWALBytes:  cfg.CheckpointWALBytes,
+		RecoveryParallelism: cfg.RecoveryParallelism,
+	}
+}
+
+// New creates a system with the given configuration. With DataDir set the
+// system is durable and New recovers the previous state, panicking if the
+// store cannot be opened — use OpenDurable to handle that error instead.
+func New(cfg Config) *System {
+	sys, err := OpenDurable(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// OpenDurable creates a system like New but returns store open/recovery
+// errors instead of panicking. It is the constructor durable deployments use:
+// with cfg.DataDir set, the previous committed state — DB2 heap tables,
+// accelerator shadow and accelerator-only tables, catalog, in-flight CDC —
+// is recovered from the checkpoint plus WAL replay before the call returns.
+func OpenDurable(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	coord, err := federation.OpenCoordinator(cfg.federationConfig())
+	if err != nil {
+		return nil, err
+	}
 	if !cfg.DisableAnalytics {
 		analytics.RegisterAll(coord.Procs, cfg.AnalyticsPublic)
 	}
-	return &System{cfg: cfg, coord: coord}
+	return &System{cfg: cfg, coord: coord}, nil
 }
 
 // Open creates a system with default configuration and publicly callable
@@ -56,9 +86,20 @@ func Open() *System {
 	return New(Config{AnalyticsPublic: true})
 }
 
-// Close releases the system: the health watchdog is stopped and every ops
-// HTTP server started by ServeOps is shut down gracefully. The storage itself
-// is purely in-memory and needs no teardown. Close is idempotent.
+// Checkpoint forces a checkpoint on a durable system: the WAL is rotated,
+// every table is written as segment files and the manifest is atomically
+// replaced, after which recovery starts from the new image. On an in-memory
+// system it is a no-op. Checkpoints also happen automatically when the WAL
+// grows past Config.CheckpointWALBytes, and on Close.
+func (s *System) Checkpoint() error { return s.coord.Checkpoint() }
+
+// Durable reports whether the system runs on a durable store.
+func (s *System) Durable() bool { return s.coord.Durable() }
+
+// Close releases the system: the health watchdog is stopped, every ops HTTP
+// server started by ServeOps is shut down gracefully, and on a durable
+// system a final checkpoint is flushed and the WAL is fsynced and closed, so
+// a clean shutdown recovers instantly and loses nothing. Close is idempotent.
 func (s *System) Close() error {
 	s.opsMu.Lock()
 	srvs := s.opsSrvs
