@@ -1,8 +1,20 @@
-// Command idaaserver runs a system with its operations HTTP server: the
-// Prometheus /metrics endpoint, /healthz and /readyz probes, the /events
-// journal, /queries history, the /fleet capacity view and /debug/pprof/. With
-// -demo it loads a small sharded dataset and runs a background query loop so
-// every endpoint has live data to show.
+// Command idaaserver is the network front end of the system: it serves the
+// versioned wire protocol (POST /v1/query, POST /v1/exec, session pooling
+// with per-session transaction state, streamed row chunks) with admission
+// control — bounded concurrency slots, interactive/batch priority classes,
+// queue-depth fast-fail — plus, on the same port, the read-only operations
+// surface: Prometheus /metrics, /healthz and /readyz probes, the /events
+// journal, /queries history, the /fleet capacity view and /debug/pprof/.
+//
+// Connect with `idaasql -remote host:port`, or curl it directly:
+//
+//	curl -s localhost:8080/v1/query -d '{"sql":"SELECT COUNT(*) FROM orders"}'
+//
+// With -demo it loads a small sharded dataset and runs a background query
+// loop so every endpoint has live data to show. SIGTERM drains in-flight
+// statements before the final durable checkpoint, so acknowledged commits
+// always survive a restart. The protocol contract is docs/WIRE_PROTOCOL.md;
+// tuning guidance is docs/OPERATIONS.md.
 package main
 
 import (
@@ -17,13 +29,20 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "ops server listen address")
+	addr := flag.String("addr", ":8080", "wire + ops server listen address")
+	opsAddr := flag.String("ops-addr", "", "optional separate ops-only listen address (ops stays mounted on -addr too)")
 	shards := flag.Int("shards", 3, "accelerators in the fleet (>=2 registers a shard group)")
 	demo := flag.Bool("demo", false, "load a demo dataset and run a background query loop")
 	watchdog := flag.Duration("watchdog", time.Second, "health watchdog evaluation interval")
 	dataDir := flag.String("data", "", "durable data directory (WAL + checkpoints); empty = in-memory")
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always, grouped or never")
 	ckptMB := flag.Int64("checkpoint-wal-mb", 64, "auto-checkpoint when the WAL grows past this many MiB (0 disables)")
+	slots := flag.Int("slots", 0, "admission concurrency slots (0 = default, negative = admission off)")
+	queueDepth := flag.Int("queue-depth", 0, "per-class admission queue depth before fast-fail 429 (0 = default)")
+	maxWait := flag.Duration("max-queue-wait", 0, "shed queued requests after this long (0 = wait until the client gives up)")
+	idle := flag.Duration("idle-timeout", 5*time.Minute, "reap wire sessions idle this long (negative disables)")
+	drain := flag.Duration("drain-timeout", 30*time.Second, "bound on waiting for in-flight statements at shutdown")
+	user := flag.String("default-user", "PUBLIC", "authorization id for requests that name none")
 	flag.Parse()
 
 	var accels []idaax.AcceleratorConfig
@@ -60,18 +79,35 @@ func main() {
 		go queryLoop(sys, stop)
 	}
 
-	srv, err := sys.ServeOps(*addr)
+	srv, err := sys.ServeWire(idaax.ServeConfig{
+		Addr:             *addr,
+		AdmissionSlots:   *slots,
+		AdmissionQueue:   *queueDepth,
+		AdmissionMaxWait: *maxWait,
+		DefaultUser:      *user,
+		IdleTimeout:      *idle,
+		DrainTimeout:     *drain,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("ops server listening on http://%s (endpoints: /metrics /healthz /readyz /events /queries /fleet /debug/pprof/)\n", srv.Addr())
+	fmt.Printf("wire server listening on http://%s (endpoints: /v1/query /v1/exec /v1/sessions /metrics /healthz /readyz /events /queries /fleet /debug/pprof/)\n", srv.Addr())
+
+	if *opsAddr != "" {
+		osrv, err := sys.ServeOps(*opsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("ops server listening on http://%s\n", osrv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	close(stop)
-	fmt.Println("shutting down")
+	fmt.Println("shutting down: draining in-flight statements")
 }
 
 // loadDemo creates a sharded orders table and fills it with enough rows that
@@ -84,6 +120,9 @@ func loadDemo(sys *idaax.System, shards int) error {
 	}
 	stmts := []string{
 		fmt.Sprintf("CREATE TABLE orders (id BIGINT, customer BIGINT, region VARCHAR(16), amount DOUBLE) IN ACCELERATOR %s DISTRIBUTE BY HASH(customer)", target),
+		// The demo exists to be poked at with curl; one-shot wire requests
+		// default to PUBLIC, so the demo table must be readable by it.
+		"GRANT SELECT ON orders TO PUBLIC",
 	}
 	for _, stmt := range stmts {
 		if _, err := s.Exec(stmt); err != nil {

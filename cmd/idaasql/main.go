@@ -9,6 +9,13 @@
 //	idaa> INSERT INTO t VALUES (1, 2.5);
 //	idaa> EXPLAIN ANALYZE SELECT * FROM t;
 //
+// With -remote host:port the shell speaks the wire protocol to a running
+// idaaserver instead of embedding an engine: statements run on a pooled
+// server session (so BEGIN/COMMIT work), -priority sets the admission class,
+// and "\health"/"\events" read the server's ops endpoints.
+//
+//	go run ./cmd/idaasql -remote localhost:8080 -priority batch
+//
 // The shell also has psql-style meta-commands: "\timing" toggles printing
 // each statement's elapsed wall time, "\health" prints the per-component
 // health report, and "\events [n]" prints the n most recent journal events
@@ -18,6 +25,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,17 +34,41 @@ import (
 	"time"
 
 	"idaax"
+	"idaax/internal/wire"
 )
+
+// shell abstracts the two backends of the REPL: the embedded system and a
+// remote idaaserver spoken to over the wire protocol.
+type shell interface {
+	// ExecScript runs a semicolon-separated script, returning one rendered
+	// table per statement and stopping at the first error.
+	ExecScript(sql string) ([]*idaax.Result, error)
+	// Health prints the health report; Events prints the n most recent events.
+	Health()
+	Events(n int)
+	Close()
+}
 
 func main() {
 	user := flag.String("user", "SYSADM", "authorization id for the session")
 	slices := flag.Int("slices", 0, "accelerator worker slices (0 = number of CPUs)")
 	script := flag.String("file", "", "execute the SQL script in this file and exit")
+	remote := flag.String("remote", "", "connect to a running idaaserver (host:port) instead of embedding an engine")
+	priority := flag.String("priority", "", "admission priority class for -remote sessions: interactive or batch")
 	flag.Parse()
 
-	sys := idaax.New(idaax.Config{AcceleratorSlices: *slices, AnalyticsPublic: true})
-	defer sys.Close()
-	session := sys.Session(*user)
+	var sh shell
+	if *remote != "" {
+		rsh, err := newRemoteShell(*remote, *user, *priority)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "connect:", err)
+			os.Exit(1)
+		}
+		sh = rsh
+	} else {
+		sh = newLocalShell(*user, *slices)
+	}
+	defer sh.Close()
 
 	if *script != "" {
 		data, err := os.ReadFile(*script)
@@ -44,7 +76,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		results, err := session.ExecScript(string(data))
+		results, err := sh.ExecScript(string(data))
 		for _, res := range results {
 			fmt.Println(res.FormatTable())
 		}
@@ -55,7 +87,11 @@ func main() {
 		return
 	}
 
-	fmt.Println("idaax SQL shell — DB2 host + accelerator", "(user", *user+")")
+	if *remote != "" {
+		fmt.Println("idaax SQL shell — remote", *remote, "(user", *user+")")
+	} else {
+		fmt.Println("idaax SQL shell — DB2 host + accelerator", "(user", *user+")")
+	}
 	fmt.Println(`Type SQL statements terminated by ';'. Try "SHOW TABLES;", "EXPLAIN ANALYZE SELECT ...;", "\timing", "\health", "\events [n]" or "\q" to quit.`)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -82,11 +118,20 @@ func main() {
 			continue
 		}
 		if trimmed == `\health` {
-			printHealth(sys)
+			sh.Health()
 			continue
 		}
 		if trimmed == `\events` || strings.HasPrefix(trimmed, `\events `) {
-			printEvents(sys, trimmed)
+			n := 20
+			if rest := strings.TrimSpace(strings.TrimPrefix(trimmed, `\events`)); rest != "" {
+				v, err := strconv.Atoi(rest)
+				if err != nil || v < 0 {
+					fmt.Printf("usage: \\events [n] (got %q)\n", rest)
+					continue
+				}
+				n = v
+			}
+			sh.Events(n)
 			continue
 		}
 		if trimmed == "" {
@@ -102,7 +147,7 @@ func main() {
 		sql := buffer.String()
 		buffer.Reset()
 		start := time.Now()
-		results, err := session.ExecScript(sql)
+		results, err := sh.ExecScript(sql)
 		elapsed := time.Since(start)
 		for _, res := range results {
 			fmt.Println(res.FormatTable())
@@ -119,9 +164,28 @@ func main() {
 	}
 }
 
-// printHealth renders the fleet health verdict and every component line.
-func printHealth(sys *idaax.System) {
-	rep := sys.HealthReport()
+// ---------------------------------------------------------------------------
+// Local (embedded) backend
+// ---------------------------------------------------------------------------
+
+type localShell struct {
+	sys     *idaax.System
+	session *idaax.Session
+}
+
+func newLocalShell(user string, slices int) *localShell {
+	sys := idaax.New(idaax.Config{AcceleratorSlices: slices, AnalyticsPublic: true})
+	return &localShell{sys: sys, session: sys.Session(user)}
+}
+
+func (l *localShell) ExecScript(sql string) ([]*idaax.Result, error) {
+	return l.session.ExecScript(sql)
+}
+
+func (l *localShell) Close() { l.sys.Close() }
+
+func (l *localShell) Health() {
+	rep := l.sys.HealthReport()
 	fmt.Printf("fleet: %s\n", rep.Status)
 	for _, c := range rep.Components {
 		line := fmt.Sprintf("  %-16s %s", c.Name, c.Status)
@@ -135,19 +199,8 @@ func printHealth(sys *idaax.System) {
 	}
 }
 
-// printEvents renders the n most recent journal events (default 20),
-// newest first: "\events" or "\events 50".
-func printEvents(sys *idaax.System, cmd string) {
-	n := 20
-	if rest := strings.TrimSpace(strings.TrimPrefix(cmd, `\events`)); rest != "" {
-		v, err := strconv.Atoi(rest)
-		if err != nil || v < 0 {
-			fmt.Printf("usage: \\events [n] (got %q)\n", rest)
-			return
-		}
-		n = v
-	}
-	evs, err := sys.Events(n, "")
+func (l *localShell) Events(n int) {
+	evs, err := l.sys.Events(n, "")
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -157,7 +210,125 @@ func printEvents(sys *idaax.System, cmd string) {
 		return
 	}
 	for _, e := range evs {
-		line := fmt.Sprintf("%s  %-5s %-20s %s", e.Time.Format("15:04:05.000"), e.Severity, e.Type, e.Message)
+		fmt.Printf("%s  %-5s %-20s %s\n", e.Time.Format("15:04:05.000"), e.Severity, e.Type, e.Message)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Remote (wire-protocol) backend
+// ---------------------------------------------------------------------------
+
+type remoteShell struct {
+	client *wire.Client
+}
+
+func newRemoteShell(addr, user, priority string) (*remoteShell, error) {
+	c := wire.NewClient(addr, nil)
+	c.SetUser(user)
+	c.SetPriority(priority)
+	// A pooled server session so explicit transactions span statements and the
+	// priority class sticks; the server reaps it if the shell vanishes.
+	if err := c.OpenSession(); err != nil {
+		return nil, err
+	}
+	return &remoteShell{client: c}, nil
+}
+
+func (r *remoteShell) ExecScript(sql string) ([]*idaax.Result, error) {
+	var out []*idaax.Result
+	for _, stmt := range splitStatements(sql) {
+		res, err := r.client.Exec(stmt)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, &idaax.Result{
+			Columns:      res.Columns,
+			Rows:         res.Rows,
+			RowsAffected: res.RowsAffected,
+			Routed:       res.Routed,
+			Message:      res.Message,
+		})
+	}
+	return out, nil
+}
+
+func (r *remoteShell) Close() { _ = r.client.CloseSession() }
+
+func (r *remoteShell) Health() {
+	raw, status, err := r.client.Health()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var rep struct {
+		Status     string `json:"status"`
+		Components []struct {
+			Name   string `json:"name"`
+			Status string `json:"status"`
+			Detail string `json:"detail"`
+		} `json:"components"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		fmt.Printf("health (HTTP %d): %s\n", status, strings.TrimSpace(string(raw)))
+		return
+	}
+	fmt.Printf("fleet: %s (HTTP %d)\n", rep.Status, status)
+	for _, c := range rep.Components {
+		line := fmt.Sprintf("  %-16s %s", c.Name, c.Status)
+		if c.Detail != "" {
+			line += " — " + c.Detail
+		}
 		fmt.Println(line)
 	}
+}
+
+func (r *remoteShell) Events(n int) {
+	raw, err := r.client.Events(n)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var evs []struct {
+		Time     time.Time `json:"time"`
+		Type     string    `json:"type"`
+		Severity string    `json:"severity"`
+		Message  string    `json:"message"`
+	}
+	if err := json.Unmarshal(raw, &evs); err != nil {
+		fmt.Println(strings.TrimSpace(string(raw)))
+		return
+	}
+	if len(evs) == 0 {
+		fmt.Println("no events")
+		return
+	}
+	for _, e := range evs {
+		fmt.Printf("%s  %-5s %-20s %s\n", e.Time.Format("15:04:05.000"), e.Severity, e.Type, e.Message)
+	}
+}
+
+// splitStatements splits a script on semicolons outside single-quoted
+// strings; the wire protocol runs one statement per request.
+func splitStatements(sql string) []string {
+	var out []string
+	var sb strings.Builder
+	inString := false
+	for _, r := range sql {
+		switch {
+		case r == '\'':
+			inString = !inString
+			sb.WriteRune(r)
+		case r == ';' && !inString:
+			if stmt := strings.TrimSpace(sb.String()); stmt != "" {
+				out = append(out, stmt)
+			}
+			sb.Reset()
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	if stmt := strings.TrimSpace(sb.String()); stmt != "" {
+		out = append(out, stmt)
+	}
+	return out
 }

@@ -1,0 +1,351 @@
+// Package admission implements the workload-management story of the paper's
+// serving front end: a bounded pool of concurrency slots with priority
+// classes and queue-depth limits. Every statement arriving over the wire asks
+// the controller for a slot; when all slots are busy the request queues (FIFO
+// within its class, interactive ahead of batch), and when its class's queue
+// is full the request is shed immediately — the fast-fail 429 the wire layer
+// returns instead of letting latency collapse for everyone.
+//
+// Like the rest of the serving stack the controller is nil-safe: every method
+// on a nil *Controller admits immediately, so admission control can be
+// switched off by simply not constructing one.
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"sync"
+
+	"idaax/internal/obs"
+	"idaax/internal/obs/eventlog"
+)
+
+// Class is a workload priority class. Interactive requests are admitted ahead
+// of batch requests whenever a slot frees up.
+type Class int
+
+const (
+	// Interactive is the OLTP-front class: short point lookups and DML that a
+	// user is waiting on. Admitted first.
+	Interactive Class = iota
+	// Batch is the OLAP-offload class: analytics scans and training runs that
+	// tolerate queueing. Admitted only when no interactive request waits.
+	Batch
+)
+
+// nClasses sizes the per-class arrays.
+const nClasses = 2
+
+// String renders the class in the lower-case form the wire protocol uses.
+func (c Class) String() string {
+	if c == Batch {
+		return "batch"
+	}
+	return "interactive"
+}
+
+// ParseClass parses "interactive" or "batch" (any case; "" = interactive).
+func ParseClass(s string) (Class, bool) {
+	switch s {
+	case "", "interactive", "INTERACTIVE", "Interactive":
+		return Interactive, true
+	case "batch", "BATCH", "Batch":
+		return Batch, true
+	default:
+		return Interactive, false
+	}
+}
+
+// ErrQueueFull is returned by Acquire when the class's wait queue is at its
+// depth limit: the request is shed without waiting. The wire layer maps it to
+// HTTP 429.
+var ErrQueueFull = errors.New("admission: queue full, request shed")
+
+// Config parameterises a controller.
+type Config struct {
+	// Slots is the number of statements allowed to execute concurrently.
+	// <= 0 falls back to DefaultSlots.
+	Slots int
+	// MaxQueue bounds how many requests of each class may wait for a slot;
+	// one more is shed with ErrQueueFull. <= 0 falls back to DefaultMaxQueue.
+	MaxQueue int
+	// MaxWait bounds how long a request may queue before it is shed with
+	// context.DeadlineExceeded (0 = wait forever, subject to the caller's ctx).
+	MaxWait time.Duration
+	// Obs receives the admission_* counters, gauges and histograms (nil ok).
+	Obs *obs.Registry
+	// Events receives shed and saturation events (nil ok).
+	Events *eventlog.Log
+}
+
+// Default limits used when Config leaves them zero.
+const (
+	DefaultSlots    = 16
+	DefaultMaxQueue = 128
+)
+
+// waiter is one queued Acquire: the controller hands it a slot by closing
+// ready, or the waiter abandons the queue by setting abandoned under the lock.
+type waiter struct {
+	ready     chan struct{}
+	abandoned bool
+}
+
+// Controller is the admission controller. Safe for concurrent use.
+type Controller struct {
+	slots    int
+	maxQueue int
+	maxWait  time.Duration
+	reg      *obs.Registry
+	events   *eventlog.Log
+
+	mu       sync.Mutex
+	inflight int
+	queues   [nClasses][]*waiter
+	// saturated tracks whether the controller is currently in a saturation
+	// episode (some request is queued); the transition into one emits a single
+	// event rather than one per queued request.
+	saturated bool
+
+	admitted [nClasses]int64
+	shed     [nClasses]int64
+	timedOut [nClasses]int64
+}
+
+// New builds a controller. Metrics are registered eagerly so /metrics shows
+// the admission families at zero before the first request.
+func New(cfg Config) *Controller {
+	if cfg.Slots <= 0 {
+		cfg.Slots = DefaultSlots
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = DefaultMaxQueue
+	}
+	c := &Controller{
+		slots:    cfg.Slots,
+		maxQueue: cfg.MaxQueue,
+		maxWait:  cfg.MaxWait,
+		reg:      cfg.Obs,
+		events:   cfg.Events,
+	}
+	if r := c.reg; r != nil {
+		r.GaugeFunc("admission_slots", func() int64 { return int64(c.slots) })
+		r.GaugeFunc("admission_inflight", func() int64 { return int64(c.Inflight()) })
+		r.GaugeFunc("admission_queue_depth", func() int64 { return int64(c.Queued(Interactive) + c.Queued(Batch)) })
+		for _, cl := range []Class{Interactive, Batch} {
+			r.Counter("admission_admitted_" + cl.String())
+			r.Counter("admission_shed_" + cl.String())
+			r.Histogram("admission_queue_seconds_" + cl.String())
+			r.Histogram("admission_exec_seconds_" + cl.String())
+		}
+	}
+	return c
+}
+
+// Ticket is an admitted request's slot. Release returns the slot (exactly
+// once) and records the execution-time histogram.
+type Ticket struct {
+	c       *Controller
+	class   Class
+	started time.Time
+	// Queued is how long the request waited for its slot (zero when a slot
+	// was free on arrival). The wire layer reports it to the client and
+	// attaches it to the statement's trace.
+	Queued   time.Duration
+	released bool
+}
+
+// Acquire blocks until a slot is free (interactive requests ahead of batch),
+// fails fast with ErrQueueFull when the class queue is at its depth limit,
+// and respects ctx cancellation while queued. On a nil controller it admits
+// immediately. The returned ticket must be Released.
+func (c *Controller) Acquire(ctx context.Context, class Class) (*Ticket, error) {
+	if class < 0 || class >= nClasses {
+		class = Interactive
+	}
+	if c == nil {
+		return &Ticket{started: time.Now(), class: class}, nil
+	}
+	c.mu.Lock()
+	if c.inflight < c.slots {
+		c.inflight++
+		c.admitted[class]++
+		c.mu.Unlock()
+		c.count("admission_admitted_" + class.String())
+		c.observe("admission_queue_seconds_"+class.String(), 0)
+		return &Ticket{c: c, class: class, started: time.Now()}, nil
+	}
+	if len(c.queues[class]) >= c.maxQueue {
+		c.shed[class]++
+		c.mu.Unlock()
+		c.count("admission_shed_" + class.String())
+		c.events.Emitf(eventlog.TypeAdmissionShed, eventlog.Warn, "", "",
+			fmt.Sprintf("%s request shed: %d in flight, queue at limit %d", class, c.slots, c.maxQueue))
+		return nil, ErrQueueFull
+	}
+	w := &waiter{ready: make(chan struct{})}
+	c.queues[class] = append(c.queues[class], w)
+	firstWaiter := !c.saturated
+	if firstWaiter {
+		c.saturated = true
+	}
+	c.mu.Unlock()
+	if firstWaiter {
+		c.events.Emitf(eventlog.TypeAdmissionSat, eventlog.Warn, "", "",
+			fmt.Sprintf("admission saturated: all %d slots busy, requests queueing", c.slots))
+	}
+
+	enqueued := time.Now()
+	if c.maxWait > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.maxWait)
+		defer cancel()
+	}
+	select {
+	case <-w.ready:
+		queued := time.Since(enqueued)
+		c.observe("admission_queue_seconds_"+class.String(), queued)
+		c.count("admission_admitted_" + class.String())
+		return &Ticket{c: c, class: class, started: time.Now(), Queued: queued}, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		select {
+		case <-w.ready:
+			// The slot handoff won the race: we own a slot, keep it.
+			c.mu.Unlock()
+			queued := time.Since(enqueued)
+			c.observe("admission_queue_seconds_"+class.String(), queued)
+			c.count("admission_admitted_" + class.String())
+			return &Ticket{c: c, class: class, started: time.Now(), Queued: queued}, nil
+		default:
+		}
+		w.abandoned = true
+		c.timedOut[class]++
+		c.mu.Unlock()
+		c.count("admission_shed_" + class.String())
+		return nil, ctx.Err()
+	}
+}
+
+// Release returns the ticket's slot, waking the longest-waiting interactive
+// request first (batch only when no interactive request waits). Idempotent.
+func (t *Ticket) Release() {
+	if t == nil || t.released {
+		return
+	}
+	t.released = true
+	c := t.c
+	if c == nil {
+		return
+	}
+	c.observe("admission_exec_seconds_"+t.class.String(), time.Since(t.started))
+	c.mu.Lock()
+	// Hand the slot straight to a waiter (inflight stays constant) or free it.
+	handed := false
+	for cl := 0; cl < nClasses && !handed; cl++ {
+		for len(c.queues[cl]) > 0 {
+			w := c.queues[cl][0]
+			c.queues[cl] = c.queues[cl][1:]
+			if w.abandoned {
+				continue
+			}
+			c.admitted[cl]++
+			close(w.ready)
+			handed = true
+			break
+		}
+	}
+	if !handed {
+		c.inflight--
+	}
+	if c.saturated && len(c.queues[Interactive]) == 0 && len(c.queues[Batch]) == 0 {
+		c.saturated = false
+	}
+	c.mu.Unlock()
+}
+
+// Class returns the ticket's priority class.
+func (t *Ticket) Class() Class {
+	if t == nil {
+		return Interactive
+	}
+	return t.class
+}
+
+// Stats is a point-in-time snapshot of the controller.
+type Stats struct {
+	Slots    int
+	Inflight int
+	// Queued, Admitted, Shed and TimedOut are per class, indexed by Class.
+	Queued   [nClasses]int
+	Admitted [nClasses]int64
+	Shed     [nClasses]int64
+	TimedOut [nClasses]int64
+}
+
+// Stats snapshots the controller (zero value on nil).
+func (c *Controller) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Slots:    c.slots,
+		Inflight: c.inflight,
+		Admitted: c.admitted,
+		Shed:     c.shed,
+		TimedOut: c.timedOut,
+	}
+	for cl := 0; cl < nClasses; cl++ {
+		for _, w := range c.queues[cl] {
+			if !w.abandoned {
+				st.Queued[cl]++
+			}
+		}
+	}
+	return st
+}
+
+// Inflight returns how many requests currently hold a slot.
+func (c *Controller) Inflight() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inflight
+}
+
+// Queued returns how many requests of the class are waiting.
+func (c *Controller) Queued(class Class) int {
+	if c == nil || class < 0 || class >= nClasses {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, w := range c.queues[class] {
+		if !w.abandoned {
+			n++
+		}
+	}
+	return n
+}
+
+// count increments a registry counter when a registry is wired.
+func (c *Controller) count(name string) {
+	if c.reg != nil {
+		c.reg.Counter(name).Inc()
+	}
+}
+
+// observe records a histogram sample when a registry is wired.
+func (c *Controller) observe(name string, d time.Duration) {
+	if c.reg != nil {
+		c.reg.Histogram(name).Observe(d)
+	}
+}

@@ -1,0 +1,259 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"idaax/internal/obs"
+	"idaax/internal/obs/eventlog"
+)
+
+// waitUntil polls cond for up to a second.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestSlotsBoundConcurrency proves the controller never lets more than Slots
+// requests run at once, whatever the arrival rate.
+func TestSlotsBoundConcurrency(t *testing.T) {
+	c := New(Config{Slots: 4, MaxQueue: 1000})
+	var cur, max atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			class := Interactive
+			if i%2 == 0 {
+				class = Batch
+			}
+			tk, err := c.Acquire(context.Background(), class)
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			n := cur.Add(1)
+			for {
+				m := max.Load()
+				if n <= m || max.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			tk.Release()
+		}(i)
+	}
+	wg.Wait()
+	if got := max.Load(); got > 4 {
+		t.Fatalf("concurrency reached %d with 4 slots", got)
+	}
+	st := c.Stats()
+	if st.Admitted[Interactive]+st.Admitted[Batch] != 64 {
+		t.Fatalf("admitted %v, want 64 total", st.Admitted)
+	}
+	if st.Inflight != 0 {
+		t.Fatalf("inflight %d after everything released", st.Inflight)
+	}
+}
+
+// TestPriorityOrdering proves an interactive waiter is admitted before batch
+// waiters that queued earlier.
+func TestPriorityOrdering(t *testing.T) {
+	c := New(Config{Slots: 1, MaxQueue: 10})
+	hold, err := c.Acquire(context.Background(), Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	order := make(chan Class, 2)
+	acquireInto := func(class Class) {
+		tk, err := c.Acquire(context.Background(), class)
+		if err != nil {
+			t.Errorf("acquire %v: %v", class, err)
+			return
+		}
+		order <- class
+		tk.Release()
+	}
+	// Batch queues first...
+	go acquireInto(Batch)
+	waitUntil(t, "batch waiter queued", func() bool { return c.Queued(Batch) == 1 })
+	// ...then interactive arrives later but must win the next slot.
+	go acquireInto(Interactive)
+	waitUntil(t, "interactive waiter queued", func() bool { return c.Queued(Interactive) == 1 })
+
+	hold.Release()
+	if first := <-order; first != Interactive {
+		t.Fatalf("first admitted class = %v, want interactive", first)
+	}
+	if second := <-order; second != Batch {
+		t.Fatalf("second admitted class = %v, want batch", second)
+	}
+}
+
+// TestQueueDepthFastFail proves the controller sheds immediately — without
+// blocking — once the class queue is at its limit.
+func TestQueueDepthFastFail(t *testing.T) {
+	events := eventlog.New(16)
+	c := New(Config{Slots: 1, MaxQueue: 1, Events: events})
+	hold, err := c.Acquire(context.Background(), Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan struct{})
+	go func() {
+		tk, err := c.Acquire(context.Background(), Interactive)
+		if err != nil {
+			t.Errorf("queued acquire: %v", err)
+		}
+		close(queued)
+		tk.Release()
+	}()
+	waitUntil(t, "waiter queued", func() bool { return c.Queued(Interactive) == 1 })
+
+	start := time.Now()
+	_, err = c.Acquire(context.Background(), Interactive)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if d := time.Since(start); d > 200*time.Millisecond {
+		t.Fatalf("shed took %s; fast-fail must not block", d)
+	}
+	// Batch has its own queue: the interactive shed must not affect it.
+	bt := make(chan struct{})
+	go func() {
+		tk, err := c.Acquire(context.Background(), Batch)
+		if err != nil {
+			t.Errorf("batch acquire: %v", err)
+		}
+		close(bt)
+		tk.Release()
+	}()
+	waitUntil(t, "batch waiter queued", func() bool { return c.Queued(Batch) == 1 })
+
+	hold.Release()
+	<-queued
+	<-bt
+
+	if st := c.Stats(); st.Shed[Interactive] != 1 {
+		t.Fatalf("shed count = %v, want 1 interactive", st.Shed)
+	}
+	shedEvents := events.Recent(0, eventlog.Filter{Type: eventlog.TypeAdmissionShed})
+	if len(shedEvents) != 1 {
+		t.Fatalf("shed events = %d, want 1", len(shedEvents))
+	}
+	satEvents := events.Recent(0, eventlog.Filter{Type: eventlog.TypeAdmissionSat})
+	if len(satEvents) == 0 {
+		t.Fatal("no saturation event emitted")
+	}
+}
+
+// TestContextCancelWhileQueued proves a queued request honours cancellation
+// and its abandoned waiter never swallows a slot.
+func TestContextCancelWhileQueued(t *testing.T) {
+	c := New(Config{Slots: 1, MaxQueue: 10})
+	hold, err := c.Acquire(context.Background(), Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(ctx, Interactive)
+		errCh <- err
+	}()
+	waitUntil(t, "waiter queued", func() bool { return c.Queued(Interactive) == 1 })
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The abandoned waiter must not absorb the released slot.
+	hold.Release()
+	tk, err := c.Acquire(context.Background(), Interactive)
+	if err != nil {
+		t.Fatalf("slot lost to abandoned waiter: %v", err)
+	}
+	tk.Release()
+}
+
+// TestMaxWait proves the controller's own queue-time bound sheds waiters.
+func TestMaxWait(t *testing.T) {
+	c := New(Config{Slots: 1, MaxQueue: 10, MaxWait: 20 * time.Millisecond})
+	hold, err := c.Acquire(context.Background(), Batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Release()
+	_, err = c.Acquire(context.Background(), Batch)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if st := c.Stats(); st.TimedOut[Batch] != 1 {
+		t.Fatalf("timed out = %v, want 1 batch", st.TimedOut)
+	}
+}
+
+// TestMetricsRegistered proves the admission_* families land in the registry.
+func TestMetricsRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Config{Slots: 2, MaxQueue: 4, Obs: reg})
+	tk, err := c.Acquire(context.Background(), Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Release()
+	text := reg.Text()
+	for _, want := range []string{
+		"admission_slots", "admission_inflight", "admission_queue_depth",
+		"admission_admitted_interactive", "admission_shed_batch",
+		"admission_queue_seconds_interactive", "admission_exec_seconds_batch",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %s", want)
+		}
+	}
+	if err := obs.ValidateExposition(text); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+}
+
+// TestNilController proves the disabled path admits everything immediately.
+func TestNilController(t *testing.T) {
+	var c *Controller
+	tk, err := c.Acquire(context.Background(), Batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Release()
+	tk.Release() // idempotent
+	if st := c.Stats(); st.Slots != 0 || st.Inflight != 0 {
+		t.Fatalf("nil stats = %+v", st)
+	}
+}
+
+// TestParseClass pins the wire-protocol class names.
+func TestParseClass(t *testing.T) {
+	for s, want := range map[string]Class{"": Interactive, "interactive": Interactive, "batch": Batch, "BATCH": Batch} {
+		got, ok := ParseClass(s)
+		if !ok || got != want {
+			t.Errorf("ParseClass(%q) = %v, %v", s, got, ok)
+		}
+	}
+	if _, ok := ParseClass("bulk"); ok {
+		t.Error("ParseClass accepted unknown class")
+	}
+}

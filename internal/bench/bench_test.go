@@ -12,7 +12,7 @@ import (
 // repository root and by cmd/idaabench).
 func TestExperimentRegistry(t *testing.T) {
 	ids := IDs()
-	want := []string{"e1", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1"}
+	want := []string{"e1", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1"}
 	if len(ids) != len(want) {
 		t.Fatalf("experiments: %v", ids)
 	}
@@ -321,6 +321,33 @@ func TestDurabilityExperiment(t *testing.T) {
 	for i := range scale.QueryRows {
 		if _, ok := metrics[fmt.Sprintf("recovery_rows_per_sec_scale%d", i+1)]; !ok {
 			t.Fatalf("recovery metric for scale %d missing:\n%s", i+1, table.Format())
+		}
+	}
+}
+
+// TestServingExperiment is the E17 smoke CI runs on every PR: the full wire
+// path — loopback HTTP, session handling, admission control — must serve a
+// mixed interactive/batch load in both modes. Tail latencies under
+// deliberate saturation are too noisy to assert on here (the CI bench gate
+// checks the served-throughput metrics against the baseline); the smoke pins
+// the table shape and that both modes actually served traffic.
+func TestServingExperiment(t *testing.T) {
+	scale := SmallScale()
+	scale.ChurnRows = 2000
+	table, err := Run("e17", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("expected 2 modes x 2 classes, got %d rows:\n%s", len(table.Rows), table.Format())
+	}
+	metrics := map[string]float64{}
+	for _, m := range table.Metrics {
+		metrics[m.Name] = m.Value
+	}
+	for _, name := range []string{"served_per_sec_admission", "served_per_sec_raw"} {
+		if metrics[name] <= 0 {
+			t.Fatalf("metric %s missing or non-positive:\n%s", name, table.Format())
 		}
 	}
 }

@@ -1,0 +1,289 @@
+package bench
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"idaax"
+	"idaax/internal/wire"
+)
+
+// servingClients returns the concurrent wire-client count for E17: 1200 at
+// full scale (the paper-style "many more clients than slots" regime), a
+// CI-friendly 64 otherwise.
+func servingClients(scale Scale) int {
+	if scale.Name == "full" {
+		return 1200
+	}
+	return 64
+}
+
+// thinkTimes returns the per-class pause between a client's statements. The
+// closed loop models an OLTP front end: at full scale 900 interactive
+// clients at ~1 statement/s plus 300 batch clients at ~0.5/s offer a load
+// moderately above a small runner's capacity — enough to saturate, not so
+// much that the benchmark harness itself becomes the queue. The small scale
+// stays below saturation; its gated metric is throughput, which is then
+// think-time-dominated and very stable across runners.
+func thinkTimes(scale Scale) (interactive, batch time.Duration) {
+	if scale.Name == "full" {
+		return time.Second, 2 * time.Second
+	}
+	return 250 * time.Millisecond, 500 * time.Millisecond
+}
+
+// RunE17Serving measures the serving layer under a mixed interactive/batch
+// load with many more clients than execution slots: every client speaks the
+// v1 wire protocol to a ServeWire front end over real loopback sockets.
+// Three of four clients are interactive (point reads, OLTP-front style), one
+// of four is batch (offloaded aggregates). The same workload runs twice —
+// once with admission control on (bounded slots, per-class queues, fast-fail
+// 429s) and once with it off — so the table shows what admission buys: the
+// interactive p99 stays bounded because excess load queues or is shed with a
+// retryable error instead of piling onto the executor.
+//
+// Only the served-throughput metrics are regression-gated. Tail latency
+// under deliberate saturation is exactly the quantity a noisy shared runner
+// distorts most, so p50/p99 appear in the table for the report but are not
+// compared against the baseline.
+func RunE17Serving(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E17",
+		Title:   "Serving layer: mixed interactive/batch load, admission control on vs off",
+		Columns: []string{"MODE", "CLASS", "CLIENTS", "SERVED", "SHED", "P50_MS", "P99_MS"},
+	}
+	clients := servingClients(scale)
+	iters := 6
+	rows := scale.ChurnRows
+	queue := clients / 8
+	if queue < 4 {
+		queue = 4
+	}
+
+	// Two execution slots, deliberately far below the client count: the
+	// experiment measures what the admission layer does when offered load is
+	// hundreds of times the execution capacity, and a small fixed slot count
+	// keeps that regime reachable on small CI runners where a handful of
+	// admitted statements already saturate the CPU.
+	modes := []struct {
+		name  string
+		slots int // ServeConfig.AdmissionSlots; negative = admission off
+	}{
+		{"admission", 2},
+		{"raw", -1},
+	}
+	for _, mode := range modes {
+		res, err := serveMixedLoad(scale, mode.slots, queue, clients, iters, rows)
+		if err != nil {
+			return nil, fmt.Errorf("E17 %s: %w", mode.name, err)
+		}
+		for _, class := range []string{"interactive", "batch"} {
+			c := res.classes[class]
+			t.AddRow(mode.name, class,
+				fmt.Sprintf("%d", c.clients),
+				fmt.Sprintf("%d", len(c.latencies)),
+				fmt.Sprintf("%d", c.shed),
+				ms(percentile(c.latencies, 0.50)),
+				ms(percentile(c.latencies, 0.99)))
+		}
+		served := len(res.classes["interactive"].latencies) + len(res.classes["batch"].latencies)
+		perSec := float64(served) / res.elapsed.Seconds()
+		t.AddMetric("served_per_sec_"+mode.name, perSec, true)
+		if mode.slots >= 0 {
+			t.AddNote("admission on: %d slots, per-class queue %d, 150ms max queue wait; %d of %d requests shed with retryable 429s at %d clients",
+				res.slots, queue, res.classes["interactive"].shed+res.classes["batch"].shed,
+				clients*iters, clients)
+		}
+	}
+	t.AddNote("%d concurrent wire clients (3:1 interactive point reads : batch aggregates) over %d sharded rows; p50/p99 are per-request wall time over served requests only", clients, rows)
+	return t, nil
+}
+
+// servingClassResult aggregates one priority class's outcome across clients.
+type servingClassResult struct {
+	clients   int
+	shed      int
+	latencies []time.Duration
+}
+
+type servingResult struct {
+	classes map[string]*servingClassResult
+	elapsed time.Duration
+	slots   int
+}
+
+// serveMixedLoad stands up a fresh 3-shard fleet behind ServeWire and drives
+// it with `clients` concurrent wire clients, each issuing `iters` statements
+// after a shared barrier. Shed requests (429) are counted, not retried, so
+// latencies measure served requests and shed counts measure fast-fail work
+// rejection.
+func serveMixedLoad(scale Scale, slots, queue, clients, iters, rows int) (*servingResult, error) {
+	// One slice per shard: intra-query fan-out is E9/E13's subject, and
+	// letting each statement grab every core would saturate the box with a
+	// couple of admitted aggregates and starve the serving path the
+	// experiment is actually measuring.
+	sys, accel := newShardedSystem(3, 1)
+	defer sys.Close()
+	session := sys.AdminSession()
+	ddl := fmt.Sprintf(
+		"CREATE TABLE serving_orders (id BIGINT NOT NULL, customer_id BIGINT, amount DOUBLE, region VARCHAR(8)) IN ACCELERATOR %s DISTRIBUTE BY HASH(id)",
+		accel)
+	if _, err := session.Exec(ddl); err != nil {
+		return nil, err
+	}
+	regions := []string{"EU", "US", "APAC", "LATAM"}
+	const batch = 2000
+	for lo := 0; lo < rows; lo += batch {
+		hi := lo + batch
+		if hi > rows {
+			hi = rows
+		}
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO serving_orders VALUES ")
+		for i := lo; i < hi; i++ {
+			if i > lo {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d, %g, '%s')", i, i%997, float64(i%400)*0.25, regions[i%len(regions)])
+		}
+		if _, err := session.Exec(sb.String()); err != nil {
+			return nil, err
+		}
+	}
+
+	srv, err := sys.ServeWire(idaax.ServeConfig{
+		Addr:           "127.0.0.1:0",
+		AdmissionSlots: slots,
+		AdmissionQueue: queue,
+		// The latency bound the admission mode promises: a request that
+		// cannot start within this window is shed with a retryable 429
+		// instead of joining a convoy. This is what keeps the served p99
+		// flat when offered load is hundreds of clients per slot.
+		AdmissionMaxWait: 150 * time.Millisecond,
+		DefaultUser:      benchUser,
+		IdleTimeout:      -1,
+		DisableOps:       true,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	thinkInteractive, thinkBatch := thinkTimes(scale)
+	aggregates := []string{
+		"SELECT region, COUNT(*), SUM(amount) FROM serving_orders GROUP BY region",
+		"SELECT COUNT(*), AVG(amount) FROM serving_orders WHERE amount > 50",
+		"SELECT customer_id, SUM(amount) AS total FROM serving_orders GROUP BY customer_id HAVING SUM(amount) > 100 ORDER BY total DESC LIMIT 10",
+	}
+
+	type clientOut struct {
+		class     string
+		shed      int
+		latencies []time.Duration
+		err       error
+	}
+	outs := make([]clientOut, clients)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			out := &outs[id]
+			out.class = "interactive"
+			if id%4 == 0 {
+				out.class = "batch"
+			}
+			// Each client owns its transport and socket, like a real remote
+			// client would. A single shared http.Transport serialises 1200
+			// goroutines on its pool mutex and throttles arrivals below the
+			// admission rate, hiding the very contention being measured.
+			tr := &http.Transport{MaxIdleConnsPerHost: 1}
+			defer tr.CloseIdleConnections()
+			c := wire.NewClient(srv.Addr(), &http.Client{Transport: tr, Timeout: 120 * time.Second})
+			c.SetPriority(out.class)
+			// Establish the connection before the barrier so the measured
+			// window exercises admission, not TCP handshakes; a shed warm-up
+			// is fine, the socket exists either way.
+			_, _ = c.Query(fmt.Sprintf("SELECT amount FROM serving_orders WHERE id = %d", id%rows))
+			<-start
+			// Closed-loop with think time, first arrivals spread evenly over
+			// one think period: a single synchronized burst measures the
+			// load generator's own convoy through the kernel, not the
+			// serving layer. With paced arrivals the offered load still
+			// exceeds execution capacity, but the queueing happens where
+			// admission can see it.
+			think := thinkInteractive
+			if out.class == "batch" {
+				think = thinkBatch
+			}
+			time.Sleep(time.Duration(id) * thinkInteractive / time.Duration(clients))
+			for j := 0; j < iters; j++ {
+				if j > 0 {
+					time.Sleep(think)
+				}
+				var sql string
+				if out.class == "batch" {
+					sql = aggregates[(id+j)%len(aggregates)]
+				} else {
+					sql = fmt.Sprintf("SELECT amount FROM serving_orders WHERE id = %d", (id*31+j*977)%rows)
+				}
+				t0 := time.Now()
+				_, err := c.Query(sql)
+				if err != nil {
+					if wire.IsShed(err) {
+						// Fast-fail is the point: count it, back off briefly
+						// like a well-behaved client, move on. Retrying in a
+						// tight loop would turn the load generator into a
+						// shed-counting busy-wait.
+						out.shed++
+						time.Sleep(10 * time.Millisecond)
+						continue
+					}
+					out.err = err
+					return
+				}
+				out.latencies = append(out.latencies, time.Since(t0))
+			}
+		}(i)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	res := &servingResult{
+		classes: map[string]*servingClassResult{
+			"interactive": {},
+			"batch":       {},
+		},
+		elapsed: elapsed,
+	}
+	if slots >= 0 {
+		res.slots = srv.AdmissionStats().Slots
+	}
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		c := res.classes[outs[i].class]
+		c.clients++
+		c.shed += outs[i].shed
+		c.latencies = append(c.latencies, outs[i].latencies...)
+	}
+	return res, nil
+}
+
+// percentile returns the p-th (0..1) percentile of the samples, sorting in
+// place; zero when there are no samples.
+func percentile(d []time.Duration, p float64) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	idx := int(float64(len(d)-1) * p)
+	return d[idx]
+}

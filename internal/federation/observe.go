@@ -43,6 +43,15 @@ func (s *Session) beginProfile(sql string) *profile {
 		return &profile{s: s, span: s.prof}
 	}
 	sp := obs.NewSpan("statement")
+	if qw := s.pendingQueueWait; qw > 0 {
+		s.pendingQueueWait = 0
+		// The wait happened before the statement span opened; back-date a
+		// finished child so the trace shows admission queue time next to
+		// execution time.
+		q := sp.Child("admission_queue")
+		q.Start = q.Start.Add(-qw)
+		q.Finish()
+	}
 	s.prof = sp
 	return &profile{s: s, sql: sql, span: sp, owner: true}
 }

@@ -96,6 +96,21 @@ type Session struct {
 	// their backend work to it instead of opening their own profile, so one
 	// CALL is one history entry whose trace nests the inner statements.
 	prof *obs.Span
+
+	// pendingQueueWait is admission queue time the serving layer recorded for
+	// the next statement; beginProfile folds it into the statement's trace as
+	// an admission_queue span and clears it.
+	pendingQueueWait time.Duration
+}
+
+// NoteQueueWait records how long the next statement waited in the admission
+// queue before this session got to run it. The wire serving layer calls it
+// after acquiring an admission slot so queue time shows up in the statement's
+// trace (and EXPLAIN ANALYZE / slow-query output) alongside execution time.
+func (s *Session) NoteQueueWait(d time.Duration) {
+	if d > 0 {
+		s.pendingQueueWait = d
+	}
 }
 
 // User returns the session's authorization id.

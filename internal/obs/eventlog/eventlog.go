@@ -96,6 +96,10 @@ const (
 	TypeOpsServer        = "ops_server"
 	TypeCheckpoint       = "checkpoint"
 	TypeRecovered        = "recovered"
+	TypeWireServer       = "wire_server"
+	TypeSessionReaped    = "wire_session_reaped"
+	TypeAdmissionShed    = "admission_shed"
+	TypeAdmissionSat     = "admission_saturated"
 )
 
 // Event is one entry of the journal.

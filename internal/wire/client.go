@@ -1,0 +1,292 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ServerError is a non-2xx response from the wire server, carrying the HTTP
+// status and the machine-readable code (CodeQueueFull for admission sheds).
+type ServerError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+// Error renders the server error.
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("wire: server returned %d (%s): %s", e.Status, e.Code, e.Message)
+}
+
+// IsShed reports whether the error is an admission shed (HTTP 429) — the
+// client should back off and retry.
+func IsShed(err error) bool {
+	se, ok := err.(*ServerError)
+	return ok && se.Status == http.StatusTooManyRequests
+}
+
+// ClientResult is a statement outcome as seen by a client, including the
+// serving-layer timings the server reports.
+type ClientResult struct {
+	Columns      []string
+	Rows         [][]string
+	RowsAffected int
+	Routed       string
+	Message      string
+	// QueuedMS is how long the statement waited for an admission slot.
+	QueuedMS float64
+	// ElapsedMS is the server-side execution time once admitted.
+	ElapsedMS float64
+}
+
+// Client speaks the /v1 wire protocol. A zero-session client runs every
+// statement on a server-side one-shot session; OpenSession pins a pooled
+// server session so explicit transactions span requests. Client is safe for
+// concurrent use only without a pinned session (a pooled session serialises
+// server-side anyway, but shares one token).
+type Client struct {
+	base     string
+	http     *http.Client
+	user     string
+	priority string
+	session  string
+}
+
+// NewClient builds a client for addr ("host:port" or a full http:// URL).
+// The optional httpClient lets callers share a tuned Transport (the 1k-client
+// bench does); nil uses a private default.
+func NewClient(addr string, httpClient *http.Client) *Client {
+	base := addr
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 60 * time.Second}
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+// SetPriority sets the priority class sent with every request ("interactive"
+// or "batch"; "" = server default).
+func (c *Client) SetPriority(p string) { c.priority = p }
+
+// SetUser sets the authorization id for one-shot statements and OpenSession.
+func (c *Client) SetUser(u string) { c.user = u }
+
+// Session returns the pinned session token ("" when none).
+func (c *Client) Session() string { return c.session }
+
+// OpenSession opens a pooled server session; subsequent Exec/Query calls run
+// on it, so BEGIN/COMMIT span requests and the priority class sticks.
+func (c *Client) OpenSession() error {
+	body, err := c.post("/v1/sessions", openSessionRequest{User: c.user, Priority: c.priority}, nil)
+	if err != nil {
+		return err
+	}
+	var resp openSessionResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return fmt.Errorf("wire: bad session response: %w", err)
+	}
+	c.session = resp.Session
+	return nil
+}
+
+// CloseSession releases the pinned session (no-op without one).
+func (c *Client) CloseSession() error {
+	if c.session == "" {
+		return nil
+	}
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/sessions/"+c.session, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	c.session = ""
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return nil
+}
+
+// Exec runs one statement through POST /v1/exec.
+func (c *Client) Exec(sql string) (*ClientResult, error) {
+	return c.statement("/v1/exec", sql)
+}
+
+// Query runs one statement through POST /v1/query (buffered response).
+func (c *Client) Query(sql string) (*ClientResult, error) {
+	return c.statement("/v1/query", sql)
+}
+
+// QueryStream runs one statement with the NDJSON framing, invoking fn for
+// every row chunk as it arrives. The returned result carries the columns and
+// the done-frame fields but no rows.
+func (c *Client) QueryStream(sql string, chunkRows int, fn func(rows [][]string) error) (*ClientResult, error) {
+	reqBody := statementRequest{SQL: sql, Session: c.session, User: c.user, Stream: true, ChunkRows: chunkRows}
+	raw, _ := json.Marshal(reqBody)
+	req, err := http.NewRequest(http.MethodPost, c.base+"/v1/query", bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.priority != "" {
+		req.Header.Set(PriorityHeader, c.priority)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	out := &ClientResult{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var f Frame
+		if err := json.Unmarshal(line, &f); err != nil {
+			return nil, fmt.Errorf("wire: bad frame: %w", err)
+		}
+		switch f.Type {
+		case "columns":
+			out.Columns = f.Columns
+		case "rows":
+			if fn != nil {
+				if err := fn(f.Rows); err != nil {
+					return nil, err
+				}
+			}
+		case "done":
+			out.RowsAffected = f.RowsAffected
+			out.Routed = f.Routed
+			out.Message = f.Message
+			out.QueuedMS = f.QueuedMS
+			out.ElapsedMS = f.ElapsedMS
+			return out, nil
+		case "error":
+			return nil, fmt.Errorf("wire: %s", f.Error)
+		default:
+			return nil, fmt.Errorf("wire: unknown frame type %q", f.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("wire: stream ended without a done frame")
+}
+
+// Health fetches the mounted ops /healthz report (any JSON shape).
+func (c *Client) Health() (json.RawMessage, int, error) {
+	resp, err := c.http.Get(c.base + "/healthz")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return buf.Bytes(), resp.StatusCode, nil
+}
+
+// Events fetches the n most recent journal events from the mounted ops
+// /events endpoint.
+func (c *Client) Events(n int) (json.RawMessage, error) {
+	resp, err := c.http.Get(fmt.Sprintf("%s/events?n=%d", c.base, n))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// statement posts a statementRequest and decodes the buffered response.
+func (c *Client) statement(path, sql string) (*ClientResult, error) {
+	body, err := c.post(path, statementRequest{SQL: sql, Session: c.session, User: c.user}, nil)
+	if err != nil {
+		return nil, err
+	}
+	var resp statementResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, fmt.Errorf("wire: bad response: %w", err)
+	}
+	return &ClientResult{
+		Columns:      resp.Columns,
+		Rows:         resp.Rows,
+		RowsAffected: resp.RowsAffected,
+		Routed:       resp.Routed,
+		Message:      resp.Message,
+		QueuedMS:     resp.QueuedMS,
+		ElapsedMS:    resp.ElapsedMS,
+	}, nil
+}
+
+// post sends a JSON body and returns the raw 200 response body.
+func (c *Client) post(path string, v any, hdr http.Header) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.priority != "" {
+		req.Header.Set(PriorityHeader, c.priority)
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeError turns a non-2xx response into a *ServerError.
+func decodeError(resp *http.Response) error {
+	var eb errorBody
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	if err := json.Unmarshal(buf.Bytes(), &eb); err != nil || eb.Error == "" {
+		eb.Error = strings.TrimSpace(buf.String())
+		if eb.Error == "" {
+			eb.Error = resp.Status
+		}
+	}
+	return &ServerError{Status: resp.StatusCode, Code: eb.Code, Message: eb.Error}
+}

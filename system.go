@@ -17,10 +17,12 @@ type System struct {
 	cfg   Config
 	coord *federation.Coordinator
 
-	// opsMu guards opsSrvs, the operations HTTP servers started by ServeOps
-	// (Close shuts them down).
-	opsMu   sync.Mutex
+	// opsMu guards the server lists below (Close shuts them down).
+	opsMu sync.Mutex
+	// opsSrvs are the operations HTTP servers started by ServeOps.
 	opsSrvs []*OpsServer
+	// wireSrvs are the wire-protocol servers started by ServeWire.
+	wireSrvs []*WireServer
 }
 
 // federationConfig maps the public config onto the federation layer's.
@@ -96,17 +98,28 @@ func (s *System) Checkpoint() error { return s.coord.Checkpoint() }
 // Durable reports whether the system runs on a durable store.
 func (s *System) Durable() bool { return s.coord.Durable() }
 
-// Close releases the system: the health watchdog is stopped, every ops HTTP
-// server started by ServeOps is shut down gracefully, and on a durable
-// system a final checkpoint is flushed and the WAL is fsynced and closed, so
-// a clean shutdown recovers instantly and loses nothing. Close is idempotent.
+// Close releases the system in dependency order: first every wire-protocol
+// server drains — in-flight statements finish and their commits reach the
+// WAL, new requests get 503 — then the ops HTTP servers and the health
+// watchdog stop, and only then does a durable system flush its final
+// checkpoint and close the WAL. Draining before the checkpoint is what makes
+// a SIGTERM mid-query safe: a commit acknowledged over the wire is always
+// part of the durable image a clean shutdown leaves behind. Close is
+// idempotent.
 func (s *System) Close() error {
 	s.opsMu.Lock()
-	srvs := s.opsSrvs
+	wireSrvs := s.wireSrvs
+	s.wireSrvs = nil
+	opsSrvs := s.opsSrvs
 	s.opsSrvs = nil
 	s.opsMu.Unlock()
 	var firstErr error
-	for _, o := range srvs {
+	for _, w := range wireSrvs {
+		if err := w.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, o := range opsSrvs {
 		if err := o.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
