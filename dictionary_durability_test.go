@@ -1,0 +1,231 @@
+package idaax
+
+// Dictionary durability tests: the per-column string dictionaries must
+// survive checkpoints, WAL replay and injected crashes — a recovered column
+// serves the same rows AND keeps (or correctly re-derives) its encoding, so
+// dictionary-coded predicates behave identically before and after the crash.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"idaax/internal/colstore"
+	"idaax/internal/testutil/crashfs"
+)
+
+// dictWorkload drives a low-cardinality column through a checkpoint plus
+// post-checkpoint WAL appends, so recovery has to restore the dictionary from
+// the segment AND extend it during replay. Statements past the fault are
+// simply not acknowledged; the returned count is how many were.
+func dictWorkload(sys *System) (acked int) {
+	s := sys.AdminSession()
+	steps := []string{
+		"CREATE TABLE dcat (k BIGINT, tag VARCHAR(8)) IN ACCELERATOR IDAA1",
+		"INSERT INTO dcat VALUES (1, 'RED'), (2, 'GREEN'), (3, 'BLUE'), (4, 'RED')",
+		"INSERT INTO dcat VALUES (5, 'GREEN'), (6, NULL), (7, 'AMBER')",
+		"__CHECKPOINT__",
+		"INSERT INTO dcat VALUES (8, 'BLUE'), (9, 'VIOLET'), (10, NULL)",
+		"UPDATE dcat SET tag = 'TEAL' WHERE k = 2",
+		"DELETE FROM dcat WHERE k = 4",
+		"INSERT INTO dcat VALUES (11, 'RED'), (12, 'TEAL')",
+	}
+	for _, stmt := range steps {
+		var err error
+		if stmt == "__CHECKPOINT__" {
+			err = sys.Checkpoint()
+		} else {
+			_, err = s.Exec(stmt)
+		}
+		if err != nil {
+			return acked
+		}
+		acked++
+	}
+	return acked
+}
+
+// explainEncoding returns the encoding= annotation EXPLAIN prints for the
+// dcat scan ("" when the column is not dictionary-encoded).
+func explainEncoding(t *testing.T, sys *System) string {
+	t.Helper()
+	res, err := sys.AdminSession().Query("EXPLAIN SELECT COUNT(*) FROM dcat WHERE tag = 'RED'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if i := strings.Index(row[3], "encoding="); i >= 0 {
+			return strings.Fields(row[3][i:])[0]
+		}
+	}
+	return ""
+}
+
+// TestDictionaryCheckpointRecovery runs the workload to completion, kills the
+// filesystem, reopens, and requires the recovered store to serve identical
+// rows, identical dictionary-predicate results, and the same EXPLAIN encoding
+// annotation as the in-memory twin — then keeps appending to prove the
+// recovered dictionary still accepts new distinct values and still spills
+// past the threshold.
+func TestDictionaryCheckpointRecovery(t *testing.T) {
+	prev := colstore.SetDictThreshold(8)
+	defer colstore.SetDictThreshold(prev)
+
+	fs := crashfs.New()
+	sys, err := OpenDurable(durableConfig(fs, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin := New(memoryConfig(1))
+	defer twin.Close()
+	if acked := dictWorkload(sys); acked != 8 {
+		t.Fatalf("clean workload acknowledged %d/8 statements", acked)
+	}
+	dictWorkload(twin)
+	wantRows := sortedRows(t, twin, "dcat")
+	wantEnc := explainEncoding(t, twin)
+	if !strings.HasPrefix(wantEnc, "encoding=dict(tag:") {
+		t.Fatalf("twin is not dictionary-encoded: %q", wantEnc)
+	}
+
+	fs.Crash()
+	re, err := OpenDurable(durableConfig(fs, 1))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer func() {
+		if err := re.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if got := sortedRows(t, re, "dcat"); !rowsEqual(got, wantRows) {
+		t.Fatalf("recovered rows differ:\n%v\nvs\n%v", got, wantRows)
+	}
+	if got := explainEncoding(t, re); got != wantEnc {
+		t.Fatalf("recovered encoding %q, want %q", got, wantEnc)
+	}
+	for _, q := range []string{
+		"SELECT COUNT(*) FROM dcat WHERE tag = 'RED'",
+		"SELECT tag, COUNT(*) FROM dcat GROUP BY tag ORDER BY tag",
+		"SELECT k FROM dcat WHERE tag IS NULL ORDER BY k",
+	} {
+		a, err := re.AdminSession().Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		b, err := twin.AdminSession().Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(a.Rows) != fmt.Sprint(b.Rows) {
+			t.Fatalf("%s: recovered %v, twin %v", q, a.Rows, b.Rows)
+		}
+	}
+
+	// The recovered dictionary must keep absorbing new values and spill once
+	// the 8-value threshold is crossed, exactly like a never-crashed column.
+	s := re.AdminSession()
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO dcat VALUES ")
+	for i := 0; i < 12; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, 'X%d')", 100+i, i)
+	}
+	if _, err := s.Exec(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	if got := explainEncoding(t, re); got != "" {
+		t.Fatalf("column should have spilled past the threshold, still %q", got)
+	}
+	res, err := s.Query("SELECT COUNT(*) FROM dcat WHERE tag = 'X7'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != "1" {
+		t.Fatalf("post-spill predicate found %s rows, want 1", res.Rows[0][0])
+	}
+}
+
+// TestDictionaryCrashInjection spreads faults across the whole workload in
+// every mode: wherever the crash lands (dictionary segment write, manifest
+// swap, WAL append), the reopened store must hold exactly the acknowledged
+// statements and answer dictionary predicates like the replayed twin.
+func TestDictionaryCrashInjection(t *testing.T) {
+	prev := colstore.SetDictThreshold(8)
+	defer colstore.SetDictThreshold(prev)
+
+	fs := crashfs.New()
+	sys, err := OpenDurable(durableConfig(fs, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Arm(1<<62, crashfs.Fail)
+	if acked := dictWorkload(sys); acked != 8 {
+		t.Fatalf("clean workload acknowledged %d/8 statements", acked)
+	}
+	totalOps := fs.Ops()
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	const points = 24
+	modes := []crashfs.Mode{crashfs.Fail, crashfs.ShortWrite, crashfs.TornWrite}
+	for i := 0; i < points; i++ {
+		armAt := 1 + int64(i)*totalOps/points
+		mode := modes[i%len(modes)]
+		t.Run(fmt.Sprintf("op%d_%v", armAt, mode), func(t *testing.T) {
+			fs := crashfs.New()
+			sys, err := OpenDurable(durableConfig(fs, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs.Arm(armAt, mode)
+			acked := dictWorkload(sys)
+			fs.Crash()
+
+			twin := New(memoryConfig(1))
+			defer twin.Close()
+			ts := twin.AdminSession()
+			steps := []string{
+				"CREATE TABLE dcat (k BIGINT, tag VARCHAR(8)) IN ACCELERATOR IDAA1",
+				"INSERT INTO dcat VALUES (1, 'RED'), (2, 'GREEN'), (3, 'BLUE'), (4, 'RED')",
+				"INSERT INTO dcat VALUES (5, 'GREEN'), (6, NULL), (7, 'AMBER')",
+				"__CHECKPOINT__",
+				"INSERT INTO dcat VALUES (8, 'BLUE'), (9, 'VIOLET'), (10, NULL)",
+				"UPDATE dcat SET tag = 'TEAL' WHERE k = 2",
+				"DELETE FROM dcat WHERE k = 4",
+				"INSERT INTO dcat VALUES (11, 'RED'), (12, 'TEAL')",
+			}
+			for j := 0; j < acked && j < len(steps); j++ {
+				if steps[j] != "__CHECKPOINT__" {
+					ts.MustExec(steps[j])
+				}
+			}
+
+			re, err := OpenDurable(durableConfig(fs, 1))
+			if err != nil {
+				t.Fatalf("reopen (arm=%d mode=%v acked=%d): %v", armAt, mode, acked, err)
+			}
+			defer re.Close()
+			if acked == 0 {
+				return
+			}
+			if got, want := sortedRows(t, re, "dcat"), sortedRows(t, twin, "dcat"); !rowsEqual(got, want) {
+				t.Fatalf("arm=%d mode=%v acked=%d: rows differ\n%v\nvs\n%v", armAt, mode, acked, got, want)
+			}
+			a, err := re.AdminSession().Query("SELECT tag, COUNT(*) FROM dcat GROUP BY tag ORDER BY tag")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := ts.Query("SELECT tag, COUNT(*) FROM dcat GROUP BY tag ORDER BY tag")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(a.Rows) != fmt.Sprint(b.Rows) {
+				t.Fatalf("arm=%d mode=%v: grouped dictionary column differs: %v vs %v", armAt, mode, a.Rows, b.Rows)
+			}
+		})
+	}
+}

@@ -1,0 +1,178 @@
+package idaax_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"idaax"
+	"idaax/internal/colstore"
+)
+
+// withDictThreshold runs fn with the process-wide dictionary threshold set to
+// n, restoring the previous value afterwards. The threshold applies at append
+// time, so each run seeds its own system.
+func withDictThreshold(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := colstore.SetDictThreshold(n)
+	defer colstore.SetDictThreshold(prev)
+	fn()
+}
+
+// TestDictionaryDifferentialSQL seeds the same data with dictionary encoding
+// enabled (default threshold) and disabled (threshold 0) and runs the full
+// scan/filter/aggregate corpus plus the join corpus on both, with the
+// vectorized engine on and off: four execution configurations, one answer.
+func TestDictionaryDifferentialSQL(t *testing.T) {
+	type cfgResult struct {
+		name string
+		fps  map[bool][]string
+	}
+	var runs []cfgResult
+	for _, threshold := range []int{colstore.DefaultDictThreshold, 0} {
+		withDictThreshold(t, threshold, func() {
+			sys := newTestSystem(t)
+			defer sys.Close()
+			seedVectorTable(t, sys, "IDAA1", "", 1000)
+			seedJoinCorpusTables(t, sys, "IDAA1", "", "", 800, 40)
+			s := sys.AdminSession()
+
+			fps := map[bool][]string{}
+			for _, vectorized := range []bool{true, false} {
+				sys.SetVectorizedExecution(vectorized)
+				for _, q := range vectorizedDifferentialQueries {
+					res, err := s.Query(q.sql)
+					if err != nil {
+						t.Fatalf("%s (dict=%d vectorized=%v): %v", q.sql, threshold, vectorized, err)
+					}
+					fp := sortedFingerprint(res)
+					if q.ordered {
+						fp = resultFingerprint(res)
+					}
+					fps[vectorized] = append(fps[vectorized], fp)
+				}
+				for _, q := range joinDifferentialQueries {
+					res, err := s.Query(q.sql)
+					if err != nil {
+						t.Fatalf("%s (dict=%d vectorized=%v): %v", q.sql, threshold, vectorized, err)
+					}
+					fp := sortedFingerprint(res)
+					if q.ordered {
+						fp = resultFingerprint(res)
+					}
+					fps[vectorized] = append(fps[vectorized], fp)
+				}
+			}
+
+			// The EXPLAIN surface must reflect the storage state: dictionary
+			// columns are listed when encoding is on and absent when it is off.
+			res, err := s.Query("EXPLAIN SELECT cat, COUNT(*) FROM vdiff GROUP BY cat")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var plan strings.Builder
+			for _, row := range res.Rows {
+				plan.WriteString(row[3] + "\n")
+			}
+			hasDict := strings.Contains(plan.String(), "encoding=dict(")
+			if threshold > 0 && !hasDict {
+				t.Errorf("dict threshold %d: EXPLAIN shows no dictionary encoding:\n%s", threshold, plan.String())
+			}
+			if threshold == 0 && hasDict {
+				t.Errorf("dict threshold 0: EXPLAIN still shows dictionary encoding:\n%s", plan.String())
+			}
+			runs = append(runs, cfgResult{name: fmt.Sprintf("dict=%d", threshold), fps: fps})
+		})
+	}
+
+	base := runs[0]
+	for _, other := range runs[1:] {
+		for _, vectorized := range []bool{true, false} {
+			for i := range base.fps[vectorized] {
+				if base.fps[vectorized][i] != other.fps[vectorized][i] {
+					t.Errorf("query %d (vectorized=%v): %s and %s disagree\n%s\nvs\n%s",
+						i, vectorized, base.name, other.name,
+						base.fps[vectorized][i], other.fps[vectorized][i])
+				}
+			}
+		}
+	}
+}
+
+// TestDictionaryCardinalityOverflow drives one column past the threshold
+// mid-insert so it spills to raw strings while a sibling column keeps its
+// dictionary, and verifies results match the raw-path twin and EXPLAIN lists
+// only the surviving dictionary.
+func TestDictionaryCardinalityOverflow(t *testing.T) {
+	queries := []string{
+		"SELECT COUNT(*) FROM spill WHERE lo = 'k3'",
+		"SELECT lo, COUNT(*), MIN(hi), MAX(hi) FROM spill GROUP BY lo ORDER BY lo",
+		"SELECT COUNT(*) FROM spill WHERE hi = 'v123'",
+		"SELECT COUNT(*) FROM spill WHERE hi > 'v50' AND lo <> 'k1'",
+		"SELECT lo, hi FROM spill WHERE n < 40 ORDER BY n",
+	}
+	seed := func(sys *idaax.System) {
+		s := sys.AdminSession()
+		if _, err := s.Exec("CREATE TABLE spill (n BIGINT, lo VARCHAR(8), hi VARCHAR(16)) IN ACCELERATOR IDAA1"); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO spill VALUES ")
+		for i := 0; i < 500; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			// lo stays at 6 distinct values; hi reaches 500 and overflows.
+			fmt.Fprintf(&sb, "(%d, 'k%d', 'v%d')", i, i%6, i)
+		}
+		if _, err := s.Exec(sb.String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run := func(sys *idaax.System) []string {
+		s := sys.AdminSession()
+		var out []string
+		for _, q := range queries {
+			res, err := s.Query(q)
+			if err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+			out = append(out, resultFingerprint(res))
+		}
+		return out
+	}
+
+	var withDict, raw []string
+	withDictThreshold(t, 16, func() {
+		sys := newTestSystem(t)
+		defer sys.Close()
+		seed(sys)
+		withDict = run(sys)
+
+		res, err := sys.AdminSession().Query("EXPLAIN SELECT COUNT(*) FROM spill WHERE lo = 'k2'")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var plan strings.Builder
+		for _, row := range res.Rows {
+			plan.WriteString(row[3] + "\n")
+		}
+		if !strings.Contains(plan.String(), "encoding=dict(lo:6)") {
+			t.Errorf("low-cardinality column lost its dictionary:\n%s", plan.String())
+		}
+		if strings.Contains(plan.String(), "hi:") {
+			t.Errorf("overflowed column still listed as dictionary-encoded:\n%s", plan.String())
+		}
+	})
+	withDictThreshold(t, 0, func() {
+		sys := newTestSystem(t)
+		defer sys.Close()
+		seed(sys)
+		raw = run(sys)
+	})
+	for i, q := range queries {
+		if withDict[i] != raw[i] {
+			t.Errorf("%s: spilled/dict results differ from raw\n%s\nvs\n%s", q, withDict[i], raw[i])
+		}
+	}
+}

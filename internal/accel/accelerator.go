@@ -51,6 +51,7 @@ type Accelerator struct {
 	rowsReturned      int64
 	dmlStatements     int64
 	vectorizedQueries int64
+	vectorizedJoins   int64
 	vexecFallbacks    int64
 }
 
@@ -69,9 +70,13 @@ type Stats struct {
 	// VectorizedQueries counts statements the vectorized batch engine executed
 	// end to end (scan+filter, with or without vectorized aggregation).
 	VectorizedQueries int64
-	// VexecFallbacks counts in-scope statements (single table, engine on) the
-	// vectorized engine declined, falling back to the row path — the
-	// numerator of the fallback-rate metric.
+	// VectorizedJoins counts the subset of VectorizedQueries that ran a batch
+	// hash join (two-table statements executed build/probe over column
+	// batches).
+	VectorizedJoins int64
+	// VexecFallbacks counts in-scope statements (single or two plain tables,
+	// engine on) the vectorized engine declined, falling back to the row
+	// path — the numerator of the fallback-rate metric.
 	VexecFallbacks int64
 	Tables         int
 	Slices         int
@@ -112,6 +117,7 @@ func (a *Accelerator) Stats() Stats {
 		RowsReturned:      atomic.LoadInt64(&a.rowsReturned),
 		DMLStatements:     atomic.LoadInt64(&a.dmlStatements),
 		VectorizedQueries: atomic.LoadInt64(&a.vectorizedQueries),
+		VectorizedJoins:   atomic.LoadInt64(&a.vectorizedJoins),
 		VexecFallbacks:    atomic.LoadInt64(&a.vexecFallbacks),
 		Tables:            tables,
 		Slices:            a.slices,

@@ -97,6 +97,16 @@ type Backend interface {
 	// scan and partial computation nests under sp. CallShardLocal is the
 	// untraced (nil span) form.
 	CallShardLocalTraced(txnID int64, table, proc string, sp *obs.Span, fn ShardLocalFunc) ([]any, error)
+	// CallShardLocalStream is the incremental form of CallShardLocalTraced:
+	// partials are not collected into one slice; instead merge runs at the
+	// coordinator once per shard, in shard-ordinal order, as soon as that
+	// ordinal's partial (and every lower ordinal's) has completed. merge is
+	// never invoked concurrently, and a partial is released to the collector
+	// right after its merge returns, so the coordinator buffers only partials
+	// that finished out of order — not one result set per shard. Ordinal
+	// order keeps floating-point merges deterministic across runs. sp may be
+	// nil; a merge error aborts the call (remaining shards still drain).
+	CallShardLocalStream(txnID int64, table, proc string, sp *obs.Span, fn ShardLocalFunc, merge func(ordinal int, partial any) error) error
 }
 
 var _ Backend = (*Accelerator)(nil)

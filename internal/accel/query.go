@@ -53,7 +53,7 @@ func (a *Accelerator) QueryAtTraced(txnID int64, snap *Snapshot, sel *sqlparse.S
 		}
 	}()
 	sel, methods := a.planStatement(sel)
-	if rel, handled, err := a.tryVectorized(snap, sel, sp); handled {
+	if rel, handled, err := a.tryVectorized(snap, sel, methods, sp); handled {
 		if err != nil {
 			return nil, err
 		}
@@ -72,17 +72,29 @@ func (a *Accelerator) QueryAtTraced(txnID int64, snap *Snapshot, sel *sqlparse.S
 	return rel, nil
 }
 
-// tryVectorized runs a single-table statement through the vectorized batch
-// engine (internal/vexec). handled=false falls back to the row path without
-// side effects: the statement is out of engine scope, the engine is disabled,
-// or the table is unknown (the row path raises the proper error). When the
-// engine only covers scan+filter, the surviving rows are materialized late and
-// the remaining operators run row-at-a-time with the WHERE clause stripped —
-// the vector filters already applied it exactly.
-func (a *Accelerator) tryVectorized(snap *Snapshot, sel *sqlparse.SelectStmt, sp *obs.Span) (*relalg.Relation, bool, error) {
-	if !a.VectorizedEnabled() || len(sel.From) != 1 || sel.From[0].Subquery != nil {
+// tryVectorized runs a statement through the vectorized batch engine
+// (internal/vexec): single plain tables take the scan path, two plain tables
+// the hash-join path. handled=false falls back to the row path without side
+// effects: the statement is out of engine scope, the engine is disabled, or a
+// table is unknown (the row path raises the proper error). When the engine
+// only covers scan+filter (or join without aggregation), the surviving rows
+// are materialized late and the remaining operators run row-at-a-time with
+// the WHERE clause stripped — the vector filters already applied it exactly.
+func (a *Accelerator) tryVectorized(snap *Snapshot, sel *sqlparse.SelectStmt, methods []relalg.JoinMethod, sp *obs.Span) (*relalg.Relation, bool, error) {
+	if !a.VectorizedEnabled() {
 		return nil, false, nil
 	}
+	switch {
+	case len(sel.From) == 1 && sel.From[0].Subquery == nil:
+		return a.tryVectorizedScan(snap, sel, sp)
+	case len(sel.From) == 2 && sel.From[0].Subquery == nil && sel.From[1].Subquery == nil:
+		return a.tryVectorizedJoin(snap, sel, methods, sp)
+	default:
+		return nil, false, nil
+	}
+}
+
+func (a *Accelerator) tryVectorizedScan(snap *Snapshot, sel *sqlparse.SelectStmt, sp *obs.Span) (*relalg.Relation, bool, error) {
 	t, err := a.Table(sel.From[0].Table)
 	if err != nil {
 		return nil, false, nil
@@ -120,6 +132,87 @@ func (a *Accelerator) tryVectorized(snap *Snapshot, sel *sqlparse.SelectStmt, sp
 		return nil, true, err
 	}
 	return out, true, nil
+}
+
+// tryVectorizedJoin runs a two-table statement as a vectorized hash join:
+// build over the second FROM item, probe over the first, both scanning column
+// batches under the statement snapshot. With integrated aggregation the
+// result is final; otherwise the joined relation (WHERE fully applied)
+// continues through the row operators with WHERE stripped, exactly like the
+// single-table scan path.
+func (a *Accelerator) tryVectorizedJoin(snap *Snapshot, sel *sqlparse.SelectStmt, methods []relalg.JoinMethod, sp *obs.Span) (*relalg.Relation, bool, error) {
+	plan, lt, rt, ok := a.planVectorizedJoin(sel, methods)
+	if !ok {
+		return nil, false, nil
+	}
+	rel, err := a.runJoinPlan(plan, lt, rt, snap, sel, sp)
+	if err != nil {
+		return nil, true, err
+	}
+	if plan.Aggregated() {
+		return rel, true, nil
+	}
+	rest := *sel
+	rest.Where = nil
+	out, err := relalg.ExecuteSelect(rel, &rest, relalg.Options{Parallelism: a.slices})
+	if err != nil {
+		return nil, true, err
+	}
+	return out, true, nil
+}
+
+// planVectorizedJoin resolves both FROM tables and plans the batch hash join,
+// counting a fallback when vexec declines the statement.
+func (a *Accelerator) planVectorizedJoin(sel *sqlparse.SelectStmt, methods []relalg.JoinMethod) (*vexec.JoinPlan, *colstore.Table, *colstore.Table, bool) {
+	lt, err := a.Table(sel.From[0].Table)
+	if err != nil {
+		return nil, nil, nil, false
+	}
+	rt, err := a.Table(sel.From[1].Table)
+	if err != nil {
+		return nil, nil, nil, false
+	}
+	method := relalg.MethodAuto
+	if len(methods) > 0 {
+		method = methods[0]
+	}
+	plan, ok := vexec.PlanJoin(sel, lt.Schema(), rt.Schema(), method)
+	if !ok {
+		atomic.AddInt64(&a.vexecFallbacks, 1)
+		return nil, nil, nil, false
+	}
+	return plan, lt, rt, true
+}
+
+// runJoinPlan executes a planned batch hash join under the statement snapshot,
+// emitting the join span with one scan child per side and accounting the scan
+// and vectorization counters.
+func (a *Accelerator) runJoinPlan(plan *vexec.JoinPlan, lt, rt *colstore.Table, snap *Snapshot, sel *sqlparse.SelectStmt, sp *obs.Span) (*relalg.Relation, error) {
+	jc := sp.Child("join")
+	jc.Label(obs.LabelShard, a.name)
+	jc.Label(obs.LabelMode, "vectorized:"+plan.Mode())
+	rel, js, err := plan.Run(lt, rt, a.slices, snap.Visible)
+	for _, side := range []struct {
+		item  sqlparse.FromItem
+		stats colstore.ScanStats
+	}{{sel.From[1], js.Build}, {sel.From[0], js.Probe}} {
+		sc := a.startScanSpan(jc, side.item.Name())
+		sc.Add(obs.KeyRows, int64(side.stats.RowsMaterialized))
+		sc.Add(obs.KeyVersions, int64(side.stats.VersionsConsidered))
+		sc.Add(obs.KeyBlocksPruned, int64(side.stats.BlocksPruned))
+		sc.Add(obs.KeyBatches, int64(side.stats.Batches))
+		sc.Finish()
+	}
+	jc.Finish()
+	total := js.Total()
+	atomic.AddInt64(&a.rowsScanned, int64(total.VersionsConsidered))
+	atomic.AddInt64(&a.blocksPruned, int64(total.BlocksPruned))
+	if err != nil {
+		return nil, err
+	}
+	atomic.AddInt64(&a.vectorizedQueries, 1)
+	atomic.AddInt64(&a.vectorizedJoins, 1)
+	return rel, nil
 }
 
 // PlannerCatalog exposes this accelerator's tables and statistics to the
@@ -167,21 +260,68 @@ func (a *Accelerator) Explain(sel *sqlparse.SelectStmt) (*planner.Plan, error) {
 // annotateVectorized records on the plan whether (and how far) the vectorized
 // batch engine would execute the statement, for EXPLAIN.
 func (a *Accelerator) annotateVectorized(pl *planner.Plan, sel *sqlparse.SelectStmt) {
+	// Column encodings are physical storage state, reported whether or not
+	// the batch engine runs the statement.
+	for i, scan := range pl.Scans {
+		if scan.Item.Subquery != nil {
+			continue
+		}
+		if t, err := a.Table(scan.Item.Table); err == nil {
+			pl.Scans[i].Encoding = EncodingSummary(t)
+		}
+	}
 	if !a.VectorizedEnabled() {
 		return
 	}
 	pl.Vectorized = true
-	pl.VectorizedMode = vexec.ModeScan // joins and subqueries still scan in batches
-	if len(sel.From) != 1 || sel.From[0].Subquery != nil {
-		return
+	pl.VectorizedMode = vexec.ModeScan // deep joins and subqueries still scan in batches
+	// Annotate from the planner-rewritten statement: execution plans joins
+	// over pl.Sel with pl.Methods, not the original FROM order.
+	if pl.Sel != nil {
+		sel = pl.Sel
 	}
-	t, err := a.Table(sel.From[0].Table)
-	if err != nil {
-		return
+	switch {
+	case len(sel.From) == 1 && sel.From[0].Subquery == nil:
+		t, err := a.Table(sel.From[0].Table)
+		if err != nil {
+			return
+		}
+		if p, ok := vexec.PlanQuery(sel, t.Schema()); ok {
+			pl.VectorizedMode = p.Mode()
+		}
+	case len(sel.From) == 2 && sel.From[0].Subquery == nil && sel.From[1].Subquery == nil:
+		lt, lerr := a.Table(sel.From[0].Table)
+		rt, rerr := a.Table(sel.From[1].Table)
+		if lerr != nil || rerr != nil {
+			return
+		}
+		method := relalg.MethodAuto
+		if len(pl.Methods) > 0 {
+			method = pl.Methods[0]
+		}
+		if p, ok := vexec.PlanJoin(sel, lt.Schema(), rt.Schema(), method); ok {
+			pl.VectorizedMode = p.Mode()
+			if len(pl.Steps) > 0 {
+				pl.Steps[0].Vectorized = true
+			}
+		}
 	}
-	if p, ok := vexec.PlanQuery(sel, t.Schema()); ok {
-		pl.VectorizedMode = p.Mode()
+}
+
+// EncodingSummary renders a table's dictionary-encoded columns for EXPLAIN
+// scan lines ("dict(cat:3,grp:5)" — name:cardinality per encoded column);
+// empty when every column is plain.
+func EncodingSummary(t *colstore.Table) string {
+	var parts []string
+	for _, e := range t.ColumnEncodings() {
+		if e.Dict {
+			parts = append(parts, fmt.Sprintf("%s:%d", strings.ToLower(e.Name), e.DictSize))
+		}
 	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "dict(" + strings.Join(parts, ",") + ")"
 }
 
 // BuildFromRelation materialises every FROM item of sel under the single
@@ -202,6 +342,23 @@ func (a *Accelerator) BuildFromRelation(txnID int64, snap *Snapshot, sel *sqlpar
 func (a *Accelerator) BuildFromRelationTraced(txnID int64, snap *Snapshot, sel *sqlparse.SelectStmt, overrides map[string]*relalg.Relation, methods []relalg.JoinMethod, sp *obs.Span) (*relalg.Relation, error) {
 	if len(sel.From) == 0 {
 		return relalg.JoinAll(nil, nil, a.slices)
+	}
+	// Two plain tables with no substituted relations: produce the joined FROM
+	// relation straight from column batches with the batch hash join, folding
+	// sel's WHERE in. The caller re-executes the full statement (WHERE
+	// included) over the union of the per-shard results, so pre-filtering here
+	// only reduces the rows that travel to the coordinator.
+	if a.VectorizedEnabled() && len(overrides) == 0 &&
+		len(sel.From) == 2 && sel.From[0].Subquery == nil && sel.From[1].Subquery == nil {
+		reduced := &sqlparse.SelectStmt{
+			Items: []sqlparse.SelectItem{{Star: true}},
+			From:  sel.From,
+			Where: sel.Where,
+			Limit: -1,
+		}
+		if plan, lt, rt, ok := a.planVectorizedJoin(reduced, methods); ok {
+			return a.runJoinPlan(plan, lt, rt, snap, reduced, sp)
+		}
 	}
 	rels := make([]*relalg.Relation, len(sel.From))
 	for i, item := range sel.From {

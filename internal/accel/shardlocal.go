@@ -94,3 +94,13 @@ func (a *Accelerator) CallShardLocalTraced(txnID int64, table, proc string, sp *
 	}
 	return []any{partial}, nil
 }
+
+// CallShardLocalStream implements the streaming analytics seam for a single
+// accelerator: the one partition computes and its partial merges immediately.
+func (a *Accelerator) CallShardLocalStream(txnID int64, table, proc string, sp *obs.Span, fn ShardLocalFunc, merge func(ordinal int, partial any) error) error {
+	partials, err := a.CallShardLocalTraced(txnID, table, proc, sp, fn)
+	if err != nil {
+		return err
+	}
+	return merge(0, partials[0])
+}

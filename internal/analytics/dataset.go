@@ -217,31 +217,49 @@ func SummarizePartial(rel *relalg.Relation, columns []string) ([]ColumnMoments, 
 // whatever is computed from them (standardisation, binning, imputation).
 func MergeColumnMoments(parts [][]ColumnMoments) ([]ColumnStats, error) {
 	var merged []ColumnMoments
+	var err error
 	for _, part := range parts {
-		if part == nil {
-			continue
-		}
-		if merged == nil {
-			merged = make([]ColumnMoments, len(part))
-			copy(merged, part)
-			continue
-		}
-		if len(part) != len(merged) {
-			return nil, fmt.Errorf("analytics: mismatched column moment sets (%d vs %d columns)", len(part), len(merged))
-		}
-		for i := range merged {
-			merged[i].Count += part[i].Count
-			merged[i].Nulls += part[i].Nulls
-			merged[i].Sum += part[i].Sum
-			merged[i].SumSq += part[i].SumSq
-			if part[i].Min < merged[i].Min {
-				merged[i].Min = part[i].Min
-			}
-			if part[i].Max > merged[i].Max {
-				merged[i].Max = part[i].Max
-			}
+		if merged, err = MergeColumnMomentsInto(merged, part); err != nil {
+			return nil, err
 		}
 	}
+	return FinalizeColumnMoments(merged)
+}
+
+// MergeColumnMomentsInto folds one shard's moments into the running
+// accumulator (nil acc starts the fold; nil part is a shard with nothing to
+// contribute) — the streaming form of MergeColumnMoments, used where partials
+// merge as they arrive instead of being collected first.
+func MergeColumnMomentsInto(acc, part []ColumnMoments) ([]ColumnMoments, error) {
+	if part == nil {
+		return acc, nil
+	}
+	if acc == nil {
+		acc = make([]ColumnMoments, len(part))
+		copy(acc, part)
+		return acc, nil
+	}
+	if len(part) != len(acc) {
+		return nil, fmt.Errorf("analytics: mismatched column moment sets (%d vs %d columns)", len(part), len(acc))
+	}
+	for i := range acc {
+		acc[i].Count += part[i].Count
+		acc[i].Nulls += part[i].Nulls
+		acc[i].Sum += part[i].Sum
+		acc[i].SumSq += part[i].SumSq
+		if part[i].Min < acc[i].Min {
+			acc[i].Min = part[i].Min
+		}
+		if part[i].Max > acc[i].Max {
+			acc[i].Max = part[i].Max
+		}
+	}
+	return acc, nil
+}
+
+// FinalizeColumnMoments turns folded moments into ColumnStats (see
+// MergeColumnMoments for the all-NULL column contract).
+func FinalizeColumnMoments(merged []ColumnMoments) ([]ColumnStats, error) {
 	if merged == nil {
 		return nil, fmt.Errorf("analytics: no column moments to merge")
 	}

@@ -311,13 +311,25 @@ func TrainLogisticRegressionDistributed(parts []*Dataset, iterations int, learni
 
 	w := make([]float64, p)
 	b := 0.0
-	gradW := make([][]float64, len(parts))
-	gradB := make([]float64, len(parts))
+	// One flat gradient frame per round: shard i owns the (p+1)-wide stripe
+	// at frame[i*(p+1) : (i+1)*(p+1)] — p weight gradients followed by the
+	// bias gradient. In a networked deployment this stripe is exactly the
+	// fixed-width binary payload each shard ships back per iteration; here it
+	// also means the round allocates nothing (the frame is zeroed and reused),
+	// where the old shape built a fresh gw slice per shard per round. The
+	// merge still folds stripes in shard-ordinal order, so the floating-point
+	// summation order — and therefore the trained model — is unchanged.
+	stripe := p + 1
+	frame := make([]float64, len(parts)*stripe)
+	mergedW := make([]float64, p)
 	for iter := 0; iter < iterations; iter++ {
-		// Scatter: each shard sums gradients over its own standardized rows.
+		for k := range frame {
+			frame[k] = 0
+		}
+		// Scatter: each shard sums gradients over its own standardized rows
+		// directly into its stripe of the shared frame.
 		if err := forEachPart(parts, func(i int, ds *Dataset) error {
-			gw := make([]float64, p)
-			gb := 0.0
+			g := frame[i*stripe : (i+1)*stripe]
 			std := stdParts[i]
 			y := yParts[i]
 			for r := 0; r < ds.Rows(); r++ {
@@ -328,29 +340,26 @@ func TrainLogisticRegressionDistributed(parts []*Dataset, iterations int, learni
 				pred := sigmoid(z)
 				errTerm := pred - y[r]
 				for j := 0; j < p; j++ {
-					gw[j] += errTerm * std[r][j]
+					g[j] += errTerm * std[r][j]
 				}
-				gb += errTerm
+				g[p] += errTerm
 			}
-			gradW[i] = gw
-			gradB[i] = gb
 			return nil
 		}); err != nil {
 			return nil, err
 		}
-		// Merge and update.
+		// Merge the frame's stripes in shard order and update.
 		scale := learningRate / float64(n)
 		mergedB := 0.0
-		mergedW := make([]float64, p)
+		for j := range mergedW {
+			mergedW[j] = 0
+		}
 		for i := range parts {
-			if gradW[i] == nil {
-				continue
-			}
+			g := frame[i*stripe : (i+1)*stripe]
 			for j := 0; j < p; j++ {
-				mergedW[j] += gradW[i][j]
+				mergedW[j] += g[j]
 			}
-			mergedB += gradB[i]
-			gradW[i] = nil
+			mergedB += g[p]
 		}
 		for j := 0; j < p; j++ {
 			w[j] -= scale * (mergedW[j] + l2*w[j])

@@ -52,6 +52,21 @@ func scatterCall(ctx *core.ProcContext, be accel.Backend, table, proc string, fn
 	return partials, err
 }
 
+// scatterStream is scatterCall through the streaming seam: merge consumes
+// each shard's partial in ordinal order as it completes, so single-pass
+// reductions (moment merges, completion counts) never hold one partial per
+// shard at the coordinator.
+func scatterStream(ctx *core.ProcContext, be accel.Backend, table, proc string, fn accel.ShardLocalFunc, merge func(ordinal int, partial any) error) error {
+	sp := ctx.Span.Child("analytics")
+	sp.Label(obs.LabelTable, types.NormalizeName(table))
+	if proc != "" {
+		sp.Label(obs.LabelMode, types.NormalizeName(proc))
+	}
+	err := be.CallShardLocalStream(ctx.TxnID, table, proc, sp, fn, merge)
+	sp.Finish()
+	return err
+}
+
 // plannerInfo asks the backend's planner catalog about a table — the same
 // placement metadata (distribution key, member set, migration state) the
 // query planner consults.
@@ -354,19 +369,26 @@ func distSummary(ctx *core.ProcContext, be accel.Backend, table, cols string) (*
 		return nil, err
 	}
 	columns := core.SplitList(cols)
-	partials, err := scatterCall(ctx, be, table, "IDAX.SUMMARY", func(p *accel.ShardPartition) (any, error) {
+	// Streaming merge: each shard's moment set folds into the accumulator as
+	// it arrives, so the coordinator never holds one moment slice per shard.
+	var acc []ColumnMoments
+	shards := 0
+	err := scatterStream(ctx, be, table, "IDAX.SUMMARY", func(p *accel.ShardPartition) (any, error) {
 		return SummarizePartial(p.Rows, columns)
+	}, func(_ int, partial any) error {
+		shards++
+		m, ok := partial.([]ColumnMoments)
+		if !ok {
+			return nil
+		}
+		var err error
+		acc, err = MergeColumnMomentsInto(acc, m)
+		return err
 	})
 	if err != nil {
 		return nil, err
 	}
-	moments := make([][]ColumnMoments, 0, len(partials))
-	for _, p := range partials {
-		if m, ok := p.([]ColumnMoments); ok {
-			moments = append(moments, m)
-		}
-	}
-	stats, err := MergeColumnMoments(moments)
+	stats, err := FinalizeColumnMoments(acc)
 	if err != nil {
 		return nil, err
 	}
@@ -378,7 +400,7 @@ func distSummary(ctx *core.ProcContext, be accel.Backend, table, cols string) (*
 	}
 	return &core.ProcResult{
 		Relation: statsRelation(stats),
-		Message:  fmt.Sprintf("summarised %d columns over %d rows across %d shards (moment merge)", len(stats), rows, len(partials)),
+		Message:  fmt.Sprintf("summarised %d columns over %d rows across %d shards (moment merge)", len(stats), rows, shards),
 	}, nil
 }
 
@@ -411,7 +433,10 @@ func distPredict(ctx *core.ProcContext, be accel.Backend, kind string, model any
 	)
 
 	score := func(out string) (int, error) {
-		partials, err := scatterCall(ctx, be, table, "IDAX.PREDICT", func(p *accel.ShardPartition) (any, error) {
+		// Streaming merge: the partial is just the count of rows a shard wrote
+		// locally, summed as each shard finishes.
+		total := 0
+		err := scatterStream(ctx, be, table, "IDAX.PREDICT", func(p *accel.ShardPartition) (any, error) {
 			if len(p.Rows.Rows) == 0 {
 				return 0, nil
 			}
@@ -425,15 +450,14 @@ func distPredict(ctx *core.ProcContext, be accel.Backend, kind string, model any
 				return 0, nil
 			}
 			return p.WriteLocal(out, rows)
+		}, func(_ int, partial any) error {
+			if n, ok := partial.(int); ok {
+				total += n
+			}
+			return nil
 		})
 		if err != nil {
 			return 0, err
-		}
-		total := 0
-		for _, p := range partials {
-			if n, ok := p.(int); ok {
-				total += n
-			}
 		}
 		return total, nil
 	}

@@ -12,7 +12,7 @@ import (
 // repository root and by cmd/idaabench).
 func TestExperimentRegistry(t *testing.T) {
 	ids := IDs()
-	want := []string{"e1", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1"}
+	want := []string{"e1", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1"}
 	if len(ids) != len(want) {
 		t.Fatalf("experiments: %v", ids)
 	}
@@ -210,6 +210,82 @@ func TestVectorizedExperiment(t *testing.T) {
 		if !metricNames[want] {
 			t.Fatalf("metric %s missing from report: %v", want, metricNames)
 		}
+	}
+}
+
+// TestJoinDictionaryExperiment is the E18 smoke CI runs on every PR: the
+// batch hash join must beat the row engine by >= 2x on the co-located grouped
+// join at both scales (the acceptance bar; measured headroom is 3x+ so shared
+// runners cannot flake it), result cardinalities must match between engines,
+// the dictionary sweep must cover the spilled pair, and binary frames must
+// move strictly fewer shard -> coordinator bytes than the text estimate (the
+// byte counts are deterministic, so the strict inequality cannot flake).
+func TestJoinDictionaryExperiment(t *testing.T) {
+	scale := SmallScale()
+	if testing.Short() {
+		scale.QueryRows = []int{2000, 20000}
+	}
+	table, err := Run("e18", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joinRows, dictRows, wireRows [][]string
+	for _, row := range table.Rows {
+		switch row[0] {
+		case "join":
+			joinRows = append(joinRows, row)
+		case "dict":
+			dictRows = append(dictRows, row)
+		case "wire":
+			wireRows = append(wireRows, row)
+		}
+	}
+	if len(joinRows) != 8 || len(dictRows) != 12 || len(wireRows) != 2 {
+		t.Fatalf("expected 8 join + 12 dict + 2 wire rows, got %d/%d/%d:\n%s",
+			len(joinRows), len(dictRows), len(wireRows), table.Format())
+	}
+	for i := 0; i < len(joinRows); i += 2 {
+		row, vec := joinRows[i], joinRows[i+1]
+		if row[5] != vec[5] {
+			t.Fatalf("%s at %s rows: result cardinality differs between engines (%s vs %s):\n%s",
+				row[2], row[1], row[5], vec[5], table.Format())
+		}
+		var rowRate, vecRate float64
+		fmt.Sscanf(row[4], "%f", &rowRate)
+		fmt.Sscanf(vec[4], "%f", &vecRate)
+		minSpeedup := 1.0
+		if strings.HasPrefix(row[2], "join_groupby") {
+			minSpeedup = 2.0
+		}
+		if vecRate < rowRate*minSpeedup {
+			t.Fatalf("%s at %s rows: vectorized %.0f rows/s vs row %.0f rows/s (< %.1fx):\n%s",
+				row[2], row[1], vecRate, rowRate, minSpeedup, table.Format())
+		}
+	}
+	spilledSeen := false
+	for _, row := range dictRows {
+		if strings.Contains(row[2], "/spilled") {
+			spilledSeen = true
+		}
+	}
+	if !spilledSeen {
+		t.Fatalf("dictionary sweep never drove a column past the threshold:\n%s", table.Format())
+	}
+	metrics := map[string]float64{}
+	for _, m := range table.Metrics {
+		metrics[m.Name] = m.Value
+	}
+	for _, want := range []string{
+		"join_groupby_speedup_scale1", "join_groupby_speedup_scale2",
+		"join_groupby_rows_per_sec_vec_scale2", "join_select_rows_per_sec_row_scale1",
+		"dict_filter_speedup_card8", "dict_groupby_rows_per_sec_card256",
+	} {
+		if _, ok := metrics[want]; !ok {
+			t.Fatalf("metric %s missing from report: %v", want, metrics)
+		}
+	}
+	if r := metrics["wire_text_over_frame_ratio"]; r <= 1.0 {
+		t.Fatalf("wire_text_over_frame_ratio = %.3f: binary frames did not beat the text estimate:\n%s", r, table.Format())
 	}
 }
 

@@ -20,6 +20,14 @@ type Vector struct {
 	Floats []float64
 	Strs   []string
 	Nulls  []bool
+
+	// Codes and Dict are set (alongside Strs) when the column is dictionary-
+	// encoded: Codes[i] indexes Dict for non-NULL rows (NULL rows carry the
+	// placeholder 0 — check Nulls first), and Dict is the whole dictionary in
+	// code order, shared by every batch of the scan. Consumers that compare or
+	// group on strings can work on int32 codes instead.
+	Codes []int32
+	Dict  []string
 }
 
 // Value reconstructs the value at batch offset i.
@@ -89,6 +97,11 @@ func (t *Table) ScanBatches(slices int, vis Visibility, preds []SimplePredicate,
 	if n == 0 {
 		return stats, nil
 	}
+	// Rewrite string predicates over dictionary-encoded columns into code
+	// comparisons once for the whole scan. The read lock is held until the
+	// scan completes and a dictionary spill requires the write lock, so the
+	// resolved tables cannot go stale mid-scan.
+	preds = resolveDictPredicates(t.cols, preds)
 	if slices < 1 {
 		slices = 1
 	}
@@ -199,6 +212,10 @@ func (t *Table) fillBatch(b *Batch, start, end int) {
 			v.Floats = c.floats[start:end]
 		default:
 			v.Strs = c.strs[start:end]
+			if c.DictEncoded() {
+				v.Codes = c.codes[start:end]
+				v.Dict = c.dict
+			}
 		}
 		b.Cols[ci] = v
 	}
@@ -236,6 +253,8 @@ func (p SimplePredicate) applyVector(v Vector, sel []int) []int {
 	litNum := p.Value.Kind == types.KindInt || p.Value.Kind == types.KindTimestamp || p.Value.Kind == types.KindFloat
 	boolPair := v.Kind == types.KindBool && p.Value.Kind == types.KindBool
 	switch {
+	case p.dictResolved && v.Codes != nil:
+		return p.selectDictCodes(v.Codes, v.Nulls, sel)
 	case v.Ints != nil && p.isNum && ((colNum && litNum) || boolPair):
 		return selectIntsCmp(v.Ints, v.Nulls, sel, p.numeric, p.Op)
 	case v.Floats != nil && p.isNum && litNum:

@@ -37,6 +37,23 @@ type Column struct {
 	zoneMinStr []string
 	zoneMaxStr []string
 	zoneStrOk  []bool
+
+	// Dictionary encoding for low-cardinality string columns: dict holds the
+	// distinct values in first-appearance order, codes aligns with strs
+	// (codes[i] indexes dict; NULL rows carry the placeholder 0 with nulls
+	// authoritative), and zoneMinCode/zoneMaxCode track per-block code ranges
+	// (max < 0 marks an all-NULL block). strs stays authoritative throughout:
+	// the dictionary is an auxiliary structure that scans, joins and group-bys
+	// use to compare int codes instead of strings. Once the distinct count
+	// would exceed the threshold the column spills: dictOff is set and the
+	// auxiliary slices are nil'd (never mutated — snapshots sharing them stay
+	// valid). See dict.go.
+	dict        []string
+	dictMap     map[string]int32
+	codes       []int32
+	dictOff     bool
+	zoneMinCode []int32
+	zoneMaxCode []int32
 }
 
 // NewColumn creates an empty column of the given kind.
@@ -83,6 +100,7 @@ func (c *Column) Append(v types.Value) {
 		}
 		c.strs = append(c.strs, s)
 		c.updateZoneStr(idx, s, !v.IsNull())
+		c.appendDict(idx, s, !v.IsNull())
 	}
 	c.updateZone(idx, numeric, hasNumeric)
 }
@@ -212,6 +230,11 @@ func (c *Column) ApproxBytes() int64 {
 	for i := range c.zoneMinStr {
 		b += int64(len(c.zoneMinStr[i])+len(c.zoneMaxStr[i])) + 1
 	}
+	b += int64(len(c.codes)) * 4
+	for _, s := range c.dict {
+		b += int64(len(s)) + 16
+	}
+	b += int64(len(c.zoneMinCode)+len(c.zoneMaxCode)) * 4
 	return b
 }
 
@@ -220,9 +243,10 @@ func (c *Column) Blocks() int { return len(c.zoneMin) }
 
 // ZoneMapEntries counts the zone-map slots maintained for the column: a
 // numeric min/max pair per block, plus a string min/max pair per block for
-// string columns. Feeds the resource accounting of the ops plane.
+// string columns, plus a code-range pair per block for dictionary-encoded
+// columns. Feeds the resource accounting of the ops plane.
 func (c *Column) ZoneMapEntries() int {
-	return len(c.zoneMin) + len(c.zoneStrOk)
+	return len(c.zoneMin) + len(c.zoneStrOk) + len(c.zoneMinCode)
 }
 
 func (c *Column) String() string {

@@ -79,13 +79,19 @@ func (t *Table) logLocked(kind TableOpKind, base int, rows []types.Row, srcIDs [
 
 // ColumnData is one column's raw payload, as captured for a segment file and
 // as loaded back from one. Zone maps are not part of it: they are rebuilt on
-// restore.
+// restore. For dictionary-encoded string columns Dict and Codes carry the
+// dictionary (in code order) and the per-row codes alongside Strs; the
+// segment encoder persists the dictionary form (each distinct string stored
+// once) and the decoder re-materializes Strs, so consumers can always read
+// Strs regardless of how the column travelled.
 type ColumnData struct {
 	Kind   types.Kind
 	Ints   []int64
 	Floats []float64
 	Strs   []string
 	Nulls  []bool
+	Dict   []string
+	Codes  []int32
 }
 
 // TableSnapshot is a consistent point-in-time image of a table, cheap enough
@@ -129,6 +135,11 @@ func (t *Table) Snapshot() *TableSnapshot {
 			cd.Floats = c.floats[:n:n]
 		default:
 			cd.Strs = c.strs[:n:n]
+			if c.DictEncoded() {
+				d := len(c.dict)
+				cd.Dict = c.dict[:d:d]
+				cd.Codes = c.codes[:n:n]
+			}
 		}
 		cd.Nulls = c.nulls[:n:n]
 		snap.Cols[i] = cd
@@ -164,6 +175,11 @@ func restoreColumn(cd ColumnData, n int) *Column {
 		for i := 0; i < n; i++ {
 			c.updateZone(i, 0, false)
 			c.updateZoneStr(i, c.strs[i], !c.nulls[i])
+			// Rebuild the dictionary by append order — the same first-
+			// appearance walk the live column performed, so the restored
+			// dictionary (codes included) is identical, and a column that
+			// spilled spills again at the same row.
+			c.appendDict(i, c.strs[i], !c.nulls[i])
 		}
 	}
 	return c

@@ -34,6 +34,14 @@ type SimplePredicate struct {
 	Value   types.Value
 	numeric float64
 	isNum   bool
+
+	// Dictionary resolution (filled by resolveDictPredicates under the scan's
+	// read lock when the column is dictionary-encoded): dictMatch[code]
+	// reports whether dict[code] satisfies the predicate, dictEq is the
+	// literal's own code (-1 when absent from the dictionary).
+	dictMatch    []bool
+	dictEq       int32
+	dictResolved bool
 }
 
 // NewSimplePredicate builds a pushdown predicate.
@@ -53,6 +61,23 @@ func NewSimplePredicate(colIdx int, op CompareOp, v types.Value) SimplePredicate
 // pruning can only ever skip blocks that provably hold no matching row.
 func (p SimplePredicate) blockMayMatch(col *Column, block int) bool {
 	if p.Value.Kind == types.KindString && col.Kind == types.KindString {
+		if p.dictResolved && col.DictEncoded() {
+			// Dictionary code ranges: codes are assigned in first-appearance
+			// order, so they prune equality exactly and detect single-code
+			// blocks; ordered operators fall through to the string zone map.
+			minC, maxC, ok := col.BlockCodeRange(block)
+			if !ok {
+				return false
+			}
+			switch p.Op {
+			case CmpEq:
+				return p.dictEq >= minC && p.dictEq <= maxC
+			case CmpNe:
+				if minC == maxC && minC == p.dictEq {
+					return false
+				}
+			}
+		}
 		min, max, ok := col.BlockStringRange(block)
 		if !ok {
 			// Block contains only NULLs; NULL never satisfies a comparison.

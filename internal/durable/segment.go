@@ -21,7 +21,14 @@ import (
 // everything before it]. Zone maps, bySrc indexes and planner statistics are
 // not stored; they are rebuilt on load.
 
-const segVersion = 1
+const (
+	segVersion = 1
+	// segVersionDict marks a column segment whose string payload is stored
+	// dictionary-encoded: the distinct strings once (in code order) followed
+	// by one uvarint code per row. Plain payloads keep writing version 1, so
+	// every pre-dictionary segment on disk still decodes unchanged.
+	segVersionDict = 2
+)
 
 var (
 	magicMeta = [4]byte{'I', 'D', 'X', 'M'}
@@ -37,21 +44,28 @@ func sealSegment(b []byte) []byte {
 
 // openSegment validates magic, version and CRC and returns the body.
 func openSegment(data []byte, magic [4]byte) ([]byte, error) {
+	body, _, err := openSegmentVer(data, magic, segVersion)
+	return body, err
+}
+
+// openSegmentVer is openSegment for formats with more than one live version:
+// it accepts versions 1..maxVer and reports which one the segment carries.
+func openSegmentVer(data []byte, magic [4]byte, maxVer byte) ([]byte, byte, error) {
 	if len(data) < 9 {
-		return nil, fmt.Errorf("%w: segment of %d bytes", ErrCorrupt, len(data))
+		return nil, 0, fmt.Errorf("%w: segment of %d bytes", ErrCorrupt, len(data))
 	}
 	if data[0] != magic[0] || data[1] != magic[1] || data[2] != magic[2] || data[3] != magic[3] {
-		return nil, fmt.Errorf("%w: bad segment magic %q", ErrCorrupt, string(data[:4]))
+		return nil, 0, fmt.Errorf("%w: bad segment magic %q", ErrCorrupt, string(data[:4]))
 	}
-	if data[4] != segVersion {
-		return nil, fmt.Errorf("%w: unsupported segment version %d", ErrCorrupt, data[4])
+	if data[4] == 0 || data[4] > maxVer {
+		return nil, 0, fmt.Errorf("%w: unsupported segment version %d", ErrCorrupt, data[4])
 	}
 	body := data[:len(data)-4]
 	want := binary.LittleEndian.Uint32(data[len(data)-4:])
 	if crc32.ChecksumIEEE(body) != want {
-		return nil, fmt.Errorf("%w: segment checksum mismatch", ErrCorrupt)
+		return nil, 0, fmt.Errorf("%w: segment checksum mismatch", ErrCorrupt)
 	}
-	return body[5:], nil
+	return body[5:], data[4], nil
 }
 
 func appendSchema(b []byte, s types.Schema) []byte {
@@ -154,12 +168,20 @@ func DecodeTableMeta(data []byte) (*colstore.TableSnapshot, error) {
 // Column segments
 // ---------------------------------------------------------------------------
 
-// EncodeColumnSegment serialises one column's payload vector.
+// EncodeColumnSegment serialises one column's payload vector. A dictionary-
+// encoded string column (Dict/Codes populated) writes a version-2 segment
+// that stores each distinct string once plus one small code per row; every
+// other payload keeps the version-1 format.
 func EncodeColumnSegment(cd colstore.ColumnData) []byte {
-	b := append([]byte(nil), magicCol[:]...)
-	b = append(b, segVersion)
-	b = append(b, byte(cd.Kind))
 	n := len(cd.Nulls)
+	dict := cd.Kind == types.KindString && len(cd.Dict) > 0 && len(cd.Codes) == n
+	b := append([]byte(nil), magicCol[:]...)
+	if dict {
+		b = append(b, segVersionDict)
+	} else {
+		b = append(b, segVersion)
+	}
+	b = append(b, byte(cd.Kind))
 	b = appendUvarint(b, uint64(n))
 	for _, isNull := range cd.Nulls {
 		if isNull {
@@ -168,12 +190,20 @@ func EncodeColumnSegment(cd colstore.ColumnData) []byte {
 			b = append(b, 0)
 		}
 	}
-	switch cd.Kind {
-	case types.KindInt, types.KindTimestamp, types.KindBool:
+	switch {
+	case dict:
+		b = appendUvarint(b, uint64(len(cd.Dict)))
+		for _, s := range cd.Dict {
+			b = appendString(b, s)
+		}
+		for _, code := range cd.Codes {
+			b = appendUvarint(b, uint64(code))
+		}
+	case cd.Kind == types.KindInt, cd.Kind == types.KindTimestamp, cd.Kind == types.KindBool:
 		for _, v := range cd.Ints {
 			b = appendVarint(b, v)
 		}
-	case types.KindFloat:
+	case cd.Kind == types.KindFloat:
 		var buf [8]byte
 		for _, v := range cd.Floats {
 			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
@@ -191,7 +221,7 @@ func EncodeColumnSegment(cd colstore.ColumnData) []byte {
 // it never panics (fuzzed).
 func DecodeColumnSegment(data []byte) (colstore.ColumnData, error) {
 	var cd colstore.ColumnData
-	body, err := openSegment(data, magicCol)
+	body, ver, err := openSegmentVer(data, magicCol, segVersionDict)
 	if err != nil {
 		return cd, err
 	}
@@ -204,6 +234,9 @@ func DecodeColumnSegment(data []byte) (colstore.ColumnData, error) {
 	if cd.Kind > types.KindTimestamp {
 		return cd, fmt.Errorf("%w: unknown column kind %d", ErrCorrupt, k)
 	}
+	if ver == segVersionDict && cd.Kind != types.KindString {
+		return cd, fmt.Errorf("%w: dictionary segment for non-string kind %d", ErrCorrupt, k)
+	}
 	n, err := d.count(1)
 	if err != nil {
 		return cd, err
@@ -215,6 +248,15 @@ func DecodeColumnSegment(data []byte) (colstore.ColumnData, error) {
 			return cd, err
 		}
 		cd.Nulls[i] = v != 0
+	}
+	if ver == segVersionDict {
+		if err := decodeDictPayload(d, &cd, n); err != nil {
+			return cd, err
+		}
+		if d.remaining() != 0 {
+			return cd, fmt.Errorf("%w: %d trailing bytes in column segment", ErrCorrupt, d.remaining())
+		}
+		return cd, nil
 	}
 	switch cd.Kind {
 	case types.KindInt, types.KindTimestamp, types.KindBool:
@@ -245,6 +287,40 @@ func DecodeColumnSegment(data []byte) (colstore.ColumnData, error) {
 		return cd, fmt.Errorf("%w: %d trailing bytes in column segment", ErrCorrupt, d.remaining())
 	}
 	return cd, nil
+}
+
+// decodeDictPayload parses a version-2 string payload: the dictionary, then
+// one code per row. It re-materializes Strs so every ColumnData consumer can
+// keep reading raw strings; NULL rows canonicalize to code 0 / "" exactly as
+// the live column stores them.
+func decodeDictPayload(d *decoder, cd *colstore.ColumnData, n int) error {
+	dn, err := d.count(1)
+	if err != nil {
+		return err
+	}
+	cd.Dict = make([]string, dn)
+	for i := range cd.Dict {
+		if cd.Dict[i], err = d.string(); err != nil {
+			return err
+		}
+	}
+	cd.Codes = make([]int32, n)
+	cd.Strs = make([]string, n)
+	for i := 0; i < n; i++ {
+		code, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if cd.Nulls[i] {
+			continue
+		}
+		if code >= uint64(dn) {
+			return fmt.Errorf("%w: dictionary code %d out of range (%d entries)", ErrCorrupt, code, dn)
+		}
+		cd.Codes[i] = int32(code)
+		cd.Strs[i] = cd.Dict[code]
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------

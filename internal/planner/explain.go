@@ -129,6 +129,9 @@ func (p *Plan) treeLines(a *Actuals) []string {
 		if s.KeyJoin {
 			head += " [co-located on distribution keys]"
 		}
+		if s.Vectorized {
+			head += " [vectorized batch]"
+		}
 		out := []string{head}
 		for _, l := range render(step - 1) {
 			out = append(out, "  "+l)
@@ -162,6 +165,9 @@ func (p *Plan) scanLine(i int, a *Actuals) string {
 	}
 	if scan.Known && scan.Info.Stats.Analyzed {
 		sb.WriteString(" (analyzed)")
+	}
+	if scan.Encoding != "" {
+		fmt.Fprintf(&sb, " encoding=%s", scan.Encoding)
 	}
 	if scan.Broadcast {
 		sb.WriteString(" [broadcast]")

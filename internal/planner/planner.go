@@ -124,6 +124,10 @@ type ScanNode struct {
 	// Broadcast marks a table replicated to every participating shard by a
 	// PlacementBroadcast plan.
 	Broadcast bool
+	// Encoding summarises the table's non-plain column encodings for EXPLAIN
+	// ("dict(cat:3,grp:5)"); empty when every column is plain. The backend
+	// annotates it after planning — the planner itself is storage-agnostic.
+	Encoding string
 }
 
 // JoinStep is one left-deep join step: joining Plan.Sel.From[i] (i = step
@@ -140,6 +144,10 @@ type JoinStep struct {
 	EstRows float64
 	// EstCost is the cumulative cost up to and including this step.
 	EstCost float64
+	// Vectorized reports that the executing backend runs this step as a batch
+	// hash join (build over column batches, probe with selection vectors).
+	// Annotated by the backend alongside Plan.VectorizedMode.
+	Vectorized bool
 }
 
 // Plan is a planned SELECT.

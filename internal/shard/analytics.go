@@ -85,11 +85,36 @@ func (r *Router) CallShardLocal(txnID int64, table, proc string, fn accel.ShardL
 // CallShardLocalTraced is CallShardLocal with a trace span: every member's
 // partition (scan plus partial computation) nests under sp as its own child,
 // so an analytics CALL's trace shows the same per-shard fan-out a query's
-// does. sp may be nil.
+// does. sp may be nil. It is the collecting form of the streaming seam below:
+// the merge callback just appends (ordinal order makes that a plain append),
+// so callers that genuinely need every partial at once — the multi-round
+// trainers iterating over retained per-shard feature matrices — get them,
+// while single-pass merges use CallShardLocalStream and never hold more than
+// the out-of-order tail.
 func (r *Router) CallShardLocalTraced(txnID int64, table, proc string, sp *obs.Span, fn accel.ShardLocalFunc) ([]any, error) {
-	meta, err := r.meta(table)
+	var out []any
+	err := r.CallShardLocalStream(txnID, table, proc, sp, fn, func(_ int, partial any) error {
+		out = append(out, partial)
+		return nil
+	})
 	if err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// CallShardLocalStream implements the streaming analytics seam across the
+// fleet: fn runs concurrently on every member, and merge consumes each
+// shard's partial at the coordinator in shard-ordinal order as soon as it
+// (and every lower ordinal) has completed. Partials that finish out of order
+// wait in their slot and are released right after merging, so the
+// coordinator's footprint is the merge state plus the unmerged tail — not
+// one partial per shard. The rebalance-safety argument of CallShardLocal
+// (migration fence held shared, snapshots fenced together) applies unchanged.
+func (r *Router) CallShardLocalStream(txnID int64, table, proc string, sp *obs.Span, fn accel.ShardLocalFunc, merge func(ordinal int, partial any) error) error {
+	meta, err := r.meta(table)
+	if err != nil {
+		return err
 	}
 	meta.migMu.RLock()
 	defer meta.migMu.RUnlock()
@@ -99,15 +124,18 @@ func (r *Router) CallShardLocalTraced(txnID int64, table, proc string, sp *obs.S
 
 	partials := make([]any, len(ms))
 	errs := make([]error, len(ms))
+	ready := make([]chan struct{}, len(ms))
 	var wg sync.WaitGroup
 	for i, m := range ms {
 		m.NoteQuery()
+		ready[i] = make(chan struct{})
 		psp := sp.Child("partition")
 		psp.Label(obs.LabelShard, m.Name())
 		psp.Label(obs.LabelTable, types.NormalizeName(table))
 		wg.Add(1)
 		go func(i int, m *accel.Accelerator, snap *accel.Snapshot, psp *obs.Span) {
 			defer wg.Done()
+			defer close(ready[i])
 			defer psp.Finish()
 			rows, err := m.ScanVisibleTraced(snap, table, nil, sqlparse.FromItem{Table: types.NormalizeName(table)}, psp)
 			if err != nil {
@@ -128,12 +156,21 @@ func (r *Router) CallShardLocalTraced(txnID int64, table, proc string, sp *obs.S
 			})
 		}(i, m, snaps[i], psp)
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			r.emitScatterFailure(ms[i].Name(), types.NormalizeName(table), proc, err)
-			return nil, fmt.Errorf("shard %s: %w", ms[i].Name(), err)
+	var callErr error
+	for i := range ms {
+		<-ready[i]
+		if errs[i] != nil {
+			r.emitScatterFailure(ms[i].Name(), types.NormalizeName(table), proc, errs[i])
+			if callErr == nil {
+				callErr = fmt.Errorf("shard %s: %w", ms[i].Name(), errs[i])
+			}
+			continue
 		}
+		if callErr == nil {
+			callErr = merge(i, partials[i])
+		}
+		partials[i] = nil
 	}
-	return partials, nil
+	wg.Wait()
+	return callErr
 }

@@ -10,6 +10,7 @@ import (
 	"idaax/internal/obs"
 	"idaax/internal/obs/eventlog"
 	"idaax/internal/planner"
+	"idaax/internal/relalg"
 	"idaax/internal/sqlparse"
 	"idaax/internal/stats"
 	"idaax/internal/types"
@@ -112,6 +113,16 @@ type Stats struct {
 	// TwoPhaseAggregates counts SELECTs executed as partial aggregation on the
 	// shards with finalization at the coordinator.
 	TwoPhaseAggregates int64
+	// TwoPhaseFrames counts binary aggregation frames shipped shard ->
+	// coordinator by two-phase statements (one per participating shard).
+	TwoPhaseFrames int64
+	// TwoPhaseFrameBytes is the actual wire size of those frames: fixed-width
+	// binary group keys and accumulator states, strings as dictionary codes.
+	TwoPhaseFrameBytes int64
+	// TwoPhaseTextBytes estimates what the same partials would have cost with
+	// the classic encoding (every value re-rendered as text), so the frame
+	// saving is directly measurable as TwoPhaseTextBytes - TwoPhaseFrameBytes.
+	TwoPhaseTextBytes int64
 	// RowsGathered counts base-table rows shipped from shards to the
 	// coordinator by scatter-gather queries.
 	RowsGathered int64
@@ -286,6 +297,8 @@ func (r *Router) Stats() accel.Stats {
 		out.RowsReturned += st.RowsReturned
 		out.DMLStatements += st.DMLStatements
 		out.VectorizedQueries += st.VectorizedQueries
+		out.VectorizedJoins += st.VectorizedJoins
+		out.VexecFallbacks += st.VexecFallbacks
 		out.Slices += st.Slices
 	}
 	out.Tables = tables
@@ -350,6 +363,9 @@ func (r *Router) ShardingStats() Stats {
 		QueriesRouted:             atomic.LoadInt64(&r.stats.QueriesRouted),
 		QueriesPruned:             atomic.LoadInt64(&r.stats.QueriesPruned),
 		TwoPhaseAggregates:        atomic.LoadInt64(&r.stats.TwoPhaseAggregates),
+		TwoPhaseFrames:            atomic.LoadInt64(&r.stats.TwoPhaseFrames),
+		TwoPhaseFrameBytes:        atomic.LoadInt64(&r.stats.TwoPhaseFrameBytes),
+		TwoPhaseTextBytes:         atomic.LoadInt64(&r.stats.TwoPhaseTextBytes),
 		RowsGathered:              atomic.LoadInt64(&r.stats.RowsGathered),
 		ColocatedJoins:            atomic.LoadInt64(&r.stats.ColocatedJoins),
 		BroadcastJoins:            atomic.LoadInt64(&r.stats.BroadcastJoins),
@@ -576,20 +592,60 @@ func (r *Router) Explain(sel *sqlparse.SelectStmt) (*planner.Plan, error) {
 // carries the statement (the members execute pruned/scattered statements, so
 // the single-table eligibility rules apply shard-side too).
 func (r *Router) annotateVectorized(pl *planner.Plan, sel *sqlparse.SelectStmt) {
+	// Column encodings are per-member physical state; members of a healthy
+	// fleet converge on the same dictionaries, so the first member's tables
+	// stand in for the fleet in the plan display. Reported whether or not the
+	// batch engine runs the statement.
+	if ms := r.Members(); len(ms) > 0 {
+		for i, scan := range pl.Scans {
+			if scan.Item.Subquery != nil {
+				continue
+			}
+			if t, err := ms[0].Table(scan.Item.Table); err == nil {
+				pl.Scans[i].Encoding = accel.EncodingSummary(t)
+			}
+		}
+	}
 	if !r.VectorizedEnabled() {
 		return
 	}
 	pl.Vectorized = true
 	pl.VectorizedMode = vexec.ModeScan
-	if len(sel.From) != 1 || sel.From[0].Subquery != nil {
-		return
+	// Annotate from the planner-rewritten statement — members execute pl.Sel
+	// with pl.Methods, not the original FROM order.
+	if pl.Sel != nil {
+		sel = pl.Sel
 	}
-	meta, err := r.meta(sel.From[0].Table)
-	if err != nil {
-		return
-	}
-	if p, ok := vexec.PlanQuery(sel, meta.schema); ok {
-		pl.VectorizedMode = p.Mode()
+	switch {
+	case len(sel.From) == 1 && sel.From[0].Subquery == nil:
+		meta, err := r.meta(sel.From[0].Table)
+		if err != nil {
+			return
+		}
+		if p, ok := vexec.PlanQuery(sel, meta.schema); ok {
+			pl.VectorizedMode = p.Mode()
+		}
+	case len(sel.From) == 2 && sel.From[0].Subquery == nil && sel.From[1].Subquery == nil:
+		// Broadcast and gather placements substitute or move relations, so the
+		// members cannot run the join from column batches there.
+		if pl.Placement != planner.PlacementColocated {
+			return
+		}
+		lm, lerr := r.meta(sel.From[0].Table)
+		rm, rerr := r.meta(sel.From[1].Table)
+		if lerr != nil || rerr != nil {
+			return
+		}
+		method := relalg.MethodAuto
+		if len(pl.Methods) > 0 {
+			method = pl.Methods[0]
+		}
+		if p, ok := vexec.PlanJoin(sel, lm.schema, rm.schema, method); ok {
+			pl.VectorizedMode = p.Mode()
+			if len(pl.Steps) > 0 {
+				pl.Steps[0].Vectorized = true
+			}
+		}
 	}
 }
 

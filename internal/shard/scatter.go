@@ -493,6 +493,64 @@ func (r *Router) scatterQuery(txnID int64, sel *sqlparse.SelectStmt, ms []*accel
 	return union, nil
 }
 
+// scatterPartials runs the partial-aggregate statement on the given members
+// concurrently and ships each shard's result to the coordinator as a binary
+// aggregation frame (frame.go): fixed-width tagged group keys and accumulator
+// states, with repeated strings collapsed to int32 codes into per-column
+// mini-dictionaries. The coordinator decodes the frames and concatenates them
+// in member order — the same union scatterQuery would produce, at a fraction
+// of the wire bytes of re-rendered text rows. The frame/byte counters record
+// both the actual frame size and the estimated classic text size, so the
+// saving is observable per statement.
+func (r *Router) scatterPartials(txnID int64, sel *sqlparse.SelectStmt, ms []*accel.Accelerator, snaps []*accel.Snapshot, members []int, sp *obs.Span) (*relalg.Relation, error) {
+	ssp := sp.Child("scatter")
+	ssp.Add(obs.KeyShards, int64(len(members)))
+	defer ssp.Finish()
+	frames := make([][]byte, len(members))
+	textBytes := make([]int64, len(members))
+	errs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i, p := range members {
+		qsp := ssp.Child("shard")
+		qsp.Label(obs.LabelShard, ms[p].Name())
+		wg.Add(1)
+		go func(i int, m *accel.Accelerator, snap *accel.Snapshot, qsp *obs.Span) {
+			defer wg.Done()
+			defer qsp.Finish()
+			rel, err := m.QueryAtTraced(txnID, snap, sel, qsp)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			frames[i] = encodeAggFrame(rel)
+			textBytes[i] = textWireBytes(rel)
+		}(i, ms[p], snaps[p], qsp)
+	}
+	wg.Wait()
+	union := &relalg.Relation{}
+	var frameTotal, textTotal int64
+	for i := range members {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("shard %s: %w", ms[members[i]].Name(), errs[i])
+		}
+		part, err := decodeAggFrame(frames[i])
+		if err != nil {
+			return nil, fmt.Errorf("shard %s: %w", ms[members[i]].Name(), err)
+		}
+		frameTotal += int64(len(frames[i]))
+		textTotal += textBytes[i]
+		if union.Cols == nil {
+			union.Cols = part.Cols
+		}
+		union.Rows = append(union.Rows, part.Rows...)
+	}
+	atomic.AddInt64(&r.stats.TwoPhaseFrames, int64(len(members)))
+	atomic.AddInt64(&r.stats.TwoPhaseFrameBytes, frameTotal)
+	atomic.AddInt64(&r.stats.TwoPhaseTextBytes, textTotal)
+	atomic.AddInt64(&r.stats.RowsGathered, int64(len(union.Rows)))
+	return union, nil
+}
+
 // executeTwoPhase scatters the partial-aggregate statement to the members
 // (all of them when members is nil) and finalises the merged partials at the
 // coordinator.
@@ -505,7 +563,7 @@ func (r *Router) executeTwoPhase(txnID int64, plan *twoPhasePlan, members []int,
 }
 
 func (r *Router) executeTwoPhaseOn(txnID int64, plan *twoPhasePlan, ms []*accel.Accelerator, snaps []*accel.Snapshot, members []int, sp *obs.Span) (*relalg.Relation, error) {
-	union, err := r.scatterQuery(txnID, plan.shardSel, ms, snaps, members, sp)
+	union, err := r.scatterPartials(txnID, plan.shardSel, ms, snaps, members, sp)
 	if err != nil {
 		return nil, err
 	}

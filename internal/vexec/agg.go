@@ -43,6 +43,16 @@ type aggPlan struct {
 	offset    int64
 }
 
+// aggInput abstracts the column space analyzeAgg plans over: the single
+// table of a Plan or the combined left+right columns of a JoinPlan. resolveCol
+// maps a reference to its input column index (-1 for foreign or ambiguous
+// references, which decline the aggregate plan — the row operators above then
+// reproduce the row path's semantics, errors included).
+type aggInput interface {
+	resolveCol(ref *sqlparse.ColumnRef) int
+	inputCols() []expr.InputColumn
+}
+
 // analyzeAgg decides whether grouping and aggregation run vectorized and
 // builds the aggregate plan. It declines (returning nil, which keeps the
 // vectorized scan+filter and row operators above it) whenever the statement
@@ -51,7 +61,7 @@ type aggPlan struct {
 // bare columns, select items other than group columns / supported aggregates
 // over bare columns / literals, or SUM-family aggregates over string columns
 // (the row engine coerces numeric strings; the typed loops do not).
-func analyzeAgg(sel *sqlparse.SelectStmt, p *Plan) *aggPlan {
+func analyzeAgg(sel *sqlparse.SelectStmt, p aggInput) *aggPlan {
 	if !relalg.NeedsAggregation(sel) {
 		return nil
 	}
@@ -64,20 +74,20 @@ func analyzeAgg(sel *sqlparse.SelectStmt, p *Plan) *aggPlan {
 		if !ok {
 			return nil
 		}
-		ci := p.resolve(ref)
+		ci := p.resolveCol(ref)
 		if ci < 0 {
 			return nil
 		}
 		ap.groupIdxs = append(ap.groupIdxs, ci)
 	}
-	env := expr.NewEnv(p.cols)
+	env := expr.NewEnv(p.inputCols())
 	for i, item := range sel.Items {
 		if item.Star {
 			return nil
 		}
 		switch n := item.Expr.(type) {
 		case *sqlparse.ColumnRef:
-			ci := p.resolve(n)
+			ci := p.resolveCol(n)
 			if ci < 0 {
 				return nil
 			}
@@ -115,7 +125,7 @@ func analyzeAgg(sel *sqlparse.SelectStmt, p *Plan) *aggPlan {
 	return ap
 }
 
-func aggSpecFor(fc *sqlparse.FuncCall, p *Plan) (aggSpec, bool) {
+func aggSpecFor(fc *sqlparse.FuncCall, p aggInput) (aggSpec, bool) {
 	if !fc.IsAggregate() || fc.Distinct {
 		return aggSpec{}, false
 	}
@@ -138,11 +148,11 @@ func aggSpecFor(fc *sqlparse.FuncCall, p *Plan) (aggSpec, bool) {
 	if !ok {
 		return aggSpec{}, false
 	}
-	ci := p.resolve(ref)
+	ci := p.resolveCol(ref)
 	if ci < 0 {
 		return aggSpec{}, false
 	}
-	kind := p.schema.Columns[ci].Kind
+	kind := p.inputCols()[ci].Kind
 	switch name {
 	case "SUM", "AVG", "STDDEV", "VARIANCE":
 		if kind == types.KindString {
@@ -421,9 +431,16 @@ func (p *Plan) runAggregate(t *colstore.Table, slices int, vis colstore.Visibili
 	if err != nil {
 		return nil, stats, err
 	}
+	return finalizeGroups(ap, workers), stats, nil
+}
 
-	// Merge worker partials in worker order (deterministic, like the row
-	// engine's parallel group merge).
+// finalizeGroups merges worker partials in worker order (deterministic, like
+// the row engine's parallel group merge — worker ranges are contiguous and
+// ordered, so the merged order is first-occurrence order over the full row
+// stream), synthesizes the single group of a global aggregate over zero rows,
+// and projects the output relation with LIMIT/OFFSET applied. Shared by the
+// single-table and join probes.
+func finalizeGroups(ap *aggPlan, workers []*workerAgg) *relalg.Relation {
 	merged := make(map[string]*group)
 	var order []*group
 	for _, w := range workers {
@@ -465,7 +482,7 @@ func (p *Plan) runAggregate(t *colstore.Table, slices int, vis colstore.Visibili
 		out.Rows = append(out.Rows, row)
 	}
 	applyLimit(out, ap.limit, ap.offset)
-	return out, stats, nil
+	return out
 }
 
 // accumulateVector folds one aggregate's argument column into the per-row
@@ -509,33 +526,38 @@ func accumulateVector(spec *aggSpec, ai int, b *colstore.Batch, sel []int, gids 
 // exactly when the row engine's string GroupKey would group them together.
 func encodeGroupKey(buf []byte, b *colstore.Batch, idxs []int, off int) []byte {
 	for _, ci := range idxs {
-		v := b.Cols[ci]
-		if v.Nulls[off] {
-			buf = append(buf, 0x00)
-			continue
-		}
-		switch {
-		case v.Ints != nil:
-			buf = append(buf, 0x01)
-			buf = appendU64(buf, uint64(v.Ints[off]))
-		case v.Floats != nil:
-			f := v.Floats[off]
-			if f == 0 {
-				f = 0 // normalize -0.0 to +0.0, like GroupKey's integral formatting
-			}
-			if math.IsNaN(f) {
-				f = math.NaN() // canonical NaN payload, like GroupKey's "NaN" text
-			}
-			buf = append(buf, 0x02)
-			buf = appendU64(buf, math.Float64bits(f))
-		default:
-			s := v.Strs[off]
-			buf = append(buf, 0x03)
-			buf = appendU64(buf, uint64(len(s)))
-			buf = append(buf, s...)
-		}
+		buf = appendGroupVal(buf, b.Cols[ci], off)
 	}
 	return buf
+}
+
+// appendGroupVal appends one column's group-key encoding for the row at off.
+// The join probe shares it for left-side group columns (buildCol.appendGroupVal
+// is its slot-side mirror).
+func appendGroupVal(buf []byte, v colstore.Vector, off int) []byte {
+	if v.Nulls[off] {
+		return append(buf, 0x00)
+	}
+	switch {
+	case v.Ints != nil:
+		buf = append(buf, 0x01)
+		return appendU64(buf, uint64(v.Ints[off]))
+	case v.Floats != nil:
+		f := v.Floats[off]
+		if f == 0 {
+			f = 0 // normalize -0.0 to +0.0, like GroupKey's integral formatting
+		}
+		if math.IsNaN(f) {
+			f = math.NaN() // canonical NaN payload, like GroupKey's "NaN" text
+		}
+		buf = append(buf, 0x02)
+		return appendU64(buf, math.Float64bits(f))
+	default:
+		s := v.Strs[off]
+		buf = append(buf, 0x03)
+		buf = appendU64(buf, uint64(len(s)))
+		return append(buf, s...)
+	}
 }
 
 func appendU64(buf []byte, u uint64) []byte {

@@ -43,6 +43,13 @@ const (
 	// ModeScanFilterAggregate runs the whole statement vectorized, including
 	// hash aggregation with binary group keys.
 	ModeScanFilterAggregate = "scan+filter+aggregate"
+	// ModeJoin is a vectorized hash join (build and probe over column
+	// batches, binary join keys); row operators run above the joined
+	// relation.
+	ModeJoin = "hash-join"
+	// ModeJoinAggregate additionally folds grouping/aggregation into the
+	// probe: no joined row is ever materialized.
+	ModeJoinAggregate = "hash-join+aggregate"
 )
 
 // nullCheck is a vectorized IS [NOT] NULL conjunct.
@@ -296,6 +303,10 @@ func (p *Plan) resolve(ref *sqlparse.ColumnRef) int {
 	}
 	return p.schema.IndexOf(ref.Name)
 }
+
+// resolveCol and inputCols implement aggInput.
+func (p *Plan) resolveCol(ref *sqlparse.ColumnRef) int { return p.resolve(ref) }
+func (p *Plan) inputCols() []expr.InputColumn          { return p.cols }
 
 // SimpleComparison recognises "col <op> literal" and "literal <op> col"
 // comparisons with a non-NULL literal, normalising the latter by flipping the

@@ -56,19 +56,19 @@ func TestExplainGolden(t *testing.T) {
 			sys:  sharded,
 			sql:  "SELECT o.oid, c.name FROM orders o JOIN customers c ON o.customer_id = c.id",
 			want: `estimated cost=1257.0 rows=400
-execution: vectorized (scan)
+execution: vectorized (hash-join)
 placement: co-located, shard-local execution on all 3 shards
-HASH JOIN (O.CUSTOMER_ID = C.ID) rows=400 cost=1257.0 [co-located on distribution keys]
-  SCAN ORDERS O rows=400/400 (analyzed)
-  SCAN CUSTOMERS C rows=59/59 (analyzed)
+HASH JOIN (O.CUSTOMER_ID = C.ID) rows=400 cost=1257.0 [co-located on distribution keys] [vectorized batch]
+  SCAN ORDERS O rows=400/400 (analyzed) encoding=dict(region:3)
+  SCAN CUSTOMERS C rows=59/59 (analyzed) encoding=dict(name:27,segment:3)
 `,
 			wantAnalyze: `estimated cost=1257.0 rows=400
 actual rows=400 time=<t>
-execution: vectorized (scan)
+execution: vectorized (hash-join)
 placement: co-located, shard-local execution on all 3 shards
-HASH JOIN (O.CUSTOMER_ID = C.ID) rows=400 cost=1257.0 [co-located on distribution keys]
-  SCAN ORDERS O rows=400/400 (analyzed) (actual rows=400 time=<t> shards=3)
-  SCAN CUSTOMERS C rows=59/59 (analyzed) (actual rows=59 time=<t> shards=3)
+HASH JOIN (O.CUSTOMER_ID = C.ID) rows=400 cost=1257.0 [co-located on distribution keys] [vectorized batch]
+  SCAN ORDERS O rows=400/400 (analyzed) encoding=dict(region:3) (actual rows=400 time=<t> shards=3)
+  SCAN CUSTOMERS C rows=59/59 (analyzed) encoding=dict(name:27,segment:3) (actual rows=59 time=<t> shards=3)
 `,
 		},
 		{
@@ -79,16 +79,16 @@ HASH JOIN (O.CUSTOMER_ID = C.ID) rows=400 cost=1257.0 [co-located on distributio
 execution: vectorized (scan)
 placement: broadcast L to all 3 shards, join shard-local
 HASH JOIN (O.REGION = L.REGION) rows=133 cost=955.7
-  SCAN ORDERS O rows=400/400 (analyzed)
-  SCAN LOOKUP L rows=3/3 (analyzed) [broadcast]
+  SCAN ORDERS O rows=400/400 (analyzed) encoding=dict(region:3)
+  SCAN LOOKUP L rows=3/3 (analyzed) encoding=dict(region:1) [broadcast]
 `,
 			wantAnalyze: `estimated cost=955.7 rows=133
 actual rows=3 time=<t>
 execution: vectorized (scan)
 placement: broadcast L to all 3 shards, join shard-local
 HASH JOIN (O.REGION = L.REGION) rows=133 cost=955.7
-  SCAN ORDERS O rows=400/400 (analyzed) (actual rows=400 time=<t> shards=3)
-  SCAN LOOKUP L rows=3/3 (analyzed) [broadcast] (actual rows=3 time=<t> shards=3)
+  SCAN ORDERS O rows=400/400 (analyzed) encoding=dict(region:3) (actual rows=400 time=<t> shards=3)
+  SCAN LOOKUP L rows=3/3 (analyzed) encoding=dict(region:1) [broadcast] (actual rows=3 time=<t> shards=3)
 `,
 		},
 		{
@@ -98,13 +98,13 @@ HASH JOIN (O.REGION = L.REGION) rows=133 cost=955.7
 			want: `estimated cost=6.8 rows=7
 execution: vectorized (scan+filter+aggregate)
 placement: single shard 0 of 3 (pruned by distribution key)
-SCAN ORDERS rows=7/400 pushdown=[CUSTOMER_ID = 7] (analyzed) [shards 0]
+SCAN ORDERS rows=7/400 pushdown=[CUSTOMER_ID = 7] (analyzed) encoding=dict(region:3) [shards 0]
 `,
 			wantAnalyze: `estimated cost=6.8 rows=7
 actual rows=1 time=<t>
 execution: vectorized (scan+filter+aggregate)
 placement: single shard 0 of 3 (pruned by distribution key)
-SCAN ORDERS rows=7/400 pushdown=[CUSTOMER_ID = 7] (analyzed) [shards 0] (actual rows=7 time=<t>)
+SCAN ORDERS rows=7/400 pushdown=[CUSTOMER_ID = 7] (analyzed) encoding=dict(region:3) [shards 0] (actual rows=7 time=<t>)
 `,
 		},
 		{
@@ -113,12 +113,12 @@ SCAN ORDERS rows=7/400 pushdown=[CUSTOMER_ID = 7] (analyzed) [shards 0] (actual 
 			sql:  "SELECT region, COUNT(*), SUM(amount) FROM orders WHERE amount > 1 GROUP BY region",
 			want: `estimated cost=290.9 rows=291
 execution: vectorized (scan+filter+aggregate)
-SCAN ORDERS rows=291/400 pushdown=[AMOUNT > 1] (analyzed)
+SCAN ORDERS rows=291/400 pushdown=[AMOUNT > 1] (analyzed) encoding=dict(region:3)
 `,
 			wantAnalyze: `estimated cost=290.9 rows=291
 actual rows=3 time=<t>
 execution: vectorized (scan+filter+aggregate)
-SCAN ORDERS rows=291/400 pushdown=[AMOUNT > 1] (analyzed) (actual rows=289 time=<t>)
+SCAN ORDERS rows=291/400 pushdown=[AMOUNT > 1] (analyzed) encoding=dict(region:3) (actual rows=289 time=<t>)
 `,
 		},
 		{
@@ -127,12 +127,12 @@ SCAN ORDERS rows=291/400 pushdown=[AMOUNT > 1] (analyzed) (actual rows=289 time=
 			sql:  "SELECT region, COUNT(*), SUM(amount) FROM orders WHERE amount > 1 GROUP BY region",
 			want: `estimated cost=290.9 rows=291
 execution: row-at-a-time
-SCAN ORDERS rows=291/400 pushdown=[AMOUNT > 1] (analyzed)
+SCAN ORDERS rows=291/400 pushdown=[AMOUNT > 1] (analyzed) encoding=dict(region:3)
 `,
 			wantAnalyze: `estimated cost=290.9 rows=291
 actual rows=3 time=<t>
 execution: row-at-a-time
-SCAN ORDERS rows=291/400 pushdown=[AMOUNT > 1] (analyzed) (actual rows=289 time=<t>)
+SCAN ORDERS rows=291/400 pushdown=[AMOUNT > 1] (analyzed) encoding=dict(region:3) (actual rows=289 time=<t>)
 `,
 		},
 	}

@@ -198,6 +198,9 @@ type AcceleratorStats struct {
 	// VectorizedQueries counts statements executed by the vectorized batch
 	// engine (see SetVectorizedExecution).
 	VectorizedQueries int64
+	// VectorizedJoins counts the subset of VectorizedQueries that ran a
+	// batch hash join (two-table statements joined from column batches).
+	VectorizedJoins int64
 	// VexecFallbacks counts statements the vectorized engine declined
 	// (unsupported shape) that fell back to the row-at-a-time path.
 	VexecFallbacks int64
@@ -224,6 +227,7 @@ func toAcceleratorStats(name string, st accel.Stats) AcceleratorStats {
 		RowsIngested:      st.RowsIngested,
 		DMLStatements:     st.DMLStatements,
 		VectorizedQueries: st.VectorizedQueries,
+		VectorizedJoins:   st.VectorizedJoins,
 		VexecFallbacks:    st.VexecFallbacks,
 	}
 }
@@ -245,6 +249,15 @@ type ShardGroupStats struct {
 	// TwoPhaseAggregates counts SELECTs executed as shard-local partial
 	// aggregation finalised at the coordinator.
 	TwoPhaseAggregates int64
+	// TwoPhaseFrames counts binary aggregation frames shipped shard ->
+	// coordinator by those statements (one per participating shard).
+	TwoPhaseFrames int64
+	// TwoPhaseFrameBytes is the actual wire size of the frames (fixed-width
+	// binary keys and accumulator states, strings as dictionary codes);
+	// TwoPhaseTextBytes estimates the classic re-rendered-text size of the
+	// same partials, so the difference is the measured wire saving.
+	TwoPhaseFrameBytes int64
+	TwoPhaseTextBytes  int64
 	// RowsGathered counts rows shipped shard -> coordinator by queries.
 	RowsGathered int64
 	// ColocatedJoins counts multi-table SELECTs whose joins ran entirely
@@ -311,6 +324,9 @@ func (s *System) ShardGroupStats(name string) (ShardGroupStats, error) {
 		QueriesRouted:             routing.QueriesRouted,
 		QueriesPruned:             routing.QueriesPruned,
 		TwoPhaseAggregates:        routing.TwoPhaseAggregates,
+		TwoPhaseFrames:            routing.TwoPhaseFrames,
+		TwoPhaseFrameBytes:        routing.TwoPhaseFrameBytes,
+		TwoPhaseTextBytes:         routing.TwoPhaseTextBytes,
 		RowsGathered:              routing.RowsGathered,
 		ColocatedJoins:            routing.ColocatedJoins,
 		BroadcastJoins:            routing.BroadcastJoins,

@@ -173,7 +173,7 @@ func TestVectorizedExplain(t *testing.T) {
 		"SELECT grp, COUNT(*), SUM(v) FROM vdiff WHERE v > 0 GROUP BY grp": "execution: vectorized (scan+filter+aggregate)",
 		"SELECT id FROM vdiff WHERE v > 0 AND cat LIKE 'c%'":               "execution: vectorized (scan+filter)",
 		"SELECT grp, COUNT(*) FROM vdiff GROUP BY grp ORDER BY grp":        "execution: vectorized (scan)",
-		"SELECT a.id FROM vdiff a, vdiff b WHERE a.id = b.id":              "execution: vectorized (scan)",
+		"SELECT a.id FROM vdiff a, vdiff b WHERE a.id = b.id":              "execution: vectorized (hash-join)",
 	}
 	for sql, want := range cases {
 		if out := planText(sql); !strings.Contains(out, want) {
